@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/epidemicsim -exp all -trials 100
+
+fuzz:
+	$(GO) test ./internal/store -fuzz FuzzApply -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzLoad -fuzztime 30s
+
+clean:
+	rm -f test_output.txt bench_output.txt
+	rm -rf internal/store/testdata/fuzz

@@ -1,0 +1,553 @@
+package epidemic_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// runs the corresponding experiment at paper scale and reports the paper's
+// metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every published number alongside wall-clock cost.
+
+import (
+	"math/rand"
+	"testing"
+
+	"epidemic"
+	"epidemic/internal/core"
+	"epidemic/internal/experiments"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// reportRumorRows attaches a table's first and last rows as metrics.
+func reportRumorRows(b *testing.B, rows []experiments.RumorRow) {
+	b.Helper()
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.Residue, "residue_kmin")
+	b.ReportMetric(first.Traffic, "traffic_kmin")
+	b.ReportMetric(last.Residue, "residue_kmax")
+	b.ReportMetric(last.Traffic, "traffic_kmax")
+	b.ReportMetric(last.TLast, "tlast_kmax")
+}
+
+// BenchmarkTable1 regenerates Table 1: push rumor mongering with feedback
+// and counters, n=1000, k=1..5.
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.RumorRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(1000, 25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRumorRows(b, rows)
+}
+
+// BenchmarkTable2 regenerates Table 2: blind+coin push rumor mongering.
+func BenchmarkTable2(b *testing.B) {
+	var rows []experiments.RumorRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(1000, 25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRumorRows(b, rows)
+}
+
+// BenchmarkTable3 regenerates Table 3: pull with feedback and counters.
+func BenchmarkTable3(b *testing.B) {
+	var rows []experiments.RumorRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(1000, 25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRumorRows(b, rows)
+}
+
+func reportCINRows(b *testing.B, rows []experiments.CINRow) {
+	b.Helper()
+	uniform, tightest := rows[0], rows[len(rows)-1]
+	b.ReportMetric(uniform.TLast, "tlast_uniform")
+	b.ReportMetric(uniform.CompareAvg, "cmpavg_uniform")
+	b.ReportMetric(uniform.CompareBushey, "bushey_uniform")
+	b.ReportMetric(tightest.TLast, "tlast_a2")
+	b.ReportMetric(tightest.CompareAvg, "cmpavg_a2")
+	b.ReportMetric(tightest.CompareBushey, "bushey_a2")
+}
+
+// BenchmarkTable4 regenerates Table 4: anti-entropy with spatial
+// distributions on the synthetic CIN, no connection limit.
+func BenchmarkTable4(b *testing.B) {
+	var rows []experiments.CINRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table4(25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCINRows(b, rows)
+}
+
+// BenchmarkTable5 regenerates Table 5: connection limit 1, hunt limit 0.
+func BenchmarkTable5(b *testing.B) {
+	var rows []experiments.CINRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5(25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCINRows(b, rows)
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 pathological topology: push
+// rumors between a close pair with a distant fan can die before escaping.
+func BenchmarkFigure1(b *testing.B) {
+	var rows []experiments.FigureRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure1(20, 3, 100, []int{1, 2, 4}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FailureRate, "pfail_k1")
+	b.ReportMetric(rows[len(rows)-1].FailureRate, "pfail_k4")
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 scenario: a satellite site
+// beyond a binary tree misses push rumors at small k.
+func BenchmarkFigure2(b *testing.B) {
+	var rows []experiments.FigureRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure2(7, 100, []int{1, 2, 4}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FailureRate, "pfail_k1")
+	b.ReportMetric(rows[len(rows)-1].FailureRate, "pfail_k4")
+}
+
+// BenchmarkPushPullConvergence regenerates §1.3's residual recurrences.
+func BenchmarkPushPullConvergence(b *testing.B) {
+	var rows []experiments.ConvergenceRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.PushPullConvergence(1000, 0.1, 10, 10, int64(i)+1)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.PushSim, "push_p10")
+	b.ReportMetric(last.PullSim, "pull_p10")
+}
+
+// BenchmarkResidueTrafficLaw regenerates §1.4's s=e^{-m} law sweep.
+func BenchmarkResidueTrafficLaw(b *testing.B) {
+	var rows []experiments.LawRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ResidueTrafficLaw(1000, 20, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Lambda, "lambda_first")
+}
+
+// BenchmarkConnectionLimit regenerates §1.4's connection-limit and hunting
+// effects.
+func BenchmarkConnectionLimit(b *testing.B) {
+	var rows []experiments.LawRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ConnectionLimitLaw(1000, 20, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Residue, "residue_first")
+}
+
+// BenchmarkMinimization regenerates §1.4's counter-minimization ablation.
+func BenchmarkMinimization(b *testing.B) {
+	var rows []experiments.LawRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MinimizationComparison(1000, 20, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Residue, "residue_min_kmax")
+}
+
+// BenchmarkLineScaling regenerates §3's T(n) traffic table on a line.
+func BenchmarkLineScaling(b *testing.B) {
+	var rows []experiments.LineScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.LineScaling([]int{100, 200, 400}, []float64{0, 1, 2, 3}, 5, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TrafficPerLink, "traffic_n100_a0")
+	b.ReportMetric(rows[len(rows)-1].TrafficPerLink, "traffic_n400_a3")
+}
+
+// BenchmarkDeathCertificates regenerates §2's deletion scenarios.
+func BenchmarkDeathCertificates(b *testing.B) {
+	var rows []experiments.DeathCertRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.DeathCertificates(10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].ResurrectedReplicas), "resurrected_expired")
+	b.ReportMetric(float64(rows[2].ResurrectedReplicas), "resurrected_dormant")
+}
+
+// BenchmarkBackupAntiEntropy regenerates §1.5's backup experiment.
+func BenchmarkBackupAntiEntropy(b *testing.B) {
+	var row experiments.BackupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.BackupAntiEntropy(24, 10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.RumorFailures)/float64(row.Trials), "rumor_fail_rate")
+	b.ReportMetric(float64(row.AfterBackupFailures), "after_backup_failures")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationRumorVariants sweeps the counter/coin × feedback/blind
+// matrix at fixed k.
+func BenchmarkAblationRumorVariants(b *testing.B) {
+	variants := map[string]epidemic.RumorConfig{
+		"feedback-counter": {K: 3, Counter: true, Feedback: true, Mode: epidemic.Push},
+		"feedback-coin":    {K: 3, Feedback: true, Mode: epidemic.Push},
+		"blind-counter":    {K: 3, Counter: true, Mode: epidemic.Push},
+		"blind-coin":       {K: 3, Mode: epidemic.Push},
+	}
+	for name, cfg := range variants {
+		b.Run(name, func(b *testing.B) {
+			sel := epidemic.NewUniformSelector(1000)
+			var res epidemic.SpreadResult
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = epidemic.SpreadRumor(cfg, sel, rng.Intn(1000), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Residue, "residue")
+			b.ReportMetric(res.Traffic, "traffic")
+		})
+	}
+}
+
+// BenchmarkAblationSpatialForms compares Q-based, paper-equation, and
+// direct d^{-a} weighting on a mesh.
+func BenchmarkAblationSpatialForms(b *testing.B) {
+	nw, err := topology.Mesh(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, form := range map[string]spatial.Form{
+		"d^-a":    spatial.FormDistance,
+		"Q^-a":    spatial.FormQ,
+		"eq3.1.1": spatial.FormPaper,
+		"1/(dQ)":  spatial.FormDQ,
+	} {
+		b.Run(name, func(b *testing.B) {
+			sel, err := spatial.New(nw, form, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			var res core.SpreadResult
+			for i := 0; i < b.N; i++ {
+				res, err = core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
+					rng.Intn(256), rng, core.WithLinkAccounting(nw))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.TLast), "tlast")
+			b.ReportMetric(res.CompareLoad.Max(), "max_link_load")
+		})
+	}
+}
+
+// BenchmarkAblationAntiEntropyCompare measures the database-level compare
+// strategies on nearly in-sync replicas — the case §1.3's checksums and
+// peel-back exist for.
+func BenchmarkAblationAntiEntropyCompare(b *testing.B) {
+	strategies := map[string]epidemic.CompareStrategy{
+		"full":     epidemic.CompareFull,
+		"checksum": epidemic.CompareChecksum,
+		"recent":   epidemic.CompareRecent,
+		"peelback": epidemic.ComparePeelBack,
+	}
+	for name, strat := range strategies {
+		b.Run(name, func(b *testing.B) {
+			src := epidemic.NewSimulatedClock(1)
+			s1 := epidemic.NewStore(1, src.ClockAt(1))
+			s2 := epidemic.NewStore(2, src.ClockAt(2))
+			for i := 0; i < 500; i++ {
+				e := s1.Update(randKey(i), epidemic.Value("v"))
+				s2.Apply(e)
+				src.Advance(1)
+			}
+			cfg := epidemic.ResolveConfig{Mode: epidemic.PushPull, Strategy: strat, Tau: 10}
+			b.ResetTimer()
+			var sent int
+			for i := 0; i < b.N; i++ {
+				// One fresh divergence per iteration, then resolve.
+				s1.Update(randKey(10_000+i), epidemic.Value("new"))
+				st, err := epidemic.ResolveDifference(cfg, s1, s2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent += st.EntriesSent
+				src.Advance(1)
+			}
+			b.ReportMetric(float64(sent)/float64(b.N), "entries_sent/op")
+		})
+	}
+}
+
+func randKey(i int) string {
+	const letters = "abcdefghij"
+	buf := make([]byte, 0, 8)
+	for i > 0 || len(buf) == 0 {
+		buf = append(buf, letters[i%10])
+		i /= 10
+	}
+	return string(buf)
+}
+
+// BenchmarkSpreadRumorOp measures the raw cost of one 1000-site spread —
+// the unit underneath every table bench.
+func BenchmarkSpreadRumorOp(b *testing.B) {
+	sel := epidemic.NewUniformSelector(1000)
+	cfg := epidemic.DefaultRumorConfig()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := epidemic.SpreadRumor(cfg, sel, rng.Intn(1000), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreApply measures the replica merge hot path.
+func BenchmarkStoreApply(b *testing.B) {
+	src := epidemic.NewSimulatedClock(1)
+	producer := epidemic.NewStore(1, src.ClockAt(1))
+	entries := make([]epidemic.Entry, 1000)
+	for i := range entries {
+		entries[i] = producer.Update(randKey(i), epidemic.Value("v"))
+		src.Advance(1)
+	}
+	consumer := epidemic.NewStore(2, src.ClockAt(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumer.Apply(entries[i%len(entries)])
+	}
+}
+
+// BenchmarkKAdjustment regenerates §3.2's k-for-100%-distribution search.
+func BenchmarkKAdjustment(b *testing.B) {
+	var rows []experiments.KAdjustRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.KAdjustment(20, 20, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].K), "k_pushpull_uniform")
+	b.ReportMetric(float64(rows[len(rows)-1].K), "k_push_a2")
+}
+
+// BenchmarkTauWindow regenerates §1.3's recent-update window tradeoff.
+func BenchmarkTauWindow(b *testing.B) {
+	var rows []experiments.TauWindowRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TauWindow(12, []int64{1, 5, 50}, 60, 2, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FullCompareRate, "fullcmp_tau1")
+	b.ReportMetric(rows[1].EntriesPerExchange, "entries_tau5")
+}
+
+// BenchmarkNodeStepAntiEntropy measures one runtime anti-entropy
+// conversation between nearly in-sync replicas (the steady-state op).
+func BenchmarkNodeStepAntiEntropy(b *testing.B) {
+	src := epidemic.NewSimulatedClock(1)
+	mk := func(site epidemic.SiteID) *epidemic.Node {
+		n, err := epidemic.NewNode(epidemic.NodeConfig{Site: site, Clock: src.ClockAt(site), Seed: int64(site)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	n1, n2 := mk(1), mk(2)
+	n1.SetPeers([]epidemic.Peer{epidemic.NewLocalPeer(n2, 1)})
+	for i := 0; i < 200; i++ {
+		e := n1.Update(randKey(i), epidemic.Value("v"))
+		n2.Store().Apply(e)
+		src.Advance(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n1.StepAntiEntropy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNodeActivityExchange measures the §1.5 combined exchange on
+// in-sync replicas (one checksum probe).
+func BenchmarkNodeActivityExchange(b *testing.B) {
+	src := epidemic.NewSimulatedClock(1)
+	mk := func(site epidemic.SiteID) *epidemic.Node {
+		n, err := epidemic.NewNode(epidemic.NodeConfig{Site: site, Clock: src.ClockAt(site), Seed: int64(site)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	n1, n2 := mk(1), mk(2)
+	n1.SetPeers([]epidemic.Peer{epidemic.NewLocalPeer(n2, 1)})
+	for i := 0; i < 200; i++ {
+		e := n1.Update(randKey(i), epidemic.Value("v"))
+		n2.Store().Apply(e)
+		src.Advance(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n1.StepActivityExchange(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncRobustness regenerates the synchronous-vs-asynchronous
+// comparison (event-driven simulator with jitter and latency).
+func BenchmarkAsyncRobustness(b *testing.B) {
+	var rows []experiments.AsyncRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AsyncRobustness(1000, 10, []int{1, 2, 3, 4}, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].SyncResidue, "s_sync_k2")
+	b.ReportMetric(rows[1].AsyncResidue, "s_async_k2")
+}
+
+// BenchmarkRumorCIN regenerates §3.2's rumor-on-CIN equivalence table.
+func BenchmarkRumorCIN(b *testing.B) {
+	var rows []experiments.RumorCINRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RumorMongeringOnCIN(50, 16, 25, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].K), "k_uniform")
+	b.ReportMetric(rows[len(rows)-1].CompareBushey, "bushey_a2")
+}
+
+// BenchmarkHybridCost regenerates §1.5's deployment economics.
+func BenchmarkHybridCost(b *testing.B) {
+	var rows []experiments.HybridRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.HybridCost(1000, 10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ExpensiveConversations, "convs_pure_ae")
+	b.ReportMetric(rows[1].ExpensiveConversations, "convs_hybrid")
+}
+
+// BenchmarkMethodComparison regenerates §1's three-mechanism table.
+func BenchmarkMethodComparison(b *testing.B) {
+	var rows []experiments.MethodRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MethodComparison(1000, 20, 0.05, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[2].Residue, "rumor_residue")
+}
+
+// BenchmarkRedistributionCost regenerates the §0.1 remail disaster.
+func BenchmarkRedistributionCost(b *testing.B) {
+	var rows []experiments.RedistributionRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RedistributionCost(300, 10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Messages, "mail_storm")
+	b.ReportMetric(rows[1].Messages, "rumor_redistribution")
+}
+
+// BenchmarkStaleness regenerates §0's relaxed-consistency measurement.
+func BenchmarkStaleness(b *testing.B) {
+	var rows []experiments.StalenessRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Staleness(12, []float64{2, 16}, 40, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].Currency, "currency_heavy_load")
+}
+
+// BenchmarkMailLinkTraffic regenerates §1.2/§3.1's per-link comparison.
+func BenchmarkMailLinkTraffic(b *testing.B) {
+	var rows []experiments.LinkTrafficRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MailLinkTraffic(10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MaxLink, "mail_hotspot")
+	b.ReportMetric(rows[2].Bushey, "spatial_bushey")
+}

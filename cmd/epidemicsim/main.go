@@ -1,0 +1,303 @@
+// Command epidemicsim regenerates the tables, figures, and analytical
+// claims of "Epidemic Algorithms for Replicated Database Maintenance"
+// (Demers et al., PODC 1987) from the simulators in this repository.
+//
+// Usage:
+//
+//	epidemicsim -exp table1 [-n 1000] [-trials 100] [-seed 1]
+//	epidemicsim -exp all
+//
+// Experiments: table1 table2 table3 table4 table5 figure1 figure2
+// convergence law connlimit minimization line deathcert backup all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"epidemic/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (table1..table5, figure1, figure2, convergence, law, connlimit, minimization, line, deathcert, backup, all)")
+		n      = flag.Int("n", 1000, "population size for the uniform-topology tables")
+		trials = flag.Int("trials", 100, "trials per configuration (the paper uses 250 for tables 4-5)")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *exp, *n, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "epidemicsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, n, trials int, seed int64) error {
+	runners := map[string]func(io.Writer, int, int, int64) error{
+		"table1":       runTable1,
+		"table2":       runTable2,
+		"table3":       runTable3,
+		"table4":       runTable4,
+		"table5":       runTable5,
+		"figure1":      runFigure1,
+		"figure2":      runFigure2,
+		"convergence":  runConvergence,
+		"law":          runLaw,
+		"connlimit":    runConnLimit,
+		"minimization": runMinimization,
+		"line":         runLine,
+		"deathcert":    runDeathCert,
+		"backup":       runBackup,
+		"kadjust":      runKAdjust,
+		"tauwindow":    runTauWindow,
+		"async":        runAsync,
+		"staleness":    runStaleness,
+		"methods":      runMethods,
+		"dormant":      runDormant,
+		"remail":       runRemail,
+		"maillinks":    runMailLinks,
+		"hybrid":       runHybrid,
+		"rumorcin":     runRumorCIN,
+	}
+	if exp == "all" {
+		order := []string{
+			"table1", "table2", "table3", "table4", "table5",
+			"figure1", "figure2", "convergence", "law", "connlimit",
+			"minimization", "line", "deathcert", "backup", "kadjust",
+			"tauwindow", "async", "staleness", "methods", "dormant", "remail", "maillinks", "hybrid", "rumorcin",
+		}
+		for _, name := range order {
+			if err := runners[name](w, n, trials, seed); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return runner(w, n, trials, seed)
+}
+
+func runTable1(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.Table1(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 1: push rumor mongering, feedback+counter, n=%d (%d trials)", n, trials)
+	_, err = fmt.Fprint(w, experiments.FormatRumorRows(title, rows))
+	return err
+}
+
+func runTable2(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.Table2(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 2: push rumor mongering, blind+coin, n=%d (%d trials)", n, trials)
+	_, err = fmt.Fprint(w, experiments.FormatRumorRows(title, rows))
+	return err
+}
+
+func runTable3(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.Table3(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 3: pull rumor mongering, feedback+counter, n=%d (%d trials)", n, trials)
+	_, err = fmt.Fprint(w, experiments.FormatRumorRows(title, rows))
+	return err
+}
+
+func runTable4(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.Table4(trials, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 4: anti-entropy on synthetic CIN, push-pull, no connection limit (%d trials)", trials)
+	_, err = fmt.Fprint(w, experiments.FormatCINRows(title, rows))
+	return err
+}
+
+func runTable5(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.Table5(trials, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Table 5: anti-entropy on synthetic CIN, connection limit 1, hunt 0 (%d trials)", trials)
+	_, err = fmt.Fprint(w, experiments.FormatCINRows(title, rows))
+	return err
+}
+
+func runFigure1(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.Figure1(20, 3, trials, []int{1, 2, 3, 4, 6, 8}, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 1 scenario: pair+fan topology, push rumors, Q^-2 distribution (%d trials)", trials)
+	_, err = fmt.Fprint(w, experiments.FormatFigureRows(title, rows))
+	return err
+}
+
+func runFigure2(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.Figure2(7, trials, []int{1, 2, 3, 4, 6, 8}, seed)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 2 scenario: binary tree + satellite, push rumors, Q^-2 distribution (%d trials)", trials)
+	_, err = fmt.Fprint(w, experiments.FormatFigureRows(title, rows))
+	return err
+}
+
+func runConvergence(w io.Writer, n, trials int, seed int64) error {
+	rows := experiments.PushPullConvergence(n, 0.1, 10, trials, seed)
+	_, err := fmt.Fprint(w, experiments.FormatConvergenceRows(rows))
+	return err
+}
+
+func runLaw(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.ResidueTrafficLaw(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatLawRows("s = e^-m law across push variants (§1.4)", rows))
+	return err
+}
+
+func runConnLimit(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.ConnectionLimitLaw(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatLawRows("connection limits and hunting (§1.4)", rows))
+	return err
+}
+
+func runMinimization(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.MinimizationComparison(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatLawRows("counter minimization (§1.4)", rows))
+	return err
+}
+
+func runLine(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.LineScaling([]int{100, 200, 400}, []float64{0, 1, 1.5, 2, 3}, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatLineScalingRows(rows))
+	return err
+}
+
+func runDeathCert(w io.Writer, _, _ int, seed int64) error {
+	rows, err := experiments.DeathCertificates(10, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatDeathCertRows(rows))
+	return err
+}
+
+func runKAdjust(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.KAdjustment(trials, 24, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatKAdjustRows(rows))
+	return err
+}
+
+func runAsync(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.AsyncRobustness(n, trials, []int{1, 2, 3, 4}, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatAsyncRows(rows))
+	return err
+}
+
+func runRumorCIN(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.RumorMongeringOnCIN(100, 16, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatRumorCINRows(rows))
+	return err
+}
+
+func runHybrid(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.HybridCost(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatHybridRows(n, rows))
+	return err
+}
+
+func runMailLinks(w io.Writer, _, trials int, seed int64) error {
+	rows, err := experiments.MailLinkTraffic(trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatLinkTrafficRows(rows))
+	return err
+}
+
+func runRemail(w io.Writer, _, trials int, seed int64) error {
+	const n = 300
+	rows, err := experiments.RedistributionCost(n, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatRedistributionRows(n, rows))
+	return err
+}
+
+func runDormant(w io.Writer, _, _ int, _ int64) error {
+	// The paper's own numbers: ~300 servers, 30-day fixed threshold.
+	rows := experiments.DormantSpace(300, 30, 15, []int{1, 2, 4, 8})
+	_, err := fmt.Fprint(w, experiments.FormatDormantSpaceRows(300, 30, 15, rows))
+	return err
+}
+
+func runMethods(w io.Writer, n, trials int, seed int64) error {
+	rows, err := experiments.MethodComparison(n, trials, 0.05, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatMethodRows(rows))
+	return err
+}
+
+func runStaleness(w io.Writer, _, _ int, seed int64) error {
+	rows, err := experiments.Staleness(12, []float64{0.5, 2, 8, 32}, 60, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatStalenessRows(rows))
+	return err
+}
+
+func runTauWindow(w io.Writer, _, _ int, seed int64) error {
+	rows, err := experiments.TauWindow(12, []int64{1, 3, 5, 10, 20, 50, 100}, 80, 2, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatTauWindowRows(rows))
+	return err
+}
+
+func runBackup(w io.Writer, _, trials int, seed int64) error {
+	row, err := experiments.BackupAntiEntropy(24, trials, seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, experiments.FormatBackupRow(row))
+	return err
+}

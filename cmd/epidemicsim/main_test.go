@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nope", 100, 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunEachExperimentSmoke(t *testing.T) {
+	// Tiny populations/trials: just prove every runner produces output.
+	tests := []struct {
+		exp  string
+		want string
+	}{
+		{"table1", "Table 1"},
+		{"table2", "Table 2"},
+		{"table3", "Table 3"},
+		{"figure1", "Figure 1"},
+		{"figure2", "Figure 2"},
+		{"convergence", "push model"},
+		{"law", "lambda"},
+		{"minimization", "minimization"},
+		{"deathcert", "resurrected"},
+		{"backup", "backup"},
+		{"methods", "direct mail"},
+		{"dormant", "history"},
+		{"async", "async"},
+		{"hybrid", "strategy"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(&b, tt.exp, 120, 2, 1); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), tt.want) {
+				t.Errorf("output missing %q:\n%s", tt.want, b.String())
+			}
+		})
+	}
+}
+
+func TestRunCINTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CIN tables are slower")
+	}
+	for _, exp := range []string{"table4", "table5"} {
+		var b strings.Builder
+		if err := run(&b, exp, 0, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "Bushey") {
+			t.Errorf("%s output missing Bushey", exp)
+		}
+	}
+}
+
+func TestRunLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("line sweep is slower")
+	}
+	var b strings.Builder
+	if err := run(&b, "line", 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "t_last") {
+		t.Error("line output wrong")
+	}
+}
+
+func TestRunSlowerExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slower experiment runners")
+	}
+	tests := []struct {
+		exp  string
+		want string
+	}{
+		{"kadjust", "100%"},
+		{"tauwindow", "tau"},
+		{"staleness", "currency"},
+		{"remail", "policy"},
+		{"maillinks", "Bushey"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.exp, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(&b, tt.exp, 100, 3, 1); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), tt.want) {
+				t.Errorf("output missing %q", tt.want)
+			}
+		})
+	}
+}
+
+func TestRunConnLimit(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "connlimit", 150, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hunt") {
+		t.Error("connlimit output wrong")
+	}
+}

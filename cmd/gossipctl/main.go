@@ -1,0 +1,86 @@
+// Command gossipctl is the client for gossipd's line protocol.
+//
+// Usage:
+//
+//	gossipctl -addr host:8001 get <key>
+//	gossipctl -addr host:8001 set <key> <value...>
+//	gossipctl -addr host:8001 del <key>
+//	gossipctl -addr host:8001 keys | members | stats | hot | snapshot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8001", "gossipd client address")
+		timeout = flag.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	flag.Parse()
+	out, err := run(*addr, *timeout, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipctl:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}
+
+func run(addr string, timeout time.Duration, args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] <get|set|del|keys|members|stats|hot|snapshot> [args...]")
+	}
+	cmd, err := buildCommand(args)
+	if err != nil {
+		return "", err
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return "", fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return "", fmt.Errorf("send: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("receive: %w", err)
+	}
+	resp := strings.TrimSpace(line)
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", fmt.Errorf("%s", strings.TrimPrefix(resp, "ERR "))
+	}
+	return resp, nil
+}
+
+// buildCommand maps CLI verbs onto the wire protocol, validating arity.
+func buildCommand(args []string) (string, error) {
+	verb := strings.ToLower(args[0])
+	rest := args[1:]
+	switch verb {
+	case "get", "del":
+		if len(rest) != 1 {
+			return "", fmt.Errorf("usage: %s <key>", verb)
+		}
+		return strings.ToUpper(verb) + " " + rest[0], nil
+	case "set":
+		if len(rest) < 2 {
+			return "", fmt.Errorf("usage: set <key> <value...>")
+		}
+		return "SET " + rest[0] + " " + strings.Join(rest[1:], " "), nil
+	case "keys", "members", "stats", "hot", "snapshot":
+		if len(rest) != 0 {
+			return "", fmt.Errorf("usage: %s", verb)
+		}
+		return strings.ToUpper(verb), nil
+	default:
+		return "", fmt.Errorf("unknown command %q", verb)
+	}
+}

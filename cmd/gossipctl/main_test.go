@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildCommand(t *testing.T) {
+	tests := []struct {
+		args    []string
+		want    string
+		wantErr bool
+	}{
+		{args: []string{"get", "k"}, want: "GET k"},
+		{args: []string{"del", "k"}, want: "DEL k"},
+		{args: []string{"set", "k", "a", "b"}, want: "SET k a b"},
+		{args: []string{"keys"}, want: "KEYS"},
+		{args: []string{"members"}, want: "MEMBERS"},
+		{args: []string{"stats"}, want: "STATS"},
+		{args: []string{"hot"}, want: "HOT"},
+		{args: []string{"snapshot"}, want: "SNAPSHOT"},
+		{args: []string{"get"}, wantErr: true},
+		{args: []string{"set", "k"}, wantErr: true},
+		{args: []string{"keys", "extra"}, wantErr: true},
+		{args: []string{"bogus"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := buildCommand(tt.args)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%v: err = %v, wantErr %v", tt.args, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("%v: got %q, want %q", tt.args, got, tt.want)
+		}
+	}
+}
+
+// fakeServer answers one line per connection with a canned response.
+func fakeServer(t *testing.T, respond func(string) string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				line, err := bufio.NewReader(c).ReadString('\n')
+				if err != nil {
+					return
+				}
+				fmt.Fprintln(c, respond(strings.TrimSpace(line)))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	addr := fakeServer(t, func(cmd string) string {
+		if cmd == "GET k" {
+			return "VALUE hello"
+		}
+		return "ERR unexpected " + cmd
+	})
+	out, err := run(addr, time.Second, []string{"get", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "VALUE hello" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRunServerError(t *testing.T) {
+	addr := fakeServer(t, func(string) string { return "ERR boom" })
+	if _, err := run(addr, time.Second, []string{"keys"}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunUsageAndDialErrors(t *testing.T) {
+	if _, err := run("127.0.0.1:1", time.Second, nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if _, err := run("127.0.0.1:1", 200*time.Millisecond, []string{"keys"}); err == nil {
+		t.Error("dead address accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"epidemic"
+)
+
+// daemonConfig carries the parsed flags.
+type daemonConfig struct {
+	site            int
+	listen, client  string
+	peerSpec        string
+	aePer, rumPer   time.Duration
+	mail            bool
+	k               int
+	tau1, tau2      time.Duration
+	retain          int
+	data, advertise string
+}
+
+// daemon is one running replica: gossip server, client listener, node
+// daemons, and the membership sync loop.
+type daemon struct {
+	node     *epidemic.Node
+	srv      *epidemic.TCPServer
+	clientLn net.Listener
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// startDaemon wires and starts a replica. Callers must Close it.
+func startDaemon(cfg daemonConfig) (*daemon, error) {
+	n, err := epidemic.NewNode(epidemic.NodeConfig{
+		Site:  epidemic.SiteID(cfg.site),
+		Rumor: epidemic.RumorConfig{K: cfg.k, Counter: true, Feedback: true, Mode: epidemic.PushPull},
+		Resolve: epidemic.ResolveConfig{
+			Mode:              epidemic.PushPull,
+			Strategy:          epidemic.CompareRecent,
+			Tau:               int64(20 * cfg.aePer), // generous: 20 anti-entropy periods
+			Tau1:              cfg.tau1.Nanoseconds(),
+			ReactivateDormant: true,
+		},
+		DirectMailOnUpdate: cfg.mail,
+		Redistribution:     epidemic.RedistributeRumor,
+		Tau1:               cfg.tau1.Nanoseconds(),
+		Tau2:               cfg.tau2.Nanoseconds(),
+		RetentionCount:     cfg.retain,
+		AntiEntropyEvery:   cfg.aePer,
+		RumorEvery:         cfg.rumPer,
+		SnapshotPath:       cfg.data,
+		SnapshotEvery:      time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	peers, err := parsePeers(cfg.peerSpec)
+	if err != nil {
+		return nil, err
+	}
+	n.SetPeers(peers)
+
+	srv, err := epidemic.ServeTCP(n, cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	cln, err := net.Listen("tcp", cfg.client)
+	if err != nil {
+		_ = srv.Close()
+		return nil, fmt.Errorf("client listen %s: %w", cfg.client, err)
+	}
+
+	// Announce this replica in the replicated membership directory and
+	// keep the peer set synchronised with it: new replicas that announce
+	// themselves anywhere become peers everywhere once the record gossips
+	// over.
+	advertise := cfg.advertise
+	if advertise == "" {
+		advertise = srv.Addr()
+	}
+	if _, err := epidemic.Announce(n, advertise); err != nil {
+		_ = srv.Close()
+		_ = cln.Close()
+		return nil, err
+	}
+
+	d := &daemon{
+		node:     n,
+		srv:      srv,
+		clientLn: cln,
+		stopSync: make(chan struct{}),
+		syncDone: make(chan struct{}),
+	}
+	go d.syncLoop(cfg.aePer)
+	go serveClients(cln, n)
+	n.Start()
+	return d, nil
+}
+
+func (d *daemon) syncLoop(every time.Duration) {
+	defer close(d.syncDone)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			epidemic.SyncPeers(d.node, func(rec epidemic.MemberRecord) epidemic.Peer {
+				return epidemic.NewTCPPeer(rec.Site, rec.Addr)
+			})
+		case <-d.stopSync:
+			return
+		}
+	}
+}
+
+// GossipAddr returns the bound gossip address.
+func (d *daemon) GossipAddr() string { return d.srv.Addr() }
+
+// ClientAddr returns the bound client address.
+func (d *daemon) ClientAddr() string { return d.clientLn.Addr().String() }
+
+// Close stops everything, in reverse start order.
+func (d *daemon) Close() {
+	close(d.stopSync)
+	<-d.syncDone
+	d.node.Stop()
+	_ = d.clientLn.Close()
+	_ = d.srv.Close()
+}

@@ -1,0 +1,180 @@
+// Command gossipd runs one replica of the epidemic-replicated database as
+// a network daemon: it serves gossip over TCP, runs the anti-entropy and
+// rumor-mongering daemons, announces itself in the replicated membership
+// directory, and accepts simple line-oriented client commands on a second
+// port.
+//
+// Usage:
+//
+//	gossipd -site 1 -listen :7001 -client :8001 \
+//	        -peers 2=host2:7001,3=host3:7001 [-data /var/lib/gossipd.snap]
+//
+// The -peers list only seeds the first contact; thereafter the peer set is
+// synchronised from the membership directory, which rides the replicated
+// database itself.
+//
+// Client protocol (one command per line):
+//
+//	GET <key>            -> VALUE <v> | MISSING
+//	SET <key> <value>    -> OK
+//	DEL <key>            -> OK
+//	KEYS                 -> KEYS <k1> <k2> ...
+//	MEMBERS              -> MEMBERS <site>=<addr> ...
+//	HOT                  -> HOT <k1> <k2> ...      (current hot rumors)
+//	SNAPSHOT             -> OK                     (force a durable snapshot)
+//	STATS                -> STATS <text>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"epidemic"
+)
+
+func main() {
+	var cfg daemonConfig
+	flag.IntVar(&cfg.site, "site", 1, "this replica's site ID (unique per replica)")
+	flag.StringVar(&cfg.listen, "listen", ":7001", "gossip listen address")
+	flag.StringVar(&cfg.client, "client", ":8001", "client listen address")
+	flag.StringVar(&cfg.peerSpec, "peers", "", "comma-separated id=host:port seed peer list")
+	flag.DurationVar(&cfg.aePer, "anti-entropy-every", 5*time.Second, "anti-entropy period")
+	flag.DurationVar(&cfg.rumPer, "rumor-every", time.Second, "rumor-mongering period")
+	flag.BoolVar(&cfg.mail, "direct-mail", true, "direct-mail updates to all peers")
+	flag.IntVar(&cfg.k, "k", 3, "rumor counter threshold")
+	flag.DurationVar(&cfg.tau1, "tau1", time.Hour, "death-certificate active window")
+	flag.DurationVar(&cfg.tau2, "tau2", 24*time.Hour, "death-certificate dormant window")
+	flag.IntVar(&cfg.retain, "retention", 2, "dormant death-certificate retention sites")
+	flag.StringVar(&cfg.data, "data", "", "snapshot file for durable state (empty = in-memory only)")
+	flag.StringVar(&cfg.advertise, "advertise", "", "gossip address to announce in the membership directory (empty = -listen)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg daemonConfig) error {
+	d, err := startDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("gossipd site=%d gossip=%s client=%s\n", cfg.site, d.GossipAddr(), d.ClientAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+func parsePeers(spec string) ([]epidemic.Peer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var peers []epidemic.Peer
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q, want id=host:port", part)
+		}
+		sid, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", id, err)
+		}
+		peers = append(peers, epidemic.NewTCPPeer(epidemic.SiteID(sid), addr))
+	}
+	return peers, nil
+}
+
+func serveClients(ln net.Listener, n *epidemic.Node) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handleClient(conn, n)
+	}
+}
+
+func handleClient(conn net.Conn, n *epidemic.Node) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Fprintln(conn, "ERR usage: GET <key>")
+				continue
+			}
+			if v, ok := n.Lookup(fields[1]); ok {
+				fmt.Fprintf(conn, "VALUE %s\n", v)
+			} else {
+				fmt.Fprintln(conn, "MISSING")
+			}
+		case "SET":
+			if len(fields) < 3 {
+				fmt.Fprintln(conn, "ERR usage: SET <key> <value>")
+				continue
+			}
+			n.Update(fields[1], epidemic.Value(strings.Join(fields[2:], " ")))
+			fmt.Fprintln(conn, "OK")
+		case "DEL":
+			if len(fields) != 2 {
+				fmt.Fprintln(conn, "ERR usage: DEL <key>")
+				continue
+			}
+			n.Delete(fields[1])
+			fmt.Fprintln(conn, "OK")
+		case "KEYS":
+			var keys []string
+			for _, k := range n.Store().Keys() {
+				if !epidemic.IsMembershipKey(k) {
+					keys = append(keys, k)
+				}
+			}
+			fmt.Fprintf(conn, "KEYS %s\n", strings.Join(keys, " "))
+		case "MEMBERS":
+			var parts []string
+			for _, rec := range epidemic.Members(n.Store()) {
+				parts = append(parts, fmt.Sprintf("%d=%s", rec.Site, rec.Addr))
+			}
+			fmt.Fprintf(conn, "MEMBERS %s\n", strings.Join(parts, " "))
+		case "HOT":
+			var keys []string
+			for _, e := range n.HotEntries() {
+				keys = append(keys, e.Key)
+			}
+			fmt.Fprintf(conn, "HOT %s\n", strings.Join(keys, " "))
+		case "SNAPSHOT":
+			if err := n.SaveSnapshot(""); err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(conn, "OK")
+			}
+		case "STATS":
+			st := n.Stats()
+			fmt.Fprintf(conn, "STATS updates=%d mail=%d/%d ae=%d rumor=%d sent=%d applied=%d redist=%d gc=%d\n",
+				st.UpdatesAccepted, st.MailSent, st.MailFailed, st.AntiEntropyRuns,
+				st.RumorRuns, st.EntriesSent, st.EntriesApplied, st.Redistributed,
+				st.CertificatesExpired)
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintln(conn, "ERR unknown command")
+		}
+	}
+}

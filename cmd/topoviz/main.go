@@ -1,0 +1,64 @@
+// Command topoviz renders the repository's network topologies as Graphviz
+// DOT, for inspection and documentation:
+//
+//	topoviz -topo cin | dot -Tsvg > cin.svg
+//	topoviz -topo pairfan -m 12 -far 4
+//	topoviz -topo tree -depth 4
+//	topoviz -topo line -n 20
+//	topoviz -topo mesh -n 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"epidemic/internal/topology"
+)
+
+func main() {
+	var (
+		topo  = flag.String("topo", "cin", "topology: cin, line, ring, mesh, pairfan, tree")
+		n     = flag.Int("n", 12, "sites (line, ring) or mesh side length")
+		m     = flag.Int("m", 12, "fan size for pairfan")
+		far   = flag.Int("far", 3, "fan distance for pairfan")
+		depth = flag.Int("depth", 4, "tree depth")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *topo, *n, *m, *far, *depth); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, topo string, n, m, far, depth int) error {
+	var (
+		nw  *topology.Network
+		err error
+	)
+	switch topo {
+	case "cin":
+		var cin *topology.CIN
+		cin, err = topology.NewCIN()
+		if err == nil {
+			nw = cin.Network
+		}
+	case "line":
+		nw, err = topology.Line(n)
+	case "ring":
+		nw, err = topology.Ring(n)
+	case "mesh":
+		nw, err = topology.Mesh(n, n)
+	case "pairfan":
+		nw, err = topology.PairFan(m, far)
+	case "tree":
+		nw, err = topology.TreeWithSatellite(depth)
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+	if err != nil {
+		return err
+	}
+	return nw.WriteDOT(w, topo)
+}

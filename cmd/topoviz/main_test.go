@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllTopologies(t *testing.T) {
+	for _, topo := range []string{"cin", "line", "ring", "mesh", "pairfan", "tree"} {
+		var b strings.Builder
+		if err := run(&b, topo, 6, 5, 2, 3); err != nil {
+			t.Errorf("%s: %v", topo, err)
+			continue
+		}
+		if !strings.Contains(b.String(), "graph") {
+			t.Errorf("%s: no DOT output", topo)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "bogus", 6, 5, 2, 3); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run(&b, "line", 0, 0, 0, 0); err == nil {
+		t.Error("invalid size accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package epidemic
+
+import (
+	"epidemic/internal/domain"
+)
+
+// Clearinghouse-style partial replication (§0.1 of the paper): the key
+// space is partitioned into named domains, each replicated at its own
+// subset of servers, every domain gossiping independently among the sites
+// that store it.
+type (
+	// DomainAssignment maps domain names to the sites replicating them.
+	DomainAssignment = domain.Assignment
+	// DomainHost is one server storing several domains.
+	DomainHost = domain.Host
+	// DomainHostConfig configures a DomainHost.
+	DomainHostConfig = domain.HostConfig
+)
+
+// ErrNotHosted is returned for operations on a domain a host does not
+// store.
+var ErrNotHosted = domain.ErrNotHosted
+
+// NewDomainHost builds a server storing its share of the assignment.
+func NewDomainHost(cfg DomainHostConfig, assignment DomainAssignment) (*DomainHost, error) {
+	return domain.NewHost(cfg, assignment)
+}
+
+// WireDomainHosts connects hosts per the assignment with in-process peers.
+func WireDomainHosts(hosts map[SiteID]*DomainHost, assignment DomainAssignment, seed int64) error {
+	return domain.Wire(hosts, assignment, seed)
+}

@@ -1,0 +1,207 @@
+// Package epidemic is a Go implementation of the randomized algorithms of
+// Demers et al., "Epidemic Algorithms for Replicated Database Maintenance"
+// (PODC 1987): direct mail, anti-entropy, and rumor mongering for driving
+// a database replicated at many sites toward eventual consistency, plus
+// deletion via (dormant) death certificates and nonuniform spatial
+// distributions for partner selection.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Node / NodeConfig — a replica runtime: client Update/Delete/Lookup,
+//     periodic anti-entropy, rumor mongering of hot updates, and
+//     death-certificate garbage collection.
+//   - Cluster — an in-memory cluster of nodes on a simulated clock, driven
+//     in deterministic cycles (ideal for tests and experiments).
+//   - ServeTCP / NewTCPPeer — gossip between real processes over TCP.
+//   - SpreadRumor / SpreadAntiEntropy — the abstract single-update spread
+//     simulators behind every table and figure in the paper.
+//   - NewUniformSelector / NewSpatialSelector — partner-selection
+//     distributions, including the paper's equation (3.1.1).
+//
+// Quick start:
+//
+//	cluster, _ := epidemic.NewCluster(epidemic.ClusterConfig{N: 8, Seed: 1})
+//	cluster.Node(0).Update("user/alice", epidemic.Value("MV:1.17#42"))
+//	cluster.RunRumorToQuiescence(100)
+//	cluster.RunAntiEntropyToConsistency(100)
+//	v, ok := cluster.Node(7).Lookup("user/alice")
+package epidemic
+
+import (
+	"epidemic/internal/core"
+	"epidemic/internal/node"
+	"epidemic/internal/sim"
+	"epidemic/internal/spatial"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+	"epidemic/internal/topology"
+	"epidemic/internal/transport"
+)
+
+// Re-exported core types. These are aliases, so values flow freely between
+// the facade and the implementation packages.
+type (
+	// SiteID identifies a database replica.
+	SiteID = timestamp.SiteID
+	// Timestamp is a globally unique, totally ordered timestamp.
+	Timestamp = timestamp.T
+	// Clock issues timestamps for one site.
+	Clock = timestamp.Clock
+	// SimulatedClock is a manually advanced time source for deterministic
+	// runs.
+	SimulatedClock = timestamp.Simulated
+
+	// Value is a database value; nil means deleted.
+	Value = store.Value
+	// Entry is a (key, value, timestamp) triple, possibly a death
+	// certificate.
+	Entry = store.Entry
+	// Store is one replica's database.
+	Store = store.Store
+
+	// Mode selects push, pull, or push-pull exchanges.
+	Mode = core.Mode
+	// RumorConfig selects a rumor-mongering variant (§1.4 of the paper).
+	RumorConfig = core.RumorConfig
+	// AntiEntropyConfig configures the anti-entropy spread simulator.
+	AntiEntropyConfig = core.AntiEntropyConfig
+	// ResolveConfig configures database-level anti-entropy conversations.
+	ResolveConfig = core.ResolveConfig
+	// CompareStrategy selects full / checksum / recent-list / peel-back
+	// database comparison (§1.3).
+	CompareStrategy = core.CompareStrategy
+	// Redistribution selects the §1.5 policy for repaired updates.
+	Redistribution = core.Redistribution
+	// SpreadResult reports residue / traffic / delay for one spread.
+	SpreadResult = core.SpreadResult
+	// ExchangeStats reports one anti-entropy conversation's work.
+	ExchangeStats = core.ExchangeStats
+
+	// Node is a replica runtime.
+	Node = node.Node
+	// NodeConfig configures a Node.
+	NodeConfig = node.Config
+	// NodeStats counts a node's protocol activity.
+	NodeStats = node.Stats
+	// Peer is a remote replica as seen from one node.
+	Peer = node.Peer
+	// LocalPeer is an in-process Peer with failure injection.
+	LocalPeer = node.LocalPeer
+
+	// Cluster is an in-memory cluster on a simulated clock.
+	Cluster = sim.Cluster
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = sim.ClusterConfig
+
+	// Selector picks random exchange partners.
+	Selector = spatial.Selector
+	// SpatialForm identifies a spatial distribution family (§3).
+	SpatialForm = spatial.Form
+
+	// Network is a topology with sites placed on it.
+	Network = topology.Network
+	// CIN is the synthetic Xerox Corporate Internet topology.
+	CIN = topology.CIN
+
+	// TCPServer exposes a node over TCP.
+	TCPServer = transport.Server
+	// TCPPeer is a Peer over TCP.
+	TCPPeer = transport.TCPPeer
+)
+
+// Exchange modes.
+const (
+	Push     = core.Push
+	Pull     = core.Pull
+	PushPull = core.PushPull
+)
+
+// Comparison strategies (§1.3).
+const (
+	CompareFull     = core.CompareFull
+	CompareChecksum = core.CompareChecksum
+	CompareRecent   = core.CompareRecent
+	ComparePeelBack = core.ComparePeelBack
+)
+
+// Redistribution policies (§1.5).
+const (
+	RedistributeNone  = core.RedistributeNone
+	RedistributeMail  = core.RedistributeMail
+	RedistributeRumor = core.RedistributeRumor
+)
+
+// Spatial distribution families (§3).
+const (
+	FormUniform  = spatial.FormUniform
+	FormDistance = spatial.FormDistance
+	FormQ        = spatial.FormQ
+	FormPaper    = spatial.FormPaper
+)
+
+// HuntUnlimited makes a connection-limited sender hunt until it finds an
+// open partner.
+const HuntUnlimited = core.HuntUnlimited
+
+// NewNode builds a replica runtime. See NodeConfig for the knobs; zero
+// values select the paper-recommended defaults (push-pull peel-back
+// anti-entropy, rumor redistribution).
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// NewLocalPeer wraps an in-process node as a Peer.
+func NewLocalPeer(target *Node, seed int64) *LocalPeer { return node.NewLocalPeer(target, seed) }
+
+// NewCluster builds a fully connected in-memory cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return sim.NewCluster(cfg) }
+
+// ServeTCP exposes a node to remote peers on addr (":0" for ephemeral).
+func ServeTCP(n *Node, addr string) (*TCPServer, error) { return transport.Serve(n, addr) }
+
+// NewTCPPeer addresses a remote replica by site ID and "host:port".
+func NewTCPPeer(id SiteID, addr string) *TCPPeer { return transport.NewTCPPeer(id, addr) }
+
+// NewStore builds a bare replica store (most users want NewNode instead).
+func NewStore(site SiteID, clock Clock) *Store { return store.New(site, clock) }
+
+// NewSimulatedClock builds a shared simulated time source.
+func NewSimulatedClock(start int64) *SimulatedClock { return timestamp.NewSimulated(start) }
+
+// WallClock builds a real-time clock for one site.
+func WallClock(site SiteID) Clock { return timestamp.WallClock(site) }
+
+// DefaultRumorConfig is the paper's baseline rumor variant.
+func DefaultRumorConfig() RumorConfig { return core.DefaultRumorConfig() }
+
+// ResolveDifference runs one anti-entropy conversation between two stores.
+func ResolveDifference(cfg ResolveConfig, s, p *Store) (ExchangeStats, error) {
+	return core.ResolveDifference(cfg, s, p)
+}
+
+// NewUniformSelector selects partners uniformly among n sites.
+func NewUniformSelector(n int) Selector { return spatial.Uniform(n) }
+
+// NewSpatialSelector builds a nonuniform partner-selection distribution
+// over a network (§3). Use FormPaper with a=2 for the distribution
+// deployed on the Xerox Corporate Internet.
+func NewSpatialSelector(nw *Network, form SpatialForm, a float64) (Selector, error) {
+	return spatial.New(nw, form, a)
+}
+
+// SelectorProbabilities returns site i's full partner distribution (index
+// = site, self = 0). Use it to derive per-peer weights for
+// Node.SetPeersWeighted when deploying a spatial distribution on real
+// nodes.
+func SelectorProbabilities(sel Selector, i int) []float64 {
+	return spatial.Probabilities(sel, i)
+}
+
+// NewCIN builds the synthetic Xerox Corporate Internet topology used by
+// the Table 4/5 reproductions.
+func NewCIN() (*CIN, error) { return topology.NewCIN() }
+
+// NewLineNetwork builds a linear network of n sites (§3's introductory
+// topology).
+func NewLineNetwork(n int) (*Network, error) { return topology.Line(n) }
+
+// NewMeshNetwork builds a D-dimensional rectilinear mesh of sites.
+func NewMeshNetwork(dims ...int) (*Network, error) { return topology.Mesh(dims...) }

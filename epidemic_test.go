@@ -1,0 +1,217 @@
+package epidemic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"epidemic"
+)
+
+// The facade tests double as integration tests of the whole stack through
+// the public API only.
+
+func TestFacadeClusterEndToEnd(t *testing.T) {
+	cluster, err := epidemic.NewCluster(epidemic.ClusterConfig{
+		N:              10,
+		Rumor:          epidemic.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: epidemic.PushPull},
+		Redistribution: epidemic.RedistributeRumor,
+		Tau1:           1000,
+		Tau2:           1000,
+		RetentionCount: 2,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Node(0).Update("name/alice", epidemic.Value("addr:1"))
+	cluster.RunRumorToQuiescence(100)
+	if _, ok := cluster.RunAntiEntropyToConsistency(100); !ok {
+		t.Fatal("cluster never converged")
+	}
+	for i := 0; i < cluster.N(); i++ {
+		v, ok := cluster.Node(i).Lookup("name/alice")
+		if !ok || string(v) != "addr:1" {
+			t.Fatalf("node %d: %q %v", i, v, ok)
+		}
+	}
+	// Delete and verify it sticks everywhere.
+	cluster.Node(4).Delete("name/alice")
+	cluster.RunAntiEntropyToConsistency(100)
+	if got := cluster.CountDeleted("name/alice"); got != cluster.N() {
+		t.Fatalf("deleted at %d/%d", got, cluster.N())
+	}
+}
+
+func TestFacadeSpreadSimulators(t *testing.T) {
+	sel := epidemic.NewUniformSelector(500)
+	rng := rand.New(rand.NewSource(1))
+	r, err := epidemic.SpreadRumor(epidemic.DefaultRumorConfig(), sel, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Traffic <= 0 {
+		t.Error("no traffic")
+	}
+	ae, err := epidemic.SpreadAntiEntropy(epidemic.AntiEntropyConfig{Mode: epidemic.PushPull}, sel, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ae.Converged {
+		t.Error("anti-entropy did not converge")
+	}
+}
+
+func TestFacadeSpatialOnCIN(t *testing.T) {
+	cin, err := epidemic.NewCIN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := epidemic.NewSpatialSelector(cin.Network, epidemic.FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	r, err := epidemic.SpreadAntiEntropy(epidemic.AntiEntropyConfig{Mode: epidemic.PushPull}, sel, 0, rng,
+		epidemic.WithLinkAccounting(cin.Network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompareLoad.GetNamed(epidemic.BusheyLinkName) < 0 {
+		t.Error("no Bushey accounting")
+	}
+}
+
+func TestFacadeTCP(t *testing.T) {
+	src := epidemic.NewSimulatedClock(1 << 30)
+	a, err := epidemic.NewNode(epidemic.NodeConfig{
+		Site: 1, Clock: src.ClockAt(1),
+		Resolve: epidemic.ResolveConfig{Mode: epidemic.PushPull, Strategy: epidemic.CompareRecent, Tau: 1 << 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epidemic.NewNode(epidemic.NodeConfig{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := epidemic.ServeTCP(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a.SetPeers([]epidemic.Peer{epidemic.NewTCPPeer(2, srv.Addr())})
+	a.Update("k", epidemic.Value("v"))
+	if err := a.StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup("k"); !ok {
+		t.Fatal("TCP anti-entropy failed through facade")
+	}
+}
+
+func TestFacadeStoreAndResolve(t *testing.T) {
+	src := epidemic.NewSimulatedClock(1)
+	a := epidemic.NewStore(1, src.ClockAt(1))
+	b := epidemic.NewStore(2, src.ClockAt(2))
+	a.Update("k", epidemic.Value("v"))
+	st, err := epidemic.ResolveDifference(epidemic.ResolveConfig{
+		Mode: epidemic.PushPull, Strategy: epidemic.ComparePeelBack,
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesApplied == 0 {
+		t.Error("nothing applied")
+	}
+	if _, ok := b.Lookup("k"); !ok {
+		t.Error("resolve failed")
+	}
+}
+
+func TestFacadeNetworks(t *testing.T) {
+	if _, err := epidemic.NewLineNetwork(5); err != nil {
+		t.Error(err)
+	}
+	if _, err := epidemic.NewMeshNetwork(3, 3); err != nil {
+		t.Error(err)
+	}
+	if epidemic.WallClock(1) == nil {
+		t.Error("nil clock")
+	}
+}
+
+func TestFacadeMembershipDiscovery(t *testing.T) {
+	src := epidemic.NewSimulatedClock(1 << 30)
+	mk := func(site epidemic.SiteID) (*epidemic.Node, *epidemic.TCPServer) {
+		n, err := epidemic.NewNode(epidemic.NodeConfig{
+			Site: site, Clock: src.ClockAt(site),
+			Resolve: epidemic.ResolveConfig{Mode: epidemic.PushPull, Strategy: epidemic.CompareRecent, Tau: 1 << 40},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := epidemic.ServeTCP(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		return n, srv
+	}
+	a, sa := mk(1)
+	b, sb := mk(2)
+	c, sc := mk(3)
+
+	// Everyone announces itself; b and c only seed-peer with a.
+	for _, nd := range []struct {
+		n   *epidemic.Node
+		srv *epidemic.TCPServer
+	}{{a, sa}, {b, sb}, {c, sc}} {
+		if _, err := epidemic.Announce(nd.n, nd.srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SetPeers([]epidemic.Peer{epidemic.NewTCPPeer(1, sa.Addr())})
+	c.SetPeers([]epidemic.Peer{epidemic.NewTCPPeer(1, sa.Addr())})
+	a.SetPeers([]epidemic.Peer{epidemic.NewTCPPeer(2, sb.Addr())})
+
+	// A few anti-entropy rounds spread the directory everywhere.
+	for i := 0; i < 6; i++ {
+		for _, n := range []*epidemic.Node{a, b, c} {
+			if err := n.StepAntiEntropy(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := len(epidemic.Members(c.Store())); got != 3 {
+		t.Fatalf("c sees %d members, want 3", got)
+	}
+	// c syncs peers from the directory: now it knows a AND b.
+	used := epidemic.SyncPeers(c, func(rec epidemic.MemberRecord) epidemic.Peer {
+		return epidemic.NewTCPPeer(rec.Site, rec.Addr)
+	})
+	if len(used) != 2 {
+		t.Fatalf("synced %d peers, want 2", len(used))
+	}
+	// Updates now reach c through discovered peers.
+	b.Update("via-directory", epidemic.Value("yes"))
+	for i := 0; i < 6; i++ {
+		if err := c.StepAntiEntropy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Lookup("via-directory"); !ok {
+		t.Fatal("discovered peers not usable")
+	}
+	// Removing a site spreads as a death certificate. Advance the clock
+	// so the certificate's timestamp exceeds the announcement's.
+	src.Advance(10)
+	epidemic.RemoveMember(a, 2)
+	for i := 0; i < 6; i++ {
+		for _, n := range []*epidemic.Node{a, b, c} {
+			_ = n.StepAntiEntropy()
+		}
+	}
+	if got := len(epidemic.Members(c.Store())); got != 2 {
+		t.Fatalf("after removal c sees %d members, want 2", got)
+	}
+}

@@ -1,0 +1,91 @@
+package epidemic_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"epidemic"
+)
+
+// ExampleNewCluster shows the basic lifecycle: write at one replica,
+// gossip, read everywhere, delete.
+func ExampleNewCluster() {
+	cluster, err := epidemic.NewCluster(epidemic.ClusterConfig{
+		N:    6,
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cluster.Node(0).Update("motd", epidemic.Value("hello, epidemics"))
+	cluster.RunRumorToQuiescence(100)
+	cluster.RunAntiEntropyToConsistency(100)
+
+	v, ok := cluster.Node(5).Lookup("motd")
+	fmt.Println(string(v), ok)
+
+	cluster.Node(3).Delete("motd")
+	cluster.RunAntiEntropyToConsistency(100)
+	_, ok = cluster.Node(0).Lookup("motd")
+	fmt.Println(ok)
+	// Output:
+	// hello, epidemics true
+	// false
+}
+
+// ExampleSpreadRumor reproduces one Table 1 cell: push rumor mongering
+// with feedback and counter k=2 on 1000 sites.
+func ExampleSpreadRumor() {
+	cfg := epidemic.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: epidemic.Push}
+	sel := epidemic.NewUniformSelector(1000)
+	r, err := epidemic.SpreadRumor(cfg, sel, 0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("residue within Table 1 range: %v\n", r.Residue < 0.1)
+	fmt.Printf("traffic within Table 1 range: %v\n", r.Traffic > 2.5 && r.Traffic < 4.0)
+	// Output:
+	// residue within Table 1 range: true
+	// traffic within Table 1 range: true
+}
+
+// ExampleResolveDifference runs one anti-entropy conversation between two
+// replicas using the peel-back comparison (§1.3).
+func ExampleResolveDifference() {
+	clock := epidemic.NewSimulatedClock(1)
+	a := epidemic.NewStore(1, clock.ClockAt(1))
+	b := epidemic.NewStore(2, clock.ClockAt(2))
+	a.Update("k", epidemic.Value("v"))
+
+	stats, err := epidemic.ResolveDifference(epidemic.ResolveConfig{
+		Mode:     epidemic.PushPull,
+		Strategy: epidemic.ComparePeelBack,
+	}, a, b)
+	if err != nil {
+		panic(err)
+	}
+	v, _ := b.Lookup("k")
+	fmt.Println(string(v), stats.EntriesApplied)
+	// Output:
+	// v 1
+}
+
+// ExampleNewSpatialSelector builds the distribution deployed on the Xerox
+// Corporate Internet — equation (3.1.1) with a = 2 — and inspects how
+// strongly it favours the nearest neighbour on a line.
+func ExampleNewSpatialSelector() {
+	line, err := epidemic.NewLineNetwork(50)
+	if err != nil {
+		panic(err)
+	}
+	sel, err := epidemic.NewSpatialSelector(line, epidemic.FormPaper, 2)
+	if err != nil {
+		panic(err)
+	}
+	p := epidemic.SelectorProbabilities(sel, 0)
+	fmt.Printf("nearest neighbour gets > half the mass: %v\n", p[1] > 0.5)
+	fmt.Printf("distance 49 gets < 0.1%%: %v\n", p[49] < 0.001)
+	// Output:
+	// nearest neighbour gets > half the mass: true
+	// distance 49 gets < 0.1%: true
+}

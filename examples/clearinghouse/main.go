@@ -1,0 +1,153 @@
+// Clearinghouse: a miniature version of the Xerox Clearinghouse name
+// service that motivated the paper — three-level hierarchical names
+// (object:domain:organization) mapping to machine addresses, replicated at
+// every server, kept consistent by direct mail + rumor mongering +
+// anti-entropy, with deletions handled by death certificates.
+//
+// The scenario walks through the paper's §0.1 motivation: a highly
+// replicated domain, lossy mail, and the epidemic machinery quietly
+// repairing everything.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"epidemic"
+)
+
+// nameKey builds the three-level Clearinghouse name used as database key.
+func nameKey(object, domain, org string) string {
+	return strings.Join([]string{object, domain, org}, ":")
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 20 Clearinghouse servers all replicate the "PARC:Xerox" domain.
+	// Direct mail is the primary distribution, but half of it is lost —
+	// the paper's "PostMail is nearly, but not completely, reliable".
+	cluster, err := epidemic.NewCluster(epidemic.ClusterConfig{
+		N:                  20,
+		Rumor:              epidemic.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: epidemic.PushPull},
+		DirectMailOnUpdate: true,
+		MailLoss:           0.5,
+		Redistribution:     epidemic.RedistributeRumor,
+		Tau1:               5_000,
+		Tau2:               50_000,
+		RetentionCount:     3,
+		Seed:               42,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Register some PARC machines, each at whichever server the client
+	// happened to contact.
+	entries := []struct {
+		site    int
+		object  string
+		address string
+	}{
+		{0, "Dorado-1", "net=10 host=2"},
+		{3, "Dandelion-7", "net=10 host=9"},
+		{7, "FileServer-A", "net=11 host=1"},
+		{12, "PrintServer-B", "net=12 host=4"},
+	}
+	for _, e := range entries {
+		key := nameKey(e.object, "PARC", "Xerox")
+		cluster.Node(e.site).Update(key, epidemic.Value(e.address))
+	}
+
+	lookupKey := nameKey("Dorado-1", "PARC", "Xerox")
+	fmt.Printf("after lossy direct mail: %d/%d servers can resolve %s\n",
+		cluster.CountWithValue(lookupKey, "net=10 host=2"), cluster.N(), lookupKey)
+
+	// Rumor mongering plus anti-entropy finish the distribution.
+	cluster.RunRumorToQuiescence(200)
+	cluster.RunAntiEntropyToConsistency(200)
+	fmt.Printf("after gossip: %d/%d servers can resolve %s\n",
+		cluster.CountWithValue(lookupKey, "net=10 host=2"), cluster.N(), lookupKey)
+
+	// A machine moves: the binding is updated at a different server, and
+	// the newer timestamp supersedes the old address everywhere.
+	cluster.Node(19).Update(lookupKey, epidemic.Value("net=14 host=77"))
+	cluster.RunRumorToQuiescence(200)
+	cluster.RunAntiEntropyToConsistency(200)
+	fmt.Printf("after move: %d/%d servers resolve the new address\n",
+		cluster.CountWithValue(lookupKey, "net=14 host=77"), cluster.N())
+
+	// The machine is decommissioned. A death certificate spreads; the
+	// name disappears at every server and stays gone.
+	cluster.Node(2).Delete(lookupKey)
+	cluster.RunRumorToQuiescence(200)
+	cluster.RunAntiEntropyToConsistency(200)
+	fmt.Printf("after decommission: %d/%d servers agree %s is gone\n",
+		cluster.CountDeleted(lookupKey), cluster.N(), lookupKey)
+
+	// Show the surviving directory from an arbitrary server.
+	fmt.Println("directory at server 9:")
+	for _, key := range cluster.Node(9).Store().Keys() {
+		if v, ok := cluster.Node(9).Lookup(key); ok {
+			fmt.Printf("  %-28s -> %s\n", key, v)
+		}
+	}
+	stats := cluster.TotalStats()
+	fmt.Printf("traffic: mail=%d (failed=%d) exchanges=%d entries-sent=%d\n",
+		stats.MailSent, stats.MailFailed, stats.AntiEntropyRuns, stats.EntriesSent)
+
+	return domainsAct()
+}
+
+// domainsAct shows partial replication: like the real Clearinghouse, each
+// domain lives on its own subset of servers, and domains gossip
+// independently — a lightly replicated domain imposes no load elsewhere.
+func domainsAct() error {
+	fmt.Println("\n--- partially replicated domains ---")
+	assignment := epidemic.DomainAssignment{
+		"AllHosts:Xerox": {1, 2, 3, 4}, // stored everywhere
+		"PARC:Xerox":     {1, 2},       // west-coast servers only
+		"Webster:Xerox":  {3, 4},       // east-coast servers only
+	}
+	clock := epidemic.NewSimulatedClock(1)
+	hosts := make(map[epidemic.SiteID]*epidemic.DomainHost, 4)
+	for _, site := range []epidemic.SiteID{1, 2, 3, 4} {
+		h, err := epidemic.NewDomainHost(epidemic.DomainHostConfig{
+			Site: site, Clock: clock.ClockAt(site), Seed: int64(site),
+		}, assignment)
+		if err != nil {
+			return err
+		}
+		hosts[site] = h
+	}
+	if err := epidemic.WireDomainHosts(hosts, assignment, 7); err != nil {
+		return err
+	}
+
+	if _, err := hosts[1].Update("PARC:Xerox", "Dorado-1", epidemic.Value("net=10 host=2")); err != nil {
+		return err
+	}
+	if _, err := hosts[4].Update("Webster:Xerox", "Copier-9", epidemic.Value("net=30 host=5")); err != nil {
+		return err
+	}
+	for round := 0; round < 6; round++ {
+		for _, h := range hosts {
+			if err := h.StepAntiEntropy(); err != nil {
+				return err
+			}
+		}
+	}
+	if v, ok, _ := hosts[2].Lookup("PARC:Xerox", "Dorado-1"); ok {
+		fmt.Printf("server 2 resolves Dorado-1:PARC:Xerox -> %s\n", v)
+	}
+	if _, _, err := hosts[1].Lookup("Webster:Xerox", "Copier-9"); err != nil {
+		fmt.Printf("server 1 does not store Webster:Xerox (%v)\n", err)
+	}
+	fmt.Printf("server 3 stores domains %v\n", hosts[3].Domains())
+	return nil
+}

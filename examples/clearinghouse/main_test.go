@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// The example is a runnable demo; the test pins that it keeps working.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Partition: demonstrate the failure-repair properties the paper designs
+// for — a replica cut off from the network misses updates (including a
+// delete), keeps serving stale data, and is healed by anti-entropy when
+// the partition mends; a dormant death certificate awakens to cancel the
+// very stale copy it brings back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epidemic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const tau1 = 50 // short active window so dormancy kicks in quickly
+	cluster, err := epidemic.NewCluster(epidemic.ClusterConfig{
+		N:     10,
+		Rumor: epidemic.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: epidemic.PushPull},
+		Resolve: epidemic.ResolveConfig{
+			Mode:              epidemic.PushPull,
+			Strategy:          epidemic.CompareFull,
+			Tau1:              tau1,
+			ReactivateDormant: true,
+		},
+		Redistribution: epidemic.RedistributeRumor,
+		Tau1:           tau1,
+		Tau2:           1_000_000,
+		RetentionCount: 3,
+		Seed:           11,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Everyone learns the item.
+	cluster.Node(0).Update("service/mail", epidemic.Value("host-A"))
+	cluster.RunAntiEntropyToConsistency(100)
+	fmt.Printf("item replicated at %d/%d sites\n",
+		cluster.CountWithValue("service/mail", "host-A"), cluster.N())
+
+	// Site 6 drops off the network; the item is deleted meanwhile.
+	cluster.SetPartition(6, true)
+	cluster.Node(1).Delete("service/mail")
+	cluster.RunAntiEntropyToConsistency(100)
+	fmt.Printf("during partition: %d/%d reachable sites saw the delete; site 6 still serves %v\n",
+		cluster.CountDeleted("service/mail"), cluster.N()-1, lookup(cluster, 6))
+
+	// Long outage: far beyond tau1, so most sites discard the death
+	// certificate and only retention sites keep dormant copies.
+	cluster.Clock().Advance(1_000)
+	cluster.StepGC()
+
+	// The partition heals. Site 6's obsolete copy tries to spread back —
+	// the paper's "resurrection" hazard. A dormant certificate at a
+	// retention site awakens (activation timestamp advances) and cancels
+	// it everywhere.
+	cluster.SetPartition(6, false)
+	cluster.RunAntiEntropyToConsistency(200)
+	fmt.Printf("after heal: %d/%d sites agree the item is gone (resurrection prevented)\n",
+		cluster.CountDeleted("service/mail"), cluster.N())
+	return nil
+}
+
+func lookup(c *epidemic.Cluster, site int) string {
+	v, ok := c.Node(site).Lookup("service/mail")
+	if !ok {
+		return "<deleted>"
+	}
+	return string(v)
+}

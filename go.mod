@@ -1,0 +1,3 @@
+module epidemic
+
+go 1.22

@@ -1,0 +1,163 @@
+// Package analytic implements the paper's closed-form models, used both to
+// sanity-check the simulators and to regenerate the analytical claims of
+// §1.3, §1.4, §2.1 and §3.
+package analytic
+
+import (
+	"errors"
+	"math"
+)
+
+// PushStep applies §1.3's push recurrence for the probability of a site
+// remaining susceptible after one more anti-entropy cycle:
+//
+//	p_{i+1} = p_i · (1 − 1/n)^{n(1−p_i)}
+func PushStep(p float64, n int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return p * math.Pow(1-1/float64(n), float64(n)*(1-p))
+}
+
+// PullStep applies §1.3's pull recurrence:
+//
+//	p_{i+1} = p_i²
+func PullStep(p float64) float64 { return p * p }
+
+// CyclesToThreshold iterates step from p0 until p < eps, returning the
+// number of cycles taken (capped at maxCycles).
+func CyclesToThreshold(p0, eps float64, maxCycles int, step func(float64) float64) int {
+	p := p0
+	for i := 0; i < maxCycles; i++ {
+		if p < eps {
+			return i
+		}
+		p = step(p)
+	}
+	return maxCycles
+}
+
+// ExpectedPushCycles returns the expected time for push anti-entropy to
+// infect everybody starting from one site: log₂(n) + ln(n) + O(1) (§1.3,
+// citing Pittel).
+func ExpectedPushCycles(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	return math.Log2(fn) + math.Log(fn)
+}
+
+// RumorInfective evaluates i(s) for the rumor-spreading ODE of §1.4 with
+// loss parameter k:
+//
+//	i(s) = (k+1)/k · (1−s) + 1/k · ln s
+func RumorInfective(s float64, k int) float64 {
+	kk := float64(k)
+	return (kk+1)/kk*(1-s) + math.Log(s)/kk
+}
+
+// RumorResidue solves the implicit residue equation of §1.4,
+//
+//	s = e^{−(k+1)(1−s)}
+//
+// for the nontrivial root s ∈ (0, 1). The paper quotes s(k=1) ≈ 20% and
+// s(k=2) ≈ 6%.
+func RumorResidue(k int) (float64, error) {
+	if k < 1 {
+		return 0, errors.New("analytic: k must be >= 1")
+	}
+	// Fixed-point iteration converges for the stable small root; start
+	// from s=0 side.
+	s := 1e-12
+	for i := 0; i < 10_000; i++ {
+		next := math.Exp(-float64(k+1) * (1 - s))
+		if math.Abs(next-s) < 1e-15 {
+			return next, nil
+		}
+		s = next
+	}
+	return s, nil
+}
+
+// ResidueFromTraffic returns the §1.4 fundamental push relationship
+// s = e^{−m}.
+func ResidueFromTraffic(m float64) float64 { return math.Exp(-m) }
+
+// PushConnectionLimitLambda is λ = 1/(1−e^{−1}), the residue exponent for
+// push with connection limit 1: s = e^{−λm} (§1.4).
+func PushConnectionLimitLambda() float64 { return 1 / (1 - math.Exp(-1)) }
+
+// PullConnectionLimitLambda is λ = −ln δ for pull with connection-failure
+// probability δ: s = δ^m = e^{−λm} (§1.4).
+func PullConnectionLimitLambda(delta float64) (float64, error) {
+	if delta <= 0 || delta >= 1 {
+		return 0, errors.New("analytic: delta must be in (0,1)")
+	}
+	return -math.Log(delta), nil
+}
+
+// ConnectionBusyProbability returns e^{−1}/j!, the probability that a site
+// receives exactly j connections in one cycle when every site contacts one
+// uniformly random partner (§1.4).
+func ConnectionBusyProbability(j int) float64 {
+	if j < 0 {
+		return 0
+	}
+	f := 1.0
+	for i := 2; i <= j; i++ {
+		f *= float64(i)
+	}
+	return math.Exp(-1) / f
+}
+
+// LineTrafficExponent classifies §3's expected per-link traffic T(n) on a
+// linear network when partners are chosen with probability ∝ d^{−a}:
+//
+//	a < 1:      O(n)
+//	a = 1:      O(n/log n)
+//	1 < a < 2:  O(n^{2−a})
+//	a = 2:      O(log n)
+//	a > 2:      O(1)
+//
+// It returns the predicted growth of T(n) as a human-readable class and a
+// function evaluating the predicted order (up to constants).
+func LineTrafficExponent(a float64) (string, func(n int) float64) {
+	switch {
+	case a < 1:
+		return "O(n)", func(n int) float64 { return float64(n) }
+	case a == 1:
+		return "O(n/log n)", func(n int) float64 { return float64(n) / math.Log(float64(n)) }
+	case a < 2:
+		return "O(n^(2-a))", func(n int) float64 { return math.Pow(float64(n), 2-a) }
+	case a == 2:
+		return "O(log n)", func(n int) float64 { return math.Log(float64(n)) }
+	default:
+		return "O(1)", func(n int) float64 { return 1 }
+	}
+}
+
+// UniformCriticalLinkLoad returns 2·n1·n2/(n1+n2): the expected number of
+// conversations per cycle crossing a cut that separates n1 sites from n2
+// sites under uniform partner selection (§3.1's transatlantic-link
+// estimate).
+func UniformCriticalLinkLoad(n1, n2 int) float64 {
+	if n1+n2 == 0 {
+		return 0
+	}
+	return 2 * float64(n1) * float64(n2) / float64(n1+n2)
+}
+
+// ExpectedMailMessages is direct mail's message count per update: n−1
+// messages from the originating site (§1.2).
+func ExpectedMailMessages(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// AntiEntropyRemailWorstCase is the worst-case message count when
+// anti-entropy triggers redistribution by mail: O(n²) when half the sites
+// missed the update (§1.5).
+func AntiEntropyRemailWorstCase(n int) int { return n * n / 2 }

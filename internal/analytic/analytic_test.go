@@ -1,0 +1,215 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPullStepConvergesFasterThanPush(t *testing.T) {
+	const n = 1000
+	p := 0.1 // 10% susceptible after initial distribution
+	pullCycles := CyclesToThreshold(p, 1e-9, 1000, PullStep)
+	pushCycles := CyclesToThreshold(p, 1e-9, 1000, func(x float64) float64 { return PushStep(x, n) })
+	if pullCycles >= pushCycles {
+		t.Errorf("pull %d cycles should beat push %d cycles", pullCycles, pushCycles)
+	}
+	// p² from 0.1 reaches 1e-9 in ~5 doublings of the exponent.
+	if pullCycles > 6 {
+		t.Errorf("pull cycles = %d, want <= 6", pullCycles)
+	}
+}
+
+// For very small p, push decreases by ~e^{-1} per cycle (§1.3).
+func TestPushStepApproachesExpDecay(t *testing.T) {
+	const n = 100000
+	p := 1e-6
+	next := PushStep(p, n)
+	ratio := next / p
+	if math.Abs(ratio-math.Exp(-1)) > 0.01 {
+		t.Errorf("push decay ratio %.4f, want ~e^-1=%.4f", ratio, math.Exp(-1))
+	}
+}
+
+func TestPushStepEdgeCases(t *testing.T) {
+	if PushStep(0, 100) != 0 {
+		t.Error("PushStep(0) != 0")
+	}
+	if got := PushStep(1, 100); got != 1 {
+		t.Errorf("PushStep(1) = %v, want 1 (nobody infected, nobody pushes)", got)
+	}
+}
+
+func TestCyclesToThresholdCap(t *testing.T) {
+	// A step that never decreases hits the cap.
+	got := CyclesToThreshold(0.5, 1e-9, 17, func(p float64) float64 { return p })
+	if got != 17 {
+		t.Errorf("cap = %d, want 17", got)
+	}
+	if got := CyclesToThreshold(1e-12, 1e-9, 100, PullStep); got != 0 {
+		t.Errorf("already-below threshold = %d, want 0", got)
+	}
+}
+
+func TestExpectedPushCycles(t *testing.T) {
+	got := ExpectedPushCycles(1024)
+	want := 10 + math.Log(1024)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedPushCycles(1024) = %v, want %v", got, want)
+	}
+	if ExpectedPushCycles(1) != 0 {
+		t.Error("n=1 should be 0")
+	}
+}
+
+// The paper: "at k=1 this formula suggests that 20% will miss the rumor,
+// while at k=2 only 6% will miss it."
+func TestRumorResidueMatchesPaper(t *testing.T) {
+	s1, err := RumorResidue(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1-0.20) > 0.01 {
+		t.Errorf("s(k=1) = %.4f, want ~0.20", s1)
+	}
+	s2, err := RumorResidue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2-0.06) > 0.01 {
+		t.Errorf("s(k=2) = %.4f, want ~0.06", s2)
+	}
+	if _, err := RumorResidue(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Residue decreases exponentially with k.
+	prev := 1.0
+	for k := 1; k <= 6; k++ {
+		s, err := RumorResidue(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= prev {
+			t.Errorf("residue not decreasing at k=%d", k)
+		}
+		prev = s
+	}
+}
+
+// The solved residue is a root of i(s) = 0.
+func TestRumorResidueIsRootOfInfective(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		s, err := RumorResidue(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := RumorInfective(s, k); math.Abs(got) > 1e-6 {
+			t.Errorf("i(s*) = %v at k=%d, want 0", got, k)
+		}
+	}
+}
+
+func TestRumorInfectiveInitialCondition(t *testing.T) {
+	// i(1) = 0: at the start everyone is susceptible and nobody infective
+	// (in the large-n limit).
+	for k := 1; k <= 4; k++ {
+		if got := RumorInfective(1, k); math.Abs(got) > 1e-12 {
+			t.Errorf("i(1) = %v at k=%d", got, k)
+		}
+	}
+}
+
+func TestResidueFromTraffic(t *testing.T) {
+	if got := ResidueFromTraffic(0); got != 1 {
+		t.Errorf("m=0: %v", got)
+	}
+	if got := ResidueFromTraffic(math.Log(4)); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("m=ln4: %v", got)
+	}
+}
+
+func TestConnectionLimitLambdas(t *testing.T) {
+	l := PushConnectionLimitLambda()
+	if math.Abs(l-1.582) > 0.001 {
+		t.Errorf("push lambda = %v, want ~1.582", l)
+	}
+	pl, err := PullConnectionLimitLambda(math.Exp(-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl-2) > 1e-12 {
+		t.Errorf("pull lambda = %v, want 2", pl)
+	}
+	if _, err := PullConnectionLimitLambda(0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := PullConnectionLimitLambda(1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestConnectionBusyProbability(t *testing.T) {
+	// Sum over j of e^-1/j! = 1.
+	var sum float64
+	for j := 0; j < 20; j++ {
+		sum += ConnectionBusyProbability(j)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	if ConnectionBusyProbability(-1) != 0 {
+		t.Error("negative j")
+	}
+	if got := ConnectionBusyProbability(1); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Errorf("j=1: %v", got)
+	}
+}
+
+func TestLineTrafficExponent(t *testing.T) {
+	tests := []struct {
+		a    float64
+		want string
+	}{
+		{0.5, "O(n)"},
+		{1, "O(n/log n)"},
+		{1.5, "O(n^(2-a))"},
+		{2, "O(log n)"},
+		{3, "O(1)"},
+	}
+	for _, tt := range tests {
+		name, fn := LineTrafficExponent(tt.a)
+		if name != tt.want {
+			t.Errorf("a=%v: %q, want %q", tt.a, name, tt.want)
+		}
+		if fn(100) <= 0 {
+			t.Errorf("a=%v: non-positive order", tt.a)
+		}
+		// Predicted order is non-decreasing in n for a <= 2.
+		if tt.a <= 2 && fn(10000) < fn(100) {
+			t.Errorf("a=%v: order decreasing", tt.a)
+		}
+	}
+}
+
+func TestUniformCriticalLinkLoad(t *testing.T) {
+	// The paper's estimate: n1 a few tens, n2 several hundred ⇒ ~80
+	// conversations across the transatlantic cut.
+	got := UniformCriticalLinkLoad(45, 400)
+	if math.Abs(got-80.9) > 0.1 {
+		t.Errorf("load = %v, want ~80.9", got)
+	}
+	if UniformCriticalLinkLoad(0, 0) != 0 {
+		t.Error("0/0 case")
+	}
+}
+
+func TestMailCounts(t *testing.T) {
+	if ExpectedMailMessages(300) != 299 {
+		t.Error("mail messages")
+	}
+	if ExpectedMailMessages(0) != 0 {
+		t.Error("mail messages n=0")
+	}
+	if AntiEntropyRemailWorstCase(300) != 45000 {
+		t.Error("remail worst case")
+	}
+}

@@ -1,0 +1,58 @@
+package analytic
+
+import "errors"
+
+// RumorODEPoint is one state of the §1.4 rumor-spreading differential
+// equations.
+type RumorODEPoint struct {
+	T       float64
+	S, I, R float64
+}
+
+// IntegrateRumorODE numerically integrates the deterministic rumor model
+// of §1.4,
+//
+//	ds/dt = −s·i
+//	di/dt = +s·i − (1/k)(1−s)·i
+//
+// from s(0) = 1−eps, i(0) = eps, using RK4 with the given step, until the
+// infective fraction falls below iMin or maxT is reached. It returns the
+// trajectory sampled every `every` steps (always including the final
+// point).
+func IntegrateRumorODE(k int, eps, step, maxT, iMin float64, every int) ([]RumorODEPoint, error) {
+	if k < 1 {
+		return nil, errors.New("analytic: k must be >= 1")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, errors.New("analytic: eps must be in (0,1)")
+	}
+	if step <= 0 || maxT <= 0 {
+		return nil, errors.New("analytic: step and maxT must be positive")
+	}
+	if every < 1 {
+		every = 1
+	}
+	kk := float64(k)
+	ds := func(s, i float64) float64 { return -s * i }
+	di := func(s, i float64) float64 { return s*i - (1-s)*i/kk }
+
+	s, i, t := 1-eps, eps, 0.0
+	out := []RumorODEPoint{{T: 0, S: s, I: i, R: 1 - s - i}}
+	for n := 1; t < maxT && i > iMin; n++ {
+		// Classical RK4 on the (s, i) system.
+		k1s, k1i := ds(s, i), di(s, i)
+		k2s, k2i := ds(s+step/2*k1s, i+step/2*k1i), di(s+step/2*k1s, i+step/2*k1i)
+		k3s, k3i := ds(s+step/2*k2s, i+step/2*k2i), di(s+step/2*k2s, i+step/2*k2i)
+		k4s, k4i := ds(s+step*k3s, i+step*k3i), di(s+step*k3s, i+step*k3i)
+		s += step / 6 * (k1s + 2*k2s + 2*k3s + k4s)
+		i += step / 6 * (k1i + 2*k2i + 2*k3i + k4i)
+		t += step
+		if i < 0 {
+			i = 0
+		}
+		if n%every == 0 || i <= iMin || t >= maxT {
+			out = append(out, RumorODEPoint{T: t, S: s, I: i, R: 1 - s - i})
+		}
+	}
+	return out, nil
+}

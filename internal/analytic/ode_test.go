@@ -1,0 +1,83 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegrateRumorODEValidation(t *testing.T) {
+	if _, err := IntegrateRumorODE(0, 1e-3, 0.01, 100, 1e-8, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := IntegrateRumorODE(1, 0, 0.01, 100, 1e-8, 10); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := IntegrateRumorODE(1, 1e-3, 0, 100, 1e-8, 10); err == nil {
+		t.Error("step=0 accepted")
+	}
+	if _, err := IntegrateRumorODE(1, 1e-3, 0.01, 0, 1e-8, 10); err == nil {
+		t.Error("maxT=0 accepted")
+	}
+}
+
+// The ODE's terminal susceptible fraction must match the closed-form
+// fixed point s = e^{-(k+1)(1-s)}.
+func TestODEFinalResidueMatchesClosedForm(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		pts, err := IntegrateRumorODE(k, 1e-6, 0.005, 500, 1e-10, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := pts[len(pts)-1]
+		want, err := RumorResidue(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(final.S-want) > 0.01 {
+			t.Errorf("k=%d: ODE residue %.4f, closed form %.4f", k, final.S, want)
+		}
+	}
+}
+
+// Along the trajectory, i must match the closed-form phase curve
+// i(s) = (k+1)/k (1−s) + ln(s)/k.
+func TestODETracksPhaseCurve(t *testing.T) {
+	const k = 2
+	pts, err := IntegrateRumorODE(k, 1e-6, 0.005, 500, 1e-10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.S <= 0.01 {
+			continue
+		}
+		want := RumorInfective(p.S, k)
+		if want < 0 {
+			continue // past quiescence in the closed form
+		}
+		if math.Abs(p.I-want) > 0.01 {
+			t.Errorf("t=%.2f s=%.4f: i=%.4f, phase curve %.4f", p.T, p.S, p.I, want)
+		}
+	}
+}
+
+// Conservation: s + i + r = 1 at every point, and s is non-increasing.
+func TestODEInvariants(t *testing.T) {
+	pts, err := IntegrateRumorODE(3, 1e-4, 0.01, 200, 1e-9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	prevS := 2.0
+	for _, p := range pts {
+		if math.Abs(p.S+p.I+p.R-1) > 1e-9 {
+			t.Errorf("t=%.2f: s+i+r = %v", p.T, p.S+p.I+p.R)
+		}
+		if p.S > prevS+1e-12 {
+			t.Errorf("t=%.2f: s increased", p.T)
+		}
+		prevS = p.S
+	}
+}

@@ -1,0 +1,393 @@
+// Package async is an event-driven (asynchronous) simulator for the
+// epidemic protocols. The paper analyses synchronous cycles — "each site
+// executes the algorithm once per period" — but a real deployment has
+// unsynchronised periods, jitter, and message latency. This simulator
+// replays the single-update spread experiments under those conditions, so
+// the repository can check that the synchronous results (Tables 1–3)
+// survive asynchrony.
+//
+// Time is continuous; each site wakes at independent jittered intervals
+// and runs one exchange. Messages (rumor pushes, their feedback, and
+// anti-entropy transfers) take a configurable one-way latency. Delays are
+// reported in units of the mean period, which corresponds to one
+// synchronous cycle.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+)
+
+// Config parameterises an asynchronous spread run.
+type Config struct {
+	// Rumor selects the variant. Supported modes: Push and PushPull for
+	// rumor mongering. (Pull and anti-entropy use SpreadAntiEntropyAsync.)
+	Rumor core.RumorConfig
+	// MeanPeriod is the mean time between one site's successive
+	// exchanges; it is the unit all delays are reported in.
+	MeanPeriod float64
+	// Jitter spreads each period uniformly over
+	// [MeanPeriod·(1−Jitter), MeanPeriod·(1+Jitter)]. 0 ≤ Jitter < 1.
+	Jitter float64
+	// Latency is the one-way message delay, as a fraction of MeanPeriod.
+	Latency float64
+	// MaxTime bounds the run, in mean periods; 0 means 1000.
+	MaxTime float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Rumor.Validate(); err != nil {
+		return err
+	}
+	if c.Rumor.Mode == core.Pull {
+		return fmt.Errorf("async: pull rumor mongering is not modelled; use Push or PushPull")
+	}
+	if c.MeanPeriod <= 0 {
+		return fmt.Errorf("async: MeanPeriod must be positive")
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("async: Jitter must be in [0,1)")
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("async: Latency must be >= 0")
+	}
+	return nil
+}
+
+// Result reports an asynchronous spread, with delays in mean periods.
+type Result struct {
+	N           int
+	Residue     float64
+	Traffic     float64
+	TAve        float64
+	TLast       float64
+	Converged   bool
+	UpdatesSent int
+}
+
+// Event kinds.
+type eventKind uint8
+
+const (
+	evWake eventKind = iota + 1 // site initiates an exchange
+	evPush                      // rumor arrives at a recipient
+	evAck                       // feedback arrives back at the sender
+)
+
+type event struct {
+	at   float64
+	kind eventKind
+	site int32 // acting site (wake), recipient (push), sender (ack)
+	from int32 // push: sender; ack: recipient
+	// needed: on a contact (evPush), whether the initiator was infective
+	// (the contact carries the rumor); on a reply (evAck), whether the
+	// partner needed the initiator's rumor.
+	needed bool
+	// carries: on a reply, whether the partner's knowledge rides back
+	// (push-pull).
+	carries bool
+	seq     uint64 // tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// sim carries the run state.
+type sim struct {
+	cfg        Config
+	sel        spatial.Selector
+	rng        *rand.Rand
+	n          int
+	state      []core.State
+	counter    []int
+	infAt      []float64 // infection time, -1 if never
+	queue      eventQueue
+	seq        uint64
+	sent       int
+	infectives int
+}
+
+func (s *sim) schedule(e event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.queue, e)
+}
+
+// nextWake returns the next jittered period for a site.
+func (s *sim) nextWake(now float64) float64 {
+	j := s.cfg.Jitter
+	period := s.cfg.MeanPeriod
+	if j > 0 {
+		period *= 1 - j + 2*j*s.rng.Float64()
+	}
+	return now + period
+}
+
+// SpreadRumorAsync runs rumor mongering asynchronously from origin and
+// returns the §1.4 metrics with delays in mean periods.
+func SpreadRumorAsync(cfg Config, sel spatial.Selector, origin int, rng *rand.Rand) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := sel.NumSites()
+	if origin < 0 || origin >= n {
+		return Result{}, fmt.Errorf("async: origin %d out of range [0,%d)", origin, n)
+	}
+	maxT := cfg.MaxTime
+	if maxT <= 0 {
+		maxT = 1000
+	}
+	maxT *= cfg.MeanPeriod
+
+	s := &sim{
+		cfg:     cfg,
+		sel:     sel,
+		rng:     rng,
+		n:       n,
+		state:   make([]core.State, n),
+		counter: make([]int, n),
+		infAt:   make([]float64, n),
+	}
+	for i := range s.infAt {
+		s.infAt[i] = -1
+	}
+	s.state[origin] = core.Infective
+	s.infAt[origin] = 0
+	// Every site has a wake schedule (susceptible wakes matter for
+	// push-pull); stagger the first wakes uniformly over one period.
+	for i := 0; i < n; i++ {
+		s.schedule(event{at: s.rng.Float64() * cfg.MeanPeriod, kind: evWake, site: int32(i)})
+	}
+
+	latency := cfg.Latency * cfg.MeanPeriod
+	pushPull := cfg.Rumor.Mode == core.PushPull
+	s.infectives = 1
+	for s.queue.Len() > 0 && s.infectives > 0 {
+		e := heap.Pop(&s.queue).(event)
+		if e.at > maxT {
+			break
+		}
+		switch e.kind {
+		case evWake:
+			site := int(e.site)
+			s.schedule(event{at: s.nextWake(e.at), kind: evWake, site: e.site})
+			hot := s.state[site] == core.Infective
+			if !hot && !pushPull {
+				continue // pure push: only infectives phone anyone
+			}
+			to := s.sel.Pick(s.rng, site)
+			if hot {
+				s.sent++
+			}
+			// The contact carries the rumor iff the initiator is hot;
+			// under push-pull a susceptible initiator still phones, to
+			// pull whatever the partner has.
+			s.schedule(event{at: e.at + latency, kind: evPush, site: int32(to), from: e.site, needed: hot})
+		case evPush:
+			// A contact arrives at the partner. e.needed carries "the
+			// initiator was infective when it phoned".
+			site := int(e.site)
+			partnerKnew := s.state[site] != core.Susceptible
+			if e.needed && !partnerKnew {
+				s.infect(site, e.at)
+			}
+			// The partner applies rumor feedback for its own hot rumor
+			// immediately (it learns the initiator's knowledge from the
+			// contact) and, under push-pull, ships its rumor back.
+			if pushPull && s.state[site] == core.Infective && s.infAt[site] < e.at {
+				initiatorKnew := e.needed // hot initiators know the update
+				s.sent++
+				s.feedback(site, !initiatorKnew)
+			}
+			// Reply to the initiator: feedback for its push, plus the
+			// partner's rumor under push-pull.
+			replyCarries := pushPull && s.state[site] != core.Susceptible
+			s.schedule(event{
+				at: e.at + latency, kind: evAck, site: e.from, from: e.site,
+				needed: !partnerKnew, carries: replyCarries,
+			})
+		case evAck:
+			site := int(e.site)
+			if e.carries && s.state[site] == core.Susceptible {
+				s.infect(site, e.at)
+			}
+			if s.state[site] == core.Infective && s.infAt[site] < e.at {
+				// Apply feedback only if this site actually pushed (it
+				// was hot when it phoned; needed is meaningful then).
+				s.feedback(site, e.needed)
+			}
+		}
+	}
+	return s.result(), nil
+}
+
+// infect marks a susceptible site infective at time t.
+func (s *sim) infect(site int, t float64) {
+	s.state[site] = core.Infective
+	s.infAt[site] = t
+	s.infectives++
+}
+
+// feedback applies one share outcome to an infective site's loss state.
+func (s *sim) feedback(site int, needed bool) {
+	unnecessary := !needed || !s.cfg.Rumor.Feedback
+	if !unnecessary {
+		if s.cfg.Rumor.Counter && !s.cfg.Rumor.NoCounterReset {
+			s.counter[site] = 0
+		}
+		return
+	}
+	if s.cfg.Rumor.Counter {
+		s.counter[site]++
+		if s.counter[site] >= s.cfg.Rumor.K {
+			s.state[site] = core.Removed
+			s.infectives--
+		}
+		return
+	}
+	if s.rng.Float64() < 1/float64(s.cfg.Rumor.K) {
+		s.state[site] = core.Removed
+		s.infectives--
+	}
+}
+
+func (s *sim) result() Result {
+	res := Result{N: s.n, UpdatesSent: s.sent, Traffic: float64(s.sent) / float64(s.n)}
+	var knowers, susceptible int
+	var sum, last float64
+	for i := range s.state {
+		if s.infAt[i] >= 0 {
+			knowers++
+			sum += s.infAt[i]
+			if s.infAt[i] > last {
+				last = s.infAt[i]
+			}
+		} else {
+			susceptible++
+		}
+	}
+	res.Residue = float64(susceptible) / float64(s.n)
+	if knowers > 0 {
+		res.TAve = sum / float64(knowers) / s.cfg.MeanPeriod
+	}
+	res.TLast = last / s.cfg.MeanPeriod
+	res.Converged = susceptible == 0
+	return res
+}
+
+// AntiEntropyConfig parameterises an asynchronous anti-entropy run.
+type AntiEntropyConfig struct {
+	// Mode is push, pull, or push-pull.
+	Mode core.Mode
+	// MeanPeriod, Jitter, Latency as in Config.
+	MeanPeriod, Jitter, Latency float64
+	// MaxTime bounds the run in mean periods; 0 means 10000.
+	MaxTime float64
+}
+
+// SpreadAntiEntropyAsync runs a simple epidemic asynchronously: every site
+// wakes on its own schedule and resolves the single update with a random
+// partner; the transfer lands after one round trip.
+func SpreadAntiEntropyAsync(cfg AntiEntropyConfig, sel spatial.Selector, origin int, rng *rand.Rand) (Result, error) {
+	if !cfg.Mode.Valid() {
+		return Result{}, fmt.Errorf("async: invalid mode %v", cfg.Mode)
+	}
+	if cfg.MeanPeriod <= 0 || cfg.Jitter < 0 || cfg.Jitter >= 1 || cfg.Latency < 0 {
+		return Result{}, fmt.Errorf("async: bad timing parameters")
+	}
+	n := sel.NumSites()
+	if origin < 0 || origin >= n {
+		return Result{}, fmt.Errorf("async: origin %d out of range [0,%d)", origin, n)
+	}
+	maxT := cfg.MaxTime
+	if maxT <= 0 {
+		maxT = 10_000
+	}
+	maxT *= cfg.MeanPeriod
+
+	s := &sim{
+		cfg:   Config{MeanPeriod: cfg.MeanPeriod, Jitter: cfg.Jitter, Latency: cfg.Latency},
+		sel:   sel,
+		rng:   rng,
+		n:     n,
+		state: make([]core.State, n),
+		infAt: make([]float64, n),
+	}
+	for i := range s.infAt {
+		s.infAt[i] = -1
+	}
+	s.state[origin] = core.Infective
+	s.infAt[origin] = 0
+	for i := 0; i < n; i++ {
+		s.schedule(event{at: s.rng.Float64() * cfg.MeanPeriod, kind: evWake, site: int32(i)})
+	}
+
+	latency := cfg.Latency * cfg.MeanPeriod
+	infected := 1
+	for s.queue.Len() > 0 && infected < n {
+		e := heap.Pop(&s.queue).(event)
+		if e.at > maxT {
+			break
+		}
+		switch e.kind {
+		case evWake:
+			j := int(e.site)
+			s.schedule(event{at: s.nextWake(e.at), kind: evWake, site: e.site})
+			i := s.sel.Pick(s.rng, j)
+			jHas := s.state[j].Knows()
+			iHas := s.state[i].Knows()
+			// The update travels one round trip: the initiator's state is
+			// observed now, the transfer lands at +2·latency.
+			switch cfg.Mode {
+			case core.Push:
+				if jHas && !iHas {
+					s.sent++
+					s.schedule(event{at: e.at + latency, kind: evPush, site: int32(i)})
+				}
+			case core.Pull:
+				if iHas && !jHas {
+					s.sent++
+					s.schedule(event{at: e.at + 2*latency, kind: evPush, site: e.site})
+				}
+			case core.PushPull:
+				switch {
+				case jHas && !iHas:
+					s.sent++
+					s.schedule(event{at: e.at + latency, kind: evPush, site: int32(i)})
+				case iHas && !jHas:
+					s.sent++
+					s.schedule(event{at: e.at + 2*latency, kind: evPush, site: e.site})
+				}
+			}
+		case evPush:
+			site := int(e.site)
+			if !s.state[site].Knows() {
+				s.state[site] = core.Infective
+				s.infAt[site] = e.at
+				infected++
+			}
+		}
+	}
+	return s.result(), nil
+}

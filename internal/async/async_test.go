@@ -1,0 +1,236 @@
+package async
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+)
+
+func baseConfig(k int) Config {
+	return Config{
+		Rumor:      core.RumorConfig{K: k, Counter: true, Feedback: true, Mode: core.Push},
+		MeanPeriod: 1,
+		Jitter:     0.3,
+		Latency:    0.1,
+	}
+}
+
+func avgAsync(t *testing.T, cfg Config, n, trials int, seed int64) (residue, traffic, tlast float64) {
+	t.Helper()
+	sel := spatial.Uniform(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		r, err := SpreadRumorAsync(cfg, sel, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		residue += r.Residue
+		traffic += r.Traffic
+		tlast += r.TLast
+	}
+	f := float64(trials)
+	return residue / f, traffic / f, tlast / f
+}
+
+func TestConfigValidation(t *testing.T) {
+	sel := spatial.Uniform(10)
+	rng := rand.New(rand.NewSource(1))
+	bad := []Config{
+		{Rumor: core.RumorConfig{K: 0, Mode: core.Push}, MeanPeriod: 1},
+		{Rumor: core.RumorConfig{K: 1, Mode: core.Pull}, MeanPeriod: 1},
+		{Rumor: core.RumorConfig{K: 1, Mode: core.Push}},
+		{Rumor: core.RumorConfig{K: 1, Mode: core.Push}, MeanPeriod: 1, Jitter: 1},
+		{Rumor: core.RumorConfig{K: 1, Mode: core.Push}, MeanPeriod: 1, Latency: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := SpreadRumorAsync(cfg, sel, 0, rng); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := SpreadRumorAsync(baseConfig(1), sel, 99, rng); err == nil {
+		t.Error("bad origin accepted")
+	}
+	if _, err := SpreadAntiEntropyAsync(AntiEntropyConfig{}, sel, 0, rng); err == nil {
+		t.Error("zero AE config accepted")
+	}
+	if _, err := SpreadAntiEntropyAsync(AntiEntropyConfig{Mode: core.Push}, sel, 0, rng); err == nil {
+		t.Error("AE config without period accepted")
+	}
+	if _, err := SpreadAntiEntropyAsync(AntiEntropyConfig{Mode: core.Push, MeanPeriod: 1}, sel, -1, rng); err == nil {
+		t.Error("AE bad origin accepted")
+	}
+}
+
+// The headline robustness check: asynchronous rumor mongering lands near
+// the synchronous Table 1 numbers (residue/traffic within a small factor,
+// t_last within ~30%).
+func TestAsyncMatchesSynchronousTable1(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		sAsync, mAsync, tAsync := avgAsync(t, baseConfig(k), 1000, 10, int64(k))
+
+		// Synchronous reference.
+		sel := spatial.Uniform(1000)
+		rng := rand.New(rand.NewSource(int64(k) + 100))
+		var sSync, mSync, tSync float64
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			r, err := core.SpreadRumor(core.RumorConfig{K: k, Counter: true, Feedback: true, Mode: core.Push},
+				sel, rng.Intn(1000), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sSync += r.Residue
+			mSync += r.Traffic
+			tSync += float64(r.TLast)
+		}
+		sSync /= trials
+		mSync /= trials
+		tSync /= trials
+
+		if math.Abs(mAsync-mSync) > 0.2*mSync+0.3 {
+			t.Errorf("k=%d: async traffic %.2f vs sync %.2f", k, mAsync, mSync)
+		}
+		if sSync > 0 && (sAsync > sSync*3 || sAsync < sSync/3) {
+			t.Errorf("k=%d: async residue %.4f vs sync %.4f", k, sAsync, sSync)
+		}
+		if math.Abs(tAsync-tSync) > 0.4*tSync {
+			t.Errorf("k=%d: async t_last %.1f vs sync %.1f", k, tAsync, tSync)
+		}
+	}
+}
+
+func TestAsyncJitterAndLatencyDegradeGracefully(t *testing.T) {
+	cfg := baseConfig(3)
+	sTight, _, tTight := avgAsync(t, cfg, 500, 10, 1)
+	rough := cfg
+	rough.Jitter = 0.9
+	rough.Latency = 0.5
+	sRough, _, tRough := avgAsync(t, rough, 500, 10, 2)
+	// Heavier asynchrony should not break the epidemic — residues stay
+	// comparable and delay grows bounded (latency adds per hop).
+	if sRough > sTight*5+0.02 {
+		t.Errorf("rough asynchrony residue %.4f vs tight %.4f", sRough, sTight)
+	}
+	if tRough > tTight*3 {
+		t.Errorf("rough asynchrony t_last %.1f vs tight %.1f", tRough, tTight)
+	}
+}
+
+func TestAsyncAntiEntropyConverges(t *testing.T) {
+	sel := spatial.Uniform(512)
+	rng := rand.New(rand.NewSource(3))
+	for _, mode := range []core.Mode{core.Push, core.Pull, core.PushPull} {
+		cfg := AntiEntropyConfig{Mode: mode, MeanPeriod: 1, Jitter: 0.2, Latency: 0.05}
+		r, err := SpreadAntiEntropyAsync(cfg, sel, rng.Intn(512), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			t.Errorf("%v: did not converge (residue %.4f)", mode, r.Residue)
+		}
+		// Expect O(log n) periods; generous bound.
+		if r.TLast > 60 {
+			t.Errorf("%v: t_last %.1f too slow", mode, r.TLast)
+		}
+	}
+}
+
+// Asynchronous push-pull anti-entropy should converge in roughly the
+// synchronous number of "cycles" (mean periods).
+func TestAsyncAntiEntropyMatchesSynchronous(t *testing.T) {
+	const n = 512
+	sel := spatial.Uniform(n)
+	rng := rand.New(rand.NewSource(5))
+	var tAsync float64
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		r, err := SpreadAntiEntropyAsync(AntiEntropyConfig{
+			Mode: core.PushPull, MeanPeriod: 1, Jitter: 0.3, Latency: 0.05,
+		}, sel, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tAsync += r.TLast
+	}
+	tAsync /= trials
+
+	var tSync float64
+	for i := 0; i < trials; i++ {
+		r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tSync += float64(r.TLast)
+	}
+	tSync /= trials
+	if math.Abs(tAsync-tSync) > 0.5*tSync {
+		t.Errorf("async t_last %.1f vs sync %.1f", tAsync, tSync)
+	}
+}
+
+func TestAsyncDeterministicWithSeed(t *testing.T) {
+	sel := spatial.Uniform(200)
+	r1, err := SpreadRumorAsync(baseConfig(2), sel, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SpreadRumorAsync(baseConfig(2), sel, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed, different results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestAsyncBlindCoin(t *testing.T) {
+	cfg := Config{
+		Rumor:      core.RumorConfig{K: 1, Mode: core.Push}, // blind coin k=1
+		MeanPeriod: 1,
+	}
+	s, m, _ := avgAsync(t, cfg, 1000, 10, 7)
+	// Matches Table 2 k=1: dies almost immediately.
+	if s < 0.85 {
+		t.Errorf("blind coin k=1 residue %.3f, want ~0.96", s)
+	}
+	if m > 0.15 {
+		t.Errorf("blind coin k=1 traffic %.3f, want ~0.04", m)
+	}
+}
+
+// Push-pull asynchronous rumors: the pull direction works — a susceptible
+// site that phones an infective partner receives the update in the reply.
+func TestAsyncPushPull(t *testing.T) {
+	cfg := Config{
+		Rumor:      core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.PushPull},
+		MeanPeriod: 1,
+		Jitter:     0.3,
+		Latency:    0.1,
+	}
+	s, m, _ := avgAsync(t, cfg, 1000, 10, 17)
+	// Push-pull at k=2 should beat pure push at k=2 on residue
+	// (synchronous reference: push-pull 0.033 vs push 0.036; the pull
+	// path adds coverage).
+	sPush, _, _ := avgAsync(t, baseConfig(2), 1000, 10, 18)
+	if s > sPush*2 {
+		t.Errorf("async push-pull residue %.4f much worse than push %.4f", s, sPush)
+	}
+	if m <= 0 {
+		t.Error("no traffic recorded")
+	}
+	// Two-site sanity: with one infective and one susceptible, push-pull
+	// must always converge (either direction delivers).
+	sel := spatial.Uniform(2)
+	for seed := int64(0); seed < 20; seed++ {
+		r, err := SpreadRumorAsync(cfg, sel, 0, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			t.Fatalf("seed %d: two-site push-pull failed to converge", seed)
+		}
+	}
+}

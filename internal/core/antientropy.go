@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"epidemic/internal/spatial"
+)
+
+// SpreadAntiEntropy simulates anti-entropy (§1.3) distributing a single
+// update injected at origin. Anti-entropy is a simple epidemic: sites are
+// only ever susceptible or infective, every site starts a conversation
+// every cycle regardless of state, and the process runs until every site
+// has the update (or MaxCycles elapses, which indicates a pathological
+// configuration).
+//
+// Every established conversation counts as compare traffic; conversations
+// in which the update actually moves additionally count as update traffic.
+// These are exactly the two quantities of Tables 4 and 5.
+func SpreadAntiEntropy(cfg AntiEntropyConfig, sel spatial.Selector, origin int, rng *rand.Rand, opts ...SpreadOption) (SpreadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SpreadResult{}, err
+	}
+	n := sel.NumSites()
+	if origin < 0 || origin >= n {
+		return SpreadResult{}, fmt.Errorf("core: origin %d out of range [0,%d)", origin, n)
+	}
+	env := newSpreadEnv(sel, rng, cfg.ConnLimit, cfg.HuntLimit)
+	for _, opt := range opts {
+		opt(env)
+	}
+	env.inject(origin)
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+
+	infected := 1
+	cycle := 0
+	for infected < n && cycle < maxCycles {
+		cycle++
+		env.beginCycle()
+		for _, j := range env.order {
+			i, ok := env.connect(j)
+			if !ok {
+				continue
+			}
+			env.converse(j, i)
+			// ResolveDifference on a single update degenerates to moving
+			// it toward whichever party lacks it, in the direction(s) the
+			// mode allows. Cycles are strictly synchronous, matching the
+			// paper's "once per period" model: a site only hands on state
+			// it held at the start of the cycle (state[x]), while the
+			// recipient check (env.knows) also sees infections from
+			// earlier in this cycle so no site is infected twice.
+			jHad, iHad := env.state[j].Knows(), env.state[i].Knows()
+			switch cfg.Mode {
+			case Push: // initiator pushes its state to the partner
+				if jHad && !env.knows(i) {
+					env.sendUpdate(j, i)
+					env.markInfected(i, cycle)
+					infected++
+				}
+			case Pull: // initiator pulls the partner's state
+				if iHad && !env.knows(j) {
+					env.sendUpdate(i, j)
+					env.markInfected(j, cycle)
+					infected++
+				}
+			case PushPull:
+				switch {
+				case jHad && !env.knows(i):
+					env.sendUpdate(j, i)
+					env.markInfected(i, cycle)
+					infected++
+				case iHad && !env.knows(j):
+					env.sendUpdate(i, j)
+					env.markInfected(j, cycle)
+					infected++
+				}
+			}
+		}
+		env.endCycle()
+	}
+	res := env.result(cycle)
+	return res, nil
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+func runAE(t *testing.T, cfg AntiEntropyConfig, n, trials int, seed int64) (tlast, tave, traffic float64) {
+	t.Helper()
+	sel := spatial.Uniform(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		r, err := SpreadAntiEntropy(cfg, sel, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Converged {
+			t.Fatalf("anti-entropy failed to converge: %+v", r)
+		}
+		tlast += float64(r.TLast)
+		tave += r.TAve
+		traffic += r.Traffic
+	}
+	f := float64(trials)
+	return tlast / f, tave / f, traffic / f
+}
+
+// Anti-entropy is a simple epidemic: it always infects the entire
+// population, in O(log n) expected cycles (§1.3).
+func TestAntiEntropyAlwaysConverges(t *testing.T) {
+	for _, mode := range []Mode{Push, Pull, PushPull} {
+		cfg := AntiEntropyConfig{Mode: mode}
+		tlast, _, _ := runAE(t, cfg, 256, 5, int64(mode))
+		// log2(256)=8; allow generous slack, but catch pathologies.
+		if tlast > 40 {
+			t.Errorf("%v: tlast %.1f too slow for n=256", mode, tlast)
+		}
+	}
+}
+
+// Push convergence time is log2(n) + ln(n) + O(1) (§1.3, citing Pittel).
+func TestPushConvergenceMatchesTheory(t *testing.T) {
+	const n = 1024
+	cfg := AntiEntropyConfig{Mode: Push}
+	tlast, _, _ := runAE(t, cfg, n, 10, 7)
+	want := math.Log2(n) + math.Log(n) // ≈ 16.9
+	if math.Abs(tlast-want) > 4 {
+		t.Errorf("push tlast %.1f, theory %.1f ± O(1)", tlast, want)
+	}
+}
+
+// Push-pull converges faster than push (pull's p² recurrence dominates the
+// endgame, §1.3).
+func TestPushPullFasterThanPush(t *testing.T) {
+	const n = 1024
+	push, _, _ := runAE(t, AntiEntropyConfig{Mode: Push}, n, 10, 9)
+	pp, _, _ := runAE(t, AntiEntropyConfig{Mode: PushPull}, n, 10, 10)
+	if pp >= push {
+		t.Errorf("push-pull tlast %.1f should beat push %.1f", pp, push)
+	}
+}
+
+func TestAntiEntropyValidation(t *testing.T) {
+	sel := spatial.Uniform(8)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SpreadAntiEntropy(AntiEntropyConfig{}, sel, 0, rng); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := SpreadAntiEntropy(AntiEntropyConfig{Mode: Push}, sel, 8, rng); err == nil {
+		t.Error("bad origin accepted")
+	}
+}
+
+// Connection limit 1 slows distribution but does not change total compare
+// traffic much (§3.1 note 4: the per-cycle traffic drops while the number
+// of cycles rises).
+func TestConnectionLimitSlowsButSameTotalTraffic(t *testing.T) {
+	nw, err := topology.Mesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := spatial.New(nw, spatial.FormPaper, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg AntiEntropyConfig, seed int64) (tlast float64, totalCompare float64) {
+		rng := rand.New(rand.NewSource(seed))
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			r, err := SpreadAntiEntropy(cfg, sel, rng.Intn(64), rng, WithLinkAccounting(nw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tlast += float64(r.TLast)
+			totalCompare += r.CompareLoad.Total()
+		}
+		return tlast / trials, totalCompare / trials
+	}
+	tFree, cFree := run(AntiEntropyConfig{Mode: PushPull}, 3)
+	tLim, cLim := run(AntiEntropyConfig{Mode: PushPull, ConnLimit: 1}, 4)
+	if tLim <= tFree {
+		t.Errorf("connection limit should slow convergence: free %.1f, limited %.1f", tFree, tLim)
+	}
+	// Total compare traffic (per-cycle × cycles) should be within ~2.5x.
+	// The limited runs execute fewer conversations per cycle.
+	ratio := (cLim / tLim) / (cFree / tFree)
+	if ratio > 1.0 {
+		t.Errorf("per-cycle compare traffic should drop under connection limit, ratio %.2f", ratio)
+	}
+}
+
+func TestAntiEntropyLinkAccountingOnCIN(t *testing.T) {
+	cin, err := topology.NewCINFromConfig(topology.CINConfig{
+		GridW: 3, GridH: 3, NASitesPerCluster: 4,
+		Chains: 1, ChainLen: 1,
+		EUClusters: 2, EUSitesPerCluster: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := spatial.Uniform(cin.NumSites())
+	spatialSel, err := spatial.New(cin.Network, spatial.FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busheyLoad := func(sel spatial.Selector, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var total float64
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			r, err := SpreadAntiEntropy(AntiEntropyConfig{Mode: PushPull}, sel, rng.Intn(cin.NumSites()), rng, WithLinkAccounting(cin.Network))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.CompareLoad.Get(cin.BusheyLink) / float64(r.Cycles)
+		}
+		return total / trials
+	}
+	u := busheyLoad(uniform, 1)
+	s := busheyLoad(spatialSel, 2)
+	if s >= u {
+		t.Errorf("spatial distribution should unload the transatlantic link: uniform %.2f, spatial %.2f", u, s)
+	}
+}
+
+func TestAntiEntropyDeterministic(t *testing.T) {
+	sel := spatial.Uniform(128)
+	cfg := AntiEntropyConfig{Mode: PushPull, ConnLimit: 1}
+	r1, err := SpreadAntiEntropy(cfg, sel, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SpreadAntiEntropy(cfg, sel, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed, different results")
+	}
+}
+
+// §1.3's residual-susceptible model: pull clears a small susceptible
+// population far faster than push. We start anti-entropy with 90% already
+// infected by injecting and running push-pull first, then measure modes on
+// the residual directly via the recurrences — here we simply verify the
+// full-run ordering tlast(pull) <= tlast(push) for large n.
+func TestPullBeatsPushOnResiduals(t *testing.T) {
+	const n = 2048
+	push, _, _ := runAE(t, AntiEntropyConfig{Mode: Push}, n, 6, 13)
+	pull, _, _ := runAE(t, AntiEntropyConfig{Mode: Pull}, n, 6, 14)
+	if pull > push+1 {
+		t.Errorf("pull tlast %.1f should not exceed push %.1f", pull, push)
+	}
+}
+
+func TestSpreadRumorWithBackup(t *testing.T) {
+	sel := spatial.Uniform(500)
+	rng := rand.New(rand.NewSource(7))
+	rumorCfg := RumorConfig{K: 1, Counter: true, Feedback: true, Mode: Push} // leaves residue
+	aeCfg := AntiEntropyConfig{Mode: PushPull}
+	sawBackup := false
+	for i := 0; i < 10; i++ {
+		res, err := SpreadRumorWithBackup(rumorCfg, aeCfg, sel, rng.Intn(500), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rumor.Converged && res.BackupCycles != 0 {
+			t.Error("no backup needed but cycles recorded")
+		}
+		if !res.Rumor.Converged {
+			sawBackup = true
+			if res.BackupCycles < 1 {
+				t.Error("residue left but no backup ran")
+			}
+			if res.BackupUpdates < 1 {
+				t.Error("backup transferred nothing")
+			}
+			if res.TotalTLast < res.Rumor.TLast {
+				t.Error("total delay shrank")
+			}
+		}
+	}
+	if !sawBackup {
+		t.Error("k=1 rumor never left residue in 10 trials; test ineffective")
+	}
+}
+
+func TestSpreadRumorWithBackupValidation(t *testing.T) {
+	sel := spatial.Uniform(10)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SpreadRumorWithBackup(DefaultRumorConfig(), AntiEntropyConfig{}, sel, 0, rng); err == nil {
+		t.Error("invalid backup config accepted")
+	}
+	if _, err := SpreadRumorWithBackup(RumorConfig{}, AntiEntropyConfig{Mode: Push}, sel, 0, rng); err == nil {
+		t.Error("invalid rumor config accepted")
+	}
+}

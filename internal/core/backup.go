@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"epidemic/internal/spatial"
+)
+
+// BackupResult reports a rumor-mongering spread followed by the
+// anti-entropy backup of §1.5 on the same population.
+type BackupResult struct {
+	// Rumor is the initial complex-epidemic phase.
+	Rumor SpreadResult
+	// BackupCycles is how many anti-entropy cycles the mop-up needed
+	// (0 when the rumor already reached everyone).
+	BackupCycles int
+	// BackupUpdates counts update transfers during the backup.
+	BackupUpdates int
+	// BackupConversations counts backup anti-entropy conversations (each
+	// examines database state, unlike the cheap rumor exchanges).
+	BackupConversations int
+	// TotalTLast is the delay until the last site received the update,
+	// across both phases.
+	TotalTLast int
+}
+
+// SpreadRumorWithBackup runs rumor mongering to quiescence and then
+// anti-entropy until every site has the update — the paper's recommended
+// deployment (§1.5: "anti-entropy can be run infrequently to back up a
+// complex epidemic ... this ensures with probability 1 that every update
+// eventually reaches every site").
+func SpreadRumorWithBackup(rumorCfg RumorConfig, backupCfg AntiEntropyConfig, sel spatial.Selector, origin int, rng *rand.Rand) (BackupResult, error) {
+	if err := backupCfg.Validate(); err != nil {
+		return BackupResult{}, err
+	}
+	rumor, err := SpreadRumor(rumorCfg, sel, origin, rng)
+	if err != nil {
+		return BackupResult{}, err
+	}
+	res := BackupResult{Rumor: rumor, TotalTLast: rumor.TLast}
+	if rumor.Converged {
+		return res, nil
+	}
+
+	// Continue as a simple epidemic from the rumor's coverage. Rebuild the
+	// know-set: residue·n sites are susceptible; which ones is not part of
+	// SpreadResult, so we re-run the backup over an equivalent random
+	// know-set of the same size — exchangeable under a uniform selector,
+	// and an accurate approximation for spatial ones.
+	n := sel.NumSites()
+	susceptible := int(rumor.Residue*float64(n) + 0.5)
+	if susceptible <= 0 {
+		return res, nil
+	}
+	env := newSpreadEnv(sel, rng, backupCfg.ConnLimit, backupCfg.HuntLimit)
+	perm := rng.Perm(n)
+	for _, i := range perm[susceptible:] {
+		env.inject(i)
+	}
+	maxCycles := backupCfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+	infected := n - susceptible
+	cycle := 0
+	for infected < n && cycle < maxCycles {
+		cycle++
+		env.beginCycle()
+		for _, j := range env.order {
+			i, ok := env.connect(j)
+			if !ok {
+				continue
+			}
+			env.converse(j, i)
+			jHad, iHad := env.state[j].Knows(), env.state[i].Knows()
+			switch backupCfg.Mode {
+			case Push:
+				if jHad && !env.knows(i) {
+					env.sendUpdate(j, i)
+					env.markInfected(i, cycle)
+					infected++
+				}
+			case Pull:
+				if iHad && !env.knows(j) {
+					env.sendUpdate(i, j)
+					env.markInfected(j, cycle)
+					infected++
+				}
+			case PushPull:
+				switch {
+				case jHad && !env.knows(i):
+					env.sendUpdate(j, i)
+					env.markInfected(i, cycle)
+					infected++
+				case iHad && !env.knows(j):
+					env.sendUpdate(i, j)
+					env.markInfected(j, cycle)
+					infected++
+				}
+			}
+		}
+		env.endCycle()
+	}
+	if infected < n {
+		return res, fmt.Errorf("core: backup did not converge in %d cycles", maxCycles)
+	}
+	res.BackupCycles = cycle
+	res.BackupUpdates = env.updatesSent
+	res.BackupConversations = env.conversations
+	res.TotalTLast = rumor.TLast + cycle
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		mode Mode
+		want string
+	}{
+		{Push, "push"},
+		{Pull, "pull"},
+		{PushPull, "push-pull"},
+		{Mode(9), "Mode(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.mode), got, tt.want)
+		}
+	}
+	if Mode(0).Valid() || !Push.Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+func TestRumorConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     RumorConfig
+		wantErr bool
+	}{
+		{name: "default ok", cfg: DefaultRumorConfig()},
+		{name: "k zero", cfg: RumorConfig{K: 0, Mode: Push}, wantErr: true},
+		{name: "bad mode", cfg: RumorConfig{K: 1}, wantErr: true},
+		{name: "negative connlimit", cfg: RumorConfig{K: 1, Mode: Push, ConnLimit: -1}, wantErr: true},
+		{name: "bad huntlimit", cfg: RumorConfig{K: 1, Mode: Push, HuntLimit: -2}, wantErr: true},
+		{name: "hunt unlimited ok", cfg: RumorConfig{K: 1, Mode: Push, ConnLimit: 1, HuntLimit: HuntUnlimited}},
+		{name: "minimization needs pushpull", cfg: RumorConfig{K: 1, Counter: true, Mode: Push, Minimization: true}, wantErr: true},
+		{name: "minimization pushpull ok", cfg: RumorConfig{K: 1, Counter: true, Mode: PushPull, Minimization: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRumorConfigString(t *testing.T) {
+	s := RumorConfig{K: 3, Counter: true, Feedback: true, Mode: Push, ConnLimit: 1}.String()
+	for _, want := range []string{"Feedback", "Counter", "k=3", "push", "Connection Limit 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	s = RumorConfig{K: 1, Mode: Pull}.String()
+	for _, want := range []string{"Blind", "Coin", "pull", "No Connection Limit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAntiEntropyConfigValidate(t *testing.T) {
+	if err := (AntiEntropyConfig{Mode: PushPull}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (AntiEntropyConfig{}).Validate(); err == nil {
+		t.Error("zero mode accepted")
+	}
+	if err := (AntiEntropyConfig{Mode: Push, ConnLimit: -1}).Validate(); err == nil {
+		t.Error("negative ConnLimit accepted")
+	}
+	if err := (AntiEntropyConfig{Mode: Push, HuntLimit: -3}).Validate(); err == nil {
+		t.Error("bad HuntLimit accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Susceptible.String() != "susceptible" || Infective.String() != "infective" ||
+		Removed.String() != "removed" || State(9).String() != "invalid" {
+		t.Error("State.String wrong")
+	}
+	if Susceptible.Knows() || !Infective.Knows() || !Removed.Knows() {
+		t.Error("State.Knows wrong")
+	}
+}
+
+func TestCompareStrategyString(t *testing.T) {
+	for _, s := range []CompareStrategy{CompareFull, CompareChecksum, CompareRecent, ComparePeelBack} {
+		if strings.HasPrefix(s.String(), "CompareStrategy(") {
+			t.Errorf("missing name for %d", int(s))
+		}
+	}
+	if CompareStrategy(9).String() != "CompareStrategy(9)" {
+		t.Error("fallback name wrong")
+	}
+}
+
+func TestRedistributionString(t *testing.T) {
+	if RedistributeNone.String() != "none" || RedistributeMail.String() != "mail" ||
+		RedistributeRumor.String() != "rumor" || Redistribution(0).String() != "invalid" {
+		t.Error("Redistribution.String wrong")
+	}
+}
+
+func TestResolveConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     ResolveConfig
+		wantErr bool
+	}{
+		{name: "full push ok", cfg: ResolveConfig{Mode: Push, Strategy: CompareFull}},
+		{name: "checksum needs pushpull", cfg: ResolveConfig{Mode: Push, Strategy: CompareChecksum}, wantErr: true},
+		{name: "recent pushpull ok", cfg: ResolveConfig{Mode: PushPull, Strategy: CompareRecent}},
+		{name: "peelback pull bad", cfg: ResolveConfig{Mode: Pull, Strategy: ComparePeelBack}, wantErr: true},
+		{name: "bad strategy", cfg: ResolveConfig{Mode: Push, Strategy: 0}, wantErr: true},
+		{name: "bad mode", cfg: ResolveConfig{Strategy: CompareFull}, wantErr: true},
+		{name: "negative batch", cfg: ResolveConfig{Mode: PushPull, Strategy: ComparePeelBack, BatchSize: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+
+	"epidemic/internal/timestamp"
+)
+
+// ChooseRetention picks r distinct retention sites uniformly at random
+// from sites — the sites that will hold a dormant copy of a death
+// certificate after τ1 (§2.1). If r >= len(sites), all sites are returned.
+func ChooseRetention(rng *rand.Rand, sites []timestamp.SiteID, r int) []timestamp.SiteID {
+	if r <= 0 {
+		return nil
+	}
+	if r >= len(sites) {
+		out := make([]timestamp.SiteID, len(sites))
+		copy(out, sites)
+		return out
+	}
+	// Partial Fisher-Yates over a copy.
+	pool := make([]timestamp.SiteID, len(sites))
+	copy(pool, sites)
+	out := make([]timestamp.SiteID, 0, r)
+	for i := 0; i < r; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// Tau2ForEqualSpace returns the dormant threshold τ2 that gives the same
+// expected death-certificate space usage as a single fixed threshold τ,
+// assuming a steady deletion rate: τ2 = (τ − τ1)·n/r (§2.1). This is the
+// O(n) history improvement of dormant certificates: with n sites and r
+// retention copies, history extends from 30 days to years at equal cost.
+func Tau2ForEqualSpace(tau, tau1 int64, n, r int) int64 {
+	if r <= 0 || n <= 0 || tau <= tau1 {
+		return 0
+	}
+	return (tau - tau1) * int64(n) / int64(r)
+}
+
+// RetentionLossProbability returns the probability that all r retention
+// sites holding a dormant certificate have failed permanently after one
+// server half-life: 2^-r (§2.1).
+func RetentionLossProbability(r int) float64 {
+	if r <= 0 {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < r; i++ {
+		p /= 2
+	}
+	return p
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// Mailer abstracts the PostMail operation of §1.2: queued, nearly — but
+// not completely — reliable delivery of an update to one site. PostMail
+// returns an error when the message was discarded immediately (queue
+// overflow); silent later loss is also permitted by the model.
+type Mailer interface {
+	PostMail(to timestamp.SiteID, e store.Entry) error
+}
+
+// MailReport summarises a direct-mail distribution.
+type MailReport struct {
+	// Posted counts messages accepted by the mail system.
+	Posted int
+	// Failed lists destinations whose PostMail failed outright.
+	Failed []timestamp.SiteID
+}
+
+// DirectMail implements §1.2: the site where an update was accepted mails
+// it to every other site it knows of. It is timely and reasonably
+// efficient — O(n) messages per update — but unreliable: messages can be
+// lost and the sender's view of S can be incomplete, which is why
+// anti-entropy exists.
+func DirectMail(m Mailer, self timestamp.SiteID, sites []timestamp.SiteID, e store.Entry) MailReport {
+	var rep MailReport
+	for _, to := range sites {
+		if to == self {
+			continue
+		}
+		if err := m.PostMail(to, e); err != nil {
+			rep.Failed = append(rep.Failed, to)
+			continue
+		}
+		rep.Posted++
+	}
+	return rep
+}
+
+// Redistribution is the policy applied when anti-entropy discovers an
+// update missing at a partner (§1.5): do nothing beyond the repair, remail
+// it to everyone, or make it a hot rumor again.
+type Redistribution int
+
+const (
+	// RedistributeNone relies on anti-entropy alone to finish the spread —
+	// the conservative response, adequate when only a few sites are
+	// missing the update.
+	RedistributeNone Redistribution = iota + 1
+	// RedistributeMail remails the repaired update to all sites. The paper
+	// implemented this in the Clearinghouse and had to remove it: with
+	// half the sites missing an update it generates O(n²) messages.
+	RedistributeMail
+	// RedistributeRumor makes the repaired update a hot rumor again. A
+	// rumor already known nearly everywhere dies out quickly, so this is
+	// cheap in the common case and still effective in the worst case.
+	RedistributeRumor
+)
+
+// String names the policy.
+func (r Redistribution) String() string {
+	switch r {
+	case RedistributeNone:
+		return "none"
+	case RedistributeMail:
+		return "mail"
+	case RedistributeRumor:
+		return "rumor"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// fakeMailer records posted mail and fails for destinations in failTo.
+type fakeMailer struct {
+	posted map[timestamp.SiteID][]store.Entry
+	failTo map[timestamp.SiteID]bool
+}
+
+func newFakeMailer() *fakeMailer {
+	return &fakeMailer{
+		posted: make(map[timestamp.SiteID][]store.Entry),
+		failTo: make(map[timestamp.SiteID]bool),
+	}
+}
+
+func (f *fakeMailer) PostMail(to timestamp.SiteID, e store.Entry) error {
+	if f.failTo[to] {
+		return errors.New("queue overflow")
+	}
+	f.posted[to] = append(f.posted[to], e)
+	return nil
+}
+
+func TestDirectMailPostsToAllOthers(t *testing.T) {
+	m := newFakeMailer()
+	sites := []timestamp.SiteID{1, 2, 3, 4}
+	e := store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1, Site: 2}}
+	rep := DirectMail(m, 2, sites, e)
+	if rep.Posted != 3 {
+		t.Errorf("Posted = %d, want 3", rep.Posted)
+	}
+	if len(rep.Failed) != 0 {
+		t.Errorf("Failed = %v", rep.Failed)
+	}
+	if _, ok := m.posted[2]; ok {
+		t.Error("mailed to self")
+	}
+	for _, to := range []timestamp.SiteID{1, 3, 4} {
+		if len(m.posted[to]) != 1 {
+			t.Errorf("site %d got %d messages", to, len(m.posted[to]))
+		}
+	}
+}
+
+func TestDirectMailReportsFailures(t *testing.T) {
+	m := newFakeMailer()
+	m.failTo[3] = true
+	sites := []timestamp.SiteID{1, 2, 3}
+	rep := DirectMail(m, 1, sites, store.Entry{Key: "k"})
+	if rep.Posted != 1 {
+		t.Errorf("Posted = %d, want 1", rep.Posted)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != 3 {
+		t.Errorf("Failed = %v, want [3]", rep.Failed)
+	}
+}
+
+func TestChooseRetention(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sites := []timestamp.SiteID{1, 2, 3, 4, 5, 6, 7, 8}
+	got := ChooseRetention(rng, sites, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	seen := make(map[timestamp.SiteID]bool)
+	for _, s := range got {
+		if seen[s] {
+			t.Fatalf("duplicate retention site %d", s)
+		}
+		seen[s] = true
+	}
+	if got := ChooseRetention(rng, sites, 0); got != nil {
+		t.Errorf("r=0 should return nil, got %v", got)
+	}
+	if got := ChooseRetention(rng, sites, 99); len(got) != len(sites) {
+		t.Errorf("r>n should return all sites, got %d", len(got))
+	}
+	// Original slice must not be reordered.
+	for i, s := range sites {
+		if s != timestamp.SiteID(i+1) {
+			t.Fatal("input slice mutated")
+		}
+	}
+}
+
+func TestChooseRetentionCoversAllSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sites := []timestamp.SiteID{1, 2, 3, 4}
+	hits := make(map[timestamp.SiteID]int)
+	for i := 0; i < 4000; i++ {
+		for _, s := range ChooseRetention(rng, sites, 2) {
+			hits[s]++
+		}
+	}
+	for _, s := range sites {
+		// Expect ~2000 each; sanity band.
+		if hits[s] < 1600 || hits[s] > 2400 {
+			t.Errorf("site %d chosen %d times, want ~2000", s, hits[s])
+		}
+	}
+}
+
+func TestTau2ForEqualSpace(t *testing.T) {
+	// τ2 = (τ-τ1)·n/r: the paper's example, 30 days of history extended by
+	// a factor of n/r.
+	if got := Tau2ForEqualSpace(30, 10, 300, 4); got != (30-10)*300/4 {
+		t.Errorf("Tau2 = %d", got)
+	}
+	if Tau2ForEqualSpace(10, 30, 300, 4) != 0 {
+		t.Error("tau <= tau1 should yield 0")
+	}
+	if Tau2ForEqualSpace(30, 10, 0, 4) != 0 || Tau2ForEqualSpace(30, 10, 300, 0) != 0 {
+		t.Error("degenerate n/r should yield 0")
+	}
+}
+
+func TestRetentionLossProbability(t *testing.T) {
+	if got := RetentionLossProbability(1); got != 0.5 {
+		t.Errorf("r=1: %v", got)
+	}
+	if got := RetentionLossProbability(4); got != 0.0625 {
+		t.Errorf("r=4: %v", got)
+	}
+	if got := RetentionLossProbability(0); got != 1 {
+		t.Errorf("r=0: %v", got)
+	}
+}

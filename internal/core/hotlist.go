@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"epidemic/internal/timestamp"
+)
+
+// HotList tracks the hot rumors at one site for database-level rumor
+// mongering: the set of updates the site is still actively sharing,
+// together with the per-rumor loss state (counter or coin). "The sender
+// keeps a list of infective updates, and the recipient tries to insert
+// each update into its own database and adds all new updates to its
+// infective list" (§1.4).
+//
+// HotList is not safe for concurrent use; the owning node synchronises.
+type HotList struct {
+	cfg   RumorConfig
+	rng   *rand.Rand
+	items map[string]*hotItem
+}
+
+type hotItem struct {
+	stamp   timestamp.T
+	counter int
+}
+
+// NewHotList returns an empty hot-rumor list using cfg's K /
+// counter-vs-coin / feedback semantics.
+func NewHotList(cfg RumorConfig, rng *rand.Rand) *HotList {
+	return &HotList{cfg: cfg, rng: rng, items: make(map[string]*hotItem)}
+}
+
+// Add makes the update for key (with the given timestamp) a hot rumor,
+// resetting its loss state. Adding a key that is already hot with an older
+// stamp refreshes it.
+func (h *HotList) Add(key string, stamp timestamp.T) {
+	if it, ok := h.items[key]; ok {
+		if it.stamp.Less(stamp) {
+			it.stamp = stamp
+			it.counter = 0
+		}
+		return
+	}
+	h.items[key] = &hotItem{stamp: stamp}
+}
+
+// Remove deactivates the rumor for key.
+func (h *HotList) Remove(key string) { delete(h.items, key) }
+
+// Len returns the number of hot rumors.
+func (h *HotList) Len() int { return len(h.items) }
+
+// IsHot reports whether key is currently a hot rumor with the given stamp
+// or newer.
+func (h *HotList) IsHot(key string) bool {
+	_, ok := h.items[key]
+	return ok
+}
+
+// Keys returns the hot keys, sorted for determinism.
+func (h *HotList) Keys() []string {
+	out := make([]string, 0, len(h.items))
+	for k := range h.items {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stamp returns the timestamp the rumor was hot for, if hot.
+func (h *HotList) Stamp(key string) (timestamp.T, bool) {
+	it, ok := h.items[key]
+	if !ok {
+		return timestamp.T{}, false
+	}
+	return it.stamp, true
+}
+
+// Feedback applies the outcome of sharing the rumor for key with one
+// partner: needed reports whether the partner lacked the update. Blind
+// variants ignore needed and treat every share as unnecessary. The rumor
+// may cease to be hot as a result (counter exhaustion or coin flip).
+func (h *HotList) Feedback(key string, needed bool) {
+	it, ok := h.items[key]
+	if !ok {
+		return
+	}
+	unnecessary := !needed || !h.cfg.Feedback
+	if !unnecessary {
+		if h.cfg.Counter && !h.cfg.NoCounterReset {
+			it.counter = 0
+		}
+		return
+	}
+	if h.cfg.Counter {
+		it.counter++
+		if it.counter >= h.cfg.K {
+			delete(h.items, key)
+		}
+		return
+	}
+	if h.rng.Float64() < 1/float64(h.cfg.K) {
+		delete(h.items, key)
+	}
+}
+
+// CycleFeedback applies the pull footnote semantics for one cycle in which
+// the rumor was shared with several partners at once: the counter is reset
+// if any partner needed it, and incremented once if none did.
+func (h *HotList) CycleFeedback(key string, served int, anyNeeded bool) {
+	if served <= 0 {
+		return
+	}
+	h.Feedback(key, anyNeeded)
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/timestamp"
+)
+
+func newTestHotList(cfg RumorConfig) *HotList {
+	return NewHotList(cfg, rand.New(rand.NewSource(1)))
+}
+
+func TestHotListAddRemove(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push})
+	ts := timestamp.T{Time: 1, Site: 1}
+	h.Add("k", ts)
+	if !h.IsHot("k") || h.Len() != 1 {
+		t.Fatal("Add failed")
+	}
+	if got, ok := h.Stamp("k"); !ok || got != ts {
+		t.Fatalf("Stamp = %v, %v", got, ok)
+	}
+	h.Remove("k")
+	if h.IsHot("k") || h.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	if _, ok := h.Stamp("k"); ok {
+		t.Fatal("Stamp after remove")
+	}
+}
+
+func TestHotListAddNewerStampResets(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push})
+	h.Add("k", timestamp.T{Time: 1})
+	h.Feedback("k", false) // counter 1 of 2
+	h.Add("k", timestamp.T{Time: 5})
+	// Fresh stamp resets the counter: two more unnecessary shares needed.
+	h.Feedback("k", false)
+	if !h.IsHot("k") {
+		t.Fatal("rumor removed after one unnecessary share post-refresh")
+	}
+	h.Feedback("k", false)
+	if h.IsHot("k") {
+		t.Fatal("counter exhaustion did not remove rumor")
+	}
+}
+
+func TestHotListAddOlderStampKeepsState(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push})
+	h.Add("k", timestamp.T{Time: 5})
+	h.Feedback("k", false)
+	h.Add("k", timestamp.T{Time: 1}) // older: ignored
+	if got, _ := h.Stamp("k"); got != (timestamp.T{Time: 5}) {
+		t.Fatalf("stamp regressed: %v", got)
+	}
+	h.Feedback("k", false)
+	if h.IsHot("k") {
+		t.Fatal("counter should have carried over")
+	}
+}
+
+func TestHotListCounterFeedbackResets(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push})
+	h.Add("k", timestamp.T{Time: 1})
+	h.Feedback("k", false) // unnecessary: 1
+	h.Feedback("k", true)  // useful: reset
+	h.Feedback("k", false) // unnecessary: 1
+	if !h.IsHot("k") {
+		t.Fatal("reset did not happen")
+	}
+	h.Feedback("k", false) // unnecessary: 2 => removed
+	if h.IsHot("k") {
+		t.Fatal("not removed at k")
+	}
+}
+
+func TestHotListNoCounterReset(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push, NoCounterReset: true})
+	h.Add("k", timestamp.T{Time: 1})
+	h.Feedback("k", false)
+	h.Feedback("k", true) // useful, but cumulative counter keeps its value
+	h.Feedback("k", false)
+	if h.IsHot("k") {
+		t.Fatal("cumulative counter should have removed rumor")
+	}
+}
+
+func TestHotListBlindIgnoresNeeded(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: false, Mode: Push})
+	h.Add("k", timestamp.T{Time: 1})
+	h.Feedback("k", true) // blind: counts regardless
+	h.Feedback("k", true)
+	if h.IsHot("k") {
+		t.Fatal("blind counter did not remove after k shares")
+	}
+}
+
+func TestHotListCoin(t *testing.T) {
+	// Coin with K=1 removes on first unnecessary share.
+	h := newTestHotList(RumorConfig{K: 1, Feedback: true, Mode: Push})
+	h.Add("k", timestamp.T{Time: 1})
+	h.Feedback("k", true) // useful: never removes with feedback
+	if !h.IsHot("k") {
+		t.Fatal("useful share removed coin rumor")
+	}
+	h.Feedback("k", false)
+	if h.IsHot("k") {
+		t.Fatal("coin k=1 must remove on unnecessary share")
+	}
+}
+
+func TestHotListKeysSorted(t *testing.T) {
+	h := newTestHotList(DefaultRumorConfig())
+	h.Add("b", timestamp.T{Time: 1})
+	h.Add("a", timestamp.T{Time: 2})
+	keys := h.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestHotListFeedbackUnknownKey(t *testing.T) {
+	h := newTestHotList(DefaultRumorConfig())
+	h.Feedback("missing", false) // must not panic
+	h.CycleFeedback("missing", 3, false)
+}
+
+func TestHotListCycleFeedback(t *testing.T) {
+	h := newTestHotList(RumorConfig{K: 1, Counter: true, Feedback: true, Mode: Pull})
+	h.Add("k", timestamp.T{Time: 1})
+	h.CycleFeedback("k", 0, false) // served nobody: unchanged
+	if !h.IsHot("k") {
+		t.Fatal("no-op cycle removed rumor")
+	}
+	h.CycleFeedback("k", 2, true) // someone needed it: reset
+	if !h.IsHot("k") {
+		t.Fatal("useful cycle removed rumor")
+	}
+	h.CycleFeedback("k", 2, false) // all unnecessary: +1 => removed at k=1
+	if h.IsHot("k") {
+		t.Fatal("unnecessary cycle did not remove rumor")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epidemic/internal/spatial"
+)
+
+// randomRumorConfig derives a valid RumorConfig from fuzz inputs.
+func randomRumorConfig(k uint8, counter, feedback bool, mode uint8, connLimit, hunt uint8) RumorConfig {
+	cfg := RumorConfig{
+		K:        int(k%5) + 1,
+		Counter:  counter,
+		Feedback: feedback,
+		Mode:     Mode(int(mode%3) + 1),
+	}
+	if connLimit%3 == 0 {
+		cfg.ConnLimit = int(connLimit%2) + 1
+		cfg.HuntLimit = int(hunt % 4)
+	}
+	return cfg
+}
+
+// Property: every rumor spread satisfies the structural invariants of the
+// metric definitions, for arbitrary variants.
+func TestSpreadRumorInvariantsProperty(t *testing.T) {
+	f := func(seed int64, k uint8, counter, feedback bool, mode uint8, connLimit, hunt uint8) bool {
+		cfg := randomRumorConfig(k, counter, feedback, mode, connLimit, hunt)
+		n := 50 + int(uint16(seed)%200)
+		sel := spatial.Uniform(n)
+		rng := rand.New(rand.NewSource(seed))
+		r, err := SpreadRumor(cfg, sel, int(uint(seed)%uint(n)), rng)
+		if err != nil {
+			return false
+		}
+		infected := int(float64(r.N)*(1-r.Residue) + 0.5)
+		switch {
+		case r.Residue < 0 || r.Residue > 1:
+			return false
+		case r.Converged != (r.Residue == 0):
+			return false
+		case infected < 1: // the origin always has it
+			return false
+		case r.UpdatesSent < infected-1: // every infection costs >= 1 send
+			return false
+		case r.TLast > r.Cycles:
+			return false
+		case r.TAve > float64(r.TLast):
+			return false
+		case r.Traffic != float64(r.UpdatesSent)/float64(r.N):
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: anti-entropy always converges and its metrics are consistent,
+// for arbitrary modes and connection limits.
+func TestSpreadAntiEntropyInvariantsProperty(t *testing.T) {
+	f := func(seed int64, mode uint8, limited bool) bool {
+		cfg := AntiEntropyConfig{Mode: Mode(int(mode%3) + 1)}
+		if limited {
+			cfg.ConnLimit = 1
+		}
+		n := 30 + int(uint16(seed)%100)
+		sel := spatial.Uniform(n)
+		rng := rand.New(rand.NewSource(seed))
+		r, err := SpreadAntiEntropy(cfg, sel, int(uint(seed)%uint(n)), rng)
+		if err != nil {
+			return false
+		}
+		return r.Converged && r.Residue == 0 &&
+			r.UpdatesSent == n-1 && // exactly one transfer per site infected
+			r.TLast <= r.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with link accounting, total conversations equal the sum of
+// nothing less than the per-cycle participation bound, and update charges
+// never exceed compare charges per conversation counts.
+func TestSpreadAccountingConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 16
+		sel := spatial.Uniform(n)
+		rng := rand.New(rand.NewSource(seed))
+		r, err := SpreadAntiEntropy(AntiEntropyConfig{Mode: PushPull}, sel, 0, rng)
+		if err != nil {
+			return false
+		}
+		// Every cycle, every site initiates exactly one conversation (no
+		// connection limit => all succeed).
+		return r.Conversations == r.Cycles*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

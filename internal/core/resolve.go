@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"epidemic/internal/store"
+)
+
+// CompareStrategy selects how two sites performing anti-entropy detect the
+// differences between their databases (§1.3).
+type CompareStrategy int
+
+const (
+	// CompareFull ships the entire database contents.
+	CompareFull CompareStrategy = iota + 1
+	// CompareChecksum exchanges database checksums first and ships the
+	// full contents only on mismatch.
+	CompareChecksum
+	// CompareRecent exchanges recent update lists (entries younger than
+	// Tau), applies them, then compares checksums and falls back to a full
+	// compare on mismatch.
+	CompareRecent
+	// ComparePeelBack exchanges updates in reverse timestamp order,
+	// batch by batch, until the checksums agree (§1.3's "peel back").
+	ComparePeelBack
+)
+
+// String names the strategy.
+func (s CompareStrategy) String() string {
+	switch s {
+	case CompareFull:
+		return "full"
+	case CompareChecksum:
+		return "checksum"
+	case CompareRecent:
+		return "recent-update-list"
+	case ComparePeelBack:
+		return "peel-back"
+	default:
+		return fmt.Sprintf("CompareStrategy(%d)", int(s))
+	}
+}
+
+// ResolveConfig configures a database-level ResolveDifference exchange.
+type ResolveConfig struct {
+	// Mode is push, pull, or push-pull. Strategies other than CompareFull
+	// are inherently bidirectional and require PushPull.
+	Mode Mode
+	// Strategy picks the difference-detection scheme.
+	Strategy CompareStrategy
+	// Tau is the recent-update window for CompareRecent: updates are
+	// expected to reach all sites within Tau (§1.3). Poorly chosen Tau
+	// degrades to full comparisons, exactly as the paper warns.
+	Tau int64
+	// Tau1 is the death-certificate dormancy threshold: dormant
+	// certificates do not propagate during anti-entropy (§2.2) and are
+	// excluded from live checksums.
+	Tau1 int64
+	// BatchSize is the peel-back batch; 0 means 16.
+	BatchSize int
+	// ReactivateDormant awakens a dormant death certificate when it
+	// rejects an incoming obsolete item, advancing its activation
+	// timestamp so it spreads again (§2.2).
+	ReactivateDormant bool
+}
+
+// Validate reports configuration errors.
+func (c ResolveConfig) Validate() error {
+	if !c.Mode.Valid() {
+		return fmt.Errorf("core: invalid mode %v", c.Mode)
+	}
+	switch c.Strategy {
+	case CompareFull:
+	case CompareChecksum, CompareRecent, ComparePeelBack:
+		if c.Mode != PushPull {
+			return fmt.Errorf("core: %v comparison requires PushPull mode", c.Strategy)
+		}
+	default:
+		return fmt.Errorf("core: invalid strategy %v", c.Strategy)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("core: BatchSize must be >= 0")
+	}
+	return nil
+}
+
+// ExchangeStats reports what one ResolveDifference conversation did.
+type ExchangeStats struct {
+	// EntriesSent counts entries transmitted in either direction — the
+	// network cost of the conversation.
+	EntriesSent int
+	// EntriesApplied counts transmissions that changed a replica.
+	EntriesApplied int
+	// ChecksumsCompared counts checksum exchanges.
+	ChecksumsCompared int
+	// FullCompare reports whether the conversation fell back to shipping
+	// complete databases.
+	FullCompare bool
+	// AppliedKeys lists the keys whose entries changed either replica —
+	// the updates anti-entropy "repaired", which §1.5's redistribution
+	// policies act on.
+	AppliedKeys []string
+	// Reactivated lists death certificates awakened by obsolete items.
+	Reactivated []string
+}
+
+// ResolveDifference carries out one anti-entropy conversation between the
+// initiator s and its partner p, per §1.3's three variants. It returns
+// statistics about the exchange. Dormant death certificates never
+// propagate; when ReactivateDormant is set they are awakened if they meet
+// an obsolete item.
+func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return ExchangeStats{}, err
+	}
+	var st ExchangeStats
+	switch cfg.Strategy {
+	case CompareFull:
+		resolveFull(cfg, s, p, &st)
+	case CompareChecksum:
+		st.ChecksumsCompared++
+		if !liveChecksumEqual(cfg, s, p) {
+			resolveFull(cfg, s, p, &st)
+		}
+	case CompareRecent:
+		now := maxNow(s, p)
+		sendEntries(cfg, s.RecentUpdates(now, cfg.Tau), s, p, &st)
+		sendEntries(cfg, p.RecentUpdates(now, cfg.Tau), p, s, &st)
+		st.ChecksumsCompared++
+		if !liveChecksumEqual(cfg, s, p) {
+			resolveFull(cfg, s, p, &st)
+		}
+	case ComparePeelBack:
+		resolvePeelBack(cfg, s, p, &st)
+	}
+	return st, nil
+}
+
+// resolveFull ships complete (non-dormant) databases in the direction(s)
+// the mode allows.
+func resolveFull(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
+	st.FullCompare = true
+	if cfg.Mode == Push || cfg.Mode == PushPull {
+		sendEntries(cfg, s.Snapshot(), s, p, st)
+	}
+	if cfg.Mode == Pull || cfg.Mode == PushPull {
+		sendEntries(cfg, p.Snapshot(), p, s, st)
+	}
+}
+
+// sendEntries transmits from's entries to to, skipping dormant death
+// certificates, applying each and accounting for reactivations.
+func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to *store.Store, st *ExchangeStats) {
+	now := maxNow(from, to)
+	for _, e := range entries {
+		if store.IsDormant(e, now, cfg.Tau1) {
+			continue // dormant certificates are not propagated (§2.2)
+		}
+		st.EntriesSent++
+		res := to.Apply(e)
+		if res.Changed() {
+			st.EntriesApplied++
+			st.AppliedKeys = append(st.AppliedKeys, e.Key)
+		}
+		if res == store.RejectedByDeath && cfg.ReactivateDormant {
+			reactivateIfDormant(cfg, to, from, e.Key, st)
+		}
+	}
+}
+
+// reactivateIfDormant awakens holder's death certificate for key if it is
+// dormant, and hands the awakened certificate straight back to the peer so
+// it starts spreading.
+func reactivateIfDormant(cfg ResolveConfig, holder, peer *store.Store, key string, st *ExchangeStats) {
+	cur, ok := holder.Get(key)
+	if !ok || !store.IsDormant(cur, holder.Now(), cfg.Tau1) {
+		return
+	}
+	re, ok := holder.Reactivate(key)
+	if !ok {
+		return
+	}
+	st.Reactivated = append(st.Reactivated, key)
+	st.EntriesSent++
+	if peer.Apply(re).Changed() {
+		st.EntriesApplied++
+	}
+}
+
+// resolvePeelBack exchanges updates newest-first in batches until the live
+// checksums agree (§1.3, §1.5). Both stores walk their own timestamp
+// indexes; agreement is guaranteed once all differing entries have been
+// shipped, and typically happens after the first batch.
+func resolvePeelBack(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	st.ChecksumsCompared++
+	if liveChecksumEqual(cfg, s, p) {
+		return
+	}
+	sNext := s.NewestFirst(batch)
+	pNext := p.NewestFirst(batch)
+	for {
+		sendEntries(cfg, sNext, s, p, st)
+		sendEntries(cfg, pNext, p, s, st)
+		st.ChecksumsCompared++
+		if liveChecksumEqual(cfg, s, p) {
+			return
+		}
+		if len(sNext) == 0 && len(pNext) == 0 {
+			// Indexes exhausted; databases agree on everything that can
+			// propagate (remaining differences are dormant certificates).
+			return
+		}
+		if len(sNext) > 0 {
+			sNext = s.OlderThan(sNext[len(sNext)-1].Stamp, batch)
+		}
+		if len(pNext) > 0 {
+			pNext = p.OlderThan(pNext[len(pNext)-1].Stamp, batch)
+		}
+	}
+}
+
+func liveChecksumEqual(cfg ResolveConfig, s, p *store.Store) bool {
+	now := maxNow(s, p)
+	return s.ChecksumLive(now, cfg.Tau1) == p.ChecksumLive(now, cfg.Tau1)
+}
+
+// maxNow returns the later of the two sites' clock readings; using one
+// consistent "now" for both sides keeps dormancy decisions coherent within
+// a conversation (the paper assumes clock skew ε ≪ τ1).
+func maxNow(a, b *store.Store) int64 {
+	na, nb := a.Now(), b.Now()
+	if na > nb {
+		return na
+	}
+	return nb
+}

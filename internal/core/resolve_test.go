@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+func pairStores(t *testing.T) (*store.Store, *store.Store, *timestamp.Simulated) {
+	t.Helper()
+	src := timestamp.NewSimulated(1 << 20)
+	return store.New(1, src.ClockAt(1)), store.New(2, src.ClockAt(2)), src
+}
+
+func TestResolvePushPullFullConverges(t *testing.T) {
+	a, b, src := pairStores(t)
+	a.Update("x", store.Value("ax"))
+	src.Advance(1)
+	b.Update("y", store.Value("by"))
+	src.Advance(1)
+	b.Update("x", store.Value("bx")) // newer than a's x
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareFull}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a, b) {
+		t.Fatal("stores differ after push-pull")
+	}
+	if v, _ := a.Lookup("x"); string(v) != "bx" {
+		t.Errorf("newer value lost: %q", v)
+	}
+	if st.EntriesSent == 0 || st.EntriesApplied == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+}
+
+func TestResolvePushOnlyOneDirection(t *testing.T) {
+	a, b, src := pairStores(t)
+	a.Update("mine", store.Value("1"))
+	src.Advance(1)
+	b.Update("theirs", store.Value("2"))
+
+	cfg := ResolveConfig{Mode: Push, Strategy: CompareFull}
+	if _, err := ResolveDifference(cfg, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup("mine"); !ok {
+		t.Error("push did not deliver initiator's entry")
+	}
+	if _, ok := a.Lookup("theirs"); ok {
+		t.Error("push must not pull partner's entry")
+	}
+
+	cfgPull := ResolveConfig{Mode: Pull, Strategy: CompareFull}
+	if _, err := ResolveDifference(cfgPull, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Lookup("theirs"); !ok {
+		t.Error("pull did not fetch partner's entry")
+	}
+}
+
+func TestResolveChecksumShortCircuits(t *testing.T) {
+	a, b, _ := pairStores(t)
+	e := a.Update("k", store.Value("v"))
+	b.Apply(e)
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareChecksum}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesSent != 0 || st.FullCompare {
+		t.Errorf("equal stores should exchange nothing: %+v", st)
+	}
+	if st.ChecksumsCompared != 1 {
+		t.Errorf("ChecksumsCompared = %d", st.ChecksumsCompared)
+	}
+
+	// Diverge: falls back to full compare.
+	b.Update("extra", store.Value("x"))
+	st, err = ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullCompare || !store.ContentEqual(a, b) {
+		t.Errorf("mismatch not repaired: %+v", st)
+	}
+}
+
+func TestResolveRecentWindowAvoidsFullCompare(t *testing.T) {
+	a, b, src := pairStores(t)
+	// Shared old history.
+	for i := 0; i < 20; i++ {
+		e := a.Update(fmt.Sprintf("old%d", i), store.Value("v"))
+		b.Apply(e)
+	}
+	src.Advance(1000)
+	// One fresh update known only to a.
+	a.Update("fresh", store.Value("new"))
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareRecent, Tau: 100}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullCompare {
+		t.Errorf("recent-list exchange should have sufficed: %+v", st)
+	}
+	if !store.ContentEqual(a, b) {
+		t.Fatal("stores differ")
+	}
+	// Only the fresh entry should have crossed the wire.
+	if st.EntriesSent > 2 {
+		t.Errorf("EntriesSent = %d, want <= 2", st.EntriesSent)
+	}
+}
+
+func TestResolveRecentFallsBackWhenTauTooSmall(t *testing.T) {
+	a, b, src := pairStores(t)
+	a.Update("stale", store.Value("missed"))
+	src.Advance(1000) // now older than any reasonable tau
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareRecent, Tau: 10}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullCompare {
+		t.Error("expected fallback to full compare")
+	}
+	if !store.ContentEqual(a, b) {
+		t.Fatal("stores differ")
+	}
+}
+
+func TestResolvePeelBackStopsEarly(t *testing.T) {
+	a, b, src := pairStores(t)
+	for i := 0; i < 200; i++ {
+		e := a.Update(fmt.Sprintf("hist%03d", i), store.Value("v"))
+		b.Apply(e)
+		src.Advance(1)
+	}
+	a.Update("fresh", store.Value("new"))
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: ComparePeelBack, BatchSize: 8}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a, b) {
+		t.Fatal("stores differ")
+	}
+	// One batch from each side should settle it: ~16 entries, not 201+.
+	if st.EntriesSent > 40 {
+		t.Errorf("peel-back sent %d entries; should stop after the first batches", st.EntriesSent)
+	}
+}
+
+func TestResolvePeelBackIdenticalStores(t *testing.T) {
+	a, b, _ := pairStores(t)
+	e := a.Update("k", store.Value("v"))
+	b.Apply(e)
+	cfg := ResolveConfig{Mode: PushPull, Strategy: ComparePeelBack}
+	st, err := ResolveDifference(cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesSent != 0 {
+		t.Errorf("identical stores sent %d entries", st.EntriesSent)
+	}
+}
+
+func TestResolvePeelBackDeepDivergence(t *testing.T) {
+	a, b, src := pairStores(t)
+	// a has an old private entry below 200 shared ones.
+	a.Update("buried", store.Value("deep"))
+	src.Advance(1)
+	for i := 0; i < 200; i++ {
+		e := a.Update(fmt.Sprintf("hist%03d", i), store.Value("v"))
+		b.Apply(e)
+		src.Advance(1)
+	}
+	cfg := ResolveConfig{Mode: PushPull, Strategy: ComparePeelBack, BatchSize: 16}
+	if _, err := ResolveDifference(cfg, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a, b) {
+		t.Fatal("deep divergence not repaired")
+	}
+	if _, ok := b.Lookup("buried"); !ok {
+		t.Fatal("buried entry not delivered")
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	a, b, _ := pairStores(t)
+	if _, err := ResolveDifference(ResolveConfig{Mode: Push, Strategy: CompareChecksum}, a, b); err == nil {
+		t.Error("checksum+push accepted")
+	}
+	if _, err := ResolveDifference(ResolveConfig{}, a, b); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestResolveDormantCertificatesNotPropagated(t *testing.T) {
+	const tau1 = 100
+	a, b, src := pairStores(t)
+	a.Delete("gone", []timestamp.SiteID{1})
+	src.Advance(tau1 + 10) // certificate is now dormant at a
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareFull, Tau1: tau1}
+	if _, err := ResolveDifference(cfg, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get("gone"); ok {
+		t.Error("dormant certificate propagated")
+	}
+}
+
+func TestResolveReactivatesDormantCertificateOnObsoleteItem(t *testing.T) {
+	const tau1 = 100
+	a, b, src := pairStores(t)
+	// b holds an obsolete copy of the item; a deleted it.
+	old := b.Update("item", store.Value("obsolete"))
+	_ = old
+	src.Advance(1)
+	a.Delete("item", []timestamp.SiteID{1})
+	src.Advance(tau1 + 50) // dormant at a; b still has the obsolete item
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareFull, Tau1: tau1, ReactivateDormant: true}
+	st, err := ResolveDifference(cfg, b, a) // b pushes its obsolete item at a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Reactivated) != 1 || st.Reactivated[0] != "item" {
+		t.Fatalf("Reactivated = %v", st.Reactivated)
+	}
+	// The awakened certificate must have cancelled b's obsolete copy.
+	if _, ok := b.Lookup("item"); ok {
+		t.Fatal("obsolete item survived at b")
+	}
+	got, ok := b.Get("item")
+	if !ok || !got.IsDeath() {
+		t.Fatal("b did not receive the awakened certificate")
+	}
+	// And it is no longer dormant (fresh activation).
+	if store.IsDormant(got, a.Now(), tau1) {
+		t.Fatal("awakened certificate still dormant")
+	}
+}
+
+func TestResolveWithoutReactivationLeavesObsoleteCopy(t *testing.T) {
+	const tau1 = 100
+	a, b, src := pairStores(t)
+	b.Update("item", store.Value("obsolete"))
+	src.Advance(1)
+	a.Delete("item", nil)
+	src.Advance(tau1 + 50)
+
+	cfg := ResolveConfig{Mode: PushPull, Strategy: CompareFull, Tau1: tau1}
+	st, err := ResolveDifference(cfg, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Reactivated) != 0 {
+		t.Fatalf("unexpected reactivation: %v", st.Reactivated)
+	}
+	// The dormant certificate stays put; b keeps its obsolete copy (this
+	// is exactly the failure mode dormant reactivation exists to fix).
+	if _, ok := b.Lookup("item"); !ok {
+		t.Fatal("expected obsolete copy to survive without reactivation")
+	}
+}
+
+// Property: for random divergent store pairs, one push-pull
+// ResolveDifference conversation makes the replicas identical, for every
+// comparison strategy.
+func TestResolveConvergenceProperty(t *testing.T) {
+	strategies := []CompareStrategy{CompareFull, CompareChecksum, CompareRecent, ComparePeelBack}
+	f := func(seed int64, stratIdx uint8) bool {
+		strategy := strategies[int(stratIdx)%len(strategies)]
+		rng := rand.New(rand.NewSource(seed))
+		src := timestamp.NewSimulated(1 << 20)
+		a := store.New(1, src.ClockAt(1))
+		b := store.New(2, src.ClockAt(2))
+		keys := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+		for i := 0; i < 30; i++ {
+			s := a
+			if rng.Intn(2) == 1 {
+				s = b
+			}
+			k := keys[rng.Intn(len(keys))]
+			if rng.Intn(5) == 0 {
+				s.Delete(k, nil)
+			} else {
+				s.Update(k, store.Value{byte(i)})
+			}
+			// Occasionally sync a random entry to create shared history.
+			if rng.Intn(3) == 0 {
+				if e, ok := a.Get(keys[rng.Intn(len(keys))]); ok {
+					b.Apply(e)
+				}
+			}
+			src.Advance(int64(rng.Intn(4)))
+		}
+		// Tau1 large: certificates stay active, so they must propagate.
+		cfg := ResolveConfig{Mode: PushPull, Strategy: strategy, Tau: 10, Tau1: 1 << 40, BatchSize: 4}
+		if _, err := ResolveDifference(cfg, a, b); err != nil {
+			return false
+		}
+		return store.ContentEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

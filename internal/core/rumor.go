@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// SpreadOption configures a spread simulation.
+type SpreadOption func(*spreadEnv)
+
+// WithLinkAccounting charges every conversation and update transfer to the
+// links on the shortest path between the two sites, producing the per-link
+// compare/update traffic of Tables 4 and 5. The network must be the one the
+// selector was built from.
+func WithLinkAccounting(nw *topology.Network) SpreadOption {
+	return func(e *spreadEnv) { e.withLinkAccounting(nw) }
+}
+
+// WithInitialInfectives seeds additional sites as infective at time 0
+// (besides the origin) — the §1.5 redistribution scenario, where an
+// update already known at many sites is made a hot rumor everywhere it is
+// known.
+func WithInitialInfectives(sites []int) SpreadOption {
+	return func(e *spreadEnv) {
+		for _, s := range sites {
+			if s >= 0 && s < e.n {
+				e.inject(s)
+			}
+		}
+	}
+}
+
+const defaultMaxCycles = 10_000
+
+// SpreadRumor simulates rumor mongering (§1.4) for a single update injected
+// at origin, running synchronous cycles until no site remains infective.
+// The update states evolve susceptible → infective → removed; the result
+// reports the paper's residue/traffic/delay criteria.
+func SpreadRumor(cfg RumorConfig, sel spatial.Selector, origin int, rng *rand.Rand, opts ...SpreadOption) (SpreadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SpreadResult{}, err
+	}
+	if cfg.Minimization && !cfg.Counter {
+		return SpreadResult{}, fmt.Errorf("core: Minimization requires the Counter variant")
+	}
+	n := sel.NumSites()
+	if origin < 0 || origin >= n {
+		return SpreadResult{}, fmt.Errorf("core: origin %d out of range [0,%d)", origin, n)
+	}
+	env := newSpreadEnv(sel, rng, cfg.ConnLimit, cfg.HuntLimit)
+	for _, opt := range opts {
+		opt(env)
+	}
+	env.inject(origin)
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+
+	r := &rumorRun{cfg: cfg, env: env}
+	cycle := 0
+	for env.anyInfective() && cycle < maxCycles {
+		cycle++
+		env.beginCycle()
+		switch cfg.Mode {
+		case Push:
+			r.pushCycle(cycle)
+		case Pull:
+			r.pullCycle(cycle)
+		case PushPull:
+			r.pushPullCycle(cycle)
+		}
+		env.endCycle()
+	}
+	return env.result(cycle), nil
+}
+
+type rumorRun struct {
+	cfg RumorConfig
+	env *spreadEnv
+}
+
+// bump applies one unnecessary contact to infective site i and possibly
+// removes it: counter variants remove after K unnecessary contacts, coin
+// variants remove with probability 1/K per contact.
+func (r *rumorRun) bump(i int) {
+	if r.cfg.Counter {
+		r.env.counter[i]++
+		if r.env.counter[i] >= r.cfg.K {
+			r.env.state[i] = Removed
+		}
+		return
+	}
+	if r.env.rng.Float64() < 1/float64(r.cfg.K) {
+		r.env.state[i] = Removed
+	}
+}
+
+// useful notes a contact that the recipient needed: by default it resets
+// the sender's run of unnecessary contacts.
+func (r *rumorRun) useful(i int) {
+	if r.cfg.Counter && !r.cfg.NoCounterReset {
+		r.env.counter[i] = 0
+	}
+}
+
+// pushCycle: every infective site phones one partner and pushes the rumor.
+func (r *rumorRun) pushCycle(cycle int) {
+	env := r.env
+	for _, sender := range env.order {
+		if env.state[sender] != Infective {
+			continue
+		}
+		to, ok := env.connect(sender)
+		if !ok {
+			continue // all attempts rejected; no contact this cycle
+		}
+		env.converse(sender, to)
+		knew := env.state[to].Knows() // start-of-cycle knowledge
+		env.sendUpdate(sender, to)
+		if !knew {
+			env.markInfected(to, cycle)
+		}
+		// Feedback senders lose interest only on contacts whose recipient
+		// already knew; blind senders lose interest on every contact.
+		switch {
+		case !r.cfg.Feedback:
+			r.bump(sender)
+		case knew:
+			r.bump(sender)
+		default:
+			r.useful(sender)
+		}
+	}
+}
+
+// pullCycle: every site phones one partner and asks for hot rumors. An
+// infective source sends the update to each requester it serves; per the
+// footnote to Table 3, the per-cycle effect on the source's counter is:
+// reset if any recipient needed the update, +1 if it served recipients and
+// none needed it.
+func (r *rumorRun) pullCycle(cycle int) {
+	env := r.env
+	// Collect accepted requests; the connection limit applies to how many
+	// requests a source serves in one cycle.
+	reqFrom := make([][]int32, env.n)
+	for _, j := range env.order {
+		src, ok := env.connect(j)
+		if !ok {
+			continue
+		}
+		env.converse(j, src)
+		reqFrom[src] = append(reqFrom[src], int32(j))
+	}
+	for src, reqs := range reqFrom {
+		if env.state[src] != Infective || len(reqs) == 0 {
+			continue
+		}
+		needed := false
+		for _, j32 := range reqs {
+			j := int(j32)
+			env.sendUpdate(src, j)
+			if !env.knows(j) {
+				env.markInfected(j, cycle)
+				needed = true
+			}
+		}
+		switch {
+		case !r.cfg.Feedback:
+			r.bump(src)
+		case needed:
+			r.useful(src)
+		default:
+			r.bump(src)
+		}
+	}
+}
+
+// pushPullCycle: every site phones one partner and the pair exchange in
+// both directions. A newly infected site shares from the next cycle on.
+func (r *rumorRun) pushPullCycle(cycle int) {
+	env := r.env
+	for _, j := range env.order {
+		i, ok := env.connect(j)
+		if !ok {
+			continue
+		}
+		env.converse(j, i)
+		jKnew, iKnew := env.knows(j), env.knows(i)
+		jHot := env.state[j] == Infective
+		iHot := env.state[i] == Infective
+		if iHot {
+			env.sendUpdate(i, j)
+			if !jKnew {
+				env.markInfected(j, cycle)
+			}
+		}
+		if jHot {
+			env.sendUpdate(j, i)
+			if !iKnew {
+				env.markInfected(i, cycle)
+			}
+		}
+
+		jUnnecessary := jHot && iKnew
+		iUnnecessary := iHot && jKnew
+		if r.cfg.Minimization && jUnnecessary && iUnnecessary {
+			// Only the smaller counter is incremented; both on equality.
+			switch {
+			case env.counter[j] < env.counter[i]:
+				r.bump(j)
+			case env.counter[i] < env.counter[j]:
+				r.bump(i)
+			default:
+				r.bump(j)
+				r.bump(i)
+			}
+			continue
+		}
+		if jHot {
+			if !r.cfg.Feedback || jUnnecessary {
+				r.bump(j)
+			} else {
+				r.useful(j)
+			}
+		}
+		if iHot {
+			if !r.cfg.Feedback || iUnnecessary {
+				r.bump(i)
+			} else {
+				r.useful(i)
+			}
+		}
+	}
+}

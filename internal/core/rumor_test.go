@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+func avgRumor(t *testing.T, cfg RumorConfig, n, trials int, seed int64) (residue, traffic, tave, tlast float64) {
+	t.Helper()
+	sel := spatial.Uniform(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < trials; i++ {
+		r, err := SpreadRumor(cfg, sel, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		residue += r.Residue
+		traffic += r.Traffic
+		tave += r.TAve
+		tlast += float64(r.TLast)
+	}
+	f := float64(trials)
+	return residue / f, traffic / f, tave / f, tlast / f
+}
+
+// Table 1 of the paper: push, feedback, counter, n=1000. Residue and
+// traffic should land near the published rows.
+func TestRumorMatchesTable1(t *testing.T) {
+	rows := []struct {
+		k          int
+		wantS      float64
+		wantM      float64
+		tolS, tolM float64
+	}{
+		{k: 1, wantS: 0.18, wantM: 1.7, tolS: 0.05, tolM: 0.3},
+		{k: 2, wantS: 0.037, wantM: 3.3, tolS: 0.02, tolM: 0.4},
+		{k: 3, wantS: 0.011, wantM: 4.5, tolS: 0.008, tolM: 0.4},
+	}
+	for _, row := range rows {
+		cfg := RumorConfig{K: row.k, Counter: true, Feedback: true, Mode: Push}
+		s, m, _, _ := avgRumor(t, cfg, 1000, 12, int64(row.k))
+		if math.Abs(s-row.wantS) > row.tolS {
+			t.Errorf("k=%d residue %.4f, paper %.4f", row.k, s, row.wantS)
+		}
+		if math.Abs(m-row.wantM) > row.tolM {
+			t.Errorf("k=%d traffic %.2f, paper %.2f", row.k, m, row.wantM)
+		}
+	}
+}
+
+// Table 2: blind, coin. Notably k=1 dies almost immediately (s≈0.96).
+func TestRumorMatchesTable2(t *testing.T) {
+	cfg := RumorConfig{K: 1, Mode: Push}
+	s, m, _, _ := avgRumor(t, cfg, 1000, 12, 2)
+	if s < 0.90 || s > 0.995 {
+		t.Errorf("blind coin k=1 residue %.3f, paper 0.96", s)
+	}
+	if m > 0.1 {
+		t.Errorf("blind coin k=1 traffic %.3f, paper 0.04", m)
+	}
+	cfg.K = 3
+	s, m, _, _ = avgRumor(t, cfg, 1000, 12, 3)
+	if math.Abs(s-0.06) > 0.03 {
+		t.Errorf("blind coin k=3 residue %.3f, paper 0.060", s)
+	}
+	if math.Abs(m-2.8) > 0.4 {
+		t.Errorf("blind coin k=3 traffic %.2f, paper 2.8", m)
+	}
+}
+
+// Table 3: pull with feedback and counter is dramatically better than push
+// (s = e^{-Θ(m³)} rather than e^{-m}).
+func TestRumorMatchesTable3(t *testing.T) {
+	cfg := RumorConfig{K: 1, Counter: true, Feedback: true, Mode: Pull}
+	s, m, _, _ := avgRumor(t, cfg, 1000, 12, 4)
+	if math.Abs(s-0.031) > 0.02 {
+		t.Errorf("pull k=1 residue %.4f, paper 0.031", s)
+	}
+	if math.Abs(m-2.7) > 0.4 {
+		t.Errorf("pull k=1 traffic %.2f, paper 2.7", m)
+	}
+	cfg.K = 2
+	s, _, _, _ = avgRumor(t, cfg, 1000, 12, 5)
+	if s > 0.005 {
+		t.Errorf("pull k=2 residue %.5f, paper 5.8e-4", s)
+	}
+}
+
+// The s = e^{-m} law (§1.4) holds across push variants.
+func TestResidueTrafficLaw(t *testing.T) {
+	variants := []RumorConfig{
+		{K: 2, Counter: true, Feedback: true, Mode: Push},
+		{K: 2, Counter: true, Mode: Push},  // blind counter
+		{K: 3, Feedback: true, Mode: Push}, // feedback coin
+		{K: 3, Mode: Push},                 // blind coin
+		{K: 2, Counter: true, Feedback: true, Mode: Push, NoCounterReset: true},
+	}
+	for _, cfg := range variants {
+		s, m, _, _ := avgRumor(t, cfg, 1000, 10, 99)
+		if s <= 0 {
+			continue // fully converged; law trivially satisfied
+		}
+		want := math.Exp(-m)
+		if s < want/2.5 || s > want*2.5 {
+			t.Errorf("%v: residue %.4g vs e^-m %.4g — law violated", cfg, s, want)
+		}
+	}
+}
+
+func TestRumorValidation(t *testing.T) {
+	sel := spatial.Uniform(10)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SpreadRumor(RumorConfig{K: 0, Mode: Push}, sel, 0, rng); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := SpreadRumor(DefaultRumorConfig(), sel, -1, rng); err == nil {
+		t.Error("bad origin accepted")
+	}
+	if _, err := SpreadRumor(DefaultRumorConfig(), sel, 10, rng); err == nil {
+		t.Error("bad origin accepted")
+	}
+	// Minimization with coin is invalid.
+	bad := RumorConfig{K: 2, Mode: PushPull, Minimization: true}
+	if _, err := SpreadRumor(bad, sel, 0, rng); err == nil {
+		t.Error("minimization+coin accepted")
+	}
+}
+
+func TestRumorQuiescenceInvariants(t *testing.T) {
+	sel := spatial.Uniform(200)
+	rng := rand.New(rand.NewSource(5))
+	for _, cfg := range []RumorConfig{
+		{K: 2, Counter: true, Feedback: true, Mode: Push},
+		{K: 2, Counter: true, Feedback: true, Mode: Pull},
+		{K: 2, Counter: true, Feedback: true, Mode: PushPull},
+		{K: 2, Mode: Push},
+		{K: 2, Counter: true, Feedback: true, Mode: PushPull, Minimization: true},
+		{K: 2, Counter: true, Feedback: true, Mode: Push, ConnLimit: 1},
+		{K: 2, Counter: true, Feedback: true, Mode: Push, ConnLimit: 1, HuntLimit: 2},
+	} {
+		r, err := SpreadRumor(cfg, sel, 0, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if r.N != 200 {
+			t.Errorf("%v: N = %d", cfg, r.N)
+		}
+		if r.Residue < 0 || r.Residue > 1 {
+			t.Errorf("%v: residue %v out of range", cfg, r.Residue)
+		}
+		if r.Converged != (r.Residue == 0) {
+			t.Errorf("%v: Converged inconsistent with residue", cfg)
+		}
+		if r.TLast > r.Cycles {
+			t.Errorf("%v: TLast %d > Cycles %d", cfg, r.TLast, r.Cycles)
+		}
+		if r.TAve > float64(r.TLast) {
+			t.Errorf("%v: TAve %v > TLast %d", cfg, r.TAve, r.TLast)
+		}
+		if r.Traffic != float64(r.UpdatesSent)/float64(r.N) {
+			t.Errorf("%v: traffic inconsistent", cfg)
+		}
+	}
+}
+
+// Push with connection limit 1 does *better* than s=e^{-m}: rejected
+// connections save traffic without losing coverage (§1.4).
+func TestPushConnectionLimitImprovesTrafficEfficiency(t *testing.T) {
+	base := RumorConfig{K: 4, Counter: true, Feedback: true, Mode: Push}
+	limited := base
+	limited.ConnLimit = 1
+
+	sBase, mBase, _, _ := avgRumor(t, base, 1000, 12, 11)
+	sLim, mLim, _, _ := avgRumor(t, limited, 1000, 12, 12)
+
+	// λ = 1/(1-1/e): at equal residue the limited variant needs less
+	// traffic. Compare efficiency -ln(s)/m, which should be >= ~1 for the
+	// unlimited variant and clearly larger with the limit.
+	if sLim <= 0 || sBase <= 0 {
+		t.Skip("residue hit zero; increase n for this comparison")
+	}
+	effBase := -math.Log(sBase) / mBase
+	effLim := -math.Log(sLim) / mLim
+	if effLim <= effBase {
+		t.Errorf("connection limit should improve efficiency: base %.3f, limited %.3f", effBase, effLim)
+	}
+}
+
+// Pull gets significantly worse with a connection limit (§1.4).
+func TestPullConnectionLimitHurts(t *testing.T) {
+	base := RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Pull}
+	limited := base
+	limited.ConnLimit = 1
+	sBase, _, _, _ := avgRumor(t, base, 1000, 15, 21)
+	sLim, _, _, _ := avgRumor(t, limited, 1000, 15, 22)
+	if sLim <= sBase {
+		t.Errorf("pull with connection limit should have higher residue: base %.5f, limited %.5f", sBase, sLim)
+	}
+}
+
+// Connection limit 1 with unlimited hunting approaches a permutation:
+// push and pull become equivalent and the residue is very small (§1.4).
+func TestInfiniteHuntTinyResidue(t *testing.T) {
+	cfg := RumorConfig{K: 3, Counter: true, Feedback: true, Mode: Push, ConnLimit: 1, HuntLimit: HuntUnlimited}
+	s, _, _, _ := avgRumor(t, cfg, 500, 15, 31)
+	if s > 0.005 {
+		t.Errorf("infinite hunt residue %.5f, want very small", s)
+	}
+}
+
+// Minimization produces the smallest residue of the push-pull counter
+// variants (§1.4).
+func TestMinimizationReducesResidue(t *testing.T) {
+	// k=1 is degenerate (counters are always equal when both parties
+	// know), so compare at k=2 where the asymmetric increment matters.
+	base := RumorConfig{K: 2, Counter: true, Feedback: true, Mode: PushPull}
+	min := base
+	min.Minimization = true
+	sBase, _, _, _ := avgRumor(t, base, 1000, 40, 41)
+	sMin, _, _, _ := avgRumor(t, min, 1000, 40, 41)
+	if sMin >= sBase {
+		t.Errorf("minimization residue %.5f should be below base %.5f", sMin, sBase)
+	}
+}
+
+// Increasing k monotonically improves residue (the paper: "increasing k is
+// an effective way of insuring that almost everybody hears the rumor").
+func TestResidueDecreasesWithK(t *testing.T) {
+	var prev float64 = 1.1
+	for k := 1; k <= 4; k++ {
+		cfg := RumorConfig{K: k, Counter: true, Feedback: true, Mode: Push}
+		s, _, _, _ := avgRumor(t, cfg, 1000, 10, int64(50+k))
+		if s > prev {
+			t.Errorf("k=%d residue %.4f worse than k-1 %.4f", k, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestRumorWithLinkAccounting(t *testing.T) {
+	nw, err := topology.Mesh(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := spatial.New(nw, spatial.FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfg := RumorConfig{K: 4, Counter: true, Feedback: true, Mode: PushPull}
+	r, err := SpreadRumor(cfg, sel, 0, rng, WithLinkAccounting(nw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CompareLoad == nil || r.UpdateLoad == nil {
+		t.Fatal("link loads missing")
+	}
+	if r.CompareLoad.Total() <= 0 {
+		t.Error("no compare traffic charged")
+	}
+	if r.UpdateLoad.Total() <= 0 {
+		t.Error("no update traffic charged")
+	}
+	// Updates sent can't exceed... each conversation sends at most 2.
+	if r.UpdatesSent > 2*r.Conversations {
+		t.Errorf("updates %d > 2x conversations %d", r.UpdatesSent, r.Conversations)
+	}
+}
+
+func TestRumorDeterministicWithSeed(t *testing.T) {
+	sel := spatial.Uniform(300)
+	cfg := DefaultRumorConfig()
+	r1, err := SpreadRumor(cfg, sel, 7, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SpreadRumor(cfg, sel, 7, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed, different results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestRumorTwoSites(t *testing.T) {
+	sel := spatial.Uniform(2)
+	cfg := RumorConfig{K: 1, Counter: true, Feedback: true, Mode: Push}
+	r, err := SpreadRumor(cfg, sel, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged || r.TLast != 1 {
+		t.Errorf("two-site spread: %+v", r)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand"
+
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// State is a site's status with respect to one update, in the terminology
+// the paper borrows from epidemiology (§0).
+type State uint8
+
+const (
+	// Susceptible : the site has not yet received the update.
+	Susceptible State = iota
+	// Infective : the site knows the update and is actively sharing it.
+	Infective
+	// Removed : the site knows the update but no longer spreads it.
+	Removed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Susceptible:
+		return "susceptible"
+	case Infective:
+		return "infective"
+	case Removed:
+		return "removed"
+	}
+	return "invalid"
+}
+
+// Knows reports whether the site has the update.
+func (s State) Knows() bool { return s != Susceptible }
+
+// SpreadResult reports how one update propagated through the population.
+// The fields correspond directly to the paper's evaluation criteria
+// (§1.4: residue, traffic, delay).
+type SpreadResult struct {
+	// N is the population size.
+	N int
+	// Cycles is the number of cycles executed before quiescence (rumor) or
+	// full coverage (anti-entropy).
+	Cycles int
+	// Residue is s, the fraction of sites still susceptible at the end.
+	Residue float64
+	// Traffic is m, total updates sent divided by n.
+	Traffic float64
+	// TAve is the mean delay, in cycles, from injection to arrival,
+	// averaged over the sites that received the update (the origin counts
+	// with delay 0).
+	TAve float64
+	// TLast is the delay until the last site that will ever receive the
+	// update received it.
+	TLast int
+	// Converged reports whether every site received the update.
+	Converged bool
+	// UpdatesSent is the absolute count behind Traffic.
+	UpdatesSent int
+	// Conversations counts established connections (anti-entropy compare
+	// traffic, before multiplying along link paths).
+	Conversations int
+	// CompareLoad and UpdateLoad carry per-link charges when the spread
+	// was run with link accounting (Tables 4 and 5); nil otherwise.
+	CompareLoad, UpdateLoad *topology.LinkLoad
+}
+
+// spreadEnv is the shared machinery of the rumor and anti-entropy spread
+// engines: partner selection, connection limits with hunting, per-cycle
+// bookkeeping, and link accounting.
+type spreadEnv struct {
+	n       int
+	sel     spatial.Selector
+	rng     *rand.Rand
+	state   []State
+	counter []int
+	// infectedAt[i] is the cycle at which i received the update, -1 if
+	// never; the origin is 0.
+	infectedAt []int32
+	// newlyInfected marks sites infected during the current cycle, so that
+	// sequential processing within a synchronous cycle sees them as
+	// knowing the update but they do not act until the next cycle.
+	newlyInfected []bool
+	incoming      []int
+	order         []int
+
+	connLimit int
+	huntLimit int
+
+	updatesSent   int
+	conversations int
+	compare       *topology.LinkLoad
+	update        *topology.LinkLoad
+}
+
+func newSpreadEnv(sel spatial.Selector, rng *rand.Rand, connLimit, huntLimit int) *spreadEnv {
+	n := sel.NumSites()
+	env := &spreadEnv{
+		n:             n,
+		sel:           sel,
+		rng:           rng,
+		state:         make([]State, n),
+		counter:       make([]int, n),
+		infectedAt:    make([]int32, n),
+		newlyInfected: make([]bool, n),
+		incoming:      make([]int, n),
+		order:         make([]int, n),
+		connLimit:     connLimit,
+		huntLimit:     huntLimit,
+	}
+	for i := range env.infectedAt {
+		env.infectedAt[i] = -1
+	}
+	for i := range env.order {
+		env.order[i] = i
+	}
+	return env
+}
+
+// withLinkAccounting attaches per-link charge accumulators.
+func (e *spreadEnv) withLinkAccounting(nw *topology.Network) {
+	e.compare = topology.NewLinkLoad(nw)
+	e.update = topology.NewLinkLoad(nw)
+}
+
+// inject seeds the update at site origin before cycle 1.
+func (e *spreadEnv) inject(origin int) {
+	e.state[origin] = Infective
+	e.infectedAt[origin] = 0
+}
+
+// beginCycle resets per-cycle connection bookkeeping and shuffles the
+// order in which sites act.
+func (e *spreadEnv) beginCycle() {
+	for i := range e.incoming {
+		e.incoming[i] = 0
+	}
+	e.rng.Shuffle(e.n, func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+}
+
+// endCycle promotes newly infected sites to Infective.
+func (e *spreadEnv) endCycle() {
+	for i, fresh := range e.newlyInfected {
+		if fresh {
+			e.state[i] = Infective
+			e.newlyInfected[i] = false
+		}
+	}
+}
+
+// knows reports whether site i has the update, counting infections that
+// happened earlier in the current cycle.
+func (e *spreadEnv) knows(i int) bool {
+	return e.state[i].Knows() || e.newlyInfected[i]
+}
+
+// markInfected records that site i learned the update in the given cycle.
+func (e *spreadEnv) markInfected(i, cycle int) {
+	if !e.newlyInfected[i] && !e.state[i].Knows() {
+		e.newlyInfected[i] = true
+		e.infectedAt[i] = int32(cycle)
+	}
+}
+
+// connect picks a partner for site from, honouring the connection limit by
+// hunting for alternates. It reserves capacity at the partner and returns
+// (partner, true), or (0, false) if every attempt was rejected.
+func (e *spreadEnv) connect(from int) (int, bool) {
+	attempts := 1 + e.huntLimit
+	if e.huntLimit == HuntUnlimited {
+		// Exhaustive hunting: bounded retry keeps a spatial selector's
+		// distribution intact while failing with negligible probability
+		// when capacity exists.
+		attempts = 64 * e.n
+	}
+	for a := 0; a < attempts; a++ {
+		to := e.sel.Pick(e.rng, from)
+		if e.connLimit > 0 && e.incoming[to] >= e.connLimit {
+			continue // rejected; hunt
+		}
+		e.incoming[to]++
+		return to, true
+	}
+	return 0, false
+}
+
+// sendUpdate accounts for one transmission of the update from a to b.
+func (e *spreadEnv) sendUpdate(a, b int) {
+	e.updatesSent++
+	if e.update != nil {
+		e.update.Charge(a, b)
+	}
+}
+
+// converse accounts for one established conversation between a and b.
+func (e *spreadEnv) converse(a, b int) {
+	e.conversations++
+	if e.compare != nil {
+		e.compare.Charge(a, b)
+	}
+}
+
+// anyInfective reports whether any site is still actively spreading.
+func (e *spreadEnv) anyInfective() bool {
+	for _, s := range e.state {
+		if s == Infective {
+			return true
+		}
+	}
+	return false
+}
+
+// result assembles the SpreadResult after the run ended at the given cycle
+// count.
+func (e *spreadEnv) result(cycles int) SpreadResult {
+	res := SpreadResult{
+		N:             e.n,
+		Cycles:        cycles,
+		UpdatesSent:   e.updatesSent,
+		Conversations: e.conversations,
+		Traffic:       float64(e.updatesSent) / float64(e.n),
+		CompareLoad:   e.compare,
+		UpdateLoad:    e.update,
+	}
+	var knowers, susceptible int
+	var sumDelay float64
+	for i := range e.state {
+		if e.infectedAt[i] >= 0 {
+			knowers++
+			sumDelay += float64(e.infectedAt[i])
+			if int(e.infectedAt[i]) > res.TLast {
+				res.TLast = int(e.infectedAt[i])
+			}
+		} else {
+			susceptible++
+		}
+	}
+	res.Residue = float64(susceptible) / float64(e.n)
+	if knowers > 0 {
+		res.TAve = sumDelay / float64(knowers)
+	}
+	res.Converged = susceptible == 0
+	return res
+}

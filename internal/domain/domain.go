@@ -1,0 +1,206 @@
+// Package domain implements Clearinghouse-style partial replication on
+// top of the epidemic machinery. The paper's motivating system partitions
+// its name space into *domains*, and "each domain may be stored
+// (replicated) on as few as one, or as many as all, of the Clearinghouse
+// servers" (§0.1). A Host runs one independent replica runtime per domain
+// it stores; each domain gossips only among the sites that store it, so
+// lightly replicated domains impose no load on the rest of the network.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"epidemic/internal/node"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// ErrNotHosted is returned for operations on a domain this host does not
+// store.
+var ErrNotHosted = errors.New("domain: not hosted at this site")
+
+// Assignment maps each domain name to the sites that replicate it.
+type Assignment map[string][]timestamp.SiteID
+
+// DomainsAt returns the domains assigned to one site, sorted.
+func (a Assignment) DomainsAt(site timestamp.SiteID) []string {
+	var out []string
+	for name, sites := range a {
+		for _, s := range sites {
+			if s == site {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks that every domain has at least one replica.
+func (a Assignment) Validate() error {
+	if len(a) == 0 {
+		return errors.New("domain: empty assignment")
+	}
+	for name, sites := range a {
+		if len(sites) == 0 {
+			return fmt.Errorf("domain: %q has no replicas", name)
+		}
+		seen := make(map[timestamp.SiteID]bool, len(sites))
+		for _, s := range sites {
+			if seen[s] {
+				return fmt.Errorf("domain: %q lists site %d twice", name, s)
+			}
+			seen[s] = true
+		}
+	}
+	return nil
+}
+
+// HostConfig configures one server.
+type HostConfig struct {
+	// Site is this server's ID.
+	Site timestamp.SiteID
+	// Clock is shared across all of the host's domain replicas.
+	Clock timestamp.Clock
+	// Node is the template for each per-domain replica runtime; Site,
+	// Clock, and Seed are filled in per domain.
+	Node node.Config
+	// Seed derives per-domain RNG seeds.
+	Seed int64
+}
+
+// Host is one server storing several domains.
+type Host struct {
+	site     timestamp.SiteID
+	replicas map[string]*node.Node
+}
+
+// NewHost builds a host storing its share of the assignment.
+func NewHost(cfg HostConfig, assignment Assignment) (*Host, error) {
+	if err := assignment.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Host{site: cfg.Site, replicas: make(map[string]*node.Node)}
+	for i, name := range assignment.DomainsAt(cfg.Site) {
+		ncfg := cfg.Node
+		ncfg.Site = cfg.Site
+		ncfg.Clock = cfg.Clock
+		ncfg.Seed = cfg.Seed + int64(i)*7919 + 1
+		n, err := node.New(ncfg)
+		if err != nil {
+			return nil, fmt.Errorf("domain %q: %w", name, err)
+		}
+		h.replicas[name] = n
+	}
+	return h, nil
+}
+
+// Site returns the host's site ID.
+func (h *Host) Site() timestamp.SiteID { return h.site }
+
+// Domains returns the domains stored here, sorted.
+func (h *Host) Domains() []string {
+	out := make([]string, 0, len(h.replicas))
+	for name := range h.replicas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replica returns the replica runtime for one domain.
+func (h *Host) Replica(domain string) (*node.Node, bool) {
+	n, ok := h.replicas[domain]
+	return n, ok
+}
+
+// Update writes into a hosted domain.
+func (h *Host) Update(domain, key string, v store.Value) (store.Entry, error) {
+	n, ok := h.replicas[domain]
+	if !ok {
+		return store.Entry{}, fmt.Errorf("update %s:%s: %w", domain, key, ErrNotHosted)
+	}
+	return n.Update(key, v), nil
+}
+
+// Delete removes an item from a hosted domain (death certificate).
+func (h *Host) Delete(domain, key string) (store.Entry, error) {
+	n, ok := h.replicas[domain]
+	if !ok {
+		return store.Entry{}, fmt.Errorf("delete %s:%s: %w", domain, key, ErrNotHosted)
+	}
+	return n.Delete(key), nil
+}
+
+// Lookup reads from a hosted domain.
+func (h *Host) Lookup(domain, key string) (store.Value, bool, error) {
+	n, ok := h.replicas[domain]
+	if !ok {
+		return nil, false, fmt.Errorf("lookup %s:%s: %w", domain, key, ErrNotHosted)
+	}
+	v, found := n.Lookup(key)
+	return v, found, nil
+}
+
+// StepAntiEntropy runs one anti-entropy conversation in every hosted
+// domain that has peers.
+func (h *Host) StepAntiEntropy() error {
+	for _, name := range h.Domains() {
+		if err := h.replicas[name].StepAntiEntropy(); err != nil && !errors.Is(err, node.ErrNoPeers) {
+			return fmt.Errorf("domain %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// StepRumor runs one rumor round in every hosted domain that has peers.
+func (h *Host) StepRumor() error {
+	for _, name := range h.Domains() {
+		if err := h.replicas[name].StepRumor(); err != nil && !errors.Is(err, node.ErrNoPeers) {
+			return fmt.Errorf("domain %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Wire connects a set of hosts per the assignment: for every domain, each
+// hosting site peers with the other hosting sites, using in-process
+// LocalPeers. Hosts must cover the assignment (a listed site missing from
+// hosts is an error).
+func Wire(hosts map[timestamp.SiteID]*Host, assignment Assignment, seed int64) error {
+	if err := assignment.Validate(); err != nil {
+		return err
+	}
+	for name, sites := range assignment {
+		for _, site := range sites {
+			h, ok := hosts[site]
+			if !ok {
+				return fmt.Errorf("domain %q: site %d has no host", name, site)
+			}
+			self, ok := h.replicas[name]
+			if !ok {
+				return fmt.Errorf("domain %q: host %d does not store it", name, site)
+			}
+			var peers []node.Peer
+			for _, other := range sites {
+				if other == site {
+					continue
+				}
+				oh, ok := hosts[other]
+				if !ok {
+					return fmt.Errorf("domain %q: site %d has no host", name, other)
+				}
+				target, ok := oh.replicas[name]
+				if !ok {
+					return fmt.Errorf("domain %q: host %d does not store it", name, other)
+				}
+				peers = append(peers, node.NewLocalPeer(target, seed+int64(site)*1000+int64(other)))
+			}
+			self.SetPeers(peers)
+		}
+	}
+	return nil
+}

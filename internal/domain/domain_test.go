@@ -1,0 +1,212 @@
+package domain
+
+import (
+	"errors"
+	"testing"
+
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// threeHosts builds: domain "common" on all three sites, "west" on 1+2,
+// "east" on 2+3, "solo" only on 3.
+func threeHosts(t *testing.T) (map[timestamp.SiteID]*Host, Assignment, *timestamp.Simulated) {
+	t.Helper()
+	assignment := Assignment{
+		"common": {1, 2, 3},
+		"west":   {1, 2},
+		"east":   {2, 3},
+		"solo":   {3},
+	}
+	src := timestamp.NewSimulated(1)
+	hosts := make(map[timestamp.SiteID]*Host)
+	for _, site := range []timestamp.SiteID{1, 2, 3} {
+		h, err := NewHost(HostConfig{Site: site, Clock: src.ClockAt(site), Seed: int64(site)}, assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[site] = h
+	}
+	if err := Wire(hosts, assignment, 99); err != nil {
+		t.Fatal(err)
+	}
+	return hosts, assignment, src
+}
+
+func stepAll(t *testing.T, hosts map[timestamp.SiteID]*Host, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for _, site := range []timestamp.SiteID{1, 2, 3} {
+			if err := hosts[site].StepAntiEntropy(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	if err := (Assignment{}).Validate(); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	if err := (Assignment{"d": nil}).Validate(); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	if err := (Assignment{"d": {1, 1}}).Validate(); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if err := (Assignment{"d": {1}}).Validate(); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestDomainsAt(t *testing.T) {
+	_, assignment, _ := threeHosts(t)
+	got := assignment.DomainsAt(2)
+	want := []string{"common", "east", "west"}
+	if len(got) != len(want) {
+		t.Fatalf("DomainsAt(2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DomainsAt(2) = %v, want %v", got, want)
+		}
+	}
+	if len(assignment.DomainsAt(9)) != 0 {
+		t.Error("unknown site should host nothing")
+	}
+}
+
+func TestHostDomains(t *testing.T) {
+	hosts, _, _ := threeHosts(t)
+	if got := hosts[1].Domains(); len(got) != 2 || got[0] != "common" || got[1] != "west" {
+		t.Fatalf("host1 domains = %v", got)
+	}
+	if hosts[3].Site() != 3 {
+		t.Error("Site wrong")
+	}
+	if _, ok := hosts[1].Replica("west"); !ok {
+		t.Error("Replica(west) missing")
+	}
+	if _, ok := hosts[1].Replica("east"); ok {
+		t.Error("host1 should not store east")
+	}
+}
+
+func TestNotHostedErrors(t *testing.T) {
+	hosts, _, _ := threeHosts(t)
+	if _, err := hosts[1].Update("east", "k", store.Value("v")); !errors.Is(err, ErrNotHosted) {
+		t.Errorf("Update err = %v", err)
+	}
+	if _, err := hosts[1].Delete("east", "k"); !errors.Is(err, ErrNotHosted) {
+		t.Errorf("Delete err = %v", err)
+	}
+	if _, _, err := hosts[1].Lookup("east", "k"); !errors.Is(err, ErrNotHosted) {
+		t.Errorf("Lookup err = %v", err)
+	}
+}
+
+func TestDomainIsolation(t *testing.T) {
+	hosts, _, _ := threeHosts(t)
+	if _, err := hosts[1].Update("west", "printer", store.Value("w1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hosts[3].Update("east", "printer", store.Value("e1")); err != nil {
+		t.Fatal(err)
+	}
+	stepAll(t, hosts, 5)
+
+	// West data reached site 2 but never site 3.
+	if v, ok, err := hosts[2].Lookup("west", "printer"); err != nil || !ok || string(v) != "w1" {
+		t.Fatalf("west at site2: %q %v %v", v, ok, err)
+	}
+	if _, _, err := hosts[3].Lookup("west", "printer"); !errors.Is(err, ErrNotHosted) {
+		t.Fatal("west leaked to site 3")
+	}
+	// The two domains keep independent values for the same key.
+	if v, _, _ := hosts[2].Lookup("east", "printer"); string(v) != "e1" {
+		t.Fatalf("east at site2 = %q", v)
+	}
+	if v, _, _ := hosts[2].Lookup("west", "printer"); string(v) != "w1" {
+		t.Fatalf("west at site2 = %q", v)
+	}
+}
+
+func TestSingleReplicaDomain(t *testing.T) {
+	hosts, _, _ := threeHosts(t)
+	if _, err := hosts[3].Update("solo", "k", store.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	// StepAntiEntropy must tolerate the peer-less domain.
+	if err := hosts[3].StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hosts[3].StepRumor(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := hosts[3].Lookup("solo", "k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("solo lookup: %q %v %v", v, ok, err)
+	}
+}
+
+func TestDeleteWithinDomain(t *testing.T) {
+	hosts, _, src := threeHosts(t)
+	if _, err := hosts[1].Update("common", "k", store.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	stepAll(t, hosts, 5)
+	src.Advance(1)
+	if _, err := hosts[2].Delete("common", "k"); err != nil {
+		t.Fatal(err)
+	}
+	stepAll(t, hosts, 5)
+	for _, site := range []timestamp.SiteID{1, 2, 3} {
+		if _, ok, err := hosts[site].Lookup("common", "k"); err != nil || ok {
+			t.Errorf("site %d still sees deleted item", site)
+		}
+	}
+}
+
+func TestRumorWithinDomain(t *testing.T) {
+	hosts, _, _ := threeHosts(t)
+	if _, err := hosts[1].Update("common", "news", store.Value("hot")); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		for _, site := range []timestamp.SiteID{1, 2, 3} {
+			if err := hosts[site].StepRumor(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, site := range []timestamp.SiteID{2, 3} {
+		if _, ok, err := hosts[site].Lookup("common", "news"); err != nil || !ok {
+			t.Errorf("rumor did not reach site %d", site)
+		}
+	}
+}
+
+func TestWireErrors(t *testing.T) {
+	assignment := Assignment{"d": {1, 2}}
+	src := timestamp.NewSimulated(1)
+	h1, err := NewHost(HostConfig{Site: 1, Clock: src.ClockAt(1)}, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 2 missing from hosts.
+	if err := Wire(map[timestamp.SiteID]*Host{1: h1}, assignment, 1); err == nil {
+		t.Error("missing host accepted")
+	}
+	if err := Wire(nil, Assignment{}, 1); err == nil {
+		t.Error("empty assignment accepted")
+	}
+}
+
+func TestNewHostPropagatesNodeErrors(t *testing.T) {
+	assignment := Assignment{"d": {1}}
+	cfg := HostConfig{Site: 1}
+	cfg.Node.Rumor.K = -1 // invalid
+	cfg.Node.Rumor.Mode = 1
+	if _, err := NewHost(cfg, assignment); err == nil {
+		t.Error("invalid node template accepted")
+	}
+}

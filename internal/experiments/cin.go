@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// CINRow is one row of Tables 4 and 5: anti-entropy on the (synthetic)
+// CIN topology under one spatial distribution.
+type CINRow struct {
+	// Label names the distribution: "uniform" or "a = 1.2" etc.
+	Label string
+	TLast float64
+	TAve  float64
+	// CompareAvg and CompareBushey are anti-entropy conversations per
+	// cycle, averaged over all links / on the transatlantic Bushey link.
+	CompareAvg, CompareBushey float64
+	// UpdateAvg and UpdateBushey count the conversations in which the
+	// update had to be sent, per link, totalled over the whole run.
+	UpdateAvg, UpdateBushey float64
+}
+
+// CINSpec bundles the prepared selectors for the CIN experiments so Table4
+// and Table5 can share the (expensive) topology and table construction.
+type CINSpec struct {
+	CIN       *topology.CIN
+	Selectors []LabeledSelector
+}
+
+// LabeledSelector pairs a partner-selection distribution with its table
+// label.
+type LabeledSelector struct {
+	Label    string
+	Selector spatial.Selector
+}
+
+// NewCINSpec builds the synthetic CIN and the six distributions of
+// Tables 4–5: uniform plus equation (3.1.1) with a = 1.2 .. 2.0.
+func NewCINSpec() (*CINSpec, error) {
+	cin, err := topology.NewCIN()
+	if err != nil {
+		return nil, err
+	}
+	spec := &CINSpec{CIN: cin}
+	spec.Selectors = append(spec.Selectors, LabeledSelector{
+		Label:    "uniform",
+		Selector: spatial.Uniform(cin.NumSites()),
+	})
+	for _, a := range []float64{1.2, 1.4, 1.6, 1.8, 2.0} {
+		sel, err := spatial.New(cin.Network, spatial.FormPaper, a)
+		if err != nil {
+			return nil, err
+		}
+		spec.Selectors = append(spec.Selectors, LabeledSelector{
+			Label:    fmt.Sprintf("a = %.1f", a),
+			Selector: sel,
+		})
+	}
+	return spec, nil
+}
+
+// RunCINTable runs `trials` single-update anti-entropy spreads per
+// distribution, each injected at a random site, and averages the Table 4/5
+// quantities. This is the engine behind Table4 and Table5.
+func (spec *CINSpec) RunCINTable(cfg core.AntiEntropyConfig, trials int, seed int64) ([]CINRow, error) {
+	nLinks := float64(spec.CIN.Graph().NumLinks())
+	n := spec.CIN.NumSites()
+	rows := make([]CINRow, 0, len(spec.Selectors))
+	for si, ls := range spec.Selectors {
+		rng := rand.New(rand.NewSource(seed + int64(si)*7919))
+		var row CINRow
+		row.Label = ls.Label
+		for t := 0; t < trials; t++ {
+			r, err := core.SpreadAntiEntropy(cfg, ls.Selector, rng.Intn(n), rng,
+				core.WithLinkAccounting(spec.CIN.Network))
+			if err != nil {
+				return nil, err
+			}
+			cycles := float64(r.Cycles)
+			if cycles == 0 {
+				cycles = 1
+			}
+			row.TLast += float64(r.TLast)
+			row.TAve += r.TAve
+			row.CompareAvg += r.CompareLoad.Total() / nLinks / cycles
+			row.CompareBushey += r.CompareLoad.Get(spec.CIN.BusheyLink) / cycles
+			row.UpdateAvg += r.UpdateLoad.Total() / nLinks
+			row.UpdateBushey += r.UpdateLoad.Get(spec.CIN.BusheyLink)
+		}
+		f := float64(trials)
+		row.TLast /= f
+		row.TAve /= f
+		row.CompareAvg /= f
+		row.CompareBushey /= f
+		row.UpdateAvg /= f
+		row.UpdateBushey /= f
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table4 reproduces Table 4: push-pull anti-entropy, no connection limit,
+// on the synthetic CIN. The paper averages 250 runs.
+func Table4(trials int, seed int64) ([]CINRow, error) {
+	spec, err := NewCINSpec()
+	if err != nil {
+		return nil, err
+	}
+	return spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull}, trials, seed)
+}
+
+// Table5 reproduces Table 5: the same experiment under the most
+// pessimistic connection assumption, connection limit 1 and hunt limit 0.
+func Table5(trials int, seed int64) ([]CINRow, error) {
+	spec, err := NewCINSpec()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.AntiEntropyConfig{Mode: core.PushPull, ConnLimit: 1, HuntLimit: 0}
+	return spec.RunCINTable(cfg, trials, seed)
+}
+
+// FormatCINRows renders rows the way the paper prints Tables 4–5.
+func FormatCINRows(title string, rows []CINRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %7s %7s | %9s %9s | %9s %9s\n",
+		"Distribution", "t_last", "t_ave", "CmpAvg", "CmpBushey", "UpdAvg", "UpdBushey")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %7.1f %7.1f | %9.1f %9.1f | %9.1f %9.1f\n",
+			r.Label, r.TLast, r.TAve, r.CompareAvg, r.CompareBushey, r.UpdateAvg, r.UpdateBushey)
+	}
+	return b.String()
+}

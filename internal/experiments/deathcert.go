@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/sim"
+	"epidemic/internal/store"
+)
+
+// DeathCertRow reports one deletion scenario of §2.
+type DeathCertRow struct {
+	Scenario string
+	// ResurrectedReplicas counts replicas showing the deleted item alive
+	// at the end of the scenario (0 is the goal).
+	ResurrectedReplicas int
+	// Replicas is the cluster size.
+	Replicas int
+	// Note carries scenario-specific detail.
+	Note string
+}
+
+// DeathCertificates reproduces §2's deletion semantics on a full cluster:
+//
+//  1. Deleting with certificates discarded immediately lets an obsolete
+//     copy resurrect the item ("old copies ... spread back").
+//  2. Death certificates held past the obsolete copy's reappearance cancel
+//     it.
+//  3. Dormant certificates with activation timestamps (§2.1–2.3) cancel a
+//     very old obsolete copy even after most sites discarded the
+//     certificate, by awakening at a retention site.
+func DeathCertificates(n int, seed int64) ([]DeathCertRow, error) {
+	var rows []DeathCertRow
+
+	// --- Scenario 1: certificates expire before the stale copy returns.
+	c, err := newDeletionCluster(n, seed, 5 /* tau1 */, 0 /* tau2 */, 0 /* retention */, false)
+	if err != nil {
+		return nil, err
+	}
+	staleHolder := runDeletionPreamble(c)
+	// Let every certificate expire everywhere, then heal the partition.
+	c.Clock().Advance(50)
+	c.StepGC()
+	c.SetPartition(staleHolder, false)
+	c.RunAntiEntropyToConsistency(60)
+	rows = append(rows, DeathCertRow{
+		Scenario:            "certificates expired early (tau too small)",
+		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+		Replicas:            c.N(),
+		Note:                "obsolete copy resurrects the item",
+	})
+
+	// --- Scenario 2: certificates still held when the stale copy returns.
+	c, err = newDeletionCluster(n, seed+1, 1_000_000, 0, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	staleHolder = runDeletionPreamble(c)
+	c.Clock().Advance(50)
+	c.StepGC()
+	c.SetPartition(staleHolder, false)
+	c.RunAntiEntropyToConsistency(60)
+	rows = append(rows, DeathCertRow{
+		Scenario:            "certificates retained (large tau)",
+		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+		Replicas:            c.N(),
+		Note:                "certificate cancels the obsolete copy",
+	})
+
+	// --- Scenario 3: dormant certificates + activation timestamps.
+	c, err = newDeletionCluster(n, seed+2, 20 /* tau1 */, 1_000_000 /* tau2 */, 3 /* retention */, true)
+	if err != nil {
+		return nil, err
+	}
+	staleHolder = runDeletionPreamble(c)
+	// Move far past tau1 so non-retention sites drop their copies.
+	c.Clock().Advance(500)
+	c.StepGC()
+	c.SetPartition(staleHolder, false)
+	c.RunAntiEntropyToConsistency(120)
+	rows = append(rows, DeathCertRow{
+		Scenario:            "dormant certificates awaken (tau1+tau2, activation timestamps)",
+		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+		Replicas:            c.N(),
+		Note:                "retention site reactivates; certificate respreads",
+	})
+	return rows, nil
+}
+
+// newDeletionCluster builds a cluster configured for the §2 scenarios.
+func newDeletionCluster(n int, seed, tau1, tau2 int64, retention int, reactivate bool) (*sim.Cluster, error) {
+	return sim.NewCluster(sim.ClusterConfig{
+		N:     n,
+		Rumor: core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
+		Resolve: core.ResolveConfig{
+			Mode:              core.PushPull,
+			Strategy:          core.CompareFull,
+			Tau1:              tau1,
+			ReactivateDormant: reactivate,
+		},
+		Redistribution: core.RedistributeRumor,
+		Tau1:           tau1,
+		Tau2:           tau2,
+		RetentionCount: retention,
+		Seed:           seed,
+	})
+}
+
+// runDeletionPreamble spreads an item everywhere, partitions one stale
+// holder away, deletes the item, spreads the certificate to the reachable
+// sites, and returns the stale holder's index.
+func runDeletionPreamble(c *sim.Cluster) int {
+	const staleHolder = 1
+	c.Node(0).Update("item", store.Value("v1"))
+	c.RunAntiEntropyToConsistency(60)
+	c.SetPartition(staleHolder, true)
+	c.Node(0).Delete("item")
+	c.RunAntiEntropyToConsistency(60)
+	return staleHolder
+}
+
+// FormatDeathCertRows renders the deletion scenarios.
+func FormatDeathCertRows(rows []DeathCertRow) string {
+	var b strings.Builder
+	b.WriteString("death certificates (§2)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-62s resurrected %d/%d (%s)\n", r.Scenario, r.ResurrectedReplicas, r.Replicas, r.Note)
+	}
+	return b.String()
+}
+
+// BackupRow reports §1.5's anti-entropy backup behaviour.
+type BackupRow struct {
+	Variant string
+	// RumorFailures counts trials where rumor mongering alone left
+	// susceptible sites.
+	RumorFailures int
+	// AfterBackupFailures counts trials still inconsistent after the
+	// anti-entropy backup rounds.
+	AfterBackupFailures int
+	Trials              int
+	// MeanBackupCycles is the average number of anti-entropy cycles the
+	// backup needed.
+	MeanBackupCycles float64
+}
+
+// BackupAntiEntropy demonstrates §1.5: an aggressive rumor variant (k=1)
+// frequently fails to reach everyone, and a few backup anti-entropy cycles
+// always finish the job.
+func BackupAntiEntropy(n, trials int, seed int64) (BackupRow, error) {
+	row := BackupRow{Variant: "push rumor k=1 + push-pull anti-entropy backup", Trials: trials}
+	var backupCycles float64
+	for t := 0; t < trials; t++ {
+		c, err := sim.NewCluster(sim.ClusterConfig{
+			N:     n,
+			Rumor: core.RumorConfig{K: 1, Counter: true, Feedback: true, Mode: core.Push},
+			Seed:  seed + int64(t),
+		})
+		if err != nil {
+			return BackupRow{}, err
+		}
+		c.Node(t%n).Update("k", store.Value("v"))
+		c.RunRumorToQuiescence(80)
+		if c.CountWithValue("k", "v") < n {
+			row.RumorFailures++
+		}
+		cycles, ok := c.RunAntiEntropyToConsistency(80)
+		backupCycles += float64(cycles)
+		if !ok || c.CountWithValue("k", "v") != n {
+			row.AfterBackupFailures++
+		}
+	}
+	row.MeanBackupCycles = backupCycles / float64(trials)
+	return row, nil
+}
+
+// FormatBackupRow renders the backup experiment.
+func FormatBackupRow(r BackupRow) string {
+	return fmt.Sprintf(
+		"anti-entropy backup (§1.5): %s\n  rumor alone failed %d/%d trials; after backup %d/%d failed; mean backup cycles %.1f\n",
+		r.Variant, r.RumorFailures, r.Trials, r.AfterBackupFailures, r.Trials, r.MeanBackupCycles)
+}

@@ -1,0 +1,600 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// Small-scale runs keep the test suite fast; the benchmarks run the
+// paper-scale versions.
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(500, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Residue > rows[i-1].Residue {
+			t.Errorf("residue not decreasing at k=%d", rows[i].K)
+		}
+		if rows[i].Traffic < rows[i-1].Traffic {
+			t.Errorf("traffic not increasing at k=%d", rows[i].K)
+		}
+	}
+	out := FormatRumorRows("Table 1", rows)
+	if !strings.Contains(out, "Residue") || len(strings.Split(out, "\n")) < 7 {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(500, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Blind+coin k=1: the rumor dies almost immediately.
+	if rows[0].Residue < 0.85 {
+		t.Errorf("k=1 blind+coin residue %.3f, want ~0.96", rows[0].Residue)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(500, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Pull beats push dramatically: k=2 residue should already be tiny.
+	if rows[1].Residue > 0.01 {
+		t.Errorf("pull k=2 residue %.4f, want < 0.01", rows[1].Residue)
+	}
+}
+
+func TestCINTablesShape(t *testing.T) {
+	spec, err := NewCINSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	uniform, tightest := rows[0], rows[len(rows)-1]
+	if uniform.Label != "uniform" {
+		t.Fatalf("first row = %q", uniform.Label)
+	}
+	// The paper's headline claims: spatial distribution cuts average
+	// traffic several-fold and the Bushey link by a large factor, at the
+	// cost of <~2.5x slower convergence.
+	if tightest.CompareBushey > uniform.CompareBushey/10 {
+		t.Errorf("Bushey compare traffic: uniform %.1f, a=2 %.1f — want >10x reduction",
+			uniform.CompareBushey, tightest.CompareBushey)
+	}
+	if tightest.CompareAvg > uniform.CompareAvg/2 {
+		t.Errorf("average compare traffic: uniform %.1f, a=2 %.1f — want >2x reduction",
+			uniform.CompareAvg, tightest.CompareAvg)
+	}
+	if tightest.TLast < uniform.TLast {
+		t.Errorf("tighter distribution should converge slower")
+	}
+	out := FormatCINRows("Table 4", rows)
+	if !strings.Contains(out, "Bushey") {
+		t.Error("format missing Bushey column")
+	}
+}
+
+func TestTable5ConnectionLimitSlower(t *testing.T) {
+	spec, err := NewCINSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull, ConnLimit: 1}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note 3 of §3.1: convergence times higher, compare traffic lower.
+	if limited[0].TLast <= free[0].TLast {
+		t.Errorf("uniform: connection limit should slow convergence (%v vs %v)", limited[0].TLast, free[0].TLast)
+	}
+	if limited[0].CompareAvg >= free[0].CompareAvg {
+		t.Errorf("uniform: connection limit should cut per-cycle compare traffic")
+	}
+}
+
+func TestFigure1FailsAtSmallK(t *testing.T) {
+	rows, err := Figure1(20, 3, 60, []int{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].FailureRate == 0 {
+		t.Error("k=1 on the Figure 1 topology should fail sometimes")
+	}
+	last := rows[len(rows)-1]
+	if last.FailureRate > rows[0].FailureRate {
+		t.Error("failure rate should not increase with k")
+	}
+	out := FormatFigureRows("Figure 1", rows)
+	if !strings.Contains(out, "P(failure)") {
+		t.Error("format wrong")
+	}
+}
+
+func TestFigure2SatelliteMisses(t *testing.T) {
+	rows, err := Figure2(5, 40, []int{1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].FailureRate == 0 {
+		t.Error("k=1 on the Figure 2 topology should fail sometimes")
+	}
+}
+
+func TestKForFullDistribution(t *testing.T) {
+	nw, err := topology.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := spatial.New(nw, spatial.FormPaper, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.RumorConfig{Counter: true, Feedback: true, Mode: core.PushPull}
+	k, err := KForFullDistribution(cfg, sel, 20, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || k > 12 {
+		t.Errorf("k = %d, want a small finite value", k)
+	}
+}
+
+func TestPushPullConvergenceRows(t *testing.T) {
+	rows := PushPullConvergence(1000, 0.1, 8, 5, 1)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	// Pull model collapses double-exponentially; push lags far behind.
+	if last.PullModel >= last.PushModel {
+		t.Error("pull model should be far below push model")
+	}
+	if last.PullSim > last.PushSim+0.01 {
+		t.Errorf("pull sim %.4f should not exceed push sim %.4f", last.PullSim, last.PushSim)
+	}
+	// Simulation should track the models loosely at cycle 3.
+	mid := rows[3]
+	if math.Abs(mid.PushSim-mid.PushModel) > 0.05 {
+		t.Errorf("push sim %.4f vs model %.4f diverged", mid.PushSim, mid.PushModel)
+	}
+	if !strings.Contains(FormatConvergenceRows(rows), "push model") {
+		t.Error("format wrong")
+	}
+}
+
+func TestResidueTrafficLawRows(t *testing.T) {
+	rows, err := ResidueTrafficLaw(600, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Lambda) {
+			continue // residue hit zero at small n
+		}
+		if r.Lambda < 0.6 || r.Lambda > 1.9 {
+			t.Errorf("%s k=%d lambda %.2f outside the e^-m regime", r.Variant, r.K, r.Lambda)
+		}
+	}
+	if !strings.Contains(FormatLawRows("law", rows), "lambda") {
+		t.Error("format wrong")
+	}
+}
+
+func TestConnectionLimitLawRows(t *testing.T) {
+	rows, err := ConnectionLimitLaw(600, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := func(name string, k int) LawRow {
+		for _, r := range rows {
+			if r.Variant == name && r.K == k {
+				return r
+			}
+		}
+		t.Fatalf("row %q k=%d missing", name, k)
+		return LawRow{}
+	}
+	// Pull degrades with the limit.
+	if byName("pull climit=1", 2).Residue < byName("pull unlimited", 2).Residue {
+		t.Error("pull should degrade under connection limit")
+	}
+	// Hunting repairs pull.
+	if byName("pull climit=1 hunt=4", 2).Residue > byName("pull climit=1", 2).Residue {
+		t.Error("hunting should repair pull")
+	}
+}
+
+func TestMinimizationComparisonRows(t *testing.T) {
+	rows, err := MinimizationComparison(800, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At k=2 minimization should not be worse.
+	var base, min LawRow
+	for _, r := range rows {
+		if r.K != 2 {
+			continue
+		}
+		if strings.Contains(r.Variant, "minimization") {
+			min = r
+		} else {
+			base = r
+		}
+	}
+	if min.Residue > base.Residue*1.5 {
+		t.Errorf("minimization residue %.4g much worse than base %.4g", min.Residue, base.Residue)
+	}
+}
+
+func TestLineScalingRows(t *testing.T) {
+	rows, err := LineScaling([]int{64, 128}, []float64{0, 2}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(n int, a float64) LineScalingRow {
+		for _, r := range rows {
+			if r.N == n && r.A == a {
+				return r
+			}
+		}
+		t.Fatalf("row n=%d a=%v missing", n, a)
+		return LineScalingRow{}
+	}
+	// Uniform traffic per link grows ~linearly with n; a=2 stays near
+	// flat. Compare growth factors when n doubles.
+	uniformGrowth := get(128, 0).TrafficPerLink / get(64, 0).TrafficPerLink
+	tightGrowth := get(128, 2).TrafficPerLink / get(64, 2).TrafficPerLink
+	if uniformGrowth < 1.5 {
+		t.Errorf("uniform per-link traffic growth %.2f, want ~2 (O(n))", uniformGrowth)
+	}
+	if tightGrowth > 1.4 {
+		t.Errorf("a=2 per-link traffic growth %.2f, want ~1 (O(log n))", tightGrowth)
+	}
+	// Uniform converges in O(log n); a=2 is slower on a line but far from
+	// O(n).
+	if get(128, 2).TLast > float64(128) {
+		t.Error("a=2 convergence degenerated to O(n)")
+	}
+	if !strings.Contains(FormatLineScalingRows(rows), "t_last") {
+		t.Error("format wrong")
+	}
+}
+
+func TestDeathCertificateScenarios(t *testing.T) {
+	rows, err := DeathCertificates(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].ResurrectedReplicas == 0 {
+		t.Error("scenario 1 (expired certificates) should resurrect the item")
+	}
+	if rows[1].ResurrectedReplicas != 0 {
+		t.Errorf("scenario 2 (retained certificates) resurrected %d replicas", rows[1].ResurrectedReplicas)
+	}
+	if rows[2].ResurrectedReplicas != 0 {
+		t.Errorf("scenario 3 (dormant awakening) resurrected %d replicas", rows[2].ResurrectedReplicas)
+	}
+	if !strings.Contains(FormatDeathCertRows(rows), "resurrected") {
+		t.Error("format wrong")
+	}
+}
+
+func TestBackupAntiEntropyAlwaysFinishes(t *testing.T) {
+	row, err := BackupAntiEntropy(16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AfterBackupFailures != 0 {
+		t.Errorf("backup failed %d/%d trials", row.AfterBackupFailures, row.Trials)
+	}
+	if !strings.Contains(FormatBackupRow(row), "backup") {
+		t.Error("format wrong")
+	}
+}
+
+func TestKAdjustmentOrdering(t *testing.T) {
+	rows, err := KAdjustment(20, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Push-pull needs a small finite k at every spatial tightness; push
+	// never needs a *smaller* k than push-pull at the same distribution.
+	byKey := make(map[string]KAdjustRow, len(rows))
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%v/%.1f", r.Mode, r.A)] = r
+	}
+	for _, a := range []float64{0, 1.2, 2.0} {
+		pp := byKey[fmt.Sprintf("push-pull/%.1f", a)]
+		if !pp.Found {
+			t.Errorf("push-pull a=%.1f: no k <= %d sufficed", a, pp.MaxK)
+		}
+		push := byKey[fmt.Sprintf("push/%.1f", a)]
+		if push.Found && push.K < pp.K {
+			t.Errorf("a=%.1f: push k=%d smaller than push-pull k=%d", a, push.K, pp.K)
+		}
+	}
+	if !strings.Contains(FormatKAdjustRows(rows), "100%") {
+		t.Error("format wrong")
+	}
+}
+
+func TestTauWindowTradeoff(t *testing.T) {
+	rows, err := TauWindow(10, []int64{1, 5, 60}, 50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, good, huge := rows[0], rows[1], rows[2]
+	// Too-small tau: checksum comparisons usually fail.
+	if tiny.FullCompareRate < 0.2 {
+		t.Errorf("tau=1 full-compare rate %.2f, want substantial", tiny.FullCompareRate)
+	}
+	// Well-chosen tau: almost no full compares, cheapest exchanges.
+	if good.FullCompareRate > 0.05 {
+		t.Errorf("tau=5 full-compare rate %.2f, want ~0", good.FullCompareRate)
+	}
+	if good.EntriesPerExchange >= tiny.EntriesPerExchange {
+		t.Error("well-chosen tau should beat too-small tau on traffic")
+	}
+	// Oversized tau: recent lists bloat.
+	if huge.EntriesPerExchange <= good.EntriesPerExchange {
+		t.Error("oversized tau should cost more than well-chosen tau")
+	}
+	if !strings.Contains(FormatTauWindowRows(rows), "tau") {
+		t.Error("format wrong")
+	}
+}
+
+func TestAsyncRobustnessRows(t *testing.T) {
+	rows, err := AsyncRobustness(500, 8, []int{2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Asynchrony must not change the character of the results.
+		if r.AsyncTraffic < r.SyncTraffic*0.6 || r.AsyncTraffic > r.SyncTraffic*1.4 {
+			t.Errorf("k=%d traffic diverged: sync %.2f async %.2f", r.K, r.SyncTraffic, r.AsyncTraffic)
+		}
+		if r.AsyncTLast > r.SyncTLast*1.6 {
+			t.Errorf("k=%d delay diverged: sync %.1f async %.1f", r.K, r.SyncTLast, r.AsyncTLast)
+		}
+	}
+	if !strings.Contains(FormatAsyncRows(rows), "async") {
+		t.Error("format wrong")
+	}
+}
+
+func TestStalenessRelaxedConsistency(t *testing.T) {
+	rows, err := Staleness(10, []float64{0.5, 16}, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := rows[0], rows[1]
+	// Currency stays high even under heavy load...
+	if high.Currency < 0.9 {
+		t.Errorf("currency %.3f under load, want > 0.9", high.Currency)
+	}
+	// ...and degrades monotonically with rate.
+	if high.Currency > low.Currency {
+		t.Errorf("currency should not improve with load: %.4f vs %.4f", high.Currency, low.Currency)
+	}
+	// Full consistency becomes rare as the update rate rises.
+	if high.FullyConsistentFraction > low.FullyConsistentFraction {
+		t.Error("full consistency should be rarer under load")
+	}
+	if !strings.Contains(FormatStalenessRows(rows), "currency") {
+		t.Error("format wrong")
+	}
+}
+
+func TestMethodComparison(t *testing.T) {
+	rows, err := MethodComparison(500, 10, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mail, ae, rm := rows[0], rows[1], rows[2]
+	// Direct mail: residue ~ loss rate, one cycle, ~1 message/site.
+	if math.Abs(mail.Residue-0.05) > 0.02 || mail.TLast != 1 {
+		t.Errorf("mail row: %+v", mail)
+	}
+	// Anti-entropy: guaranteed, residue 0.
+	if !ae.Reliable || ae.Residue != 0 {
+		t.Errorf("ae row: %+v", ae)
+	}
+	// Rumors: tiny residue, bounded traffic, log-time delay.
+	if rm.Residue > 0.05 {
+		t.Errorf("rumor residue %.4f", rm.Residue)
+	}
+	if rm.TLast <= 1 || rm.TLast > 40 {
+		t.Errorf("rumor t_last %.1f", rm.TLast)
+	}
+	if !strings.Contains(FormatMethodRows(rows), "guaranteed") {
+		t.Error("format wrong")
+	}
+}
+
+func TestDormantSpace(t *testing.T) {
+	rows := DormantSpace(300, 30, 15, []int{1, 4})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// r=1: tau2 = (30-15)*300 = 4500 days ≈ 12 years.
+	if rows[0].Tau2Days != 4500 || rows[0].LossProbability != 0.5 {
+		t.Errorf("r=1 row: %+v", rows[0])
+	}
+	// Larger r trades history for durability.
+	if rows[1].Tau2Days >= rows[0].Tau2Days {
+		t.Error("tau2 should shrink with r")
+	}
+	if rows[1].LossProbability >= rows[0].LossProbability {
+		t.Error("loss probability should shrink with r")
+	}
+	out := FormatDormantSpaceRows(300, 30, 15, rows)
+	if !strings.Contains(out, "history") {
+		t.Error("format wrong")
+	}
+}
+
+func TestRedistributionCost(t *testing.T) {
+	const n = 100
+	rows, err := RedistributionCost(n, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mail, rumorHalf, rumorOne := rows[0], rows[1], rows[2]
+	// The storm: ~n/2 disagreeing exchanges x (n-1) mails = O(n^2).
+	if mail.Messages < float64(n*n)/4 {
+		t.Errorf("mail storm = %.0f messages, want O(n^2)", mail.Messages)
+	}
+	// Rumor redistribution is orders of magnitude cheaper...
+	if rumorHalf.Messages > mail.Messages/5 {
+		t.Errorf("rumor redistribution %.0f vs mail %.0f", rumorHalf.Messages, mail.Messages)
+	}
+	// ...and no more expensive than a single-origin rumor (the paper:
+	// "actually generates less network traffic").
+	if rumorHalf.Messages > rumorOne.Messages*1.2 {
+		t.Errorf("rumor from n/2 (%.0f) should not exceed single-origin (%.0f)",
+			rumorHalf.Messages, rumorOne.Messages)
+	}
+	if !strings.Contains(FormatRedistributionRows(n, rows), "policy") {
+		t.Error("format wrong")
+	}
+}
+
+func TestMailLinkTraffic(t *testing.T) {
+	rows, err := MailLinkTraffic(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mail, uniform, spatialAE := rows[0], rows[1], rows[2]
+	// Direct mail concentrates load near the origin: the max link far
+	// exceeds the average.
+	if mail.MaxLink < mail.AvgPerLink*5 {
+		t.Errorf("mail hot spot missing: max %.1f avg %.1f", mail.MaxLink, mail.AvgPerLink)
+	}
+	// The spatial distribution unloads the transatlantic link vs both.
+	if spatialAE.Bushey >= uniform.Bushey/3 {
+		t.Errorf("spatial Bushey %.1f vs uniform %.1f", spatialAE.Bushey, uniform.Bushey)
+	}
+	if spatialAE.Bushey >= mail.Bushey/2 {
+		t.Errorf("spatial Bushey %.1f vs mail %.1f", spatialAE.Bushey, mail.Bushey)
+	}
+	if !strings.Contains(FormatLinkTrafficRows(rows), "Bushey") {
+		t.Error("format wrong")
+	}
+}
+
+func TestHybridCost(t *testing.T) {
+	rows, err := HybridCost(500, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pure, hybrid := rows[0], rows[1]
+	// The point of §1.5: the hybrid needs far fewer database-examining
+	// conversations.
+	if hybrid.ExpensiveConversations > pure.ExpensiveConversations/3 {
+		t.Errorf("hybrid convs %.0f vs pure %.0f — expected a big saving",
+			hybrid.ExpensiveConversations, pure.ExpensiveConversations)
+	}
+	if hybrid.TLast > pure.TLast*4 {
+		t.Errorf("hybrid delay %.1f vs pure %.1f", hybrid.TLast, pure.TLast)
+	}
+	if !strings.Contains(FormatHybridRows(500, rows), "strategy") {
+		t.Error("format wrong")
+	}
+}
+
+func TestRumorMongeringOnCINMatchesTable4(t *testing.T) {
+	rumorRows, err := RumorMongeringOnCIN(30, 16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := NewCINSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aeRows, err := spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rumorRows) != len(aeRows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rumorRows), len(aeRows))
+	}
+	for i, rr := range rumorRows {
+		ae := aeRows[i]
+		// §3.2: "the traffic and convergence times were nearly identical
+		// to the results in Table 4" (conversation traffic; rumor update
+		// counts differ by construction).
+		if rr.K < 1 || rr.K > 16 {
+			t.Errorf("%s: k = %d not small finite", rr.Label, rr.K)
+		}
+		if math.Abs(rr.TLast-ae.TLast) > ae.TLast*0.35 {
+			t.Errorf("%s: rumor t_last %.1f vs anti-entropy %.1f", rr.Label, rr.TLast, ae.TLast)
+		}
+		if math.Abs(rr.CompareAvg-ae.CompareAvg) > ae.CompareAvg*0.25 {
+			t.Errorf("%s: rumor CmpAvg %.2f vs anti-entropy %.2f", rr.Label, rr.CompareAvg, ae.CompareAvg)
+		}
+	}
+	if !strings.Contains(FormatRumorCINRows(rumorRows), "100%") {
+		t.Error("format wrong")
+	}
+}

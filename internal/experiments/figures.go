@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// FigureRow reports rumor-mongering failure statistics on one pathological
+// topology at one k.
+type FigureRow struct {
+	K int
+	// FailureRate is the fraction of trials in which at least one site
+	// never received the update.
+	FailureRate float64
+	// MeanResidue is the mean fraction of sites missed.
+	MeanResidue float64
+	Trials      int
+}
+
+// Figure1 reproduces the paper's Figure 1 scenario: sites s and t near
+// each other, m sites u_1..u_m equidistant and slightly farther away. With
+// push rumor mongering and a Q_s(d)^{-2} distribution, s and t have a
+// significant probability of talking only to each other for k consecutive
+// cycles, killing the rumor before it escapes. The update is injected at
+// s; failure probability decreases with k but stays material while m > k.
+func Figure1(m, far, trials int, ks []int, seed int64) ([]FigureRow, error) {
+	nw, err := topology.PairFan(m, far)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := spatial.New(nw, spatial.FormPaper, 2)
+	if err != nil {
+		return nil, err
+	}
+	return failureRows(sel, 0 /* inject at s */, trials, ks, seed)
+}
+
+// Figure2 reproduces the paper's Figure 2 scenario: a complete binary tree
+// of sites plus a satellite site s whose distance to the root exceeds the
+// tree height. With push rumor mongering and Q_s(d)^{-2}, an update
+// introduced inside the tree can die out before any tree site contacts s.
+// The update is injected at a random tree leaf.
+func Figure2(depth, trials int, ks []int, seed int64) ([]FigureRow, error) {
+	nw, err := topology.TreeWithSatellite(depth)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := spatial.New(nw, spatial.FormPaper, 2)
+	if err != nil {
+		return nil, err
+	}
+	// Inject at the last leaf (deep in the tree, far from the satellite).
+	return failureRows(sel, nw.NumSites()-1, trials, ks, seed)
+}
+
+func failureRows(sel spatial.Selector, origin, trials int, ks []int, seed int64) ([]FigureRow, error) {
+	rows := make([]FigureRow, 0, len(ks))
+	for _, k := range ks {
+		cfg := core.RumorConfig{K: k, Counter: true, Feedback: true, Mode: core.Push}
+		rng := rand.New(rand.NewSource(seed + int64(k)))
+		failures := 0
+		var residue float64
+		for t := 0; t < trials; t++ {
+			r, err := core.SpreadRumor(cfg, sel, origin, rng)
+			if err != nil {
+				return nil, err
+			}
+			if !r.Converged {
+				failures++
+			}
+			residue += r.Residue
+		}
+		rows = append(rows, FigureRow{
+			K:           k,
+			FailureRate: float64(failures) / float64(trials),
+			MeanResidue: residue / float64(trials),
+			Trials:      trials,
+		})
+	}
+	return rows, nil
+}
+
+// KForFullDistribution searches for the smallest k at which the given
+// variant achieves 100% distribution in every one of `trials` runs — the
+// paper's methodology in §3.2 ("once k was adjusted to give 100%
+// distribution in each of 200 trials"). It returns maxK+1 if no k ≤ maxK
+// suffices.
+func KForFullDistribution(cfg core.RumorConfig, sel spatial.Selector, trials, maxK int, seed int64) (int, error) {
+	n := sel.NumSites()
+	for k := 1; k <= maxK; k++ {
+		cfg.K = k
+		rng := rand.New(rand.NewSource(seed + int64(k)*104729))
+		allOK := true
+		for t := 0; t < trials; t++ {
+			r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+			if err != nil {
+				return 0, err
+			}
+			if !r.Converged {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			return k, nil
+		}
+	}
+	return maxK + 1, nil
+}
+
+// FormatFigureRows renders figure-scenario rows.
+func FormatFigureRows(title string, rows []FigureRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%3s  %12s  %12s  %7s\n", "k", "P(failure)", "mean residue", "trials")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%3d  %12.3f  %12.4f  %7d\n", r.K, r.FailureRate, r.MeanResidue, r.Trials)
+	}
+	return b.String()
+}

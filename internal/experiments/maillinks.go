@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// LinkTrafficRow reports the per-link cost of distributing one update to
+// every site with one mechanism, in the paper's (links·messages) unit
+// (§1.2: "the traffic is proportional to the number of sites times the
+// average distance between sites").
+type LinkTrafficRow struct {
+	Method string
+	// AvgPerLink is the total link-messages divided by the number of
+	// links.
+	AvgPerLink float64
+	// Bushey is the load on the primary transatlantic link.
+	Bushey float64
+	// MaxLink is the most loaded link anywhere.
+	MaxLink float64
+}
+
+// MailLinkTraffic distributes one update to all sites of the synthetic
+// CIN three ways and charges every message to the links it traverses:
+// direct mail (each copy travels origin→destination), uniform
+// anti-entropy, and spatially distributed anti-entropy. Direct mail and
+// uniform anti-entropy pound the transatlantic link with every copy bound
+// for the other continent; the spatial distribution routes almost all
+// transfer distance over local links.
+func MailLinkTraffic(trials int, seed int64) ([]LinkTrafficRow, error) {
+	cin, err := topology.NewCIN()
+	if err != nil {
+		return nil, err
+	}
+	n := cin.NumSites()
+	nLinks := float64(cin.Graph().NumLinks())
+	rng := rand.New(rand.NewSource(seed))
+
+	var mail LinkTrafficRow
+	mail.Method = "direct mail"
+	load := topology.NewLinkLoad(cin.Network)
+	for t := 0; t < trials; t++ {
+		load.Reset()
+		origin := rng.Intn(n)
+		for j := 0; j < n; j++ {
+			if j != origin {
+				load.Charge(origin, j)
+			}
+		}
+		mail.AvgPerLink += load.Total() / nLinks
+		mail.Bushey += load.Get(cin.BusheyLink)
+		mail.MaxLink += load.Max()
+	}
+	mail.AvgPerLink /= float64(trials)
+	mail.Bushey /= float64(trials)
+	mail.MaxLink /= float64(trials)
+
+	aeRow := func(label string, sel spatial.Selector, seed int64) (LinkTrafficRow, error) {
+		row := LinkTrafficRow{Method: label}
+		rng := rand.New(rand.NewSource(seed))
+		for t := 0; t < trials; t++ {
+			r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
+				rng.Intn(n), rng, core.WithLinkAccounting(cin.Network))
+			if err != nil {
+				return row, err
+			}
+			row.AvgPerLink += r.UpdateLoad.Total() / nLinks
+			row.Bushey += r.UpdateLoad.Get(cin.BusheyLink)
+			row.MaxLink += r.UpdateLoad.Max()
+		}
+		row.AvgPerLink /= float64(trials)
+		row.Bushey /= float64(trials)
+		row.MaxLink /= float64(trials)
+		return row, nil
+	}
+
+	uniform, err := aeRow("anti-entropy, uniform", spatial.Uniform(n), seed+1)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := spatial.New(cin.Network, spatial.FormPaper, 2)
+	if err != nil {
+		return nil, err
+	}
+	spatialRow, err := aeRow("anti-entropy, eq(3.1.1) a=2", sel, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	return []LinkTrafficRow{mail, uniform, spatialRow}, nil
+}
+
+// FormatLinkTrafficRows renders the per-link comparison.
+func FormatLinkTrafficRows(rows []LinkTrafficRow) string {
+	var b strings.Builder
+	b.WriteString("per-link cost of delivering one update everywhere, synthetic CIN (§1.2, §3.1)\n")
+	fmt.Fprintf(&b, "%-28s  %12s  %10s  %10s\n", "method", "avg/link", "Bushey", "max link")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s  %12.1f  %10.1f  %10.1f\n", r.Method, r.AvgPerLink, r.Bushey, r.MaxLink)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+)
+
+// RedistributionRow measures the network cost of one §1.5 redistribution
+// policy when an update is already known at half the sites.
+type RedistributionRow struct {
+	Policy string
+	// Messages is mail posted (mail policy) or rumor updates sent (rumor
+	// policies).
+	Messages float64
+	// Residue is the fraction of sites left without the update when the
+	// mechanism finishes (anti-entropy would mop up afterwards).
+	Residue float64
+}
+
+// RedistributionCost reproduces the Clearinghouse remail disaster (§0.1,
+// §1.5). The nightly anti-entropy pass finds an update known at n/2
+// sites; every exchange that discovers a disagreement triggers the
+// redistribution policy:
+//
+//   - remail: each of the O(n) disagreeing exchanges mails the value to
+//     all n sites — "for a domain stored at 300 sites, 90,000 mail
+//     messages might be introduced each night". Mail is queued overnight,
+//     so the storm is not suppressed by repairs landing early.
+//   - rumor: the update becomes a hot rumor at every site that knows it.
+//     O(n) initial copies generate *less* traffic than a single-origin
+//     rumor, because most pushes immediately hit knowers and the counters
+//     kill the rumor fast.
+//
+// The single-origin rumor row is the reference the paper compares against.
+func RedistributionCost(n, trials int, seed int64) ([]RedistributionRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sel := spatial.Uniform(n)
+	cfg := core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull}
+
+	var mailRow RedistributionRow
+	mailRow.Policy = "remail"
+	for t := 0; t < trials; t++ {
+		// One synchronous anti-entropy round with the update at n/2
+		// random sites; every disagreeing exchange queues n-1 mails.
+		know := make([]bool, n)
+		perm := rng.Perm(n)
+		for _, i := range perm[:n/2] {
+			know[i] = true
+		}
+		disagreements := 0
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if know[i] != know[j] {
+				disagreements++
+			}
+		}
+		mailRow.Messages += float64(disagreements * (n - 1))
+		// The mail itself reaches everyone; residue 0.
+	}
+	mailRow.Messages /= float64(trials)
+
+	seedHalf := func() []int {
+		perm := rng.Perm(n)
+		return perm[:n/2-1] // plus the origin passed separately
+	}
+
+	var rumorHalf RedistributionRow
+	rumorHalf.Policy = "rumor from n/2 sites"
+	for t := 0; t < trials; t++ {
+		r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng,
+			core.WithInitialInfectives(seedHalf()))
+		if err != nil {
+			return nil, err
+		}
+		rumorHalf.Messages += float64(r.UpdatesSent)
+		rumorHalf.Residue += r.Residue
+	}
+	rumorHalf.Messages /= float64(trials)
+	rumorHalf.Residue /= float64(trials)
+
+	var rumorOne RedistributionRow
+	rumorOne.Policy = "rumor from 1 site (ref)"
+	for t := 0; t < trials; t++ {
+		r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+		if err != nil {
+			return nil, err
+		}
+		rumorOne.Messages += float64(r.UpdatesSent)
+		rumorOne.Residue += r.Residue
+	}
+	rumorOne.Messages /= float64(trials)
+	rumorOne.Residue /= float64(trials)
+
+	return []RedistributionRow{mailRow, rumorHalf, rumorOne}, nil
+}
+
+// FormatRedistributionRows renders the comparison.
+func FormatRedistributionRows(n int, rows []RedistributionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "redistributing an update known at n/2 of %d sites (§0.1, §1.5)\n", n)
+	fmt.Fprintf(&b, "%-26s  %12s  %10s\n", "policy", "messages", "residue")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s  %12.0f  %10.2e\n", r.Policy, r.Messages, r.Residue)
+	}
+	return b.String()
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/analytic"
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+	"epidemic/internal/topology"
+)
+
+// ConvergenceRow compares §1.3's push and pull residual recurrences with
+// simulation at one cycle index.
+type ConvergenceRow struct {
+	Cycle              int
+	PushModel, PushSim float64
+	PullModel, PullSim float64
+}
+
+// PushPullConvergence reproduces §1.3's residual analysis: starting with a
+// fraction p0 of sites susceptible, pull converges as p² while push decays
+// only as e^{-1} per cycle. Simulated curves are averaged over trials.
+func PushPullConvergence(n int, p0 float64, cycles, trials int, seed int64) []ConvergenceRow {
+	pushSim := simulateResidualDecay(n, p0, cycles, trials, seed, true)
+	pullSim := simulateResidualDecay(n, p0, cycles, trials, seed+1, false)
+
+	rows := make([]ConvergenceRow, 0, cycles+1)
+	pushP, pullP := p0, p0
+	for c := 0; c <= cycles; c++ {
+		rows = append(rows, ConvergenceRow{
+			Cycle:     c,
+			PushModel: pushP,
+			PushSim:   pushSim[c],
+			PullModel: pullP,
+			PullSim:   pullSim[c],
+		})
+		pushP = analytic.PushStep(pushP, n)
+		pullP = analytic.PullStep(pullP)
+	}
+	return rows
+}
+
+// simulateResidualDecay runs uniform anti-entropy cycles on n sites of
+// which ceil(p0·n) start susceptible, recording the susceptible fraction
+// after each cycle.
+func simulateResidualDecay(n int, p0 float64, cycles, trials int, seed int64, push bool) []float64 {
+	out := make([]float64, cycles+1)
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		knows := make([]bool, n)
+		susceptible := int(math.Ceil(p0 * float64(n)))
+		for i := susceptible; i < n; i++ {
+			knows[i] = true
+		}
+		rng.Shuffle(n, func(i, j int) { knows[i], knows[j] = knows[j], knows[i] })
+		count := 0
+		for _, k := range knows {
+			if !k {
+				count++
+			}
+		}
+		out[0] += float64(count) / float64(n)
+		next := make([]bool, n)
+		for c := 1; c <= cycles; c++ {
+			copy(next, knows)
+			for i := 0; i < n; i++ {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				if push && knows[i] && !knows[j] {
+					next[j] = true
+				}
+				if !push && knows[j] && !knows[i] {
+					next[i] = true
+				}
+			}
+			copy(knows, next)
+			count = 0
+			for _, k := range knows {
+				if !k {
+					count++
+				}
+			}
+			out[c] += float64(count) / float64(n)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(trials)
+	}
+	return out
+}
+
+// FormatConvergenceRows renders the §1.3 recurrence comparison.
+func FormatConvergenceRows(rows []ConvergenceRow) string {
+	var b strings.Builder
+	b.WriteString("push vs pull residual convergence (§1.3)\n")
+	fmt.Fprintf(&b, "%5s  %10s %10s  %10s %10s\n", "cycle", "push model", "push sim", "pull model", "pull sim")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5d  %10.2e %10.2e  %10.2e %10.2e\n", r.Cycle, r.PushModel, r.PushSim, r.PullModel, r.PullSim)
+	}
+	return b.String()
+}
+
+// LawRow is one point of the s = e^{-m} residue/traffic law (§1.4).
+type LawRow struct {
+	Variant string
+	K       int
+	Residue float64
+	Traffic float64
+	// Lambda is the fitted exponent -ln(s)/m; 1.0 is the push law,
+	// 1/(1−e^{-1}) ≈ 1.58 the connection-limited push law.
+	Lambda float64
+}
+
+// ResidueTrafficLaw measures residue against traffic across the §1.4 push
+// variants, demonstrating that they share s = e^{-m}.
+func ResidueTrafficLaw(n, trials int, seed int64) ([]LawRow, error) {
+	variants := []struct {
+		name string
+		cfg  core.RumorConfig
+	}{
+		{"feedback+counter", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push}},
+		{"blind+counter", core.RumorConfig{Counter: true, Mode: core.Push}},
+		{"feedback+coin", core.RumorConfig{Feedback: true, Mode: core.Push}},
+		{"blind+coin", core.RumorConfig{Mode: core.Push}},
+	}
+	sel := spatial.Uniform(n)
+	var rows []LawRow
+	for vi, v := range variants {
+		for _, k := range []int{2, 3, 4} {
+			cfg := v.cfg
+			cfg.K = k
+			rng := rand.New(rand.NewSource(seed + int64(vi*10+k)))
+			var s, m float64
+			for t := 0; t < trials; t++ {
+				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+				if err != nil {
+					return nil, err
+				}
+				s += r.Residue
+				m += r.Traffic
+			}
+			s /= float64(trials)
+			m /= float64(trials)
+			lambda := math.NaN()
+			if s > 0 && m > 0 {
+				lambda = -math.Log(s) / m
+			}
+			rows = append(rows, LawRow{Variant: v.name, K: k, Residue: s, Traffic: m, Lambda: lambda})
+		}
+	}
+	return rows, nil
+}
+
+// ConnectionLimitLaw measures the §1.4 connection-limit effects: push with
+// connection limit 1 beats s=e^{-m} (λ → 1/(1−e^{-1})), pull with a limit
+// degrades, and hunting repairs it.
+func ConnectionLimitLaw(n, trials int, seed int64) ([]LawRow, error) {
+	variants := []struct {
+		name string
+		cfg  core.RumorConfig
+	}{
+		{"push unlimited", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push}},
+		{"push climit=1", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push, ConnLimit: 1}},
+		{"push climit=1 hunt=4", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push, ConnLimit: 1, HuntLimit: 4}},
+		{"push climit=1 hunt=inf", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push, ConnLimit: 1, HuntLimit: core.HuntUnlimited}},
+		{"pull unlimited", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Pull}},
+		{"pull climit=1", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Pull, ConnLimit: 1}},
+		{"pull climit=1 hunt=4", core.RumorConfig{Counter: true, Feedback: true, Mode: core.Pull, ConnLimit: 1, HuntLimit: 4}},
+	}
+	sel := spatial.Uniform(n)
+	var rows []LawRow
+	for vi, v := range variants {
+		for _, k := range []int{2, 3} {
+			cfg := v.cfg
+			cfg.K = k
+			rng := rand.New(rand.NewSource(seed + int64(vi*10+k)))
+			var s, m float64
+			for t := 0; t < trials; t++ {
+				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+				if err != nil {
+					return nil, err
+				}
+				s += r.Residue
+				m += r.Traffic
+			}
+			s /= float64(trials)
+			m /= float64(trials)
+			lambda := math.NaN()
+			if s > 0 && m > 0 {
+				lambda = -math.Log(s) / m
+			}
+			rows = append(rows, LawRow{Variant: v.name, K: k, Residue: s, Traffic: m, Lambda: lambda})
+		}
+	}
+	return rows, nil
+}
+
+// MinimizationComparison compares push-pull counters with and without
+// §1.4's counter minimization ("it results in the smallest residue we have
+// seen so far").
+func MinimizationComparison(n, trials int, seed int64) ([]LawRow, error) {
+	variants := []struct {
+		name string
+		cfg  core.RumorConfig
+	}{
+		{"push-pull counter", core.RumorConfig{Counter: true, Feedback: true, Mode: core.PushPull}},
+		{"push-pull minimization", core.RumorConfig{Counter: true, Feedback: true, Mode: core.PushPull, Minimization: true}},
+	}
+	sel := spatial.Uniform(n)
+	var rows []LawRow
+	for vi, v := range variants {
+		for _, k := range []int{2, 3} {
+			cfg := v.cfg
+			cfg.K = k
+			rng := rand.New(rand.NewSource(seed + int64(vi+1)))
+			var s, m float64
+			for t := 0; t < trials; t++ {
+				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+				if err != nil {
+					return nil, err
+				}
+				s += r.Residue
+				m += r.Traffic
+			}
+			rows = append(rows, LawRow{Variant: v.name, K: k,
+				Residue: s / float64(trials), Traffic: m / float64(trials)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatLawRows renders residue/traffic law rows.
+func FormatLawRows(title string, rows []LawRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-24s %3s  %10s  %8s  %8s\n", "variant", "k", "residue", "traffic", "lambda")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %3d  %10.2e  %8.2f  %8.2f\n", r.Variant, r.K, r.Residue, r.Traffic, r.Lambda)
+	}
+	return b.String()
+}
+
+// LineScalingRow measures §3's traffic/convergence tradeoff for a d^{-a}
+// distribution on a line of n sites.
+type LineScalingRow struct {
+	N int
+	A float64
+	// TrafficPerLink is the average per-link per-cycle conversation load.
+	TrafficPerLink float64
+	// TLast is the convergence time in cycles.
+	TLast float64
+	// PredictedOrder is the paper's T(n) class for this a.
+	PredictedOrder string
+}
+
+// LineScaling sweeps n and a on a linear network with anti-entropy
+// (push-pull) and d^{-a} partner selection, reproducing §3's T(n) table
+// empirically: tight distributions (a=2) keep per-link traffic ~O(log n)
+// while convergence stays polylogarithmic; uniform (a=0) burns O(n) per
+// link.
+func LineScaling(ns []int, as []float64, trials int, seed int64) ([]LineScalingRow, error) {
+	var rows []LineScalingRow
+	for _, n := range ns {
+		nw, err := topology.Line(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range as {
+			var sel spatial.Selector
+			if a == 0 {
+				sel = spatial.Uniform(n)
+			} else {
+				sel, err = spatial.New(nw, spatial.FormDistance, a)
+				if err != nil {
+					return nil, err
+				}
+			}
+			order, _ := analytic.LineTrafficExponent(a)
+			if a == 0 {
+				order = "O(n)"
+			}
+			rng := rand.New(rand.NewSource(seed + int64(n)*31 + int64(a*100)))
+			var traffic, tlast float64
+			for t := 0; t < trials; t++ {
+				r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
+					rng.Intn(n), rng, core.WithLinkAccounting(nw))
+				if err != nil {
+					return nil, err
+				}
+				cycles := float64(r.Cycles)
+				if cycles == 0 {
+					cycles = 1
+				}
+				traffic += r.CompareLoad.Total() / float64(nw.Graph().NumLinks()) / cycles
+				tlast += float64(r.TLast)
+			}
+			rows = append(rows, LineScalingRow{
+				N: n, A: a,
+				TrafficPerLink: traffic / float64(trials),
+				TLast:          tlast / float64(trials),
+				PredictedOrder: order,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatLineScalingRows renders the line-topology sweep.
+func FormatLineScalingRows(rows []LineScalingRow) string {
+	var b strings.Builder
+	b.WriteString("spatial distributions on a line (§3): per-link traffic and convergence\n")
+	fmt.Fprintf(&b, "%6s  %5s  %14s  %8s  %s\n", "n", "a", "traffic/link", "t_last", "paper T(n)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d  %5.1f  %14.2f  %8.1f  %s\n", r.N, r.A, r.TrafficPerLink, r.TLast, r.PredictedOrder)
+	}
+	return b.String()
+}

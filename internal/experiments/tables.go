@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the analytical claims of §1.3–§3. Each experiment
+// returns structured rows so the CLI, the benchmarks, and EXPERIMENTS.md
+// can share one source of truth.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"epidemic/internal/core"
+	"epidemic/internal/spatial"
+)
+
+// RumorRow is one row of Tables 1–3: a rumor-mongering variant at one k.
+type RumorRow struct {
+	K       int
+	Residue float64
+	Traffic float64
+	TAve    float64
+	TLast   float64
+}
+
+// runRumorRows averages `trials` single-update spreads per k.
+func runRumorRows(cfg core.RumorConfig, ks []int, n, trials int, seed int64) ([]RumorRow, error) {
+	sel := spatial.Uniform(n)
+	rows := make([]RumorRow, 0, len(ks))
+	for _, k := range ks {
+		kcfg := cfg
+		kcfg.K = k
+		rng := rand.New(rand.NewSource(seed + int64(k)))
+		var row RumorRow
+		row.K = k
+		for i := 0; i < trials; i++ {
+			r, err := core.SpreadRumor(kcfg, sel, rng.Intn(n), rng)
+			if err != nil {
+				return nil, err
+			}
+			row.Residue += r.Residue
+			row.Traffic += r.Traffic
+			row.TAve += r.TAve
+			row.TLast += float64(r.TLast)
+		}
+		f := float64(trials)
+		row.Residue /= f
+		row.Traffic /= f
+		row.TAve /= f
+		row.TLast /= f
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1 reproduces Table 1: push rumor mongering with feedback and
+// counters on n sites (the paper uses n=1000), k = 1..5.
+func Table1(n, trials int, seed int64) ([]RumorRow, error) {
+	cfg := core.RumorConfig{Counter: true, Feedback: true, Mode: core.Push}
+	return runRumorRows(cfg, []int{1, 2, 3, 4, 5}, n, trials, seed)
+}
+
+// Table2 reproduces Table 2: push rumor mongering, blind with coins.
+func Table2(n, trials int, seed int64) ([]RumorRow, error) {
+	cfg := core.RumorConfig{Mode: core.Push}
+	return runRumorRows(cfg, []int{1, 2, 3, 4, 5}, n, trials, seed)
+}
+
+// Table3 reproduces Table 3: pull rumor mongering with feedback and
+// counters (per-cycle counter semantics per the table's footnote).
+func Table3(n, trials int, seed int64) ([]RumorRow, error) {
+	cfg := core.RumorConfig{Counter: true, Feedback: true, Mode: core.Pull}
+	return runRumorRows(cfg, []int{1, 2, 3}, n, trials, seed)
+}
+
+// FormatRumorRows renders rows the way the paper prints Tables 1–3.
+func FormatRumorRows(title string, rows []RumorRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%3s  %10s  %8s  %7s  %7s\n", "k", "Residue s", "Traffic", "t_ave", "t_last")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%3d  %10.2g  %8.2f  %7.2f  %7.2f\n", r.K, r.Residue, r.Traffic, r.TAve, r.TLast)
+	}
+	return b.String()
+}

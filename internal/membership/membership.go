@@ -1,0 +1,104 @@
+// Package membership stores the set of replica sites inside the
+// replicated database itself, under a reserved key prefix — the way the
+// Clearinghouse kept its own server addresses in the name database it
+// served. Because the directory rides the same epidemic machinery as any
+// other data, site additions and removals propagate by direct mail, rumor
+// mongering, and anti-entropy, and a removal is just a death certificate.
+//
+// The paper notes that direct mail "may also fail when the source site of
+// an update does not have accurate knowledge of S, the set of sites"; a
+// replicated directory keeps each site's knowledge of S as current as the
+// epidemics themselves can make it.
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"epidemic/internal/node"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// KeyPrefix is the reserved prefix for membership records. Applications
+// should not write keys under it; List and SyncPeers ignore everything
+// else.
+const KeyPrefix = "\x00sites/"
+
+// Record describes one replica site.
+type Record struct {
+	Site timestamp.SiteID `json:"site"`
+	// Addr is the site's gossip address ("host:port" for TCP replicas;
+	// free-form otherwise).
+	Addr string `json:"addr"`
+}
+
+// Key returns the database key for a site's membership record.
+func Key(site timestamp.SiteID) string {
+	return KeyPrefix + strconv.FormatInt(int64(site), 10)
+}
+
+// IsMembershipKey reports whether key is a membership record.
+func IsMembershipKey(key string) bool { return strings.HasPrefix(key, KeyPrefix) }
+
+// Announce writes (or refreshes) this node's own record into its replica,
+// from where the epidemic machinery spreads it to every site.
+func Announce(n *node.Node, addr string) (store.Entry, error) {
+	rec := Record{Site: n.Site(), Addr: addr}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return store.Entry{}, fmt.Errorf("membership: marshal record: %w", err)
+	}
+	return n.Update(Key(n.Site()), raw), nil
+}
+
+// Remove deletes a site from the directory via this node. The removal
+// spreads as a death certificate, so it wins over stale announcements
+// with older timestamps.
+func Remove(n *node.Node, site timestamp.SiteID) store.Entry {
+	return n.Delete(Key(site))
+}
+
+// List reads all live membership records from a replica, sorted by site.
+func List(st *store.Store) []Record {
+	var out []Record
+	for _, e := range st.ScanPrefix(KeyPrefix) {
+		var rec Record
+		if err := json.Unmarshal(e.Value, &rec); err != nil {
+			continue // unparseable record; ignore rather than fail gossip
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Dialer turns a membership record into a live Peer (e.g. a TCP peer).
+type Dialer func(Record) node.Peer
+
+// SyncPeers reconciles n's peer set with the directory in its own replica:
+// every listed site except n itself becomes a peer via dial. It returns
+// the records used. Sites with empty addresses are skipped.
+func SyncPeers(n *node.Node, dial Dialer) []Record {
+	recs := List(n.Store())
+	peers := make([]node.Peer, 0, len(recs))
+	used := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Site == n.Site() || rec.Addr == "" {
+			continue
+		}
+		p := dial(rec)
+		if p == nil {
+			continue
+		}
+		peers = append(peers, p)
+		used = append(used, rec)
+	}
+	if len(peers) > 0 {
+		n.SetPeers(peers)
+	}
+	return used
+}

@@ -1,0 +1,145 @@
+package membership
+
+import (
+	"encoding/json"
+	"testing"
+
+	"epidemic/internal/node"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+func mkNode(t *testing.T, src *timestamp.Simulated, site timestamp.SiteID) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{Site: site, Clock: src.ClockAt(site), Seed: int64(site)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestKeyAndPrefix(t *testing.T) {
+	k := Key(42)
+	if !IsMembershipKey(k) {
+		t.Error("Key not recognised")
+	}
+	if IsMembershipKey("user/alice") {
+		t.Error("ordinary key recognised as membership")
+	}
+}
+
+func TestAnnounceListRoundTrip(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	n := mkNode(t, src, 1)
+	if _, err := Announce(n, "host1:7001"); err != nil {
+		t.Fatal(err)
+	}
+	recs := List(n.Store())
+	if len(recs) != 1 || recs[0].Site != 1 || recs[0].Addr != "host1:7001" {
+		t.Fatalf("List = %+v", recs)
+	}
+}
+
+func TestDirectoryPropagatesAndRemoves(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	a := mkNode(t, src, 1)
+	b := mkNode(t, src, 2)
+	a.SetPeers([]node.Peer{node.NewLocalPeer(b, 1)})
+	b.SetPeers([]node.Peer{node.NewLocalPeer(a, 2)})
+
+	if _, err := Announce(a, "host1:7001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Announce(b, "host2:7001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas now list both sites.
+	for _, n := range []*node.Node{a, b} {
+		recs := List(n.Store())
+		if len(recs) != 2 {
+			t.Fatalf("site %d sees %d records", n.Site(), len(recs))
+		}
+		if recs[0].Site != 1 || recs[1].Site != 2 {
+			t.Fatalf("records out of order: %+v", recs)
+		}
+	}
+
+	// Removing b spreads as a death certificate and wins.
+	src.Advance(1)
+	Remove(a, 2)
+	if err := a.StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*node.Node{a, b} {
+		recs := List(n.Store())
+		if len(recs) != 1 || recs[0].Site != 1 {
+			t.Fatalf("site %d: removal not applied: %+v", n.Site(), recs)
+		}
+	}
+}
+
+func TestListSkipsGarbageRecords(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	n := mkNode(t, src, 1)
+	n.Store().Update(Key(9), store.Value("not json"))
+	n.Update("app/key", store.Value("data"))
+	if recs := List(n.Store()); len(recs) != 0 {
+		t.Fatalf("List = %+v, want empty", recs)
+	}
+}
+
+func TestSyncPeers(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	a := mkNode(t, src, 1)
+	b := mkNode(t, src, 2)
+	c := mkNode(t, src, 3)
+
+	// a's directory knows everyone; c has no address (skipped).
+	if _, err := Announce(a, "host1:1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []Record{{Site: 2, Addr: "host2:1"}, {Site: 3}} {
+		raw := mustJSON(t, rec)
+		a.Store().Update(Key(rec.Site), raw)
+	}
+
+	targets := map[string]*node.Node{"host2:1": b, "host3:1": c}
+	used := SyncPeers(a, func(rec Record) node.Peer {
+		target, ok := targets[rec.Addr]
+		if !ok {
+			return nil
+		}
+		return node.NewLocalPeer(target, int64(rec.Site))
+	})
+	if len(used) != 1 || used[0].Site != 2 {
+		t.Fatalf("used = %+v", used)
+	}
+	peers := a.Peers()
+	if len(peers) != 1 || peers[0].ID() != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestSyncPeersKeepsOldSetWhenDirectoryEmpty(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	a := mkNode(t, src, 1)
+	b := mkNode(t, src, 2)
+	seed := []node.Peer{node.NewLocalPeer(b, 1)}
+	a.SetPeers(seed)
+	SyncPeers(a, func(Record) node.Peer { return nil })
+	if len(a.Peers()) != 1 {
+		t.Fatal("empty directory wiped the seed peers")
+	}
+}
+
+func mustJSON(t *testing.T, rec Record) store.Value {
+	t.Helper()
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

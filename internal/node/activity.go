@@ -1,0 +1,122 @@
+package node
+
+import (
+	"fmt"
+
+	"epidemic/internal/store"
+)
+
+// This file implements §1.5's combined peel-back / rumor-mongering scheme.
+//
+// Instead of a binary hot-rumor list, the node keeps *all* of its updates
+// in a doubly-linked list ordered by local activity. Each round it sends a
+// batch of entries from the head of the list to one partner; rumor
+// feedback moves useful updates to the front, useless ones slip gradually
+// deeper. If the first batch fails to reach checksum agreement, more
+// batches are sent — so, unlike pure rumor mongering, the exchange has no
+// failure probability: in the worst case it peels back through the entire
+// database. Any update in the database can become a hot rumor again just
+// by moving forward in the list.
+
+// activityState is lazily created when the combined scheme is used.
+func (n *Node) activityState() *store.ActivityList {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.activity == nil {
+		n.activity = store.NewActivityList()
+		// Seed with existing entries newest-first, so a cold list starts
+		// in reverse timestamp order — exactly peel-back — and activity
+		// feedback takes over from there.
+		for _, e := range n.store.NewestFirst(0) {
+			n.activity.Append(e.Key)
+		}
+	}
+	return n.activity
+}
+
+// StepActivityExchange runs one §1.5 combined exchange with a random
+// peer: send batches of batchSize entries in activity order, apply
+// feedback, and stop as soon as the two databases' checksums agree (or
+// the list is exhausted, which means everything sendable has been sent).
+// It returns the number of entries sent.
+func (n *Node) StepActivityExchange(batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	peer, ok := n.pickPeer()
+	if !ok {
+		return 0, ErrNoPeers
+	}
+	act := n.activityState()
+	tau1 := n.cfg.Tau1
+
+	sent := 0
+	// Checksum probe before doing any work: usually the databases agree
+	// and the exchange costs one probe.
+	remote, err := peer.Checksum(tau1)
+	if err != nil {
+		return 0, fmt.Errorf("checksum probe of %d: %w", peer.ID(), err)
+	}
+	if remote == n.store.ChecksumLive(n.store.Now(), tau1) {
+		return 0, nil
+	}
+
+	// Snapshot the iteration order up front: feedback reorders the live
+	// list (useful entries move to the front) and must not disturb the
+	// cursor of this exchange.
+	n.mu.Lock()
+	order := act.Front(0)
+	n.mu.Unlock()
+
+	for start := 0; ; start += batchSize {
+		if start >= len(order) {
+			return sent, nil // list exhausted: everything has been offered
+		}
+		end := start + batchSize
+		if end > len(order) {
+			end = len(order)
+		}
+		keys := order[start:end]
+
+		batch := make([]store.Entry, 0, len(keys))
+		for _, key := range keys {
+			if e, ok := n.store.Get(key); ok && !store.IsDormant(e, n.store.Now(), tau1) {
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) > 0 {
+			needed, err := peer.PushRumors(batch)
+			if err != nil {
+				return sent, fmt.Errorf("activity batch to %d: %w", peer.ID(), err)
+			}
+			sent += len(batch)
+			n.mu.Lock()
+			for i, e := range batch {
+				if i < len(needed) && needed[i] {
+					act.Touch(e.Key)
+				} else {
+					act.Demote(e.Key)
+				}
+			}
+			n.stats.EntriesSent += len(batch)
+			n.mu.Unlock()
+		}
+
+		remote, err = peer.Checksum(tau1)
+		if err != nil {
+			return sent, fmt.Errorf("checksum probe of %d: %w", peer.ID(), err)
+		}
+		if remote == n.store.ChecksumLive(n.store.Now(), tau1) {
+			return sent, nil
+		}
+	}
+}
+
+// ActivityOrder exposes the current activity-ordered key list (front
+// first) for inspection and tests.
+func (n *Node) ActivityOrder() []string {
+	act := n.activityState()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return act.Front(0)
+}

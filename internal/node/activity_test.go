@@ -1,0 +1,135 @@
+package node
+
+import (
+	"testing"
+
+	"epidemic/internal/store"
+)
+
+func TestActivityExchangeConverges(t *testing.T) {
+	a, b, _ := twoNodes(t, nil)
+	a.Update("x", store.Value("1"))
+	a.Update("y", store.Value("2"))
+	b.Update("z", store.Value("3"))
+
+	// a ships batches until checksums agree (which requires b's side too:
+	// run both directions).
+	for round := 0; round < 10; round++ {
+		if _, err := a.StepActivityExchange(2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.StepActivityExchange(2); err != nil {
+			t.Fatal(err)
+		}
+		if store.ContentEqual(a.Store(), b.Store()) {
+			return
+		}
+	}
+	t.Fatal("combined exchange never converged")
+}
+
+func TestActivityExchangeInSyncCostsOneProbe(t *testing.T) {
+	a, b, _ := twoNodes(t, nil)
+	e := a.Update("k", store.Value("v"))
+	b.Store().Apply(e)
+	sent, err := a.StepActivityExchange(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 0 {
+		t.Errorf("in-sync exchange sent %d entries", sent)
+	}
+}
+
+func TestActivityExchangeNoFailureProbability(t *testing.T) {
+	// Even with a deep cold history and a tiny batch size, the exchange
+	// peels back until everything the partner lacks has been shipped.
+	a, b, src := twoNodes(t, nil)
+	for i := 0; i < 40; i++ {
+		a.Update(key4(i), store.Value("v"))
+		src.Advance(1)
+	}
+	// One shared entry newer than everything, so the head of the list is
+	// useless and the divergence sits deep.
+	e := a.Update("shared", store.Value("s"))
+	b.Store().Apply(e)
+
+	if _, err := a.StepActivityExchange(4); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a.Store(), b.Store()) {
+		t.Fatal("deep divergence not repaired")
+	}
+}
+
+func TestActivityOrderUsefulMovesToFront(t *testing.T) {
+	a, b, _ := twoNodes(t, nil)
+	a.Update("old", store.Value("1"))
+	a.Update("new", store.Value("2"))
+	// Prime the activity list before priming b, so feedback applies.
+	_ = a.ActivityOrder()
+
+	// First exchange: both entries needed; order preserved with "new"
+	// touched last... both get touched. Now sync b fully.
+	if _, err := a.StepActivityExchange(8); err != nil {
+		t.Fatal(err)
+	}
+	// Add a third entry only to b, making a's entries useless next time.
+	b.Update("fresh", store.Value("3"))
+	if _, err := a.StepActivityExchange(8); err != nil {
+		t.Fatal(err)
+	}
+	order := a.ActivityOrder()
+	// "fresh" arrived via nothing at a (one-way push), so a's list holds
+	// old/new; both were useless in the second exchange and got demoted,
+	// but relative order persists. Just verify the list is consistent.
+	if len(order) < 2 {
+		t.Fatalf("activity order too short: %v", order)
+	}
+	seen := make(map[string]bool)
+	for _, k := range order {
+		if seen[k] {
+			t.Fatalf("duplicate key %q in activity order", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestActivityExchangeNoPeers(t *testing.T) {
+	n, err := New(Config{Site: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.StepActivityExchange(4); err != ErrNoPeers {
+		t.Errorf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestActivityExchangePartitionedPeer(t *testing.T) {
+	a, _, _ := twoNodes(t, nil)
+	lp := a.Peers()[0].(*LocalPeer)
+	lp.SetDown(true)
+	a.Update("k", store.Value("v"))
+	if _, err := a.StepActivityExchange(4); err == nil {
+		t.Error("exchange with downed peer should fail")
+	}
+}
+
+func TestActivitySeededFromExistingStore(t *testing.T) {
+	a, _, _ := twoNodes(t, nil)
+	a.Store().Update("pre1", store.Value("1"))
+	a.Store().Update("pre2", store.Value("2"))
+	order := a.ActivityOrder()
+	if len(order) != 2 {
+		t.Fatalf("seeded order = %v", order)
+	}
+	// Fresh updates go to the front once the list exists.
+	a.Update("hot", store.Value("3"))
+	if got := a.ActivityOrder()[0]; got != "hot" {
+		t.Errorf("front = %q, want hot", got)
+	}
+}
+
+func key4(i int) string {
+	return string([]byte{'k', byte('a' + i/10), byte('a' + i%10)})
+}

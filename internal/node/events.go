@@ -1,0 +1,61 @@
+package node
+
+import (
+	"epidemic/internal/core"
+	"epidemic/internal/timestamp"
+)
+
+// EventKind classifies node lifecycle events.
+type EventKind int
+
+const (
+	// EventAntiEntropy : one anti-entropy conversation finished.
+	EventAntiEntropy EventKind = iota + 1
+	// EventRumor : one rumor-mongering round finished.
+	EventRumor
+	// EventRedistribute : repaired updates were re-hotted or re-mailed
+	// (§1.5).
+	EventRedistribute
+	// EventGC : death-certificate expiry ran.
+	EventGC
+	// EventMailFailed : a direct-mail posting failed outright.
+	EventMailFailed
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAntiEntropy:
+		return "anti-entropy"
+	case EventRumor:
+		return "rumor"
+	case EventRedistribute:
+		return "redistribute"
+	case EventGC:
+		return "gc"
+	case EventMailFailed:
+		return "mail-failed"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one observable node action. Fields are populated per kind:
+// anti-entropy events carry Peer and Stats; rumor events Peer and Count
+// (entries pushed); redistribute events Keys; GC events Count (dropped
+// certificates); mail failures Peer.
+type Event struct {
+	Kind  EventKind
+	Peer  timestamp.SiteID
+	Stats core.ExchangeStats
+	Keys  []string
+	Count int
+}
+
+// emit delivers an event to the configured observer. It must be called
+// WITHOUT n.mu held: observers may call back into the node.
+func (n *Node) emit(e Event) {
+	if n.cfg.OnEvent != nil {
+		n.cfg.OnEvent(e)
+	}
+}

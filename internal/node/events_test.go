@@ -1,0 +1,141 @@
+package node
+
+import (
+	"sync"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// recorder collects events thread-safely.
+type recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recorder) byKind(k EventKind) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EventAntiEntropy, EventRumor, EventRedistribute, EventGC, EventMailFailed}
+	for _, k := range kinds {
+		if k.String() == "invalid" {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+	if EventKind(0).String() != "invalid" {
+		t.Error("zero kind should be invalid")
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	rec := &recorder{}
+	src := timestamp.NewSimulated(1)
+	a, err := New(Config{
+		Site: 1, Clock: src.ClockAt(1), Seed: 1,
+		Tau1: 5, Tau2: 5,
+		OnEvent: rec.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Site: 2, Clock: src.ClockAt(2), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeers([]Peer{NewLocalPeer(b, 1)})
+
+	// Anti-entropy repairing a cold entry fires exchange + redistribute.
+	b.Store().Update("cold", store.Value("v"))
+	if err := a.StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	ae := rec.byKind(EventAntiEntropy)
+	if len(ae) != 1 || ae[0].Peer != 2 || ae[0].Stats.EntriesApplied == 0 {
+		t.Fatalf("anti-entropy events = %+v", ae)
+	}
+	rd := rec.byKind(EventRedistribute)
+	if len(rd) != 1 || rd[0].Count != 1 || rd[0].Keys[0] != "cold" {
+		t.Fatalf("redistribute events = %+v", rd)
+	}
+
+	// Rumor round fires EventRumor.
+	if err := a.StepRumor(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.byKind(EventRumor)) != 1 {
+		t.Fatal("rumor event missing")
+	}
+
+	// GC fires with the drop count.
+	a.Delete("gone")
+	src.Advance(100)
+	a.StepGC()
+	gc := rec.byKind(EventGC)
+	if len(gc) != 1 || gc[0].Count != 1 {
+		t.Fatalf("gc events = %+v", gc)
+	}
+}
+
+func TestMailFailureEvent(t *testing.T) {
+	rec := &recorder{}
+	src := timestamp.NewSimulated(1)
+	b, err := New(Config{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLocalPeer(b, 1)
+	lp.SetDown(true)
+
+	a, err := New(Config{
+		Site: 1, Clock: src.ClockAt(1),
+		DirectMailOnUpdate: true,
+		OnEvent:            rec.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeers([]Peer{lp})
+	_ = a // Mail to a downed LocalPeer silently drops (returns nil)...
+	a.Update("k", store.Value("v"))
+	// ...so no failure event; flip to an erroring peer.
+	if got := rec.byKind(EventMailFailed); len(got) != 0 {
+		t.Fatalf("unexpected mail failures: %+v", got)
+	}
+
+	ep := &erroringPeer{id: 3}
+	a.SetPeers([]Peer{ep})
+	a.Update("k2", store.Value("v"))
+	if got := rec.byKind(EventMailFailed); len(got) != 1 || got[0].Peer != 3 {
+		t.Fatalf("mail failure events = %+v", got)
+	}
+}
+
+// erroringPeer fails everything.
+type erroringPeer struct{ id timestamp.SiteID }
+
+func (p *erroringPeer) ID() timestamp.SiteID { return p.id }
+func (p *erroringPeer) AntiEntropy(core.ResolveConfig, *store.Store) (core.ExchangeStats, error) {
+	return core.ExchangeStats{}, ErrPeerDown
+}
+func (p *erroringPeer) PushRumors([]store.Entry) ([]bool, error) { return nil, ErrPeerDown }
+func (p *erroringPeer) PullRumors() ([]store.Entry, error)       { return nil, ErrPeerDown }
+func (p *erroringPeer) Checksum(int64) (uint64, error)           { return 0, ErrPeerDown }
+func (p *erroringPeer) Mail(store.Entry) error                   { return ErrPeerDown }

@@ -1,0 +1,105 @@
+package node
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"epidemic/internal/core"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// LocalPeer exposes an in-process Node as a Peer, with optional failure
+// injection modelling the paper's unreliable substrate: lossy mail (queue
+// overflow, §1.2) and partitions (a down peer refuses conversations).
+type LocalPeer struct {
+	target *Node
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	mailLoss float64
+	down     bool
+}
+
+var _ Peer = (*LocalPeer)(nil)
+
+// NewLocalPeer wraps target. seed feeds the loss-injection RNG.
+func NewLocalPeer(target *Node, seed int64) *LocalPeer {
+	return &LocalPeer{target: target, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetMailLoss sets the probability that a mailed update is silently
+// dropped.
+func (p *LocalPeer) SetMailLoss(prob float64) {
+	p.mu.Lock()
+	p.mailLoss = prob
+	p.mu.Unlock()
+}
+
+// SetDown simulates a partition: while down, conversations fail and mail
+// is discarded (the paper's queues overflow when "destinations are
+// inaccessible for a long time").
+func (p *LocalPeer) SetDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+}
+
+// ErrPeerDown is returned while the peer is partitioned away.
+var ErrPeerDown = errors.New("node: peer unreachable")
+
+// ID implements Peer.
+func (p *LocalPeer) ID() timestamp.SiteID { return p.target.Site() }
+
+// AntiEntropy implements Peer.
+func (p *LocalPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
+	if p.isDown() {
+		return core.ExchangeStats{}, ErrPeerDown
+	}
+	return core.ResolveDifference(cfg, local, p.target.Store())
+}
+
+// PushRumors implements Peer.
+func (p *LocalPeer) PushRumors(entries []store.Entry) ([]bool, error) {
+	if p.isDown() {
+		return nil, ErrPeerDown
+	}
+	return p.target.HandleRumors(entries), nil
+}
+
+// PullRumors implements Peer.
+func (p *LocalPeer) PullRumors() ([]store.Entry, error) {
+	if p.isDown() {
+		return nil, ErrPeerDown
+	}
+	return p.target.HotEntries(), nil
+}
+
+// Checksum implements Peer.
+func (p *LocalPeer) Checksum(tau1 int64) (uint64, error) {
+	if p.isDown() {
+		return 0, ErrPeerDown
+	}
+	st := p.target.Store()
+	return st.ChecksumLive(st.Now(), tau1), nil
+}
+
+// Mail implements Peer. Lost mail returns nil: PostMail's failure mode is
+// silent ("messages may be discarded when queues overflow").
+func (p *LocalPeer) Mail(e store.Entry) error {
+	p.mu.Lock()
+	drop := p.down || (p.mailLoss > 0 && p.rng.Float64() < p.mailLoss)
+	p.mu.Unlock()
+	if drop {
+		return nil
+	}
+	p.target.HandleMail(e)
+	return nil
+}
+
+func (p *LocalPeer) isDown() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}

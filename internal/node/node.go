@@ -1,0 +1,562 @@
+// Package node implements a production-style replica runtime around the
+// epidemic protocols: each Node owns a store.Store replica and runs the
+// paper's full update-distribution stack — direct mail on update (§1.2),
+// periodic anti-entropy (§1.3), rumor mongering of hot updates (§1.4) with
+// anti-entropy as the backup mechanism (§1.5), and the death-certificate
+// lifecycle with dormant retention (§2).
+//
+// Nodes are transport-agnostic: they talk to other replicas through the
+// Peer interface, implemented in-process by LocalPeer and over TCP by
+// package transport.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"epidemic/internal/core"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// Peer is a remote replica as seen from one node. Implementations must be
+// safe for concurrent use.
+type Peer interface {
+	// ID returns the peer's site ID.
+	ID() timestamp.SiteID
+	// AntiEntropy runs one ResolveDifference conversation between local
+	// and the peer's replica.
+	AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error)
+	// PushRumors delivers hot entries to the peer; needed[i] reports
+	// whether entry i changed the peer's replica (the rumor feedback bit
+	// vector of §1.4).
+	PushRumors(entries []store.Entry) (needed []bool, err error)
+	// PullRumors fetches the peer's current hot entries.
+	PullRumors() ([]store.Entry, error)
+	// Checksum returns the peer's live database checksum at its current
+	// clock with the given dormancy threshold — the agreement probe of
+	// §1.5's combined peel-back / rumor scheme.
+	Checksum(tau1 int64) (uint64, error)
+	// Mail posts one entry to the peer's mailbox (PostMail of §1.2).
+	Mail(e store.Entry) error
+}
+
+// Config configures a Node. Zero values get sensible defaults from
+// Validate.
+type Config struct {
+	// Site is this replica's unique ID.
+	Site timestamp.SiteID
+	// Clock issues timestamps; defaults to timestamp.WallClock(Site).
+	Clock timestamp.Clock
+	// Rumor selects the rumor-mongering variant for hot updates.
+	Rumor core.RumorConfig
+	// Resolve selects the anti-entropy conversation parameters.
+	Resolve core.ResolveConfig
+	// DirectMailOnUpdate mails each locally accepted update to all peers
+	// immediately (§1.2). Rumor mongering makes this optional.
+	DirectMailOnUpdate bool
+	// Redistribution is the action taken when anti-entropy repairs a
+	// missing update at either party (§1.5).
+	Redistribution core.Redistribution
+	// Tau1 and Tau2 are the death-certificate thresholds of §2.1, in clock
+	// units. RetentionCount is r, the number of dormant-copy sites.
+	Tau1, Tau2     int64
+	RetentionCount int
+	// AntiEntropyEvery and RumorEvery are the background daemon periods;
+	// zero disables the corresponding daemon (Step* methods still work,
+	// which is how the simulator and tests drive nodes deterministically).
+	AntiEntropyEvery, RumorEvery time.Duration
+	// SnapshotPath, when set, makes the replica durable: New merges the
+	// snapshot at that path (if any), Stop writes a final one, and
+	// SnapshotEvery (if non-zero) saves periodically — the stable storage
+	// the paper assumes replicas live on.
+	SnapshotPath  string
+	SnapshotEvery time.Duration
+	// Seed seeds this node's private RNG; 0 derives one from the site ID.
+	Seed int64
+	// OnEvent, when set, receives lifecycle events (exchanges, rumor
+	// rounds, redistributions, GC, mail failures). Called synchronously
+	// from the step that produced the event, without internal locks held;
+	// the callback must be safe for concurrent use when daemons run.
+	OnEvent func(Event)
+}
+
+// Node is one database replica plus its propagation daemons.
+type Node struct {
+	cfg   Config
+	store *store.Store
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	hot      *core.HotList
+	activity *store.ActivityList // lazily built for §1.5's combined scheme
+	peers    []Peer
+	peerCum  []float64 // cumulative selection weights; nil = uniform
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts a node's protocol activity.
+type Stats struct {
+	// UpdatesAccepted counts local client writes (updates and deletes).
+	UpdatesAccepted int
+	// MailSent and MailFailed count direct-mail postings.
+	MailSent, MailFailed int
+	// AntiEntropyRuns and RumorRuns count protocol rounds executed.
+	AntiEntropyRuns, RumorRuns int
+	// EntriesSent and EntriesApplied aggregate exchange traffic.
+	EntriesSent, EntriesApplied int
+	// FullCompares counts anti-entropy conversations that fell back to
+	// shipping complete databases (checksum or recent-list miss, §1.3).
+	FullCompares int
+	// Redistributed counts updates re-hotted or re-mailed after an
+	// anti-entropy repair.
+	Redistributed int
+	// CertificatesExpired counts death certificates dropped by GC.
+	CertificatesExpired int
+}
+
+// New builds a stopped node; call Start to launch its daemons, or drive it
+// with StepAntiEntropy/StepRumor.
+func New(cfg Config) (*Node, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = timestamp.WallClock(cfg.Site)
+	}
+	if cfg.Rumor.K == 0 {
+		cfg.Rumor = core.DefaultRumorConfig()
+	}
+	if err := cfg.Rumor.Validate(); err != nil {
+		return nil, fmt.Errorf("node: rumor config: %w", err)
+	}
+	if cfg.Resolve.Mode == 0 {
+		cfg.Resolve = core.ResolveConfig{Mode: core.PushPull, Strategy: ComparePeelBackDefault, ReactivateDormant: true}
+	}
+	if err := cfg.Resolve.Validate(); err != nil {
+		return nil, fmt.Errorf("node: resolve config: %w", err)
+	}
+	if cfg.Redistribution == 0 {
+		cfg.Redistribution = core.RedistributeRumor
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Site)*2654435761 + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Node{
+		cfg:   cfg,
+		store: store.New(cfg.Site, cfg.Clock),
+		rng:   rng,
+		hot:   core.NewHotList(cfg.Rumor, rng),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.SnapshotPath != "" {
+		if _, err := n.store.LoadFile(cfg.SnapshotPath); err != nil {
+			return nil, fmt.Errorf("node: load snapshot: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// SaveSnapshot writes the replica to the configured snapshot path (or the
+// given path if the config has none).
+func (n *Node) SaveSnapshot(path string) error {
+	if path == "" {
+		path = n.cfg.SnapshotPath
+	}
+	if path == "" {
+		return errors.New("node: no snapshot path configured")
+	}
+	return n.store.SaveFile(path)
+}
+
+// ComparePeelBackDefault is the default anti-entropy comparison strategy:
+// peel-back, which §1.5 shows composes best with rumor mongering.
+const ComparePeelBackDefault = core.ComparePeelBack
+
+// Site returns this node's site ID.
+func (n *Node) Site() timestamp.SiteID { return n.cfg.Site }
+
+// Store exposes the replica (read-mostly; the store is thread-safe).
+func (n *Node) Store() *store.Store { return n.store }
+
+// SetPeers replaces the peer set with uniform selection probability. The
+// slice is copied.
+func (n *Node) SetPeers(peers []Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = make([]Peer, len(peers))
+	copy(n.peers, peers)
+	n.peerCum = nil
+}
+
+// SetPeersWeighted replaces the peer set with the given relative selection
+// weights — how spatial distributions (§3) are deployed on a real node:
+// compute per-peer weights from the network distances (e.g. with
+// spatial.Probabilities) and pass them here. Weights must be positive and
+// len(weights) must equal len(peers).
+func (n *Node) SetPeersWeighted(peers []Peer, weights []float64) error {
+	if len(peers) != len(weights) {
+		return fmt.Errorf("node: %d peers but %d weights", len(peers), len(weights))
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("node: weight %d is %v, must be positive", i, w)
+		}
+		run += w
+		cum[i] = run
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = make([]Peer, len(peers))
+	copy(n.peers, peers)
+	n.peerCum = cum
+	return nil
+}
+
+// Peers returns a copy of the peer set.
+func (n *Node) Peers() []Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Peer, len(n.peers))
+	copy(out, n.peers)
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Update accepts a client write at this site and starts distributing it.
+func (n *Node) Update(key string, value store.Value) store.Entry {
+	e := n.store.Update(key, value)
+	n.distribute(e)
+	return e
+}
+
+// Delete accepts a client delete: it writes a death certificate whose
+// retention sites are chosen uniformly from the current peer set plus this
+// site (§2.1), then distributes it like any update.
+func (n *Node) Delete(key string) store.Entry {
+	n.mu.Lock()
+	sites := make([]timestamp.SiteID, 0, len(n.peers)+1)
+	sites = append(sites, n.cfg.Site)
+	for _, p := range n.peers {
+		sites = append(sites, p.ID())
+	}
+	retention := core.ChooseRetention(n.rng, sites, n.cfg.RetentionCount)
+	n.mu.Unlock()
+
+	e := n.store.Delete(key, retention)
+	n.distribute(e)
+	return e
+}
+
+// Lookup reads the current value at this replica.
+func (n *Node) Lookup(key string) (store.Value, bool) { return n.store.Lookup(key) }
+
+// distribute makes a fresh local entry hot and optionally direct-mails it.
+func (n *Node) distribute(e store.Entry) {
+	n.mu.Lock()
+	n.stats.UpdatesAccepted++
+	n.hot.Add(e.Key, e.Stamp)
+	if n.activity != nil {
+		n.activity.Touch(e.Key)
+	}
+	peers := append([]Peer(nil), n.peers...)
+	n.mu.Unlock()
+
+	if !n.cfg.DirectMailOnUpdate {
+		return
+	}
+	sent, failed := 0, 0
+	for _, p := range peers {
+		if err := p.Mail(e); err != nil {
+			failed++
+			n.emit(Event{Kind: EventMailFailed, Peer: p.ID()})
+			continue
+		}
+		sent++
+	}
+	n.mu.Lock()
+	n.stats.MailSent += sent
+	n.stats.MailFailed += failed
+	n.mu.Unlock()
+}
+
+// HandleMail is the receive side of PostMail: apply the update; a fresh
+// update also becomes a hot rumor here.
+func (n *Node) HandleMail(e store.Entry) {
+	res := n.store.Apply(e)
+	if res.Changed() {
+		n.mu.Lock()
+		n.hot.Add(e.Key, e.Stamp)
+		if n.activity != nil {
+			n.activity.Touch(e.Key)
+		}
+		n.mu.Unlock()
+	}
+}
+
+// HandleRumors is the receive side of PushRumors: apply each entry, report
+// which were needed, and treat fresh ones as hot rumors here too ("the
+// recipient ... adds all new updates to its infective list", §1.4).
+func (n *Node) HandleRumors(entries []store.Entry) []bool {
+	needed := make([]bool, len(entries))
+	for i, e := range entries {
+		res := n.store.Apply(e)
+		needed[i] = res.Changed()
+		if res.Changed() {
+			n.mu.Lock()
+			n.hot.Add(e.Key, e.Stamp)
+			if n.activity != nil {
+				n.activity.Touch(e.Key)
+			}
+			n.mu.Unlock()
+		}
+	}
+	return needed
+}
+
+// HotEntries returns the node's current hot rumors as entries (the
+// infective list). Rumors whose entry has been superseded are dropped.
+func (n *Node) HotEntries() []store.Entry {
+	n.mu.Lock()
+	keys := n.hot.Keys()
+	stamps := make(map[string]timestamp.T, len(keys))
+	for _, k := range keys {
+		if ts, ok := n.hot.Stamp(k); ok {
+			stamps[k] = ts
+		}
+	}
+	n.mu.Unlock()
+
+	out := make([]store.Entry, 0, len(keys))
+	for _, k := range keys {
+		e, ok := n.store.Get(k)
+		if !ok || stamps[k].Less(e.Stamp) {
+			// Superseded or expired while hot: stop spreading the stale
+			// version.
+			n.mu.Lock()
+			n.hot.Remove(k)
+			n.mu.Unlock()
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// pickPeer chooses a random peer, uniformly or by the weights installed
+// with SetPeersWeighted.
+func (n *Node) pickPeer() (Peer, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.peers) == 0 {
+		return nil, false
+	}
+	if n.peerCum == nil {
+		return n.peers[n.rng.Intn(len(n.peers))], true
+	}
+	total := n.peerCum[len(n.peerCum)-1]
+	x := n.rng.Float64() * total
+	i := sort.SearchFloat64s(n.peerCum, x)
+	if i == len(n.peerCum) {
+		i--
+	}
+	return n.peers[i], true
+}
+
+// ErrNoPeers is returned by Step methods when the node has no peers.
+var ErrNoPeers = errors.New("node: no peers configured")
+
+// StepRumor runs one rumor-mongering round: share hot rumors with one
+// random peer and apply feedback. In Pull/PushPull modes it also pulls the
+// peer's hot rumors.
+func (n *Node) StepRumor() error {
+	peer, ok := n.pickPeer()
+	if !ok {
+		return ErrNoPeers
+	}
+	n.mu.Lock()
+	n.stats.RumorRuns++
+	n.mu.Unlock()
+
+	mode := n.cfg.Rumor.Mode
+	if mode == core.Push || mode == core.PushPull {
+		hot := n.HotEntries()
+		if len(hot) > 0 {
+			needed, err := peer.PushRumors(hot)
+			if err != nil {
+				return fmt.Errorf("push rumors to %d: %w", peer.ID(), err)
+			}
+			n.mu.Lock()
+			for i, e := range hot {
+				if i < len(needed) {
+					n.hot.Feedback(e.Key, needed[i])
+				}
+			}
+			n.stats.EntriesSent += len(hot)
+			n.mu.Unlock()
+		}
+	}
+	if mode == core.Pull || mode == core.PushPull {
+		entries, err := peer.PullRumors()
+		if err != nil {
+			return fmt.Errorf("pull rumors from %d: %w", peer.ID(), err)
+		}
+		n.HandleRumors(entries)
+	}
+	n.emit(Event{Kind: EventRumor, Peer: peer.ID()})
+	return nil
+}
+
+// StepAntiEntropy runs one anti-entropy conversation with a random peer,
+// applying the configured redistribution policy to repaired updates.
+func (n *Node) StepAntiEntropy() error {
+	peer, ok := n.pickPeer()
+	if !ok {
+		return ErrNoPeers
+	}
+	before := n.store.Checksum()
+	st, err := peer.AntiEntropy(n.cfg.Resolve, n.store)
+	if err != nil {
+		return fmt.Errorf("anti-entropy with %d: %w", peer.ID(), err)
+	}
+	n.mu.Lock()
+	n.stats.AntiEntropyRuns++
+	n.stats.EntriesSent += st.EntriesSent
+	n.stats.EntriesApplied += st.EntriesApplied
+	if st.FullCompare {
+		n.stats.FullCompares++
+	}
+	n.mu.Unlock()
+	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st})
+
+	if n.cfg.Redistribution == core.RedistributeNone {
+		return nil
+	}
+	if n.store.Checksum() == before && st.EntriesApplied == 0 {
+		return nil // nothing was repaired
+	}
+	n.redistributeRepaired(st)
+	return nil
+}
+
+// redistributeRepaired applies §1.5's redistribution policy: an update the
+// exchange moved becomes a hot rumor again (or is re-mailed).
+func (n *Node) redistributeRepaired(st core.ExchangeStats) {
+	keys := make([]string, 0, len(st.AppliedKeys)+len(st.Reactivated))
+	keys = append(keys, st.AppliedKeys...)
+	keys = append(keys, st.Reactivated...)
+	if len(keys) == 0 {
+		return
+	}
+	// After the exchange both replicas hold every repaired entry, so this
+	// node can redistribute all of them regardless of direction.
+	n.mu.Lock()
+	seen := make(map[string]bool, len(keys))
+	var done []string
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e, ok := n.store.Get(key)
+		if !ok {
+			continue
+		}
+		switch n.cfg.Redistribution {
+		case core.RedistributeRumor:
+			n.hot.Add(key, e.Stamp)
+		case core.RedistributeMail:
+			for _, p := range n.peers {
+				if err := p.Mail(e); err != nil {
+					n.stats.MailFailed++
+				} else {
+					n.stats.MailSent++
+				}
+			}
+		}
+		n.stats.Redistributed++
+		done = append(done, key)
+	}
+	n.mu.Unlock()
+	if len(done) > 0 {
+		n.emit(Event{Kind: EventRedistribute, Keys: done, Count: len(done)})
+	}
+}
+
+// StepGC expires death certificates per §2.1 and prunes hot-list entries
+// whose certificates vanished.
+func (n *Node) StepGC() int {
+	dropped := n.store.ExpireDeathCertificates(n.store.Now(), n.cfg.Tau1, n.cfg.Tau2)
+	if dropped > 0 {
+		n.mu.Lock()
+		n.stats.CertificatesExpired += dropped
+		n.mu.Unlock()
+		n.emit(Event{Kind: EventGC, Count: dropped})
+	}
+	return dropped
+}
+
+// Start launches the background daemons configured with non-zero periods.
+func (n *Node) Start() {
+	if n.cfg.AntiEntropyEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.AntiEntropyEvery, func() { _ = n.StepAntiEntropy(); n.StepGC() })
+	}
+	if n.cfg.RumorEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.RumorEvery, func() { _ = n.StepRumor() })
+	}
+	if n.cfg.SnapshotPath != "" && n.cfg.SnapshotEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.SnapshotEvery, func() { _ = n.SaveSnapshot("") })
+	}
+	go func() {
+		n.wg.Wait()
+		close(n.done)
+	}()
+}
+
+func (n *Node) loop(every time.Duration, step func()) {
+	defer n.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			step()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// Stop terminates the daemons and waits for them to exit. It is safe to
+// call Stop on a node that was never started only if Start was not called;
+// Stop must be called at most once.
+func (n *Node) Stop() {
+	close(n.stop)
+	if n.cfg.AntiEntropyEvery > 0 || n.cfg.RumorEvery > 0 ||
+		(n.cfg.SnapshotPath != "" && n.cfg.SnapshotEvery > 0) {
+		<-n.done
+	}
+	if n.cfg.SnapshotPath != "" {
+		_ = n.SaveSnapshot("") // best-effort final snapshot
+	}
+}

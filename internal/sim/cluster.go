@@ -1,0 +1,288 @@
+// Package sim provides the database-level simulation harness: a Cluster of
+// full node.Node replicas wired together in memory over a simulated clock,
+// driven in deterministic synchronous cycles. It complements the abstract
+// single-update spread engines in package core — where those regenerate the
+// paper's tables, the Cluster exercises the complete stack (stores, death
+// certificates, hot-rumor lists, redistribution) for the deletion and
+// backup experiments of §1.5 and §2 and for the examples.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"epidemic/internal/core"
+	"epidemic/internal/node"
+	"epidemic/internal/spatial"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+	"epidemic/internal/topology"
+)
+
+// ClusterConfig configures a simulated cluster.
+type ClusterConfig struct {
+	// N is the number of replicas.
+	N int
+	// Rumor, Resolve, Redistribution, Tau1, Tau2, RetentionCount and
+	// DirectMailOnUpdate are forwarded to every node.
+	Rumor              core.RumorConfig
+	Resolve            core.ResolveConfig
+	Redistribution     core.Redistribution
+	Tau1, Tau2         int64
+	RetentionCount     int
+	DirectMailOnUpdate bool
+	// MailLoss is the probability that any direct-mailed update is lost.
+	MailLoss float64
+	// Network, when set, places the replicas on a topology (it must have
+	// exactly N sites) and weights every node's peer selection by the
+	// spatial distribution SpatialForm with exponent SpatialA (§3) —
+	// FormUniform/zero values keep selection uniform.
+	Network     *topology.Network
+	SpatialForm spatial.Form
+	SpatialA    float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// TickPerCycle advances the simulated clock this much each cycle
+	// (default 1).
+	TickPerCycle int64
+}
+
+// Cluster is a set of in-memory replicas plus the simulated clock they
+// share.
+type Cluster struct {
+	cfg   ClusterConfig
+	clock *timestamp.Simulated
+	nodes []*node.Node
+	peers [][]*node.LocalPeer // peers[i] = peer objects owned by node i
+	rng   *rand.Rand
+	cycle int
+}
+
+// NewCluster builds a fully connected cluster of n nodes.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("sim: cluster needs N >= 2, got %d", cfg.N)
+	}
+	if cfg.TickPerCycle <= 0 {
+		cfg.TickPerCycle = 1
+	}
+	clock := timestamp.NewSimulated(1)
+	c := &Cluster{
+		cfg:   cfg,
+		clock: clock,
+		nodes: make([]*node.Node, cfg.N),
+		peers: make([][]*node.LocalPeer, cfg.N),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.N; i++ {
+		site := timestamp.SiteID(i)
+		n, err := node.New(node.Config{
+			Site:               site,
+			Clock:              clock.ClockAt(site),
+			Rumor:              cfg.Rumor,
+			Resolve:            cfg.Resolve,
+			Redistribution:     cfg.Redistribution,
+			Tau1:               cfg.Tau1,
+			Tau2:               cfg.Tau2,
+			RetentionCount:     cfg.RetentionCount,
+			DirectMailOnUpdate: cfg.DirectMailOnUpdate,
+			Seed:               cfg.Seed + int64(i) + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = n
+	}
+	var sel spatial.Selector
+	if cfg.Network != nil && cfg.SpatialForm != 0 && cfg.SpatialForm != spatial.FormUniform {
+		if cfg.Network.NumSites() != cfg.N {
+			return nil, fmt.Errorf("sim: network has %d sites, cluster has %d", cfg.Network.NumSites(), cfg.N)
+		}
+		var err error
+		sel, err = spatial.New(cfg.Network, cfg.SpatialForm, cfg.SpatialA)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range c.nodes {
+		peerObjs := make([]*node.LocalPeer, 0, cfg.N-1)
+		peerIfc := make([]node.Peer, 0, cfg.N-1)
+		var weights []float64
+		var probs []float64
+		if sel != nil {
+			probs = spatial.Probabilities(sel, i)
+		}
+		for j, target := range c.nodes {
+			if j == i {
+				continue
+			}
+			lp := node.NewLocalPeer(target, cfg.Seed+int64(i*cfg.N+j))
+			lp.SetMailLoss(cfg.MailLoss)
+			peerObjs = append(peerObjs, lp)
+			peerIfc = append(peerIfc, lp)
+			if probs != nil {
+				weights = append(weights, probs[j])
+			}
+		}
+		c.peers[i] = peerObjs
+		if weights != nil {
+			if err := n.SetPeersWeighted(peerIfc, weights); err != nil {
+				return nil, fmt.Errorf("sim: weighting peers of site %d: %w", i, err)
+			}
+		} else {
+			n.SetPeers(peerIfc)
+		}
+	}
+	return c, nil
+}
+
+// Node returns replica i.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Cycle returns the number of cycles stepped so far.
+func (c *Cluster) Cycle() int { return c.cycle }
+
+// Clock returns the shared simulated time source.
+func (c *Cluster) Clock() *timestamp.Simulated { return c.clock }
+
+// SetPartition isolates site from the rest of the cluster (or heals the
+// partition): nobody can converse with it and it can converse with nobody.
+func (c *Cluster) SetPartition(site int, down bool) {
+	for i, peerObjs := range c.peers {
+		for _, p := range peerObjs {
+			if i == site || p.ID() == timestamp.SiteID(site) {
+				p.SetDown(down)
+			}
+		}
+	}
+}
+
+// StepRumor runs one rumor-mongering cycle: every node executes StepRumor
+// once, in random order, then the clock ticks.
+func (c *Cluster) StepRumor() {
+	c.stepAll(func(n *node.Node) { _ = n.StepRumor() })
+}
+
+// StepAntiEntropy runs one anti-entropy cycle.
+func (c *Cluster) StepAntiEntropy() {
+	c.stepAll(func(n *node.Node) { _ = n.StepAntiEntropy() })
+}
+
+// StepActivityExchange runs one §1.5 combined peel-back/rumor round:
+// every node ships activity-ordered batches to one partner until checksum
+// agreement. It returns the total entries shipped this cycle.
+func (c *Cluster) StepActivityExchange(batch int) int {
+	total := 0
+	c.stepAll(func(n *node.Node) {
+		sent, _ := n.StepActivityExchange(batch)
+		total += sent
+	})
+	return total
+}
+
+// StepGC runs death-certificate expiry at every node.
+func (c *Cluster) StepGC() {
+	for _, n := range c.nodes {
+		n.StepGC()
+	}
+}
+
+func (c *Cluster) stepAll(step func(*node.Node)) {
+	order := c.rng.Perm(len(c.nodes))
+	for _, i := range order {
+		step(c.nodes[i])
+	}
+	c.clock.Advance(c.cfg.TickPerCycle)
+	c.cycle++
+}
+
+// RunRumorToQuiescence steps rumor cycles until no node holds hot rumors
+// or maxCycles elapses, returning the cycles executed.
+func (c *Cluster) RunRumorToQuiescence(maxCycles int) int {
+	start := c.cycle
+	for c.cycle-start < maxCycles {
+		if !c.AnyHot() {
+			break
+		}
+		c.StepRumor()
+	}
+	return c.cycle - start
+}
+
+// RunAntiEntropyToConsistency steps anti-entropy cycles until all replicas
+// agree or maxCycles elapses.
+func (c *Cluster) RunAntiEntropyToConsistency(maxCycles int) (cycles int, consistent bool) {
+	start := c.cycle
+	for c.cycle-start < maxCycles {
+		if c.Consistent() {
+			return c.cycle - start, true
+		}
+		c.StepAntiEntropy()
+	}
+	return c.cycle - start, c.Consistent()
+}
+
+// AnyHot reports whether any node still holds hot rumors.
+func (c *Cluster) AnyHot() bool {
+	for _, n := range c.nodes {
+		if len(n.HotEntries()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Consistent reports whether all replicas hold identical content.
+func (c *Cluster) Consistent() bool {
+	first := c.nodes[0].Store()
+	for _, n := range c.nodes[1:] {
+		if !store.ContentEqual(first, n.Store()) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountWithValue returns how many replicas see the given value for key.
+func (c *Cluster) CountWithValue(key string, want string) int {
+	count := 0
+	for _, n := range c.nodes {
+		if v, ok := n.Lookup(key); ok && string(v) == want {
+			count++
+		}
+	}
+	return count
+}
+
+// CountDeleted returns how many replicas consider key deleted or absent.
+func (c *Cluster) CountDeleted(key string) int {
+	count := 0
+	for _, n := range c.nodes {
+		if _, ok := n.Lookup(key); !ok {
+			count++
+		}
+	}
+	return count
+}
+
+// TotalStats sums all node statistics.
+func (c *Cluster) TotalStats() node.Stats {
+	var total node.Stats
+	for _, n := range c.nodes {
+		s := n.Stats()
+		total.UpdatesAccepted += s.UpdatesAccepted
+		total.MailSent += s.MailSent
+		total.MailFailed += s.MailFailed
+		total.AntiEntropyRuns += s.AntiEntropyRuns
+		total.RumorRuns += s.RumorRuns
+		total.EntriesSent += s.EntriesSent
+		total.EntriesApplied += s.EntriesApplied
+		total.FullCompares += s.FullCompares
+		total.Redistributed += s.Redistributed
+		total.CertificatesExpired += s.CertificatesExpired
+	}
+	return total
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/store"
+)
+
+// TestChaosSoak runs a cluster through an adversarial schedule — random
+// updates and deletes, random partitions, random GC, mail loss — and then
+// quiesces. The single postcondition is the paper's: with gossip allowed
+// to finish, every replica converges to identical content and deleted
+// items stay dead.
+func TestChaosSoak(t *testing.T) {
+	const (
+		n      = 12
+		cycles = 150
+	)
+	c, err := NewCluster(ClusterConfig{
+		N:     n,
+		Rumor: core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
+		Resolve: core.ResolveConfig{
+			Mode:              core.PushPull,
+			Strategy:          core.CompareFull,
+			Tau1:              1 << 30, // certificates never dormant during the soak
+			ReactivateDormant: true,
+		},
+		DirectMailOnUpdate: true,
+		MailLoss:           0.3,
+		Redistribution:     core.RedistributeRumor,
+		Tau1:               1 << 30,
+		Tau2:               1 << 30,
+		RetentionCount:     3,
+		Seed:               1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	partitioned := -1
+	deleted := make(map[string]bool)
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Random churn: a write or delete at a random reachable site.
+		site := rng.Intn(n)
+		if site == partitioned {
+			site = (site + 1) % n
+		}
+		key := fmt.Sprintf("key%02d", rng.Intn(25))
+		if rng.Float64() < 0.15 {
+			c.Node(site).Delete(key)
+			deleted[key] = true
+		} else {
+			c.Node(site).Update(key, store.Value(fmt.Sprintf("v%d", cycle)))
+			delete(deleted, key)
+		}
+
+		// Random partition churn.
+		switch {
+		case partitioned < 0 && rng.Float64() < 0.1:
+			partitioned = rng.Intn(n)
+			c.SetPartition(partitioned, true)
+		case partitioned >= 0 && rng.Float64() < 0.2:
+			c.SetPartition(partitioned, false)
+			partitioned = -1
+		}
+
+		c.StepRumor()
+		c.StepAntiEntropy()
+		if rng.Float64() < 0.2 {
+			c.StepGC()
+		}
+	}
+
+	// Heal and quiesce.
+	if partitioned >= 0 {
+		c.SetPartition(partitioned, false)
+	}
+	if _, ok := c.RunAntiEntropyToConsistency(300); !ok {
+		t.Fatal("soak did not converge after quiescing")
+	}
+	// Deleted keys stay dead everywhere. (A later re-update removes the
+	// key from `deleted`, so every remaining entry must be gone.)
+	for key := range deleted {
+		if got := c.CountDeleted(key); got != n {
+			t.Errorf("key %s resurrected at %d replicas", key, n-got)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics over a sample of trial results.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean is a convenience for Summarize(xs).Mean.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }

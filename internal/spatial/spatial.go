@@ -1,0 +1,220 @@
+// Package spatial implements the nonuniform partner-selection
+// distributions of §3 of the paper. A Selector chooses, for a given site,
+// the random partner for one anti-entropy or rumor-mongering exchange.
+//
+// Three families are provided:
+//
+//   - FormDistance: probability ∝ d^{-a}, the paper's linear-network
+//     starting point.
+//   - FormQ: probability ∝ (Q_s(d)+1)^{-a}, the first Q-parameterised
+//     family the paper simulated.
+//   - FormPaper: the paper's final equation (3.1.1),
+//     p(d) ≈ (Q(d-1)^{1-a} − Q(d)^{1-a}) / (Q(d) − Q(d-1)),
+//     with 1 added to Q throughout to avoid the singularity at Q(d)=0.
+//     For a=2 this reduces to 1/(Q(d-1)·Q(d)), which is O(d^{-2D}) on a
+//     D-dimensional mesh.
+//
+// Weights are precomputed into per-site cumulative tables; selection is a
+// binary search, so a cycle over n sites costs O(n log n).
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"epidemic/internal/topology"
+)
+
+// Selector picks random exchange partners for sites.
+type Selector interface {
+	// Pick returns a partner site for site from, never from itself.
+	Pick(rng *rand.Rand, from int) int
+	// NumSites returns the population size the selector was built for.
+	NumSites() int
+}
+
+// Form identifies a spatial distribution family.
+type Form int
+
+const (
+	// FormUniform selects uniformly among all other sites.
+	FormUniform Form = iota + 1
+	// FormDistance weights each site at distance d by d^{-a}.
+	FormDistance
+	// FormQ weights each site at distance d by (Q(d)+1)^{-a}.
+	FormQ
+	// FormPaper uses the paper's equation (3.1.1).
+	FormPaper
+	// FormDQ weights each site at distance d by 1/(d·(Q(d)+1)) — the
+	// 1/(d·Q_s(d)) family §3 conjectures sits at the loose end of the
+	// good-scaling range; the paper found Q^{-2} outperforms it on the
+	// CIN. The exponent a scales the whole product: (d·(Q(d)+1))^{-a}.
+	FormDQ
+)
+
+// String names the form for reports.
+func (f Form) String() string {
+	switch f {
+	case FormUniform:
+		return "uniform"
+	case FormDistance:
+		return "d^-a"
+	case FormQ:
+		return "Q^-a"
+	case FormPaper:
+		return "eq3.1.1"
+	case FormDQ:
+		return "1/(dQ)"
+	default:
+		return fmt.Sprintf("Form(%d)", int(f))
+	}
+}
+
+// Uniform returns a Selector choosing uniformly among the other n-1 sites.
+func Uniform(n int) Selector { return uniformSelector{n: n} }
+
+type uniformSelector struct{ n int }
+
+func (u uniformSelector) NumSites() int { return u.n }
+
+func (u uniformSelector) Pick(rng *rand.Rand, from int) int {
+	j := rng.Intn(u.n - 1)
+	if j >= from {
+		j++
+	}
+	return j
+}
+
+// tableSelector holds per-site cumulative weight tables over all other
+// sites.
+type tableSelector struct {
+	n int
+	// cum[i] is the cumulative weights for site i over targets, where
+	// target[i][k] is the site at rank k of site i's distance-sorted list.
+	cum    [][]float64
+	target [][]int32
+}
+
+func (t *tableSelector) NumSites() int { return t.n }
+
+func (t *tableSelector) Pick(rng *rand.Rand, from int) int {
+	cum := t.cum[from]
+	total := cum[len(cum)-1]
+	x := rng.Float64() * total
+	k := sort.SearchFloat64s(cum, x)
+	if k == len(cum) { // x == total edge case
+		k--
+	}
+	return int(t.target[from][k])
+}
+
+// New builds a Selector of the given form over the network. The exponent a
+// is ignored for FormUniform. Weights below are per *site* at a given
+// distance (equation (3.1.1) already is a per-site probability; the other
+// forms are defined per site directly).
+func New(nw *topology.Network, form Form, a float64) (Selector, error) {
+	n := nw.NumSites()
+	if n < 2 {
+		return nil, fmt.Errorf("spatial: need at least 2 sites, got %d", n)
+	}
+	if form == FormUniform {
+		return Uniform(n), nil
+	}
+	if a <= 0 {
+		return nil, fmt.Errorf("spatial: exponent a must be positive, got %v", a)
+	}
+
+	ts := &tableSelector{
+		n:      n,
+		cum:    make([][]float64, n),
+		target: make([][]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		order := nw.SitesByDistance(i)
+		q := nw.Q(i)
+		perDist, err := weightsByDistance(form, a, q)
+		if err != nil {
+			return nil, err
+		}
+		cum := make([]float64, len(order))
+		tgt := make([]int32, len(order))
+		var run float64
+		for k, j := range order {
+			d := nw.Distance(i, j)
+			w := perDist[d]
+			if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				return nil, fmt.Errorf("spatial: non-positive weight %v for site %d at distance %d", w, i, d)
+			}
+			run += w
+			cum[k] = run
+			tgt[k] = int32(j)
+		}
+		ts.cum[i] = cum
+		ts.target[i] = tgt
+	}
+	return ts, nil
+}
+
+// weightsByDistance returns the per-site selection weight for each distance
+// d given the cumulative count function q (q[d] = # other sites at
+// distance ≤ d).
+func weightsByDistance(form Form, a float64, q []int) ([]float64, error) {
+	w := make([]float64, len(q))
+	for d := 1; d < len(q); d++ {
+		qd := float64(q[d])
+		qprev := 0.0
+		if d > 0 {
+			qprev = float64(q[d-1])
+		}
+		count := qd - qprev
+		if count == 0 {
+			continue // no sites at this distance; weight unused
+		}
+		switch form {
+		case FormDistance:
+			w[d] = math.Pow(float64(d), -a)
+		case FormQ:
+			w[d] = math.Pow(qd+1, -a)
+		case FormPaper:
+			// (Q(d-1)^{1-a} − Q(d)^{1-a}) / (Q(d) − Q(d-1)), Q shifted by
+			// +1 throughout per the paper.
+			num := math.Pow(qprev+1, 1-a) - math.Pow(qd+1, 1-a)
+			w[d] = num / count
+		case FormDQ:
+			w[d] = math.Pow(float64(d)*(qd+1), -a)
+		default:
+			return nil, fmt.Errorf("spatial: unknown form %v", form)
+		}
+	}
+	return w, nil
+}
+
+// Probabilities returns site i's full selection distribution over all
+// sites (index = site, self gets 0). Used by tests and analysis tools.
+func Probabilities(sel Selector, i int) []float64 {
+	switch s := sel.(type) {
+	case uniformSelector:
+		p := make([]float64, s.n)
+		u := 1 / float64(s.n-1)
+		for j := range p {
+			if j != i {
+				p[j] = u
+			}
+		}
+		return p
+	case *tableSelector:
+		p := make([]float64, s.n)
+		cum := s.cum[i]
+		total := cum[len(cum)-1]
+		prev := 0.0
+		for k, c := range cum {
+			p[s.target[i][k]] = (c - prev) / total
+			prev = c
+		}
+		return p
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,299 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/topology"
+)
+
+func mustLine(t *testing.T, n int) *topology.Network {
+	t.Helper()
+	nw, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	sel := Uniform(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		for trial := 0; trial < 200; trial++ {
+			if got := sel.Pick(rng, i); got == i || got < 0 || got >= 10 {
+				t.Fatalf("Pick(%d) = %d", i, got)
+			}
+		}
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	const n, trials = 5, 100_000
+	sel := Uniform(n)
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[sel.Pick(rng, 0)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("picked self %d times", counts[0])
+	}
+	want := float64(trials) / float64(n-1)
+	for j := 1; j < n; j++ {
+		if math.Abs(float64(counts[j])-want) > want*0.05 {
+			t.Errorf("site %d picked %d times, want ~%.0f", j, counts[j], want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	nw := mustLine(t, 5)
+	if _, err := New(nw, FormPaper, 0); err == nil {
+		t.Error("a=0 should fail")
+	}
+	if _, err := New(nw, Form(99), 2); err == nil {
+		t.Error("unknown form should fail")
+	}
+	one, err := topology.Star(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(one, FormUniform, 0); err == nil {
+		t.Error("single site should fail")
+	}
+}
+
+func TestFormString(t *testing.T) {
+	tests := []struct {
+		form Form
+		want string
+	}{
+		{FormUniform, "uniform"},
+		{FormDistance, "d^-a"},
+		{FormQ, "Q^-a"},
+		{FormPaper, "eq3.1.1"},
+		{Form(42), "Form(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.form.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.form), got, tt.want)
+		}
+	}
+}
+
+func TestProbabilitiesNormalised(t *testing.T) {
+	nw := mustLine(t, 9)
+	for _, form := range []Form{FormUniform, FormDistance, FormQ, FormPaper} {
+		sel, err := New(nw, form, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		for i := 0; i < nw.NumSites(); i++ {
+			p := Probabilities(sel, i)
+			var sum float64
+			for j, pj := range p {
+				if j == i && pj != 0 {
+					t.Errorf("%v: self probability %v", form, pj)
+				}
+				if pj < 0 {
+					t.Errorf("%v: negative probability %v", form, pj)
+				}
+				sum += pj
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%v site %d: probabilities sum to %v", form, i, sum)
+			}
+		}
+	}
+}
+
+func TestNearerSitesMoreLikely(t *testing.T) {
+	nw := mustLine(t, 21)
+	for _, form := range []Form{FormDistance, FormQ, FormPaper} {
+		sel, err := New(nw, form, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		p := Probabilities(sel, 0)
+		for d := 2; d < 21; d++ {
+			if p[d] > p[d-1] {
+				t.Errorf("%v: p at distance %d (%v) exceeds distance %d (%v)", form, d, p[d], d-1, p[d-1])
+			}
+		}
+	}
+}
+
+// On a line, FormPaper with a=2 must reduce to 1/(Q(d-1)+1)/(Q(d)+1) per
+// site; for an end site Q(d)=d, so the probability of the site at distance
+// d is ∝ 1/(d(d+1)).
+func TestPaperFormClosedFormOnLine(t *testing.T) {
+	nw := mustLine(t, 12)
+	sel, err := New(nw, FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Probabilities(sel, 0)
+	// Compute expected unnormalised weights and normalise.
+	var norm float64
+	want := make([]float64, 12)
+	for d := 1; d <= 11; d++ {
+		want[d] = 1 / (float64(d) * float64(d+1))
+		norm += want[d]
+	}
+	for d := 1; d <= 11; d++ {
+		want[d] /= norm
+		if math.Abs(p[d]-want[d]) > 1e-9 {
+			t.Errorf("p[%d] = %v, want %v", d, p[d], want[d])
+		}
+	}
+}
+
+func TestTableSelectorPickMatchesProbabilities(t *testing.T) {
+	nw := mustLine(t, 6)
+	sel, err := New(nw, FormPaper, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200_000
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 6)
+	for i := 0; i < trials; i++ {
+		counts[sel.Pick(rng, 2)]++
+	}
+	p := Probabilities(sel, 2)
+	for j := range counts {
+		got := float64(counts[j]) / trials
+		if math.Abs(got-p[j]) > 0.01 {
+			t.Errorf("site %d: empirical %v, want %v", j, got, p[j])
+		}
+	}
+}
+
+func TestSelectorOnMeshAndTies(t *testing.T) {
+	nw, err := topology.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := New(nw, FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equidistant sites must get equal probability (the paper averages
+	// f(i) over equidistant sites).
+	p := Probabilities(sel, 0)
+	// Sites 1 and 4 are both at distance 1 from corner 0.
+	if math.Abs(p[1]-p[4]) > 1e-12 {
+		t.Errorf("equidistant sites got %v vs %v", p[1], p[4])
+	}
+	// Sites 2, 5, 8 at distance 2.
+	if math.Abs(p[2]-p[8]) > 1e-12 || math.Abs(p[2]-p[5]) > 1e-12 {
+		t.Errorf("distance-2 sites unequal: %v %v %v", p[2], p[5], p[8])
+	}
+}
+
+func TestNumSites(t *testing.T) {
+	nw := mustLine(t, 8)
+	sel, err := New(nw, FormQ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumSites() != 8 {
+		t.Errorf("NumSites = %d", sel.NumSites())
+	}
+	if Uniform(5).NumSites() != 5 {
+		t.Error("uniform NumSites wrong")
+	}
+}
+
+func TestPickNeverSelfAllForms(t *testing.T) {
+	nw, err := topology.Mesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, form := range []Form{FormDistance, FormQ, FormPaper} {
+		sel, err := New(nw, form, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 9; i++ {
+			for trial := 0; trial < 500; trial++ {
+				if got := sel.Pick(rng, i); got == i || got < 0 || got >= 9 {
+					t.Fatalf("%v: Pick(%d) = %d", form, i, got)
+				}
+			}
+		}
+	}
+}
+
+// Tighter distributions concentrate more mass on the nearest neighbour.
+func TestExponentMonotonicity(t *testing.T) {
+	nw := mustLine(t, 30)
+	var prev float64
+	for _, a := range []float64{1.2, 1.6, 2.0} {
+		sel, err := New(nw, FormPaper, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Probabilities(sel, 0)
+		if p[1] < prev {
+			t.Errorf("a=%v: nearest-neighbour mass %v decreased from %v", a, p[1], prev)
+		}
+		prev = p[1]
+	}
+}
+
+func TestFormDQ(t *testing.T) {
+	nw := mustLine(t, 15)
+	sel, err := New(nw, FormDQ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Probabilities(sel, 0)
+	var sum float64
+	for d := 1; d < 15; d++ {
+		if p[d] <= 0 {
+			t.Fatalf("p[%d] = %v", d, p[d])
+		}
+		if d > 1 && p[d] > p[d-1] {
+			t.Fatalf("FormDQ not decreasing at %d", d)
+		}
+		sum += p[d]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if FormDQ.String() != "1/(dQ)" {
+		t.Errorf("String = %q", FormDQ.String())
+	}
+	// On a line with Q(d)=d the two families coincide: 1/(d·(Q+1)) =
+	// 1/(d(d+1)) = eq(3.1.1) at a=2.
+	paper, err := New(nw, FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := Probabilities(paper, 0)
+	if math.Abs(p[14]-pp[14]) > 1e-12 {
+		t.Errorf("on a line 1/(dQ) (%v) should equal eq3.1.1 a=2 (%v)", p[14], pp[14])
+	}
+	// On a mesh, where Q grows quadratically, 1/(dQ) is looser in the
+	// tail than Q^-2 — the distinction §3.1 draws.
+	mesh, err := topology.Mesh(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, err := New(mesh, FormDQ, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := New(mesh, FormPaper, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := mesh.NumSites() - 1 // opposite corner from site 0
+	if Probabilities(dq, 0)[far] <= Probabilities(q2, 0)[far] {
+		t.Errorf("on a mesh 1/(dQ) tail should be fatter than Q^-2's")
+	}
+}

@@ -1,0 +1,110 @@
+package store
+
+import "container/list"
+
+// ActivityList is the doubly-linked list of §1.5's combined peel-back /
+// rumor-mongering scheme. Sites send updates in local activity order;
+// rumor feedback moves useful updates to the front while useless ones slip
+// gradually deeper. Unlike a hot-rumor list, membership is not binary: any
+// update in the database can become "hot" again simply by moving forward.
+//
+// ActivityList is not safe for concurrent use; callers synchronise.
+type ActivityList struct {
+	ll  *list.List // front = most active; values are keys (string)
+	pos map[string]*list.Element
+}
+
+// NewActivityList returns an empty list.
+func NewActivityList() *ActivityList {
+	return &ActivityList{ll: list.New(), pos: make(map[string]*list.Element)}
+}
+
+// Len returns the number of tracked keys.
+func (a *ActivityList) Len() int { return a.ll.Len() }
+
+// Touch moves key to the front, inserting it if absent. Call it when a key
+// is updated locally, when a received update was useful, or when feedback
+// says the partner needed it.
+func (a *ActivityList) Touch(key string) {
+	if el, ok := a.pos[key]; ok {
+		a.ll.MoveToFront(el)
+		return
+	}
+	a.pos[key] = a.ll.PushFront(key)
+}
+
+// Demote moves key one position toward the back (useless sends slip
+// gradually deeper). Unknown keys are ignored.
+func (a *ActivityList) Demote(key string) {
+	el, ok := a.pos[key]
+	if !ok {
+		return
+	}
+	if next := el.Next(); next != nil {
+		a.ll.MoveAfter(el, next)
+	}
+}
+
+// Append adds key at the back if absent (cold history, e.g. on initial
+// load), leaving existing positions alone.
+func (a *ActivityList) Append(key string) {
+	if _, ok := a.pos[key]; ok {
+		return
+	}
+	a.pos[key] = a.ll.PushBack(key)
+}
+
+// Remove deletes key from the list (entry expired).
+func (a *ActivityList) Remove(key string) {
+	if el, ok := a.pos[key]; ok {
+		a.ll.Remove(el)
+		delete(a.pos, key)
+	}
+}
+
+// Front returns up to n keys from the front — the batch "analogous to the
+// hot rumor list". n <= 0 returns all keys in order.
+func (a *ActivityList) Front(n int) []string {
+	if n <= 0 || n > a.ll.Len() {
+		n = a.ll.Len()
+	}
+	out := make([]string, 0, n)
+	for el := a.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(string))
+	}
+	return out
+}
+
+// After returns up to n keys following the position of key (the next
+// batch when the first batch failed to reach checksum agreement). If key
+// is unknown it behaves like Front(n).
+func (a *ActivityList) After(key string, n int) []string {
+	el, ok := a.pos[key]
+	if !ok {
+		return a.Front(n)
+	}
+	if n <= 0 {
+		n = a.ll.Len()
+	}
+	out := make([]string, 0, n)
+	for el = el.Next(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(string))
+	}
+	return out
+}
+
+// Rank returns key's current 0-based position from the front, or -1.
+func (a *ActivityList) Rank(key string) int {
+	el, ok := a.pos[key]
+	if !ok {
+		return -1
+	}
+	rank := 0
+	for e := a.ll.Front(); e != nil; e = e.Next() {
+		if e == el {
+			return rank
+		}
+		rank++
+	}
+	return -1
+}

@@ -1,0 +1,106 @@
+package store
+
+import "testing"
+
+func TestActivityTouchOrdering(t *testing.T) {
+	a := NewActivityList()
+	a.Touch("x")
+	a.Touch("y")
+	a.Touch("z")
+	got := a.Front(0)
+	want := []string{"z", "y", "x"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Front = %v, want %v", got, want)
+		}
+	}
+	a.Touch("x") // useful again: to front
+	if got := a.Front(1); got[0] != "x" {
+		t.Fatalf("after Touch, front = %v", got)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestActivityFrontLimit(t *testing.T) {
+	a := NewActivityList()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		a.Touch(k)
+	}
+	if got := a.Front(2); len(got) != 2 || got[0] != "d" || got[1] != "c" {
+		t.Fatalf("Front(2) = %v", got)
+	}
+	if got := a.Front(99); len(got) != 4 {
+		t.Fatalf("Front(99) = %v", got)
+	}
+}
+
+func TestActivityDemote(t *testing.T) {
+	a := NewActivityList()
+	a.Touch("x")
+	a.Touch("y") // order: y x
+	a.Demote("y")
+	if got := a.Front(0); got[0] != "x" || got[1] != "y" {
+		t.Fatalf("after Demote = %v", got)
+	}
+	a.Demote("y") // already last: no-op
+	if got := a.Front(0); got[1] != "y" {
+		t.Fatalf("Demote at tail moved: %v", got)
+	}
+	a.Demote("missing") // ignored
+}
+
+func TestActivityAppendAndRemove(t *testing.T) {
+	a := NewActivityList()
+	a.Touch("hot")
+	a.Append("cold")
+	a.Append("cold") // duplicate ignored
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if got := a.Front(0); got[0] != "hot" || got[1] != "cold" {
+		t.Fatalf("order = %v", got)
+	}
+	a.Append("hot") // existing key keeps its position
+	if got := a.Front(1); got[0] != "hot" {
+		t.Fatal("Append must not move existing keys")
+	}
+	a.Remove("hot")
+	if a.Len() != 1 || a.Rank("hot") != -1 {
+		t.Fatal("Remove failed")
+	}
+	a.Remove("hot") // double remove is fine
+}
+
+func TestActivityAfter(t *testing.T) {
+	a := NewActivityList()
+	for _, k := range []string{"c", "b", "a"} { // order after: a b c
+		a.Touch(k)
+	}
+	got := a.After("a", 2)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("After(a,2) = %v", got)
+	}
+	if got := a.After("c", 5); len(got) != 0 {
+		t.Fatalf("After(last) = %v", got)
+	}
+	if got := a.After("zz", 1); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("After(unknown) = %v", got)
+	}
+	if got := a.After("a", 0); len(got) != 2 {
+		t.Fatalf("After(a,0) = %v", got)
+	}
+}
+
+func TestActivityRank(t *testing.T) {
+	a := NewActivityList()
+	a.Touch("x")
+	a.Touch("y")
+	if a.Rank("y") != 0 || a.Rank("x") != 1 {
+		t.Fatalf("ranks: y=%d x=%d", a.Rank("y"), a.Rank("x"))
+	}
+	if a.Rank("none") != -1 {
+		t.Fatal("unknown rank should be -1")
+	}
+}

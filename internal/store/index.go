@@ -1,0 +1,51 @@
+package store
+
+import (
+	"sort"
+
+	"epidemic/internal/timestamp"
+)
+
+// timeIndex keeps (timestamp, key) records sorted ascending by timestamp.
+// It is the inverted index by timestamp that peel-back anti-entropy and
+// recent-update lists require (§1.3). Insertion and removal are O(n) in the
+// number of entries, which is adequate for the database sizes the paper
+// targets (a name-service domain); the structure isolates the policy so a
+// tree could be substituted without touching callers.
+type timeIndex struct {
+	keys []timeRec
+}
+
+type timeRec struct {
+	stamp timestamp.T
+	key   string
+}
+
+// searchBefore returns the number of records with stamp strictly less than
+// bound.
+func (ti *timeIndex) searchBefore(bound timestamp.T) int {
+	return sort.Search(len(ti.keys), func(i int) bool {
+		return !ti.keys[i].stamp.Less(bound)
+	})
+}
+
+func (ti *timeIndex) insert(stamp timestamp.T, key string) {
+	i := ti.searchBefore(stamp)
+	ti.keys = append(ti.keys, timeRec{})
+	copy(ti.keys[i+1:], ti.keys[i:])
+	ti.keys[i] = timeRec{stamp: stamp, key: key}
+}
+
+func (ti *timeIndex) remove(stamp timestamp.T, key string) {
+	i := ti.searchBefore(stamp)
+	// Timestamps are globally unique, so at most one record matches; scan
+	// forward over equal stamps defensively.
+	for ; i < len(ti.keys) && ti.keys[i].stamp == stamp; i++ {
+		if ti.keys[i].key == key {
+			ti.keys = append(ti.keys[:i], ti.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ti *timeIndex) len() int { return len(ti.keys) }

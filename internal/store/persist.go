@@ -1,0 +1,109 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The paper assumes replicas and mail queues live on stable storage (§1.2:
+// "the queues are kept in stable storage at the mail server so they are
+// unaffected by server crashes"). Save/Load give a Store the same
+// property: a flat gob snapshot of all entries (including death
+// certificates and their activation/retention metadata). Timestamps are
+// preserved verbatim, so a reloaded replica re-enters the epidemic exactly
+// where it left off and anti-entropy repairs whatever it missed while
+// down.
+
+// snapshotHeader versions the on-disk format.
+type snapshotHeader struct {
+	Magic   string
+	Version int
+	Entries int
+}
+
+const (
+	snapshotMagic   = "epidemic-store"
+	snapshotVersion = 1
+)
+
+// Save writes a snapshot of the store to w.
+func (s *Store) Save(w io.Writer) error {
+	entries := s.Snapshot()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion, Entries: len(entries)}); err != nil {
+		return fmt.Errorf("store: encode header: %w", err)
+	}
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("store: encode entry %q: %w", e.Key, err)
+		}
+	}
+	return nil
+}
+
+// Load merges a snapshot from r into the store via the ordinary timestamp
+// merge rules, so loading is safe even over a non-empty replica (newer
+// local state wins). It returns the number of entries read.
+func (s *Store) Load(r io.Reader) (int, error) {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, fmt.Errorf("store: decode header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic {
+		return 0, fmt.Errorf("store: not a store snapshot (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != snapshotVersion {
+		return 0, fmt.Errorf("store: unsupported snapshot version %d", hdr.Version)
+	}
+	for i := 0; i < hdr.Entries; i++ {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			return i, fmt.Errorf("store: decode entry %d/%d: %w", i, hdr.Entries, err)
+		}
+		s.Apply(e)
+	}
+	return hdr.Entries, nil
+}
+
+// SaveFile atomically writes a snapshot to path (write temp + rename).
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile merges a snapshot file into the store. A missing file is not
+// an error (fresh replica); it returns (0, nil).
+func (s *Store) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	return s.Load(f)
+}

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"path/filepath"
+	"testing"
+
+	"epidemic/internal/timestamp"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	s := New(1, src.ClockAt(1))
+	s.Update("a", Value("1"))
+	src.Advance(1)
+	s.Update("b", Value("2"))
+	src.Advance(1)
+	s.Delete("c", []timestamp.SiteID{1, 4})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1, src.ClockAt(1))
+	n, err := restored.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("loaded %d entries, want 3", n)
+	}
+	if !ContentEqual(s, restored) {
+		t.Fatal("restored content differs")
+	}
+	if s.Checksum() != restored.Checksum() {
+		t.Fatal("restored checksum differs")
+	}
+	// Death-certificate metadata survives.
+	dc, ok := restored.Get("c")
+	if !ok || !dc.IsDeath() || !dc.RetainedBy(4) {
+		t.Fatalf("certificate metadata lost: %+v", dc)
+	}
+}
+
+func TestLoadMergesNotOverwrites(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	s := New(1, src.ClockAt(1))
+	s.Update("k", Value("old"))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The live replica has moved on since the snapshot.
+	src.Advance(10)
+	s.Update("k", Value("newer"))
+	if _, err := s.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Lookup("k"); string(v) != "newer" {
+		t.Fatalf("stale snapshot overwrote newer state: %q", v)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := New(1, timestamp.NewSimulated(1).ClockAt(1))
+	if _, err := s.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	other := snapshotHeader{Magic: "wrong", Version: 1}
+	encodeHeader(t, &buf, other)
+	if _, err := s.Load(&buf); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	buf.Reset()
+	encodeHeader(t, &buf, snapshotHeader{Magic: snapshotMagic, Version: 99})
+	if _, err := s.Load(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+	buf.Reset()
+	encodeHeader(t, &buf, snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion, Entries: 5})
+	if _, err := s.Load(&buf); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func encodeHeader(t *testing.T, buf *bytes.Buffer, hdr snapshotHeader) {
+	t.Helper()
+	if err := gob.NewEncoder(buf).Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replica.snap")
+	src := timestamp.NewSimulated(1)
+	s := New(1, src.ClockAt(1))
+	s.Update("k", Value("v"))
+
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1, src.ClockAt(1))
+	n, err := restored.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !ContentEqual(s, restored) {
+		t.Fatal("file round trip failed")
+	}
+	// Missing file is a fresh replica, not an error.
+	fresh := New(2, src.ClockAt(2))
+	if n, err := fresh.LoadFile(filepath.Join(dir, "missing.snap")); err != nil || n != 0 {
+		t.Errorf("missing file: n=%d err=%v", n, err)
+	}
+	// SaveFile into a nonexistent directory fails cleanly.
+	if err := s.SaveFile(filepath.Join(dir, "nope", "x.snap")); err == nil {
+		t.Error("expected error for bad directory")
+	}
+}

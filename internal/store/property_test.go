@@ -1,0 +1,171 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epidemic/internal/timestamp"
+)
+
+// genEntries produces a deterministic stream of updates/deletes spread
+// across a handful of keys and sites.
+func genEntries(seed int64, n int) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	src := timestamp.NewSimulated(0)
+	stores := make([]*Store, 4)
+	for i := range stores {
+		stores[i] = New(timestamp.SiteID(i), src.ClockAt(timestamp.SiteID(i)))
+	}
+	keys := []string{"a", "b", "c", "d", "e"}
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		s := stores[rng.Intn(len(stores))]
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(4) == 0 {
+			out = append(out, s.Delete(k, nil))
+		} else {
+			out = append(out, s.Update(k, Value{byte(rng.Intn(256))}))
+		}
+		src.Advance(int64(rng.Intn(3)))
+	}
+	return out
+}
+
+func freshStore(site timestamp.SiteID) *Store {
+	return New(site, timestamp.NewSimulated(0).ClockAt(site))
+}
+
+// Property: applying the same set of entries in any order yields identical
+// content (merge is order-independent), the heart of eventual consistency.
+func TestApplyOrderIndependenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		entries := genEntries(seed, 40)
+		a := freshStore(100)
+		for _, e := range entries {
+			a.Apply(e)
+		}
+		b := freshStore(101)
+		perm := rand.New(rand.NewSource(seed ^ 0x5eed)).Perm(len(entries))
+		for _, i := range perm {
+			b.Apply(entries[i])
+		}
+		return ContentEqual(a, b) && a.Checksum() == b.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply is idempotent — replaying every entry a second time
+// changes nothing.
+func TestApplyIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		entries := genEntries(seed, 30)
+		s := freshStore(100)
+		for _, e := range entries {
+			s.Apply(e)
+		}
+		sum := s.Checksum()
+		for _, e := range entries {
+			if res := s.Apply(e); res.Changed() {
+				return false
+			}
+		}
+		return s.Checksum() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after applying all entries, every key holds the entry with the
+// largest timestamp among those generated for it (unless a newer death
+// certificate for the key is present, in which case that wins — which is
+// the same statement, since certificates are entries).
+func TestNewestEntryWinsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		entries := genEntries(seed, 50)
+		s := freshStore(100)
+		newest := make(map[string]Entry)
+		for _, e := range entries {
+			s.Apply(e)
+			if cur, ok := newest[e.Key]; !ok || cur.Stamp.Less(e.Stamp) {
+				newest[e.Key] = e
+			}
+		}
+		for k, want := range newest {
+			got, ok := s.Get(k)
+			if !ok || !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the incremental checksum always equals a from-scratch checksum
+// of the snapshot.
+func TestChecksumMatchesRecomputationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		entries := genEntries(seed, 40)
+		s := freshStore(100)
+		for _, e := range entries {
+			s.Apply(e)
+		}
+		var sum uint64
+		for _, e := range s.Snapshot() {
+			sum ^= e.hash()
+		}
+		return sum == s.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the time index stays consistent — NewestFirst(0) is sorted
+// strictly descending and covers exactly the store's keys.
+func TestTimeIndexConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		entries := genEntries(seed, 60)
+		s := freshStore(100)
+		for _, e := range entries {
+			s.Apply(e)
+		}
+		list := s.NewestFirst(0)
+		if len(list) != s.Len() {
+			return false
+		}
+		seen := make(map[string]bool, len(list))
+		for i, e := range list {
+			if seen[e.Key] {
+				return false
+			}
+			seen[e.Key] = true
+			if i > 0 && list[i-1].Stamp.Less(e.Stamp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeIndexLen(t *testing.T) {
+	s := freshStore(1)
+	s.Update("a", Value("1"))
+	s.Update("b", Value("2"))
+	s.Update("a", Value("3"))
+	s.mu.Lock()
+	n := s.index.len()
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("index len = %d, want 2", n)
+	}
+}

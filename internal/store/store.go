@@ -1,0 +1,400 @@
+package store
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"epidemic/internal/timestamp"
+)
+
+// ApplyResult describes the outcome of merging a remote entry into a local
+// store.
+type ApplyResult int
+
+const (
+	// Unchanged: the incoming entry is identical to or older than the local
+	// entry; nothing happened.
+	Unchanged ApplyResult = iota + 1
+	// Applied: the incoming entry superseded the local state.
+	Applied
+	// ActivationAdvanced: same ordinary timestamp, but the incoming death
+	// certificate carries a newer activation timestamp, which was adopted.
+	ActivationAdvanced
+	// RejectedByDeath: the incoming ordinary entry is older than a local
+	// death certificate — an obsolete copy trying to "resurrect" the item
+	// (§2). The protocol layer should reactivate the certificate if it is
+	// dormant.
+	RejectedByDeath
+)
+
+// String names the result for logs and tests.
+func (r ApplyResult) String() string {
+	switch r {
+	case Unchanged:
+		return "unchanged"
+	case Applied:
+		return "applied"
+	case ActivationAdvanced:
+		return "activation-advanced"
+	case RejectedByDeath:
+		return "rejected-by-death"
+	default:
+		return "invalid"
+	}
+}
+
+// Changed reports whether the merge modified local state (i.e. the sender's
+// entry was "needed" in the rumor-mongering feedback sense).
+func (r ApplyResult) Changed() bool { return r == Applied || r == ActivationAdvanced }
+
+// Store is one site's replica of the database. It is safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	site    timestamp.SiteID
+	clock   timestamp.Clock
+	entries map[string]Entry
+	deaths  map[string]struct{} // keys whose entry is a death certificate
+	sum     uint64              // incremental XOR checksum of all entries
+	index   timeIndex           // entries ordered by ordinary timestamp
+}
+
+// New returns an empty store for the given site.
+func New(site timestamp.SiteID, clock timestamp.Clock) *Store {
+	return &Store{
+		site:    site,
+		clock:   clock,
+		entries: make(map[string]Entry),
+		deaths:  make(map[string]struct{}),
+	}
+}
+
+// Site returns the owning site's ID.
+func (s *Store) Site() timestamp.SiteID { return s.site }
+
+// Now exposes the site clock's current reading (for age computations by
+// protocol layers).
+func (s *Store) Now() int64 { return s.clock.Read() }
+
+// Len returns the number of entries, including death certificates.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// LiveLen returns the number of non-deleted items.
+func (s *Store) LiveLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries) - len(s.deaths)
+}
+
+// Update performs the client Update operation of §1.1: it writes value
+// under key with a fresh timestamp and returns the new entry.
+func (s *Store) Update(key string, value Value) Entry {
+	// Copy and never store nil: a nil Value means deletion, and an
+	// explicit empty value is not a deletion.
+	v := make(Value, len(value))
+	copy(v, value)
+	ts := s.clock.Now()
+	e := Entry{Key: key, Value: v, Stamp: ts, Activation: ts}
+	s.mu.Lock()
+	s.put(e)
+	s.mu.Unlock()
+	return e.clone()
+}
+
+// Delete replaces the item with a death certificate (§2) whose retention
+// sites are given by retention (may be nil). It returns the certificate.
+func (s *Store) Delete(key string, retention []timestamp.SiteID) Entry {
+	ts := s.clock.Now()
+	e := Entry{
+		Key:        key,
+		Stamp:      ts,
+		Activation: ts,
+		Retention:  append([]timestamp.SiteID(nil), retention...),
+	}
+	s.mu.Lock()
+	s.put(e)
+	s.mu.Unlock()
+	return e.clone()
+}
+
+// Lookup returns the current value for key from a client's perspective:
+// deleted or absent items return ok=false, as the paper specifies that
+// ValueOf[k] = (NIL, t) "is the same as undefined".
+func (s *Store) Lookup(key string) (Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.IsDeath() {
+		return nil, false
+	}
+	return append(Value(nil), e.Value...), true
+}
+
+// Get returns the raw entry for key, including death certificates.
+func (s *Store) Get(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.clone(), true
+}
+
+// Apply merges a remote entry into the store and reports what happened.
+// The merge is the paper's timestamp rule: a larger ordinary timestamp
+// always supersedes a smaller one; equal ordinary timestamps adopt the
+// larger activation timestamp (reactivated death certificates).
+func (s *Store) Apply(e Entry) ApplyResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[e.Key]
+	if !ok {
+		s.put(e.clone())
+		return Applied
+	}
+	switch {
+	case cur.Stamp.Less(e.Stamp):
+		s.put(e.clone())
+		return Applied
+	case e.Stamp.Less(cur.Stamp):
+		if cur.IsDeath() && !e.IsDeath() {
+			return RejectedByDeath
+		}
+		return Unchanged
+	default: // same ordinary timestamp
+		if cur.Activation.Less(e.Activation) {
+			cur.Activation = e.Activation
+			s.entries[e.Key] = cur
+			return ActivationAdvanced
+		}
+		return Unchanged
+	}
+}
+
+// put installs e, maintaining the checksum, death set, and time index.
+// Caller holds s.mu; e must not alias caller-retained slices.
+func (s *Store) put(e Entry) {
+	if old, ok := s.entries[e.Key]; ok {
+		s.sum ^= old.hash()
+		s.index.remove(old.Stamp, e.Key)
+		delete(s.deaths, e.Key)
+	}
+	s.entries[e.Key] = e
+	s.sum ^= e.hash()
+	s.index.insert(e.Stamp, e.Key)
+	if e.IsDeath() {
+		s.deaths[e.Key] = struct{}{}
+	}
+}
+
+// drop removes the entry for key entirely (death-certificate expiry).
+// Caller holds s.mu.
+func (s *Store) drop(key string) {
+	old, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	s.sum ^= old.hash()
+	s.index.remove(old.Stamp, key)
+	delete(s.entries, key)
+	delete(s.deaths, key)
+}
+
+// Checksum returns the incremental checksum over all entries.
+func (s *Store) Checksum() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// ChecksumLive returns the checksum excluding dormant death certificates
+// (activation older than tau1 at time now). Sites at different points of a
+// certificate's dormancy would otherwise permanently disagree even with
+// identical live content.
+func (s *Store) ChecksumLive(now, tau1 int64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := s.sum
+	for key := range s.deaths {
+		e := s.entries[key]
+		if now-e.Activation.Time > tau1 {
+			sum ^= e.hash()
+		}
+	}
+	return sum
+}
+
+// Reactivate awakens the death certificate for key: its activation
+// timestamp is advanced to the current time (its ordinary timestamp is
+// unchanged, so updates between the two are not cancelled, §2.2). It
+// returns the updated certificate and true, or false if key does not hold
+// a death certificate.
+func (s *Store) Reactivate(key string) (Entry, bool) {
+	// Take the clock reading outside the lock ordering of put (clock has
+	// its own mutex; order is store→clock everywhere).
+	act := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || !e.IsDeath() {
+		return Entry{}, false
+	}
+	if e.Activation.Less(act) {
+		e.Activation = act
+		s.entries[key] = e
+	}
+	return e.clone(), true
+}
+
+// IsDormant reports whether the entry's activation timestamp is older than
+// tau1 at time now (dormant death certificates are not propagated by
+// anti-entropy, §2.2).
+func IsDormant(e Entry, now, tau1 int64) bool {
+	return e.IsDeath() && now-e.Activation.Time > tau1
+}
+
+// ExpireDeathCertificates applies §2.1's retention policy at time now:
+// certificates with activation age in (tau1, tau1+tau2] survive only at
+// their retention sites; older than tau1+tau2 they are discarded
+// everywhere. It returns how many certificates were dropped.
+func (s *Store) ExpireDeathCertificates(now, tau1, tau2 int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var doomed []string
+	for key := range s.deaths {
+		e := s.entries[key]
+		age := now - e.Activation.Time
+		switch {
+		case age > tau1+tau2:
+			doomed = append(doomed, key)
+		case age > tau1 && !e.RetainedBy(s.site):
+			doomed = append(doomed, key)
+		}
+	}
+	for _, key := range doomed {
+		s.drop(key)
+	}
+	return len(doomed)
+}
+
+// DeathCertificates returns all death certificates currently held.
+func (s *Store) DeathCertificates() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.deaths))
+	for key := range s.deaths {
+		out = append(out, s.entries[key].clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// RecentUpdates returns all entries whose ordinary timestamp is within tau
+// of now, newest first — the paper's "recent update list" (§1.3).
+func (s *Store) RecentUpdates(now, tau int64) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for i := len(s.index.keys) - 1; i >= 0; i-- {
+		rec := s.index.keys[i]
+		if now-rec.stamp.Time >= tau { // ages strictly less than tau qualify
+			break
+		}
+		out = append(out, s.entries[rec.key].clone())
+	}
+	return out
+}
+
+// NewestFirst returns up to limit entries in reverse timestamp order
+// starting after the given exclusive upper bound (pass timestamp.T{Time:
+// math.MaxInt64} semantics via After). It powers the peel-back exchange
+// (§1.3). A zero limit returns all.
+func (s *Store) NewestFirst(limit int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.index.keys)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Entry, 0, limit)
+	for i := n - 1; i >= n-limit; i-- {
+		out = append(out, s.entries[s.index.keys[i].key].clone())
+	}
+	return out
+}
+
+// OlderThan returns up to limit entries strictly older than bound, newest
+// first. Peel-back uses it to fetch the next batch.
+func (s *Store) OlderThan(bound timestamp.T, limit int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.index.searchBefore(bound)
+	if limit <= 0 || limit > i {
+		limit = i
+	}
+	out := make([]Entry, 0, limit)
+	for k := i - 1; k >= i-limit; k-- {
+		out = append(out, s.entries[s.index.keys[k].key].clone())
+	}
+	return out
+}
+
+// Snapshot returns a copy of all entries, sorted by key.
+func (s *Store) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ScanPrefix returns the live (non-deleted) entries whose keys start with
+// prefix, sorted by key.
+func (s *Store) ScanPrefix(prefix string) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for k, e := range s.entries {
+		if e.IsDeath() || !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ContentEqual reports whether two stores hold identical database content.
+func ContentEqual(a, b *Store) bool {
+	as, bs := a.Snapshot(), b.Snapshot()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if !as[i].Equal(bs[i]) {
+			return false
+		}
+	}
+	return true
+}

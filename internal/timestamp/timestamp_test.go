@@ -1,0 +1,275 @@
+package timestamp
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b T
+		want bool
+	}{
+		{name: "time dominates", a: T{Time: 1, Site: 9, Seq: 9}, b: T{Time: 2}, want: true},
+		{name: "time dominates reverse", a: T{Time: 2}, b: T{Time: 1, Site: 9, Seq: 9}, want: false},
+		{name: "site breaks time tie", a: T{Time: 5, Site: 1}, b: T{Time: 5, Site: 2}, want: true},
+		{name: "seq breaks site tie", a: T{Time: 5, Site: 1, Seq: 0}, b: T{Time: 5, Site: 1, Seq: 1}, want: true},
+		{name: "equal is not less", a: T{Time: 5, Site: 1, Seq: 1}, b: T{Time: 5, Site: 1, Seq: 1}, want: false},
+		{name: "zero before everything", a: Zero, b: T{Time: 1}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("(%v).Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := T{Time: 1, Site: 2, Seq: 3}
+	b := T{Time: 1, Site: 2, Seq: 4}
+	if got := a.Compare(b); got != -1 {
+		t.Errorf("Compare = %d, want -1", got)
+	}
+	if got := b.Compare(a); got != 1 {
+		t.Errorf("Compare = %d, want 1", got)
+	}
+	if got := a.Compare(a); got != 0 {
+		t.Errorf("Compare = %d, want 0", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := T{Time: 1}
+	b := T{Time: 2}
+	if got := Max(a, b); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if got := Max(b, a); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if (T{Time: 1}).IsZero() {
+		t.Error("non-zero IsZero() = true")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := T{Time: 42, Site: 7, Seq: 1}.String()
+	if got != "42@s7#1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Less is a strict total order (irreflexive, asymmetric,
+// trichotomous) on arbitrary timestamps.
+func TestLessIsStrictTotalOrderProperty(t *testing.T) {
+	f := func(at, bt int64, as, bs int32, aq, bq uint32) bool {
+		a := T{Time: at, Site: SiteID(as), Seq: aq}
+		b := T{Time: bt, Site: SiteID(bs), Seq: bq}
+		if a.Less(a) || b.Less(b) {
+			return false // irreflexive
+		}
+		if a.Less(b) && b.Less(a) {
+			return false // asymmetric
+		}
+		// trichotomy
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is consistent with Less.
+func TestCompareConsistentProperty(t *testing.T) {
+	f := func(at, bt int64, as, bs int32) bool {
+		a := T{Time: at, Site: SiteID(as)}
+		b := T{Time: bt, Site: SiteID(bs)}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b)
+		case 1:
+			return b.Less(a)
+		default:
+			return a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWallClockMonotonicUnique(t *testing.T) {
+	c := WallClock(3)
+	prev := c.Now()
+	for i := 0; i < 10_000; i++ {
+		cur := c.Now()
+		if !prev.Less(cur) {
+			t.Fatalf("clock not strictly increasing: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestWallClockConcurrentUnique(t *testing.T) {
+	c := WallClock(1)
+	const workers, per = 8, 2000
+	var (
+		mu   sync.Mutex
+		seen = make(map[T]bool, workers*per)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]T, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.Now())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate timestamp %v", ts)
+					return
+				}
+				seen[ts] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSimulatedClock(t *testing.T) {
+	src := NewSimulated(100)
+	c1 := src.ClockAt(1)
+	c2 := src.ClockAt(2)
+
+	a := c1.Now()
+	b := c2.Now()
+	if a.Time != 100 || b.Time != 100 {
+		t.Fatalf("expected time 100, got %v %v", a, b)
+	}
+	if a == b {
+		t.Fatal("clocks at different sites must not collide")
+	}
+
+	src.Advance(50)
+	cNext := c1.Now()
+	if cNext.Time != 150 {
+		t.Fatalf("after Advance expected 150, got %v", cNext)
+	}
+	if !a.Less(cNext) {
+		t.Fatal("later simulated timestamp must order after earlier one")
+	}
+}
+
+func TestSimulatedSet(t *testing.T) {
+	src := NewSimulated(10)
+	src.Set(5) // going backwards is ignored
+	if got := src.Read(); got != 10 {
+		t.Fatalf("Read = %d, want 10", got)
+	}
+	src.Set(20)
+	if got := src.Read(); got != 20 {
+		t.Fatalf("Read = %d, want 20", got)
+	}
+}
+
+func TestSimulatedAdvanceNegativeIgnored(t *testing.T) {
+	src := NewSimulated(10)
+	src.Advance(-5)
+	if got := src.Read(); got != 10 {
+		t.Fatalf("Read = %d, want 10", got)
+	}
+}
+
+func TestSameSiteSameTickUsesSeq(t *testing.T) {
+	src := NewSimulated(7)
+	c := src.ClockAt(4)
+	a := c.Now()
+	b := c.Now()
+	if a.Time != b.Time || a.Site != b.Site {
+		t.Fatalf("expected same time/site: %v %v", a, b)
+	}
+	if b.Seq != a.Seq+1 {
+		t.Fatalf("expected consecutive seq, got %v then %v", a, b)
+	}
+	if !a.Less(b) {
+		t.Fatal("second timestamp must order after first")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := make([]T, 500)
+	for i := range ts {
+		ts[i] = T{Time: rng.Int63n(10), Site: SiteID(rng.Intn(5)), Seq: uint32(rng.Intn(4))}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			t.Fatalf("not sorted at %d: %v > %v", i, ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestClockReadDoesNotConsume(t *testing.T) {
+	src := NewSimulated(5)
+	c := src.ClockAt(1)
+	before := c.Read()
+	ts := c.Now()
+	if before != 5 || ts.Time != 5 {
+		t.Fatalf("Read/Now mismatch: read=%d now=%v", before, ts)
+	}
+	// Read never goes below the last issued timestamp's time.
+	if got := c.Read(); got < ts.Time {
+		t.Fatalf("Read = %d regressed below %d", got, ts.Time)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	src := NewSimulated(100)
+	fast := src.SkewedClockAt(1, 50)
+	slow := src.SkewedClockAt(2, -50)
+	if got := fast.Read(); got != 150 {
+		t.Errorf("fast Read = %d, want 150", got)
+	}
+	if got := slow.Read(); got != 50 {
+		t.Errorf("slow Read = %d, want 50", got)
+	}
+	// A fast clock's timestamp supersedes a slow clock's *later* write —
+	// the practical anomaly the paper warns about.
+	early := fast.Now()
+	src.Advance(10)
+	late := slow.Now()
+	if late.Less(early) == false {
+		t.Error("expected the genuinely later write to carry the smaller timestamp")
+	}
+	// Monotonicity per clock still holds.
+	if next := fast.Now(); !early.Less(next) {
+		t.Error("skewed clock not monotonic")
+	}
+}

@@ -1,0 +1,190 @@
+package topology
+
+import "fmt"
+
+// Line builds a linear network of n sites, each one link from its nearest
+// neighbours — the paper's introductory example for spatial distributions
+// (§3: "assume the database sites are arranged on a linear network").
+func Line(n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: Line needs n >= 1, got %d", n)
+	}
+	g := NewGraph(0)
+	sites := make([]NodeID, n)
+	for i := range sites {
+		sites[i] = g.AddNode(fmt.Sprintf("site%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddLink(sites[i], sites[i+1])
+	}
+	return NewNetwork(g, sites)
+}
+
+// Ring builds a cycle of n sites.
+func Ring(n int) (*Network, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: Ring needs n >= 3, got %d", n)
+	}
+	g := NewGraph(0)
+	sites := make([]NodeID, n)
+	for i := range sites {
+		sites[i] = g.AddNode(fmt.Sprintf("site%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.AddLink(sites[i], sites[(i+1)%n])
+	}
+	return NewNetwork(g, sites)
+}
+
+// Mesh builds a D-dimensional rectilinear grid of sites with the given
+// extents, one site per grid point (§3's "higher dimensional rectilinear
+// meshes of sites"). Q_s(d) is Θ(d^D) on such a mesh.
+func Mesh(dims ...int) (*Network, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: Mesh needs at least one dimension")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("topology: Mesh dimension %d < 1", d)
+		}
+		total *= d
+	}
+	g := NewGraph(0)
+	sites := make([]NodeID, total)
+	for i := range sites {
+		sites[i] = g.AddNode(fmt.Sprintf("site%d", i))
+	}
+	// strides[k] is the flat-index step when coordinate k increments.
+	strides := make([]int, len(dims))
+	strides[0] = 1
+	for k := 1; k < len(dims); k++ {
+		strides[k] = strides[k-1] * dims[k-1]
+	}
+	coord := make([]int, len(dims))
+	for i := 0; i < total; i++ {
+		for k := range dims {
+			if coord[k]+1 < dims[k] {
+				g.AddLink(sites[i], sites[i+strides[k]])
+			}
+		}
+		// Increment the odometer.
+		for k := 0; k < len(dims); k++ {
+			coord[k]++
+			if coord[k] < dims[k] {
+				break
+			}
+			coord[k] = 0
+		}
+	}
+	return NewNetwork(g, sites)
+}
+
+// Complete builds a clique of n sites (all pairs at distance 1): the
+// "uniform" network of §1 where topology is ignored. Intended for modest n
+// since it materialises n(n-1)/2 links.
+func Complete(n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: Complete needs n >= 1, got %d", n)
+	}
+	g := NewGraph(0)
+	sites := make([]NodeID, n)
+	for i := range sites {
+		sites[i] = g.AddNode(fmt.Sprintf("site%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddLink(sites[i], sites[j])
+		}
+	}
+	return NewNetwork(g, sites)
+}
+
+// Star builds a hub-and-spoke network: one central router node (not a
+// site) with n sites attached, so every pair of sites is at distance 2.
+func Star(n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: Star needs n >= 1, got %d", n)
+	}
+	g := NewGraph(0)
+	hub := g.AddNode("hub")
+	sites := make([]NodeID, n)
+	for i := range sites {
+		sites[i] = g.AddNode(fmt.Sprintf("site%d", i))
+		g.AddLink(hub, sites[i])
+	}
+	return NewNetwork(g, sites)
+}
+
+// PairFan builds the pathological topology of the paper's Figure 1: two
+// sites s and t near each other (distance 1) and m sites u_1..u_m all
+// equidistant from s and from t, slightly farther away (distance far+1 via
+// a shared hub reached through a chain of far router hops).
+//
+// Site indices: 0 = s, 1 = t, 2..m+1 = u_1..u_m.
+func PairFan(m, far int) (*Network, error) {
+	if m < 1 || far < 1 {
+		return nil, fmt.Errorf("topology: PairFan needs m >= 1 and far >= 1, got m=%d far=%d", m, far)
+	}
+	g := NewGraph(0)
+	s := g.AddNode("s")
+	t := g.AddNode("t")
+	g.AddLink(s, t)
+	// Two chains of far-1 router nodes from s and t to a shared hub keep
+	// d(s,u_i) == d(t,u_i) == far+1 while d(s,t) == 1.
+	hub := g.AddNode("hub")
+	chain := func(from NodeID) {
+		cur := from
+		for h := 0; h < far-1; h++ {
+			next := g.AddNode("r")
+			g.AddLink(cur, next)
+			cur = next
+		}
+		g.AddLink(cur, hub)
+	}
+	chain(s)
+	chain(t)
+	sites := []NodeID{s, t}
+	for i := 0; i < m; i++ {
+		u := g.AddNode(fmt.Sprintf("u%d", i))
+		g.AddLink(hub, u)
+		sites = append(sites, u)
+	}
+	return NewNetwork(g, sites)
+}
+
+// TreeWithSatellite builds the pathological topology of the paper's
+// Figure 2: a complete binary tree of sites of the given depth (depth 0 is
+// a single root), plus one satellite site s connected to the root through a
+// chain of router nodes strictly longer than the height of the tree.
+//
+// Site indices: 0 = satellite s, 1.. = tree sites in breadth-first order
+// (site 1 is the root u_0).
+func TreeWithSatellite(depth int) (*Network, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topology: TreeWithSatellite needs depth >= 1, got %d", depth)
+	}
+	g := NewGraph(0)
+	sat := g.AddNode("s")
+
+	treeSize := (1 << (depth + 1)) - 1
+	tree := make([]NodeID, treeSize)
+	for i := range tree {
+		tree[i] = g.AddNode(fmt.Sprintf("u%d", i))
+		if i > 0 {
+			g.AddLink(tree[(i-1)/2], tree[i])
+		}
+	}
+
+	// Chain of depth+1 router hops puts d(s, root) = depth+2 > tree height.
+	cur := sat
+	for h := 0; h <= depth; h++ {
+		next := g.AddNode("r")
+		g.AddLink(cur, next)
+		cur = next
+	}
+	g.AddLink(cur, tree[0])
+
+	sites := append([]NodeID{sat}, tree...)
+	return NewNetwork(g, sites)
+}

@@ -1,0 +1,147 @@
+package topology
+
+import "fmt"
+
+// BusheyLinkName is the name of the primary transatlantic link in the
+// synthetic CIN topology, after the link to Bushey, England whose traffic
+// Tables 4 and 5 of the paper single out.
+const BusheyLinkName = "Bushey"
+
+// SecondTransatlanticLinkName names the secondary transatlantic link; the
+// paper notes a *pair* of transatlantic links connects Europe to North
+// America.
+const SecondTransatlanticLinkName = "TransAtlantic2"
+
+// CINConfig parameterises the synthetic Xerox Corporate Internet topology.
+// The real CIN is proprietary; this generator reproduces its load-bearing
+// structure as described in the paper: several hundred Ethernets connected
+// by gateways, a few small linear sections, a small European cluster of "a
+// few tens" of sites, and exactly two transatlantic links carrying all
+// Europe↔America traffic (§0.1, §3.1).
+type CINConfig struct {
+	// GridW x GridH gateway routers form the North American backbone; each
+	// hosts one Ethernet (cluster) of NASitesPerCluster sites.
+	GridW, GridH      int
+	NASitesPerCluster int
+	// Chains linear sections hang off the backbone, each ChainLen clusters
+	// long ("small sections of the CIN are in fact linear").
+	Chains, ChainLen int
+	// EUClusters Ethernets of EUSitesPerCluster sites form Europe,
+	// connected in a chain starting at the Bushey gateway.
+	EUClusters, EUSitesPerCluster int
+}
+
+// DefaultCINConfig yields ~400 sites: 360 in North America and 40 in
+// Europe, matching the paper's "several hundred" NA and "few tens" EU
+// sites. Under uniform partner selection the expected transatlantic
+// conversation load is 2·n1·n2/(n1+n2) ≈ 72 per cycle, reproducing the
+// overload the paper observed (~80).
+func DefaultCINConfig() CINConfig {
+	return CINConfig{
+		GridW: 6, GridH: 6, NASitesPerCluster: 9,
+		Chains: 2, ChainLen: 2,
+		EUClusters: 4, EUSitesPerCluster: 10,
+	}
+}
+
+// CIN is the synthetic Xerox Corporate Internet.
+type CIN struct {
+	*Network
+
+	// NASites and EUSites are the site indices on each continent.
+	NASites, EUSites []int
+	// BusheyLink is the primary transatlantic link.
+	BusheyLink LinkID
+}
+
+// NewCIN builds the default synthetic CIN.
+func NewCIN() (*CIN, error) { return NewCINFromConfig(DefaultCINConfig()) }
+
+// NewCINFromConfig builds a synthetic CIN from cfg.
+func NewCINFromConfig(cfg CINConfig) (*CIN, error) {
+	if cfg.GridW < 2 || cfg.GridH < 2 {
+		return nil, fmt.Errorf("topology: CIN grid must be at least 2x2, got %dx%d", cfg.GridW, cfg.GridH)
+	}
+	if cfg.NASitesPerCluster < 1 || cfg.EUSitesPerCluster < 1 || cfg.EUClusters < 1 {
+		return nil, fmt.Errorf("topology: CIN cluster sizes must be >= 1")
+	}
+	g := NewGraph(0)
+	var sites []NodeID
+	var naSites, euSites []int
+
+	// addCluster attaches k sites to router r and records their indices.
+	addCluster := func(r NodeID, k int, eu bool) {
+		for i := 0; i < k; i++ {
+			s := g.AddNode("host")
+			g.AddLink(r, s)
+			idx := len(sites)
+			sites = append(sites, s)
+			if eu {
+				euSites = append(euSites, idx)
+			} else {
+				naSites = append(naSites, idx)
+			}
+		}
+	}
+
+	// North American backbone: GridW x GridH gateway grid.
+	grid := make([]NodeID, cfg.GridW*cfg.GridH)
+	for y := 0; y < cfg.GridH; y++ {
+		for x := 0; x < cfg.GridW; x++ {
+			r := g.AddNode(fmt.Sprintf("na-gw-%d-%d", x, y))
+			grid[y*cfg.GridW+x] = r
+			if x > 0 {
+				g.AddLink(grid[y*cfg.GridW+x-1], r)
+			}
+			if y > 0 {
+				g.AddLink(grid[(y-1)*cfg.GridW+x], r)
+			}
+			addCluster(r, cfg.NASitesPerCluster, false)
+		}
+	}
+
+	// Linear sections hanging off distinct corners of the backbone.
+	corners := []NodeID{
+		grid[0],
+		grid[cfg.GridW-1],
+		grid[(cfg.GridH-1)*cfg.GridW],
+		grid[cfg.GridH*cfg.GridW-1],
+	}
+	var lastChainEnd NodeID = grid[0]
+	for c := 0; c < cfg.Chains; c++ {
+		cur := corners[c%len(corners)]
+		for l := 0; l < cfg.ChainLen; l++ {
+			r := g.AddNode(fmt.Sprintf("na-chain-%d-%d", c, l))
+			g.AddLink(cur, r)
+			addCluster(r, cfg.NASitesPerCluster, false)
+			cur = r
+		}
+		lastChainEnd = cur
+	}
+
+	// European chain: Bushey gateway first.
+	euRouters := make([]NodeID, cfg.EUClusters)
+	for i := range euRouters {
+		tag := fmt.Sprintf("eu-gw-%d", i)
+		if i == 0 {
+			tag = "eu-gw-bushey"
+		}
+		euRouters[i] = g.AddNode(tag)
+		if i > 0 {
+			g.AddLink(euRouters[i-1], euRouters[i])
+		}
+		addCluster(euRouters[i], cfg.EUSitesPerCluster, true)
+	}
+
+	// Two transatlantic links. The primary (Bushey) lands mid-backbone so
+	// it is on the shortest path for almost all EU↔NA pairs; the secondary
+	// connects a chain end to the far end of Europe and carries little.
+	bushey := g.AddNamedLink(grid[cfg.GridW/2], euRouters[0], BusheyLinkName)
+	g.AddNamedLink(lastChainEnd, euRouters[len(euRouters)-1], SecondTransatlanticLinkName)
+
+	nw, err := NewNetwork(g, sites)
+	if err != nil {
+		return nil, err
+	}
+	return &CIN{Network: nw, NASites: naSites, EUSites: euSites, BusheyLink: bushey}, nil
+}

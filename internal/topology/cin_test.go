@@ -1,0 +1,122 @@
+package topology
+
+import "testing"
+
+func TestCINDefaultShape(t *testing.T) {
+	cin, err := NewCIN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cin.NumSites()
+	if n != len(cin.NASites)+len(cin.EUSites) {
+		t.Fatalf("site partition inconsistent: %d != %d + %d", n, len(cin.NASites), len(cin.EUSites))
+	}
+	if n < 300 || n > 500 {
+		t.Errorf("NumSites = %d, want several hundred", n)
+	}
+	if len(cin.EUSites) < 20 || len(cin.EUSites) > 60 {
+		t.Errorf("EU sites = %d, want a few tens", len(cin.EUSites))
+	}
+	if _, ok := cin.Graph().LinkByName(BusheyLinkName); !ok {
+		t.Error("Bushey link missing")
+	}
+	if _, ok := cin.Graph().LinkByName(SecondTransatlanticLinkName); !ok {
+		t.Error("second transatlantic link missing")
+	}
+}
+
+// Every EU↔NA shortest path must cross one of the two transatlantic links;
+// most must cross Bushey.
+func TestCINTransatlanticCut(t *testing.T) {
+	cin, err := NewCIN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushey, _ := cin.Graph().LinkByName(BusheyLinkName)
+	second, _ := cin.Graph().LinkByName(SecondTransatlanticLinkName)
+
+	viaBushey, viaSecond := 0, 0
+	var buf []LinkID
+	for _, e := range cin.EUSites {
+		for i, a := 0, 0; i < 10; i++ { // sample of NA sites
+			na := cin.NASites[a]
+			a += len(cin.NASites)/10 + 1
+			if a >= len(cin.NASites) {
+				a = 0
+			}
+			buf = cin.PathLinks(e, na, buf[:0])
+			crossed := false
+			for _, l := range buf {
+				if l == bushey {
+					viaBushey++
+					crossed = true
+				}
+				if l == second {
+					viaSecond++
+					crossed = true
+				}
+			}
+			if !crossed {
+				t.Fatalf("EU site %d to NA site %d does not cross the Atlantic", e, na)
+			}
+		}
+	}
+	if viaBushey <= viaSecond {
+		t.Errorf("Bushey should carry most transatlantic paths: bushey=%d second=%d", viaBushey, viaSecond)
+	}
+}
+
+// Intra-continental paths must never cross the Atlantic.
+func TestCINNoGratuitousCrossings(t *testing.T) {
+	cin, err := NewCIN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bushey, _ := cin.Graph().LinkByName(BusheyLinkName)
+	second, _ := cin.Graph().LinkByName(SecondTransatlanticLinkName)
+	var buf []LinkID
+	check := func(sites []int) {
+		for i := 0; i < len(sites); i += 17 {
+			for j := 1; j < len(sites); j += 23 {
+				buf = cin.PathLinks(sites[i], sites[j], buf[:0])
+				for _, l := range buf {
+					if l == bushey || l == second {
+						t.Fatalf("intra-continent path %d->%d crosses the Atlantic", sites[i], sites[j])
+					}
+				}
+			}
+		}
+	}
+	check(cin.NASites)
+	check(cin.EUSites)
+}
+
+func TestCINConfigValidation(t *testing.T) {
+	if _, err := NewCINFromConfig(CINConfig{GridW: 1, GridH: 2}); err == nil {
+		t.Error("expected grid validation error")
+	}
+	cfg := DefaultCINConfig()
+	cfg.NASitesPerCluster = 0
+	if _, err := NewCINFromConfig(cfg); err == nil {
+		t.Error("expected cluster-size validation error")
+	}
+}
+
+func TestCINSmallConfig(t *testing.T) {
+	cfg := CINConfig{
+		GridW: 2, GridH: 2, NASitesPerCluster: 2,
+		Chains: 1, ChainLen: 1,
+		EUClusters: 2, EUSitesPerCluster: 2,
+	}
+	cin, err := NewCINFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 grid clusters + 1 chain cluster = 10 NA sites, 4 EU sites.
+	if len(cin.NASites) != 10 || len(cin.EUSites) != 4 {
+		t.Fatalf("NA=%d EU=%d, want 10/4", len(cin.NASites), len(cin.EUSites))
+	}
+	if cin.MaxDistance() <= 0 {
+		t.Error("degenerate distances")
+	}
+}

@@ -1,0 +1,42 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the network as a Graphviz graph: sites as filled
+// circles, router nodes as points, named links labelled. Useful for
+// inspecting generated topologies (`dot -Tsvg`).
+func (nw *Network) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [shape=point];\n")
+
+	siteOf := make(map[NodeID]int, nw.NumSites())
+	for i := 0; i < nw.NumSites(); i++ {
+		siteOf[nw.SiteNode(i)] = i
+	}
+	g := nw.Graph()
+	for n := NodeID(0); int(n) < g.NumNodes(); n++ {
+		if idx, ok := siteOf[n]; ok {
+			fmt.Fprintf(&b, "  n%d [shape=circle, style=filled, fillcolor=lightblue, label=\"s%d\"];\n", n, idx)
+			continue
+		}
+		tag := g.NodeTag(n)
+		if tag != "" {
+			fmt.Fprintf(&b, "  n%d [xlabel=%q];\n", n, tag)
+		}
+	}
+	for _, l := range g.Links() {
+		if l.Name != "" {
+			fmt.Fprintf(&b, "  n%d -- n%d [label=%q, color=red, penwidth=2];\n", l.A, l.B, l.Name)
+		} else {
+			fmt.Fprintf(&b, "  n%d -- n%d;\n", l.A, l.B)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

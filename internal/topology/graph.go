@@ -1,0 +1,176 @@
+// Package topology models the communication networks the epidemic
+// algorithms run over: graphs of router nodes and database sites, hop
+// distances, per-link traffic accounting, and the cumulative site-count
+// function Q_s(d) that drives the paper's spatial distributions (§3).
+//
+// A Graph is a set of vertices connected by named links. Database sites are
+// placed on vertices by a Network, which precomputes site-to-site hop
+// distances and shortest-path link sequences so that simulations can charge
+// every conversation to the links it traverses — the quantity Tables 4 and
+// 5 of the paper report.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a graph vertex (a router, gateway, or host machine).
+type NodeID int32
+
+// LinkID identifies an undirected edge of the graph.
+type LinkID int32
+
+// Link is an undirected edge. Name is optional and used to single out
+// critical links (the paper's transatlantic link to Bushey, England).
+type Link struct {
+	ID   LinkID
+	A, B NodeID
+	Name string
+}
+
+type halfEdge struct {
+	to   NodeID
+	link LinkID
+}
+
+// Graph is an undirected multigraph of network nodes.
+type Graph struct {
+	adj     [][]halfEdge
+	links   []Link
+	byName  map[string]LinkID
+	nodeTag []string
+}
+
+// NewGraph returns a graph with n isolated vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		adj:    make([][]halfEdge, n),
+		byName: make(map[string]LinkID),
+	}
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// AddNode appends a vertex and returns its ID. tag is a free-form label
+// used in debugging output.
+func (g *Graph) AddNode(tag string) NodeID {
+	g.adj = append(g.adj, nil)
+	g.nodeTag = append(g.nodeTag, tag)
+	return NodeID(len(g.adj) - 1)
+}
+
+// NodeTag returns the label assigned when the node was added, if any.
+func (g *Graph) NodeTag(n NodeID) string {
+	if int(n) < len(g.nodeTag) {
+		return g.nodeTag[n]
+	}
+	return ""
+}
+
+// AddLink connects a and b and returns the new link's ID.
+func (g *Graph) AddLink(a, b NodeID) LinkID {
+	return g.AddNamedLink(a, b, "")
+}
+
+// AddNamedLink connects a and b with a named link. Names must be unique
+// when non-empty.
+func (g *Graph) AddNamedLink(a, b NodeID, name string) LinkID {
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, Name: name})
+	g.adj[a] = append(g.adj[a], halfEdge{to: b, link: id})
+	g.adj[b] = append(g.adj[b], halfEdge{to: a, link: id})
+	if name != "" {
+		g.byName[name] = id
+	}
+	return id
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Links returns a copy of all links.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// LinkByName looks up a named link.
+func (g *Graph) LinkByName(name string) (LinkID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// Degree returns the number of links incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// bfs fills dist (hops) and via (link taken on the last hop of a shortest
+// path toward root) for every node reachable from root. Unreachable nodes
+// get dist -1. The two slices must have length NumNodes.
+func (g *Graph) bfs(root NodeID, dist []int32, via []LinkID, prev []NodeID) {
+	for i := range dist {
+		dist[i] = -1
+		via[i] = -1
+		prev[i] = -1
+	}
+	queue := make([]NodeID, 0, len(g.adj))
+	dist[root] = 0
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[cur] {
+			if dist[e.to] >= 0 {
+				continue
+			}
+			dist[e.to] = dist[cur] + 1
+			via[e.to] = e.link
+			prev[e.to] = cur
+			queue = append(queue, e.to)
+		}
+	}
+}
+
+// Connected reports whether the graph is connected (ignoring a graph with
+// zero nodes, which is trivially connected).
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	dist := make([]int32, len(g.adj))
+	via := make([]LinkID, len(g.adj))
+	prev := make([]NodeID, len(g.adj))
+	g.bfs(0, dist, via, prev)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: link endpoints in range and
+// unique non-empty names.
+func (g *Graph) Validate() error {
+	n := NodeID(len(g.adj))
+	seen := make(map[string]bool, len(g.byName))
+	for _, l := range g.links {
+		if l.A < 0 || l.A >= n || l.B < 0 || l.B >= n {
+			return fmt.Errorf("link %d endpoints (%d,%d) out of range [0,%d)", l.ID, l.A, l.B, n)
+		}
+		if l.Name != "" {
+			if seen[l.Name] {
+				return fmt.Errorf("duplicate link name %q", l.Name)
+			}
+			seen[l.Name] = true
+		}
+	}
+	return nil
+}
+
+var errNotConnected = errors.New("topology: graph is not connected")

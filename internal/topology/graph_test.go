@@ -1,0 +1,416 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphAddNodeLink(t *testing.T) {
+	g := NewGraph(0)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	l1 := g.AddLink(a, b)
+	l2 := g.AddNamedLink(b, c, "bc")
+
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2", g.NumLinks())
+	}
+	if got := g.Link(l1); got.A != a || got.B != b {
+		t.Errorf("Link(l1) = %+v", got)
+	}
+	if id, ok := g.LinkByName("bc"); !ok || id != l2 {
+		t.Errorf("LinkByName(bc) = %v, %v", id, ok)
+	}
+	if _, ok := g.LinkByName("missing"); ok {
+		t.Error("LinkByName(missing) should not exist")
+	}
+	if g.Degree(b) != 2 {
+		t.Errorf("Degree(b) = %d, want 2", g.Degree(b))
+	}
+	if g.NodeTag(a) != "a" {
+		t.Errorf("NodeTag(a) = %q", g.NodeTag(a))
+	}
+}
+
+func TestGraphLinksCopy(t *testing.T) {
+	g := NewGraph(0)
+	a, b := g.AddNode(""), g.AddNode("")
+	g.AddLink(a, b)
+	links := g.Links()
+	links[0].Name = "mutated"
+	if g.Link(0).Name != "" {
+		t.Error("Links() must return a copy")
+	}
+}
+
+func TestGraphConnected(t *testing.T) {
+	g := NewGraph(0)
+	a := g.AddNode("")
+	b := g.AddNode("")
+	if g.Connected() {
+		t.Error("two isolated nodes reported connected")
+	}
+	g.AddLink(a, b)
+	if !g.Connected() {
+		t.Error("joined nodes reported disconnected")
+	}
+	if !NewGraph(0).Connected() {
+		t.Error("empty graph should be trivially connected")
+	}
+}
+
+func TestGraphValidateDuplicateName(t *testing.T) {
+	g := NewGraph(0)
+	a, b, c := g.AddNode(""), g.AddNode(""), g.AddNode("")
+	g.AddNamedLink(a, b, "x")
+	g.AddNamedLink(b, c, "x")
+	if err := g.Validate(); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+}
+
+func TestNetworkRejectsDisconnected(t *testing.T) {
+	g := NewGraph(0)
+	a := g.AddNode("")
+	g.AddNode("") // isolated
+	if _, err := NewNetwork(g, []NodeID{a}); err == nil {
+		t.Error("expected not-connected error")
+	}
+}
+
+func TestNetworkRejectsDuplicateSites(t *testing.T) {
+	g := NewGraph(0)
+	a, b := g.AddNode(""), g.AddNode("")
+	g.AddLink(a, b)
+	if _, err := NewNetwork(g, []NodeID{a, a}); err == nil {
+		t.Error("expected duplicate-site error")
+	}
+	if _, err := NewNetwork(g, nil); err == nil {
+		t.Error("expected no-sites error")
+	}
+	if _, err := NewNetwork(g, []NodeID{a, 99}); err == nil {
+		t.Error("expected invalid-node error")
+	}
+}
+
+func TestLineDistances(t *testing.T) {
+	nw, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumSites() != 5 {
+		t.Fatalf("NumSites = %d", nw.NumSites())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := i - j
+			if want < 0 {
+				want = -want
+			}
+			if got := nw.Distance(i, j); got != want {
+				t.Errorf("Distance(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	if nw.MaxDistance() != 4 {
+		t.Errorf("MaxDistance = %d, want 4", nw.MaxDistance())
+	}
+}
+
+func TestRingDistances(t *testing.T) {
+	nw, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Distance(0, 3); got != 3 {
+		t.Errorf("Distance(0,3) = %d, want 3", got)
+	}
+	if got := nw.Distance(0, 5); got != 1 {
+		t.Errorf("Distance(0,5) = %d, want 1", got)
+	}
+}
+
+func TestMeshDistances(t *testing.T) {
+	nw, err := Mesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumSites() != 9 {
+		t.Fatalf("NumSites = %d, want 9", nw.NumSites())
+	}
+	// Manhattan distance from corner (site 0) to opposite corner (site 8).
+	if got := nw.Distance(0, 8); got != 4 {
+		t.Errorf("corner distance = %d, want 4", got)
+	}
+	// 3D mesh sanity.
+	nw3, err := Mesh(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw3.Distance(0, 7); got != 3 {
+		t.Errorf("3d corner distance = %d, want 3", got)
+	}
+}
+
+func TestCompleteAndStar(t *testing.T) {
+	cl, err := Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 1
+			if i == j {
+				want = 0
+			}
+			if got := cl.Distance(i, j); got != want {
+				t.Errorf("clique Distance(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	st, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Distance(0, 4); got != 2 {
+		t.Errorf("star distance = %d, want 2", got)
+	}
+}
+
+func TestBuilderArgValidation(t *testing.T) {
+	if _, err := Line(0); err == nil {
+		t.Error("Line(0) should fail")
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) should fail")
+	}
+	if _, err := Mesh(); err == nil {
+		t.Error("Mesh() should fail")
+	}
+	if _, err := Mesh(2, 0); err == nil {
+		t.Error("Mesh(2,0) should fail")
+	}
+	if _, err := Complete(0); err == nil {
+		t.Error("Complete(0) should fail")
+	}
+	if _, err := Star(0); err == nil {
+		t.Error("Star(0) should fail")
+	}
+	if _, err := PairFan(0, 1); err == nil {
+		t.Error("PairFan(0,1) should fail")
+	}
+	if _, err := TreeWithSatellite(0); err == nil {
+		t.Error("TreeWithSatellite(0) should fail")
+	}
+}
+
+func TestPairFanGeometry(t *testing.T) {
+	const m, far = 8, 3
+	nw, err := PairFan(m, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumSites() != m+2 {
+		t.Fatalf("NumSites = %d, want %d", nw.NumSites(), m+2)
+	}
+	if got := nw.Distance(0, 1); got != 1 {
+		t.Errorf("d(s,t) = %d, want 1", got)
+	}
+	for u := 2; u < m+2; u++ {
+		ds, dt := nw.Distance(0, u), nw.Distance(1, u)
+		if ds != dt {
+			t.Errorf("u%d not equidistant: d(s)=%d d(t)=%d", u-2, ds, dt)
+		}
+		if ds != far+1 {
+			t.Errorf("d(s,u%d) = %d, want %d", u-2, ds, far+1)
+		}
+	}
+	// All u_i are mutually distance 2 (via the hub).
+	if got := nw.Distance(2, 3); got != 2 {
+		t.Errorf("d(u0,u1) = %d, want 2", got)
+	}
+}
+
+func TestTreeWithSatelliteGeometry(t *testing.T) {
+	const depth = 3
+	nw, err := TreeWithSatellite(depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSites := 1 + (1<<(depth+1) - 1)
+	if nw.NumSites() != wantSites {
+		t.Fatalf("NumSites = %d, want %d", nw.NumSites(), wantSites)
+	}
+	// Satellite to root is longer than tree height.
+	dRoot := nw.Distance(0, 1)
+	if dRoot <= depth {
+		t.Errorf("d(s,root) = %d, want > height %d", dRoot, depth)
+	}
+	// Leaves are `depth` from root.
+	lastLeaf := nw.NumSites() - 1
+	if got := nw.Distance(1, lastLeaf); got != depth {
+		t.Errorf("d(root,leaf) = %d, want %d", got, depth)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	nw, err := Line(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the middle site of a line of 7, Q(1)=2, Q(2)=4, Q(3)=6.
+	q := nw.Q(3)
+	want := []int{0, 2, 4, 6}
+	if len(q) != len(want) {
+		t.Fatalf("len(Q) = %d, want %d (%v)", len(q), len(want), q)
+	}
+	for d, w := range want {
+		if q[d] != w {
+			t.Errorf("Q(%d) = %d, want %d", d, q[d], w)
+		}
+	}
+	// For an end site, Q(d)=d.
+	q0 := nw.Q(0)
+	for d := 1; d < len(q0); d++ {
+		if q0[d] != d {
+			t.Errorf("end site Q(%d) = %d, want %d", d, q0[d], d)
+		}
+	}
+}
+
+func TestQMonotoneAndTotalProperty(t *testing.T) {
+	nets := map[string]func() (*Network, error){
+		"line":   func() (*Network, error) { return Line(12) },
+		"mesh":   func() (*Network, error) { return Mesh(4, 4) },
+		"tree":   func() (*Network, error) { return TreeWithSatellite(3) },
+		"ring":   func() (*Network, error) { return Ring(9) },
+		"star":   func() (*Network, error) { return Star(6) },
+		"clique": func() (*Network, error) { return Complete(5) },
+	}
+	for name, build := range nets {
+		nw, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for s := 0; s < nw.NumSites(); s++ {
+			q := nw.Q(s)
+			for d := 1; d < len(q); d++ {
+				if q[d] < q[d-1] {
+					t.Errorf("%s site %d: Q not monotone at %d", name, s, d)
+				}
+			}
+			if q[len(q)-1] != nw.NumSites()-1 {
+				t.Errorf("%s site %d: Q(max) = %d, want %d", name, s, q[len(q)-1], nw.NumSites()-1)
+			}
+		}
+	}
+}
+
+func TestSitesByDistance(t *testing.T) {
+	nw, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nw.SitesByDistance(2)
+	want := []int{1, 3, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SitesByDistance[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPathLinksChargesShortestPath(t *testing.T) {
+	nw, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := nw.PathLinks(0, 3, nil)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	seen := make(map[LinkID]bool)
+	for _, l := range path {
+		if seen[l] {
+			t.Errorf("duplicate link %d on path", l)
+		}
+		seen[l] = true
+	}
+	if len(nw.PathLinks(2, 2, nil)) != 0 {
+		t.Error("self path should be empty")
+	}
+}
+
+func TestLinkLoad(t *testing.T) {
+	nw, err := Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := NewLinkLoad(nw)
+	ll.Charge(0, 3) // 3 links
+	ll.Charge(1, 2) // middle link again
+	if got := ll.Total(); got != 4 {
+		t.Errorf("Total = %v, want 4", got)
+	}
+	if got := ll.Average(); got != 4.0/3.0 {
+		t.Errorf("Average = %v", got)
+	}
+	if got := ll.Max(); got != 2 {
+		t.Errorf("Max = %v, want 2", got)
+	}
+	other := NewLinkLoad(nw)
+	other.Charge(0, 1)
+	ll.Add(other)
+	if got := ll.Total(); got != 5 {
+		t.Errorf("after Add Total = %v, want 5", got)
+	}
+	ll.Scale(2)
+	if got := ll.Total(); got != 10 {
+		t.Errorf("after Scale Total = %v, want 10", got)
+	}
+	ll.Reset()
+	if got := ll.Total(); got != 0 {
+		t.Errorf("after Reset Total = %v, want 0", got)
+	}
+	if got := ll.GetNamed("nope"); got != 0 {
+		t.Errorf("GetNamed(nope) = %v, want 0", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	nw, err := PairFan(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := nw.WriteDOT(&b, "pairfan"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graph \"pairfan\"", "s0", "--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	cin, err := NewCINFromConfig(CINConfig{
+		GridW: 2, GridH: 2, NASitesPerCluster: 1,
+		EUClusters: 1, EUSitesPerCluster: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := cin.WriteDOT(&b, "cin"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), BusheyLinkName) {
+		t.Error("named link missing from DOT")
+	}
+}

@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network places database sites on a graph and precomputes the site-level
+// quantities the epidemic algorithms need: hop distances between sites,
+// shortest-path link sequences for traffic accounting, and the cumulative
+// neighbourhood function Q_s(d).
+type Network struct {
+	graph    *Graph
+	siteNode []NodeID // site index -> vertex
+
+	// dist[i][j] is the hop distance between sites i and j.
+	dist [][]int32
+	// prev[i] and via[i] are the BFS tree of site i's node, used to walk
+	// shortest paths from any node back to site i.
+	prev [][]NodeID
+	via  [][]LinkID
+}
+
+// NewNetwork builds a Network for the given site placement. The graph must
+// be connected so that every site can reach every other site.
+func NewNetwork(g *Graph, siteNodes []NodeID) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Connected() {
+		return nil, errNotConnected
+	}
+	if len(siteNodes) == 0 {
+		return nil, fmt.Errorf("topology: no sites placed")
+	}
+	seen := make(map[NodeID]bool, len(siteNodes))
+	for i, nd := range siteNodes {
+		if int(nd) < 0 || int(nd) >= g.NumNodes() {
+			return nil, fmt.Errorf("topology: site %d placed at invalid node %d", i, nd)
+		}
+		if seen[nd] {
+			return nil, fmt.Errorf("topology: two sites placed at node %d", nd)
+		}
+		seen[nd] = true
+	}
+
+	n := len(siteNodes)
+	nw := &Network{
+		graph:    g,
+		siteNode: append([]NodeID(nil), siteNodes...),
+		dist:     make([][]int32, n),
+		prev:     make([][]NodeID, n),
+		via:      make([][]LinkID, n),
+	}
+	nodeDist := make([]int32, g.NumNodes())
+	for i, nd := range nw.siteNode {
+		via := make([]LinkID, g.NumNodes())
+		prev := make([]NodeID, g.NumNodes())
+		g.bfs(nd, nodeDist, via, prev)
+		nw.via[i] = via
+		nw.prev[i] = prev
+		row := make([]int32, n)
+		for j, nd2 := range nw.siteNode {
+			row[j] = nodeDist[nd2]
+		}
+		nw.dist[i] = row
+	}
+	return nw, nil
+}
+
+// Graph returns the underlying graph.
+func (nw *Network) Graph() *Graph { return nw.graph }
+
+// NumSites returns the number of database sites.
+func (nw *Network) NumSites() int { return len(nw.siteNode) }
+
+// SiteNode returns the vertex hosting site i.
+func (nw *Network) SiteNode(i int) NodeID { return nw.siteNode[i] }
+
+// Distance returns the hop distance between sites i and j.
+func (nw *Network) Distance(i, j int) int { return int(nw.dist[i][j]) }
+
+// MaxDistance returns the largest site-to-site distance (the site
+// diameter).
+func (nw *Network) MaxDistance() int {
+	var m int32
+	for _, row := range nw.dist {
+		for _, d := range row {
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return int(m)
+}
+
+// PathLinks appends to buf the links on a shortest path from site i to
+// site j and returns the extended slice. The path is taken from site i's
+// BFS tree, so repeated calls for the same pair return the same path.
+func (nw *Network) PathLinks(i, j int, buf []LinkID) []LinkID {
+	cur := nw.siteNode[j]
+	root := nw.siteNode[i]
+	via := nw.via[i]
+	prev := nw.prev[i]
+	for cur != root {
+		buf = append(buf, via[cur])
+		cur = prev[cur]
+	}
+	return buf
+}
+
+// Q returns the cumulative neighbourhood function of site i:
+// Q(d) = number of *other* sites at hop distance ≤ d. The returned slice q
+// satisfies q[d] = Q(d) for d in [0, MaxDistance of i]; Q(0) counts sites
+// co-located at distance 0 (normally zero). This is the Q_s(d) of §3 of
+// the paper.
+func (nw *Network) Q(i int) []int {
+	var maxD int32
+	for j, d := range nw.dist[i] {
+		if j != i && d > maxD {
+			maxD = d
+		}
+	}
+	q := make([]int, maxD+1)
+	for j, d := range nw.dist[i] {
+		if j == i {
+			continue
+		}
+		q[d]++
+	}
+	for d := 1; d <= int(maxD); d++ {
+		q[d] += q[d-1]
+	}
+	return q
+}
+
+// SitesByDistance returns the other sites sorted by distance from site i
+// (ties broken by site index), as the paper's "list of the other sites
+// sorted by their distance from s".
+func (nw *Network) SitesByDistance(i int) []int {
+	out := make([]int, 0, len(nw.siteNode)-1)
+	for j := range nw.siteNode {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	row := nw.dist[i]
+	sort.Slice(out, func(a, b int) bool {
+		if row[out[a]] != row[out[b]] {
+			return row[out[a]] < row[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

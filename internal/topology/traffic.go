@@ -1,0 +1,90 @@
+package topology
+
+// LinkLoad accumulates per-link conversation counts for one simulation run.
+// Tables 4 and 5 of the paper report two such loads: "compare traffic"
+// (anti-entropy conversations per cycle, charged to every link the
+// conversation traverses) and "update traffic" (conversations in which the
+// update actually had to be sent).
+type LinkLoad struct {
+	nw     *Network
+	counts []float64
+	buf    []LinkID
+}
+
+// NewLinkLoad returns a zeroed accumulator for the network's links.
+func NewLinkLoad(nw *Network) *LinkLoad {
+	return &LinkLoad{
+		nw:     nw,
+		counts: make([]float64, nw.Graph().NumLinks()),
+	}
+}
+
+// Charge adds one conversation between sites i and j to every link on the
+// shortest path between them.
+func (ll *LinkLoad) Charge(i, j int) {
+	ll.buf = ll.nw.PathLinks(i, j, ll.buf[:0])
+	for _, l := range ll.buf {
+		ll.counts[l]++
+	}
+}
+
+// Add accumulates another load into this one.
+func (ll *LinkLoad) Add(other *LinkLoad) {
+	for i, c := range other.counts {
+		ll.counts[i] += c
+	}
+}
+
+// Scale multiplies every count by f (used to average over trials/cycles).
+func (ll *LinkLoad) Scale(f float64) {
+	for i := range ll.counts {
+		ll.counts[i] *= f
+	}
+}
+
+// Total returns the sum of all link counts.
+func (ll *LinkLoad) Total() float64 {
+	var t float64
+	for _, c := range ll.counts {
+		t += c
+	}
+	return t
+}
+
+// Average returns the mean count per link.
+func (ll *LinkLoad) Average() float64 {
+	if len(ll.counts) == 0 {
+		return 0
+	}
+	return ll.Total() / float64(len(ll.counts))
+}
+
+// Max returns the largest per-link count.
+func (ll *LinkLoad) Max() float64 {
+	var m float64
+	for _, c := range ll.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Get returns the count on one link.
+func (ll *LinkLoad) Get(id LinkID) float64 { return ll.counts[id] }
+
+// GetNamed returns the count on a named link, or 0 if no such link exists.
+func (ll *LinkLoad) GetNamed(name string) float64 {
+	id, ok := ll.nw.Graph().LinkByName(name)
+	if !ok {
+		return 0
+	}
+	return ll.counts[id]
+}
+
+// Reset zeroes all counts.
+func (ll *LinkLoad) Reset() {
+	for i := range ll.counts {
+		ll.counts[i] = 0
+	}
+}

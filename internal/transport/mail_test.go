@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+func TestMemoryMailPostDrain(t *testing.T) {
+	m := NewMemoryMail(0, 0, 1)
+	msg := Message{From: 1, To: 2, Entry: store.Entry{Key: "k"}}
+	if err := m.Post(msg); err != nil {
+		t.Fatal(err)
+	}
+	if m.QueueLen(2) != 1 {
+		t.Fatalf("QueueLen = %d", m.QueueLen(2))
+	}
+	got := m.Drain(2)
+	if len(got) != 1 || got[0].Entry.Key != "k" {
+		t.Fatalf("Drain = %v", got)
+	}
+	if m.QueueLen(2) != 0 {
+		t.Fatal("queue not drained")
+	}
+	if len(m.Drain(2)) != 0 {
+		t.Fatal("second drain not empty")
+	}
+	posted, dropped, delivered := m.Stats()
+	if posted != 1 || dropped != 0 || delivered != 1 {
+		t.Errorf("Stats = %d %d %d", posted, dropped, delivered)
+	}
+}
+
+func TestMemoryMailQueueOverflow(t *testing.T) {
+	m := NewMemoryMail(2, 0, 1)
+	for i := 0; i < 2; i++ {
+		if err := m.Post(Message{To: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := m.Post(Message{To: 5})
+	if !errors.Is(err, ErrQueueOverflow) {
+		t.Fatalf("err = %v, want ErrQueueOverflow", err)
+	}
+	_, dropped, _ := m.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	// Other destinations unaffected.
+	if err := m.Post(Message{To: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryMailLoss(t *testing.T) {
+	m := NewMemoryMail(0, 1 /* drop everything */, 1)
+	if err := m.Post(Message{To: 3}); err != nil {
+		t.Fatalf("loss must be silent, got %v", err)
+	}
+	if m.QueueLen(3) != 0 {
+		t.Fatal("lost message queued anyway")
+	}
+	_, dropped, _ := m.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestSiteMailer(t *testing.T) {
+	m := NewMemoryMail(0, 0, 1)
+	mailer := SiteMailer{Mail: m, From: 7}
+	if err := mailer.PostMail(9, store.Entry{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Drain(9)
+	if len(got) != 1 || got[0].From != timestamp.SiteID(7) {
+		t.Fatalf("Drain = %+v", got)
+	}
+}

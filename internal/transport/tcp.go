@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"epidemic/internal/core"
+	"epidemic/internal/node"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// Wire protocol: one gob-encoded request and one response per TCP
+// connection. The anti-entropy exchange is the §1.3 recent-update-list
+// scheme: the caller ships its recent updates and live checksum; the
+// server applies them, returns its own recent updates, and when the
+// checksums still disagree the two sides swap full (non-dormant) database
+// contents.
+type reqKind int
+
+const (
+	reqMail reqKind = iota + 1
+	reqPushRumors
+	reqPullRumors
+	reqSync     // recent updates + checksum
+	reqFullSync // full database exchange after checksum mismatch
+	reqChecksum // live checksum probe (§1.5 combined scheme)
+)
+
+type request struct {
+	Kind     reqKind
+	From     timestamp.SiteID
+	Entries  []store.Entry
+	Checksum uint64
+	Now      int64
+	Tau1     int64
+}
+
+type response struct {
+	Needed   []bool
+	Entries  []store.Entry
+	InSync   bool
+	Checksum uint64
+	Err      string
+}
+
+// Server exposes a node.Node to remote TCPPeers.
+type Server struct {
+	node *node.Node
+	ln   net.Listener
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	done bool
+}
+
+// Serve starts a server for n on addr ("host:port", ":0" for an ephemeral
+// port). It returns immediately; use Addr for the bound address and Close
+// to stop.
+func Serve(n *node.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{node: n, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closing() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// maxWireBytes bounds a single gob message; a misbehaving peer cannot make
+// the decoder allocate without bound.
+const maxWireBytes = 64 << 20
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var req request
+	if err := gob.NewDecoder(io.LimitReader(conn, maxWireBytes)).Decode(&req); err != nil {
+		return
+	}
+	resp := s.dispatch(req)
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Kind {
+	case reqMail:
+		for _, e := range req.Entries {
+			s.node.HandleMail(e)
+		}
+		return response{}
+	case reqPushRumors:
+		return response{Needed: s.node.HandleRumors(req.Entries)}
+	case reqPullRumors:
+		return response{Entries: s.node.HotEntries()}
+	case reqSync:
+		st := s.node.Store()
+		for _, e := range req.Entries {
+			st.Apply(e)
+		}
+		now := st.Now()
+		if req.Now > now {
+			now = req.Now
+		}
+		if st.ChecksumLive(now, req.Tau1) == req.Checksum {
+			return response{InSync: true, Entries: st.RecentUpdates(now, req.Tau1+1)}
+		}
+		return response{Entries: liveEntries(st, now, req.Tau1)}
+	case reqFullSync:
+		st := s.node.Store()
+		for _, e := range req.Entries {
+			st.Apply(e)
+		}
+		return response{InSync: true}
+	case reqChecksum:
+		st := s.node.Store()
+		return response{Checksum: st.ChecksumLive(st.Now(), req.Tau1)}
+	default:
+		return response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
+	}
+}
+
+// liveEntries snapshots all non-dormant entries.
+func liveEntries(st *store.Store, now, tau1 int64) []store.Entry {
+	snap := st.Snapshot()
+	out := snap[:0]
+	for _, e := range snap {
+		if !store.IsDormant(e, now, tau1) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TCPPeer is a node.Peer implemented over the wire protocol above.
+type TCPPeer struct {
+	id      timestamp.SiteID
+	addr    string
+	timeout time.Duration
+}
+
+var _ node.Peer = (*TCPPeer)(nil)
+
+// NewTCPPeer addresses a remote replica. The caller supplies the remote
+// site ID (the membership list carries IDs alongside addresses).
+func NewTCPPeer(id timestamp.SiteID, addr string) *TCPPeer {
+	return &TCPPeer{id: id, addr: addr, timeout: 30 * time.Second}
+}
+
+// ID implements node.Peer.
+func (p *TCPPeer) ID() timestamp.SiteID { return p.id }
+
+// Addr returns the remote address.
+func (p *TCPPeer) Addr() string { return p.addr }
+
+func (p *TCPPeer) roundTrip(req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	if err != nil {
+		return response{}, fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(p.timeout))
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("transport: send to %s: %w", p.addr, err)
+	}
+	var resp response
+	if err := gob.NewDecoder(io.LimitReader(conn, maxWireBytes)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("transport: receive from %s: %w", p.addr, err)
+	}
+	if resp.Err != "" {
+		return response{}, errors.New("transport: remote error: " + resp.Err)
+	}
+	return resp, nil
+}
+
+// Mail implements node.Peer.
+func (p *TCPPeer) Mail(e store.Entry) error {
+	_, err := p.roundTrip(request{Kind: reqMail, Entries: []store.Entry{e}})
+	return err
+}
+
+// PushRumors implements node.Peer.
+func (p *TCPPeer) PushRumors(entries []store.Entry) ([]bool, error) {
+	resp, err := p.roundTrip(request{Kind: reqPushRumors, Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Needed, nil
+}
+
+// PullRumors implements node.Peer.
+func (p *TCPPeer) PullRumors() ([]store.Entry, error) {
+	resp, err := p.roundTrip(request{Kind: reqPullRumors})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Checksum implements node.Peer.
+func (p *TCPPeer) Checksum(tau1 int64) (uint64, error) {
+	resp, err := p.roundTrip(request{Kind: reqChecksum, Tau1: tau1})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Checksum, nil
+}
+
+// AntiEntropy implements node.Peer: the recent-update-list exchange of
+// §1.3 over the wire, falling back to a full swap on checksum mismatch.
+func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
+	var st core.ExchangeStats
+	now := local.Now()
+	recent := local.RecentUpdates(now, cfg.Tau)
+	resp, err := p.roundTrip(request{
+		Kind:     reqSync,
+		From:     local.Site(),
+		Entries:  recent,
+		Checksum: local.ChecksumLive(now, cfg.Tau1),
+		Now:      now,
+		Tau1:     cfg.Tau1,
+	})
+	if err != nil {
+		return st, err
+	}
+	st.EntriesSent += len(recent)
+	st.ChecksumsCompared++
+	for _, e := range resp.Entries {
+		st.EntriesSent++
+		res := local.Apply(e)
+		if res.Changed() {
+			st.EntriesApplied++
+			st.AppliedKeys = append(st.AppliedKeys, e.Key)
+		}
+	}
+	if resp.InSync {
+		return st, nil
+	}
+	// Checksums disagreed: the server already sent its full contents;
+	// ship ours back.
+	st.FullCompare = true
+	full := liveEntries(local, now, cfg.Tau1)
+	if _, err := p.roundTrip(request{Kind: reqFullSync, From: local.Site(), Entries: full}); err != nil {
+		return st, err
+	}
+	st.EntriesSent += len(full)
+	return st, nil
+}

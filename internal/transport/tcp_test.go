@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"epidemic/internal/core"
+	"epidemic/internal/node"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// tcpPair starts two nodes with TCP servers and wires them as peers.
+func tcpPair(t *testing.T) (*node.Node, *node.Node) {
+	t.Helper()
+	src := timestamp.NewSimulated(1 << 30)
+	mk := func(site timestamp.SiteID) (*node.Node, *Server) {
+		n, err := node.New(node.Config{
+			Site:  site,
+			Clock: src.ClockAt(site),
+			Rumor: core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
+			Resolve: core.ResolveConfig{
+				Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40,
+			},
+			Seed: int64(site),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		return n, srv
+	}
+	a, sa := mk(1)
+	b, sb := mk(2)
+	a.SetPeers([]node.Peer{NewTCPPeer(2, sb.Addr())})
+	b.SetPeers([]node.Peer{NewTCPPeer(1, sa.Addr())})
+	return a, b
+}
+
+func TestTCPPeerID(t *testing.T) {
+	p := NewTCPPeer(9, "127.0.0.1:1")
+	if p.ID() != 9 || p.Addr() != "127.0.0.1:1" {
+		t.Errorf("peer = %v %v", p.ID(), p.Addr())
+	}
+}
+
+func TestTCPMail(t *testing.T) {
+	a, b := tcpPair(t)
+	e := a.Update("k", store.Value("v"))
+	if err := a.Peers()[0].Mail(e); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatalf("Lookup = %q %v", v, ok)
+	}
+}
+
+func TestTCPRumorPushAndPull(t *testing.T) {
+	a, b := tcpPair(t)
+	a.Update("k", store.Value("v"))
+	if err := a.StepRumor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Lookup("k"); !ok {
+		t.Fatal("push rumor over TCP failed")
+	}
+	// Pull direction: update at b, a pulls via its push-pull step.
+	b.Update("k2", store.Value("v2"))
+	if err := a.StepRumor(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Lookup("k2"); !ok {
+		t.Fatal("pull rumor over TCP failed")
+	}
+}
+
+func TestTCPAntiEntropyInSync(t *testing.T) {
+	a, b := tcpPair(t)
+	e := a.Update("k", store.Value("v"))
+	b.Store().Apply(e)
+	st, err := a.Peers()[0].AntiEntropy(core.ResolveConfig{
+		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40,
+	}, a.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullCompare {
+		t.Errorf("in-sync stores should not full-compare: %+v", st)
+	}
+}
+
+func TestTCPAntiEntropyRepairsBothDirections(t *testing.T) {
+	a, b := tcpPair(t)
+	a.Update("mine", store.Value("1"))
+	b.Update("theirs", store.Value("2"))
+	if err := a.StepAntiEntropy(); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a.Store(), b.Store()) {
+		t.Fatal("replicas differ after TCP anti-entropy")
+	}
+}
+
+func TestTCPAntiEntropyFullFallback(t *testing.T) {
+	a, b := tcpPair(t)
+	// Old divergence outside any recent window forces the full path.
+	a.Store().Update("old", store.Value("x"))
+	st, err := a.Peers()[0].AntiEntropy(core.ResolveConfig{
+		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0,
+	}, a.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullCompare {
+		t.Error("expected full-compare fallback")
+	}
+	if !store.ContentEqual(a.Store(), b.Store()) {
+		t.Fatal("replicas differ after fallback")
+	}
+}
+
+func TestTCPPeerUnreachable(t *testing.T) {
+	a, _ := tcpPair(t)
+	dead := NewTCPPeer(3, "127.0.0.1:1") // nothing listens here
+	dead.timeout = 200 * time.Millisecond
+	if err := dead.Mail(store.Entry{Key: "k"}); err == nil {
+		t.Error("mail to dead peer succeeded")
+	}
+	if _, err := dead.PullRumors(); err == nil {
+		t.Error("pull from dead peer succeeded")
+	}
+	if _, err := dead.AntiEntropy(core.ResolveConfig{Mode: core.PushPull, Strategy: core.CompareRecent}, a.Store()); err == nil {
+		t.Error("anti-entropy with dead peer succeeded")
+	}
+}
+
+func TestServerCloseIdempotentAccepts(t *testing.T) {
+	n, err := node.New(node.Config{Site: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == "" {
+		t.Error("no address")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestTCPClusterConvergence(t *testing.T) {
+	// Three nodes over real sockets; drive steps until consistent.
+	src := timestamp.NewSimulated(1 << 30)
+	var nodes []*node.Node
+	var servers []*Server
+	for site := timestamp.SiteID(1); site <= 3; site++ {
+		n, err := node.New(node.Config{
+			Site:    site,
+			Clock:   src.ClockAt(site),
+			Resolve: core.ResolveConfig{Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40},
+			Seed:    int64(site),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		nodes = append(nodes, n)
+		servers = append(servers, srv)
+	}
+	for i, n := range nodes {
+		var peers []node.Peer
+		for j, srv := range servers {
+			if i == j {
+				continue
+			}
+			peers = append(peers, NewTCPPeer(nodes[j].Site(), srv.Addr()))
+		}
+		n.SetPeers(peers)
+	}
+	nodes[0].Update("a", store.Value("1"))
+	nodes[1].Update("b", store.Value("2"))
+	nodes[2].Update("c", store.Value("3"))
+	for round := 0; round < 20; round++ {
+		for _, n := range nodes {
+			if err := n.StepAntiEntropy(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if store.ContentEqual(nodes[0].Store(), nodes[1].Store()) &&
+			store.ContentEqual(nodes[1].Store(), nodes[2].Store()) {
+			return
+		}
+	}
+	t.Fatal("TCP cluster never converged")
+}
+
+func TestServerRejectsGarbageBytes(t *testing.T) {
+	n, err := node.New(node.Config{Site: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not gob")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	// The server must survive; a real request still works.
+	peer := NewTCPPeer(1, srv.Addr())
+	if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1}}); err != nil {
+		t.Fatalf("server wedged after garbage: %v", err)
+	}
+	if _, ok := n.Lookup("k"); !ok {
+		t.Fatal("mail after garbage not applied")
+	}
+}

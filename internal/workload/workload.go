@@ -1,0 +1,125 @@
+// Package workload generates continuous update streams against a
+// simulated cluster — the operating regime the paper designs for: "Each
+// database update is injected at a single site and must be propagated to
+// all the other sites" at some steady rate, with the system never fully
+// quiescent. It is used by the τ-window experiment (§1.3's checksum +
+// recent-update-list tradeoff) and available to applications for load
+// testing.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"epidemic/internal/sim"
+	"epidemic/internal/store"
+)
+
+// Config parameterises a generator.
+type Config struct {
+	// KeySpace is the number of distinct keys; updates pick keys Zipf- or
+	// uniformly-distributed over it.
+	KeySpace int
+	// UpdatesPerCycle is the expected number of updates injected per
+	// cycle (Poisson).
+	UpdatesPerCycle float64
+	// DeleteFraction is the probability an operation is a delete.
+	DeleteFraction float64
+	// Zipf skews key popularity (s > 1); 0 selects uniform keys.
+	Zipf float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.KeySpace < 1 {
+		return fmt.Errorf("workload: KeySpace must be >= 1, got %d", c.KeySpace)
+	}
+	if c.UpdatesPerCycle < 0 {
+		return fmt.Errorf("workload: UpdatesPerCycle must be >= 0")
+	}
+	if c.DeleteFraction < 0 || c.DeleteFraction > 1 {
+		return fmt.Errorf("workload: DeleteFraction must be in [0,1]")
+	}
+	if c.Zipf != 0 && c.Zipf <= 1 {
+		return fmt.Errorf("workload: Zipf must be > 1 (or 0 for uniform)")
+	}
+	return nil
+}
+
+// Generator injects a reproducible update stream into a cluster.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int
+
+	// Injected counts operations so far, by kind.
+	updates, deletes int
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng}
+	if cfg.Zipf != 0 {
+		g.zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.KeySpace-1))
+	}
+	return g, nil
+}
+
+// Counts returns the number of updates and deletes injected so far.
+func (g *Generator) Counts() (updates, deletes int) { return g.updates, g.deletes }
+
+// key picks the next key.
+func (g *Generator) key() string {
+	var i uint64
+	if g.zipf != nil {
+		i = g.zipf.Uint64()
+	} else {
+		i = uint64(g.rng.Intn(g.cfg.KeySpace))
+	}
+	return fmt.Sprintf("key/%06d", i)
+}
+
+// poisson draws a Poisson variate with mean lambda (Knuth's method; fine
+// for the small per-cycle means used here).
+func (g *Generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := math.Exp(-lambda)
+	product := 1.0
+	for i := 0; ; i++ {
+		product *= g.rng.Float64()
+		if product < limit {
+			return i
+		}
+	}
+}
+
+// Step injects one cycle's worth of operations at random sites of the
+// cluster and returns the entries written.
+func (g *Generator) Step(c *sim.Cluster) []store.Entry {
+	n := g.poisson(g.cfg.UpdatesPerCycle)
+	var out []store.Entry
+	for i := 0; i < n; i++ {
+		site := g.rng.Intn(c.N())
+		key := g.key()
+		if g.rng.Float64() < g.cfg.DeleteFraction {
+			out = append(out, c.Node(site).Delete(key))
+			g.deletes++
+			continue
+		}
+		g.seq++
+		val := store.Value(fmt.Sprintf("v%d", g.seq))
+		out = append(out, c.Node(site).Update(key, val))
+		g.updates++
+	}
+	return out
+}

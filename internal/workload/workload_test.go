@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/sim"
+)
+
+func testCluster(t *testing.T) *sim.Cluster {
+	t.Helper()
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		N:     6,
+		Rumor: core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.PushPull},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "ok", cfg: Config{KeySpace: 10, UpdatesPerCycle: 1}},
+		{name: "no keyspace", cfg: Config{}, wantErr: true},
+		{name: "negative rate", cfg: Config{KeySpace: 1, UpdatesPerCycle: -1}, wantErr: true},
+		{name: "bad delete frac", cfg: Config{KeySpace: 1, DeleteFraction: 1.5}, wantErr: true},
+		{name: "bad zipf", cfg: Config{KeySpace: 1, Zipf: 0.5}, wantErr: true},
+		{name: "zipf ok", cfg: Config{KeySpace: 10, Zipf: 1.2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewGenerator(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStepInjectsAtConfiguredRate(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 50, UpdatesPerCycle: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	total := 0
+	const cycles = 400
+	for i := 0; i < cycles; i++ {
+		total += len(g.Step(c))
+	}
+	mean := float64(total) / cycles
+	if math.Abs(mean-3) > 0.4 {
+		t.Errorf("mean injections per cycle = %.2f, want ~3", mean)
+	}
+	ups, dels := g.Counts()
+	if ups != total || dels != 0 {
+		t.Errorf("counts = %d/%d, want %d/0", ups, dels, total)
+	}
+}
+
+func TestStepDeletes(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 10, UpdatesPerCycle: 4, DeleteFraction: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	entries := g.Step(c)
+	for _, e := range entries {
+		if !e.IsDeath() {
+			t.Fatal("DeleteFraction=1 produced a live update")
+		}
+	}
+	_, dels := g.Counts()
+	if dels != len(entries) {
+		t.Errorf("deletes = %d, want %d", dels, len(entries))
+	}
+}
+
+func TestKeysWithinKeySpace(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 5, UpdatesPerCycle: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		for _, e := range g.Step(c) {
+			if !strings.HasPrefix(e.Key, "key/") {
+				t.Fatalf("bad key %q", e.Key)
+			}
+			seen[e.Key] = true
+		}
+	}
+	if len(seen) > 5 {
+		t.Errorf("saw %d distinct keys, keyspace is 5", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 100, UpdatesPerCycle: 10, Zipf: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	counts := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		for _, e := range g.Step(c) {
+			counts[e.Key]++
+		}
+	}
+	// The hottest key should dominate under s=2.
+	var maxCount, total int
+	for _, n := range counts {
+		total += n
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	if float64(maxCount)/float64(total) < 0.3 {
+		t.Errorf("zipf skew too weak: top key %d/%d", maxCount, total)
+	}
+}
+
+func TestZeroRate(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	if got := g.Step(c); len(got) != 0 {
+		t.Errorf("zero rate injected %d", len(got))
+	}
+}
+
+// Under continuous load plus gossip, the cluster stays *mostly* current —
+// the paper's relaxed consistency — and becomes fully consistent once the
+// load stops.
+func TestContinuousLoadEventuallyConsistent(t *testing.T) {
+	g, err := NewGenerator(Config{KeySpace: 20, UpdatesPerCycle: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCluster(t)
+	for i := 0; i < 50; i++ {
+		g.Step(c)
+		c.StepRumor()
+		c.StepAntiEntropy()
+	}
+	// Quiesce.
+	if _, ok := c.RunAntiEntropyToConsistency(60); !ok {
+		t.Fatal("did not converge after load stopped")
+	}
+}

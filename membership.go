@@ -1,0 +1,33 @@
+package epidemic
+
+import (
+	"epidemic/internal/membership"
+	"epidemic/internal/store"
+)
+
+// MemberRecord describes one replica site in the replicated membership
+// directory (a record stored in the database itself, under a reserved key
+// prefix, so site additions and removals spread like any other update).
+type MemberRecord = membership.Record
+
+// MemberDialer turns a membership record into a live Peer.
+type MemberDialer = membership.Dialer
+
+// Announce writes (or refreshes) a node's own record into the replicated
+// membership directory.
+func Announce(n *Node, addr string) (Entry, error) { return membership.Announce(n, addr) }
+
+// RemoveMember deletes a site from the directory; the removal spreads as
+// a death certificate.
+func RemoveMember(n *Node, site SiteID) Entry { return membership.Remove(n, site) }
+
+// Members lists the live membership records held by a replica.
+func Members(st *store.Store) []MemberRecord { return membership.List(st) }
+
+// SyncPeers reconciles a node's peer set with the membership directory in
+// its own replica, dialing every listed site except itself.
+func SyncPeers(n *Node, dial MemberDialer) []MemberRecord { return membership.SyncPeers(n, dial) }
+
+// IsMembershipKey reports whether a database key is a membership record
+// (applications should treat the prefix as reserved).
+func IsMembershipKey(key string) bool { return membership.IsMembershipKey(key) }

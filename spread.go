@@ -1,0 +1,32 @@
+package epidemic
+
+import (
+	"math/rand"
+
+	"epidemic/internal/core"
+	"epidemic/internal/topology"
+)
+
+// SpreadOption configures a spread simulation.
+type SpreadOption = core.SpreadOption
+
+// WithLinkAccounting charges every conversation and update transfer to the
+// links it traverses, producing the per-link traffic of Tables 4 and 5.
+func WithLinkAccounting(nw *Network) SpreadOption { return core.WithLinkAccounting(nw) }
+
+// SpreadRumor simulates rumor mongering (§1.4) for a single update
+// injected at origin, in synchronous cycles, until no site remains
+// infective. It returns the paper's residue / traffic / delay metrics.
+func SpreadRumor(cfg RumorConfig, sel Selector, origin int, rng *rand.Rand, opts ...SpreadOption) (SpreadResult, error) {
+	return core.SpreadRumor(cfg, sel, origin, rng, opts...)
+}
+
+// SpreadAntiEntropy simulates anti-entropy (§1.3) distributing a single
+// update until every site has it.
+func SpreadAntiEntropy(cfg AntiEntropyConfig, sel Selector, origin int, rng *rand.Rand, opts ...SpreadOption) (SpreadResult, error) {
+	return core.SpreadAntiEntropy(cfg, sel, origin, rng, opts...)
+}
+
+// BusheyLinkName names the synthetic CIN's primary transatlantic link for
+// LinkLoad lookups.
+const BusheyLinkName = topology.BusheyLinkName
