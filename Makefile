@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz clean
+# BENCH_OUT numbers the machine-readable bench report; bump per PR.
+BENCH_OUT ?= BENCH_1.json
+BENCH_BASELINE ?= docs/bench-seed.txt
 
-all: build test
+.PHONY: all build test check race cover bench experiments fuzz clean
+
+all: build test check
 
 build:
 	$(GO) build ./...
@@ -11,14 +15,25 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
+# check is the pre-merge gate: static analysis plus the race detector
+# over the internal packages (the parallel engine and everything on it).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/...
+
 race:
 	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...
 
+# bench runs the full benchmark suite once per benchmark and converts
+# the output into $(BENCH_OUT): ns/op, B/op, allocs/op and the paper
+# metrics per benchmark, with the seed-state baseline numbers embedded
+# for before/after comparison.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench . -benchtime=1x -benchmem . | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < bench_output.txt
 
 # Regenerate every table and figure of the paper.
 experiments:

@@ -245,7 +245,10 @@ func BenchmarkAblationRumorVariants(b *testing.B) {
 	}
 	for name, cfg := range variants {
 		b.Run(name, func(b *testing.B) {
-			sel := epidemic.NewUniformSelector(1000)
+			sel, err := epidemic.NewUniformSelector(1000)
+			if err != nil {
+				b.Fatal(err)
+			}
 			var res epidemic.SpreadResult
 			rng := rand.New(rand.NewSource(1))
 			for i := 0; i < b.N; i++ {
@@ -345,7 +348,10 @@ func randKey(i int) string {
 // BenchmarkSpreadRumorOp measures the raw cost of one 1000-site spread —
 // the unit underneath every table bench.
 func BenchmarkSpreadRumorOp(b *testing.B) {
-	sel := epidemic.NewUniformSelector(1000)
+	sel, err := epidemic.NewUniformSelector(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := epidemic.DefaultRumorConfig()
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()

@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report.
+//
+// Usage:
+//
+//	go test -bench . -benchmem . | benchjson -o BENCH_1.json -baseline docs/bench-seed.txt
+//
+// Each benchmark line ("BenchmarkName-8  10  123 ns/op  4 B/op ...")
+// becomes an object with its run count and a metrics map (ns/op, B/op,
+// allocs/op, plus every custom b.ReportMetric unit, e.g. the paper
+// metrics residue_kmax or bushey_a2). The -baseline flag parses a second
+// bench text in the same format and embeds it alongside per-benchmark
+// ns/op speedup ratios, so a report carries its own before/after story.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+	// Speedup is baseline ns/op divided by this run's ns/op; present
+	// only when a baseline knows the same benchmark.
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Generated  string      `json:"generated"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Baseline embeds the parsed -baseline file, if given.
+	Baseline *BaselineReport `json:"baseline,omitempty"`
+}
+
+// BaselineReport is the parsed baseline bench text.
+type BaselineReport struct {
+	Source     string      `json:"source"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		baseline = flag.String("baseline", "", "bench text file to embed as the comparison baseline")
+	)
+	flag.Parse()
+	if err := run(os.Stdin, *out, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out, baselinePath string) error {
+	benches, header, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       header["goos"],
+		GOARCH:     header["goarch"],
+		CPU:        header["cpu"],
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	}
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		base, baseHeader, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		report.Baseline = &BaselineReport{
+			Source:     baselinePath,
+			CPU:        baseHeader["cpu"],
+			Benchmarks: base,
+		}
+		baseNs := make(map[string]float64, len(base))
+		for _, b := range base {
+			baseNs[b.Name] = b.Metrics["ns/op"]
+		}
+		for i := range report.Benchmarks {
+			b := &report.Benchmarks[i]
+			if prev, ok := baseNs[b.Name]; ok && b.Metrics["ns/op"] > 0 {
+				b.Speedup = prev / b.Metrics["ns/op"]
+			}
+		}
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+// parseBench reads `go test -bench` text, returning the benchmark lines
+// and the goos/goarch/cpu/pkg header values.
+func parseBench(in io.Reader) ([]Benchmark, map[string]string, error) {
+	var benches []Benchmark
+	header := make(map[string]string)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				header[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches, header, sc.Err()
+}
+
+// parseBenchLine parses one result line: a name, a run count, then
+// alternating "value unit" pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	// Strip the -<GOMAXPROCS> suffix go test appends to the name.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return Benchmark{Name: name, Runs: runs, Metrics: metrics}, true
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: epidemic
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1-8 	       2	  40000000 ns/op	         0.001120 residue_kmax	 3895536 B/op	     889 allocs/op
+BenchmarkTable4 	       1	 100000000 ns/op	        60.30 bushey_uniform	23224576 B/op	   19247 allocs/op
+PASS
+ok  	epidemic	0.303s
+`
+
+const baseline = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1 	       1	  80000000 ns/op	 3895536 B/op	     889 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	benches, header, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(benches))
+	}
+	if header["goos"] != "linux" || header["cpu"] == "" {
+		t.Errorf("header = %v", header)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkTable1" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Runs != 2 {
+		t.Errorf("runs = %d", b.Runs)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":        40000000,
+		"residue_kmax": 0.001120,
+		"B/op":         3895536,
+		"allocs/op":    889,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestRunWithBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.json")
+	if err := run(strings.NewReader(sample), outPath, basePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline == nil || len(rep.Baseline.Benchmarks) != 1 {
+		t.Fatal("baseline not embedded")
+	}
+	if got := rep.Benchmarks[0].Speedup; got != 2 {
+		t.Errorf("Table1 speedup = %v, want 2", got)
+	}
+	if rep.Benchmarks[1].Speedup != 0 {
+		t.Errorf("Table4 has no baseline, speedup should be omitted (got %v)", rep.Benchmarks[1].Speedup)
+	}
+	if rep.GOMAXPROCS < 1 || rep.GoVersion == "" {
+		t.Errorf("environment fields missing: %+v", rep)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("nothing here\n"), "", ""); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

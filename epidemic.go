@@ -177,8 +177,10 @@ func ResolveDifference(cfg ResolveConfig, s, p *Store) (ExchangeStats, error) {
 	return core.ResolveDifference(cfg, s, p)
 }
 
-// NewUniformSelector selects partners uniformly among n sites.
-func NewUniformSelector(n int) Selector { return spatial.Uniform(n) }
+// NewUniformSelector selects partners uniformly among n sites. It
+// returns an error when n < 2, since a single site has no possible
+// partner (Pick would otherwise have to invent one).
+func NewUniformSelector(n int) (Selector, error) { return spatial.NewUniform(n) }
 
 // NewSpatialSelector builds a nonuniform partner-selection distribution
 // over a network (§3). Use FormPaper with a=2 for the distribution

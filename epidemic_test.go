@@ -43,7 +43,10 @@ func TestFacadeClusterEndToEnd(t *testing.T) {
 }
 
 func TestFacadeSpreadSimulators(t *testing.T) {
-	sel := epidemic.NewUniformSelector(500)
+	sel, err := epidemic.NewUniformSelector(500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	r, err := epidemic.SpreadRumor(epidemic.DefaultRumorConfig(), sel, 0, rng)
 	if err != nil {

@@ -37,7 +37,10 @@ func ExampleNewCluster() {
 // with feedback and counter k=2 on 1000 sites.
 func ExampleSpreadRumor() {
 	cfg := epidemic.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: epidemic.Push}
-	sel := epidemic.NewUniformSelector(1000)
+	sel, err := epidemic.NewUniformSelector(1000)
+	if err != nil {
+		panic(err)
+	}
 	r, err := epidemic.SpreadRumor(cfg, sel, 0, rand.New(rand.NewSource(42)))
 	if err != nil {
 		panic(err)

@@ -28,7 +28,10 @@ func run() error {
 	fmt.Printf("synthetic CIN: %d sites (%d North America, %d Europe), %d links\n",
 		cin.NumSites(), len(cin.NASites), len(cin.EUSites), cin.Graph().NumLinks())
 
-	uniform := epidemic.NewUniformSelector(cin.NumSites())
+	uniform, err := epidemic.NewUniformSelector(cin.NumSites())
+	if err != nil {
+		return err
+	}
 	spatial, err := epidemic.NewSpatialSelector(cin.Network, epidemic.FormPaper, 2.0)
 	if err != nil {
 		return err

@@ -84,5 +84,6 @@ func SpreadAntiEntropy(cfg AntiEntropyConfig, sel spatial.Selector, origin int, 
 		env.endCycle()
 	}
 	res := env.result(cycle)
+	env.release()
 	return res, nil
 }

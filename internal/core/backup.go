@@ -102,12 +102,13 @@ func SpreadRumorWithBackup(rumorCfg RumorConfig, backupCfg AntiEntropyConfig, se
 		}
 		env.endCycle()
 	}
-	if infected < n {
-		return res, fmt.Errorf("core: backup did not converge in %d cycles", maxCycles)
-	}
 	res.BackupCycles = cycle
 	res.BackupUpdates = env.updatesSent
 	res.BackupConversations = env.conversations
 	res.TotalTLast = rumor.TLast + cycle
+	env.release()
+	if infected < n {
+		return res, fmt.Errorf("core: backup did not converge in %d cycles", maxCycles)
+	}
 	return res, nil
 }

@@ -76,7 +76,9 @@ func SpreadRumor(cfg RumorConfig, sel spatial.Selector, origin int, rng *rand.Ra
 		}
 		env.endCycle()
 	}
-	return env.result(cycle), nil
+	res := env.result(cycle)
+	env.release()
+	return res, nil
 }
 
 type rumorRun struct {
@@ -146,8 +148,12 @@ func (r *rumorRun) pushCycle(cycle int) {
 func (r *rumorRun) pullCycle(cycle int) {
 	env := r.env
 	// Collect accepted requests; the connection limit applies to how many
-	// requests a source serves in one cycle.
-	reqFrom := make([][]int32, env.n)
+	// requests a source serves in one cycle. The per-source lists live in
+	// pooled scratch: truncate, don't reallocate.
+	reqFrom := env.reqFrom
+	for i := range reqFrom {
+		reqFrom[i] = reqFrom[i][:0]
+	}
 	for _, j := range env.order {
 		src, ok := env.connect(j)
 		if !ok {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"epidemic/internal/spatial"
 	"epidemic/internal/topology"
@@ -86,6 +87,9 @@ type spreadEnv struct {
 	newlyInfected []bool
 	incoming      []int
 	order         []int
+	// reqFrom is pull-cycle scratch: reqFrom[src] lists the sites whose
+	// request src accepted this cycle.
+	reqFrom [][]int32
 
 	connLimit int
 	huntLimit int
@@ -96,21 +100,49 @@ type spreadEnv struct {
 	update        *topology.LinkLoad
 }
 
+// envPool recycles spreadEnv scratch between trials. A Monte Carlo sweep
+// runs tens of thousands of spreads, each needing ~7 population-sized
+// slices; reusing them removes the dominant per-trial allocations. The
+// pool is concurrency-safe, so parallel trial workers share it.
+var envPool sync.Pool
+
 func newSpreadEnv(sel spatial.Selector, rng *rand.Rand, connLimit, huntLimit int) *spreadEnv {
 	n := sel.NumSites()
-	env := &spreadEnv{
-		n:             n,
-		sel:           sel,
-		rng:           rng,
-		state:         make([]State, n),
-		counter:       make([]int, n),
-		infectedAt:    make([]int32, n),
-		newlyInfected: make([]bool, n),
-		incoming:      make([]int, n),
-		order:         make([]int, n),
-		connLimit:     connLimit,
-		huntLimit:     huntLimit,
+	env, _ := envPool.Get().(*spreadEnv)
+	if env == nil || cap(env.order) < n {
+		env = &spreadEnv{
+			state:         make([]State, n),
+			counter:       make([]int, n),
+			infectedAt:    make([]int32, n),
+			newlyInfected: make([]bool, n),
+			incoming:      make([]int, n),
+			order:         make([]int, n),
+			reqFrom:       make([][]int32, n),
+		}
+	} else {
+		env.state = env.state[:n]
+		env.counter = env.counter[:n]
+		env.infectedAt = env.infectedAt[:n]
+		env.newlyInfected = env.newlyInfected[:n]
+		env.incoming = env.incoming[:n]
+		env.order = env.order[:n]
+		env.reqFrom = env.reqFrom[:n]
+		for i := range env.state {
+			env.state[i] = Susceptible
+			env.counter[i] = 0
+			env.newlyInfected[i] = false
+			env.incoming[i] = 0
+		}
 	}
+	env.n = n
+	env.sel = sel
+	env.rng = rng
+	env.connLimit = connLimit
+	env.huntLimit = huntLimit
+	env.updatesSent = 0
+	env.conversations = 0
+	env.compare = nil
+	env.update = nil
 	for i := range env.infectedAt {
 		env.infectedAt[i] = -1
 	}
@@ -118,6 +150,17 @@ func newSpreadEnv(sel spatial.Selector, rng *rand.Rand, connLimit, huntLimit int
 		env.order[i] = i
 	}
 	return env
+}
+
+// release returns the env's scratch to the pool. The caller must not
+// touch the env afterwards; link-load accumulators escape into the
+// SpreadResult and are detached before pooling.
+func (e *spreadEnv) release() {
+	e.sel = nil
+	e.rng = nil
+	e.compare = nil
+	e.update = nil
+	envPool.Put(e)
 }
 
 // withLinkAccounting attaches per-link charge accumulators.

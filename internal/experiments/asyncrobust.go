@@ -7,6 +7,7 @@ import (
 
 	"epidemic/internal/async"
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 )
 
@@ -35,22 +36,31 @@ func AsyncRobustness(n, trials int, ks []int, seed int64) ([]AsyncRow, error) {
 		syncCfg := core.RumorConfig{K: k, Counter: true, Feedback: true, Mode: core.Push}
 		asyncCfg := async.Config{Rumor: syncCfg, MeanPeriod: 1, Jitter: 0.3, Latency: 0.1}
 
-		rng := rand.New(rand.NewSource(seed + int64(k)))
-		for i := 0; i < trials; i++ {
+		type pair struct {
+			sync  core.SpreadResult
+			async async.Result
+		}
+		results, err := parallel.Run(trials, seed+int64(k), func(_ int, rng *rand.Rand) (pair, error) {
 			sr, err := core.SpreadRumor(syncCfg, sel, rng.Intn(n), rng)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
 			ar, err := async.SpreadRumorAsync(asyncCfg, sel, rng.Intn(n), rng)
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			row.SyncResidue += sr.Residue
-			row.AsyncResidue += ar.Residue
-			row.SyncTraffic += sr.Traffic
-			row.AsyncTraffic += ar.Traffic
-			row.SyncTLast += float64(sr.TLast)
-			row.AsyncTLast += ar.TLast
+			return pair{sr, ar}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range results {
+			row.SyncResidue += p.sync.Residue
+			row.AsyncResidue += p.async.Residue
+			row.SyncTraffic += p.sync.Traffic
+			row.AsyncTraffic += p.async.Traffic
+			row.SyncTLast += float64(p.sync.TLast)
+			row.AsyncTLast += p.async.TLast
 		}
 		f := float64(trials)
 		row.SyncResidue /= f

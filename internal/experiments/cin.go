@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 	"epidemic/internal/topology"
 )
@@ -66,21 +67,24 @@ func NewCINSpec() (*CINSpec, error) {
 
 // RunCINTable runs `trials` single-update anti-entropy spreads per
 // distribution, each injected at a random site, and averages the Table 4/5
-// quantities. This is the engine behind Table4 and Table5.
+// quantities. This is the engine behind Table4 and Table5. Trials run on
+// the parallel engine; per-trial link loads are reduced in trial order.
 func (spec *CINSpec) RunCINTable(cfg core.AntiEntropyConfig, trials int, seed int64) ([]CINRow, error) {
 	nLinks := float64(spec.CIN.Graph().NumLinks())
 	n := spec.CIN.NumSites()
 	rows := make([]CINRow, 0, len(spec.Selectors))
 	for si, ls := range spec.Selectors {
-		rng := rand.New(rand.NewSource(seed + int64(si)*7919))
+		sel := ls.Selector
+		results, err := parallel.Run(trials, seed+int64(si)*7919, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+			return core.SpreadAntiEntropy(cfg, sel, rng.Intn(n), rng,
+				core.WithLinkAccounting(spec.CIN.Network))
+		})
+		if err != nil {
+			return nil, err
+		}
 		var row CINRow
 		row.Label = ls.Label
-		for t := 0; t < trials; t++ {
-			r, err := core.SpreadAntiEntropy(cfg, ls.Selector, rng.Intn(n), rng,
-				core.WithLinkAccounting(spec.CIN.Network))
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range results {
 			cycles := float64(r.Cycles)
 			if cycles == 0 {
 				cycles = 1

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/sim"
 	"epidemic/internal/store"
 )
@@ -31,61 +33,69 @@ type DeathCertRow struct {
 //     very old obsolete copy even after most sites discarded the
 //     certificate, by awakening at a retention site.
 func DeathCertificates(n int, seed int64) ([]DeathCertRow, error) {
-	var rows []DeathCertRow
+	// The three scenarios are independent clusters, so they run as three
+	// "trials" on the parallel engine (row order is still scenario order).
+	return parallel.Run(3, seed, func(scenario int, _ *rand.Rand) (DeathCertRow, error) {
+		return deletionScenario(scenario, n, seed)
+	})
+}
 
-	// --- Scenario 1: certificates expire before the stale copy returns.
-	c, err := newDeletionCluster(n, seed, 5 /* tau1 */, 0 /* tau2 */, 0 /* retention */, false)
+// deletionScenario runs one of the three §2 scenarios on its own cluster.
+func deletionScenario(scenario, n int, seed int64) (DeathCertRow, error) {
+	var c *sim.Cluster
+	var err error
+	switch scenario {
+	case 0:
+		// Certificates expire before the stale copy returns.
+		c, err = newDeletionCluster(n, seed, 5 /* tau1 */, 0 /* tau2 */, 0 /* retention */, false)
+	case 1:
+		// Certificates still held when the stale copy returns.
+		c, err = newDeletionCluster(n, seed+1, 1_000_000, 0, 0, false)
+	default:
+		// Dormant certificates + activation timestamps.
+		c, err = newDeletionCluster(n, seed+2, 20 /* tau1 */, 1_000_000 /* tau2 */, 3 /* retention */, true)
+	}
 	if err != nil {
-		return nil, err
+		return DeathCertRow{}, err
 	}
 	staleHolder := runDeletionPreamble(c)
-	// Let every certificate expire everywhere, then heal the partition.
-	c.Clock().Advance(50)
-	c.StepGC()
-	c.SetPartition(staleHolder, false)
-	c.RunAntiEntropyToConsistency(60)
-	rows = append(rows, DeathCertRow{
-		Scenario:            "certificates expired early (tau too small)",
-		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
-		Replicas:            c.N(),
-		Note:                "obsolete copy resurrects the item",
-	})
-
-	// --- Scenario 2: certificates still held when the stale copy returns.
-	c, err = newDeletionCluster(n, seed+1, 1_000_000, 0, 0, false)
-	if err != nil {
-		return nil, err
+	switch scenario {
+	case 0:
+		// Let every certificate expire everywhere, then heal the partition.
+		c.Clock().Advance(50)
+		c.StepGC()
+		c.SetPartition(staleHolder, false)
+		c.RunAntiEntropyToConsistency(60)
+		return DeathCertRow{
+			Scenario:            "certificates expired early (tau too small)",
+			ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+			Replicas:            c.N(),
+			Note:                "obsolete copy resurrects the item",
+		}, nil
+	case 1:
+		c.Clock().Advance(50)
+		c.StepGC()
+		c.SetPartition(staleHolder, false)
+		c.RunAntiEntropyToConsistency(60)
+		return DeathCertRow{
+			Scenario:            "certificates retained (large tau)",
+			ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+			Replicas:            c.N(),
+			Note:                "certificate cancels the obsolete copy",
+		}, nil
+	default:
+		// Move far past tau1 so non-retention sites drop their copies.
+		c.Clock().Advance(500)
+		c.StepGC()
+		c.SetPartition(staleHolder, false)
+		c.RunAntiEntropyToConsistency(120)
+		return DeathCertRow{
+			Scenario:            "dormant certificates awaken (tau1+tau2, activation timestamps)",
+			ResurrectedReplicas: c.N() - c.CountDeleted("item"),
+			Replicas:            c.N(),
+			Note:                "retention site reactivates; certificate respreads",
+		}, nil
 	}
-	staleHolder = runDeletionPreamble(c)
-	c.Clock().Advance(50)
-	c.StepGC()
-	c.SetPartition(staleHolder, false)
-	c.RunAntiEntropyToConsistency(60)
-	rows = append(rows, DeathCertRow{
-		Scenario:            "certificates retained (large tau)",
-		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
-		Replicas:            c.N(),
-		Note:                "certificate cancels the obsolete copy",
-	})
-
-	// --- Scenario 3: dormant certificates + activation timestamps.
-	c, err = newDeletionCluster(n, seed+2, 20 /* tau1 */, 1_000_000 /* tau2 */, 3 /* retention */, true)
-	if err != nil {
-		return nil, err
-	}
-	staleHolder = runDeletionPreamble(c)
-	// Move far past tau1 so non-retention sites drop their copies.
-	c.Clock().Advance(500)
-	c.StepGC()
-	c.SetPartition(staleHolder, false)
-	c.RunAntiEntropyToConsistency(120)
-	rows = append(rows, DeathCertRow{
-		Scenario:            "dormant certificates awaken (tau1+tau2, activation timestamps)",
-		ResurrectedReplicas: c.N() - c.CountDeleted("item"),
-		Replicas:            c.N(),
-		Note:                "retention site reactivates; certificate respreads",
-	})
-	return rows, nil
 }
 
 // newDeletionCluster builds a cluster configured for the §2 scenarios.
@@ -150,26 +160,44 @@ type BackupRow struct {
 // always finish the job.
 func BackupAntiEntropy(n, trials int, seed int64) (BackupRow, error) {
 	row := BackupRow{Variant: "push rumor k=1 + push-pull anti-entropy backup", Trials: trials}
-	var backupCycles float64
-	for t := 0; t < trials; t++ {
+	type trialOut struct {
+		rumorFailed  bool
+		backupFailed bool
+		cycles       float64
+	}
+	// Each trial builds its own cluster seeded by the trial index (matching
+	// the historical seed+t derivation), so trials are independent and
+	// parallel-safe.
+	results, err := parallel.Run(trials, seed, func(t int, _ *rand.Rand) (trialOut, error) {
 		c, err := sim.NewCluster(sim.ClusterConfig{
 			N:     n,
 			Rumor: core.RumorConfig{K: 1, Counter: true, Feedback: true, Mode: core.Push},
 			Seed:  seed + int64(t),
 		})
 		if err != nil {
-			return BackupRow{}, err
+			return trialOut{}, err
 		}
+		var out trialOut
 		c.Node(t%n).Update("k", store.Value("v"))
 		c.RunRumorToQuiescence(80)
-		if c.CountWithValue("k", "v") < n {
+		out.rumorFailed = c.CountWithValue("k", "v") < n
+		cycles, ok := c.RunAntiEntropyToConsistency(80)
+		out.cycles = float64(cycles)
+		out.backupFailed = !ok || c.CountWithValue("k", "v") != n
+		return out, nil
+	})
+	if err != nil {
+		return BackupRow{}, err
+	}
+	var backupCycles float64
+	for _, out := range results {
+		if out.rumorFailed {
 			row.RumorFailures++
 		}
-		cycles, ok := c.RunAntiEntropyToConsistency(80)
-		backupCycles += float64(cycles)
-		if !ok || c.CountWithValue("k", "v") != n {
+		if out.backupFailed {
 			row.AfterBackupFailures++
 		}
+		backupCycles += out.cycles
 	}
 	row.MeanBackupCycles = backupCycles / float64(trials)
 	return row, nil

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/parallel"
+)
+
+// withWorkers runs f under a fixed parallel worker cap and restores the
+// previous cap afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := parallel.SetMaxWorkers(n)
+	defer parallel.SetMaxWorkers(prev)
+	f()
+}
+
+// Every experiment must produce bit-identical rows for a given seed no
+// matter how many workers execute its trials. Table1 covers the rumor
+// spread path, RunCINTable the anti-entropy + link-accounting path, and
+// DeathCertificates the full-cluster path.
+func TestExperimentsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const seed = 123
+	type result struct {
+		table1 []RumorRow
+		cin    []CINRow
+		dc     []DeathCertRow
+	}
+	runAll := func() result {
+		t1, err := Table1(60, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := NewCINSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Selectors = spec.Selectors[:2] // keep the test quick
+		cin, err := spec.RunCINTable(core.AntiEntropyConfig{Mode: core.PushPull}, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := DeathCertificates(8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{t1, cin, dc}
+	}
+
+	var base result
+	withWorkers(t, 1, func() { base = runAll() })
+	for _, workers := range []int{2, 4} {
+		withWorkers(t, workers, func() {
+			got := runAll()
+			if !reflect.DeepEqual(base.table1, got.table1) {
+				t.Errorf("workers=%d: Table1 rows differ from sequential", workers)
+			}
+			if !reflect.DeepEqual(base.cin, got.cin) {
+				t.Errorf("workers=%d: CIN rows differ from sequential", workers)
+			}
+			if !reflect.DeepEqual(base.dc, got.dc) {
+				t.Errorf("workers=%d: death-certificate rows differ from sequential", workers)
+			}
+		})
+	}
+}

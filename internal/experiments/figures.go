@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 	"epidemic/internal/topology"
 )
@@ -62,14 +63,15 @@ func failureRows(sel spatial.Selector, origin, trials int, ks []int, seed int64)
 	rows := make([]FigureRow, 0, len(ks))
 	for _, k := range ks {
 		cfg := core.RumorConfig{K: k, Counter: true, Feedback: true, Mode: core.Push}
-		rng := rand.New(rand.NewSource(seed + int64(k)))
+		results, err := parallel.Run(trials, seed+int64(k), func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+			return core.SpreadRumor(cfg, sel, origin, rng)
+		})
+		if err != nil {
+			return nil, err
+		}
 		failures := 0
 		var residue float64
-		for t := 0; t < trials; t++ {
-			r, err := core.SpreadRumor(cfg, sel, origin, rng)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range results {
 			if !r.Converged {
 				failures++
 			}
@@ -93,18 +95,14 @@ func failureRows(sel spatial.Selector, origin, trials int, ks []int, seed int64)
 func KForFullDistribution(cfg core.RumorConfig, sel spatial.Selector, trials, maxK int, seed int64) (int, error) {
 	n := sel.NumSites()
 	for k := 1; k <= maxK; k++ {
-		cfg.K = k
-		rng := rand.New(rand.NewSource(seed + int64(k)*104729))
-		allOK := true
-		for t := 0; t < trials; t++ {
-			r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-			if err != nil {
-				return 0, err
-			}
-			if !r.Converged {
-				allOK = false
-				break
-			}
+		kcfg := cfg
+		kcfg.K = k
+		allOK, err := parallel.All(trials, seed+int64(k)*104729, func(_ int, rng *rand.Rand) (bool, error) {
+			r, err := core.SpreadRumor(kcfg, sel, rng.Intn(n), rng)
+			return r.Converged, err
+		})
+		if err != nil {
+			return 0, err
 		}
 		if allOK {
 			return k, nil

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 )
 
@@ -35,12 +36,13 @@ func HybridCost(n, trials int, seed int64) ([]HybridRow, error) {
 
 	var pure HybridRow
 	pure.Strategy = "anti-entropy only"
-	rng := rand.New(rand.NewSource(seed))
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadAntiEntropy(aeCfg, sel, rng.Intn(n), rng)
-		if err != nil {
-			return nil, err
-		}
+	pureResults, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		return core.SpreadAntiEntropy(aeCfg, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range pureResults {
 		pure.ExpensiveConversations += float64(r.Conversations)
 		pure.UpdatesSent += float64(r.UpdatesSent)
 		pure.TLast += float64(r.TLast)
@@ -53,12 +55,13 @@ func HybridCost(n, trials int, seed int64) ([]HybridRow, error) {
 	var hybrid HybridRow
 	hybrid.Strategy = "rumors + anti-entropy backup"
 	rumorCfg := core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.PushPull}
-	rng = rand.New(rand.NewSource(seed + 1))
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadRumorWithBackup(rumorCfg, aeCfg, sel, rng.Intn(n), rng)
-		if err != nil {
-			return nil, err
-		}
+	hybridResults, err := parallel.Run(trials, seed+1, func(_ int, rng *rand.Rand) (core.BackupResult, error) {
+		return core.SpreadRumorWithBackup(rumorCfg, aeCfg, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range hybridResults {
 		hybrid.ExpensiveConversations += float64(r.BackupConversations)
 		hybrid.UpdatesSent += float64(r.Rumor.UpdatesSent + r.BackupUpdates)
 		hybrid.TLast += float64(r.TotalTLast)

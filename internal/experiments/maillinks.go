@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 	"epidemic/internal/topology"
 )
@@ -39,22 +40,29 @@ func MailLinkTraffic(trials int, seed int64) ([]LinkTrafficRow, error) {
 	}
 	n := cin.NumSites()
 	nLinks := float64(cin.Graph().NumLinks())
-	rng := rand.New(rand.NewSource(seed))
+
+	type loadStats struct{ avg, bushey, max float64 }
 
 	var mail LinkTrafficRow
 	mail.Method = "direct mail"
-	load := topology.NewLinkLoad(cin.Network)
-	for t := 0; t < trials; t++ {
-		load.Reset()
+	// Each trial charges its own LinkLoad so trials stay independent.
+	mailStats, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (loadStats, error) {
+		load := topology.NewLinkLoad(cin.Network)
 		origin := rng.Intn(n)
 		for j := 0; j < n; j++ {
 			if j != origin {
 				load.Charge(origin, j)
 			}
 		}
-		mail.AvgPerLink += load.Total() / nLinks
-		mail.Bushey += load.Get(cin.BusheyLink)
-		mail.MaxLink += load.Max()
+		return loadStats{load.Total() / nLinks, load.Get(cin.BusheyLink), load.Max()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range mailStats {
+		mail.AvgPerLink += s.avg
+		mail.Bushey += s.bushey
+		mail.MaxLink += s.max
 	}
 	mail.AvgPerLink /= float64(trials)
 	mail.Bushey /= float64(trials)
@@ -62,13 +70,14 @@ func MailLinkTraffic(trials int, seed int64) ([]LinkTrafficRow, error) {
 
 	aeRow := func(label string, sel spatial.Selector, seed int64) (LinkTrafficRow, error) {
 		row := LinkTrafficRow{Method: label}
-		rng := rand.New(rand.NewSource(seed))
-		for t := 0; t < trials; t++ {
-			r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
+		results, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+			return core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
 				rng.Intn(n), rng, core.WithLinkAccounting(cin.Network))
-			if err != nil {
-				return row, err
-			}
+		})
+		if err != nil {
+			return row, err
+		}
+		for _, r := range results {
 			row.AvgPerLink += r.UpdateLoad.Total() / nLinks
 			row.Bushey += r.UpdateLoad.Get(cin.BusheyLink)
 			row.MaxLink += r.UpdateLoad.Max()

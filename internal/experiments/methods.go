@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 )
 
@@ -31,21 +32,26 @@ type MethodRow struct {
 // cycle; rumors are nearly as fast as mail with bounded traffic and a
 // small, tunable failure probability.
 func MethodComparison(n, trials int, mailLoss float64, seed int64) ([]MethodRow, error) {
-	rng := rand.New(rand.NewSource(seed))
 	sel := spatial.Uniform(n)
 
 	// Direct mail: the entry site posts n-1 messages; each is lost
 	// independently with probability mailLoss; all survivors arrive in
 	// one cycle.
 	mail := MethodRow{Method: fmt.Sprintf("direct mail (%.0f%% loss)", mailLoss*100), TLast: 1}
-	for t := 0; t < trials; t++ {
-		missed := 0
+	missed, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (int, error) {
+		m := 0
 		for i := 0; i < n-1; i++ {
 			if rng.Float64() < mailLoss {
-				missed++
+				m++
 			}
 		}
-		mail.Residue += float64(missed) / float64(n)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range missed {
+		mail.Residue += float64(m) / float64(n)
 		mail.Traffic += float64(n-1) / float64(n)
 	}
 	mail.Residue /= float64(trials)
@@ -55,11 +61,13 @@ func MethodComparison(n, trials int, mailLoss float64, seed int64) ([]MethodRow,
 	// Traffic here counts only update transfers (n-1 per run), matching
 	// the tables' update-traffic metric.
 	ae := MethodRow{Method: "anti-entropy (push-pull)", Reliable: true}
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel, rng.Intn(n), rng)
-		if err != nil {
-			return nil, err
-		}
+	aeResults, err := parallel.Run(trials, seed+1, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		return core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range aeResults {
 		ae.Traffic += r.Traffic
 		ae.TLast += float64(r.TLast)
 	}
@@ -70,11 +78,13 @@ func MethodComparison(n, trials int, mailLoss float64, seed int64) ([]MethodRow,
 	// k=3.
 	rm := MethodRow{Method: "rumor mongering (push-pull, k=3)"}
 	cfg := core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull}
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-		if err != nil {
-			return nil, err
-		}
+	rmResults, err := parallel.Run(trials, seed+2, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		return core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rmResults {
 		rm.Residue += r.Residue
 		rm.Traffic += r.Traffic
 		rm.TLast += float64(r.TLast)

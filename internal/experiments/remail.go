@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 )
 
@@ -37,13 +38,12 @@ type RedistributionRow struct {
 //
 // The single-origin rumor row is the reference the paper compares against.
 func RedistributionCost(n, trials int, seed int64) ([]RedistributionRow, error) {
-	rng := rand.New(rand.NewSource(seed))
 	sel := spatial.Uniform(n)
 	cfg := core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull}
 
 	var mailRow RedistributionRow
 	mailRow.Policy = "remail"
-	for t := 0; t < trials; t++ {
+	mailCounts, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (int, error) {
 		// One synchronous anti-entropy round with the update at n/2
 		// random sites; every disagreeing exchange queues n-1 mails.
 		know := make([]bool, n)
@@ -61,24 +61,29 @@ func RedistributionCost(n, trials int, seed int64) ([]RedistributionRow, error) 
 				disagreements++
 			}
 		}
-		mailRow.Messages += float64(disagreements * (n - 1))
 		// The mail itself reaches everyone; residue 0.
+		return disagreements * (n - 1), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range mailCounts {
+		mailRow.Messages += float64(d)
 	}
 	mailRow.Messages /= float64(trials)
 
-	seedHalf := func() []int {
-		perm := rng.Perm(n)
-		return perm[:n/2-1] // plus the origin passed separately
-	}
-
 	var rumorHalf RedistributionRow
 	rumorHalf.Policy = "rumor from n/2 sites"
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng,
-			core.WithInitialInfectives(seedHalf()))
-		if err != nil {
-			return nil, err
-		}
+	halfResults, err := parallel.Run(trials, seed+1, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		perm := rng.Perm(n)
+		infectives := perm[:n/2-1] // plus the origin passed separately
+		return core.SpreadRumor(cfg, sel, rng.Intn(n), rng,
+			core.WithInitialInfectives(infectives))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range halfResults {
 		rumorHalf.Messages += float64(r.UpdatesSent)
 		rumorHalf.Residue += r.Residue
 	}
@@ -87,11 +92,13 @@ func RedistributionCost(n, trials int, seed int64) ([]RedistributionRow, error) 
 
 	var rumorOne RedistributionRow
 	rumorOne.Policy = "rumor from 1 site (ref)"
-	for t := 0; t < trials; t++ {
-		r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-		if err != nil {
-			return nil, err
-		}
+	oneResults, err := parallel.Run(trials, seed+2, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		return core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range oneResults {
 		rumorOne.Messages += float64(r.UpdatesSent)
 		rumorOne.Residue += r.Residue
 	}

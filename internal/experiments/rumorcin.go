@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 )
 
 // RumorCINRow is one row of the §3.2 rumor-on-CIN experiment: push-pull
@@ -49,13 +50,15 @@ func RumorMongeringOnCIN(kTrials, maxK, trials int, seed int64) ([]RumorCINRow, 
 		cfg := base
 		cfg.K = k
 		row := RumorCINRow{Label: ls.Label, K: k}
-		rng := rand.New(rand.NewSource(seed + int64(si)*104729 + 7))
-		for t := 0; t < trials; t++ {
-			r, err := core.SpreadRumor(cfg, ls.Selector, rng.Intn(n), rng,
+		sel := ls.Selector
+		results, err := parallel.Run(trials, seed+int64(si)*104729+7, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+			return core.SpreadRumor(cfg, sel, rng.Intn(n), rng,
 				core.WithLinkAccounting(spec.CIN.Network))
-			if err != nil {
-				return nil, err
-			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
 			cycles := float64(r.Cycles)
 			if cycles == 0 {
 				cycles = 1

@@ -8,6 +8,7 @@ import (
 
 	"epidemic/internal/analytic"
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 	"epidemic/internal/topology"
 )
@@ -45,11 +46,11 @@ func PushPullConvergence(n int, p0 float64, cycles, trials int, seed int64) []Co
 
 // simulateResidualDecay runs uniform anti-entropy cycles on n sites of
 // which ceil(p0·n) start susceptible, recording the susceptible fraction
-// after each cycle.
+// after each cycle. Each trial produces its own decay curve; curves are
+// averaged in trial order.
 func simulateResidualDecay(n int, p0 float64, cycles, trials int, seed int64, push bool) []float64 {
-	out := make([]float64, cycles+1)
-	rng := rand.New(rand.NewSource(seed))
-	for t := 0; t < trials; t++ {
+	curves, _ := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) ([]float64, error) {
+		curve := make([]float64, cycles+1)
 		knows := make([]bool, n)
 		susceptible := int(math.Ceil(p0 * float64(n)))
 		for i := susceptible; i < n; i++ {
@@ -62,7 +63,7 @@ func simulateResidualDecay(n int, p0 float64, cycles, trials int, seed int64, pu
 				count++
 			}
 		}
-		out[0] += float64(count) / float64(n)
+		curve[0] = float64(count) / float64(n)
 		next := make([]bool, n)
 		for c := 1; c <= cycles; c++ {
 			copy(next, knows)
@@ -85,7 +86,14 @@ func simulateResidualDecay(n int, p0 float64, cycles, trials int, seed int64, pu
 					count++
 				}
 			}
-			out[c] += float64(count) / float64(n)
+			curve[c] = float64(count) / float64(n)
+		}
+		return curve, nil
+	})
+	out := make([]float64, cycles+1)
+	for _, curve := range curves {
+		for i, v := range curve {
+			out[i] += v
 		}
 	}
 	for i := range out {
@@ -116,6 +124,24 @@ type LawRow struct {
 	Lambda float64
 }
 
+// meanRumorStats averages residue and traffic over parallel trials of
+// one rumor variant, injecting each update at a random site.
+func meanRumorStats(cfg core.RumorConfig, sel spatial.Selector, trials int, seed int64) (s, m float64, err error) {
+	n := sel.NumSites()
+	results, err := parallel.Run(trials, seed, func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+		return core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range results {
+		s += r.Residue
+		m += r.Traffic
+	}
+	f := float64(trials)
+	return s / f, m / f, nil
+}
+
 // ResidueTrafficLaw measures residue against traffic across the §1.4 push
 // variants, demonstrating that they share s = e^{-m}.
 func ResidueTrafficLaw(n, trials int, seed int64) ([]LawRow, error) {
@@ -134,18 +160,10 @@ func ResidueTrafficLaw(n, trials int, seed int64) ([]LawRow, error) {
 		for _, k := range []int{2, 3, 4} {
 			cfg := v.cfg
 			cfg.K = k
-			rng := rand.New(rand.NewSource(seed + int64(vi*10+k)))
-			var s, m float64
-			for t := 0; t < trials; t++ {
-				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-				if err != nil {
-					return nil, err
-				}
-				s += r.Residue
-				m += r.Traffic
+			s, m, err := meanRumorStats(cfg, sel, trials, seed+int64(vi*10+k))
+			if err != nil {
+				return nil, err
 			}
-			s /= float64(trials)
-			m /= float64(trials)
 			lambda := math.NaN()
 			if s > 0 && m > 0 {
 				lambda = -math.Log(s) / m
@@ -178,18 +196,10 @@ func ConnectionLimitLaw(n, trials int, seed int64) ([]LawRow, error) {
 		for _, k := range []int{2, 3} {
 			cfg := v.cfg
 			cfg.K = k
-			rng := rand.New(rand.NewSource(seed + int64(vi*10+k)))
-			var s, m float64
-			for t := 0; t < trials; t++ {
-				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-				if err != nil {
-					return nil, err
-				}
-				s += r.Residue
-				m += r.Traffic
+			s, m, err := meanRumorStats(cfg, sel, trials, seed+int64(vi*10+k))
+			if err != nil {
+				return nil, err
 			}
-			s /= float64(trials)
-			m /= float64(trials)
 			lambda := math.NaN()
 			if s > 0 && m > 0 {
 				lambda = -math.Log(s) / m
@@ -217,18 +227,11 @@ func MinimizationComparison(n, trials int, seed int64) ([]LawRow, error) {
 		for _, k := range []int{2, 3} {
 			cfg := v.cfg
 			cfg.K = k
-			rng := rand.New(rand.NewSource(seed + int64(vi+1)))
-			var s, m float64
-			for t := 0; t < trials; t++ {
-				r, err := core.SpreadRumor(cfg, sel, rng.Intn(n), rng)
-				if err != nil {
-					return nil, err
-				}
-				s += r.Residue
-				m += r.Traffic
+			s, m, err := meanRumorStats(cfg, sel, trials, seed+int64(vi+1))
+			if err != nil {
+				return nil, err
 			}
-			rows = append(rows, LawRow{Variant: v.name, K: k,
-				Residue: s / float64(trials), Traffic: m / float64(trials)})
+			rows = append(rows, LawRow{Variant: v.name, K: k, Residue: s, Traffic: m})
 		}
 	}
 	return rows, nil
@@ -284,14 +287,16 @@ func LineScaling(ns []int, as []float64, trials int, seed int64) ([]LineScalingR
 			if a == 0 {
 				order = "O(n)"
 			}
-			rng := rand.New(rand.NewSource(seed + int64(n)*31 + int64(a*100)))
-			var traffic, tlast float64
-			for t := 0; t < trials; t++ {
-				r, err := core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, sel,
+			lsel := sel
+			results, err := parallel.Run(trials, seed+int64(n)*31+int64(a*100), func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+				return core.SpreadAntiEntropy(core.AntiEntropyConfig{Mode: core.PushPull}, lsel,
 					rng.Intn(n), rng, core.WithLinkAccounting(nw))
-				if err != nil {
-					return nil, err
-				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			var traffic, tlast float64
+			for _, r := range results {
 				cycles := float64(r.Cycles)
 				if cycles == 0 {
 					cycles = 1

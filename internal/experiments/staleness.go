@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/sim"
 	"epidemic/internal/store"
 	"epidemic/internal/workload"
@@ -27,8 +29,10 @@ type StalenessRow struct {
 // under continuous load, measured each cycle for the fraction of replica
 // entries that already hold the newest value of their key.
 func Staleness(n int, rates []float64, cycles int, seed int64) ([]StalenessRow, error) {
-	rows := make([]StalenessRow, 0, len(rates))
-	for _, rate := range rates {
+	// Each rate runs its own cluster; the rates fan out as parallel
+	// "trials" while every cluster keeps its historical seed derivation.
+	return parallel.Run(len(rates), seed, func(ri int, _ *rand.Rand) (StalenessRow, error) {
+		rate := rates[ri]
 		c, err := sim.NewCluster(sim.ClusterConfig{
 			N:              n,
 			Rumor:          core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
@@ -36,7 +40,7 @@ func Staleness(n int, rates []float64, cycles int, seed int64) ([]StalenessRow, 
 			Seed:           seed,
 		})
 		if err != nil {
-			return nil, err
+			return StalenessRow{}, err
 		}
 		gen, err := workload.NewGenerator(workload.Config{
 			KeySpace:        100,
@@ -44,7 +48,7 @@ func Staleness(n int, rates []float64, cycles int, seed int64) ([]StalenessRow, 
 			Seed:            seed + int64(rate*1000),
 		})
 		if err != nil {
-			return nil, err
+			return StalenessRow{}, err
 		}
 		// newest tracks the globally newest entry per key.
 		newest := make(map[string]store.Entry)
@@ -72,13 +76,12 @@ func Staleness(n int, rates []float64, cycles int, seed int64) ([]StalenessRow, 
 				consistent++
 			}
 		}
-		rows = append(rows, StalenessRow{
+		return StalenessRow{
 			UpdatesPerCycle:         rate,
 			Currency:                currencySum / float64(cycles),
 			FullyConsistentFraction: float64(consistent) / float64(cycles),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // measureCurrency returns the fraction of (replica, key) pairs whose entry

@@ -2,6 +2,12 @@
 // evaluation, plus the analytical claims of §1.3–§3. Each experiment
 // returns structured rows so the CLI, the benchmarks, and EXPERIMENTS.md
 // can share one source of truth.
+//
+// All Monte Carlo trial loops run on the internal/parallel engine: each
+// trial draws from an RNG derived from (seed, trialIndex), trials fan
+// out across GOMAXPROCS workers, and per-trial results are reduced in
+// trial order — so every experiment returns bit-identical rows for a
+// given seed regardless of the worker count.
 package experiments
 
 import (
@@ -10,6 +16,7 @@ import (
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/spatial"
 )
 
@@ -22,21 +29,23 @@ type RumorRow struct {
 	TLast   float64
 }
 
-// runRumorRows averages `trials` single-update spreads per k.
+// runRumorRows averages `trials` single-update spreads per k, fanning
+// the trials out over the parallel engine.
 func runRumorRows(cfg core.RumorConfig, ks []int, n, trials int, seed int64) ([]RumorRow, error) {
 	sel := spatial.Uniform(n)
 	rows := make([]RumorRow, 0, len(ks))
 	for _, k := range ks {
 		kcfg := cfg
 		kcfg.K = k
-		rng := rand.New(rand.NewSource(seed + int64(k)))
+		results, err := parallel.Run(trials, seed+int64(k), func(_ int, rng *rand.Rand) (core.SpreadResult, error) {
+			return core.SpreadRumor(kcfg, sel, rng.Intn(n), rng)
+		})
+		if err != nil {
+			return nil, err
+		}
 		var row RumorRow
 		row.K = k
-		for i := 0; i < trials; i++ {
-			r, err := core.SpreadRumor(kcfg, sel, rng.Intn(n), rng)
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range results {
 			row.Residue += r.Residue
 			row.Traffic += r.Traffic
 			row.TAve += r.TAve

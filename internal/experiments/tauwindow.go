@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"epidemic/internal/core"
+	"epidemic/internal/parallel"
 	"epidemic/internal/sim"
 	"epidemic/internal/workload"
 )
@@ -28,8 +30,10 @@ type TauWindowRow struct {
 // traffic will rise to a level slightly higher than what would be
 // produced by anti-entropy without checksums".
 func TauWindow(n int, taus []int64, cycles int, rate float64, seed int64) ([]TauWindowRow, error) {
-	rows := make([]TauWindowRow, 0, len(taus))
-	for _, tau := range taus {
+	// Each τ runs its own cluster; the sweep fans out as parallel "trials"
+	// while every cluster keeps its historical seed derivation.
+	return parallel.Run(len(taus), seed, func(ti int, _ *rand.Rand) (TauWindowRow, error) {
+		tau := taus[ti]
 		c, err := sim.NewCluster(sim.ClusterConfig{
 			N:     n,
 			Rumor: core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
@@ -42,7 +46,7 @@ func TauWindow(n int, taus []int64, cycles int, rate float64, seed int64) ([]Tau
 			Seed:           seed,
 		})
 		if err != nil {
-			return nil, err
+			return TauWindowRow{}, err
 		}
 		gen, err := workload.NewGenerator(workload.Config{
 			KeySpace:        200,
@@ -50,7 +54,7 @@ func TauWindow(n int, taus []int64, cycles int, rate float64, seed int64) ([]Tau
 			Seed:            seed + tau,
 		})
 		if err != nil {
-			return nil, err
+			return TauWindowRow{}, err
 		}
 		// Warm-up: build some shared history.
 		for i := 0; i < 20; i++ {
@@ -67,13 +71,12 @@ func TauWindow(n int, taus []int64, cycles int, rate float64, seed int64) ([]Tau
 		if runs == 0 {
 			runs = 1
 		}
-		rows = append(rows, TauWindowRow{
+		return TauWindowRow{
 			Tau:                tau,
 			FullCompareRate:    float64(after.FullCompares-before.FullCompares) / float64(runs),
 			EntriesPerExchange: float64(after.EntriesSent-before.EntriesSent) / float64(runs),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatTauWindowRows renders the τ sweep.

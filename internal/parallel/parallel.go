@@ -1,0 +1,178 @@
+// Package parallel is the Monte Carlo trial-execution engine behind
+// package experiments: it fans independent trials out across worker
+// goroutines while keeping results bit-for-bit reproducible.
+//
+// Reproducibility rests on two rules:
+//
+//   - Every trial draws from its own *rand.Rand seeded by
+//     TrialSeed(seed, trial), a splitmix64-style mix of the experiment
+//     seed and the trial index. No trial ever observes another trial's
+//     RNG stream, so the numbers a trial sees are independent of which
+//     worker ran it, or when.
+//   - Results land in a slice indexed by trial, and callers reduce that
+//     slice in index order. Floating-point accumulation order is
+//     therefore fixed, making parallel runs byte-identical to
+//     sequential ones.
+//
+// The worker count defaults to GOMAXPROCS and can be overridden
+// globally with SetMaxWorkers (the epidemicsim -workers flag) — with
+// any worker count, including 1, the same seed produces the same
+// results.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// TrialSeed derives the RNG seed for one trial from the experiment seed
+// and the trial index. It is the nth output of a splitmix64 generator
+// started at seed: the index is spread by the 64-bit golden ratio and
+// run through the splitmix64 finalizer, so adjacent trial indices (and
+// adjacent experiment seeds) yield statistically independent streams.
+func TrialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + (uint64(trial)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// TrialRNG returns a fresh RNG for one trial.
+func TrialRNG(seed int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(TrialSeed(seed, trial)))
+}
+
+// maxWorkers caps the number of concurrent workers; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers overrides the global worker cap. n <= 0 restores the
+// default (GOMAXPROCS). It returns the previous setting.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers reports the worker count a Run started now would use.
+func Workers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn for every trial in [0, trials) and returns the
+// results indexed by trial. Each invocation receives an RNG private to
+// that trial, seeded by TrialSeed(seed, trial); fn must take all its
+// randomness from it and must not share mutable state across trials.
+// Trials run concurrently on up to Workers() goroutines; with one
+// worker they run sequentially on the calling goroutine. Either way the
+// returned slice is identical for identical (trials, seed, fn).
+//
+// If any trial returns an error, Run cancels undispatched trials and
+// returns the error of the lowest-indexed failing trial.
+func Run[T any](trials int, seed int64, fn func(trial int, rng *rand.Rand) (T, error)) ([]T, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	out := make([]T, trials)
+	workers := Workers()
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		rng := rand.New(rand.NewSource(0))
+		for t := 0; t < trials; t++ {
+			rng.Seed(TrialSeed(seed, t))
+			r, err := fn(t, rng)
+			if err != nil {
+				return nil, err
+			}
+			out[t] = r
+		}
+		return out, nil
+	}
+
+	errs := make([]error, trials)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reseeded RNG per worker avoids a fresh ~5 KB
+			// rand source allocation per trial.
+			rng := rand.New(rand.NewSource(0))
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials || failed.Load() {
+					return
+				}
+				rng.Seed(TrialSeed(seed, t))
+				r, err := fn(t, rng)
+				if err != nil {
+					errs[t] = err
+					failed.Store(true)
+					return
+				}
+				out[t] = r
+			}
+		}()
+	}
+	wg.Wait()
+	// Indices are dispatched in ascending order, so every trial below
+	// the lowest failure completed; reporting the lowest-indexed error
+	// keeps the outcome independent of scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// All runs a per-trial predicate over [0, trials) and reports whether
+// every trial returned true. Trials are seeded exactly as in Run. The
+// conjunction is order-independent, so All cancels undispatched trials
+// as soon as any trial returns false; the result is nevertheless
+// identical to evaluating every trial. The error of the lowest-indexed
+// failing trial wins over any higher-indexed false verdict, mirroring a
+// sequential loop that stops at the first decisive trial.
+func All(trials int, seed int64, fn func(trial int, rng *rand.Rand) (bool, error)) (bool, error) {
+	type verdict struct {
+		ok  bool
+		err error
+	}
+	var stop atomic.Bool
+	results, err := Run(trials, seed, func(t int, rng *rand.Rand) (verdict, error) {
+		if stop.Load() {
+			// Undecided: a lower-indexed trial already decided the
+			// outcome. Reported as ok so it cannot mask that verdict.
+			return verdict{ok: true}, nil
+		}
+		ok, err := fn(t, rng)
+		if !ok || err != nil {
+			stop.Store(true)
+		}
+		return verdict{ok: ok, err: err}, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, v := range results {
+		if v.err != nil {
+			return false, v.err
+		}
+		if !v.ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := make(map[int64]struct{})
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40} {
+		for trial := 0; trial < 10_000; trial++ {
+			s := TrialSeed(seed, trial)
+			if _, dup := seen[s]; dup {
+				t.Fatalf("duplicate trial seed %d (seed=%d trial=%d)", s, seed, trial)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+func TestTrialRNGIndependentOfCallOrder(t *testing.T) {
+	a := TrialRNG(7, 3).Int63()
+	// Drawing other trials first must not change trial 3's stream.
+	_ = TrialRNG(7, 0).Int63()
+	_ = TrialRNG(7, 999).Int63()
+	if b := TrialRNG(7, 3).Int63(); a != b {
+		t.Fatalf("trial RNG not a pure function of (seed, trial): %d vs %d", a, b)
+	}
+}
+
+// withWorkers runs f under a fixed worker cap and restores the previous
+// cap afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetMaxWorkers(n)
+	defer SetMaxWorkers(prev)
+	f()
+}
+
+func trialSum(_ int, rng *rand.Rand) (float64, error) {
+	var s float64
+	for i := 0; i < 100; i++ {
+		s += rng.Float64()
+	}
+	return s, nil
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	const trials = 64
+	var base []float64
+	withWorkers(t, 1, func() {
+		var err error
+		base, err = Run(trials, 99, trialSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(base) != trials {
+		t.Fatalf("got %d results", len(base))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		withWorkers(t, workers, func() {
+			got, err := Run(trials, 99, trialSum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("workers=%d: results differ from sequential run", workers)
+			}
+		})
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers, func() {
+			_, err := Run(32, 5, func(trial int, _ *rand.Rand) (int, error) {
+				switch trial {
+				case 3:
+					return 0, errLow
+				case 17:
+					return 0, errHigh
+				}
+				return trial, nil
+			})
+			if !errors.Is(err, errLow) {
+				t.Errorf("workers=%d: got %v, want lowest-indexed error", workers, err)
+			}
+		})
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	out, err := Run(0, 1, trialSum)
+	if err != nil || out != nil {
+		t.Fatalf("Run(0) = %v, %v", out, err)
+	}
+}
+
+func TestAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	pred := func(_ int, rng *rand.Rand) (bool, error) {
+		return rng.Float64() < 0.9, nil
+	}
+	var base bool
+	withWorkers(t, 1, func() {
+		var err error
+		base, err = All(40, 7, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, workers := range []int{2, 8} {
+		withWorkers(t, workers, func() {
+			got, err := All(40, 7, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("workers=%d: All = %v, sequential = %v", workers, got, base)
+			}
+		})
+	}
+}
+
+func TestAllTrueWhenEveryTrialPasses(t *testing.T) {
+	ok, err := All(20, 1, func(int, *rand.Rand) (bool, error) { return true, nil })
+	if err != nil || !ok {
+		t.Fatalf("All = %v, %v", ok, err)
+	}
+}
+
+func TestAllFalseOnAnyFailure(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers, func() {
+			ok, err := All(20, 1, func(trial int, _ *rand.Rand) (bool, error) {
+				return trial != 13, nil
+			})
+			if err != nil || ok {
+				t.Errorf("workers=%d: All = %v, %v; want false", workers, ok, err)
+			}
+		})
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	defer SetMaxWorkers(prev)
+	if Workers() != 3 {
+		t.Errorf("Workers = %d after SetMaxWorkers(3)", Workers())
+	}
+	SetMaxWorkers(0)
+	if Workers() < 1 {
+		t.Errorf("Workers = %d with default cap", Workers())
+	}
+}

@@ -173,13 +173,18 @@ func (c *Cluster) StepAntiEntropy() {
 
 // StepActivityExchange runs one §1.5 combined peel-back/rumor round:
 // every node ships activity-ordered batches to one partner until checksum
-// agreement. It returns the total entries shipped this cycle.
+// agreement. It returns the total entries shipped this cycle. Per-node
+// counts land in a slice indexed by node, so the reduction is independent
+// of the (randomized) step order.
 func (c *Cluster) StepActivityExchange(batch int) int {
-	total := 0
-	c.stepAll(func(n *node.Node) {
-		sent, _ := n.StepActivityExchange(batch)
-		total += sent
+	sent := make([]int, len(c.nodes))
+	c.stepAllIndexed(func(i int, n *node.Node) {
+		sent[i], _ = n.StepActivityExchange(batch)
 	})
+	total := 0
+	for _, s := range sent {
+		total += s
+	}
 	return total
 }
 
@@ -191,9 +196,16 @@ func (c *Cluster) StepGC() {
 }
 
 func (c *Cluster) stepAll(step func(*node.Node)) {
+	c.stepAllIndexed(func(_ int, n *node.Node) { step(n) })
+}
+
+// stepAllIndexed steps every node once in random order, passing each node's
+// index so callers can collect per-node results into an indexed slice
+// rather than accumulating in visit order.
+func (c *Cluster) stepAllIndexed(step func(int, *node.Node)) {
 	order := c.rng.Perm(len(c.nodes))
 	for _, i := range order {
-		step(c.nodes[i])
+		step(i, c.nodes[i])
 	}
 	c.clock.Advance(c.cfg.TickPerCycle)
 	c.cycle++

@@ -320,3 +320,32 @@ func TestActivityExchangeHealsPartition(t *testing.T) {
 		t.Errorf("healing shipped %d entries; activity order should keep it small", shipped)
 	}
 }
+
+// The per-cycle total must be the sum of per-node counts regardless of the
+// randomized visit order: two clusters with the same seed report identical
+// totals cycle by cycle, and the totals reconcile with the nodes' own
+// EntriesSent statistics.
+func TestStepActivityExchangeIndexedTotals(t *testing.T) {
+	build := func() *Cluster {
+		c := newTestCluster(t, func(cfg *ClusterConfig) { cfg.N = 6 })
+		for i := 0; i < 6; i++ {
+			c.Node(i).Update(fmt.Sprintf("k%d", i), store.Value("v"))
+		}
+		return c
+	}
+	a, b := build(), build()
+	var totalA, totalB int
+	for i := 0; i < 10; i++ {
+		totalA += a.StepActivityExchange(4)
+		totalB += b.StepActivityExchange(4)
+	}
+	if totalA != totalB {
+		t.Errorf("same-seed clusters shipped %d vs %d entries", totalA, totalB)
+	}
+	if totalA == 0 {
+		t.Fatal("no entries shipped")
+	}
+	if got := int(a.TotalStats().EntriesSent); got != totalA {
+		t.Errorf("StepActivityExchange total %d != summed node stats %d", totalA, got)
+	}
+}

@@ -1,0 +1,141 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epidemic/internal/topology"
+)
+
+var allForms = []Form{FormDistance, FormQ, FormPaper, FormDQ}
+
+func formExponent(form Form) float64 {
+	if form == FormDQ {
+		return 1
+	}
+	return 2
+}
+
+// The alias tables must encode exactly the distribution the cumulative
+// table draws from.
+func TestAliasAndTableProbabilitiesIdentical(t *testing.T) {
+	nw := mustLine(t, 14)
+	for _, form := range allForms {
+		a := formExponent(form)
+		alias, err := NewWithMethod(nw, form, a, MethodAlias)
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		table, err := NewWithMethod(nw, form, a, MethodTable)
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		for i := 0; i < nw.NumSites(); i++ {
+			pa := Probabilities(alias, i)
+			pt := Probabilities(table, i)
+			for j := range pa {
+				if math.Abs(pa[j]-pt[j]) > 1e-12 {
+					t.Fatalf("%v site %d→%d: alias %v, table %v", form, i, j, pa[j], pt[j])
+				}
+			}
+		}
+	}
+}
+
+// chiSquare returns the goodness-of-fit statistic of counts against the
+// expected probabilities, skipping zero-probability categories, plus the
+// degrees of freedom.
+func chiSquare(counts []int, p []float64, trials int) (stat float64, df int) {
+	for j, pj := range p {
+		if pj == 0 {
+			continue
+		}
+		expected := pj * float64(trials)
+		d := float64(counts[j]) - expected
+		stat += d * d / expected
+		df++
+	}
+	return stat, df - 1
+}
+
+// chiSquareCritical approximates the upper critical value of the χ²(df)
+// distribution at α = 0.001 (Wilson–Hilferty).
+func chiSquareCritical(df int) float64 {
+	const z = 3.09 // standard normal quantile for α = 0.001
+	k := float64(df)
+	v := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * v * v * v
+}
+
+// Both sampling methods must draw from the same distribution for every
+// spatial form: each is chi-square tested against the shared exact
+// probabilities.
+func TestAliasChiSquareMatchesTableAllForms(t *testing.T) {
+	const trials = 100_000
+	nw := mustLine(t, 12)
+	for _, form := range allForms {
+		a := formExponent(form)
+		for _, method := range []Method{MethodAlias, MethodTable} {
+			sel, err := NewWithMethod(nw, form, a, method)
+			if err != nil {
+				t.Fatalf("%v: %v", form, err)
+			}
+			for _, origin := range []int{0, 6} {
+				rng := rand.New(rand.NewSource(int64(origin)*1000 + int64(form)))
+				counts := make([]int, nw.NumSites())
+				for i := 0; i < trials; i++ {
+					counts[sel.Pick(rng, origin)]++
+				}
+				p := Probabilities(sel, origin)
+				stat, df := chiSquare(counts, p, trials)
+				if crit := chiSquareCritical(df); stat > crit {
+					t.Errorf("%v method %d site %d: chi2 = %.2f > %.2f (df %d)",
+						form, method, origin, stat, crit, df)
+				}
+			}
+		}
+	}
+}
+
+// On a mesh, equidistant sites share one weight; the alias table must
+// preserve those ties when sampling.
+func TestAliasChiSquareOnMesh(t *testing.T) {
+	const trials = 100_000
+	nw, err := topology.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewWithMethod(nw, FormPaper, 2, MethodAlias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, nw.NumSites())
+	for i := 0; i < trials; i++ {
+		counts[sel.Pick(rng, 5)]++
+	}
+	p := Probabilities(sel, 5)
+	stat, df := chiSquare(counts, p, trials)
+	if crit := chiSquareCritical(df); stat > crit {
+		t.Errorf("mesh: chi2 = %.2f > %.2f (df %d)", stat, crit, df)
+	}
+}
+
+func TestNewUniformRejectsSingletons(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if _, err := NewUniform(n); err == nil {
+			t.Errorf("NewUniform(%d) accepted", n)
+		}
+	}
+	sel, err := NewUniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := sel.Pick(rng, 0); got != 1 {
+			t.Fatalf("Pick = %d", got)
+		}
+	}
+}

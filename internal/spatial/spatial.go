@@ -14,8 +14,12 @@
 //     For a=2 this reduces to 1/(Q(d-1)·Q(d)), which is O(d^{-2D}) on a
 //     D-dimensional mesh.
 //
-// Weights are precomputed into per-site cumulative tables; selection is a
-// binary search, so a cycle over n sites costs O(n log n).
+// Two sampling backends implement every form. The default is a Walker
+// alias table (MethodAlias): per-site probabilities are preprocessed into
+// equal-width slots so one Pick costs O(1) — one uniform draw, one slot
+// lookup. MethodTable keeps the classic per-site cumulative tables with
+// an O(log n) binary search per Pick; it survives as the reference
+// implementation the alias sampler is tested against.
 package spatial
 
 import (
@@ -27,7 +31,9 @@ import (
 	"epidemic/internal/topology"
 )
 
-// Selector picks random exchange partners for sites.
+// Selector picks random exchange partners for sites. Implementations are
+// immutable after construction and safe for concurrent use by multiple
+// goroutines (each with its own rng).
 type Selector interface {
 	// Pick returns a partner site for site from, never from itself.
 	Pick(rng *rand.Rand, from int) int
@@ -72,8 +78,37 @@ func (f Form) String() string {
 	}
 }
 
-// Uniform returns a Selector choosing uniformly among the other n-1 sites.
-func Uniform(n int) Selector { return uniformSelector{n: n} }
+// Method selects the sampling backend behind a Selector.
+type Method int
+
+const (
+	// MethodAlias preprocesses each site's distribution into a Walker
+	// alias table: O(n) extra memory per site, O(1) per Pick.
+	MethodAlias Method = iota
+	// MethodTable stores per-site cumulative weights and binary-searches
+	// them: O(log n) per Pick. Reference implementation.
+	MethodTable
+)
+
+// NewUniform returns a Selector choosing uniformly among the other n-1
+// sites, or an error when n leaves no partner to choose.
+func NewUniform(n int) (Selector, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("spatial: uniform selector needs at least 2 sites, got %d", n)
+	}
+	return uniformSelector{n: n}, nil
+}
+
+// Uniform returns a Selector choosing uniformly among the other n-1
+// sites. It panics if n < 2 (no possible partner); use NewUniform to get
+// an error instead.
+func Uniform(n int) Selector {
+	sel, err := NewUniform(n)
+	if err != nil {
+		panic(err)
+	}
+	return sel
+}
 
 type uniformSelector struct{ n int }
 
@@ -110,27 +145,127 @@ func (t *tableSelector) Pick(rng *rand.Rand, from int) int {
 	return int(t.target[from][k])
 }
 
-// New builds a Selector of the given form over the network. The exponent a
-// is ignored for FormUniform. Weights below are per *site* at a given
-// distance (equation (3.1.1) already is a per-site probability; the other
-// forms are defined per site directly).
+// aliasSelector holds per-site Walker alias tables (Vose's construction).
+// Each site's distribution over its n-1 possible partners is split into
+// n-1 equal-width slots; slot k keeps probability prob[k] of its own
+// target and hands the rest to alias[k]. One Pick consumes a single
+// uniform double: the integer part chooses the slot, the fractional part
+// the coin — O(1), no search.
+type aliasSelector struct {
+	n int
+	// prob[i][k] is slot k's acceptance threshold for site i; alias[i][k]
+	// the slot whose target wins when the coin exceeds it. target[i][k]
+	// is the site at rank k of site i's distance-sorted list, and
+	// p[i][k] that target's exact selection probability (kept for
+	// Probabilities; the alias table itself only preserves it up to
+	// reconstruction rounding).
+	prob   [][]float64
+	alias  [][]int32
+	target [][]int32
+	p      [][]float64
+}
+
+func (s *aliasSelector) NumSites() int { return s.n }
+
+func (s *aliasSelector) Pick(rng *rand.Rand, from int) int {
+	prob := s.prob[from]
+	u := rng.Float64() * float64(len(prob))
+	k := int(u)
+	if u-float64(k) >= prob[k] {
+		k = int(s.alias[from][k])
+	}
+	return int(s.target[from][k])
+}
+
+// buildAlias fills prob and alias for one site from its normalised
+// probabilities using Vose's O(n) two-stack construction.
+// small and large are caller-provided scratch stacks (content ignored,
+// capacity reused across calls).
+func buildAlias(p []float64, prob []float64, alias []int32, small, large []int32) {
+	small, large = small[:0], large[:0]
+	n := len(p)
+	for k, pk := range p {
+		prob[k] = pk * float64(n)
+		if prob[k] < 1 {
+			small = append(small, int32(k))
+		} else {
+			large = append(large, int32(k))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		alias[s] = l
+		// Slot s is settled; l absorbs the shortfall.
+		prob[l] -= 1 - prob[s]
+		if prob[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are exactly full up to rounding.
+	for _, k := range large {
+		prob[k] = 1
+	}
+	for _, k := range small {
+		prob[k] = 1
+	}
+}
+
+// New builds a Selector of the given form over the network using the
+// default O(1) alias sampling backend. The exponent a is ignored for
+// FormUniform. Weights below are per *site* at a given distance
+// (equation (3.1.1) already is a per-site probability; the other forms
+// are defined per site directly).
 func New(nw *topology.Network, form Form, a float64) (Selector, error) {
+	return NewWithMethod(nw, form, a, MethodAlias)
+}
+
+// NewWithMethod builds a Selector with an explicit sampling backend.
+func NewWithMethod(nw *topology.Network, form Form, a float64, m Method) (Selector, error) {
 	n := nw.NumSites()
 	if n < 2 {
 		return nil, fmt.Errorf("spatial: need at least 2 sites, got %d", n)
 	}
 	if form == FormUniform {
-		return Uniform(n), nil
+		return NewUniform(n)
 	}
 	if a <= 0 {
 		return nil, fmt.Errorf("spatial: exponent a must be positive, got %v", a)
 	}
 
-	ts := &tableSelector{
-		n:      n,
-		cum:    make([][]float64, n),
-		target: make([][]int32, n),
+	// All per-site rows carve out of flat backing arrays (each row holds
+	// at most the n-1 other sites), so building a selector costs a
+	// handful of allocations instead of several per site.
+	var ts *tableSelector
+	var as *aliasSelector
+	tgtBack := make([]int32, n*(n-1))
+	var cumBack, probBack, pBack, wScratch []float64
+	var aliasBack, smallStack, largeStack []int32
+	switch m {
+	case MethodTable:
+		ts = &tableSelector{n: n, cum: make([][]float64, n), target: make([][]int32, n)}
+		cumBack = make([]float64, n*(n-1))
+		wScratch = make([]float64, n-1)
+	case MethodAlias:
+		as = &aliasSelector{
+			n:      n,
+			prob:   make([][]float64, n),
+			alias:  make([][]int32, n),
+			target: make([][]int32, n),
+			p:      make([][]float64, n),
+		}
+		probBack = make([]float64, n*(n-1))
+		pBack = make([]float64, n*(n-1))
+		aliasBack = make([]int32, n*(n-1))
+		smallStack = make([]int32, 0, n-1)
+		largeStack = make([]int32, 0, n-1)
+	default:
+		return nil, fmt.Errorf("spatial: unknown method %d", int(m))
 	}
+
+	off := 0
 	for i := 0; i < n; i++ {
 		order := nw.SitesByDistance(i)
 		q := nw.Q(i)
@@ -138,23 +273,55 @@ func New(nw *topology.Network, form Form, a float64) (Selector, error) {
 		if err != nil {
 			return nil, err
 		}
-		cum := make([]float64, len(order))
-		tgt := make([]int32, len(order))
-		var run float64
+		rows := len(order)
+		end := off + rows
+		tgt := tgtBack[off:end:end]
+		var w []float64
+		if m == MethodAlias {
+			w = pBack[off:end:end] // becomes the stored p row
+		} else {
+			w = wScratch[:rows]
+		}
+		var total float64
 		for k, j := range order {
 			d := nw.Distance(i, j)
-			w := perDist[d]
-			if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
-				return nil, fmt.Errorf("spatial: non-positive weight %v for site %d at distance %d", w, i, d)
+			wk := perDist[d]
+			if wk <= 0 || math.IsInf(wk, 0) || math.IsNaN(wk) {
+				return nil, fmt.Errorf("spatial: non-positive weight %v for site %d at distance %d", wk, i, d)
 			}
-			run += w
-			cum[k] = run
+			w[k] = wk
+			total += wk
 			tgt[k] = int32(j)
 		}
-		ts.cum[i] = cum
-		ts.target[i] = tgt
+		switch m {
+		case MethodTable:
+			cum := cumBack[off:end:end]
+			var run float64
+			for k, wk := range w {
+				run += wk
+				cum[k] = run
+			}
+			ts.cum[i] = cum
+			ts.target[i] = tgt
+		case MethodAlias:
+			p := w // reuse: normalise in place
+			for k := range p {
+				p[k] /= total
+			}
+			prob := probBack[off:end:end]
+			alias := aliasBack[off:end:end]
+			buildAlias(p, prob, alias, smallStack, largeStack)
+			as.prob[i] = prob
+			as.alias[i] = alias
+			as.target[i] = tgt
+			as.p[i] = p
+		}
+		off = end
 	}
-	return ts, nil
+	if ts != nil {
+		return ts, nil
+	}
+	return as, nil
 }
 
 // weightsByDistance returns the per-site selection weight for each distance
@@ -212,6 +379,12 @@ func Probabilities(sel Selector, i int) []float64 {
 		for k, c := range cum {
 			p[s.target[i][k]] = (c - prev) / total
 			prev = c
+		}
+		return p
+	case *aliasSelector:
+		p := make([]float64, s.n)
+		for k, pk := range s.p[i] {
+			p[s.target[i][k]] = pk
 		}
 		return p
 	default:
