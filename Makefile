@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_1.json
 BENCH_BASELINE ?= docs/bench-seed.txt
 
-.PHONY: all build test check race cover bench experiments fuzz clean
+.PHONY: all build test check race cover bench experiments fuzz obs-smoke clean
 
 all: build test check
 
@@ -15,11 +15,18 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# check is the pre-merge gate: static analysis plus the race detector
-# over the internal packages (the parallel engine and everything on it).
+# check is the pre-merge gate: static analysis, the race detector over
+# the whole module (daemons included), and the observability smoke test.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+	$(MAKE) obs-smoke
+
+# obs-smoke boots a 3-daemon gossipd cluster on ephemeral ports, scrapes
+# every replica's /metrics and /healthz, and fails on malformed Prometheus
+# exposition or missing metric families.
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -count=1 ./cmd/gossipd
 
 race:
 	$(GO) test -race ./...

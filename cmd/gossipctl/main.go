@@ -1,19 +1,29 @@
-// Command gossipctl is the client for gossipd's line protocol.
+// Command gossipctl is the client for gossipd's line protocol and admin
+// endpoint.
 //
 // Usage:
 //
 //	gossipctl -addr host:8001 get <key>
 //	gossipctl -addr host:8001 set <key> <value...>
 //	gossipctl -addr host:8001 del <key>
-//	gossipctl -addr host:8001 keys | members | stats | hot | snapshot
+//	gossipctl -addr host:8001 keys | members | stats | statsjson | hot | snapshot
+//	gossipctl -admin host:9001 metrics | health
+//	gossipctl -admin host:9001 events [n]
+//
+// Line-protocol verbs talk to the daemon's -client port; metrics, health
+// and events fetch from its -admin HTTP endpoint.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -21,10 +31,11 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8001", "gossipd client address")
+		admin   = flag.String("admin", "", "gossipd admin HTTP address (for metrics, health, events)")
 		timeout = flag.Duration("timeout", 5*time.Second, "request timeout")
 	)
 	flag.Parse()
-	out, err := run(*addr, *timeout, flag.Args())
+	out, err := run(*addr, *admin, *timeout, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gossipctl:", err)
 		os.Exit(1)
@@ -32,9 +43,15 @@ func main() {
 	fmt.Println(out)
 }
 
-func run(addr string, timeout time.Duration, args []string) (string, error) {
+func run(addr, admin string, timeout time.Duration, args []string) (string, error) {
 	if len(args) == 0 {
-		return "", fmt.Errorf("usage: gossipctl [-addr host:port] <get|set|del|keys|members|stats|hot|snapshot> [args...]")
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|hot|snapshot|metrics|health|events> [args...]")
+	}
+	if path, err, ok := buildAdminPath(args); ok {
+		if err != nil {
+			return "", err
+		}
+		return fetchAdmin(admin, path, timeout)
 	}
 	cmd, err := buildCommand(args)
 	if err != nil {
@@ -75,7 +92,7 @@ func buildCommand(args []string) (string, error) {
 			return "", fmt.Errorf("usage: set <key> <value...>")
 		}
 		return "SET " + rest[0] + " " + strings.Join(rest[1:], " "), nil
-	case "keys", "members", "stats", "hot", "snapshot":
+	case "keys", "members", "stats", "statsjson", "hot", "snapshot":
 		if len(rest) != 0 {
 			return "", fmt.Errorf("usage: %s", verb)
 		}
@@ -83,4 +100,59 @@ func buildCommand(args []string) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown command %q", verb)
 	}
+}
+
+// buildAdminPath maps the admin-endpoint verbs onto URL paths. ok is false
+// when the verb belongs to the line protocol instead.
+func buildAdminPath(args []string) (path string, err error, ok bool) {
+	verb := strings.ToLower(args[0])
+	rest := args[1:]
+	switch verb {
+	case "metrics":
+		if len(rest) != 0 {
+			return "", fmt.Errorf("usage: metrics"), true
+		}
+		return "/metrics", nil, true
+	case "health":
+		if len(rest) != 0 {
+			return "", fmt.Errorf("usage: health"), true
+		}
+		return "/healthz", nil, true
+	case "events":
+		switch len(rest) {
+		case 0:
+			return "/events", nil, true
+		case 1:
+			n, err := strconv.Atoi(rest[0])
+			if err != nil || n < 0 {
+				return "", fmt.Errorf("usage: events [n]"), true
+			}
+			return "/events?n=" + url.QueryEscape(rest[0]), nil, true
+		default:
+			return "", fmt.Errorf("usage: events [n]"), true
+		}
+	default:
+		return "", nil, false
+	}
+}
+
+// fetchAdmin performs one GET against the daemon's admin endpoint.
+func fetchAdmin(admin, path string, timeout time.Duration) (string, error) {
+	if admin == "" {
+		return "", fmt.Errorf("this command reads the admin endpoint; set -admin host:port (gossipd -admin)")
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + admin + path)
+	if err != nil {
+		return "", fmt.Errorf("admin fetch %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("admin read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("admin %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return strings.TrimRight(string(body), "\n"), nil
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -21,6 +23,7 @@ func TestBuildCommand(t *testing.T) {
 		{args: []string{"keys"}, want: "KEYS"},
 		{args: []string{"members"}, want: "MEMBERS"},
 		{args: []string{"stats"}, want: "STATS"},
+		{args: []string{"statsjson"}, want: "STATSJSON"},
 		{args: []string{"hot"}, want: "HOT"},
 		{args: []string{"snapshot"}, want: "SNAPSHOT"},
 		{args: []string{"get"}, wantErr: true},
@@ -36,6 +39,39 @@ func TestBuildCommand(t *testing.T) {
 		}
 		if err == nil && got != tt.want {
 			t.Errorf("%v: got %q, want %q", tt.args, got, tt.want)
+		}
+	}
+}
+
+func TestBuildAdminPath(t *testing.T) {
+	tests := []struct {
+		args    []string
+		want    string
+		wantOK  bool
+		wantErr bool
+	}{
+		{args: []string{"metrics"}, want: "/metrics", wantOK: true},
+		{args: []string{"health"}, want: "/healthz", wantOK: true},
+		{args: []string{"events"}, want: "/events", wantOK: true},
+		{args: []string{"events", "10"}, want: "/events?n=10", wantOK: true},
+		{args: []string{"metrics", "extra"}, wantOK: true, wantErr: true},
+		{args: []string{"events", "x"}, wantOK: true, wantErr: true},
+		{args: []string{"events", "1", "2"}, wantOK: true, wantErr: true},
+		{args: []string{"get", "k"}, wantOK: false},
+		{args: []string{"stats"}, wantOK: false},
+	}
+	for _, tt := range tests {
+		got, err, ok := buildAdminPath(tt.args)
+		if ok != tt.wantOK {
+			t.Errorf("%v: ok = %v, want %v", tt.args, ok, tt.wantOK)
+			continue
+		}
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%v: err = %v, wantErr %v", tt.args, err, tt.wantErr)
+			continue
+		}
+		if ok && err == nil && got != tt.want {
+			t.Errorf("%v: path = %q, want %q", tt.args, got, tt.want)
 		}
 	}
 }
@@ -74,7 +110,7 @@ func TestRunRoundTrip(t *testing.T) {
 		}
 		return "ERR unexpected " + cmd
 	})
-	out, err := run(addr, time.Second, []string{"get", "k"})
+	out, err := run(addr, "", time.Second, []string{"get", "k"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,16 +121,52 @@ func TestRunRoundTrip(t *testing.T) {
 
 func TestRunServerError(t *testing.T) {
 	addr := fakeServer(t, func(string) string { return "ERR boom" })
-	if _, err := run(addr, time.Second, []string{"keys"}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := run(addr, "", time.Second, []string{"keys"}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunUsageAndDialErrors(t *testing.T) {
-	if _, err := run("127.0.0.1:1", time.Second, nil); err == nil {
+	if _, err := run("127.0.0.1:1", "", time.Second, nil); err == nil {
 		t.Error("no args accepted")
 	}
-	if _, err := run("127.0.0.1:1", 200*time.Millisecond, []string{"keys"}); err == nil {
+	if _, err := run("127.0.0.1:1", "", 200*time.Millisecond, []string{"keys"}); err == nil {
 		t.Error("dead address accepted")
+	}
+}
+
+func TestRunAdminFetch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		case "/events":
+			if r.URL.Query().Get("n") != "3" {
+				http.Error(w, "missing n", http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintln(w, `{"events":[]}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	admin := strings.TrimPrefix(srv.URL, "http://")
+
+	out, err := run("127.0.0.1:1", admin, time.Second, []string{"health"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `{"status":"ok"}` {
+		t.Errorf("health = %q", out)
+	}
+	if _, err := run("127.0.0.1:1", admin, time.Second, []string{"events", "3"}); err != nil {
+		t.Errorf("events 3: %v", err)
+	}
+	if _, err := run("127.0.0.1:1", admin, time.Second, []string{"metrics"}); err == nil {
+		t.Error("404 not reported")
+	}
+	if _, err := run("127.0.0.1:1", "", time.Second, []string{"metrics"}); err == nil || !strings.Contains(err.Error(), "-admin") {
+		t.Errorf("missing -admin not reported: %v", err)
 	}
 }

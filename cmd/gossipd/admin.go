@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"epidemic"
+)
+
+// healthReply is the /healthz response body.
+type healthReply struct {
+	Status        string  `json:"status"`
+	Site          int     `json:"site"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Members       int     `json:"members"`
+	Peers         int     `json:"peers"`
+	HotRumors     int     `json:"hot_rumors"`
+	StoreKeys     int     `json:"store_keys"`
+}
+
+// startAdmin serves the observability endpoints on addr: /metrics
+// (Prometheus text format), /healthz (JSON liveness + topology summary),
+// /events (recent node events, newest last, ?n= to limit), and the
+// standard /debug/pprof/* profiles. Handlers are mounted on a private mux,
+// not http.DefaultServeMux, so nothing else in the process leaks in.
+func (d *daemon) startAdmin(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin listen %s: %w", addr, err)
+	}
+	started := time.Now()
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", d.reg.Handler())
+	mux.Handle("/events", d.ring.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		n := d.node
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(healthReply{
+			Status:        "ok",
+			Site:          int(n.Site()),
+			UptimeSeconds: time.Since(started).Seconds(),
+			Members:       len(epidemic.Members(n.Store())),
+			Peers:         len(n.Peers()),
+			HotRumors:     len(n.HotEntries()),
+			StoreKeys:     len(n.Store().Keys()),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d.adminLn = ln
+	d.adminSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = d.adminSrv.Serve(ln) }()
+	return nil
+}

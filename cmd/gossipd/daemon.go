@@ -2,7 +2,11 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	"epidemic"
@@ -19,23 +23,68 @@ type daemonConfig struct {
 	tau1, tau2      time.Duration
 	retain          int
 	data, advertise string
+	// admin enables the observability HTTP endpoint when non-empty.
+	admin string
+	// logLevel enables structured logging to stderr when non-empty
+	// (debug|info|warn|error); logFormat selects text or json.
+	logLevel, logFormat string
 }
 
 // daemon is one running replica: gossip server, client listener, node
-// daemons, and the membership sync loop.
+// daemons, the membership sync loop, and the optional admin endpoint.
 type daemon struct {
 	node     *epidemic.Node
 	srv      *epidemic.TCPServer
 	clientLn net.Listener
 	stopSync chan struct{}
 	syncDone chan struct{}
+
+	reg      *epidemic.MetricsRegistry
+	ring     *epidemic.EventRing
+	adminLn  net.Listener
+	adminSrv *http.Server
+}
+
+// buildLogger maps the -log-level/-log-format flags onto a slog.Logger
+// writing to stderr. An empty level disables logging (nil logger).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
 }
 
 // startDaemon wires and starts a replica. Callers must Close it.
 func startDaemon(cfg daemonConfig) (*daemon, error) {
+	logger, err := buildLogger(cfg.logLevel, cfg.logFormat)
+	if err != nil {
+		return nil, err
+	}
 	n, err := epidemic.NewNode(epidemic.NodeConfig{
-		Site:  epidemic.SiteID(cfg.site),
-		Rumor: epidemic.RumorConfig{K: cfg.k, Counter: true, Feedback: true, Mode: epidemic.PushPull},
+		Site:   epidemic.SiteID(cfg.site),
+		Logger: logger,
+		Rumor:  epidemic.RumorConfig{K: cfg.k, Counter: true, Feedback: true, Mode: epidemic.PushPull},
 		Resolve: epidemic.ResolveConfig{
 			Mode:              epidemic.PushPull,
 			Strategy:          epidemic.CompareRecent,
@@ -93,11 +142,42 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		clientLn: cln,
 		stopSync: make(chan struct{}),
 		syncDone: make(chan struct{}),
+		reg:      epidemic.NewMetricsRegistry(),
+		ring:     epidemic.NewEventRing(0),
+	}
+	d.instrument(logger)
+	if cfg.admin != "" {
+		if err := d.startAdmin(cfg.admin); err != nil {
+			_ = srv.Close()
+			_ = cln.Close()
+			return nil, err
+		}
 	}
 	go d.syncLoop(cfg.aePer)
 	go serveClients(cln, n)
 	n.Start()
 	return d, nil
+}
+
+// instrument bridges the node and the gossip server into the registry and
+// the event ring. Stamp units are wall-clock nanoseconds, so propagation
+// delays scale by 1e-9.
+func (d *daemon) instrument(logger *slog.Logger) {
+	d.node.SetOnEvent(epidemic.InstrumentNode(d.reg, d.node, epidemic.ObserveOptions{
+		Ring:           d.ring,
+		SecondsPerUnit: 1e-9,
+		WallTime:       true,
+	}))
+	if logger != nil {
+		d.srv.SetLogger(logger.With("site", int(d.node.Site()), "component", "transport"))
+	}
+	d.srv.SetObserver(func(kind string, dur time.Duration) {
+		label := epidemic.MetricLabel{Name: "kind", Value: kind}
+		d.reg.Counter(epidemic.MetricTransportRequests,
+			"Gossip requests served, by request kind.", label).Inc()
+		d.reg.Histogram(epidemic.MetricTransportSeconds,
+			"Gossip request handling duration in seconds.", nil, label).Observe(dur.Seconds())
+	})
 }
 
 func (d *daemon) syncLoop(every time.Duration) {
@@ -122,10 +202,21 @@ func (d *daemon) GossipAddr() string { return d.srv.Addr() }
 // ClientAddr returns the bound client address.
 func (d *daemon) ClientAddr() string { return d.clientLn.Addr().String() }
 
+// AdminAddr returns the bound admin address, or "" when -admin is off.
+func (d *daemon) AdminAddr() string {
+	if d.adminLn == nil {
+		return ""
+	}
+	return d.adminLn.Addr().String()
+}
+
 // Close stops everything, in reverse start order.
 func (d *daemon) Close() {
 	close(d.stopSync)
 	<-d.syncDone
+	if d.adminSrv != nil {
+		_ = d.adminSrv.Close()
+	}
 	d.node.Stop()
 	_ = d.clientLn.Close()
 	_ = d.srv.Close()

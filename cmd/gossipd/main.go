@@ -23,10 +23,17 @@
 //	HOT                  -> HOT <k1> <k2> ...      (current hot rumors)
 //	SNAPSHOT             -> OK                     (force a durable snapshot)
 //	STATS                -> STATS <text>
+//	STATSJSON            -> <one-line JSON object> (machine-readable stats)
+//
+// Observability: -admin host:port serves /metrics (Prometheus text
+// format), /healthz (JSON), /events (recent node events as JSON) and
+// /debug/pprof/* on a separate HTTP listener; -log-level and -log-format
+// control structured logging to stderr.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -55,6 +62,9 @@ func main() {
 	flag.IntVar(&cfg.retain, "retention", 2, "dormant death-certificate retention sites")
 	flag.StringVar(&cfg.data, "data", "", "snapshot file for durable state (empty = in-memory only)")
 	flag.StringVar(&cfg.advertise, "advertise", "", "gossip address to announce in the membership directory (empty = -listen)")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty = disabled)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error (empty = no logging)")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -69,7 +79,11 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	defer d.Close()
-	fmt.Printf("gossipd site=%d gossip=%s client=%s\n", cfg.site, d.GossipAddr(), d.ClientAddr())
+	if admin := d.AdminAddr(); admin != "" {
+		fmt.Printf("gossipd site=%d gossip=%s client=%s admin=%s\n", cfg.site, d.GossipAddr(), d.ClientAddr(), admin)
+	} else {
+		fmt.Printf("gossipd site=%d gossip=%s client=%s\n", cfg.site, d.GossipAddr(), d.ClientAddr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -171,6 +185,13 @@ func handleClient(conn net.Conn, n *epidemic.Node) {
 				st.UpdatesAccepted, st.MailSent, st.MailFailed, st.AntiEntropyRuns,
 				st.RumorRuns, st.EntriesSent, st.EntriesApplied, st.Redistributed,
 				st.CertificatesExpired)
+		case "STATSJSON":
+			b, err := json.Marshal(n.Stats())
+			if err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			fmt.Fprintf(conn, "%s\n", b)
 		case "QUIT":
 			return
 		default:

@@ -28,8 +28,11 @@
 package epidemic
 
 import (
+	"io"
+
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs"
 	"epidemic/internal/sim"
 	"epidemic/internal/spatial"
 	"epidemic/internal/store"
@@ -107,6 +110,48 @@ type (
 	TCPServer = transport.Server
 	// TCPPeer is a Peer over TCP.
 	TCPPeer = transport.TCPPeer
+
+	// NodeEvent is one observable node action, delivered to the observer
+	// installed with Node.SetOnEvent.
+	NodeEvent = node.Event
+	// MetricsRegistry collects counters, gauges and histograms and renders
+	// them in Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name=value label on a metric series.
+	MetricLabel = obs.Label
+	// Histogram is a metrics histogram with fixed upper bounds.
+	Histogram = obs.Histogram
+	// EventRing is the bounded buffer of recent node events behind the
+	// admin /events endpoint.
+	EventRing = obs.EventRing
+	// EventRecord is one node event in wire-friendly form.
+	EventRecord = obs.EventRecord
+	// PropagationTracker derives the paper's t_last / t_avg / residue from
+	// per-update infection timestamps.
+	PropagationTracker = obs.Propagation
+	// ObserveOptions configures InstrumentNode.
+	ObserveOptions = obs.ObserveOptions
+)
+
+// Metric names registered by InstrumentNode (and, for the transport pair,
+// by the gossipd admin wiring).
+const (
+	MetricUpdatesAccepted     = obs.MetricUpdatesAccepted
+	MetricMailSent            = obs.MetricMailSent
+	MetricMailFailures        = obs.MetricMailFailures
+	MetricAntiEntropyRuns     = obs.MetricAntiEntropyRuns
+	MetricRumorRounds         = obs.MetricRumorRounds
+	MetricEntriesSent         = obs.MetricEntriesSent
+	MetricEntriesApplied      = obs.MetricEntriesApplied
+	MetricFullCompares        = obs.MetricFullCompares
+	MetricRedistributed       = obs.MetricRedistributed
+	MetricCertificatesExpired = obs.MetricCertificatesExpired
+	MetricUpdatePropagation   = obs.MetricUpdatePropagation
+	MetricHotRumors           = obs.MetricHotRumors
+	MetricPeers               = obs.MetricPeers
+	MetricStoreKeys           = obs.MetricStoreKeys
+	MetricTransportRequests   = obs.MetricTransportRequests
+	MetricTransportSeconds    = obs.MetricTransportSeconds
 )
 
 // Exchange modes.
@@ -196,6 +241,31 @@ func NewSpatialSelector(nw *Network, form SpatialForm, a float64) (Selector, err
 func SelectorProbabilities(sel Selector, i int) []float64 {
 	return spatial.Probabilities(sel, i)
 }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventRing builds a bounded event buffer holding the last capacity
+// records (a default size when capacity <= 0).
+func NewEventRing(capacity int) *EventRing { return obs.NewEventRing(capacity) }
+
+// NewPropagationTracker builds a per-update infection tracker.
+// secondsPerUnit scales timestamp units to seconds (1e-9 for wall-clock
+// nanoseconds, 1 to treat simulated ticks as seconds); hist, when non-nil,
+// receives one observation per new infection.
+func NewPropagationTracker(secondsPerUnit float64, hist *Histogram) *PropagationTracker {
+	return obs.NewPropagation(secondsPerUnit, hist)
+}
+
+// InstrumentNode registers n's counters and gauges on reg and returns the
+// event observer that completes the bridge; install it with n.SetOnEvent.
+func InstrumentNode(reg *MetricsRegistry, n *Node, opts ObserveOptions) func(NodeEvent) {
+	return obs.InstrumentNode(reg, n, opts)
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text
+// exposition format (version 0.0.4), returning the first problem found.
+func ValidateExposition(r io.Reader) error { return obs.ValidateExposition(r) }
 
 // NewCIN builds the synthetic Xerox Corporate Internet topology used by
 // the Table 4/5 reproductions.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
 )
 
 // CompareStrategy selects how two sites performing anti-entropy detect the
@@ -100,6 +101,10 @@ type ExchangeStats struct {
 	// the updates anti-entropy "repaired", which §1.5's redistribution
 	// policies act on.
 	AppliedKeys []string
+	// AppliedBySite splits AppliedKeys by the replica each repair landed
+	// on, keyed by site ID — the attribution observability needs to turn
+	// repairs into per-site infection timestamps.
+	AppliedBySite map[timestamp.SiteID][]string
 	// Reactivated lists death certificates awakened by obsolete items.
 	Reactivated []string
 }
@@ -161,6 +166,10 @@ func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to *store.Store
 		if res.Changed() {
 			st.EntriesApplied++
 			st.AppliedKeys = append(st.AppliedKeys, e.Key)
+			if st.AppliedBySite == nil {
+				st.AppliedBySite = make(map[timestamp.SiteID][]string)
+			}
+			st.AppliedBySite[to.Site()] = append(st.AppliedBySite[to.Site()], e.Key)
 		}
 		if res == store.RejectedByDeath && cfg.ReactivateDormant {
 			reactivateIfDormant(cfg, to, from, e.Key, st)

@@ -20,6 +20,13 @@ const (
 	EventGC
 	// EventMailFailed : a direct-mail posting failed outright.
 	EventMailFailed
+	// EventUpdate : a client write (update or delete) was accepted at this
+	// replica — the update's origination, time zero of its propagation.
+	EventUpdate
+	// EventApply : an update originated elsewhere changed this replica
+	// (via mail, a rumor exchange, or an anti-entropy repair) — this
+	// site's infection timestamp for that update.
+	EventApply
 )
 
 // String names the kind.
@@ -35,14 +42,19 @@ func (k EventKind) String() string {
 		return "gc"
 	case EventMailFailed:
 		return "mail-failed"
+	case EventUpdate:
+		return "update"
+	case EventApply:
+		return "apply"
 	default:
 		return "invalid"
 	}
 }
 
 // Event is one observable node action. Fields are populated per kind:
-// anti-entropy events carry Peer and Stats; rumor events Peer and Count
-// (entries pushed); redistribute events Keys; GC events Count (dropped
+// anti-entropy events carry Peer and Stats; rumor events Peer; update and
+// apply events Key and Stamp (apply events also Peer when the source peer
+// is known); redistribute events Keys; GC events Count (dropped
 // certificates); mail failures Peer.
 type Event struct {
 	Kind  EventKind
@@ -50,12 +62,14 @@ type Event struct {
 	Stats core.ExchangeStats
 	Keys  []string
 	Count int
+	Key   string
+	Stamp timestamp.T
 }
 
 // emit delivers an event to the configured observer. It must be called
 // WITHOUT n.mu held: observers may call back into the node.
 func (n *Node) emit(e Event) {
-	if n.cfg.OnEvent != nil {
-		n.cfg.OnEvent(e)
+	if fn := n.onEvent.Load(); fn != nil {
+		(*fn)(e)
 	}
 }

@@ -52,12 +52,19 @@ var ErrPeerDown = errors.New("node: peer unreachable")
 // ID implements Peer.
 func (p *LocalPeer) ID() timestamp.SiteID { return p.target.Site() }
 
-// AntiEntropy implements Peer.
+// AntiEntropy implements Peer. Repairs that land on the target replica are
+// reported to it as apply events — ResolveDifference writes into both
+// stores directly, so the target would otherwise never observe its own
+// infections.
 func (p *LocalPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
 	if p.isDown() {
 		return core.ExchangeStats{}, ErrPeerDown
 	}
-	return core.ResolveDifference(cfg, local, p.target.Store())
+	st, err := core.ResolveDifference(cfg, local, p.target.Store())
+	if err == nil {
+		p.target.noteRepaired(st.AppliedBySite[p.target.Site()], local.Site())
+	}
+	return st, err
 }
 
 // PushRumors implements Peer.

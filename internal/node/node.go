@@ -13,9 +13,12 @@ package node
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"epidemic/internal/core"
@@ -79,16 +82,21 @@ type Config struct {
 	// Seed seeds this node's private RNG; 0 derives one from the site ID.
 	Seed int64
 	// OnEvent, when set, receives lifecycle events (exchanges, rumor
-	// rounds, redistributions, GC, mail failures). Called synchronously
-	// from the step that produced the event, without internal locks held;
-	// the callback must be safe for concurrent use when daemons run.
+	// rounds, redistributions, GC, mail failures, update originations and
+	// applies). Called synchronously from the step that produced the
+	// event, without internal locks held; the callback must be safe for
+	// concurrent use when daemons run.
 	OnEvent func(Event)
+	// Logger, when set, receives structured logs (protocol rounds at
+	// Debug, failures at Warn). Nil discards all logging.
+	Logger *slog.Logger
 }
 
 // Node is one database replica plus its propagation daemons.
 type Node struct {
 	cfg   Config
 	store *store.Store
+	log   *slog.Logger
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -101,27 +109,35 @@ type Node struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
+	// onEvent holds the current observer; atomic so SetOnEvent can
+	// install instrumentation after New without racing emit.
+	onEvent atomic.Pointer[func(Event)]
+
 	stats Stats
 }
 
-// Stats counts a node's protocol activity.
+// Stats counts a node's protocol activity. The JSON field names are the
+// machine-readable contract of gossipd's STATSJSON client command.
 type Stats struct {
 	// UpdatesAccepted counts local client writes (updates and deletes).
-	UpdatesAccepted int
+	UpdatesAccepted int `json:"updates_accepted"`
 	// MailSent and MailFailed count direct-mail postings.
-	MailSent, MailFailed int
+	MailSent   int `json:"mail_sent"`
+	MailFailed int `json:"mail_failed"`
 	// AntiEntropyRuns and RumorRuns count protocol rounds executed.
-	AntiEntropyRuns, RumorRuns int
+	AntiEntropyRuns int `json:"anti_entropy_runs"`
+	RumorRuns       int `json:"rumor_runs"`
 	// EntriesSent and EntriesApplied aggregate exchange traffic.
-	EntriesSent, EntriesApplied int
+	EntriesSent    int `json:"entries_sent"`
+	EntriesApplied int `json:"entries_applied"`
 	// FullCompares counts anti-entropy conversations that fell back to
 	// shipping complete databases (checksum or recent-list miss, §1.3).
-	FullCompares int
+	FullCompares int `json:"full_compares"`
 	// Redistributed counts updates re-hotted or re-mailed after an
 	// anti-entropy repair.
-	Redistributed int
+	Redistributed int `json:"redistributed"`
 	// CertificatesExpired counts death certificates dropped by GC.
-	CertificatesExpired int
+	CertificatesExpired int `json:"certificates_expired"`
 }
 
 // New builds a stopped node; call Start to launch its daemons, or drive it
@@ -149,14 +165,22 @@ func New(cfg Config) (*Node, error) {
 	if seed == 0 {
 		seed = int64(cfg.Site)*2654435761 + 1
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	n := &Node{
 		cfg:   cfg,
 		store: store.New(cfg.Site, cfg.Clock),
+		log:   logger.With("site", int(cfg.Site)),
 		rng:   rng,
 		hot:   core.NewHotList(cfg.Rumor, rng),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
+	}
+	if cfg.OnEvent != nil {
+		n.onEvent.Store(&cfg.OnEvent)
 	}
 	if cfg.SnapshotPath != "" {
 		if _, err := n.store.LoadFile(cfg.SnapshotPath); err != nil {
@@ -164,6 +188,18 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// SetOnEvent replaces the event observer (see Config.OnEvent); nil
+// removes it. Safe to call concurrently with running daemons — typical use
+// is installing observability instrumentation right after New, which needs
+// the constructed node to close over.
+func (n *Node) SetOnEvent(fn func(Event)) {
+	if fn == nil {
+		n.onEvent.Store(nil)
+		return
+	}
+	n.onEvent.Store(&fn)
 }
 
 // SaveSnapshot writes the replica to the configured snapshot path (or the
@@ -278,6 +314,7 @@ func (n *Node) distribute(e store.Entry) {
 	}
 	peers := append([]Peer(nil), n.peers...)
 	n.mu.Unlock()
+	n.emit(Event{Kind: EventUpdate, Key: e.Key, Stamp: e.Stamp})
 
 	if !n.cfg.DirectMailOnUpdate {
 		return
@@ -286,6 +323,7 @@ func (n *Node) distribute(e store.Entry) {
 	for _, p := range peers {
 		if err := p.Mail(e); err != nil {
 			failed++
+			n.log.Warn("direct mail failed", "peer", int(p.ID()), "key", e.Key, "err", err)
 			n.emit(Event{Kind: EventMailFailed, Peer: p.ID()})
 			continue
 		}
@@ -308,6 +346,7 @@ func (n *Node) HandleMail(e store.Entry) {
 			n.activity.Touch(e.Key)
 		}
 		n.mu.Unlock()
+		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
 	}
 }
 
@@ -316,6 +355,7 @@ func (n *Node) HandleMail(e store.Entry) {
 // recipient ... adds all new updates to its infective list", §1.4).
 func (n *Node) HandleRumors(entries []store.Entry) []bool {
 	needed := make([]bool, len(entries))
+	var applied []store.Entry
 	for i, e := range entries {
 		res := n.store.Apply(e)
 		needed[i] = res.Changed()
@@ -326,9 +366,38 @@ func (n *Node) HandleRumors(entries []store.Entry) []bool {
 				n.activity.Touch(e.Key)
 			}
 			n.mu.Unlock()
+			applied = append(applied, e)
 		}
 	}
+	for _, e := range applied {
+		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
+	}
 	return needed
+}
+
+// ApplyRepair applies one entry received through a remotely initiated
+// anti-entropy conversation (the transport server's sync requests),
+// emitting EventApply when it changes this replica. Unlike HandleMail the
+// entry does not become a hot rumor: redistribution of repaired updates is
+// the initiator's policy decision (§1.5).
+func (n *Node) ApplyRepair(e store.Entry) store.ApplyResult {
+	res := n.store.Apply(e)
+	if res.Changed() {
+		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
+	}
+	return res
+}
+
+// noteRepaired emits EventApply for keys an anti-entropy exchange changed
+// at THIS replica while some other node initiated the conversation (the
+// in-process LocalPeer path, where core.ResolveDifference writes into both
+// stores directly). Must be called without n.mu held.
+func (n *Node) noteRepaired(keys []string, from timestamp.SiteID) {
+	for _, key := range keys {
+		if e, ok := n.store.Get(key); ok {
+			n.emit(Event{Kind: EventApply, Key: key, Stamp: e.Stamp, Peer: from})
+		}
+	}
 }
 
 // HotEntries returns the node's current hot rumors as entries (the
@@ -421,6 +490,7 @@ func (n *Node) StepRumor() error {
 		n.HandleRumors(entries)
 	}
 	n.emit(Event{Kind: EventRumor, Peer: peer.ID()})
+	n.log.Debug("rumor round finished", "peer", int(peer.ID()))
 	return nil
 }
 
@@ -444,7 +514,15 @@ func (n *Node) StepAntiEntropy() error {
 		n.stats.FullCompares++
 	}
 	n.mu.Unlock()
+	// Infections repaired INTO this replica during the conversation.
+	for _, key := range st.AppliedBySite[n.cfg.Site] {
+		if e, ok := n.store.Get(key); ok {
+			n.emit(Event{Kind: EventApply, Key: key, Stamp: e.Stamp, Peer: peer.ID()})
+		}
+	}
 	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st})
+	n.log.Debug("anti-entropy finished", "peer", int(peer.ID()),
+		"sent", st.EntriesSent, "applied", st.EntriesApplied, "full_compare", st.FullCompare)
 
 	if n.cfg.Redistribution == core.RedistributeNone {
 		return nil
@@ -509,6 +587,7 @@ func (n *Node) StepGC() int {
 		n.stats.CertificatesExpired += dropped
 		n.mu.Unlock()
 		n.emit(Event{Kind: EventGC, Count: dropped})
+		n.log.Debug("death certificates expired", "dropped", dropped)
 	}
 	return dropped
 }
@@ -517,15 +596,28 @@ func (n *Node) StepGC() int {
 func (n *Node) Start() {
 	if n.cfg.AntiEntropyEvery > 0 {
 		n.wg.Add(1)
-		go n.loop(n.cfg.AntiEntropyEvery, func() { _ = n.StepAntiEntropy(); n.StepGC() })
+		go n.loop(n.cfg.AntiEntropyEvery, func() {
+			if err := n.StepAntiEntropy(); err != nil && !errors.Is(err, ErrNoPeers) {
+				n.log.Warn("anti-entropy round failed", "err", err)
+			}
+			n.StepGC()
+		})
 	}
 	if n.cfg.RumorEvery > 0 {
 		n.wg.Add(1)
-		go n.loop(n.cfg.RumorEvery, func() { _ = n.StepRumor() })
+		go n.loop(n.cfg.RumorEvery, func() {
+			if err := n.StepRumor(); err != nil && !errors.Is(err, ErrNoPeers) {
+				n.log.Warn("rumor round failed", "err", err)
+			}
+		})
 	}
 	if n.cfg.SnapshotPath != "" && n.cfg.SnapshotEvery > 0 {
 		n.wg.Add(1)
-		go n.loop(n.cfg.SnapshotEvery, func() { _ = n.SaveSnapshot("") })
+		go n.loop(n.cfg.SnapshotEvery, func() {
+			if err := n.SaveSnapshot(""); err != nil {
+				n.log.Warn("periodic snapshot failed", "err", err)
+			}
+		})
 	}
 	go func() {
 		n.wg.Wait()

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r holds well-formed Prometheus text
+// exposition format (version 0.0.4): parseable HELP/TYPE comments, sample
+// lines with valid names, labels, and values, TYPE declared at most once
+// and before the family's samples, and complete histogram families
+// (_bucket with le="+Inf", _sum, _count). It is the scrape-side oracle the
+// obs-smoke gate and tests use to fail on malformed output.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+
+	typed := make(map[string]string)        // family -> declared type
+	sampled := make(map[string]bool)        // family -> any sample seen
+	histParts := make(map[string][3]bool)   // histogram family -> {bucket+Inf, sum, count}
+	seenSeries := make(map[string]struct{}) // duplicate sample detection
+	lineNo := 0
+	samples := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if !metricNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, name, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return fmt.Errorf("line %d: TYPE needs a type", lineNo)
+					}
+					typ := fields[3]
+					switch typ {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+					}
+					if _, dup := typed[name]; dup {
+						return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+					}
+					if sampled[name] {
+						return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+					}
+					typed[name] = typ
+				}
+			}
+			continue // other comments are legal
+		}
+
+		name, labels, value, rest, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if rest != "" { // optional timestamp
+			if _, err := strconv.ParseInt(rest, 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, rest)
+			}
+		}
+		samples++
+		fam := familyOf(name, typed)
+		sampled[fam] = true
+		seriesKey := name + labels
+		if _, dup := seenSeries[seriesKey]; dup {
+			return fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, labels)
+		}
+		seenSeries[seriesKey] = struct{}{}
+		if typed[fam] == "histogram" {
+			parts := histParts[fam]
+			switch {
+			case name == fam+"_bucket":
+				if strings.Contains(labels, `le="+Inf"`) {
+					parts[0] = true
+				}
+			case name == fam+"_sum":
+				parts[1] = true
+			case name == fam+"_count":
+				parts[2] = true
+			case name == fam:
+				return fmt.Errorf("line %d: histogram %s has a bare sample", lineNo, fam)
+			}
+			histParts[fam] = parts
+		}
+		_ = value
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		parts := histParts[fam]
+		if !parts[0] || !parts[1] || !parts[2] {
+			return fmt.Errorf("histogram %s incomplete: le=+Inf bucket/sum/count = %v/%v/%v",
+				fam, parts[0], parts[1], parts[2])
+		}
+	}
+	return nil
+}
+
+// familyOf strips histogram sample suffixes when the base name was
+// declared as a histogram family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits `name{labels} value [timestamp]`, returning the
+// rendered label string (or "") and the remainder after the value.
+func parseSample(line string) (name, labels string, value float64, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", "", 0, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	remainder := line[i:]
+	if remainder[0] == '{' {
+		end, err := scanLabels(remainder)
+		if err != nil {
+			return "", "", 0, "", err
+		}
+		labels = remainder[:end]
+		remainder = remainder[end:]
+	}
+	fields := strings.Fields(remainder)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", "", 0, "", fmt.Errorf("sample %q needs `value [timestamp]`", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, "", fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	return name, labels, value, rest, nil
+}
+
+// scanLabels validates a `{a="b",...}` block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block in %q", s)
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := s[i : i+j]
+		if !labelNameRe.MatchString(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value in %q", s)
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseValue accepts ordinary floats plus the exposition spellings
+// +Inf/-Inf/NaN, all of which strconv handles directly.
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP up whether the target is up
+# TYPE up gauge
+up 1
+# TYPE reqs_total counter
+reqs_total{method="get",path="/a\"b"} 12 1700000000000
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.3
+lat_seconds_count 2
+untyped_metric 3.5e-2
+nan_metric NaN
+inf_metric +Inf
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"bad name":            "9metric 1\n",
+		"bad value":           "metric one\n",
+		"bad type":            "# TYPE m widget\nm 1\n",
+		"duplicate type":      "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"type after samples":  "m 1\n# TYPE m counter\n",
+		"unterminated labels": "m{a=\"b\" 1\n",
+		"unquoted label":      "m{a=b} 1\n",
+		"duplicate sample":    "m 1\nm 1\n",
+		"bad timestamp":       "m 1 notatime\n",
+		"histogram no inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no sum":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"histogram bare":      "# TYPE h histogram\nh 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets, in seconds: they span the
+// paper's convergence-time range from sub-10ms LAN rounds out to the
+// multi-minute anti-entropy residue tail (Tables 1-4).
+var DefBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is a fixed-bucket histogram with an atomic hot path: Observe
+// is one binary search plus two atomic adds, no locks.
+type Histogram struct {
+	upper  []float64       // sorted upper bounds, excluding +Inf
+	counts []atomic.Uint64 // len(upper)+1; the last slot is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("obs: histogram buckets must be sorted")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] == buckets[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bucket %v", buckets[i]))
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1] // +Inf is implicit
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }

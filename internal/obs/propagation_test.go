@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPropagationObservables(t *testing.T) {
+	p := NewPropagation(1, nil) // ticks are seconds
+	p.Originated("k", 0, 10)
+	p.Infected("k", 1, 10, 12)
+	p.Infected("k", 2, 10, 15)
+	p.Infected("k", 2, 10, 99) // duplicate: first infection wins
+
+	if got := p.InfectedCount("k"); got != 3 {
+		t.Errorf("infected = %d", got)
+	}
+	if last, ok := p.TLast("k"); !ok || last != 5 {
+		t.Errorf("t_last = %v, %v", last, ok)
+	}
+	if avg, ok := p.TAvg("k"); !ok || math.Abs(avg-(0+2+5)/3.0) > 1e-12 {
+		t.Errorf("t_avg = %v, %v", avg, ok)
+	}
+	if res := p.Residue("k", 5); res != 2.0/5 {
+		t.Errorf("residue = %v", res)
+	}
+	if res := p.Residue("unknown", 5); res != 1 {
+		t.Errorf("unknown residue = %v", res)
+	}
+}
+
+func TestPropagationReupdateResets(t *testing.T) {
+	p := NewPropagation(1, nil)
+	p.Originated("k", 0, 10)
+	p.Infected("k", 1, 10, 11)
+	// A newer version of k resets the track.
+	p.Originated("k", 2, 20)
+	if got := p.InfectedCount("k"); got != 1 {
+		t.Errorf("infected after re-update = %d", got)
+	}
+	// Stale applies of the superseded version are ignored.
+	p.Infected("k", 3, 10, 25)
+	if got := p.InfectedCount("k"); got != 1 {
+		t.Errorf("stale apply counted: %d", got)
+	}
+}
+
+func TestPropagationHistogramAndSkew(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("epidemic_update_propagation_seconds", "x", []float64{1, 10})
+	p := NewPropagation(1, h)
+	p.Originated("k", 0, 100)
+	p.Infected("k", 1, 100, 105)
+	p.Infected("k", 2, 100, 95) // skewed clock: clamped to 0
+	if h.Count() != 2 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if h.Sum() != 5 {
+		t.Errorf("histogram sum = %v", h.Sum())
+	}
+	if last, _ := p.TLast("k"); last != 5 {
+		t.Errorf("t_last with skew = %v", last)
+	}
+	if keys := p.Keys(); len(keys) != 1 || keys[0] != "k" {
+		t.Errorf("keys = %v", keys)
+	}
+}

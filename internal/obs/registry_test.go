@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("epidemic_test_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("epidemic_gauge", "a gauge", Label{"site", "3"})
+	g.Set(1.5)
+	g.Add(-0.5)
+	r.CounterFunc("epidemic_func_total", "from fn", func() float64 { return 42 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP epidemic_test_total a counter\n# TYPE epidemic_test_total counter\nepidemic_test_total 3\n",
+		"# TYPE epidemic_gauge gauge\nepidemic_gauge{site=\"3\"} 1\n",
+		"epidemic_func_total 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("own exposition invalid: %v", err)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("epidemic_same_total", "x", Label{"site", "1"})
+	b := r.Counter("epidemic_same_total", "x", Label{"site", "1"})
+	if a != b {
+		t.Error("same (name, labels) must return the same collector")
+	}
+	other := r.Counter("epidemic_same_total", "x", Label{"site", "2"})
+	if a == other {
+		t.Error("distinct labels must be distinct series")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epidemic_conflict", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as gauge must panic")
+		}
+	}()
+	r.Gauge("epidemic_conflict", "x")
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("epidemic_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Errorf("sum = %v", got)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`epidemic_lat_seconds_bucket{le="0.1"} 1`,
+		`epidemic_lat_seconds_bucket{le="1"} 3`,
+		`epidemic_lat_seconds_bucket{le="10"} 4`,
+		`epidemic_lat_seconds_bucket{le="+Inf"} 5`,
+		`epidemic_lat_seconds_sum 56.05`,
+		`epidemic_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("own exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("epidemic_edge_seconds", "x", []float64{1, 2})
+	h.Observe(1) // le="1" counts v <= 1
+	out := render(t, r)
+	if !strings.Contains(out, `epidemic_edge_seconds_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not in le=1 bucket:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("epidemic_esc", "h", Label{"path", `a"b\c` + "\n"}).Set(1)
+	out := render(t, r)
+	if !strings.Contains(out, `path="a\"b\\c\n"`) {
+		t.Errorf("labels not escaped:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("escaped exposition invalid: %v", err)
+	}
+}
+
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("epidemic_conc_total", "x")
+	h := r.Histogram("epidemic_conc_seconds", "x", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.5)
+				_ = r.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter = %d, histogram count = %d", c.Value(), h.Count())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epidemic_h_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if err := ValidateExposition(resp.Body); err != nil {
+		t.Errorf("served exposition invalid: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// EventRecord is one node lifecycle event in wire-friendly form, as served
+// by the admin /events endpoint. Zero-valued fields are omitted from the
+// JSON so each kind only carries the fields that event populates.
+type EventRecord struct {
+	Seq            uint64   `json:"seq"`
+	UnixNanos      int64    `json:"unix_ns,omitempty"`
+	Site           int32    `json:"site"`
+	Kind           string   `json:"kind"`
+	Peer           int32    `json:"peer,omitempty"`
+	Key            string   `json:"key,omitempty"`
+	Keys           []string `json:"keys,omitempty"`
+	Count          int      `json:"count,omitempty"`
+	EntriesSent    int      `json:"entries_sent,omitempty"`
+	EntriesApplied int      `json:"entries_applied,omitempty"`
+	FullCompare    bool     `json:"full_compare,omitempty"`
+	Stamp          string   `json:"stamp,omitempty"`
+}
+
+// EventRing is a bounded ring buffer of recent events: appends are O(1),
+// the oldest record is overwritten once the ring is full.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  []EventRecord
+	next uint64 // total records ever appended
+}
+
+// DefaultRingSize bounds the admin /events buffer when no size is given.
+const DefaultRingSize = 256
+
+// NewEventRing builds a ring holding the last capacity records
+// (DefaultRingSize when capacity <= 0).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &EventRing{buf: make([]EventRecord, capacity)}
+}
+
+// Append records one event, assigning its sequence number.
+func (r *EventRing) Append(rec EventRecord) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = rec
+	r.next++
+	return rec.Seq
+}
+
+// Len returns the number of records currently retained.
+func (r *EventRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *EventRing) Snapshot() []EventRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	out := make([]EventRecord, 0, r.next-start)
+	for seq := start; seq < r.next; seq++ {
+		out = append(out, r.buf[seq%n])
+	}
+	return out
+}
+
+// Handler serves the ring as JSON: {"events": [...]}, newest last. The
+// optional ?n= query parameter limits the reply to the most recent n.
+func (r *EventRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		events := r.Snapshot()
+		if s := req.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Events []EventRecord `json:"events"`
+		}{events})
+	})
+}

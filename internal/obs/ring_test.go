@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestEventRingWraps(t *testing.T) {
+	r := NewEventRing(3)
+	for i := 0; i < 5; i++ {
+		r.Append(EventRecord{Kind: "rumor", Count: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, rec := range snap {
+		if want := uint64(i + 2); rec.Seq != want {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+		if rec.Count != i+2 {
+			t.Errorf("snap[%d].Count = %d, want %d", i, rec.Count, i+2)
+		}
+	}
+}
+
+func TestEventRingPartial(t *testing.T) {
+	r := NewEventRing(8)
+	r.Append(EventRecord{Kind: "gc"})
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "gc" || snap[0].Seq != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestEventRingHandler(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 6; i++ {
+		r.Append(EventRecord{Kind: "anti-entropy", Site: 1})
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var body struct {
+		Events []EventRecord `json:"events"`
+	}
+	resp, err := srv.Client().Get(srv.URL + "?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Events) != 2 {
+		t.Fatalf("events = %d", len(body.Events))
+	}
+	if body.Events[1].Seq != 5 {
+		t.Errorf("last seq = %d", body.Events[1].Seq)
+	}
+
+	if resp, err := srv.Client().Get(srv.URL + "?n=bogus"); err == nil {
+		if resp.StatusCode != 400 {
+			t.Errorf("bad n status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs"
 	"epidemic/internal/spatial"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -45,6 +46,12 @@ type ClusterConfig struct {
 	// TickPerCycle advances the simulated clock this much each cycle
 	// (default 1).
 	TickPerCycle int64
+	// Registry, when set, instruments every node into it: the per-site
+	// epidemic_* counters and gauges, plus a shared propagation tracker
+	// (one simulated tick = one second) whose t_last/t_avg/residue are
+	// exposed through Propagation. Soak tests assert on these metrics
+	// against cluster ground truth.
+	Registry *obs.Registry
 }
 
 // Cluster is a set of in-memory replicas plus the simulated clock they
@@ -56,6 +63,7 @@ type Cluster struct {
 	peers [][]*node.LocalPeer // peers[i] = peer objects owned by node i
 	rng   *rand.Rand
 	cycle int
+	prop  *obs.Propagation // non-nil when cfg.Registry is set
 }
 
 // NewCluster builds a fully connected cluster of n nodes.
@@ -92,6 +100,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.nodes[i] = n
+	}
+	if cfg.Registry != nil {
+		// One simulated tick is treated as one second, so the propagation
+		// histogram's t_last/t_avg read directly in cycles.
+		hist := cfg.Registry.Histogram(obs.MetricUpdatePropagation,
+			"Delay from an update's origination to its application at a replica, in seconds.", nil)
+		c.prop = obs.NewPropagation(1, hist)
+		for _, n := range c.nodes {
+			n.SetOnEvent(obs.InstrumentNode(cfg.Registry, n, obs.ObserveOptions{
+				Propagation:    c.prop,
+				SecondsPerUnit: 1,
+				SiteLabel:      true,
+			}))
+		}
 	}
 	var sel spatial.Selector
 	if cfg.Network != nil && cfg.SpatialForm != 0 && cfg.SpatialForm != spatial.FormUniform {
@@ -147,6 +169,10 @@ func (c *Cluster) Cycle() int { return c.cycle }
 
 // Clock returns the shared simulated time source.
 func (c *Cluster) Clock() *timestamp.Simulated { return c.clock }
+
+// Propagation returns the cluster-wide update-propagation tracker, or nil
+// when the cluster was built without a Registry.
+func (c *Cluster) Propagation() *obs.Propagation { return c.prop }
 
 // SetPartition isolates site from the rest of the cluster (or heals the
 // partition): nobody can converse with it and it can converse with nobody.

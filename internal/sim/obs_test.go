@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/obs"
+	"epidemic/internal/store"
+)
+
+// groundTruthSpread updates key at node 0, steps rumor cycles to
+// quiescence, and returns the origin time plus each site's first-infection
+// tick observed from the outside: after every cycle, any node newly holding
+// the value was infected at clock.Read()-tick (the clock advances after all
+// nodes step).
+func groundTruthSpread(c *Cluster, key, value string) (origin int64, firstSeen map[int]int64) {
+	e := c.Node(0).Update(key, store.Value(value))
+	origin = e.Stamp.Time
+	firstSeen = map[int]int64{0: origin}
+	for cycle := 0; cycle < 200 && c.AnyHot(); cycle++ {
+		c.StepRumor()
+		at := c.Clock().Read() - 1
+		for i := 0; i < c.N(); i++ {
+			if _, ok := firstSeen[i]; ok {
+				continue
+			}
+			if v, ok := c.Node(i).Lookup(key); ok && string(v) == value {
+				firstSeen[i] = at
+			}
+		}
+	}
+	return origin, firstSeen
+}
+
+func TestClusterPropagationMatchesGroundTruth(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) { cfg.Registry = reg })
+	origin, firstSeen := groundTruthSpread(c, "k", "v")
+
+	prop := c.Propagation()
+	if prop == nil {
+		t.Fatal("Propagation() is nil although a Registry was configured")
+	}
+	if got, want := prop.InfectedCount("k"), len(firstSeen); got != want {
+		t.Fatalf("InfectedCount = %d, ground truth %d", got, want)
+	}
+
+	var wantLast, sum float64
+	for _, at := range firstSeen {
+		d := float64(at - origin)
+		sum += d
+		if d > wantLast {
+			wantLast = d
+		}
+	}
+	wantAvg := sum / float64(len(firstSeen))
+
+	if got, ok := prop.TLast("k"); !ok || got != wantLast {
+		t.Errorf("t_last = %v (tracked=%v), ground truth %v", got, ok, wantLast)
+	}
+	if got, ok := prop.TAvg("k"); !ok || math.Abs(got-wantAvg) > 1e-9 {
+		t.Errorf("t_avg = %v (tracked=%v), ground truth %v", got, ok, wantAvg)
+	}
+	wantResidue := float64(c.N()-len(firstSeen)) / float64(c.N())
+	if got := prop.Residue("k", c.N()); got != wantResidue {
+		t.Errorf("residue = %v, ground truth %v", got, wantResidue)
+	}
+
+	// The shared histogram received exactly one observation per non-origin
+	// infection, and its sum is the total delay in seconds (1 tick = 1 s).
+	hist := reg.Histogram(obs.MetricUpdatePropagation, "", nil)
+	if got, want := hist.Count(), uint64(len(firstSeen)-1); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := hist.Sum(); math.Abs(got-sum) > 1e-9 {
+		t.Errorf("histogram sum = %v, want %v", got, sum)
+	}
+}
+
+// TestClusterResidueNonZero drives a deliberately feeble rumor (Push, k=1,
+// with feedback) on a larger cluster so the epidemic can die out before
+// reaching everyone, and checks the tracked residue against the cluster's
+// actual holdings. At least one of the seeds must leave survivors — the
+// paper's Table 3 shows push/k=1 residue around 0.18.
+func TestClusterResidueNonZero(t *testing.T) {
+	sawResidue := false
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		reg := obs.NewRegistry()
+		c, err := NewCluster(ClusterConfig{
+			N:        32,
+			Rumor:    core.RumorConfig{K: 1, Counter: true, Feedback: true, Mode: core.Push},
+			Seed:     seed,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, firstSeen := groundTruthSpread(c, "k", "v")
+		if c.AnyHot() {
+			t.Fatalf("seed %d: rumor still hot after 200 cycles", seed)
+		}
+		prop := c.Propagation()
+		if got, want := prop.InfectedCount("k"), len(firstSeen); got != want {
+			t.Errorf("seed %d: InfectedCount = %d, ground truth %d", seed, got, want)
+		}
+		wantResidue := float64(c.N()-len(firstSeen)) / float64(c.N())
+		if got := prop.Residue("k", c.N()); got != wantResidue {
+			t.Errorf("seed %d: residue = %v, ground truth %v", seed, got, wantResidue)
+		}
+		if wantResidue > 0 {
+			sawResidue = true
+		}
+	}
+	if !sawResidue {
+		t.Error("no seed left residue; the scenario no longer exercises the residue path")
+	}
+}
+
+// TestClusterExposition renders the shared registry after mixed rumor and
+// anti-entropy traffic and checks both well-formedness and that the
+// acceptance-criteria metric families are present.
+func TestClusterExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) { cfg.Registry = reg })
+	c.Node(0).Update("k", store.Value("v"))
+	c.RunRumorToQuiescence(100)
+	c.StepAntiEntropy()
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if err := obs.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, name := range []string{
+		obs.MetricAntiEntropyRuns,
+		obs.MetricRumorRounds,
+		obs.MetricFullCompares,
+		obs.MetricMailFailures,
+		obs.MetricUpdatePropagation,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing metric family %s", name)
+		}
+	}
+	// Per-site series carry the site label so all replicas share the
+	// registry without colliding.
+	if !strings.Contains(out, obs.MetricRumorRounds+`{site="0"}`) {
+		t.Errorf("exposition missing site-labelled series:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -32,6 +33,26 @@ const (
 	reqChecksum // live checksum probe (§1.5 combined scheme)
 )
 
+// kindName names a request kind for logs and metric labels.
+func (k reqKind) kindName() string {
+	switch k {
+	case reqMail:
+		return "mail"
+	case reqPushRumors:
+		return "push-rumors"
+	case reqPullRumors:
+		return "pull-rumors"
+	case reqSync:
+		return "sync"
+	case reqFullSync:
+		return "full-sync"
+	case reqChecksum:
+		return "checksum"
+	default:
+		return "unknown"
+	}
+}
+
 type request struct {
 	Kind     reqKind
 	From     timestamp.SiteID
@@ -56,6 +77,9 @@ type Server struct {
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	done bool
+
+	log      *slog.Logger
+	observer func(kind string, d time.Duration)
 }
 
 // Serve starts a server for n on addr ("host:port", ":0" for an ephemeral
@@ -66,10 +90,37 @@ func Serve(n *node.Node, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{node: n, ln: ln}
+	s := &Server{node: n, ln: ln, log: slog.New(slog.NewTextHandler(io.Discard, nil))}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetLogger installs a structured logger for request handling (served
+// requests at Debug, decode failures at Warn). Call before traffic
+// arrives; nil restores the discard logger.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
+}
+
+// SetObserver installs a per-request hook (kind, handling duration) used
+// to bridge transport traffic into a metrics registry. Call before traffic
+// arrives.
+func (s *Server) SetObserver(fn func(kind string, d time.Duration)) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) instruments() (*slog.Logger, func(string, time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log, s.observer
 }
 
 // Addr returns the server's bound address.
@@ -115,12 +166,21 @@ const maxWireBytes = 64 << 20
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	log, observe := s.instruments()
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	var req request
 	if err := gob.NewDecoder(io.LimitReader(conn, maxWireBytes)).Decode(&req); err != nil {
+		log.Warn("gossip request decode failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
+	start := time.Now()
 	resp := s.dispatch(req)
+	d := time.Since(start)
+	if observe != nil {
+		observe(req.Kind.kindName(), d)
+	}
+	log.Debug("gossip request served", "kind", req.Kind.kindName(),
+		"from", int(req.From), "entries", len(req.Entries), "dur", d)
 	_ = gob.NewEncoder(conn).Encode(resp)
 }
 
@@ -138,7 +198,7 @@ func (s *Server) dispatch(req request) response {
 	case reqSync:
 		st := s.node.Store()
 		for _, e := range req.Entries {
-			st.Apply(e)
+			s.node.ApplyRepair(e)
 		}
 		now := st.Now()
 		if req.Now > now {
@@ -149,9 +209,8 @@ func (s *Server) dispatch(req request) response {
 		}
 		return response{Entries: liveEntries(st, now, req.Tau1)}
 	case reqFullSync:
-		st := s.node.Store()
 		for _, e := range req.Entries {
-			st.Apply(e)
+			s.node.ApplyRepair(e)
 		}
 		return response{InSync: true}
 	case reqChecksum:
@@ -273,6 +332,10 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 		if res.Changed() {
 			st.EntriesApplied++
 			st.AppliedKeys = append(st.AppliedKeys, e.Key)
+			if st.AppliedBySite == nil {
+				st.AppliedBySite = make(map[timestamp.SiteID][]string)
+			}
+			st.AppliedBySite[local.Site()] = append(st.AppliedBySite[local.Site()], e.Key)
 		}
 	}
 	if resp.InSync {
