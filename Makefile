@@ -1,10 +1,10 @@
 GO ?= go
 
 # BENCH_OUT numbers the machine-readable bench report; bump per PR.
-BENCH_OUT ?= BENCH_1.json
+BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?= docs/bench-seed.txt
 
-.PHONY: all build test check race cover bench experiments fuzz obs-smoke clean
+.PHONY: all build test check race cover bench bench-transport experiments fuzz obs-smoke clean
 
 all: build test check
 
@@ -41,6 +41,12 @@ cover:
 bench:
 	$(GO) test -bench . -benchtime=1x -benchmem . | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < bench_output.txt
+
+# bench-transport measures the wire protocol in isolation: pooled vs
+# dial-per-request exchanges and the O(δ) peel-back mismatch benchmark,
+# with allocation counts.
+bench-transport:
+	$(GO) test -run '^$$' -bench Exchange -benchmem .
 
 # Regenerate every table and figure of the paper.
 experiments:

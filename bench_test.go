@@ -10,6 +10,7 @@ package epidemic_test
 // regenerates every published number alongside wall-clock cost.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -327,7 +328,7 @@ func BenchmarkAblationAntiEntropyCompare(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sent += st.EntriesSent
+				sent += st.Transferred()
 				src.Advance(1)
 			}
 			b.ReportMetric(float64(sent)/float64(b.N), "entries_sent/op")
@@ -556,4 +557,114 @@ func BenchmarkMailLinkTraffic(b *testing.B) {
 	}
 	b.ReportMetric(rows[0].MaxLink, "mail_hotspot")
 	b.ReportMetric(rows[2].Bushey, "spatial_bushey")
+}
+
+// --- wire-transport benchmarks: persistent-connection pool + peel-back ---
+
+// benchWireExchange measures one in-sync anti-entropy conversation over a
+// real TCP socket: a checksum-agreeing round trip, the steady state of a
+// healthy cluster. The pooled and dial-per-request variants differ only in
+// TCPPeerOptions, isolating the cost of connection setup and per-dial gob
+// type descriptors.
+func benchWireExchange(b *testing.B, opts epidemic.TCPPeerOptions) {
+	src := epidemic.NewSimulatedClock(1 << 30)
+	remote, err := epidemic.NewNode(epidemic.NodeConfig{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := epidemic.ServeTCP(remote, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := epidemic.NewStore(1, src.ClockAt(1))
+	for i := 0; i < 100; i++ {
+		e := local.Update(randKey(i), epidemic.Value("v"))
+		remote.Store().Apply(e)
+		src.Advance(1)
+	}
+	src.Advance(100) // shared history ages out of the recent window
+	cfg := epidemic.ResolveConfig{
+		Mode: epidemic.PushPull, Strategy: epidemic.CompareRecent,
+		Tau: 10, Tau1: 1 << 40,
+	}
+	peer := epidemic.NewTCPPeerWith(2, srv.Addr(), opts)
+	defer peer.Close()
+	// Warm-up: converge the replicas and (when pooling) open the session
+	// the loop will reuse.
+	if _, err := peer.AntiEntropy(cfg, local); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peer.AntiEntropy(cfg, local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExchangeDialPerRequest is the pre-pool wire protocol: every
+// request dials, handshakes, and re-ships gob type descriptors.
+func BenchmarkExchangeDialPerRequest(b *testing.B) {
+	benchWireExchange(b, epidemic.TCPPeerOptions{PoolSize: -1})
+}
+
+// BenchmarkExchangePooled reuses one persistent framed session per request.
+func BenchmarkExchangePooled(b *testing.B) {
+	benchWireExchange(b, epidemic.TCPPeerOptions{})
+}
+
+// BenchmarkExchangePeelBackMismatch is the O(δ) acceptance benchmark: a
+// 10 000-entry database with 10 fresh divergences per conversation must
+// reconcile by shipping a few peel batches — entries_moved/op ≪ store
+// size — never by swapping full databases.
+func BenchmarkExchangePeelBackMismatch(b *testing.B) {
+	src := epidemic.NewSimulatedClock(1 << 30)
+	remote, err := epidemic.NewNode(epidemic.NodeConfig{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := epidemic.ServeTCP(remote, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := epidemic.NewStore(1, src.ClockAt(1))
+	const shared, delta = 10_000, 10
+	for i := 0; i < shared; i++ {
+		e := local.Update(fmt.Sprintf("k%05d", i), epidemic.Value("v"))
+		remote.Store().Apply(e)
+		src.Advance(1)
+	}
+	cfg := epidemic.ResolveConfig{
+		Mode: epidemic.PushPull, Strategy: epidemic.CompareRecent,
+		Tau: 10, Tau1: 1 << 40, BatchSize: 64,
+	}
+	peer := epidemic.NewTCPPeer(2, srv.Addr())
+	defer peer.Close()
+	if _, err := peer.AntiEntropy(cfg, local); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	moved := 0
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < delta; j++ {
+			local.Update(fmt.Sprintf("diff%08d", i*delta+j), epidemic.Value("new"))
+		}
+		src.Advance(50) // push the divergence outside the recent window
+		st, err := peer.AntiEntropy(cfg, local)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.FullCompare {
+			b.Fatal("peel-back degraded to a full database swap")
+		}
+		moved += st.Transferred()
+	}
+	b.ReportMetric(float64(moved)/float64(b.N), "entries_moved/op")
+	b.ReportMetric(shared, "store_entries")
 }

@@ -6,7 +6,7 @@
 //	gossipctl -addr host:8001 get <key>
 //	gossipctl -addr host:8001 set <key> <value...>
 //	gossipctl -addr host:8001 del <key>
-//	gossipctl -addr host:8001 keys | members | stats | statsjson | hot | snapshot
+//	gossipctl -addr host:8001 keys | members | stats | statsjson | wire | hot | snapshot
 //	gossipctl -admin host:9001 metrics | health
 //	gossipctl -admin host:9001 events [n]
 //
@@ -45,7 +45,7 @@ func main() {
 
 func run(addr, admin string, timeout time.Duration, args []string) (string, error) {
 	if len(args) == 0 {
-		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|hot|snapshot|metrics|health|events> [args...]")
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|metrics|health|events> [args...]")
 	}
 	if path, err, ok := buildAdminPath(args); ok {
 		if err != nil {
@@ -92,7 +92,7 @@ func buildCommand(args []string) (string, error) {
 			return "", fmt.Errorf("usage: set <key> <value...>")
 		}
 		return "SET " + rest[0] + " " + strings.Join(rest[1:], " "), nil
-	case "keys", "members", "stats", "statsjson", "hot", "snapshot":
+	case "keys", "members", "stats", "statsjson", "hot", "snapshot", "wire":
 		if len(rest) != 0 {
 			return "", fmt.Errorf("usage: %s", verb)
 		}

@@ -28,6 +28,23 @@ type daemonConfig struct {
 	// logLevel enables structured logging to stderr when non-empty
 	// (debug|info|warn|error); logFormat selects text or json.
 	logLevel, logFormat string
+	// poolSize bounds the persistent gossip connections kept per peer
+	// (negative disables reuse); peelBatch sets the peel-back batch size
+	// (0 = default); exchangeTimeout is the per-request deadline on
+	// outbound gossip.
+	poolSize        int
+	peelBatch       int
+	exchangeTimeout time.Duration
+}
+
+// peerOptions derives the outbound wire options every peer of this daemon
+// shares, feeding one process-wide WireStats.
+func (cfg daemonConfig) peerOptions(wire *epidemic.WireStats) epidemic.TCPPeerOptions {
+	return epidemic.TCPPeerOptions{
+		Timeout:  cfg.exchangeTimeout,
+		PoolSize: cfg.poolSize,
+		Stats:    wire,
+	}
 }
 
 // daemon is one running replica: gossip server, client listener, node
@@ -41,6 +58,8 @@ type daemon struct {
 
 	reg      *epidemic.MetricsRegistry
 	ring     *epidemic.EventRing
+	wire     *epidemic.WireStats
+	peerOpts epidemic.TCPPeerOptions
 	adminLn  net.Listener
 	adminSrv *http.Server
 }
@@ -90,6 +109,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 			Strategy:          epidemic.CompareRecent,
 			Tau:               int64(20 * cfg.aePer), // generous: 20 anti-entropy periods
 			Tau1:              cfg.tau1.Nanoseconds(),
+			BatchSize:         cfg.peelBatch,
 			ReactivateDormant: true,
 		},
 		DirectMailOnUpdate: cfg.mail,
@@ -106,7 +126,9 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		return nil, err
 	}
 
-	peers, err := parsePeers(cfg.peerSpec)
+	wire := &epidemic.WireStats{}
+	peerOpts := cfg.peerOptions(wire)
+	peers, err := parsePeers(cfg.peerSpec, peerOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +166,8 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		syncDone: make(chan struct{}),
 		reg:      epidemic.NewMetricsRegistry(),
 		ring:     epidemic.NewEventRing(0),
+		wire:     wire,
+		peerOpts: peerOpts,
 	}
 	d.instrument(logger)
 	if cfg.admin != "" {
@@ -154,7 +178,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		}
 	}
 	go d.syncLoop(cfg.aePer)
-	go serveClients(cln, n)
+	go serveClients(cln, n, wire)
 	n.Start()
 	return d, nil
 }
@@ -178,6 +202,7 @@ func (d *daemon) instrument(logger *slog.Logger) {
 		d.reg.Histogram(epidemic.MetricTransportSeconds,
 			"Gossip request handling duration in seconds.", nil, label).Observe(dur.Seconds())
 	})
+	epidemic.InstrumentWire(d.reg, d.wire)
 }
 
 func (d *daemon) syncLoop(every time.Duration) {
@@ -187,8 +212,10 @@ func (d *daemon) syncLoop(every time.Duration) {
 	for {
 		select {
 		case <-ticker.C:
+			// SyncPeers keeps unchanged peers (and their pooled
+			// connections); only new or re-addressed sites dial.
 			epidemic.SyncPeers(d.node, func(rec epidemic.MemberRecord) epidemic.Peer {
-				return epidemic.NewTCPPeer(rec.Site, rec.Addr)
+				return epidemic.NewTCPPeerWith(rec.Site, rec.Addr, d.peerOpts)
 			})
 		case <-d.stopSync:
 			return

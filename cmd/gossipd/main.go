@@ -24,6 +24,7 @@
 //	SNAPSHOT             -> OK                     (force a durable snapshot)
 //	STATS                -> STATS <text>
 //	STATSJSON            -> <one-line JSON object> (machine-readable stats)
+//	WIRE                 -> <one-line JSON object> (connection-pool and wire-traffic stats)
 //
 // Observability: -admin host:port serves /metrics (Prometheus text
 // format), /healthz (JSON), /events (recent node events as JSON) and
@@ -65,6 +66,9 @@ func main() {
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty = disabled)")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error (empty = no logging)")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text or json")
+	flag.IntVar(&cfg.poolSize, "pool-size", 2, "persistent gossip connections kept per peer (negative = dial per request)")
+	flag.IntVar(&cfg.peelBatch, "peel-batch", 0, "entries per peel-back batch during anti-entropy (0 = default)")
+	flag.DurationVar(&cfg.exchangeTimeout, "exchange-timeout", 10*time.Second, "per-request deadline on outbound gossip")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -91,7 +95,7 @@ func run(cfg daemonConfig) error {
 	return nil
 }
 
-func parsePeers(spec string) ([]epidemic.Peer, error) {
+func parsePeers(spec string, opts epidemic.TCPPeerOptions) ([]epidemic.Peer, error) {
 	if spec == "" {
 		return nil, nil
 	}
@@ -105,22 +109,22 @@ func parsePeers(spec string) ([]epidemic.Peer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad peer id %q: %w", id, err)
 		}
-		peers = append(peers, epidemic.NewTCPPeer(epidemic.SiteID(sid), addr))
+		peers = append(peers, epidemic.NewTCPPeerWith(epidemic.SiteID(sid), addr, opts))
 	}
 	return peers, nil
 }
 
-func serveClients(ln net.Listener, n *epidemic.Node) {
+func serveClients(ln net.Listener, n *epidemic.Node, wire *epidemic.WireStats) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, n)
+		go handleClient(conn, n, wire)
 	}
 }
 
-func handleClient(conn net.Conn, n *epidemic.Node) {
+func handleClient(conn net.Conn, n *epidemic.Node, wire *epidemic.WireStats) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -181,12 +185,19 @@ func handleClient(conn net.Conn, n *epidemic.Node) {
 			}
 		case "STATS":
 			st := n.Stats()
-			fmt.Fprintf(conn, "STATS updates=%d mail=%d/%d ae=%d rumor=%d sent=%d applied=%d redist=%d gc=%d\n",
+			fmt.Fprintf(conn, "STATS updates=%d mail=%d/%d ae=%d rumor=%d sent=%d received=%d applied=%d redist=%d gc=%d\n",
 				st.UpdatesAccepted, st.MailSent, st.MailFailed, st.AntiEntropyRuns,
-				st.RumorRuns, st.EntriesSent, st.EntriesApplied, st.Redistributed,
-				st.CertificatesExpired)
+				st.RumorRuns, st.EntriesSent, st.EntriesReceived, st.EntriesApplied,
+				st.Redistributed, st.CertificatesExpired)
 		case "STATSJSON":
 			b, err := json.Marshal(n.Stats())
+			if err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			fmt.Fprintf(conn, "%s\n", b)
+		case "WIRE":
+			b, err := json.Marshal(wire.Snapshot())
 			if err != nil {
 				fmt.Fprintf(conn, "ERR %v\n", err)
 				continue

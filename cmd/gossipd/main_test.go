@@ -11,7 +11,7 @@ import (
 )
 
 func TestParsePeers(t *testing.T) {
-	peers, err := parsePeers("2=host2:7001, 3=host3:7001")
+	peers, err := parsePeers("2=host2:7001, 3=host3:7001", epidemic.TCPPeerOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,13 +21,13 @@ func TestParsePeers(t *testing.T) {
 	if peers[0].ID() != 2 || peers[1].ID() != 3 {
 		t.Errorf("IDs = %d %d", peers[0].ID(), peers[1].ID())
 	}
-	if got, _ := parsePeers(""); got != nil {
+	if got, _ := parsePeers("", epidemic.TCPPeerOptions{}); got != nil {
 		t.Error("empty spec should be nil")
 	}
-	if _, err := parsePeers("nonsense"); err == nil {
+	if _, err := parsePeers("nonsense", epidemic.TCPPeerOptions{}); err == nil {
 		t.Error("missing '=' accepted")
 	}
-	if _, err := parsePeers("x=host:1"); err == nil {
+	if _, err := parsePeers("x=host:1", epidemic.TCPPeerOptions{}); err == nil {
 		t.Error("non-numeric id accepted")
 	}
 }
@@ -37,7 +37,7 @@ func TestParsePeers(t *testing.T) {
 func clientSession(t *testing.T, n *epidemic.Node, cmds []string) []string {
 	t.Helper()
 	server, client := net.Pipe()
-	go handleClient(server, n)
+	go handleClient(server, n, nil)
 	defer client.Close()
 
 	var out []string

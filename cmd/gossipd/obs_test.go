@@ -97,6 +97,14 @@ func TestObsSmoke(t *testing.T) {
 		epidemic.MetricFullCompares,
 		epidemic.MetricMailFailures,
 		epidemic.MetricUpdatePropagation,
+		epidemic.MetricEntriesReceived,
+		epidemic.MetricWireDials,
+		epidemic.MetricWireReuses,
+		epidemic.MetricWireOpenConns,
+		epidemic.MetricWireBytesSent,
+		epidemic.MetricWireBytesReceived,
+		epidemic.MetricWireEntriesPerExchange,
+		epidemic.MetricWireBytesPerExchange,
 	}
 	for i, d := range daemons {
 		metrics := fetchAdmin(t, d.AdminAddr(), "/metrics")
@@ -204,10 +212,39 @@ func TestClientStatsJSON(t *testing.T) {
 		t.Errorf("updates_accepted = %v (present=%v)", v, ok)
 	}
 	for _, field := range []string{"mail_sent", "mail_failed", "anti_entropy_runs",
-		"rumor_runs", "entries_sent", "entries_applied", "full_compares",
-		"redistributed", "certificates_expired"} {
+		"rumor_runs", "entries_sent", "entries_received", "entries_applied",
+		"full_compares", "redistributed", "certificates_expired"} {
 		if _, ok := raw[field]; !ok {
 			t.Errorf("STATSJSON missing field %q", field)
+		}
+	}
+}
+
+// TestClientWire checks the WIRE command's pool/traffic snapshot contract.
+func TestClientWire(t *testing.T) {
+	n, err := epidemic.NewNode(epidemic.NodeConfig{Site: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := &epidemic.WireStats{}
+	server, client := net.Pipe()
+	go handleClient(server, n, wire)
+	defer client.Close()
+	if _, err := client.Write([]byte("WIRE\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(client).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(line), &raw); err != nil {
+		t.Fatalf("WIRE = %q: %v", line, err)
+	}
+	for _, field := range []string{"dials", "redials", "reuses", "open_conns",
+		"bytes_sent", "bytes_received", "exchanges"} {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("WIRE missing field %q", field)
 		}
 	}
 }

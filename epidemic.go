@@ -110,6 +110,14 @@ type (
 	TCPServer = transport.Server
 	// TCPPeer is a Peer over TCP.
 	TCPPeer = transport.TCPPeer
+	// TCPPeerOptions tunes a TCPPeer's connection pool, per-request
+	// deadline and peel-back budget.
+	TCPPeerOptions = transport.PeerOptions
+	// WireStats aggregates client-side pool and wire-traffic counters,
+	// typically shared by every TCPPeer a process dials.
+	WireStats = transport.WireStats
+	// WireSnapshot is a point-in-time copy of WireStats.
+	WireSnapshot = transport.WireSnapshot
 
 	// NodeEvent is one observable node action, delivered to the observer
 	// installed with Node.SetOnEvent.
@@ -142,6 +150,7 @@ const (
 	MetricAntiEntropyRuns     = obs.MetricAntiEntropyRuns
 	MetricRumorRounds         = obs.MetricRumorRounds
 	MetricEntriesSent         = obs.MetricEntriesSent
+	MetricEntriesReceived     = obs.MetricEntriesReceived
 	MetricEntriesApplied      = obs.MetricEntriesApplied
 	MetricFullCompares        = obs.MetricFullCompares
 	MetricRedistributed       = obs.MetricRedistributed
@@ -152,6 +161,20 @@ const (
 	MetricStoreKeys           = obs.MetricStoreKeys
 	MetricTransportRequests   = obs.MetricTransportRequests
 	MetricTransportSeconds    = obs.MetricTransportSeconds
+)
+
+// Metric names registered by InstrumentWire for the client-side wire
+// protocol (connection pool and per-exchange traffic).
+const (
+	MetricWireDials              = obs.MetricWireDials
+	MetricWireRedials            = obs.MetricWireRedials
+	MetricWireReuses             = obs.MetricWireReuses
+	MetricWireOpenConns          = obs.MetricWireOpenConns
+	MetricWireBytesSent          = obs.MetricWireBytesSent
+	MetricWireBytesReceived      = obs.MetricWireBytesReceived
+	MetricWireExchanges          = obs.MetricWireExchanges
+	MetricWireEntriesPerExchange = obs.MetricWireEntriesPerExchange
+	MetricWireBytesPerExchange   = obs.MetricWireBytesPerExchange
 )
 
 // Exchange modes.
@@ -202,8 +225,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return sim.NewCluster(cfg
 // ServeTCP exposes a node to remote peers on addr (":0" for ephemeral).
 func ServeTCP(n *Node, addr string) (*TCPServer, error) { return transport.Serve(n, addr) }
 
-// NewTCPPeer addresses a remote replica by site ID and "host:port".
+// NewTCPPeer addresses a remote replica by site ID and "host:port" with
+// default pool and peel-back options.
 func NewTCPPeer(id SiteID, addr string) *TCPPeer { return transport.NewTCPPeer(id, addr) }
+
+// NewTCPPeerWith addresses a remote replica with explicit pool, deadline
+// and peel-back options.
+func NewTCPPeerWith(id SiteID, addr string, opts TCPPeerOptions) *TCPPeer {
+	return transport.NewTCPPeerWith(id, addr, opts)
+}
 
 // NewStore builds a bare replica store (most users want NewNode instead).
 func NewStore(site SiteID, clock Clock) *Store { return store.New(site, clock) }
@@ -262,6 +292,10 @@ func NewPropagationTracker(secondsPerUnit float64, hist *Histogram) *Propagation
 func InstrumentNode(reg *MetricsRegistry, n *Node, opts ObserveOptions) func(NodeEvent) {
 	return obs.InstrumentNode(reg, n, opts)
 }
+
+// InstrumentWire registers ws's pool and traffic counters on reg and
+// installs the exchange observer feeding the per-exchange histograms.
+func InstrumentWire(reg *MetricsRegistry, ws *WireStats) { obs.InstrumentWire(reg, ws) }
 
 // ValidateExposition checks that r is well-formed Prometheus text
 // exposition format (version 0.0.4), returning the first problem found.

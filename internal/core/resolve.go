@@ -42,6 +42,10 @@ func (s CompareStrategy) String() string {
 	}
 }
 
+// DefaultPeelBatch is the peel-back batch size used when BatchSize is 0,
+// both in-process and on the wire.
+const DefaultPeelBatch = 16
+
 // ResolveConfig configures a database-level ResolveDifference exchange.
 type ResolveConfig struct {
 	// Mode is push, pull, or push-pull. Strategies other than CompareFull
@@ -85,11 +89,16 @@ func (c ResolveConfig) Validate() error {
 	return nil
 }
 
-// ExchangeStats reports what one ResolveDifference conversation did.
+// ExchangeStats reports what one ResolveDifference conversation did. All
+// directions are from the initiator's point of view: EntriesSent travelled
+// initiator→partner, EntriesReceived travelled partner→initiator, so
+// Tables-4/5-style compare-vs-update traffic is attributable per direction.
 type ExchangeStats struct {
-	// EntriesSent counts entries transmitted in either direction — the
-	// network cost of the conversation.
+	// EntriesSent counts entries the initiator transmitted to its partner.
 	EntriesSent int
+	// EntriesReceived counts entries the partner transmitted back to the
+	// initiator.
+	EntriesReceived int
 	// EntriesApplied counts transmissions that changed a replica.
 	EntriesApplied int
 	// ChecksumsCompared counts checksum exchanges.
@@ -107,6 +116,20 @@ type ExchangeStats struct {
 	AppliedBySite map[timestamp.SiteID][]string
 	// Reactivated lists death certificates awakened by obsolete items.
 	Reactivated []string
+}
+
+// Transferred returns the total entries moved in either direction — the
+// network cost of the conversation.
+func (st ExchangeStats) Transferred() int { return st.EntriesSent + st.EntriesReceived }
+
+// countTransfer attributes one shipped entry to the right direction:
+// entries leaving the initiator are sent, entries arriving at it received.
+func (st *ExchangeStats) countTransfer(from, initiator *store.Store) {
+	if from == initiator {
+		st.EntriesSent++
+	} else {
+		st.EntriesReceived++
+	}
 }
 
 // ResolveDifference carries out one anti-entropy conversation between the
@@ -129,8 +152,8 @@ func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, err
 		}
 	case CompareRecent:
 		now := maxNow(s, p)
-		sendEntries(cfg, s.RecentUpdates(now, cfg.Tau), s, p, &st)
-		sendEntries(cfg, p.RecentUpdates(now, cfg.Tau), p, s, &st)
+		sendEntries(cfg, s.RecentUpdates(now, cfg.Tau), s, p, s, &st)
+		sendEntries(cfg, p.RecentUpdates(now, cfg.Tau), p, s, s, &st)
 		st.ChecksumsCompared++
 		if !liveChecksumEqual(cfg, s, p) {
 			resolveFull(cfg, s, p, &st)
@@ -146,22 +169,24 @@ func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, err
 func resolveFull(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 	st.FullCompare = true
 	if cfg.Mode == Push || cfg.Mode == PushPull {
-		sendEntries(cfg, s.Snapshot(), s, p, st)
+		sendEntries(cfg, s.Snapshot(), s, p, s, st)
 	}
 	if cfg.Mode == Pull || cfg.Mode == PushPull {
-		sendEntries(cfg, p.Snapshot(), p, s, st)
+		sendEntries(cfg, p.Snapshot(), p, s, s, st)
 	}
 }
 
 // sendEntries transmits from's entries to to, skipping dormant death
-// certificates, applying each and accounting for reactivations.
-func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to *store.Store, st *ExchangeStats) {
+// certificates, applying each and accounting for reactivations. initiator
+// identifies the conversation's initiating store so traffic is attributed
+// to the right direction.
+func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to, initiator *store.Store, st *ExchangeStats) {
 	now := maxNow(from, to)
 	for _, e := range entries {
 		if store.IsDormant(e, now, cfg.Tau1) {
 			continue // dormant certificates are not propagated (§2.2)
 		}
-		st.EntriesSent++
+		st.countTransfer(from, initiator)
 		res := to.Apply(e)
 		if res.Changed() {
 			st.EntriesApplied++
@@ -172,7 +197,7 @@ func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to *store.Store
 			st.AppliedBySite[to.Site()] = append(st.AppliedBySite[to.Site()], e.Key)
 		}
 		if res == store.RejectedByDeath && cfg.ReactivateDormant {
-			reactivateIfDormant(cfg, to, from, e.Key, st)
+			reactivateIfDormant(cfg, to, from, initiator, e.Key, st)
 		}
 	}
 }
@@ -180,7 +205,7 @@ func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to *store.Store
 // reactivateIfDormant awakens holder's death certificate for key if it is
 // dormant, and hands the awakened certificate straight back to the peer so
 // it starts spreading.
-func reactivateIfDormant(cfg ResolveConfig, holder, peer *store.Store, key string, st *ExchangeStats) {
+func reactivateIfDormant(cfg ResolveConfig, holder, peer, initiator *store.Store, key string, st *ExchangeStats) {
 	cur, ok := holder.Get(key)
 	if !ok || !store.IsDormant(cur, holder.Now(), cfg.Tau1) {
 		return
@@ -190,7 +215,7 @@ func reactivateIfDormant(cfg ResolveConfig, holder, peer *store.Store, key strin
 		return
 	}
 	st.Reactivated = append(st.Reactivated, key)
-	st.EntriesSent++
+	st.countTransfer(holder, initiator)
 	if peer.Apply(re).Changed() {
 		st.EntriesApplied++
 	}
@@ -203,7 +228,7 @@ func reactivateIfDormant(cfg ResolveConfig, holder, peer *store.Store, key strin
 func resolvePeelBack(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 	batch := cfg.BatchSize
 	if batch <= 0 {
-		batch = 16
+		batch = DefaultPeelBatch
 	}
 	st.ChecksumsCompared++
 	if liveChecksumEqual(cfg, s, p) {
@@ -212,8 +237,8 @@ func resolvePeelBack(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 	sNext := s.NewestFirst(batch)
 	pNext := p.NewestFirst(batch)
 	for {
-		sendEntries(cfg, sNext, s, p, st)
-		sendEntries(cfg, pNext, p, s, st)
+		sendEntries(cfg, sNext, s, p, s, st)
+		sendEntries(cfg, pNext, p, s, s, st)
 		st.ChecksumsCompared++
 		if liveChecksumEqual(cfg, s, p) {
 			return

@@ -76,7 +76,7 @@ func TestResolveChecksumShortCircuits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.EntriesSent != 0 || st.FullCompare {
+	if st.Transferred() != 0 || st.FullCompare {
 		t.Errorf("equal stores should exchange nothing: %+v", st)
 	}
 	if st.ChecksumsCompared != 1 {
@@ -117,8 +117,8 @@ func TestResolveRecentWindowAvoidsFullCompare(t *testing.T) {
 		t.Fatal("stores differ")
 	}
 	// Only the fresh entry should have crossed the wire.
-	if st.EntriesSent > 2 {
-		t.Errorf("EntriesSent = %d, want <= 2", st.EntriesSent)
+	if st.Transferred() > 2 {
+		t.Errorf("Transferred = %d, want <= 2", st.Transferred())
 	}
 }
 
@@ -158,8 +158,8 @@ func TestResolvePeelBackStopsEarly(t *testing.T) {
 		t.Fatal("stores differ")
 	}
 	// One batch from each side should settle it: ~16 entries, not 201+.
-	if st.EntriesSent > 40 {
-		t.Errorf("peel-back sent %d entries; should stop after the first batches", st.EntriesSent)
+	if st.Transferred() > 40 {
+		t.Errorf("peel-back moved %d entries; should stop after the first batches", st.Transferred())
 	}
 }
 
@@ -172,8 +172,8 @@ func TestResolvePeelBackIdenticalStores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.EntriesSent != 0 {
-		t.Errorf("identical stores sent %d entries", st.EntriesSent)
+	if st.Transferred() != 0 {
+		t.Errorf("identical stores moved %d entries", st.Transferred())
 	}
 }
 

@@ -14,6 +14,7 @@ package membership
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,16 +80,38 @@ func List(st *store.Store) []Record {
 // Dialer turns a membership record into a live Peer (e.g. a TCP peer).
 type Dialer func(Record) node.Peer
 
+// addressed is the optional Peer facet that exposes a dial address
+// (transport.TCPPeer implements it). SyncPeers uses it to recognise an
+// existing peer as current.
+type addressed interface{ Addr() string }
+
 // SyncPeers reconciles n's peer set with the directory in its own replica:
-// every listed site except n itself becomes a peer via dial. It returns
-// the records used. Sites with empty addresses are skipped.
+// every listed site except n itself becomes a peer. An existing peer whose
+// site and address still match its record is kept as-is — peers hold
+// pooled connections, and re-dialing every sync period would discard them
+// — while peers that were dropped or re-addressed are closed (when they
+// implement io.Closer) after replacement. It returns the records used.
+// Sites with empty addresses are skipped.
 func SyncPeers(n *node.Node, dial Dialer) []Record {
+	current := make(map[timestamp.SiteID]node.Peer)
+	for _, p := range n.Peers() {
+		current[p.ID()] = p
+	}
 	recs := List(n.Store())
 	peers := make([]node.Peer, 0, len(recs))
 	used := make([]Record, 0, len(recs))
+	kept := make(map[timestamp.SiteID]bool)
 	for _, rec := range recs {
 		if rec.Site == n.Site() || rec.Addr == "" {
 			continue
+		}
+		if p, ok := current[rec.Site]; ok && !kept[rec.Site] {
+			if a, ok := p.(addressed); ok && a.Addr() == rec.Addr {
+				peers = append(peers, p)
+				used = append(used, rec)
+				kept[rec.Site] = true
+				continue
+			}
 		}
 		p := dial(rec)
 		if p == nil {
@@ -99,6 +122,14 @@ func SyncPeers(n *node.Node, dial Dialer) []Record {
 	}
 	if len(peers) > 0 {
 		n.SetPeers(peers)
+		for site, p := range current {
+			if kept[site] {
+				continue
+			}
+			if c, ok := p.(io.Closer); ok {
+				_ = c.Close()
+			}
+		}
 	}
 	return used
 }

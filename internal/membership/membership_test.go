@@ -123,6 +123,65 @@ func TestSyncPeers(t *testing.T) {
 	}
 }
 
+// fakeAddrPeer is a Peer with an address and a close flag, standing in for
+// a pooled TCP peer.
+type fakeAddrPeer struct {
+	node.Peer
+	addr   string
+	closed bool
+}
+
+func (p *fakeAddrPeer) Addr() string { return p.addr }
+func (p *fakeAddrPeer) Close() error { p.closed = true; return nil }
+
+func TestSyncPeersReusesUnchangedPeers(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	a := mkNode(t, src, 1)
+	b := mkNode(t, src, 2)
+
+	if _, err := Announce(a, "host1:1"); err != nil {
+		t.Fatal(err)
+	}
+	a.Store().Update(Key(2), mustJSON(t, Record{Site: 2, Addr: "host2:1"}))
+
+	dials := 0
+	dial := func(rec Record) node.Peer {
+		dials++
+		return &fakeAddrPeer{Peer: node.NewLocalPeer(b, int64(rec.Site)), addr: rec.Addr}
+	}
+	SyncPeers(a, dial)
+	if dials != 1 {
+		t.Fatalf("first sync dialed %d times", dials)
+	}
+	first := a.Peers()[0]
+
+	// Unchanged directory: the existing peer (and its pooled connections)
+	// must be kept, not re-dialed.
+	SyncPeers(a, dial)
+	if dials != 1 {
+		t.Errorf("unchanged record re-dialed (%d dials)", dials)
+	}
+	if a.Peers()[0] != first {
+		t.Error("unchanged record replaced the peer instance")
+	}
+	if first.(*fakeAddrPeer).closed {
+		t.Error("kept peer was closed")
+	}
+
+	// Re-addressed site: dial a replacement and close the stale peer.
+	a.Store().Update(Key(2), mustJSON(t, Record{Site: 2, Addr: "host2:2"}))
+	SyncPeers(a, dial)
+	if dials != 2 {
+		t.Errorf("re-addressed record dialed %d times, want 2", dials)
+	}
+	if got := a.Peers()[0].(*fakeAddrPeer).addr; got != "host2:2" {
+		t.Errorf("peer addr = %q after re-address", got)
+	}
+	if !first.(*fakeAddrPeer).closed {
+		t.Error("replaced peer was not closed")
+	}
+}
+
 func TestSyncPeersKeepsOldSetWhenDirectoryEmpty(t *testing.T) {
 	src := timestamp.NewSimulated(1)
 	a := mkNode(t, src, 1)

@@ -127,9 +127,12 @@ type Stats struct {
 	// AntiEntropyRuns and RumorRuns count protocol rounds executed.
 	AntiEntropyRuns int `json:"anti_entropy_runs"`
 	RumorRuns       int `json:"rumor_runs"`
-	// EntriesSent and EntriesApplied aggregate exchange traffic.
-	EntriesSent    int `json:"entries_sent"`
-	EntriesApplied int `json:"entries_applied"`
+	// EntriesSent and EntriesReceived aggregate exchange traffic by
+	// direction (outbound from this node vs inbound to it); EntriesApplied
+	// counts the transfers that changed a replica.
+	EntriesSent     int `json:"entries_sent"`
+	EntriesReceived int `json:"entries_received"`
+	EntriesApplied  int `json:"entries_applied"`
 	// FullCompares counts anti-entropy conversations that fell back to
 	// shipping complete databases (checksum or recent-list miss, §1.3).
 	FullCompares int `json:"full_compares"`
@@ -488,6 +491,9 @@ func (n *Node) StepRumor() error {
 			return fmt.Errorf("pull rumors from %d: %w", peer.ID(), err)
 		}
 		n.HandleRumors(entries)
+		n.mu.Lock()
+		n.stats.EntriesReceived += len(entries)
+		n.mu.Unlock()
 	}
 	n.emit(Event{Kind: EventRumor, Peer: peer.ID()})
 	n.log.Debug("rumor round finished", "peer", int(peer.ID()))
@@ -509,6 +515,7 @@ func (n *Node) StepAntiEntropy() error {
 	n.mu.Lock()
 	n.stats.AntiEntropyRuns++
 	n.stats.EntriesSent += st.EntriesSent
+	n.stats.EntriesReceived += st.EntriesReceived
 	n.stats.EntriesApplied += st.EntriesApplied
 	if st.FullCompare {
 		n.stats.FullCompares++
@@ -522,7 +529,8 @@ func (n *Node) StepAntiEntropy() error {
 	}
 	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st})
 	n.log.Debug("anti-entropy finished", "peer", int(peer.ID()),
-		"sent", st.EntriesSent, "applied", st.EntriesApplied, "full_compare", st.FullCompare)
+		"sent", st.EntriesSent, "received", st.EntriesReceived,
+		"applied", st.EntriesApplied, "full_compare", st.FullCompare)
 
 	if n.cfg.Redistribution == core.RedistributeNone {
 		return nil

@@ -17,6 +17,7 @@ const (
 	MetricAntiEntropyRuns     = "epidemic_anti_entropy_runs_total"
 	MetricRumorRounds         = "epidemic_rumor_rounds_total"
 	MetricEntriesSent         = "epidemic_entries_sent_total"
+	MetricEntriesReceived     = "epidemic_entries_received_total"
 	MetricEntriesApplied      = "epidemic_entries_applied_total"
 	MetricFullCompares        = "epidemic_full_compares_total"
 	MetricRedistributed       = "epidemic_redistributed_total"
@@ -85,8 +86,10 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 		func(s node.Stats) int { return s.AntiEntropyRuns })
 	counter(MetricRumorRounds, "Rumor-mongering rounds executed (§1.4).",
 		func(s node.Stats) int { return s.RumorRuns })
-	counter(MetricEntriesSent, "Entries transmitted in exchanges, either direction.",
+	counter(MetricEntriesSent, "Entries transmitted from this node to peers in exchanges.",
 		func(s node.Stats) int { return s.EntriesSent })
+	counter(MetricEntriesReceived, "Entries received by this node from peers in exchanges.",
+		func(s node.Stats) int { return s.EntriesReceived })
 	counter(MetricEntriesApplied, "Transmitted entries that changed a replica.",
 		func(s node.Stats) int { return s.EntriesApplied })
 	counter(MetricFullCompares, "Anti-entropy conversations that fell back to full database compares.",
@@ -132,15 +135,16 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 		}
 		if ring != nil {
 			rec := EventRecord{
-				Site:           site,
-				Kind:           e.Kind.String(),
-				Peer:           int32(e.Peer),
-				Key:            e.Key,
-				Keys:           e.Keys,
-				Count:          e.Count,
-				EntriesSent:    e.Stats.EntriesSent,
-				EntriesApplied: e.Stats.EntriesApplied,
-				FullCompare:    e.Stats.FullCompare,
+				Site:            site,
+				Kind:            e.Kind.String(),
+				Peer:            int32(e.Peer),
+				Key:             e.Key,
+				Keys:            e.Keys,
+				Count:           e.Count,
+				EntriesSent:     e.Stats.EntriesSent,
+				EntriesReceived: e.Stats.EntriesReceived,
+				EntriesApplied:  e.Stats.EntriesApplied,
+				FullCompare:     e.Stats.FullCompare,
 			}
 			if !e.Stamp.IsZero() {
 				rec.Stamp = e.Stamp.String()

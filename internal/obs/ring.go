@@ -11,18 +11,19 @@ import (
 // by the admin /events endpoint. Zero-valued fields are omitted from the
 // JSON so each kind only carries the fields that event populates.
 type EventRecord struct {
-	Seq            uint64   `json:"seq"`
-	UnixNanos      int64    `json:"unix_ns,omitempty"`
-	Site           int32    `json:"site"`
-	Kind           string   `json:"kind"`
-	Peer           int32    `json:"peer,omitempty"`
-	Key            string   `json:"key,omitempty"`
-	Keys           []string `json:"keys,omitempty"`
-	Count          int      `json:"count,omitempty"`
-	EntriesSent    int      `json:"entries_sent,omitempty"`
-	EntriesApplied int      `json:"entries_applied,omitempty"`
-	FullCompare    bool     `json:"full_compare,omitempty"`
-	Stamp          string   `json:"stamp,omitempty"`
+	Seq             uint64   `json:"seq"`
+	UnixNanos       int64    `json:"unix_ns,omitempty"`
+	Site            int32    `json:"site"`
+	Kind            string   `json:"kind"`
+	Peer            int32    `json:"peer,omitempty"`
+	Key             string   `json:"key,omitempty"`
+	Keys            []string `json:"keys,omitempty"`
+	Count           int      `json:"count,omitempty"`
+	EntriesSent     int      `json:"entries_sent,omitempty"`
+	EntriesReceived int      `json:"entries_received,omitempty"`
+	EntriesApplied  int      `json:"entries_applied,omitempty"`
+	FullCompare     bool     `json:"full_compare,omitempty"`
+	Stamp           string   `json:"stamp,omitempty"`
 }
 
 // EventRing is a bounded ring buffer of recent events: appends are O(1),

@@ -317,6 +317,7 @@ func (c *Cluster) TotalStats() node.Stats {
 		total.AntiEntropyRuns += s.AntiEntropyRuns
 		total.RumorRuns += s.RumorRuns
 		total.EntriesSent += s.EntriesSent
+		total.EntriesReceived += s.EntriesReceived
 		total.EntriesApplied += s.EntriesApplied
 		total.FullCompares += s.FullCompares
 		total.Redistributed += s.Redistributed

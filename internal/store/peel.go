@@ -1,0 +1,61 @@
+package store
+
+import (
+	"math"
+
+	"epidemic/internal/timestamp"
+)
+
+// PeelStart is the exclusive upper bound that makes PeelBatch begin at the
+// newest entry: it orders after every timestamp a clock can issue.
+var PeelStart = timestamp.T{Time: math.MaxInt64, Site: math.MaxInt32, Seq: math.MaxUint32}
+
+// PeelBatch returns one batch of the reverse-timestamp walk that wire-level
+// peel-back anti-entropy performs (§1.3/§1.5): up to limit index records
+// strictly older than bound are examined newest-first, and the non-dormant
+// ones among them are returned. next is the timestamp of the oldest record
+// examined — pass it back as the bound of the following call to resume the
+// walk — and more reports whether records older than next remain. Pass
+// PeelStart to begin at the newest entry; limit <= 0 examines everything at
+// once.
+//
+// Examined-versus-returned matters: dormant death certificates are skipped
+// on the wire (§2.2) but still advance the walk, so the resume bound stays
+// well-defined even when a whole batch is dormant.
+func (s *Store) PeelBatch(bound timestamp.T, limit int, now, tau1 int64) (batch []Entry, next timestamp.T, more bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.index.searchBefore(bound) // records [0, i) are older than bound
+	if i == 0 {
+		return nil, bound, false
+	}
+	if limit <= 0 || limit > i {
+		limit = i
+	}
+	batch = make([]Entry, 0, limit)
+	for k := i - 1; k >= i-limit; k-- {
+		rec := s.index.keys[k]
+		e := s.entries[rec.key]
+		if !IsDormant(e, now, tau1) {
+			batch = append(batch, e.clone())
+		}
+		next = rec.stamp
+	}
+	return batch, next, i-limit > 0
+}
+
+// LiveSnapshot returns a copy of every non-dormant entry — the payload of
+// a full-database exchange, which excludes dormant death certificates
+// (§2.2). Entries are in index (timestamp) order.
+func (s *Store) LiveSnapshot(now, tau1 int64) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, rec := range s.index.keys {
+		e := s.entries[rec.key]
+		if !IsDormant(e, now, tau1) {
+			out = append(out, e.clone())
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"testing"
+
+	"epidemic/internal/timestamp"
+)
+
+// buildPeelStore writes n entries at distinct ticks and returns the store
+// plus its shared clock source.
+func buildPeelStore(t *testing.T, site timestamp.SiteID, n int) (*Store, *timestamp.Simulated) {
+	t.Helper()
+	src := timestamp.NewSimulated(1)
+	st := New(site, src.ClockAt(site))
+	for i := 0; i < n; i++ {
+		st.Update(key(i), Value("v"))
+		src.Advance(1)
+	}
+	return st, src
+}
+
+func key(i int) string {
+	return "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}
+
+func TestPeelBatchWalksNewestFirst(t *testing.T) {
+	st, _ := buildPeelStore(t, 1, 10)
+	now := st.Now()
+
+	batch, next, more := st.PeelBatch(PeelStart, 4, now, 1<<40)
+	if len(batch) != 4 || !more {
+		t.Fatalf("first batch = %d entries, more=%v", len(batch), more)
+	}
+	if batch[0].Stamp.Less(batch[3].Stamp) {
+		t.Errorf("batch not newest-first: %v then %v", batch[0].Stamp, batch[3].Stamp)
+	}
+
+	// Resuming from next yields strictly older entries, no overlap.
+	seen := map[string]bool{}
+	for _, e := range batch {
+		seen[e.Key] = true
+	}
+	total := len(batch)
+	for more {
+		batch, next, more = st.PeelBatch(next, 4, now, 1<<40)
+		for _, e := range batch {
+			if seen[e.Key] {
+				t.Fatalf("key %q returned twice", e.Key)
+			}
+			seen[e.Key] = true
+		}
+		total += len(batch)
+	}
+	if total != 10 {
+		t.Errorf("walk returned %d entries, want 10", total)
+	}
+
+	// An exhausted walk stays exhausted.
+	if batch, _, more := st.PeelBatch(next, 4, now, 1<<40); len(batch) != 0 || more {
+		t.Errorf("walk past the end returned %d entries, more=%v", len(batch), more)
+	}
+}
+
+func TestPeelBatchSkipsDormantButAdvances(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	st := New(1, src.ClockAt(1))
+	// Three old deletions, then one fresh update. With tau1=10 the
+	// certificates are dormant by the time we peel.
+	for i := 0; i < 3; i++ {
+		st.Update(key(i), Value("v"))
+		st.Delete(key(i), nil)
+		src.Advance(100)
+	}
+	st.Update("fresh", Value("v"))
+	now := st.Now()
+
+	batch, next, more := st.PeelBatch(PeelStart, 2, now, 10)
+	if len(batch) != 1 || batch[0].Key != "fresh" {
+		t.Fatalf("first batch = %+v, want only the fresh entry", batch)
+	}
+	if !more {
+		t.Fatal("walk should continue past the first two records")
+	}
+	// The rest of the walk must terminate despite every record being
+	// dormant, with the bound advancing through them.
+	for more {
+		batch, next, more = st.PeelBatch(next, 2, now, 10)
+		if len(batch) != 0 {
+			t.Fatalf("dormant batch returned entries: %+v", batch)
+		}
+	}
+}
+
+func TestPeelBatchZeroLimitReturnsAll(t *testing.T) {
+	st, _ := buildPeelStore(t, 1, 7)
+	batch, _, more := st.PeelBatch(PeelStart, 0, st.Now(), 1<<40)
+	if len(batch) != 7 || more {
+		t.Errorf("limit 0 returned %d entries, more=%v", len(batch), more)
+	}
+}
+
+func TestLiveSnapshotExcludesDormant(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	st := New(1, src.ClockAt(1))
+	st.Update("keep", Value("v"))
+	st.Update("doomed", Value("v"))
+	st.Delete("doomed", nil)
+	src.Advance(100)
+	st.Update("late", Value("v"))
+
+	live := st.LiveSnapshot(st.Now(), 10)
+	if len(live) != 2 {
+		t.Fatalf("live snapshot = %d entries, want 2: %+v", len(live), live)
+	}
+	for _, e := range live {
+		if e.Key == "doomed" {
+			t.Error("dormant certificate leaked into live snapshot")
+		}
+	}
+	// With a generous tau1 the certificate is still live and included.
+	if live := st.LiveSnapshot(st.Now(), 1<<40); len(live) != 3 {
+		t.Errorf("all-live snapshot = %d entries, want 3", len(live))
+	}
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// The wire protocol is a sequence of length-prefixed frames over one
+// long-lived TCP connection: a 4-byte big-endian payload length followed by
+// the payload, which is exactly one value from a persistent gob stream.
+// Because the encoder and decoder live as long as the connection, gob type
+// descriptors cross the wire once per session instead of once per request,
+// and the frame boundary lets either side bound a peer's allocation before
+// reading a byte of payload.
+
+// maxWireBytes bounds a single frame; a misbehaving peer cannot make the
+// decoder allocate without bound.
+const maxWireBytes = 64 << 20
+
+// frameHeaderLen is the fixed frame header size (big-endian uint32 payload
+// length).
+const frameHeaderLen = 4
+
+// Typed wire errors. Callers can errors.Is against these to distinguish
+// protocol violations from ordinary network failures.
+var (
+	// ErrFrameTooLarge reports a frame whose declared payload exceeds the
+	// session's limit, in either direction.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrTruncatedFrame reports a connection that died mid-frame: the
+	// header promised more payload bytes than arrived.
+	ErrTruncatedFrame = errors.New("transport: truncated frame")
+	// ErrFrameGarbage reports a frame whose payload was not fully consumed
+	// by its gob value — trailing bytes mean the streams have diverged.
+	ErrFrameGarbage = errors.New("transport: trailing garbage in frame")
+)
+
+// frameBuffer feeds one frame's payload to the session's persistent gob
+// decoder. Refilled per frame; Read never crosses a frame boundary.
+type frameBuffer struct {
+	buf []byte
+	pos int
+}
+
+func (f *frameBuffer) Read(p []byte) (int, error) {
+	if f.pos >= len(f.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// ReadByte makes frameBuffer an io.ByteReader so gob reads it directly
+// instead of wrapping it in a read-ahead bufio.Reader — read-ahead would
+// silently drain bytes past the decoded value and break both the drained
+// check and frame alignment.
+func (f *frameBuffer) ReadByte() (byte, error) {
+	if f.pos >= len(f.buf) {
+		return 0, io.EOF
+	}
+	b := f.buf[f.pos]
+	f.pos++
+	return b, nil
+}
+
+func (f *frameBuffer) load(payload []byte) {
+	f.buf = payload
+	f.pos = 0
+}
+
+func (f *frameBuffer) drained() bool { return f.pos >= len(f.buf) }
+
+// session is one framed gob stream over a TCP connection, used by both the
+// client pool and the server handler. Not safe for concurrent use: callers
+// hold a session exclusively for the duration of a request.
+type session struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	enc    *gob.Encoder
+	encBuf bytes.Buffer // staging area: one Encode call = one frame
+
+	dec     *gob.Decoder
+	decBuf  frameBuffer
+	payload []byte // reusable frame payload backing array
+
+	header [frameHeaderLen]byte
+	limit  int // per-frame payload cap
+
+	bytesOut, bytesIn int64 // cumulative traffic on this session
+}
+
+// newSession wraps conn. limit <= 0 selects maxWireBytes.
+func newSession(conn net.Conn, limit int) *session {
+	if limit <= 0 {
+		limit = maxWireBytes
+	}
+	s := &session{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), limit: limit}
+	s.enc = gob.NewEncoder(&s.encBuf)
+	s.dec = gob.NewDecoder(&s.decBuf)
+	return s
+}
+
+// writeMsg encodes v on the persistent gob stream and ships it as one
+// frame. The encode buffer and bufio writer are reused across calls, so a
+// steady-state request allocates no frame machinery.
+func (s *session) writeMsg(v any) error {
+	s.encBuf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	payload := s.encBuf.Bytes()
+	if len(payload) > s.limit {
+		return fmt.Errorf("transport: outgoing frame of %d bytes: %w", len(payload), ErrFrameTooLarge)
+	}
+	binary.BigEndian.PutUint32(s.header[:], uint32(len(payload)))
+	if _, err := s.bw.Write(s.header[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := s.bw.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush frame: %w", err)
+	}
+	s.bytesOut += int64(frameHeaderLen + len(payload))
+	return nil
+}
+
+// readMsg reads one frame and decodes it into v through the persistent gob
+// stream. The payload buffer is reused across calls.
+func (s *session) readMsg(v any) error {
+	if _, err := io.ReadFull(s.br, s.header[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("transport: read frame header: %w", ErrTruncatedFrame)
+		}
+		return err // clean EOF or network error
+	}
+	n := int(binary.BigEndian.Uint32(s.header[:]))
+	if n > s.limit {
+		return fmt.Errorf("transport: incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	if cap(s.payload) < n {
+		s.payload = make([]byte, n)
+	}
+	payload := s.payload[:n]
+	if _, err := io.ReadFull(s.br, payload); err != nil {
+		return fmt.Errorf("transport: read frame payload: %w", ErrTruncatedFrame)
+	}
+	s.bytesIn += int64(frameHeaderLen + n)
+	s.decBuf.load(payload)
+	if err := s.dec.Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	if !s.decBuf.drained() {
+		return ErrFrameGarbage
+	}
+	return nil
+}
+
+// setDeadline bounds the next request/response pair on the wire; zero
+// clears it.
+func (s *session) setDeadline(t time.Time) { _ = s.conn.SetDeadline(t) }
+
+// Close closes the underlying connection.
+func (s *session) Close() error { return s.conn.Close() }

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -16,21 +15,23 @@ import (
 	"epidemic/internal/timestamp"
 )
 
-// Wire protocol: one gob-encoded request and one response per TCP
-// connection. The anti-entropy exchange is the §1.3 recent-update-list
-// scheme: the caller ships its recent updates and live checksum; the
-// server applies them, returns its own recent updates, and when the
-// checksums still disagree the two sides swap full (non-dormant) database
-// contents.
+// Wire protocol: persistent framed sessions (see frame.go) carrying many
+// request/response pairs per TCP connection. The anti-entropy exchange is
+// the §1.3/§1.5 incremental scheme: the caller ships its recent updates
+// and live checksum; on mismatch the two sides peel back through their
+// databases in reverse-timestamp batches, re-comparing checksums after
+// each batch, so a conversation ships O(δ) entries for δ differing keys.
+// A full database swap survives only as a capped last resort.
 type reqKind int
 
 const (
 	reqMail reqKind = iota + 1
 	reqPushRumors
 	reqPullRumors
-	reqSync     // recent updates + checksum
-	reqFullSync // full database exchange after checksum mismatch
+	reqSync     // recent updates + checksum (round 0)
+	reqFullSync // full live-database swap (capped last resort)
 	reqChecksum // live checksum probe (§1.5 combined scheme)
+	reqPeelBack // one reverse-timestamp batch + checksum re-check (§1.3)
 )
 
 // kindName names a request kind for logs and metric labels.
@@ -48,6 +49,8 @@ func (k reqKind) kindName() string {
 		return "full-sync"
 	case reqChecksum:
 		return "checksum"
+	case reqPeelBack:
+		return "peel-back"
 	default:
 		return "unknown"
 	}
@@ -59,7 +62,14 @@ type request struct {
 	Entries  []store.Entry
 	Checksum uint64
 	Now      int64
-	Tau1     int64
+	Tau      int64 // recent-update window (reqSync)
+	Tau1     int64 // death-certificate dormancy threshold
+	// Bound and Limit drive the server's side of the peel-back walk
+	// (reqPeelBack): the server returns up to Limit entries strictly older
+	// than Bound, newest first. The server is stateless across rounds; the
+	// caller echoes back the Bound each response hands it.
+	Bound timestamp.T
+	Limit int
 }
 
 type response struct {
@@ -67,16 +77,33 @@ type response struct {
 	Entries  []store.Entry
 	InSync   bool
 	Checksum uint64
-	Err      string
+	Now      int64
+	// Bound and More resume the server's peel-back walk: Bound is the
+	// oldest index record the server examined, More whether records older
+	// than it remain.
+	Bound timestamp.T
+	More  bool
+	Err   string
 }
 
-// Server exposes a node.Node to remote TCPPeers.
+// Server-side session limits: an idle session is reaped after
+// serverIdleTimeout without a request; a response write gets
+// serverWriteTimeout.
+const (
+	serverIdleTimeout  = 2 * time.Minute
+	serverWriteTimeout = 30 * time.Second
+)
+
+// Server exposes a node.Node to remote TCPPeers over persistent framed
+// sessions.
 type Server struct {
 	node *node.Node
 	ln   net.Listener
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	done bool
+
+	conns map[net.Conn]struct{}
 
 	log      *slog.Logger
 	observer func(kind string, d time.Duration)
@@ -90,7 +117,12 @@ func Serve(n *node.Node, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{node: n, ln: ln, log: slog.New(slog.NewTextHandler(io.Discard, nil))}
+	s := &Server{
+		node:  n,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -126,12 +158,20 @@ func (s *Server) instruments() (*slog.Logger, func(string, time.Duration)) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for in-flight handlers.
+// Close stops accepting, closes every open session, and waits for
+// in-flight handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.done = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -140,6 +180,25 @@ func (s *Server) closing() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.done
+}
+
+// track registers an accepted connection; it reports false (and closes the
+// conn) when the server is already shutting down.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		_ = conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -152,36 +211,65 @@ func (s *Server) acceptLoop() {
 			}
 			continue
 		}
+		if !s.track(conn) {
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
-// maxWireBytes bounds a single gob message; a misbehaving peer cannot make
-// the decoder allocate without bound.
-const maxWireBytes = 64 << 20
-
+// handle serves one persistent session: requests are read and answered on
+// the same framed gob streams until the client disconnects, the session
+// idles out, or the stream breaks.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	sess := newSession(conn, maxWireBytes)
 	log, observe := s.instruments()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	var req request
-	if err := gob.NewDecoder(io.LimitReader(conn, maxWireBytes)).Decode(&req); err != nil {
-		log.Warn("gossip request decode failed", "remote", conn.RemoteAddr().String(), "err", err)
-		return
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(serverIdleTimeout))
+		var req request
+		if err := sess.readMsg(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !s.closing() {
+				log.Warn("gossip session ended abnormally",
+					"remote", conn.RemoteAddr().String(), "err", err)
+			}
+			return
+		}
+		start := time.Now()
+		resp := s.dispatch(req)
+		d := time.Since(start)
+		if observe != nil {
+			observe(req.Kind.kindName(), d)
+		}
+		log.Debug("gossip request served", "kind", req.Kind.kindName(),
+			"from", int(req.From), "entries", len(req.Entries), "dur", d)
+		_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+		if err := sess.writeMsg(&resp); err != nil {
+			log.Warn("gossip response write failed",
+				"remote", conn.RemoteAddr().String(), "err", err)
+			return
+		}
 	}
-	start := time.Now()
-	resp := s.dispatch(req)
-	d := time.Since(start)
-	if observe != nil {
-		observe(req.Kind.kindName(), d)
+}
+
+// peelLimitCap bounds the batch size a remote caller can demand from the
+// server-side peel walk.
+const peelLimitCap = 8192
+
+// clampPeelLimit sanitises a wire-supplied batch size.
+func clampPeelLimit(limit int) int {
+	if limit <= 0 {
+		return core.DefaultPeelBatch
 	}
-	log.Debug("gossip request served", "kind", req.Kind.kindName(),
-		"from", int(req.From), "entries", len(req.Entries), "dur", d)
-	_ = gob.NewEncoder(conn).Encode(resp)
+	if limit > peelLimitCap {
+		return peelLimitCap
+	}
+	return limit
 }
 
 func (s *Server) dispatch(req request) response {
@@ -200,19 +288,44 @@ func (s *Server) dispatch(req request) response {
 		for _, e := range req.Entries {
 			s.node.ApplyRepair(e)
 		}
-		now := st.Now()
-		if req.Now > now {
-			now = req.Now
+		now := maxInt64(st.Now(), req.Now)
+		var recent []store.Entry
+		if req.Tau > 0 {
+			recent = st.RecentUpdates(now, req.Tau)
 		}
-		if st.ChecksumLive(now, req.Tau1) == req.Checksum {
-			return response{InSync: true, Entries: st.RecentUpdates(now, req.Tau1+1)}
+		sum := st.ChecksumLive(now, req.Tau1)
+		return response{
+			Entries:  recent,
+			Checksum: sum,
+			Now:      now,
+			InSync:   sum == req.Checksum,
 		}
-		return response{Entries: liveEntries(st, now, req.Tau1)}
-	case reqFullSync:
+	case reqPeelBack:
+		st := s.node.Store()
 		for _, e := range req.Entries {
 			s.node.ApplyRepair(e)
 		}
-		return response{InSync: true}
+		now := maxInt64(st.Now(), req.Now)
+		batch, next, more := st.PeelBatch(req.Bound, clampPeelLimit(req.Limit), now, req.Tau1)
+		return response{
+			Entries:  batch,
+			Checksum: st.ChecksumLive(now, req.Tau1),
+			Now:      now,
+			Bound:    next,
+			More:     more,
+		}
+	case reqFullSync:
+		st := s.node.Store()
+		for _, e := range req.Entries {
+			s.node.ApplyRepair(e)
+		}
+		now := maxInt64(st.Now(), req.Now)
+		return response{
+			Entries:  st.LiveSnapshot(now, req.Tau1),
+			Checksum: st.ChecksumLive(now, req.Tau1),
+			Now:      now,
+			InSync:   true,
+		}
 	case reqChecksum:
 		st := s.node.Store()
 		return response{Checksum: st.ChecksumLive(st.Now(), req.Tau1)}
@@ -221,31 +334,83 @@ func (s *Server) dispatch(req request) response {
 	}
 }
 
-// liveEntries snapshots all non-dormant entries.
-func liveEntries(st *store.Store, now, tau1 int64) []store.Entry {
-	snap := st.Snapshot()
-	out := snap[:0]
-	for _, e := range snap {
-		if !store.IsDormant(e, now, tau1) {
-			out = append(out, e)
-		}
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
 	}
-	return out
+	return b
 }
 
-// TCPPeer is a node.Peer implemented over the wire protocol above.
+// PeerOptions tunes a TCPPeer's pooled wire protocol. The zero value
+// selects the defaults noted per field.
+type PeerOptions struct {
+	// Timeout is the dial timeout and the per-request deadline (default
+	// 10s). Unlike a per-connection deadline, it re-arms for every
+	// request, so long-lived pooled sessions never time out while healthy
+	// traffic flows.
+	Timeout time.Duration
+	// PoolSize bounds the idle persistent sessions retained per peer
+	// (default 2). Negative disables reuse entirely: every request dials
+	// and closes its own connection (the pre-pool behaviour, kept for
+	// comparison benchmarks).
+	PoolSize int
+	// MaxPeelRounds caps the peel-back batches per anti-entropy
+	// conversation before falling back to a full database swap (default
+	// 32).
+	MaxPeelRounds int
+	// Stats, when set, receives pool and wire-traffic accounting; share
+	// one WireStats across all peers of a process.
+	Stats *WireStats
+}
+
+// Defaults for PeerOptions zero values.
+const (
+	defaultPeerTimeout   = 10 * time.Second
+	defaultPoolSize      = 2
+	defaultMaxPeelRounds = 32
+)
+
+func (o PeerOptions) withDefaults() PeerOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = defaultPeerTimeout
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = defaultPoolSize
+	}
+	if o.MaxPeelRounds <= 0 {
+		o.MaxPeelRounds = defaultMaxPeelRounds
+	}
+	return o
+}
+
+// TCPPeer is a node.Peer implemented over the pooled wire protocol above.
+// All methods are safe for concurrent use; concurrent requests each check
+// a session out of the pool (dialing extras as needed).
 type TCPPeer struct {
-	id      timestamp.SiteID
-	addr    string
-	timeout time.Duration
+	id   timestamp.SiteID
+	addr string
+	opts PeerOptions
+	pool *pool
 }
 
 var _ node.Peer = (*TCPPeer)(nil)
 
-// NewTCPPeer addresses a remote replica. The caller supplies the remote
-// site ID (the membership list carries IDs alongside addresses).
+// NewTCPPeer addresses a remote replica with default options. The caller
+// supplies the remote site ID (the membership list carries IDs alongside
+// addresses).
 func NewTCPPeer(id timestamp.SiteID, addr string) *TCPPeer {
-	return &TCPPeer{id: id, addr: addr, timeout: 30 * time.Second}
+	return NewTCPPeerWith(id, addr, PeerOptions{})
+}
+
+// NewTCPPeerWith addresses a remote replica with explicit options.
+func NewTCPPeerWith(id timestamp.SiteID, addr string, opts PeerOptions) *TCPPeer {
+	opts = opts.withDefaults()
+	return &TCPPeer{
+		id:   id,
+		addr: addr,
+		opts: opts,
+		pool: newPool(addr, opts.PoolSize, opts.Timeout, opts.Stats),
+	}
 }
 
 // ID implements node.Peer.
@@ -254,19 +419,18 @@ func (p *TCPPeer) ID() timestamp.SiteID { return p.id }
 // Addr returns the remote address.
 func (p *TCPPeer) Addr() string { return p.addr }
 
+// Close releases the peer's pooled connections. The peer remains usable;
+// subsequent requests dial fresh.
+func (p *TCPPeer) Close() error {
+	p.pool.close()
+	return nil
+}
+
+// roundTrip runs one request over the pool and surfaces remote errors.
 func (p *TCPPeer) roundTrip(req request) (response, error) {
-	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
-	if err != nil {
-		return response{}, fmt.Errorf("transport: dial %s: %w", p.addr, err)
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(p.timeout))
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
-		return response{}, fmt.Errorf("transport: send to %s: %w", p.addr, err)
-	}
 	var resp response
-	if err := gob.NewDecoder(io.LimitReader(conn, maxWireBytes)).Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("transport: receive from %s: %w", p.addr, err)
+	if _, _, err := p.pool.roundTrip(&req, &resp); err != nil {
+		return response{}, fmt.Errorf("transport: %s: %w", p.addr, err)
 	}
 	if resp.Err != "" {
 		return response{}, errors.New("transport: remote error: " + resp.Err)
@@ -307,29 +471,121 @@ func (p *TCPPeer) Checksum(tau1 int64) (uint64, error) {
 	return resp.Checksum, nil
 }
 
-// AntiEntropy implements node.Peer: the recent-update-list exchange of
-// §1.3 over the wire, falling back to a full swap on checksum mismatch.
+// AntiEntropy implements node.Peer: the §1.3/§1.5 incremental exchange
+// over the wire. Round 0 swaps recent-update lists and compares live
+// checksums; on mismatch the two sides peel back through their databases
+// in reverse-timestamp batches, re-comparing checksums after every batch
+// and stopping as soon as they agree — O(δ) entries shipped for δ
+// differing keys. Only when MaxPeelRounds batches have not reconciled the
+// replicas does the conversation degrade to the full swap.
 func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
 	var st core.ExchangeStats
+	var bytesOut, bytesIn int64
+	rpc := func(req request) (response, error) {
+		req.From = local.Site()
+		var resp response
+		o, i, err := p.pool.roundTrip(&req, &resp)
+		bytesOut += o
+		bytesIn += i
+		if err != nil {
+			return response{}, fmt.Errorf("transport: %s: %w", p.addr, err)
+		}
+		if resp.Err != "" {
+			return response{}, errors.New("transport: remote error: " + resp.Err)
+		}
+		return resp, nil
+	}
+	finish := func() {
+		p.opts.Stats.noteExchange(st.EntriesSent, st.EntriesReceived, bytesOut, bytesIn)
+	}
+
 	now := local.Now()
-	recent := local.RecentUpdates(now, cfg.Tau)
-	resp, err := p.roundTrip(request{
+	var recent []store.Entry
+	if cfg.Tau > 0 {
+		recent = local.RecentUpdates(now, cfg.Tau)
+	}
+	resp, err := rpc(request{
 		Kind:     reqSync,
-		From:     local.Site(),
 		Entries:  recent,
 		Checksum: local.ChecksumLive(now, cfg.Tau1),
 		Now:      now,
+		Tau:      cfg.Tau,
 		Tau1:     cfg.Tau1,
 	})
 	if err != nil {
 		return st, err
 	}
 	st.EntriesSent += len(recent)
+	applyReceived(local, resp.Entries, &st)
+	now = maxInt64(now, resp.Now)
 	st.ChecksumsCompared++
-	for _, e := range resp.Entries {
-		st.EntriesSent++
-		res := local.Apply(e)
-		if res.Changed() {
+	if local.ChecksumLive(now, cfg.Tau1) == resp.Checksum {
+		finish()
+		return st, nil
+	}
+
+	// Checksums disagree: peel back in reverse-timestamp batches until
+	// they do, both sides walking their own index (§1.3).
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = core.DefaultPeelBatch
+	}
+	localBound, remoteBound := store.PeelStart, store.PeelStart
+	localMore, remoteMore := true, true
+	for round := 0; round < p.opts.MaxPeelRounds; round++ {
+		var mine []store.Entry
+		if localMore {
+			mine, localBound, localMore = local.PeelBatch(localBound, batch, now, cfg.Tau1)
+		}
+		resp, err := rpc(request{
+			Kind:    reqPeelBack,
+			Entries: mine,
+			Bound:   remoteBound,
+			Limit:   batch,
+			Now:     now,
+			Tau1:    cfg.Tau1,
+		})
+		if err != nil {
+			return st, err
+		}
+		st.EntriesSent += len(mine)
+		applyReceived(local, resp.Entries, &st)
+		remoteBound, remoteMore = resp.Bound, resp.More
+		now = maxInt64(now, resp.Now)
+		st.ChecksumsCompared++
+		if local.ChecksumLive(now, cfg.Tau1) == resp.Checksum {
+			finish()
+			return st, nil
+		}
+		if !localMore && !remoteMore {
+			// Both walks exhausted: every shippable entry crossed the
+			// wire; remaining differences are dormant certificates the
+			// protocol must not propagate (§2.2).
+			finish()
+			return st, nil
+		}
+	}
+
+	// Capped last resort: the peel budget is spent and the replicas still
+	// disagree — swap full live databases in one round trip.
+	st.FullCompare = true
+	full := local.LiveSnapshot(now, cfg.Tau1)
+	resp, err = rpc(request{Kind: reqFullSync, Entries: full, Now: now, Tau1: cfg.Tau1})
+	if err != nil {
+		return st, err
+	}
+	st.EntriesSent += len(full)
+	applyReceived(local, resp.Entries, &st)
+	finish()
+	return st, nil
+}
+
+// applyReceived merges entries the peer shipped into the local store,
+// attributing traffic and repairs to the exchange stats.
+func applyReceived(local *store.Store, entries []store.Entry, st *core.ExchangeStats) {
+	for _, e := range entries {
+		st.EntriesReceived++
+		if local.Apply(e).Changed() {
 			st.EntriesApplied++
 			st.AppliedKeys = append(st.AppliedKeys, e.Key)
 			if st.AppliedBySite == nil {
@@ -338,16 +594,4 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 			st.AppliedBySite[local.Site()] = append(st.AppliedBySite[local.Site()], e.Key)
 		}
 	}
-	if resp.InSync {
-		return st, nil
-	}
-	// Checksums disagreed: the server already sent its full contents;
-	// ship ours back.
-	st.FullCompare = true
-	full := liveEntries(local, now, cfg.Tau1)
-	if _, err := p.roundTrip(request{Kind: reqFullSync, From: local.Site(), Entries: full}); err != nil {
-		return st, err
-	}
-	st.EntriesSent += len(full)
-	return st, nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -106,9 +107,10 @@ func TestTCPAntiEntropyRepairsBothDirections(t *testing.T) {
 	}
 }
 
-func TestTCPAntiEntropyFullFallback(t *testing.T) {
+func TestTCPAntiEntropyPeelBackAvoidsFullSwap(t *testing.T) {
 	a, b := tcpPair(t)
-	// Old divergence outside any recent window forces the full path.
+	// Old divergence outside any recent window: the wire protocol must
+	// repair it by peeling back, never by swapping full databases.
 	a.Store().Update("old", store.Value("x"))
 	st, err := a.Peers()[0].AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0,
@@ -116,18 +118,41 @@ func TestTCPAntiEntropyFullFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st.FullCompare {
-		t.Error("expected full-compare fallback")
+	if st.FullCompare {
+		t.Errorf("peel-back should have repaired without a full swap: %+v", st)
 	}
 	if !store.ContentEqual(a.Store(), b.Store()) {
-		t.Fatal("replicas differ after fallback")
+		t.Fatal("replicas differ after peel-back")
+	}
+}
+
+func TestTCPAntiEntropyFullSwapLastResort(t *testing.T) {
+	a, b := tcpPair(t)
+	// More divergence than one peel round can move (batch 4, one round
+	// each way) forces the capped full-swap fallback.
+	for i := 0; i < 50; i++ {
+		a.Store().Update(fmt.Sprintf("only-a-%02d", i), store.Value("x"))
+	}
+	peer := NewTCPPeerWith(2, a.Peers()[0].(*TCPPeer).Addr(), PeerOptions{MaxPeelRounds: 1})
+	defer peer.Close()
+	st, err := peer.AntiEntropy(core.ResolveConfig{
+		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0, BatchSize: 4,
+	}, a.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullCompare {
+		t.Errorf("expected full-swap last resort: %+v", st)
+	}
+	if !store.ContentEqual(a.Store(), b.Store()) {
+		t.Fatal("replicas differ after full swap")
 	}
 }
 
 func TestTCPPeerUnreachable(t *testing.T) {
 	a, _ := tcpPair(t)
-	dead := NewTCPPeer(3, "127.0.0.1:1") // nothing listens here
-	dead.timeout = 200 * time.Millisecond
+	// Nothing listens here; a short timeout keeps the test fast.
+	dead := NewTCPPeerWith(3, "127.0.0.1:1", PeerOptions{Timeout: 200 * time.Millisecond})
 	if err := dead.Mail(store.Entry{Key: "k"}); err == nil {
 		t.Error("mail to dead peer succeeded")
 	}
@@ -204,6 +229,55 @@ func TestTCPClusterConvergence(t *testing.T) {
 		}
 	}
 	t.Fatal("TCP cluster never converged")
+}
+
+// TestTCPPeelBackShipsOrderDelta is the tentpole property: with 10 000
+// shared entries and 10 differing ones, the wire conversation moves O(δ)
+// entries, not the database.
+func TestTCPPeelBackShipsOrderDelta(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	remote, err := node.New(node.Config{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(remote, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := store.New(1, src.ClockAt(1))
+	const shared, delta = 10_000, 10
+	for i := 0; i < shared; i++ {
+		e := local.Update(fmt.Sprintf("k%05d", i), store.Value("v"))
+		remote.Store().Apply(e)
+		src.Advance(1)
+	}
+	for i := 0; i < delta; i++ {
+		local.Update(fmt.Sprintf("fresh%02d", i), store.Value("new"))
+		src.Advance(1)
+	}
+	src.Advance(100) // push the divergence outside any recent window
+
+	peer := NewTCPPeer(2, srv.Addr())
+	defer peer.Close()
+	st, err := peer.AntiEntropy(core.ResolveConfig{
+		Mode: core.PushPull, Strategy: core.CompareRecent,
+		Tau: 10, Tau1: 1 << 40, BatchSize: 64,
+	}, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullCompare {
+		t.Fatalf("peel-back degraded to a full swap: %+v", st)
+	}
+	if !store.ContentEqual(local, remote.Store()) {
+		t.Fatal("replicas differ after peel-back")
+	}
+	// A couple of 64-entry batches each way, nowhere near 10 000.
+	if moved := st.Transferred(); moved > 6*64 {
+		t.Errorf("peel-back moved %d entries for a %d-entry delta", moved, delta)
+	}
 }
 
 func TestServerRejectsGarbageBytes(t *testing.T) {
