@@ -1,10 +1,13 @@
 GO ?= go
 
 # BENCH_OUT numbers the machine-readable bench report; bump per PR.
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 BENCH_BASELINE ?= docs/bench-seed.txt
+# STORE_BENCH pins the store microbenchmarks to a fixed iteration count
+# and a -cpu sweep so sharded-vs-mutex ratios are comparable across runs.
+STORE_BENCH = -run '^$$' -bench BenchmarkStore -benchtime=200000x -cpu 1,4,8 -benchmem ./internal/store
 
-.PHONY: all build test check race cover bench bench-transport experiments fuzz obs-smoke clean
+.PHONY: all build test check race cover bench bench-store bench-transport experiments fuzz obs-smoke clean
 
 all: build test check
 
@@ -15,10 +18,13 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# check is the pre-merge gate: static analysis, the race detector over
-# the whole module (daemons included), and the observability smoke test.
+# check is the pre-merge gate: static analysis, a fast race pass over the
+# sharded store (the most concurrency-sensitive package), the race
+# detector over the whole module (daemons included), and the
+# observability smoke test.
 check:
 	$(GO) vet ./...
+	$(GO) test -race -count=1 ./internal/store/...
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
 
@@ -34,13 +40,20 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# bench runs the full benchmark suite once per benchmark and converts
-# the output into $(BENCH_OUT): ns/op, B/op, allocs/op and the paper
-# metrics per benchmark, with the seed-state baseline numbers embedded
-# for before/after comparison.
+# bench runs the full benchmark suite once per benchmark, appends the
+# store -cpu sweep, and converts the output into $(BENCH_OUT): ns/op,
+# B/op, allocs/op and the paper metrics per benchmark, with the
+# seed-state baseline numbers embedded for before/after comparison.
 bench:
 	$(GO) test -bench . -benchtime=1x -benchmem . | tee bench_output.txt
+	$(GO) test $(STORE_BENCH) | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < bench_output.txt
+
+# bench-store compares the sharded store against a single-mutex replica
+# of the seed design on mixed Get/Update/Checksum/RecentUpdates
+# workloads at 1, 4 and 8 procs (see internal/store/bench_test.go).
+bench-store:
+	$(GO) test $(STORE_BENCH)
 
 # bench-transport measures the wire protocol in isolation: pooled vs
 # dial-per-request exchanges and the O(δ) peel-back mismatch benchmark,

@@ -28,7 +28,11 @@ import (
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
-	Name    string             `json:"name"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix go test appended to the name (the
+	// "-8" in "BenchmarkFoo-8"), zero when absent. A -cpu 1,4,8 run emits
+	// the same name at several procs values; this field keeps them apart.
+	Procs   int                `json:"procs,omitempty"`
 	Runs    int64              `json:"runs"`
 	Metrics map[string]float64 `json:"metrics"`
 	// Speedup is baseline ns/op divided by this run's ns/op; present
@@ -100,13 +104,23 @@ func run(in io.Reader, out, baselinePath string) error {
 			CPU:        baseHeader["cpu"],
 			Benchmarks: base,
 		}
-		baseNs := make(map[string]float64, len(base))
+		// Match baseline entries by (name, procs) first so -cpu sweeps
+		// compare like with like, falling back to name alone for baselines
+		// recorded before procs mattered.
+		baseNs := make(map[string]float64, 2*len(base))
 		for _, b := range base {
-			baseNs[b.Name] = b.Metrics["ns/op"]
+			baseNs[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b.Metrics["ns/op"]
+			if _, ok := baseNs[b.Name]; !ok {
+				baseNs[b.Name] = b.Metrics["ns/op"]
+			}
 		}
 		for i := range report.Benchmarks {
 			b := &report.Benchmarks[i]
-			if prev, ok := baseNs[b.Name]; ok && b.Metrics["ns/op"] > 0 {
+			prev, ok := baseNs[fmt.Sprintf("%s-%d", b.Name, b.Procs)]
+			if !ok {
+				prev, ok = baseNs[b.Name]
+			}
+			if ok && b.Metrics["ns/op"] > 0 {
 				b.Speedup = prev / b.Metrics["ns/op"]
 			}
 		}
@@ -154,11 +168,13 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	if len(fields) < 4 {
 		return Benchmark{}, false
 	}
-	// Strip the -<GOMAXPROCS> suffix go test appends to the name.
+	// Strip the -<GOMAXPROCS> suffix go test appends to the name, keeping
+	// its value so -cpu sweeps stay distinguishable.
 	name := fields[0]
+	procs := 0
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
 		}
 	}
 	runs, err := strconv.ParseInt(fields[1], 10, 64)
@@ -173,5 +189,5 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		}
 		metrics[fields[i+1]] = v
 	}
-	return Benchmark{Name: name, Runs: runs, Metrics: metrics}, true
+	return Benchmark{Name: name, Procs: procs, Runs: runs, Metrics: metrics}, true
 }

@@ -38,6 +38,12 @@ func TestParseBench(t *testing.T) {
 	if b.Name != "BenchmarkTable1" {
 		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
 	}
+	if b.Procs != 8 {
+		t.Errorf("procs = %d, want 8 (from the -8 suffix)", b.Procs)
+	}
+	if benches[1].Procs != 0 {
+		t.Errorf("procs = %d, want 0 when the name has no suffix", benches[1].Procs)
+	}
 	if b.Runs != 2 {
 		t.Errorf("runs = %d", b.Runs)
 	}
@@ -88,5 +94,56 @@ func TestRunWithBaseline(t *testing.T) {
 func TestRunRejectsEmptyInput(t *testing.T) {
 	if err := run(strings.NewReader("nothing here\n"), "", ""); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// A -cpu 1,4,8 sweep repeats each benchmark name at several procs values;
+// the parser must keep them apart and the baseline matcher must pair each
+// with the same-procs baseline line, not the first name match.
+func TestCPUSweepProcs(t *testing.T) {
+	const sweep = `BenchmarkMix/sharded 	 200000	 1000 ns/op
+BenchmarkMix/sharded-4 	 200000	  500 ns/op
+BenchmarkMix/sharded-8 	 200000	  250 ns/op
+PASS
+`
+	const sweepBase = `BenchmarkMix/sharded 	 200000	 2000 ns/op
+BenchmarkMix/sharded-4 	 200000	 2000 ns/op
+BenchmarkMix/sharded-8 	 200000	 2000 ns/op
+PASS
+`
+	benches, _, err := parseBench(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	for i, want := range []int{0, 4, 8} {
+		if benches[i].Name != "BenchmarkMix/sharded" || benches[i].Procs != want {
+			t.Errorf("benches[%d] = %q procs %d, want procs %d", i, benches[i].Name, benches[i].Procs, want)
+		}
+	}
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sweepBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.json")
+	if err := run(strings.NewReader(sweep), outPath, basePath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 4, 8} {
+		if got := rep.Benchmarks[i].Speedup; got != want {
+			t.Errorf("speedup at procs %d = %v, want %v", rep.Benchmarks[i].Procs, got, want)
+		}
 	}
 }

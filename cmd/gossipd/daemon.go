@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,12 @@ type daemonConfig struct {
 	poolSize        int
 	peelBatch       int
 	exchangeTimeout time.Duration
+	// storeShards sets the replica store's lock-stripe count (0 = default).
+	storeShards int
+	// mutexProfileFraction/blockProfileRate feed the runtime profilers so
+	// /debug/pprof/{mutex,block} can show lock contention (0 = disabled).
+	mutexProfileFraction int
+	blockProfileRate     int
 }
 
 // peerOptions derives the outbound wire options every peer of this daemon
@@ -100,6 +107,14 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Lock-contention sampling must be on before any contention happens for
+	// the pprof endpoints to have data; both default to off (zero cost).
+	if cfg.mutexProfileFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.mutexProfileFraction)
+	}
+	if cfg.blockProfileRate > 0 {
+		runtime.SetBlockProfileRate(cfg.blockProfileRate)
+	}
 	n, err := epidemic.NewNode(epidemic.NodeConfig{
 		Site:   epidemic.SiteID(cfg.site),
 		Logger: logger,
@@ -121,6 +136,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		RumorEvery:         cfg.rumPer,
 		SnapshotPath:       cfg.data,
 		SnapshotEvery:      time.Minute,
+		StoreShards:        cfg.storeShards,
 	})
 	if err != nil {
 		return nil, err

@@ -29,7 +29,10 @@
 // Observability: -admin host:port serves /metrics (Prometheus text
 // format), /healthz (JSON), /events (recent node events as JSON) and
 // /debug/pprof/* on a separate HTTP listener; -log-level and -log-format
-// control structured logging to stderr.
+// control structured logging to stderr. -mutex-profile-fraction and
+// -block-profile-rate enable runtime lock-contention sampling so
+// /debug/pprof/mutex and /debug/pprof/block show store and protocol
+// contention; -store-shards sets the replica store's lock-stripe count.
 package main
 
 import (
@@ -69,6 +72,9 @@ func main() {
 	flag.IntVar(&cfg.poolSize, "pool-size", 2, "persistent gossip connections kept per peer (negative = dial per request)")
 	flag.IntVar(&cfg.peelBatch, "peel-batch", 0, "entries per peel-back batch during anti-entropy (0 = default)")
 	flag.DurationVar(&cfg.exchangeTimeout, "exchange-timeout", 10*time.Second, "per-request deadline on outbound gossip")
+	flag.IntVar(&cfg.storeShards, "store-shards", 0, "replica store lock stripes, rounded up to a power of two (0 = default)")
+	flag.IntVar(&cfg.mutexProfileFraction, "mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off)")
+	flag.IntVar(&cfg.blockProfileRate, "block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns for /debug/pprof/block (0 = off)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {

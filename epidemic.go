@@ -159,6 +159,7 @@ const (
 	MetricHotRumors           = obs.MetricHotRumors
 	MetricPeers               = obs.MetricPeers
 	MetricStoreKeys           = obs.MetricStoreKeys
+	MetricStoreShards         = obs.MetricStoreShards
 	MetricTransportRequests   = obs.MetricTransportRequests
 	MetricTransportSeconds    = obs.MetricTransportSeconds
 )
@@ -237,6 +238,15 @@ func NewTCPPeerWith(id SiteID, addr string, opts TCPPeerOptions) *TCPPeer {
 
 // NewStore builds a bare replica store (most users want NewNode instead).
 func NewStore(site SiteID, clock Clock) *Store { return store.New(site, clock) }
+
+// NewShardedStore builds a bare replica store with an explicit lock-stripe
+// count (rounded up to a power of two; <= 0 selects DefaultStoreShards).
+func NewShardedStore(site SiteID, clock Clock, shards int) *Store {
+	return store.NewSharded(site, clock, shards)
+}
+
+// DefaultStoreShards is the store's default lock-stripe count.
+const DefaultStoreShards = store.DefaultShards
 
 // NewSimulatedClock builds a shared simulated time source.
 func NewSimulatedClock(start int64) *SimulatedClock { return timestamp.NewSimulated(start) }

@@ -53,10 +53,12 @@ func (h *HotList) Remove(key string) { delete(h.items, key) }
 func (h *HotList) Len() int { return len(h.items) }
 
 // IsHot reports whether key is currently a hot rumor with the given stamp
-// or newer.
-func (h *HotList) IsHot(key string) bool {
-	_, ok := h.items[key]
-	return ok
+// or newer. A rumor hot for an older stamp does not count — the list would
+// be spreading a version the caller already knows to be superseded. Pass
+// timestamp.Zero to ask whether key is hot for any stamp.
+func (h *HotList) IsHot(key string, stamp timestamp.T) bool {
+	it, ok := h.items[key]
+	return ok && !it.stamp.Less(stamp)
 }
 
 // Keys returns the hot keys, sorted for determinism.

@@ -15,14 +15,14 @@ func TestHotListAddRemove(t *testing.T) {
 	h := newTestHotList(RumorConfig{K: 2, Counter: true, Feedback: true, Mode: Push})
 	ts := timestamp.T{Time: 1, Site: 1}
 	h.Add("k", ts)
-	if !h.IsHot("k") || h.Len() != 1 {
+	if !h.IsHot("k", ts) || h.Len() != 1 {
 		t.Fatal("Add failed")
 	}
 	if got, ok := h.Stamp("k"); !ok || got != ts {
 		t.Fatalf("Stamp = %v, %v", got, ok)
 	}
 	h.Remove("k")
-	if h.IsHot("k") || h.Len() != 0 {
+	if h.IsHot("k", ts) || h.Len() != 0 {
 		t.Fatal("Remove failed")
 	}
 	if _, ok := h.Stamp("k"); ok {
@@ -37,11 +37,11 @@ func TestHotListAddNewerStampResets(t *testing.T) {
 	h.Add("k", timestamp.T{Time: 5})
 	// Fresh stamp resets the counter: two more unnecessary shares needed.
 	h.Feedback("k", false)
-	if !h.IsHot("k") {
+	if !h.IsHot("k", timestamp.T{Time: 5}) {
 		t.Fatal("rumor removed after one unnecessary share post-refresh")
 	}
 	h.Feedback("k", false)
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 5}) {
 		t.Fatal("counter exhaustion did not remove rumor")
 	}
 }
@@ -55,7 +55,7 @@ func TestHotListAddOlderStampKeepsState(t *testing.T) {
 		t.Fatalf("stamp regressed: %v", got)
 	}
 	h.Feedback("k", false)
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 5}) {
 		t.Fatal("counter should have carried over")
 	}
 }
@@ -66,11 +66,11 @@ func TestHotListCounterFeedbackResets(t *testing.T) {
 	h.Feedback("k", false) // unnecessary: 1
 	h.Feedback("k", true)  // useful: reset
 	h.Feedback("k", false) // unnecessary: 1
-	if !h.IsHot("k") {
+	if !h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("reset did not happen")
 	}
 	h.Feedback("k", false) // unnecessary: 2 => removed
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("not removed at k")
 	}
 }
@@ -81,7 +81,7 @@ func TestHotListNoCounterReset(t *testing.T) {
 	h.Feedback("k", false)
 	h.Feedback("k", true) // useful, but cumulative counter keeps its value
 	h.Feedback("k", false)
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("cumulative counter should have removed rumor")
 	}
 }
@@ -91,7 +91,7 @@ func TestHotListBlindIgnoresNeeded(t *testing.T) {
 	h.Add("k", timestamp.T{Time: 1})
 	h.Feedback("k", true) // blind: counts regardless
 	h.Feedback("k", true)
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("blind counter did not remove after k shares")
 	}
 }
@@ -101,12 +101,35 @@ func TestHotListCoin(t *testing.T) {
 	h := newTestHotList(RumorConfig{K: 1, Feedback: true, Mode: Push})
 	h.Add("k", timestamp.T{Time: 1})
 	h.Feedback("k", true) // useful: never removes with feedback
-	if !h.IsHot("k") {
+	if !h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("useful share removed coin rumor")
 	}
 	h.Feedback("k", false)
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("coin k=1 must remove on unnecessary share")
+	}
+}
+
+// TestHotListIsHotHonorsStamp is the regression test for the documented
+// contract: IsHot(key, stamp) is true only when the rumor is hot with that
+// stamp or a newer one.
+func TestHotListIsHotHonorsStamp(t *testing.T) {
+	h := newTestHotList(DefaultRumorConfig())
+	h.Add("k", timestamp.T{Time: 5, Site: 1})
+	if !h.IsHot("k", timestamp.T{Time: 5, Site: 1}) {
+		t.Fatal("exact stamp must count as hot")
+	}
+	if !h.IsHot("k", timestamp.T{Time: 3}) {
+		t.Fatal("a rumor hot with a newer stamp satisfies an older query")
+	}
+	if h.IsHot("k", timestamp.T{Time: 7}) {
+		t.Fatal("a rumor hot with an older stamp must not satisfy a newer query")
+	}
+	if !h.IsHot("k", timestamp.Zero) {
+		t.Fatal("the zero stamp asks for any-stamp hotness")
+	}
+	if h.IsHot("missing", timestamp.Zero) {
+		t.Fatal("unknown key reported hot")
 	}
 }
 
@@ -130,15 +153,15 @@ func TestHotListCycleFeedback(t *testing.T) {
 	h := newTestHotList(RumorConfig{K: 1, Counter: true, Feedback: true, Mode: Pull})
 	h.Add("k", timestamp.T{Time: 1})
 	h.CycleFeedback("k", 0, false) // served nobody: unchanged
-	if !h.IsHot("k") {
+	if !h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("no-op cycle removed rumor")
 	}
 	h.CycleFeedback("k", 2, true) // someone needed it: reset
-	if !h.IsHot("k") {
+	if !h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("useful cycle removed rumor")
 	}
 	h.CycleFeedback("k", 2, false) // all unnecessary: +1 => removed at k=1
-	if h.IsHot("k") {
+	if h.IsHot("k", timestamp.T{Time: 1}) {
 		t.Fatal("unnecessary cycle did not remove rumor")
 	}
 }

@@ -79,6 +79,9 @@ type Config struct {
 	// the paper assumes replicas live on.
 	SnapshotPath  string
 	SnapshotEvery time.Duration
+	// StoreShards is the replica store's lock-stripe count, rounded up to a
+	// power of two; 0 selects store.DefaultShards.
+	StoreShards int
 	// Seed seeds this node's private RNG; 0 derives one from the site ID.
 	Seed int64
 	// OnEvent, when set, receives lifecycle events (exchanges, rumor
@@ -175,7 +178,7 @@ func New(cfg Config) (*Node, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := &Node{
 		cfg:   cfg,
-		store: store.New(cfg.Site, cfg.Clock),
+		store: store.NewSharded(cfg.Site, cfg.Clock, cfg.StoreShards),
 		log:   logger.With("site", int(cfg.Site)),
 		rng:   rng,
 		hot:   core.NewHotList(cfg.Rumor, rng),

@@ -26,6 +26,7 @@ const (
 	MetricHotRumors           = "epidemic_hot_rumors"
 	MetricPeers               = "epidemic_peers"
 	MetricStoreKeys           = "epidemic_store_keys"
+	MetricStoreShards         = "epidemic_store_shards"
 
 	// Transport-side names, fed from transport.Server.SetObserver by the
 	// daemon (the kind label carries the request kind: mail, push-rumors,
@@ -105,6 +106,8 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 		func() float64 { return float64(len(n.Peers())) }, labels...)
 	reg.GaugeFunc(MetricStoreKeys, "Keys held by the replica, death certificates included.",
 		func() float64 { return float64(len(n.Store().Keys())) }, labels...)
+	reg.Gauge(MetricStoreShards, "Lock stripes (shards) in the replica store.",
+		labels...).Set(float64(n.Store().ShardCount()))
 
 	// The propagation histogram is shared (no site label): the delay
 	// distribution is a cluster-wide observable, t_last/t_avg in seconds.

@@ -41,6 +41,9 @@ type ClusterConfig struct {
 	Network     *topology.Network
 	SpatialForm spatial.Form
 	SpatialA    float64
+	// StoreShards is forwarded to every node's replica store (lock-stripe
+	// count, 0 = default).
+	StoreShards int
 	// Seed makes runs reproducible.
 	Seed int64
 	// TickPerCycle advances the simulated clock this much each cycle
@@ -94,6 +97,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Tau2:               cfg.Tau2,
 			RetentionCount:     cfg.RetentionCount,
 			DirectMailOnUpdate: cfg.DirectMailOnUpdate,
+			StoreShards:        cfg.StoreShards,
 			Seed:               cfg.Seed + int64(i) + 1,
 		})
 		if err != nil {

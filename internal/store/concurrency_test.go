@@ -67,6 +67,111 @@ func TestStoreConcurrentAccess(t *testing.T) {
 	}
 }
 
+// assertReverseStamped fails the test if entries are not strictly
+// descending by ordinary timestamp (the merged-ordering invariant every
+// reverse-timestamp read must uphold, storm or no storm).
+func assertReverseStamped(t *testing.T, where string, entries []Entry) {
+	t.Helper()
+	for i := 1; i < len(entries); i++ {
+		if !entries[i].Stamp.Less(entries[i-1].Stamp) {
+			t.Errorf("%s: entries[%d]=%v not strictly older than entries[%d]=%v",
+				where, i, entries[i].Stamp, i-1, entries[i-1].Stamp)
+			return
+		}
+	}
+}
+
+// TestStoreConcurrentMergedReads hammers the k-way-merged read paths —
+// RecentUpdates, NewestFirst, and the PeelBatch walk — while writers churn
+// every shard. Run with -race. Each merged result must be strictly
+// reverse-timestamp ordered even mid-storm, and after the storm the folded
+// per-shard checksum must match a full recomputation.
+func TestStoreConcurrentMergedReads(t *testing.T) {
+	src := timestamp.NewSimulated(1)
+	s := New(1, src.ClockAt(1))
+	for i := 0; i < 200; i++ {
+		s.Update(fmt.Sprintf("seed%03d", i), Value{byte(i)})
+		src.Advance(1)
+	}
+
+	const writers, readers, iters = 4, 4, 300
+	var wgW, wgR sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0:
+					s.Update(fmt.Sprintf("w%d-%03d", w, i), Value{byte(i)})
+				case 1:
+					s.Update(fmt.Sprintf("seed%03d", (w*31+i)%200), Value{byte(w)})
+				case 2:
+					s.Delete(fmt.Sprintf("d%d-%03d", w, i), []timestamp.SiteID{1})
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wgR.Add(1)
+		go func(r int) {
+			defer wgR.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (r + i) % 3 {
+				case 0:
+					assertReverseStamped(t, "RecentUpdates", s.RecentUpdates(s.Now(), 1<<40))
+				case 1:
+					assertReverseStamped(t, "NewestFirst", s.NewestFirst(32))
+				case 2:
+					// One full peel walk; each batch must be ordered and the
+					// resume bound must strictly decrease, so the walk
+					// terminates even while writers insert behind it.
+					bound := PeelStart
+					for {
+						batch, next, more := s.PeelBatch(bound, 16, s.Now(), 1<<40)
+						assertReverseStamped(t, "PeelBatch", batch)
+						if !more {
+							break
+						}
+						if !next.Less(bound) {
+							t.Errorf("PeelBatch bound did not advance: %v -> %v", bound, next)
+							return
+						}
+						bound = next
+					}
+				}
+			}
+		}(r)
+	}
+	// Readers keep merging until every writer has finished, so the merged
+	// paths are exercised against live mutation for the whole storm.
+	wgW.Wait()
+	close(stop)
+	wgR.Wait()
+
+	// Folded checksum matches a full recomputation after the storm.
+	var sum uint64
+	snap := s.Snapshot()
+	for _, e := range snap {
+		sum ^= e.hash()
+	}
+	if sum != s.Checksum() {
+		t.Error("folded checksum diverged from full recomputation")
+	}
+	// The quiescent merged walk is exactly the store, strictly ordered.
+	all := s.NewestFirst(0)
+	if len(all) != len(snap) {
+		t.Errorf("NewestFirst(0) has %d entries, store has %d", len(all), len(snap))
+	}
+	assertReverseStamped(t, "NewestFirst(0) quiescent", all)
+}
+
 // Two stores resolving against each other from multiple goroutines must
 // stay internally consistent (ResolveDifference locks per-operation, not
 // globally, so interleavings are real).

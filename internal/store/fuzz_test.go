@@ -47,6 +47,44 @@ func FuzzApply(f *testing.F) {
 		if len(s.NewestFirst(0)) != s.Len() {
 			t.Fatal("index size mismatch")
 		}
+		// The global checksum is exactly the XOR fold of per-shard sums,
+		// and every shard sum matches its own content.
+		var fold uint64
+		for i := range s.shards {
+			sh := &s.shards[i]
+			var shardSum uint64
+			for _, se := range sh.entries {
+				shardSum ^= se.hash()
+			}
+			if shardSum != sh.sum {
+				t.Fatalf("shard %d sum diverged from its entries", i)
+			}
+			fold ^= sh.sum
+		}
+		if fold != s.Checksum() {
+			t.Fatal("per-shard fold diverged from Checksum")
+		}
+		// Snapshot is exactly the union of the shard snapshots: same size,
+		// and every shard entry appears under its own key.
+		snap := s.Snapshot()
+		byKey := make(map[string]Entry, len(snap))
+		for _, se := range snap {
+			byKey[se.Key] = se
+		}
+		perShard := 0
+		for i := range s.shards {
+			sh := &s.shards[i]
+			perShard += len(sh.entries)
+			for k, se := range sh.entries {
+				got, ok := byKey[k]
+				if !ok || got.Stamp != se.Stamp {
+					t.Fatalf("shard %d entry %q missing or stale in Snapshot", i, k)
+				}
+			}
+		}
+		if perShard != len(snap) {
+			t.Fatalf("Snapshot has %d entries, shards hold %d", len(snap), perShard)
+		}
 		// Idempotence.
 		if res2 := s.Apply(e); res2.Changed() && res == Applied {
 			t.Fatal("re-apply changed state")

@@ -22,40 +22,44 @@ var PeelStart = timestamp.T{Time: math.MaxInt64, Site: math.MaxInt32, Seq: math.
 // Examined-versus-returned matters: dormant death certificates are skipped
 // on the wire (§2.2) but still advance the walk, so the resume bound stays
 // well-defined even when a whole batch is dormant.
+//
+// The walk is a k-way merge over the per-shard timestamp indexes; because
+// timestamps are globally unique the merged order, the resume bounds, and
+// the examined counts are identical to a walk of one global index, so the
+// wire protocol sees the same batches the single-mutex store produced.
 func (s *Store) PeelBatch(bound timestamp.T, limit int, now, tau1 int64) (batch []Entry, next timestamp.T, more bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	i := s.index.searchBefore(bound) // records [0, i) are older than bound
-	if i == 0 {
+	merged, total := s.collectMerged(bound, limit)
+	if len(merged) == 0 {
 		return nil, bound, false
 	}
-	if limit <= 0 || limit > i {
-		limit = i
-	}
-	batch = make([]Entry, 0, limit)
-	for k := i - 1; k >= i-limit; k-- {
-		rec := s.index.keys[k]
-		e := s.entries[rec.key]
+	batch = make([]Entry, 0, len(merged))
+	for _, e := range merged {
 		if !IsDormant(e, now, tau1) {
-			batch = append(batch, e.clone())
+			batch = append(batch, e)
 		}
-		next = rec.stamp
+		next = e.Stamp
 	}
-	return batch, next, i-limit > 0
+	return batch, next, total > len(merged)
 }
 
 // LiveSnapshot returns a copy of every non-dormant entry — the payload of
 // a full-database exchange, which excludes dormant death certificates
-// (§2.2). Entries are in index (timestamp) order.
+// (§2.2). Entries are in global timestamp order, oldest first, merged from
+// the per-shard indexes.
 func (s *Store) LiveSnapshot(now, tau1 int64) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Entry, 0, len(s.entries))
-	for _, rec := range s.index.keys {
-		e := s.entries[rec.key]
-		if !IsDormant(e, now, tau1) {
-			out = append(out, e.clone())
+	per := make([][]Entry, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		recs := make([]Entry, 0, len(sh.index.keys))
+		for _, rec := range sh.index.keys {
+			e := sh.entries[rec.key]
+			if !IsDormant(e, now, tau1) {
+				recs = append(recs, e.clone())
+			}
 		}
+		sh.mu.RUnlock()
+		per[i] = recs
 	}
-	return out
+	return mergeAsc(per)
 }

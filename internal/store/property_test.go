@@ -162,9 +162,13 @@ func TestTimeIndexLen(t *testing.T) {
 	s.Update("a", Value("1"))
 	s.Update("b", Value("2"))
 	s.Update("a", Value("3"))
-	s.mu.Lock()
-	n := s.index.len()
-	s.mu.Unlock()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.index.len()
+		sh.mu.Unlock()
+	}
 	if n != 2 {
 		t.Fatalf("index len = %d, want 2", n)
 	}

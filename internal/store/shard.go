@@ -1,0 +1,163 @@
+package store
+
+import (
+	"sync"
+
+	"epidemic/internal/timestamp"
+)
+
+// DefaultShards is the shard count New uses. Sixteen shards keep the
+// striped-lock win (writers on different shards never contend) while the
+// k-way merges over per-shard time indexes stay cheap.
+const DefaultShards = 16
+
+// maxShards bounds NewSharded against absurd requests; beyond this the
+// per-shard maps are so small that merge overhead dominates.
+const maxShards = 1 << 10
+
+// shard is one lock stripe of the store: a private entry map, death set,
+// incremental XOR checksum, and time index, all guarded by one RWMutex.
+// A key lives in exactly one shard (chosen by hash), so every per-shard
+// invariant of the seed's single-mutex store holds per shard, and global
+// reads are folds or k-way merges over the shards.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+	deaths  map[string]struct{} // keys whose entry is a death certificate
+	sum     uint64              // incremental XOR checksum of this shard's entries
+	index   timeIndex           // this shard's entries ordered by ordinary timestamp
+}
+
+// put installs e, maintaining the shard checksum, death set, and time
+// index. Caller holds sh.mu; e must not alias caller-retained slices.
+func (sh *shard) put(e Entry) {
+	if old, ok := sh.entries[e.Key]; ok {
+		sh.sum ^= old.hash()
+		sh.index.remove(old.Stamp, e.Key)
+		delete(sh.deaths, e.Key)
+	}
+	sh.entries[e.Key] = e
+	sh.sum ^= e.hash()
+	sh.index.insert(e.Stamp, e.Key)
+	if e.IsDeath() {
+		sh.deaths[e.Key] = struct{}{}
+	}
+}
+
+// drop removes the entry for key entirely (death-certificate expiry).
+// Caller holds sh.mu.
+func (sh *shard) drop(key string) {
+	old, ok := sh.entries[key]
+	if !ok {
+		return
+	}
+	sh.sum ^= old.hash()
+	sh.index.remove(old.Stamp, key)
+	delete(sh.entries, key)
+	delete(sh.deaths, key)
+}
+
+// Cross-shard merges work on cloned entries directly: an entry's Stamp is
+// exactly its index stamp (put keeps them in lockstep), so no separate
+// merge record is needed.
+
+// collectOlder returns this shard's entries strictly older than bound,
+// newest first, cloned, capped at limit (limit <= 0 means all), plus the
+// total number of such records (which may exceed len of the returned
+// slice). Caller holds sh.mu (read suffices).
+func (sh *shard) collectOlder(bound timestamp.T, limit int) (recs []Entry, total int) {
+	total = sh.index.searchBefore(bound)
+	n := total
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n == 0 {
+		return nil, total
+	}
+	recs = make([]Entry, 0, n)
+	for k := total - 1; k >= total-n; k-- {
+		recs = append(recs, sh.entries[sh.index.keys[k].key].clone())
+	}
+	return recs, total
+}
+
+// collectRecent returns this shard's entries with age strictly less than
+// tau at time now, newest first, cloned. Caller holds sh.mu.
+func (sh *shard) collectRecent(now, tau int64) []Entry {
+	n := 0
+	for k := len(sh.index.keys) - 1; k >= 0; k-- {
+		if now-sh.index.keys[k].stamp.Time >= tau { // ages strictly less than tau qualify
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	recs := make([]Entry, 0, n)
+	for k := len(sh.index.keys) - 1; k >= len(sh.index.keys)-n; k-- {
+		recs = append(recs, sh.entries[sh.index.keys[k].key].clone())
+	}
+	return recs
+}
+
+// mergeDesc k-way merges per-shard entry slices (each already newest
+// first) into one newest-first slice, stopping after limit records
+// (limit <= 0 means all). Timestamps are globally unique, so the merged
+// order is total and identical to the seed's single global index walk.
+func mergeDesc(per [][]Entry, limit int) []Entry {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if limit <= 0 || limit > total {
+		limit = total
+	}
+	out := make([]Entry, 0, limit)
+	cursor := make([]int, len(per))
+	for len(out) < limit {
+		best := -1
+		for i, p := range per {
+			if cursor[i] >= len(p) {
+				continue
+			}
+			if best < 0 || per[best][cursor[best]].Stamp.Less(p[cursor[i]].Stamp) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, per[best][cursor[best]])
+		cursor[best]++
+	}
+	return out
+}
+
+// mergeAsc k-way merges per-shard entry slices (each oldest first) into
+// one oldest-first slice.
+func mergeAsc(per [][]Entry) []Entry {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	out := make([]Entry, 0, total)
+	cursor := make([]int, len(per))
+	for len(out) < total {
+		best := -1
+		for i, p := range per {
+			if cursor[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[cursor[i]].Stamp.Less(per[best][cursor[best]].Stamp) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, per[best][cursor[best]])
+		cursor[best]++
+	}
+	return out
+}

@@ -3,7 +3,6 @@ package store
 import (
 	"sort"
 	"strings"
-	"sync"
 
 	"epidemic/internal/timestamp"
 )
@@ -50,25 +49,66 @@ func (r ApplyResult) Changed() bool { return r == Applied || r == ActivationAdva
 
 // Store is one site's replica of the database. It is safe for concurrent
 // use.
+//
+// Internally the replica is a sharded map: keys hash onto power-of-two
+// lock stripes, each with its own entry map, death set, incremental XOR
+// checksum, and timestamp index. Point operations (Update, Get, Apply)
+// touch one shard; the global checksum is an XOR fold of per-shard sums
+// under read locks; the timestamp-ordered reads (RecentUpdates,
+// NewestFirst, PeelBatch, LiveSnapshot) k-way merge the per-shard indexes,
+// reproducing the single-index order exactly because timestamps are
+// globally unique.
 type Store struct {
-	mu      sync.Mutex
-	site    timestamp.SiteID
-	clock   timestamp.Clock
-	entries map[string]Entry
-	deaths  map[string]struct{} // keys whose entry is a death certificate
-	sum     uint64              // incremental XOR checksum of all entries
-	index   timeIndex           // entries ordered by ordinary timestamp
+	site   timestamp.SiteID
+	clock  timestamp.Clock
+	mask   uint32
+	shards []shard
 }
 
-// New returns an empty store for the given site.
+// New returns an empty store for the given site with DefaultShards lock
+// stripes.
 func New(site timestamp.SiteID, clock timestamp.Clock) *Store {
-	return &Store{
-		site:    site,
-		clock:   clock,
-		entries: make(map[string]Entry),
-		deaths:  make(map[string]struct{}),
-	}
+	return NewSharded(site, clock, DefaultShards)
 }
+
+// NewSharded returns an empty store with the given shard count, rounded up
+// to the next power of two (<= 0 selects DefaultShards). One shard degrades
+// gracefully to the seed's single-lock store.
+func NewSharded(site timestamp.SiteID, clock timestamp.Clock, shards int) *Store {
+	n := 1
+	if shards <= 0 {
+		n = DefaultShards
+	} else {
+		for n < shards && n < maxShards {
+			n <<= 1
+		}
+	}
+	s := &Store{
+		site:   site,
+		clock:  clock,
+		mask:   uint32(n - 1),
+		shards: make([]shard, n),
+	}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]Entry)
+		s.shards[i].deaths = make(map[string]struct{})
+	}
+	return s
+}
+
+// shardFor hashes key onto its lock stripe (FNV-1a, masked to the
+// power-of-two shard count).
+func (s *Store) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h&s.mask]
+}
+
+// ShardCount returns the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
 
 // Site returns the owning site's ID.
 func (s *Store) Site() timestamp.SiteID { return s.site }
@@ -79,16 +119,26 @@ func (s *Store) Now() int64 { return s.clock.Read() }
 
 // Len returns the number of entries, including death certificates.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // LiveLen returns the number of non-deleted items.
 func (s *Store) LiveLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries) - len(s.deaths)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries) - len(sh.deaths)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Update performs the client Update operation of §1.1: it writes value
@@ -100,9 +150,10 @@ func (s *Store) Update(key string, value Value) Entry {
 	copy(v, value)
 	ts := s.clock.Now()
 	e := Entry{Key: key, Value: v, Stamp: ts, Activation: ts}
-	s.mu.Lock()
-	s.put(e)
-	s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.put(e)
+	sh.mu.Unlock()
 	return e.clone()
 }
 
@@ -116,9 +167,10 @@ func (s *Store) Delete(key string, retention []timestamp.SiteID) Entry {
 		Activation: ts,
 		Retention:  append([]timestamp.SiteID(nil), retention...),
 	}
-	s.mu.Lock()
-	s.put(e)
-	s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.put(e)
+	sh.mu.Unlock()
 	return e.clone()
 }
 
@@ -126,9 +178,10 @@ func (s *Store) Delete(key string, retention []timestamp.SiteID) Entry {
 // deleted or absent items return ok=false, as the paper specifies that
 // ValueOf[k] = (NIL, t) "is the same as undefined".
 func (s *Store) Lookup(key string) (Value, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[key]
 	if !ok || e.IsDeath() {
 		return nil, false
 	}
@@ -137,9 +190,10 @@ func (s *Store) Lookup(key string) (Value, bool) {
 
 // Get returns the raw entry for key, including death certificates.
 func (s *Store) Get(key string) (Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		return Entry{}, false
 	}
@@ -151,16 +205,17 @@ func (s *Store) Get(key string) (Entry, bool) {
 // always supersedes a smaller one; equal ordinary timestamps adopt the
 // larger activation timestamp (reactivated death certificates).
 func (s *Store) Apply(e Entry) ApplyResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.entries[e.Key]
+	sh := s.shardFor(e.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.entries[e.Key]
 	if !ok {
-		s.put(e.clone())
+		sh.put(e.clone())
 		return Applied
 	}
 	switch {
 	case cur.Stamp.Less(e.Stamp):
-		s.put(e.clone())
+		sh.put(e.clone())
 		return Applied
 	case e.Stamp.Less(cur.Stamp):
 		if cur.IsDeath() && !e.IsDeath() {
@@ -170,47 +225,27 @@ func (s *Store) Apply(e Entry) ApplyResult {
 	default: // same ordinary timestamp
 		if cur.Activation.Less(e.Activation) {
 			cur.Activation = e.Activation
-			s.entries[e.Key] = cur
+			sh.entries[e.Key] = cur
 			return ActivationAdvanced
 		}
 		return Unchanged
 	}
 }
 
-// put installs e, maintaining the checksum, death set, and time index.
-// Caller holds s.mu; e must not alias caller-retained slices.
-func (s *Store) put(e Entry) {
-	if old, ok := s.entries[e.Key]; ok {
-		s.sum ^= old.hash()
-		s.index.remove(old.Stamp, e.Key)
-		delete(s.deaths, e.Key)
-	}
-	s.entries[e.Key] = e
-	s.sum ^= e.hash()
-	s.index.insert(e.Stamp, e.Key)
-	if e.IsDeath() {
-		s.deaths[e.Key] = struct{}{}
-	}
-}
-
-// drop removes the entry for key entirely (death-certificate expiry).
-// Caller holds s.mu.
-func (s *Store) drop(key string) {
-	old, ok := s.entries[key]
-	if !ok {
-		return
-	}
-	s.sum ^= old.hash()
-	s.index.remove(old.Stamp, key)
-	delete(s.entries, key)
-	delete(s.deaths, key)
-}
-
-// Checksum returns the incremental checksum over all entries.
+// Checksum returns the incremental checksum over all entries: the XOR fold
+// of the per-shard sums, taken under shard read locks only — no
+// stop-the-world. Concurrent writers on other shards are free to proceed;
+// as with any gossip checksum, a fold racing a writer reflects some
+// interleaving of the writes, and anti-entropy's next round absorbs it.
 func (s *Store) Checksum() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sum
+	var sum uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sum ^= sh.sum
+		sh.mu.RUnlock()
+	}
+	return sum
 }
 
 // ChecksumLive returns the checksum excluding dormant death certificates
@@ -218,14 +253,18 @@ func (s *Store) Checksum() uint64 {
 // certificate's dormancy would otherwise permanently disagree even with
 // identical live content.
 func (s *Store) ChecksumLive(now, tau1 int64) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum := s.sum
-	for key := range s.deaths {
-		e := s.entries[key]
-		if now-e.Activation.Time > tau1 {
-			sum ^= e.hash()
+	var sum uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sum ^= sh.sum
+		for key := range sh.deaths {
+			e := sh.entries[key]
+			if now-e.Activation.Time > tau1 {
+				sum ^= e.hash()
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return sum
 }
@@ -239,15 +278,16 @@ func (s *Store) Reactivate(key string) (Entry, bool) {
 	// Take the clock reading outside the lock ordering of put (clock has
 	// its own mutex; order is store→clock everywhere).
 	act := s.clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok || !e.IsDeath() {
 		return Entry{}, false
 	}
 	if e.Activation.Less(act) {
 		e.Activation = act
-		s.entries[key] = e
+		sh.entries[key] = e
 	}
 	return e.clone(), true
 }
@@ -264,94 +304,107 @@ func IsDormant(e Entry, now, tau1 int64) bool {
 // their retention sites; older than tau1+tau2 they are discarded
 // everywhere. It returns how many certificates were dropped.
 func (s *Store) ExpireDeathCertificates(now, tau1, tau2 int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var doomed []string
-	for key := range s.deaths {
-		e := s.entries[key]
-		age := now - e.Activation.Time
-		switch {
-		case age > tau1+tau2:
-			doomed = append(doomed, key)
-		case age > tau1 && !e.RetainedBy(s.site):
-			doomed = append(doomed, key)
+	dropped := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		var doomed []string
+		for key := range sh.deaths {
+			e := sh.entries[key]
+			age := now - e.Activation.Time
+			switch {
+			case age > tau1+tau2:
+				doomed = append(doomed, key)
+			case age > tau1 && !e.RetainedBy(s.site):
+				doomed = append(doomed, key)
+			}
 		}
+		for _, key := range doomed {
+			sh.drop(key)
+		}
+		sh.mu.Unlock()
+		dropped += len(doomed)
 	}
-	for _, key := range doomed {
-		s.drop(key)
-	}
-	return len(doomed)
+	return dropped
 }
 
 // DeathCertificates returns all death certificates currently held.
 func (s *Store) DeathCertificates() []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Entry, 0, len(s.deaths))
-	for key := range s.deaths {
-		out = append(out, s.entries[key].clone())
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key := range sh.deaths {
+			out = append(out, sh.entries[key].clone())
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
 // RecentUpdates returns all entries whose ordinary timestamp is within tau
-// of now, newest first — the paper's "recent update list" (§1.3).
+// of now, newest first — the paper's "recent update list" (§1.3). The
+// per-shard index suffixes are merged by timestamp.
 func (s *Store) RecentUpdates(now, tau int64) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []Entry
-	for i := len(s.index.keys) - 1; i >= 0; i-- {
-		rec := s.index.keys[i]
-		if now-rec.stamp.Time >= tau { // ages strictly less than tau qualify
-			break
-		}
-		out = append(out, s.entries[rec.key].clone())
+	per := make([][]Entry, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		per[i] = sh.collectRecent(now, tau)
+		sh.mu.RUnlock()
 	}
-	return out
+	merged := mergeDesc(per, 0)
+	if len(merged) == 0 {
+		return nil
+	}
+	return merged
 }
 
 // NewestFirst returns up to limit entries in reverse timestamp order
-// starting after the given exclusive upper bound (pass timestamp.T{Time:
-// math.MaxInt64} semantics via After). It powers the peel-back exchange
-// (§1.3). A zero limit returns all.
+// (a zero limit returns all), merging the per-shard indexes. It powers the
+// peel-back exchange (§1.3).
 func (s *Store) NewestFirst(limit int) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(s.index.keys)
-	if limit <= 0 || limit > n {
-		limit = n
-	}
-	out := make([]Entry, 0, limit)
-	for i := n - 1; i >= n-limit; i-- {
-		out = append(out, s.entries[s.index.keys[i].key].clone())
-	}
-	return out
+	merged, _ := s.collectMerged(PeelStart, limit)
+	return merged
 }
 
 // OlderThan returns up to limit entries strictly older than bound, newest
 // first. Peel-back uses it to fetch the next batch.
 func (s *Store) OlderThan(bound timestamp.T, limit int) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	i := s.index.searchBefore(bound)
-	if limit <= 0 || limit > i {
-		limit = i
+	merged, _ := s.collectMerged(bound, limit)
+	return merged
+}
+
+// collectMerged gathers up to limit records strictly older than bound from
+// every shard (limit <= 0 means all) and merges them newest first. total is
+// the store-wide number of records older than bound, which may exceed
+// len(merged). Each shard contributes at most limit records — a superset of
+// any global top-limit — so the merge result equals the seed's walk of one
+// global index.
+func (s *Store) collectMerged(bound timestamp.T, limit int) (merged []Entry, total int) {
+	per := make([][]Entry, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		recs, n := sh.collectOlder(bound, limit)
+		sh.mu.RUnlock()
+		per[i] = recs
+		total += n
 	}
-	out := make([]Entry, 0, limit)
-	for k := i - 1; k >= i-limit; k-- {
-		out = append(out, s.entries[s.index.keys[k].key].clone())
-	}
-	return out
+	return mergeDesc(per, limit), total
 }
 
 // Snapshot returns a copy of all entries, sorted by key.
 func (s *Store) Snapshot() []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, e.clone())
+	out := make([]Entry, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e.clone())
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -360,14 +413,17 @@ func (s *Store) Snapshot() []Entry {
 // ScanPrefix returns the live (non-deleted) entries whose keys start with
 // prefix, sorted by key.
 func (s *Store) ScanPrefix(prefix string) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []Entry
-	for k, e := range s.entries {
-		if e.IsDeath() || !strings.HasPrefix(k, prefix) {
-			continue
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			if e.IsDeath() || !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			out = append(out, e.clone())
 		}
-		out = append(out, e.clone())
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -375,11 +431,14 @@ func (s *Store) ScanPrefix(prefix string) []Entry {
 
 // Keys returns all keys, sorted.
 func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.entries))
-	for k := range s.entries {
-		out = append(out, k)
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.entries {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out

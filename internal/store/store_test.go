@@ -172,9 +172,10 @@ func TestChecksumRemovalRestores(t *testing.T) {
 	a, _, _ := testPair(t)
 	before := a.Checksum()
 	a.Update("k", Value("v"))
-	a.mu.Lock()
-	a.drop("k")
-	a.mu.Unlock()
+	sh := a.shardFor("k")
+	sh.mu.Lock()
+	sh.drop("k")
+	sh.mu.Unlock()
 	if a.Checksum() != before {
 		t.Fatal("checksum not restored after drop")
 	}
