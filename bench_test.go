@@ -593,13 +593,13 @@ func benchWireExchange(b *testing.B, opts epidemic.TCPPeerOptions) {
 	defer peer.Close()
 	// Warm-up: converge the replicas and (when pooling) open the session
 	// the loop will reuse.
-	if _, err := peer.AntiEntropy(cfg, local); err != nil {
+	if _, err := peer.AntiEntropy(cfg, local, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := peer.AntiEntropy(cfg, local); err != nil {
+		if _, err := peer.AntiEntropy(cfg, local, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -645,7 +645,7 @@ func BenchmarkExchangePeelBackMismatch(b *testing.B) {
 	}
 	peer := epidemic.NewTCPPeer(2, srv.Addr())
 	defer peer.Close()
-	if _, err := peer.AntiEntropy(cfg, local); err != nil {
+	if _, err := peer.AntiEntropy(cfg, local, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -656,7 +656,7 @@ func BenchmarkExchangePeelBackMismatch(b *testing.B) {
 			local.Update(fmt.Sprintf("diff%08d", i*delta+j), epidemic.Value("new"))
 		}
 		src.Advance(50) // push the divergence outside the recent window
-		st, err := peer.AntiEntropy(cfg, local)
+		st, err := peer.AntiEntropy(cfg, local, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

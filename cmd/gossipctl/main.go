@@ -7,15 +7,24 @@
 //	gossipctl -addr host:8001 set <key> <value...>
 //	gossipctl -addr host:8001 del <key>
 //	gossipctl -addr host:8001 keys | members | stats | statsjson | wire | hot | snapshot
+//	gossipctl -addr host1:8001,host2:8001,host3:8001 [-o tree|json|dot] trace <key>
 //	gossipctl -admin host:9001 metrics | health
-//	gossipctl -admin host:9001 events [n]
+//	gossipctl -admin host:9001 [-since cursor] events [n]
 //
 // Line-protocol verbs talk to the daemon's -client port; metrics, health
-// and events fetch from its -admin HTTP endpoint.
+// and events fetch from its -admin HTTP endpoint. The trace verb accepts a
+// comma-separated -addr list: it federates every replica's hop spans for
+// the key (gossipd must run with -trace-ring), reconstructs the infection
+// tree, and prints it with the paper's convergence observables — t_last,
+// t_avg, residue, the hop histogram and the per-mechanism infection counts
+// (-o json for machine-readable output, -o dot for Graphviz). For events,
+// -since resumes from a cursor returned in a previous reply's "next" field
+// so repeated polls only see new records.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,16 +35,34 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"epidemic"
 )
 
+// options carries the parsed flags into run.
+type options struct {
+	// addr is the gossipd client address — a comma-separated list for the
+	// trace verb, which federates spans from every replica named.
+	addr string
+	// admin is the gossipd admin HTTP address (metrics, health, events).
+	admin   string
+	timeout time.Duration
+	// output selects the trace rendering: tree (default), json or dot.
+	output string
+	// since, when >= 0, is the events cursor to resume from (the "next"
+	// field of a previous events reply).
+	since int64
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8001", "gossipd client address")
-		admin   = flag.String("admin", "", "gossipd admin HTTP address (for metrics, health, events)")
-		timeout = flag.Duration("timeout", 5*time.Second, "request timeout")
-	)
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:8001", "gossipd client address (comma-separated list for trace)")
+	flag.StringVar(&opts.admin, "admin", "", "gossipd admin HTTP address (for metrics, health, events)")
+	flag.DurationVar(&opts.timeout, "timeout", 5*time.Second, "request timeout")
+	flag.StringVar(&opts.output, "o", "tree", "trace output format: tree, json or dot")
+	flag.Int64Var(&opts.since, "since", -1, "events cursor to resume from (-1 = everything retained)")
 	flag.Parse()
-	out, err := run(*addr, *admin, *timeout, flag.Args())
+	out, err := run(opts, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gossipctl:", err)
 		os.Exit(1)
@@ -43,20 +70,35 @@ func main() {
 	fmt.Println(out)
 }
 
-func run(addr, admin string, timeout time.Duration, args []string) (string, error) {
+func run(opts options, args []string) (string, error) {
 	if len(args) == 0 {
-		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|metrics|health|events> [args...]")
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|trace|metrics|health|events> [args...]")
+	}
+	if strings.ToLower(args[0]) == "trace" {
+		return runTrace(opts, args[1:])
 	}
 	if path, err, ok := buildAdminPath(args); ok {
 		if err != nil {
 			return "", err
 		}
-		return fetchAdmin(admin, path, timeout)
+		if opts.since >= 0 && strings.HasPrefix(path, "/events") {
+			sep := "?"
+			if strings.Contains(path, "?") {
+				sep = "&"
+			}
+			path += sep + "since=" + strconv.FormatInt(opts.since, 10)
+		}
+		return fetchAdmin(opts.admin, path, opts.timeout)
 	}
 	cmd, err := buildCommand(args)
 	if err != nil {
 		return "", err
 	}
+	return sendLine(opts.addr, cmd, opts.timeout)
+}
+
+// sendLine performs one line-protocol round trip: one command, one reply.
+func sendLine(addr, cmd string, timeout time.Duration) (string, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return "", fmt.Errorf("dial %s: %w", addr, err)
@@ -75,6 +117,61 @@ func run(addr, admin string, timeout time.Duration, args []string) (string, erro
 		return "", fmt.Errorf("%s", strings.TrimPrefix(resp, "ERR "))
 	}
 	return resp, nil
+}
+
+// runTrace federates TRACE dumps from every -addr replica, assembles the
+// infection tree, and renders it in the selected output format. Residue is
+// measured against the number of replicas queried.
+func runTrace(opts options, rest []string) (string, error) {
+	if len(rest) != 1 {
+		return "", fmt.Errorf("usage: trace <key>")
+	}
+	key := rest[0]
+	addrs := strings.Split(opts.addr, ",")
+	var spans []epidemic.TraceSpan
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		line, err := sendLine(a, "TRACE "+key, opts.timeout)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", a, err)
+		}
+		var dump epidemic.TraceDump
+		if err := json.Unmarshal([]byte(line), &dump); err != nil {
+			return "", fmt.Errorf("%s: bad TRACE reply %q: %w", a, line, err)
+		}
+		spans = append(spans, dump.Spans...)
+	}
+	tree := epidemic.AssembleTrace(key, spans)
+	if tree == nil {
+		return "", fmt.Errorf("no spans for %q at %d replica(s); is gossipd running with -trace-ring?", key, len(addrs))
+	}
+
+	// Stamps are wall-clock nanoseconds on live daemons.
+	const spu = 1e-9
+	summary := tree.Summarize(len(addrs), spu)
+	var sb strings.Builder
+	switch opts.output {
+	case "", "tree":
+		tree.Render(&sb, spu)
+		fmt.Fprintf(&sb, "t_last %.3fs  t_avg %.3fs  residue %.2f (%d/%d sites)\n",
+			summary.TLastSeconds, summary.TAvgSeconds, summary.Residue,
+			summary.Sites, summary.ClusterSize)
+		fmt.Fprintf(&sb, "hops %v  mechanisms %v\n", summary.Hops, summary.Mechanisms)
+	case "json":
+		b, err := json.Marshal(struct {
+			Tree    *epidemic.InfectionTree `json:"tree"`
+			Summary epidemic.TraceSummary   `json:"summary"`
+		}{tree, summary})
+		if err != nil {
+			return "", err
+		}
+		sb.Write(b)
+	case "dot":
+		tree.DOT(&sb)
+	default:
+		return "", fmt.Errorf("unknown output %q (want tree, json or dot)", opts.output)
+	}
+	return strings.TrimRight(sb.String(), "\n"), nil
 }
 
 // buildCommand maps CLI verbs onto the wire protocol, validating arity.

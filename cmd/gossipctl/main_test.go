@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"epidemic"
 )
 
 func TestBuildCommand(t *testing.T) {
@@ -76,6 +79,11 @@ func TestBuildAdminPath(t *testing.T) {
 	}
 }
 
+// testOpts mirrors the flag defaults (since -1, one-second timeout).
+func testOpts(addr, admin string) options {
+	return options{addr: addr, admin: admin, timeout: time.Second, since: -1}
+}
+
 // fakeServer answers one line per connection with a canned response.
 func fakeServer(t *testing.T, respond func(string) string) string {
 	t.Helper()
@@ -110,7 +118,7 @@ func TestRunRoundTrip(t *testing.T) {
 		}
 		return "ERR unexpected " + cmd
 	})
-	out, err := run(addr, "", time.Second, []string{"get", "k"})
+	out, err := run(testOpts(addr, ""), []string{"get", "k"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,16 +129,16 @@ func TestRunRoundTrip(t *testing.T) {
 
 func TestRunServerError(t *testing.T) {
 	addr := fakeServer(t, func(string) string { return "ERR boom" })
-	if _, err := run(addr, "", time.Second, []string{"keys"}); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := run(testOpts(addr, ""), []string{"keys"}); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunUsageAndDialErrors(t *testing.T) {
-	if _, err := run("127.0.0.1:1", "", time.Second, nil); err == nil {
+	if _, err := run(testOpts("127.0.0.1:1", ""), nil); err == nil {
 		t.Error("no args accepted")
 	}
-	if _, err := run("127.0.0.1:1", "", 200*time.Millisecond, []string{"keys"}); err == nil {
+	if _, err := run(options{addr: "127.0.0.1:1", timeout: 200 * time.Millisecond, since: -1}, []string{"keys"}); err == nil {
 		t.Error("dead address accepted")
 	}
 }
@@ -153,20 +161,134 @@ func TestRunAdminFetch(t *testing.T) {
 	defer srv.Close()
 	admin := strings.TrimPrefix(srv.URL, "http://")
 
-	out, err := run("127.0.0.1:1", admin, time.Second, []string{"health"})
+	out, err := run(testOpts("127.0.0.1:1", admin), []string{"health"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out != `{"status":"ok"}` {
 		t.Errorf("health = %q", out)
 	}
-	if _, err := run("127.0.0.1:1", admin, time.Second, []string{"events", "3"}); err != nil {
+	if _, err := run(testOpts("127.0.0.1:1", admin), []string{"events", "3"}); err != nil {
 		t.Errorf("events 3: %v", err)
 	}
-	if _, err := run("127.0.0.1:1", admin, time.Second, []string{"metrics"}); err == nil {
+	if _, err := run(testOpts("127.0.0.1:1", admin), []string{"metrics"}); err == nil {
 		t.Error("404 not reported")
 	}
-	if _, err := run("127.0.0.1:1", "", time.Second, []string{"metrics"}); err == nil || !strings.Contains(err.Error(), "-admin") {
+	if _, err := run(testOpts("127.0.0.1:1", ""), []string{"metrics"}); err == nil || !strings.Contains(err.Error(), "-admin") {
 		t.Errorf("missing -admin not reported: %v", err)
+	}
+}
+
+// TestRunTrace federates TRACE dumps from two fake replicas and checks all
+// three output formats plus the error paths.
+func TestRunTrace(t *testing.T) {
+	stamp := epidemic.Timestamp{Time: 100, Site: 1}
+	dump1 := epidemic.TraceDump{Site: 1, Spans: []epidemic.TraceSpan{
+		{Key: "k", Stamp: stamp, From: 1, To: 1, Mech: epidemic.MechOrigin, Hop: 0, At: 100},
+	}}
+	dump2 := epidemic.TraceDump{Site: 2, Spans: []epidemic.TraceSpan{
+		{Key: "k", Stamp: stamp, From: 1, To: 2, Mech: epidemic.MechRumorPush, Hop: 1, At: 105},
+	}}
+	respond := func(d epidemic.TraceDump) func(string) string {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(cmd string) string {
+			if cmd == "TRACE k" {
+				return string(b)
+			}
+			return "ERR unexpected " + cmd
+		}
+	}
+	opts := testOpts(fakeServer(t, respond(dump1))+","+fakeServer(t, respond(dump2)), "")
+
+	out, err := run(opts, []string{"trace", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"site 1", "origin", "└─ site 2", "rumor-push", "hop 1", "residue 0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+
+	opts.output = "dot"
+	out, err = run(opts, []string{"trace", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "s1 -> s2") {
+		t.Errorf("dot output:\n%s", out)
+	}
+
+	opts.output = "json"
+	out, err = run(opts, []string{"trace", "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		Tree    *epidemic.InfectionTree `json:"tree"`
+		Summary epidemic.TraceSummary   `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(out), &reply); err != nil {
+		t.Fatalf("json output: %v\n%s", err, out)
+	}
+	if reply.Summary.Sites != 2 || reply.Summary.ClusterSize != 2 || reply.Summary.Residue != 0 {
+		t.Errorf("summary = %+v", reply.Summary)
+	}
+	if reply.Tree == nil || reply.Tree.Root == nil || reply.Tree.Root.Site != 1 {
+		t.Errorf("tree = %+v", reply.Tree)
+	}
+
+	opts.output = "bogus"
+	if _, err := run(opts, []string{"trace", "k"}); err == nil {
+		t.Error("bogus output format accepted")
+	}
+	opts.output = "tree"
+	if _, err := run(opts, []string{"trace"}); err == nil {
+		t.Error("trace without key accepted")
+	}
+	if _, err := run(opts, []string{"trace", "other"}); err == nil {
+		t.Error("key without spans accepted")
+	}
+
+	// A replica with tracing off fails the federation loudly.
+	disabled := testOpts(fakeServer(t, func(string) string {
+		return "ERR tracing disabled (start gossipd with -trace-ring)"
+	}), "")
+	if _, err := run(disabled, []string{"trace", "k"}); err == nil || !strings.Contains(err.Error(), "tracing disabled") {
+		t.Errorf("disabled replica: %v", err)
+	}
+}
+
+// TestRunEventsSince checks -since splices the cursor onto /events (and
+// only /events).
+func TestRunEventsSince(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if since := r.URL.Query().Get("since"); r.URL.Path == "/events" {
+			if since != "7" {
+				http.Error(w, "missing since", http.StatusBadRequest)
+				return
+			}
+		} else if since != "" {
+			http.Error(w, "since leaked onto "+r.URL.Path, http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, `{"events":[],"next":8}`)
+	}))
+	defer srv.Close()
+	opts := testOpts("127.0.0.1:1", strings.TrimPrefix(srv.URL, "http://"))
+	opts.since = 7
+
+	if out, err := run(opts, []string{"events"}); err != nil || !strings.Contains(out, `"next":8`) {
+		t.Errorf("events: %q, %v", out, err)
+	}
+	// ?n= and &since= compose.
+	if _, err := run(opts, []string{"events", "2"}); err != nil {
+		t.Errorf("events 2: %v", err)
+	}
+	if _, err := run(opts, []string{"health"}); err != nil {
+		t.Errorf("health: %v", err)
 	}
 }

@@ -24,9 +24,11 @@ type healthReply struct {
 
 // startAdmin serves the observability endpoints on addr: /metrics
 // (Prometheus text format), /healthz (JSON liveness + topology summary),
-// /events (recent node events, newest last, ?n= to limit), and the
-// standard /debug/pprof/* profiles. Handlers are mounted on a private mux,
-// not http.DefaultServeMux, so nothing else in the process leaks in.
+// /events (recent node events, newest last, ?n= to limit, ?since= for
+// incremental polls), /trace (this replica's hop spans, ?key= to filter;
+// 503 unless -trace-ring is set), and the standard /debug/pprof/*
+// profiles. Handlers are mounted on a private mux, not
+// http.DefaultServeMux, so nothing else in the process leaks in.
 func (d *daemon) startAdmin(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -49,6 +51,15 @@ func (d *daemon) startAdmin(addr string) error {
 			HotRumors:     len(n.HotEntries()),
 			StoreKeys:     len(n.Store().Keys()),
 		})
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		tr := d.node.Tracer()
+		if tr == nil {
+			http.Error(w, "tracing disabled (-trace-ring)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(tr.DumpFor(req.URL.Query().Get("key")))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

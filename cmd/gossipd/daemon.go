@@ -38,6 +38,9 @@ type daemonConfig struct {
 	exchangeTimeout time.Duration
 	// storeShards sets the replica store's lock-stripe count (0 = default).
 	storeShards int
+	// traceRing enables hop-provenance tracing when > 0: the node retains
+	// that many spans for the TRACE verb and /trace admin route.
+	traceRing int
 	// mutexProfileFraction/blockProfileRate feed the runtime profilers so
 	// /debug/pprof/{mutex,block} can show lock contention (0 = disabled).
 	mutexProfileFraction int
@@ -137,6 +140,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		SnapshotPath:       cfg.data,
 		SnapshotEvery:      time.Minute,
 		StoreShards:        cfg.storeShards,
+		TraceRing:          cfg.traceRing,
 	})
 	if err != nil {
 		return nil, err

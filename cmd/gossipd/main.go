@@ -25,11 +25,16 @@
 //	STATS                -> STATS <text>
 //	STATSJSON            -> <one-line JSON object> (machine-readable stats)
 //	WIRE                 -> <one-line JSON object> (connection-pool and wire-traffic stats)
+//	TRACE <key>          -> <one-line JSON object> (this replica's hop spans for key)
 //
 // Observability: -admin host:port serves /metrics (Prometheus text
-// format), /healthz (JSON), /events (recent node events as JSON) and
+// format), /healthz (JSON), /events (recent node events as JSON,
+// ?since=<cursor> for incremental polls), /trace?key= (hop spans) and
 // /debug/pprof/* on a separate HTTP listener; -log-level and -log-format
-// control structured logging to stderr. -mutex-profile-fraction and
+// control structured logging to stderr. -trace-ring N enables update
+// tracing: every applied update records a hop span (sender, mechanism,
+// causal hop count) into a ring of N spans, federated across replicas by
+// gossipctl trace into an infection tree. -mutex-profile-fraction and
 // -block-profile-rate enable runtime lock-contention sampling so
 // /debug/pprof/mutex and /debug/pprof/block show store and protocol
 // contention; -store-shards sets the replica store's lock-stripe count.
@@ -73,6 +78,7 @@ func main() {
 	flag.IntVar(&cfg.peelBatch, "peel-batch", 0, "entries per peel-back batch during anti-entropy (0 = default)")
 	flag.DurationVar(&cfg.exchangeTimeout, "exchange-timeout", 10*time.Second, "per-request deadline on outbound gossip")
 	flag.IntVar(&cfg.storeShards, "store-shards", 0, "replica store lock stripes, rounded up to a power of two (0 = default)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "hop-provenance spans retained for TRACE and /trace (0 = tracing disabled)")
 	flag.IntVar(&cfg.mutexProfileFraction, "mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off)")
 	flag.IntVar(&cfg.blockProfileRate, "block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns for /debug/pprof/block (0 = off)")
 	flag.Parse()
@@ -204,6 +210,22 @@ func handleClient(conn net.Conn, n *epidemic.Node, wire *epidemic.WireStats) {
 			fmt.Fprintf(conn, "%s\n", b)
 		case "WIRE":
 			b, err := json.Marshal(wire.Snapshot())
+			if err != nil {
+				fmt.Fprintf(conn, "ERR %v\n", err)
+				continue
+			}
+			fmt.Fprintf(conn, "%s\n", b)
+		case "TRACE":
+			if len(fields) != 2 {
+				fmt.Fprintln(conn, "ERR usage: TRACE <key>")
+				continue
+			}
+			tr := n.Tracer()
+			if tr == nil {
+				fmt.Fprintln(conn, "ERR tracing disabled (start gossipd with -trace-ring)")
+				continue
+			}
+			b, err := json.Marshal(tr.DumpFor(fields[1]))
 			if err != nil {
 				fmt.Fprintf(conn, "ERR %v\n", err)
 				continue

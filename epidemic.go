@@ -33,6 +33,7 @@ import (
 	"epidemic/internal/core"
 	"epidemic/internal/node"
 	"epidemic/internal/obs"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/sim"
 	"epidemic/internal/spatial"
 	"epidemic/internal/store"
@@ -139,6 +140,27 @@ type (
 	PropagationTracker = obs.Propagation
 	// ObserveOptions configures InstrumentNode.
 	ObserveOptions = obs.ObserveOptions
+
+	// Tracer records per-update hop spans at one replica; enable it with
+	// NodeConfig.TraceRing. A nil *Tracer is valid and disables tracing.
+	Tracer = trace.Tracer
+	// TraceSpan is one hop of one update's propagation.
+	TraceSpan = trace.Span
+	// TraceHop is the compact provenance envelope exchange payloads carry
+	// alongside each entry.
+	TraceHop = trace.Hop
+	// TraceMechanism identifies which epidemic process delivered an update.
+	TraceMechanism = trace.Mechanism
+	// TraceDump is one replica's span report, as served by gossipd's TRACE
+	// verb and /trace admin route.
+	TraceDump = trace.Dump
+	// InfectionTree is the reconstructed propagation tree of one update.
+	InfectionTree = trace.Tree
+	// InfectionTreeNode is one site's position in an InfectionTree.
+	InfectionTreeNode = trace.TreeNode
+	// TraceSummary packages a traced update's convergence observables
+	// (t_last, t_avg, residue, hop histogram, mechanism counts).
+	TraceSummary = trace.Summary
 )
 
 // Metric names registered by InstrumentNode (and, for the transport pair,
@@ -156,6 +178,7 @@ const (
 	MetricRedistributed       = obs.MetricRedistributed
 	MetricCertificatesExpired = obs.MetricCertificatesExpired
 	MetricUpdatePropagation   = obs.MetricUpdatePropagation
+	MetricPropagationTracked  = obs.MetricPropagationTracked
 	MetricHotRumors           = obs.MetricHotRumors
 	MetricPeers               = obs.MetricPeers
 	MetricStoreKeys           = obs.MetricStoreKeys
@@ -211,6 +234,37 @@ const (
 // HuntUnlimited makes a connection-limited sender hunt until it finds an
 // open partner.
 const HuntUnlimited = core.HuntUnlimited
+
+// Trace mechanisms: which epidemic process delivered an update to a
+// replica.
+const (
+	MechUnknown     = trace.MechUnknown
+	MechOrigin      = trace.MechOrigin
+	MechDirectMail  = trace.MechDirectMail
+	MechRumorPush   = trace.MechRumorPush
+	MechRumorPull   = trace.MechRumorPull
+	MechAntiEntropy = trace.MechAntiEntropy
+	MechPeelBack    = trace.MechPeelBack
+)
+
+// TraceHopUnknown is the hop count of a span whose causal distance from
+// the origin could not be established.
+const TraceHopUnknown = trace.HopUnknown
+
+// DefaultTraceRing is the span ring capacity selected by NewTracer (and
+// NodeConfig.TraceRing values <= 0 passed to it).
+const DefaultTraceRing = trace.DefaultRingSize
+
+// NewTracer builds a standalone hop-span tracer for one site (most users
+// set NodeConfig.TraceRing and let the node own it).
+func NewTracer(site SiteID, capacity int) *Tracer { return trace.NewTracer(site, capacity) }
+
+// AssembleTrace reconstructs the infection tree for key from spans
+// federated across any number of replicas (see Tracer and gossipctl
+// trace).
+func AssembleTrace(key string, spans []TraceSpan) *InfectionTree {
+	return trace.Assemble(key, spans)
+}
 
 // NewNode builds a replica runtime. See NodeConfig for the knobs; zero
 // values select the paper-recommended defaults (push-pull peel-back

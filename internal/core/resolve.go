@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -114,8 +115,27 @@ type ExchangeStats struct {
 	// on, keyed by site ID — the attribution observability needs to turn
 	// repairs into per-site infection timestamps.
 	AppliedBySite map[timestamp.SiteID][]string
+	// Repairs records each applied entry with full provenance: which site
+	// it landed on, which site shipped it, the exact version, and the
+	// anti-entropy sub-mechanism (recent/full compare vs peel-back batch).
+	// SenderHop starts at trace.HopUnknown; transports that carry hop
+	// envelopes overwrite it so receivers can stamp causal hop counts.
+	Repairs []Repair
 	// Reactivated lists death certificates awakened by obsolete items.
 	Reactivated []string
+}
+
+// Repair is one applied entry's provenance within an anti-entropy
+// conversation: the version Stamp landed on Site, shipped by Parent via
+// Mech. SenderHop is the hop count the version had at the sender
+// (trace.HopUnknown when no envelope established it).
+type Repair struct {
+	Site      timestamp.SiteID
+	Parent    timestamp.SiteID
+	Key       string
+	Stamp     timestamp.T
+	Mech      trace.Mechanism
+	SenderHop int32
 }
 
 // Transferred returns the total entries moved in either direction — the
@@ -152,8 +172,8 @@ func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, err
 		}
 	case CompareRecent:
 		now := maxNow(s, p)
-		sendEntries(cfg, s.RecentUpdates(now, cfg.Tau), s, p, s, &st)
-		sendEntries(cfg, p.RecentUpdates(now, cfg.Tau), p, s, s, &st)
+		sendEntries(cfg, s.RecentUpdates(now, cfg.Tau), s, p, s, trace.MechAntiEntropy, &st)
+		sendEntries(cfg, p.RecentUpdates(now, cfg.Tau), p, s, s, trace.MechAntiEntropy, &st)
 		st.ChecksumsCompared++
 		if !liveChecksumEqual(cfg, s, p) {
 			resolveFull(cfg, s, p, &st)
@@ -169,18 +189,19 @@ func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, err
 func resolveFull(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 	st.FullCompare = true
 	if cfg.Mode == Push || cfg.Mode == PushPull {
-		sendEntries(cfg, s.Snapshot(), s, p, s, st)
+		sendEntries(cfg, s.Snapshot(), s, p, s, trace.MechAntiEntropy, st)
 	}
 	if cfg.Mode == Pull || cfg.Mode == PushPull {
-		sendEntries(cfg, p.Snapshot(), p, s, s, st)
+		sendEntries(cfg, p.Snapshot(), p, s, s, trace.MechAntiEntropy, st)
 	}
 }
 
 // sendEntries transmits from's entries to to, skipping dormant death
 // certificates, applying each and accounting for reactivations. initiator
 // identifies the conversation's initiating store so traffic is attributed
-// to the right direction.
-func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to, initiator *store.Store, st *ExchangeStats) {
+// to the right direction; mech tags the resulting Repairs with the
+// anti-entropy sub-mechanism that shipped them.
+func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to, initiator *store.Store, mech trace.Mechanism, st *ExchangeStats) {
 	now := maxNow(from, to)
 	for _, e := range entries {
 		if store.IsDormant(e, now, cfg.Tau1) {
@@ -195,6 +216,11 @@ func sendEntries(cfg ResolveConfig, entries []store.Entry, from, to, initiator *
 				st.AppliedBySite = make(map[timestamp.SiteID][]string)
 			}
 			st.AppliedBySite[to.Site()] = append(st.AppliedBySite[to.Site()], e.Key)
+			st.Repairs = append(st.Repairs, Repair{
+				Site: to.Site(), Parent: from.Site(),
+				Key: e.Key, Stamp: e.Stamp,
+				Mech: mech, SenderHop: trace.HopUnknown,
+			})
 		}
 		if res == store.RejectedByDeath && cfg.ReactivateDormant {
 			reactivateIfDormant(cfg, to, from, initiator, e.Key, st)
@@ -237,8 +263,8 @@ func resolvePeelBack(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 	sNext := s.NewestFirst(batch)
 	pNext := p.NewestFirst(batch)
 	for {
-		sendEntries(cfg, sNext, s, p, s, st)
-		sendEntries(cfg, pNext, p, s, s, st)
+		sendEntries(cfg, sNext, s, p, s, trace.MechPeelBack, st)
+		sendEntries(cfg, pNext, p, s, s, trace.MechPeelBack, st)
 		st.ChecksumsCompared++
 		if liveChecksumEqual(cfg, s, p) {
 			return

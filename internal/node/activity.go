@@ -85,7 +85,7 @@ func (n *Node) StepActivityExchange(batchSize int) (int, error) {
 			}
 		}
 		if len(batch) > 0 {
-			needed, err := peer.PushRumors(batch)
+			needed, err := peer.PushRumors(batch, n.tracer.Envelopes(batch))
 			if err != nil {
 				return sent, fmt.Errorf("activity batch to %d: %w", peer.ID(), err)
 			}

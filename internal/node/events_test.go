@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -164,13 +165,13 @@ func TestUpdateAndApplyEvents(t *testing.T) {
 	}
 
 	// Mail delivery that changes the recipient: EventApply there.
-	b.HandleMail(e)
+	b.HandleMail(e, trace.Hop{})
 	ap := recB.byKind(EventApply)
 	if len(ap) != 1 || ap[0].Key != "k1" || ap[0].Stamp != e.Stamp {
 		t.Fatalf("apply events after mail = %+v", ap)
 	}
 	// Redelivery changes nothing, so no second apply.
-	b.HandleMail(e)
+	b.HandleMail(e, trace.Hop{})
 	if got := recB.byKind(EventApply); len(got) != 1 {
 		t.Fatalf("duplicate mail fired an apply: %+v", got)
 	}
@@ -178,7 +179,7 @@ func TestUpdateAndApplyEvents(t *testing.T) {
 	// Rumor push: one apply per entry that landed.
 	src.Advance(1)
 	e2 := a.Update("k2", store.Value("v2"))
-	needed := b.HandleRumors([]store.Entry{e2})
+	needed := b.HandleRumors([]store.Entry{e2}, nil)
 	if len(needed) != 1 || !needed[0] {
 		t.Fatalf("needed = %v", needed)
 	}
@@ -266,7 +267,7 @@ func TestEmitNotUnderNodeLock(t *testing.T) {
 	}
 	a.SetPeers([]Peer{NewLocalPeer(b, 1)})
 
-	a.Update("k", store.Value("v"))       // update + mail
+	a.Update("k", store.Value("v")) // update + mail
 	b.Store().Update("cold", store.Value("v"))
 	if err := a.StepAntiEntropy(); err != nil { // apply + redistribute + exchange
 		t.Fatal(err)
@@ -275,15 +276,15 @@ func TestEmitNotUnderNodeLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := b.Store().Update("mailed", store.Value("v"))
-	a.HandleMail(e)                             // apply via mail
+	a.HandleMail(e, trace.Hop{}) // apply via mail
 	e2 := b.Store().Update("rumored", store.Value("v"))
-	a.HandleRumors([]store.Entry{e2})           // apply via rumor push
-	a.ApplyRepair(b.Store().Update("fixed", store.Value("v")))
+	a.HandleRumors([]store.Entry{e2}, nil) // apply via rumor push
+	a.ApplyRepair(b.Store().Update("fixed", store.Value("v")), 2, trace.Hop{}, trace.MechAntiEntropy)
 	a.SetPeers([]Peer{&erroringPeer{id: 3}})
-	a.Update("k2", store.Value("v"))            // mail failure
-	a.Delete("gone")                            // update (death certificate)
+	a.Update("k2", store.Value("v")) // mail failure
+	a.Delete("gone")                 // update (death certificate)
 	src.Advance(100)
-	a.StepGC()                                  // gc
+	a.StepGC() // gc
 }
 
 // TestEventsWithDaemonsRunning lets the background daemons race real
@@ -340,10 +341,16 @@ func TestEventsWithDaemonsRunning(t *testing.T) {
 type erroringPeer struct{ id timestamp.SiteID }
 
 func (p *erroringPeer) ID() timestamp.SiteID { return p.id }
-func (p *erroringPeer) AntiEntropy(core.ResolveConfig, *store.Store) (core.ExchangeStats, error) {
+func (p *erroringPeer) AntiEntropy(core.ResolveConfig, *store.Store, *trace.Tracer) (core.ExchangeStats, error) {
 	return core.ExchangeStats{}, ErrPeerDown
 }
-func (p *erroringPeer) PushRumors([]store.Entry) ([]bool, error) { return nil, ErrPeerDown }
-func (p *erroringPeer) PullRumors() ([]store.Entry, error)       { return nil, ErrPeerDown }
-func (p *erroringPeer) Checksum(int64) (uint64, error)           { return 0, ErrPeerDown }
-func (p *erroringPeer) Mail(store.Entry) error                   { return ErrPeerDown }
+func (p *erroringPeer) PushRumors([]store.Entry, []trace.Hop) ([]bool, error) {
+	return nil, ErrPeerDown
+}
+func (p *erroringPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
+	return nil, nil, ErrPeerDown
+}
+func (p *erroringPeer) Checksum(int64) (uint64, error) { return 0, ErrPeerDown }
+func (p *erroringPeer) Mail(store.Entry, trace.Hop) error {
+	return ErrPeerDown
+}

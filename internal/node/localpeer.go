@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -55,32 +56,45 @@ func (p *LocalPeer) ID() timestamp.SiteID { return p.target.Site() }
 // AntiEntropy implements Peer. Repairs that land on the target replica are
 // reported to it as apply events — ResolveDifference writes into both
 // stores directly, so the target would otherwise never observe its own
-// infections.
-func (p *LocalPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
+// infections. Before reporting, each repair's SenderHop is backfilled from
+// the shipping side's tracer so both parties stamp causal hop counts, just
+// as the wire envelope provides over TCP.
+func (p *LocalPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer) (core.ExchangeStats, error) {
 	if p.isDown() {
 		return core.ExchangeStats{}, ErrPeerDown
 	}
 	st, err := core.ResolveDifference(cfg, local, p.target.Store())
-	if err == nil {
-		p.target.noteRepaired(st.AppliedBySite[p.target.Site()], local.Site())
+	if err != nil {
+		return st, err
 	}
-	return st, err
+	for i, r := range st.Repairs {
+		sender := tr
+		if r.Parent == p.target.Site() {
+			sender = p.target.Tracer()
+		}
+		if env := sender.Envelope(r.Key, r.Stamp); env.Valid {
+			st.Repairs[i].SenderHop = env.Count
+		}
+	}
+	p.target.noteRepaired(st.Repairs)
+	return st, nil
 }
 
 // PushRumors implements Peer.
-func (p *LocalPeer) PushRumors(entries []store.Entry) ([]bool, error) {
+func (p *LocalPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, error) {
 	if p.isDown() {
 		return nil, ErrPeerDown
 	}
-	return p.target.HandleRumors(entries), nil
+	return p.target.HandleRumors(entries, hops), nil
 }
 
 // PullRumors implements Peer.
-func (p *LocalPeer) PullRumors() ([]store.Entry, error) {
+func (p *LocalPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
 	if p.isDown() {
-		return nil, ErrPeerDown
+		return nil, nil, ErrPeerDown
 	}
-	return p.target.HotEntries(), nil
+	entries, hops := p.target.HotEntriesTraced()
+	return entries, hops, nil
 }
 
 // Checksum implements Peer.
@@ -94,14 +108,14 @@ func (p *LocalPeer) Checksum(tau1 int64) (uint64, error) {
 
 // Mail implements Peer. Lost mail returns nil: PostMail's failure mode is
 // silent ("messages may be discarded when queues overflow").
-func (p *LocalPeer) Mail(e store.Entry) error {
+func (p *LocalPeer) Mail(e store.Entry, hop trace.Hop) error {
 	p.mu.Lock()
 	drop := p.down || (p.mailLoss > 0 && p.rng.Float64() < p.mailLoss)
 	p.mu.Unlock()
 	if drop {
 		return nil
 	}
-	p.target.HandleMail(e)
+	p.target.HandleMail(e, hop)
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -32,20 +33,25 @@ type Peer interface {
 	// ID returns the peer's site ID.
 	ID() timestamp.SiteID
 	// AntiEntropy runs one ResolveDifference conversation between local
-	// and the peer's replica.
-	AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error)
+	// and the peer's replica. tr, when non-nil, is the initiator's tracer:
+	// implementations backfill SenderHop on the returned stats' Repairs so
+	// both parties can stamp causal hop spans. A nil tr disables tracing.
+	AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer) (core.ExchangeStats, error)
 	// PushRumors delivers hot entries to the peer; needed[i] reports
 	// whether entry i changed the peer's replica (the rumor feedback bit
-	// vector of §1.4).
-	PushRumors(entries []store.Entry) (needed []bool, err error)
-	// PullRumors fetches the peer's current hot entries.
-	PullRumors() ([]store.Entry, error)
+	// vector of §1.4). hops carries one provenance envelope per entry, or
+	// nil when tracing is disabled.
+	PushRumors(entries []store.Entry, hops []trace.Hop) (needed []bool, err error)
+	// PullRumors fetches the peer's current hot entries with their
+	// provenance envelopes (nil when the peer does not trace).
+	PullRumors() ([]store.Entry, []trace.Hop, error)
 	// Checksum returns the peer's live database checksum at its current
 	// clock with the given dormancy threshold — the agreement probe of
 	// §1.5's combined peel-back / rumor scheme.
 	Checksum(tau1 int64) (uint64, error)
-	// Mail posts one entry to the peer's mailbox (PostMail of §1.2).
-	Mail(e store.Entry) error
+	// Mail posts one entry to the peer's mailbox (PostMail of §1.2). hop is
+	// the sender's provenance envelope (zero when tracing is disabled).
+	Mail(e store.Entry, hop trace.Hop) error
 }
 
 // Config configures a Node. Zero values get sensible defaults from
@@ -82,6 +88,11 @@ type Config struct {
 	// StoreShards is the replica store's lock-stripe count, rounded up to a
 	// power of two; 0 selects store.DefaultShards.
 	StoreShards int
+	// TraceRing, when positive, enables update tracing with a span ring of
+	// that capacity: every apply records a hop span and outbound exchanges
+	// carry provenance envelopes. Zero (the default) disables tracing
+	// entirely — no spans, no envelopes, no allocations.
+	TraceRing int
 	// Seed seeds this node's private RNG; 0 derives one from the site ID.
 	Seed int64
 	// OnEvent, when set, receives lifecycle events (exchanges, rumor
@@ -97,9 +108,14 @@ type Config struct {
 
 // Node is one database replica plus its propagation daemons.
 type Node struct {
-	cfg   Config
-	store *store.Store
-	log   *slog.Logger
+	cfg    Config
+	store  *store.Store
+	log    *slog.Logger
+	tracer *trace.Tracer // nil when tracing is disabled
+
+	// rounds counts protocol rounds (rumor + anti-entropy) for span
+	// stamping; atomic because daemons and handlers read it concurrently.
+	rounds atomic.Uint64
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -185,6 +201,9 @@ func New(cfg Config) (*Node, error) {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
+	if cfg.TraceRing > 0 {
+		n.tracer = trace.NewTracer(cfg.Site, cfg.TraceRing)
+	}
 	if cfg.OnEvent != nil {
 		n.onEvent.Store(&cfg.OnEvent)
 	}
@@ -229,6 +248,10 @@ func (n *Node) Site() timestamp.SiteID { return n.cfg.Site }
 
 // Store exposes the replica (read-mostly; the store is thread-safe).
 func (n *Node) Store() *store.Store { return n.store }
+
+// Tracer returns this node's span tracer, or nil when tracing is
+// disabled (Config.TraceRing <= 0). The nil tracer is safe to use.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // SetPeers replaces the peer set with uniform selection probability. The
 // slice is copied.
@@ -320,14 +343,16 @@ func (n *Node) distribute(e store.Entry) {
 	}
 	peers := append([]Peer(nil), n.peers...)
 	n.mu.Unlock()
+	n.tracer.RecordLocal(e.Key, e.Stamp, n.rounds.Load())
 	n.emit(Event{Kind: EventUpdate, Key: e.Key, Stamp: e.Stamp})
 
 	if !n.cfg.DirectMailOnUpdate {
 		return
 	}
+	env := n.tracer.Envelope(e.Key, e.Stamp)
 	sent, failed := 0, 0
 	for _, p := range peers {
-		if err := p.Mail(e); err != nil {
+		if err := p.Mail(e, env); err != nil {
 			failed++
 			n.log.Warn("direct mail failed", "peer", int(p.ID()), "key", e.Key, "err", err)
 			n.emit(Event{Kind: EventMailFailed, Peer: p.ID()})
@@ -342,8 +367,9 @@ func (n *Node) distribute(e store.Entry) {
 }
 
 // HandleMail is the receive side of PostMail: apply the update; a fresh
-// update also becomes a hot rumor here.
-func (n *Node) HandleMail(e store.Entry) {
+// update also becomes a hot rumor here. hop is the sender's provenance
+// envelope (zero when the sender does not trace).
+func (n *Node) HandleMail(e store.Entry, hop trace.Hop) {
 	res := n.store.Apply(e)
 	if res.Changed() {
 		n.mu.Lock()
@@ -352,16 +378,30 @@ func (n *Node) HandleMail(e store.Entry) {
 			n.activity.Touch(e.Key)
 		}
 		n.mu.Unlock()
+		n.tracer.RecordApply(e.Key, e.Stamp, hop.Sender(), hop,
+			trace.MechDirectMail, n.store.Now(), n.rounds.Load())
 		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
 	}
 }
 
 // HandleRumors is the receive side of PushRumors: apply each entry, report
 // which were needed, and treat fresh ones as hot rumors here too ("the
-// recipient ... adds all new updates to its infective list", §1.4).
-func (n *Node) HandleRumors(entries []store.Entry) []bool {
+// recipient ... adds all new updates to its infective list", §1.4). hops
+// carries one envelope per entry or nil.
+func (n *Node) HandleRumors(entries []store.Entry, hops []trace.Hop) []bool {
+	return n.applyRumors(entries, hops, trace.MechRumorPush)
+}
+
+// appliedRumor defers span and event emission until n.mu is released.
+type appliedRumor struct {
+	entry store.Entry
+	hop   trace.Hop
+	at    int64
+}
+
+func (n *Node) applyRumors(entries []store.Entry, hops []trace.Hop, mech trace.Mechanism) []bool {
 	needed := make([]bool, len(entries))
-	var applied []store.Entry
+	var applied []appliedRumor
 	for i, e := range entries {
 		res := n.store.Apply(e)
 		needed[i] = res.Changed()
@@ -372,37 +412,61 @@ func (n *Node) HandleRumors(entries []store.Entry) []bool {
 				n.activity.Touch(e.Key)
 			}
 			n.mu.Unlock()
-			applied = append(applied, e)
+			applied = append(applied, appliedRumor{entry: e, hop: hopAt(hops, i), at: n.store.Now()})
 		}
 	}
-	for _, e := range applied {
+	round := n.rounds.Load()
+	for _, a := range applied {
+		e := a.entry
+		n.tracer.RecordApply(e.Key, e.Stamp, a.hop.Sender(), a.hop, mech, a.at, round)
 		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
 	}
 	return needed
 }
 
+// hopAt returns hops[i], or the zero (no-envelope) Hop when the slice is
+// nil or short — untraced senders simply omit the envelopes.
+func hopAt(hops []trace.Hop, i int) trace.Hop {
+	if i < len(hops) {
+		return hops[i]
+	}
+	return trace.Hop{}
+}
+
 // ApplyRepair applies one entry received through a remotely initiated
 // anti-entropy conversation (the transport server's sync requests),
-// emitting EventApply when it changes this replica. Unlike HandleMail the
-// entry does not become a hot rumor: redistribution of repaired updates is
-// the initiator's policy decision (§1.5).
-func (n *Node) ApplyRepair(e store.Entry) store.ApplyResult {
+// emitting EventApply when it changes this replica. from identifies the
+// initiating site, hop its provenance envelope for the entry, and mech the
+// anti-entropy sub-mechanism (MechAntiEntropy or MechPeelBack). Unlike
+// HandleMail the entry does not become a hot rumor: redistribution of
+// repaired updates is the initiator's policy decision (§1.5).
+func (n *Node) ApplyRepair(e store.Entry, from timestamp.SiteID, hop trace.Hop, mech trace.Mechanism) store.ApplyResult {
 	res := n.store.Apply(e)
 	if res.Changed() {
-		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
+		src := from
+		if hop.Valid {
+			src = hop.Parent
+		}
+		n.tracer.RecordApply(e.Key, e.Stamp, src, hop, mech, n.store.Now(), n.rounds.Load())
+		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp, Peer: src})
 	}
 	return res
 }
 
-// noteRepaired emits EventApply for keys an anti-entropy exchange changed
-// at THIS replica while some other node initiated the conversation (the
-// in-process LocalPeer path, where core.ResolveDifference writes into both
-// stores directly). Must be called without n.mu held.
-func (n *Node) noteRepaired(keys []string, from timestamp.SiteID) {
-	for _, key := range keys {
-		if e, ok := n.store.Get(key); ok {
-			n.emit(Event{Kind: EventApply, Key: key, Stamp: e.Stamp, Peer: from})
+// noteRepaired records spans and emits EventApply for repairs an
+// anti-entropy exchange landed on THIS replica while some other node
+// initiated the conversation (the in-process LocalPeer path, where
+// core.ResolveDifference writes into both stores directly). Must be called
+// without n.mu held.
+func (n *Node) noteRepaired(repairs []core.Repair) {
+	round := n.rounds.Load()
+	for _, r := range repairs {
+		if r.Site != n.cfg.Site {
+			continue
 		}
+		hop := trace.Hop{Parent: r.Parent, Count: r.SenderHop, Valid: true}
+		n.tracer.RecordApply(r.Key, r.Stamp, r.Parent, hop, r.Mech, n.store.Now(), round)
+		n.emit(Event{Kind: EventApply, Key: r.Key, Stamp: r.Stamp, Peer: r.Parent})
 	}
 }
 
@@ -433,6 +497,13 @@ func (n *Node) HotEntries() []store.Entry {
 		out = append(out, e)
 	}
 	return out
+}
+
+// HotEntriesTraced returns the hot rumors plus one provenance envelope per
+// entry (nil envelopes when tracing is disabled) — the pull-side payload.
+func (n *Node) HotEntriesTraced() ([]store.Entry, []trace.Hop) {
+	entries := n.HotEntries()
+	return entries, n.tracer.Envelopes(entries)
 }
 
 // pickPeer chooses a random peer, uniformly or by the weights installed
@@ -466,15 +537,16 @@ func (n *Node) StepRumor() error {
 	if !ok {
 		return ErrNoPeers
 	}
+	n.rounds.Add(1)
 	n.mu.Lock()
 	n.stats.RumorRuns++
 	n.mu.Unlock()
 
 	mode := n.cfg.Rumor.Mode
 	if mode == core.Push || mode == core.PushPull {
-		hot := n.HotEntries()
+		hot, hops := n.HotEntriesTraced()
 		if len(hot) > 0 {
-			needed, err := peer.PushRumors(hot)
+			needed, err := peer.PushRumors(hot, hops)
 			if err != nil {
 				return fmt.Errorf("push rumors to %d: %w", peer.ID(), err)
 			}
@@ -489,11 +561,11 @@ func (n *Node) StepRumor() error {
 		}
 	}
 	if mode == core.Pull || mode == core.PushPull {
-		entries, err := peer.PullRumors()
+		entries, hops, err := peer.PullRumors()
 		if err != nil {
 			return fmt.Errorf("pull rumors from %d: %w", peer.ID(), err)
 		}
-		n.HandleRumors(entries)
+		n.applyRumors(entries, hops, trace.MechRumorPull)
 		n.mu.Lock()
 		n.stats.EntriesReceived += len(entries)
 		n.mu.Unlock()
@@ -510,8 +582,9 @@ func (n *Node) StepAntiEntropy() error {
 	if !ok {
 		return ErrNoPeers
 	}
+	n.rounds.Add(1)
 	before := n.store.Checksum()
-	st, err := peer.AntiEntropy(n.cfg.Resolve, n.store)
+	st, err := peer.AntiEntropy(n.cfg.Resolve, n.store, n.tracer)
 	if err != nil {
 		return fmt.Errorf("anti-entropy with %d: %w", peer.ID(), err)
 	}
@@ -525,10 +598,14 @@ func (n *Node) StepAntiEntropy() error {
 	}
 	n.mu.Unlock()
 	// Infections repaired INTO this replica during the conversation.
-	for _, key := range st.AppliedBySite[n.cfg.Site] {
-		if e, ok := n.store.Get(key); ok {
-			n.emit(Event{Kind: EventApply, Key: key, Stamp: e.Stamp, Peer: peer.ID()})
+	round := n.rounds.Load()
+	for _, r := range st.Repairs {
+		if r.Site != n.cfg.Site {
+			continue
 		}
+		hop := trace.Hop{Parent: r.Parent, Count: r.SenderHop, Valid: true}
+		n.tracer.RecordApply(r.Key, r.Stamp, r.Parent, hop, r.Mech, n.store.Now(), round)
+		n.emit(Event{Kind: EventApply, Key: r.Key, Stamp: r.Stamp, Peer: peer.ID()})
 	}
 	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st})
 	n.log.Debug("anti-entropy finished", "peer", int(peer.ID()),
@@ -572,8 +649,9 @@ func (n *Node) redistributeRepaired(st core.ExchangeStats) {
 		case core.RedistributeRumor:
 			n.hot.Add(key, e.Stamp)
 		case core.RedistributeMail:
+			env := n.tracer.Envelope(key, e.Stamp)
 			for _, p := range n.peers {
-				if err := p.Mail(e); err != nil {
+				if err := p.Mail(e, env); err != nil {
 					n.stats.MailFailed++
 				} else {
 					n.stats.MailSent++

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -16,24 +17,24 @@ type countingPeer struct {
 
 func (p *countingPeer) ID() timestamp.SiteID { return p.id }
 
-func (p *countingPeer) AntiEntropy(core.ResolveConfig, *store.Store) (core.ExchangeStats, error) {
+func (p *countingPeer) AntiEntropy(core.ResolveConfig, *store.Store, *trace.Tracer) (core.ExchangeStats, error) {
 	p.calls++
 	return core.ExchangeStats{}, nil
 }
 
-func (p *countingPeer) PushRumors(entries []store.Entry) ([]bool, error) {
+func (p *countingPeer) PushRumors(entries []store.Entry, _ []trace.Hop) ([]bool, error) {
 	p.calls++
 	return make([]bool, len(entries)), nil
 }
 
-func (p *countingPeer) PullRumors() ([]store.Entry, error) {
+func (p *countingPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
 	p.calls++
-	return nil, nil
+	return nil, nil, nil
 }
 
 func (p *countingPeer) Checksum(int64) (uint64, error) { return 0, nil }
 
-func (p *countingPeer) Mail(store.Entry) error { return nil }
+func (p *countingPeer) Mail(store.Entry, trace.Hop) error { return nil }
 
 func TestSetPeersWeightedValidation(t *testing.T) {
 	n, err := New(Config{Site: 1})

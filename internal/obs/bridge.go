@@ -23,6 +23,7 @@ const (
 	MetricRedistributed       = "epidemic_redistributed_total"
 	MetricCertificatesExpired = "epidemic_certificates_expired_total"
 	MetricUpdatePropagation   = "epidemic_update_propagation_seconds"
+	MetricPropagationTracked  = "epidemic_propagation_tracked"
 	MetricHotRumors           = "epidemic_hot_rumors"
 	MetricPeers               = "epidemic_peers"
 	MetricStoreKeys           = "epidemic_store_keys"
@@ -114,6 +115,14 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 	hist := reg.Histogram(MetricUpdatePropagation,
 		"Delay from an update's origination to its application at a replica, in seconds.",
 		opts.Buckets)
+	if opts.Propagation != nil {
+		// Shared like the histogram: the tracker spans the cluster, and the
+		// registry's idempotent registration makes repeat calls harmless.
+		tracked := opts.Propagation
+		reg.GaugeFunc(MetricPropagationTracked,
+			"Update keys currently tracked by the propagation tracker (capacity-bounded).",
+			func() float64 { return float64(tracked.Tracked()) })
+	}
 
 	site := int32(n.Site())
 	prop := opts.Propagation

@@ -17,12 +17,21 @@ import (
 // site counts, so redundant apply reports (e.g. both parties of an
 // anti-entropy exchange reporting the same repaired key) are harmless. A
 // newer origin for a key (a re-update) resets its track.
+// Tracking is bounded: at most capacity keys are tracked at once, and the
+// key with the oldest origin is evicted to admit a newer one, so a
+// long-running node's tracker cannot grow without limit. Observables for
+// retained keys are unaffected by evictions.
 type Propagation struct {
 	mu             sync.Mutex
 	secondsPerUnit float64
 	hist           *Histogram // optional: observed once per new infection
 	updates        map[string]*track
+	capacity       int
 }
+
+// DefaultPropagationCap bounds the tracked-update map when no explicit
+// capacity is set.
+const DefaultPropagationCap = 1024
 
 type track struct {
 	origin    int64
@@ -41,6 +50,44 @@ func NewPropagation(secondsPerUnit float64, hist *Histogram) *Propagation {
 		secondsPerUnit: secondsPerUnit,
 		hist:           hist,
 		updates:        make(map[string]*track),
+		capacity:       DefaultPropagationCap,
+	}
+}
+
+// SetCapacity bounds the number of simultaneously tracked keys (values
+// <= 0 restore DefaultPropagationCap). Shrinking below the current track
+// count evicts oldest-origin keys immediately.
+func (p *Propagation) SetCapacity(n int) {
+	if n <= 0 {
+		n = DefaultPropagationCap
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capacity = n
+	p.evictLocked()
+}
+
+// Tracked returns the number of keys currently tracked — exported as the
+// epidemic_propagation_tracked gauge.
+func (p *Propagation) Tracked() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.updates)
+}
+
+// evictLocked drops oldest-origin keys (ties broken by smaller key, for
+// determinism) until the map fits the capacity. Caller holds p.mu.
+func (p *Propagation) evictLocked() {
+	for len(p.updates) > p.capacity {
+		victim := ""
+		var oldest int64
+		first := true
+		for k, tr := range p.updates {
+			if first || tr.origin < oldest || (tr.origin == oldest && k < victim) {
+				victim, oldest, first = k, tr.origin, false
+			}
+		}
+		delete(p.updates, victim)
 	}
 }
 
@@ -52,6 +99,7 @@ func (p *Propagation) ensure(key string, origin int64) *track {
 	if !ok || origin > tr.origin {
 		tr = &track{origin: origin, firstSeen: make(map[int32]int64)}
 		p.updates[key] = tr
+		p.evictLocked()
 	}
 	return tr
 }

@@ -45,6 +45,51 @@ func TestPropagationReupdateResets(t *testing.T) {
 	}
 }
 
+func TestPropagationEviction(t *testing.T) {
+	p := NewPropagation(1, nil)
+	p.SetCapacity(2)
+
+	p.Originated("old", 0, 10)
+	p.Infected("old", 1, 10, 12)
+	p.Originated("mid", 0, 20)
+	p.Infected("mid", 1, 20, 23)
+	if got := p.Tracked(); got != 2 {
+		t.Fatalf("tracked = %d", got)
+	}
+
+	// Admitting a third key evicts the oldest origin ("old") and leaves
+	// the retained keys' observables untouched.
+	p.Originated("new", 0, 30)
+	p.Infected("new", 1, 30, 34)
+	if got := p.Tracked(); got != 2 {
+		t.Fatalf("tracked after eviction = %d", got)
+	}
+	if _, ok := p.TLast("old"); ok {
+		t.Error("evicted key still tracked")
+	}
+	if res := p.Residue("old", 2); res != 1 {
+		t.Errorf("evicted residue = %v", res)
+	}
+	if last, ok := p.TLast("mid"); !ok || last != 3 {
+		t.Errorf("retained t_last(mid) = %v, %v", last, ok)
+	}
+	if last, ok := p.TLast("new"); !ok || last != 4 {
+		t.Errorf("retained t_last(new) = %v, %v", last, ok)
+	}
+	if res := p.Residue("mid", 2); res != 0 {
+		t.Errorf("retained residue(mid) = %v", res)
+	}
+	if keys := p.Keys(); len(keys) != 2 || keys[0] != "mid" || keys[1] != "new" {
+		t.Errorf("keys = %v", keys)
+	}
+
+	// Shrinking evicts immediately.
+	p.SetCapacity(1)
+	if keys := p.Keys(); len(keys) != 1 || keys[0] != "new" {
+		t.Errorf("keys after shrink = %v", keys)
+	}
+}
+
 func TestPropagationHistogramAndSkew(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("epidemic_update_propagation_seconds", "x", []float64{1, 10})

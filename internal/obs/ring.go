@@ -82,11 +82,46 @@ func (r *EventRing) Snapshot() []EventRecord {
 	return out
 }
 
-// Handler serves the ring as JSON: {"events": [...]}, newest last. The
-// optional ?n= query parameter limits the reply to the most recent n.
+// SnapshotSince returns the retained records with Seq >= cursor, oldest
+// first, plus the cursor to pass next time (one past the newest record
+// ever appended). A cursor of 0 returns everything retained; a cursor
+// beyond the newest record returns nothing. Records that were overwritten
+// before the cursor caught up are silently gone — the returned slice's
+// first Seq tells the caller how much it missed.
+func (r *EventRing) SnapshotSince(cursor uint64) ([]EventRecord, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	if cursor > start {
+		start = cursor
+	}
+	var out []EventRecord
+	for seq := start; seq < r.next; seq++ {
+		out = append(out, r.buf[seq%n])
+	}
+	return out, r.next
+}
+
+// Handler serves the ring as JSON: {"events": [...], "next": cursor},
+// newest last. The optional ?since= query parameter (a cursor from a
+// previous reply's "next") restricts the reply to records not yet seen;
+// ?n= limits it to the most recent n.
 func (r *EventRing) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		events := r.Snapshot()
+		var cursor uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			c, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			cursor = c
+		}
+		events, next := r.SnapshotSince(cursor)
 		if s := req.URL.Query().Get("n"); s != "" {
 			n, err := strconv.Atoi(s)
 			if err != nil || n < 0 {
@@ -100,6 +135,7 @@ func (r *EventRing) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
 			Events []EventRecord `json:"events"`
-		}{events})
+			Next   uint64        `json:"next"`
+		}{events, next})
 	})
 }

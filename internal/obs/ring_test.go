@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 )
 
@@ -37,6 +38,79 @@ func TestEventRingPartial(t *testing.T) {
 	snap := r.Snapshot()
 	if len(snap) != 1 || snap[0].Kind != "gc" || snap[0].Seq != 0 {
 		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestEventRingSnapshotSince(t *testing.T) {
+	r := NewEventRing(4)
+	var cursor uint64
+	for i := 0; i < 3; i++ {
+		cursor = r.Append(EventRecord{Kind: "rumor", Count: i}) + 1
+	}
+	if recs, next := r.SnapshotSince(0); len(recs) != 3 || next != 3 {
+		t.Fatalf("from zero: %d recs, next %d", len(recs), next)
+	}
+	// Nothing new yet.
+	recs, next := r.SnapshotSince(cursor)
+	if len(recs) != 0 || next != cursor {
+		t.Fatalf("caught up: %d recs, next %d", len(recs), next)
+	}
+	// Incremental poll returns only the two new records.
+	r.Append(EventRecord{Kind: "gc"})
+	r.Append(EventRecord{Kind: "apply"})
+	recs, next = r.SnapshotSince(cursor)
+	if len(recs) != 2 || recs[0].Kind != "gc" || recs[1].Kind != "apply" || next != 5 {
+		t.Fatalf("incremental: %+v next %d", recs, next)
+	}
+	// A cursor that fell behind the ring returns what is retained.
+	for i := 0; i < 6; i++ {
+		r.Append(EventRecord{Kind: "rumor"})
+	}
+	recs, next = r.SnapshotSince(cursor)
+	if len(recs) != 4 || recs[0].Seq != 7 || next != 11 {
+		t.Fatalf("lagged: %d recs, first seq %d, next %d", len(recs), recs[0].Seq, next)
+	}
+}
+
+func TestEventRingHandlerSince(t *testing.T) {
+	r := NewEventRing(8)
+	for i := 0; i < 5; i++ {
+		r.Append(EventRecord{Kind: "rumor", Count: i})
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(query string) (events []EventRecord, next uint64) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Events []EventRecord `json:"events"`
+			Next   uint64        `json:"next"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Events, body.Next
+	}
+
+	events, next := get("")
+	if len(events) != 5 || next != 5 {
+		t.Fatalf("full poll: %d events, next %d", len(events), next)
+	}
+	r.Append(EventRecord{Kind: "gc"})
+	events, next = get("?since=" + strconv.FormatUint(next, 10))
+	if len(events) != 1 || events[0].Kind != "gc" || next != 6 {
+		t.Fatalf("incremental poll: %+v next %d", events, next)
+	}
+	if resp, err := srv.Client().Get(srv.URL + "?since=bogus"); err == nil {
+		if resp.StatusCode != 400 {
+			t.Errorf("bad since status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
 	}
 }
 

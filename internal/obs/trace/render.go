@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the infection tree as ASCII, one line per site:
+//
+//	key "greeting" version 1754… (site 1) — 3/3 sites
+//	site 1  origin       hop 0  +0.000s
+//	└─ site 2  rumor-push   hop 1  +0.013s
+//	   └─ site 3  anti-entropy hop 2  +0.041s
+//
+// Delays are relative to the origination, scaled to seconds by
+// secondsPerUnit (1e-9 for wall-nanosecond stamps, 1 for simulated
+// ticks).
+func (tr *Tree) Render(w io.Writer, secondsPerUnit float64) {
+	if secondsPerUnit <= 0 {
+		secondsPerUnit = 1e-9
+	}
+	fmt.Fprintf(w, "key %q version %s — %d sites\n", tr.Key, tr.Stamp, len(tr.nodes))
+	seen := make(map[*TreeNode]bool)
+	if tr.Root != nil {
+		fmt.Fprintf(w, "site %d  %s  hop 0  +0.000s\n", tr.Root.Site, tr.Root.Mech)
+		seen[tr.Root] = true
+		tr.renderChildren(w, tr.Root, "", secondsPerUnit, seen)
+	}
+	for _, o := range tr.Orphans {
+		if seen[o] {
+			continue
+		}
+		fmt.Fprintf(w, "?─ %s   (parent site %d recorded no span)\n", tr.nodeLine(o, secondsPerUnit), o.From)
+		seen[o] = true
+		tr.renderChildren(w, o, "   ", secondsPerUnit, seen)
+	}
+}
+
+func (tr *Tree) renderChildren(w io.Writer, n *TreeNode, prefix string, spu float64, seen map[*TreeNode]bool) {
+	for i, c := range n.Children {
+		if seen[c] {
+			continue // defensive: malformed span sets could alias nodes
+		}
+		seen[c] = true
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if i == len(n.Children)-1 {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		fmt.Fprintf(w, "%s%s%s\n", prefix, connector, tr.nodeLine(c, spu))
+		tr.renderChildren(w, c, childPrefix, spu, seen)
+	}
+}
+
+func (tr *Tree) nodeLine(n *TreeNode, spu float64) string {
+	hop := "hop ?"
+	if n.Hop != HopUnknown {
+		hop = fmt.Sprintf("hop %d", n.Hop)
+	}
+	return fmt.Sprintf("site %d  %s  %s  +%.3fs", n.Site, n.Mech, hop,
+		float64(tr.delayUnits(n))*spu)
+}
+
+// DOT writes the infection tree in Graphviz DOT format: one node per
+// site, one edge per infection labelled with its mechanism and hop count.
+func (tr *Tree) DOT(w io.Writer) {
+	fmt.Fprintf(w, "digraph infection {\n")
+	fmt.Fprintf(w, "  label=%q;\n", fmt.Sprintf("%s @ %s", tr.Key, tr.Stamp))
+	for _, site := range tr.Sites() {
+		n := tr.nodes[site]
+		shape := "ellipse"
+		if n.Mech == MechOrigin {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(w, "  s%d [label=\"site %d\", shape=%s];\n", site, site, shape)
+	}
+	for _, site := range tr.Sites() {
+		n := tr.nodes[site]
+		if n.Mech == MechOrigin {
+			continue
+		}
+		if parent, ok := tr.nodes[n.From]; ok && parent != n {
+			hop := "?"
+			if n.Hop != HopUnknown {
+				hop = fmt.Sprintf("%d", n.Hop)
+			}
+			fmt.Fprintf(w, "  s%d -> s%d [label=\"%s/hop %s\"];\n", parent.Site, n.Site, n.Mech, hop)
+		}
+	}
+	fmt.Fprintf(w, "}\n")
+}

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+func stamp(t int64, site timestamp.SiteID) timestamp.T {
+	return timestamp.T{Time: t, Site: site}
+}
+
+func TestMechanismJSONRoundTrip(t *testing.T) {
+	for _, m := range []Mechanism{MechUnknown, MechOrigin, MechDirectMail,
+		MechRumorPush, MechRumorPull, MechAntiEntropy, MechPeelBack} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mechanism
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if back != m {
+			t.Errorf("round trip %v -> %s -> %v", m, b, back)
+		}
+	}
+	var m Mechanism
+	if err := json.Unmarshal([]byte(`"bogus"`), &m); err == nil {
+		t.Error("bogus mechanism accepted")
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.RecordLocal("k", stamp(1, 1), 0)
+	tr.RecordApply("k", stamp(1, 1), 2, Hop{}, MechDirectMail, 5, 0)
+	if env := tr.Envelope("k", stamp(1, 1)); env.Valid {
+		t.Errorf("nil tracer produced an envelope: %+v", env)
+	}
+	if hops := tr.Envelopes([]store.Entry{{Key: "k"}}); hops != nil {
+		t.Errorf("nil tracer produced envelopes: %v", hops)
+	}
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Error("nil tracer retained spans")
+	}
+	if d := tr.DumpFor(""); d.Site != SiteUnknown || d.Spans != nil {
+		t.Errorf("nil tracer dump = %+v", d)
+	}
+}
+
+func TestRecordAndEnvelope(t *testing.T) {
+	tr := NewTracer(1, 16)
+	s := stamp(10, 1)
+	tr.RecordLocal("k", s, 3)
+
+	env := tr.Envelope("k", s)
+	if !env.Valid || env.Parent != 1 || env.Count != 0 {
+		t.Fatalf("origin envelope = %+v", env)
+	}
+	// A version the tracer never saw gets an envelope with unknown count.
+	if env := tr.Envelope("k", stamp(99, 2)); !env.Valid || env.Count != HopUnknown {
+		t.Errorf("unseen-version envelope = %+v", env)
+	}
+	if env := tr.Envelope("other", s); !env.Valid || env.Count != HopUnknown {
+		t.Errorf("unseen-key envelope = %+v", env)
+	}
+
+	// Receiving with a hop-2 envelope makes this site hop 3.
+	rx := NewTracer(7, 16)
+	rx.RecordApply("k", s, SiteUnknown, Hop{Parent: 4, Count: 2, Valid: true}, MechRumorPush, 12, 1)
+	spans := rx.SpansFor("k")
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v", spans)
+	}
+	sp := spans[0]
+	if sp.Hop != 3 || sp.From != 4 || sp.To != 7 || sp.Mech != MechRumorPush || sp.At != 12 || sp.Round != 1 {
+		t.Errorf("span = %+v", sp)
+	}
+	if env := rx.Envelope("k", s); env.Count != 3 {
+		t.Errorf("forwarded envelope = %+v", env)
+	}
+
+	// No envelope at all -> unknown hop, sender from the out-of-band site.
+	rx.RecordApply("k2", s, 5, Hop{}, MechAntiEntropy, 13, 1)
+	sp = rx.SpansFor("k2")[0]
+	if sp.Hop != HopUnknown || sp.From != 5 {
+		t.Errorf("no-envelope span = %+v", sp)
+	}
+	// Unknown hops stay unknown when forwarded.
+	fwd := rx.Envelope("k2", s)
+	next := NewTracer(9, 16)
+	next.RecordApply("k2", s, SiteUnknown, fwd, MechRumorPull, 14, 0)
+	if sp := next.SpansFor("k2")[0]; sp.Hop != HopUnknown || sp.From != 7 {
+		t.Errorf("forwarded-unknown span = %+v", sp)
+	}
+}
+
+func TestSpanRingWrapsAndFilters(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 6; i++ {
+		key := "a"
+		if i%2 == 1 {
+			key = "b"
+		}
+		tr.RecordLocal(key, stamp(int64(i+1), 1), 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 || spans[0].Seq != 2 || spans[3].Seq != 5 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	for _, sp := range tr.SpansFor("b") {
+		if sp.Key != "b" {
+			t.Errorf("filter leaked %+v", sp)
+		}
+	}
+}
+
+func TestCurEvictionKeepsNewestStamps(t *testing.T) {
+	tr := NewTracer(1, 2) // hop table capacity 2
+	tr.RecordLocal("old", stamp(1, 1), 0)
+	tr.RecordLocal("mid", stamp(2, 1), 0)
+	tr.RecordLocal("new", stamp(3, 1), 0) // evicts "old"
+	if env := tr.Envelope("old", stamp(1, 1)); env.Count != HopUnknown {
+		t.Errorf("evicted key still tracked: %+v", env)
+	}
+	for _, k := range []string{"mid", "new"} {
+		if env := tr.Envelope(k, stamp(map[string]int64{"mid": 2, "new": 3}[k], 1)); env.Count != 0 {
+			t.Errorf("%s lost its hop: %+v", k, env)
+		}
+	}
+	// A stale version must not clobber a newer one.
+	tr.RecordApply("new", stamp(2, 2), 4, Hop{Parent: 4, Count: 0, Valid: true}, MechDirectMail, 5, 0)
+	if env := tr.Envelope("new", stamp(3, 1)); env.Count != 0 {
+		t.Errorf("stale apply clobbered hop table: %+v", env)
+	}
+}
+
+// buildSpans simulates 0 -> {1 by push, 2 by mail}, 1 -> 3 by anti-entropy.
+func buildSpans() []Span {
+	s := stamp(100, 0)
+	return []Span{
+		{Key: "k", Stamp: s, From: 0, To: 0, Mech: MechOrigin, Hop: 0, At: 100},
+		{Key: "k", Stamp: s, From: 0, To: 1, Mech: MechRumorPush, Hop: 1, At: 101},
+		{Key: "k", Stamp: s, From: 0, To: 2, Mech: MechDirectMail, Hop: 1, At: 102},
+		{Key: "k", Stamp: s, From: 1, To: 3, Mech: MechAntiEntropy, Hop: 2, At: 104},
+		// A later duplicate delivery to site 2 must lose to the first.
+		{Key: "k", Stamp: s, From: 1, To: 2, Mech: MechRumorPull, Hop: 2, At: 110},
+		// A different key must be ignored entirely.
+		{Key: "other", Stamp: s, From: 0, To: 9, Mech: MechDirectMail, Hop: 1, At: 101},
+	}
+}
+
+func TestAssembleTree(t *testing.T) {
+	tr := Assemble("k", buildSpans())
+	if tr == nil {
+		t.Fatal("no tree")
+	}
+	if tr.Root == nil || tr.Root.Site != 0 {
+		t.Fatalf("root = %+v", tr.Root)
+	}
+	sites := tr.Sites()
+	if len(sites) != 4 {
+		t.Fatalf("sites = %v", sites)
+	}
+	if n := tr.Node(2); n.Mech != MechDirectMail || n.At != 102 {
+		t.Errorf("duplicate delivery won: %+v", n)
+	}
+	if got := len(tr.Root.Children); got != 2 {
+		t.Fatalf("root children = %d", got)
+	}
+	if n := tr.Node(3); n.Hop != 2 || tr.Node(1).Children[0] != n {
+		t.Errorf("site 3 not under site 1: %+v", n)
+	}
+	// Hop consistency: every child is its parent's hop + 1.
+	for _, site := range sites {
+		n := tr.Node(site)
+		for _, c := range n.Children {
+			if c.Hop != n.Hop+1 {
+				t.Errorf("site %d hop %d under parent hop %d", c.Site, c.Hop, n.Hop)
+			}
+		}
+	}
+	if len(tr.Orphans) != 0 {
+		t.Errorf("orphans = %+v", tr.Orphans)
+	}
+
+	if Assemble("missing", buildSpans()) != nil {
+		t.Error("tree for untraced key")
+	}
+}
+
+func TestAssemblePicksNewestVersion(t *testing.T) {
+	old, new_ := stamp(10, 0), stamp(20, 1)
+	spans := []Span{
+		{Key: "k", Stamp: old, From: 0, To: 0, Mech: MechOrigin, Hop: 0, At: 10},
+		{Key: "k", Stamp: old, From: 0, To: 1, Mech: MechDirectMail, Hop: 1, At: 11},
+		{Key: "k", Stamp: new_, From: 1, To: 1, Mech: MechOrigin, Hop: 0, At: 20},
+		{Key: "k", Stamp: new_, From: 1, To: 0, Mech: MechRumorPush, Hop: 1, At: 21},
+	}
+	tr := Assemble("k", spans)
+	if tr.Stamp != new_ {
+		t.Fatalf("stamp = %v", tr.Stamp)
+	}
+	if tr.Root == nil || tr.Root.Site != 1 || len(tr.Sites()) != 2 {
+		t.Fatalf("tree = %+v sites=%v", tr.Root, tr.Sites())
+	}
+}
+
+func TestTreeObservables(t *testing.T) {
+	tr := Assemble("k", buildSpans())
+	if got := tr.TLastUnits(); got != 4 {
+		t.Errorf("t_last = %d, want 4", got)
+	}
+	// Delays 0, 1, 2, 4 over 4 sites.
+	if got := tr.TAvgUnits(); got != 7.0/4 {
+		t.Errorf("t_avg = %v, want %v", got, 7.0/4)
+	}
+	if got := tr.Residue(5); got != 0.2 {
+		t.Errorf("residue(5) = %v", got)
+	}
+	if got := tr.Residue(4); got != 0 {
+		t.Errorf("residue(4) = %v", got)
+	}
+	hops := tr.HopHistogram()
+	if hops["0"] != 1 || hops["1"] != 2 || hops["2"] != 1 {
+		t.Errorf("hops = %v", hops)
+	}
+	mechs := tr.MechanismCounts()
+	if mechs["origin"] != 1 || mechs["rumor-push"] != 1 || mechs["direct-mail"] != 1 || mechs["anti-entropy"] != 1 {
+		t.Errorf("mechanisms = %v", mechs)
+	}
+	sum := tr.Summarize(5, 1)
+	if sum.Sites != 4 || sum.TLastSeconds != 4 || sum.Residue != 0.2 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestAssembleOrphans(t *testing.T) {
+	s := stamp(50, 3)
+	spans := []Span{
+		// No origin span; site 8's parent 3 recorded nothing either.
+		{Key: "k", Stamp: s, From: 3, To: 8, Mech: MechAntiEntropy, Hop: HopUnknown, At: 55},
+		{Key: "k", Stamp: s, From: 8, To: 9, Mech: MechRumorPush, Hop: HopUnknown, At: 56},
+	}
+	tr := Assemble("k", spans)
+	if tr.Root != nil {
+		t.Fatalf("root = %+v", tr.Root)
+	}
+	if len(tr.Orphans) != 1 || tr.Orphans[0].Site != 8 {
+		t.Fatalf("orphans = %+v", tr.Orphans)
+	}
+	if len(tr.Orphans[0].Children) != 1 || tr.Orphans[0].Children[0].Site != 9 {
+		t.Fatalf("orphan children = %+v", tr.Orphans[0].Children)
+	}
+	// t_last still measures from the stamp's time when the origin span is
+	// missing.
+	if got := tr.TLastUnits(); got != 6 {
+		t.Errorf("t_last = %d", got)
+	}
+}
+
+func TestRenderAndDOT(t *testing.T) {
+	tr := Assemble("k", buildSpans())
+	var buf, dot strings.Builder
+	tr.Render(&buf, 1)
+	out := buf.String()
+	for _, want := range []string{`key "k"`, "site 0", "├─", "└─", "rumor-push", "anti-entropy", "+4.000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	tr.DOT(&dot)
+	d := dot.String()
+	for _, want := range []string{"digraph infection", "s0 -> s1", "s1 -> s3", "doublecircle"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+
+	"epidemic/internal/timestamp"
+)
+
+// TreeNode is one site's position in an infection tree: the hop span that
+// first delivered the traced version to the site, with the sites it went
+// on to infect as children.
+type TreeNode struct {
+	Site     timestamp.SiteID `json:"site"`
+	From     timestamp.SiteID `json:"from"`
+	Hop      int32            `json:"hop"`
+	Mech     Mechanism        `json:"mechanism"`
+	At       int64            `json:"at"`
+	Round    uint64           `json:"round"`
+	Children []*TreeNode      `json:"children,omitempty"`
+}
+
+// Tree is the reconstructed infection tree of one update version: which
+// site infected which, by what mechanism, at what time. Assemble builds
+// it from spans federated across replicas.
+type Tree struct {
+	// Key and Stamp identify the traced update version (the newest version
+	// among the supplied spans).
+	Key   string      `json:"key"`
+	Stamp timestamp.T `json:"stamp"`
+	// Root is the origination, or nil when no origin span was collected
+	// (e.g. the originating replica was not queried).
+	Root *TreeNode `json:"root,omitempty"`
+	// Orphans are infected sites whose recorded parent produced no span of
+	// its own (tracing off at the parent, ring overwritten, or the parent
+	// unknown) — they are part of the node set but cannot be attached.
+	Orphans []*TreeNode `json:"orphans,omitempty"`
+
+	nodes map[timestamp.SiteID]*TreeNode
+}
+
+// Assemble reconstructs the infection tree for key from spans collected
+// across any number of replicas. Only the newest version (largest Stamp)
+// present in the spans is considered; per site, the earliest application
+// of that version wins. It returns nil when no span matches the key.
+func Assemble(key string, spans []Span) *Tree {
+	var newest timestamp.T
+	found := false
+	for _, sp := range spans {
+		if sp.Key != key {
+			continue
+		}
+		if !found || newest.Less(sp.Stamp) {
+			newest, found = sp.Stamp, true
+		}
+	}
+	if !found {
+		return nil
+	}
+
+	tr := &Tree{Key: key, Stamp: newest, nodes: make(map[timestamp.SiteID]*TreeNode)}
+	for _, sp := range spans {
+		if sp.Key != key || sp.Stamp != newest {
+			continue
+		}
+		cand := &TreeNode{
+			Site: sp.To, From: sp.From, Hop: sp.Hop,
+			Mech: sp.Mech, At: sp.At, Round: sp.Round,
+		}
+		cur, ok := tr.nodes[sp.To]
+		if !ok || betterNode(cand, cur) {
+			tr.nodes[sp.To] = cand
+		}
+	}
+
+	// Attach children to parents. The origin anchors the tree; any node
+	// whose parent is absent (or is itself) becomes an orphan.
+	for _, n := range tr.nodes {
+		if n.Mech == MechOrigin {
+			tr.Root = n
+		}
+	}
+	for _, n := range tr.nodes {
+		if n == tr.Root {
+			continue
+		}
+		parent, ok := tr.nodes[n.From]
+		if !ok || parent == n {
+			tr.Orphans = append(tr.Orphans, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	for _, n := range tr.nodes {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Site < n.Children[j].Site })
+	}
+	sort.Slice(tr.Orphans, func(i, j int) bool { return tr.Orphans[i].Site < tr.Orphans[j].Site })
+	return tr
+}
+
+// betterNode prefers the span that first delivered the version: origin
+// spans beat applies, then earlier application times win.
+func betterNode(cand, cur *TreeNode) bool {
+	if (cand.Mech == MechOrigin) != (cur.Mech == MechOrigin) {
+		return cand.Mech == MechOrigin
+	}
+	return cand.At < cur.At
+}
+
+// Node returns site's tree node, or nil when the site holds no span for
+// the traced version.
+func (tr *Tree) Node(site timestamp.SiteID) *TreeNode { return tr.nodes[site] }
+
+// Sites returns the infected sites, sorted — the tree's node set.
+func (tr *Tree) Sites() []timestamp.SiteID {
+	out := make([]timestamp.SiteID, 0, len(tr.nodes))
+	for s := range tr.nodes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// originAt returns the propagation's time zero: the origin span's time
+// when present, otherwise the version stamp's time component (the same
+// value the origin span would carry).
+func (tr *Tree) originAt() int64 {
+	if tr.Root != nil {
+		return tr.Root.At
+	}
+	return tr.Stamp.Time
+}
+
+// delayUnits returns a node's infection delay in stamp units, clamped at
+// zero for cross-site clock skew exactly like the Propagation tracker.
+func (tr *Tree) delayUnits(n *TreeNode) int64 {
+	d := n.At - tr.originAt()
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// TLastUnits returns t_last in stamp units: the delay until the last
+// currently infected site received the update (§1.4).
+func (tr *Tree) TLastUnits() int64 {
+	var max int64
+	for _, n := range tr.nodes {
+		if d := tr.delayUnits(n); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TAvgUnits returns t_avg in stamp units: the mean infection delay over
+// all infected sites, the origin included with delay zero.
+func (tr *Tree) TAvgUnits() float64 {
+	if len(tr.nodes) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, n := range tr.nodes {
+		sum += tr.delayUnits(n)
+	}
+	return float64(sum) / float64(len(tr.nodes))
+}
+
+// Residue returns the fraction of n sites the update never reached — the
+// paper's residue s/n (§1.4).
+func (tr *Tree) Residue(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	infected := len(tr.nodes)
+	if infected > n {
+		infected = n
+	}
+	return float64(n-infected) / float64(n)
+}
+
+// HopHistogram returns the per-hop site counts, keyed by hop count with
+// "unknown" for spans without causal hop numbers — JSON-friendly string
+// keys.
+func (tr *Tree) HopHistogram() map[string]int {
+	out := make(map[string]int)
+	for _, n := range tr.nodes {
+		if n.Hop == HopUnknown {
+			out["unknown"]++
+			continue
+		}
+		out[strconv.Itoa(int(n.Hop))]++
+	}
+	return out
+}
+
+// MechanismCounts returns how many sites each mechanism infected,
+// including the origin. The rumor push/pull ratio of §1.4 reads directly
+// off the rumor-push and rumor-pull entries.
+func (tr *Tree) MechanismCounts() map[string]int {
+	out := make(map[string]int)
+	for _, n := range tr.nodes {
+		out[n.Mech.String()]++
+	}
+	return out
+}
+
+// Summary packages the paper's convergence observables for one traced
+// update, in seconds via secondsPerUnit. clusterSize is the number of
+// replicas residue is measured against (typically the membership size).
+type Summary struct {
+	Key          string         `json:"key"`
+	Stamp        timestamp.T    `json:"stamp"`
+	Sites        int            `json:"sites"`
+	ClusterSize  int            `json:"cluster_size"`
+	TLastSeconds float64        `json:"t_last_seconds"`
+	TAvgSeconds  float64        `json:"t_avg_seconds"`
+	Residue      float64        `json:"residue"`
+	Hops         map[string]int `json:"hop_histogram"`
+	Mechanisms   map[string]int `json:"mechanisms"`
+}
+
+// Summarize derives the Summary.
+func (tr *Tree) Summarize(clusterSize int, secondsPerUnit float64) Summary {
+	if secondsPerUnit <= 0 {
+		secondsPerUnit = 1e-9
+	}
+	return Summary{
+		Key:          tr.Key,
+		Stamp:        tr.Stamp,
+		Sites:        len(tr.nodes),
+		ClusterSize:  clusterSize,
+		TLastSeconds: float64(tr.TLastUnits()) * secondsPerUnit,
+		TAvgSeconds:  tr.TAvgUnits() * secondsPerUnit,
+		Residue:      tr.Residue(clusterSize),
+		Hops:         tr.HopHistogram(),
+		Mechanisms:   tr.MechanismCounts(),
+	}
+}

@@ -44,6 +44,10 @@ type ClusterConfig struct {
 	// StoreShards is forwarded to every node's replica store (lock-stripe
 	// count, 0 = default).
 	StoreShards int
+	// TraceRing, when > 0, gives every node a hop-provenance tracer
+	// retaining that many spans, so infection trees can be assembled from
+	// the same run the Propagation tracker observes.
+	TraceRing int
 	// Seed makes runs reproducible.
 	Seed int64
 	// TickPerCycle advances the simulated clock this much each cycle
@@ -98,6 +102,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			RetentionCount:     cfg.RetentionCount,
 			DirectMailOnUpdate: cfg.DirectMailOnUpdate,
 			StoreShards:        cfg.StoreShards,
+			TraceRing:          cfg.TraceRing,
 			Seed:               cfg.Seed + int64(i) + 1,
 		})
 		if err != nil {

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"epidemic/internal/core"
+	"epidemic/internal/obs"
+	"epidemic/internal/obs/trace"
+	"epidemic/internal/store"
+)
+
+// federateSpans collects every node's trace ring, as gossipctl does across
+// a live cluster.
+func federateSpans(c *Cluster) []trace.Span {
+	var spans []trace.Span
+	for i := 0; i < c.N(); i++ {
+		spans = append(spans, c.Node(i).Tracer().Spans()...)
+	}
+	return spans
+}
+
+// checkHops walks the tree asserting the causal-hop invariant: every child
+// sits exactly one hop beyond its parent, no later than it, and the root is
+// hop zero.
+func checkHops(t *testing.T, n *trace.TreeNode) {
+	t.Helper()
+	for _, child := range n.Children {
+		if child.Hop != n.Hop+1 {
+			t.Errorf("site %d hop %d under site %d hop %d", child.Site, child.Hop, n.Site, n.Hop)
+		}
+		if child.At < n.At {
+			t.Errorf("site %d infected at %d before its parent %d at %d", child.Site, child.At, n.Site, n.At)
+		}
+		checkHops(t, child)
+	}
+}
+
+// TestClusterTraceMatchesPropagation proves the span path is lossless: the
+// observables derived from the assembled infection tree agree exactly (in
+// ticks) with the Propagation tracker watching the same run.
+func TestClusterTraceMatchesPropagation(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.Registry = reg
+		cfg.TraceRing = 1024
+	})
+	origin, firstSeen := groundTruthSpread(c, "k", "v")
+	prop := c.Propagation()
+
+	tree := trace.Assemble("k", federateSpans(c))
+	if tree == nil {
+		t.Fatal("no spans recorded for k")
+	}
+	if len(tree.Orphans) != 0 {
+		t.Errorf("orphans with every replica queried: %v", tree.Orphans)
+	}
+	if tree.Root == nil {
+		t.Fatal("no origin span")
+	}
+	if tree.Root.Hop != 0 || tree.Root.At != origin {
+		t.Errorf("root hop %d at %d, want 0 at %d", tree.Root.Hop, tree.Root.At, origin)
+	}
+	checkHops(t, tree.Root)
+
+	if got, want := len(tree.Sites()), len(firstSeen); got != want {
+		t.Fatalf("tree covers %d sites, ground truth %d", got, want)
+	}
+	if got, want := len(tree.Sites()), prop.InfectedCount("k"); got != want {
+		t.Fatalf("tree covers %d sites, tracker %d", got, want)
+	}
+
+	// Exact agreement, not approximate: both sides measure integer ticks
+	// from the same apply events.
+	wantLast, _ := prop.TLast("k")
+	if got := tree.TLastUnits(); float64(got) != wantLast {
+		t.Errorf("t_last = %d ticks, tracker %v", got, wantLast)
+	}
+	wantAvg, _ := prop.TAvg("k")
+	if got := tree.TAvgUnits(); got != wantAvg {
+		t.Errorf("t_avg = %v ticks, tracker %v", got, wantAvg)
+	}
+	if got, want := tree.Residue(c.N()), prop.Residue("k", c.N()); got != want {
+		t.Errorf("residue = %v, tracker %v", got, want)
+	}
+
+	// Every infection beyond the origin came over a rumor mechanism.
+	mechs := tree.MechanismCounts()
+	if mechs[trace.MechOrigin.String()] != 1 {
+		t.Errorf("origin count = %d in %v", mechs[trace.MechOrigin.String()], mechs)
+	}
+	rumor := mechs[trace.MechRumorPush.String()] + mechs[trace.MechRumorPull.String()]
+	if rumor != len(firstSeen)-1 {
+		t.Errorf("rumor infections = %d, want %d (mechs %v)", rumor, len(firstSeen)-1, mechs)
+	}
+}
+
+// TestClusterTraceAntiEntropy drives convergence purely by anti-entropy and
+// checks the spans tag the right mechanism while still matching the tracker.
+func TestClusterTraceAntiEntropy(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.Registry = reg
+		cfg.TraceRing = 1024
+		cfg.Resolve = core.ResolveConfig{
+			Mode: core.PushPull, Strategy: core.CompareRecent,
+			Tau: 1 << 40, Tau1: 1 << 40,
+		}
+	})
+	c.Node(0).Update("k", store.Value("v"))
+	if _, ok := c.RunAntiEntropyToConsistency(200); !ok {
+		t.Fatal("no convergence in 200 cycles")
+	}
+
+	tree := trace.Assemble("k", federateSpans(c))
+	if tree == nil || tree.Root == nil {
+		t.Fatalf("tree = %+v", tree)
+	}
+	if got := len(tree.Sites()); got != c.N() {
+		t.Fatalf("tree covers %d sites, want %d", got, c.N())
+	}
+	checkHops(t, tree.Root)
+	prop := c.Propagation()
+	wantLast, _ := prop.TLast("k")
+	if got := tree.TLastUnits(); float64(got) != wantLast {
+		t.Errorf("t_last = %d ticks, tracker %v", got, wantLast)
+	}
+	wantAvg, _ := prop.TAvg("k")
+	if got := tree.TAvgUnits(); got != wantAvg {
+		t.Errorf("t_avg = %v ticks, tracker %v", got, wantAvg)
+	}
+
+	mechs := tree.MechanismCounts()
+	if mechs[trace.MechAntiEntropy.String()] != c.N()-1 {
+		t.Errorf("anti-entropy infections = %v, want %d", mechs, c.N()-1)
+	}
+}
+
+// TestClusterTraceResidue repeats the feeble-rumor residue scenario and
+// checks the trace-derived residue equals the tracker's exactly even when
+// the epidemic dies out early.
+func TestClusterTraceResidue(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		reg := obs.NewRegistry()
+		c, err := NewCluster(ClusterConfig{
+			N:         32,
+			Rumor:     core.RumorConfig{K: 1, Counter: true, Feedback: true, Mode: core.Push},
+			Seed:      seed,
+			Registry:  reg,
+			TraceRing: 4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groundTruthSpread(c, "k", "v")
+		tree := trace.Assemble("k", federateSpans(c))
+		if tree == nil {
+			t.Fatalf("seed %d: no spans", seed)
+		}
+		prop := c.Propagation()
+		if got, want := len(tree.Sites()), prop.InfectedCount("k"); got != want {
+			t.Errorf("seed %d: tree covers %d sites, tracker %d", seed, got, want)
+		}
+		if got, want := tree.Residue(c.N()), prop.Residue("k", c.N()); got != want {
+			t.Errorf("seed %d: residue = %v, tracker %v", seed, got, want)
+		}
+		wantLast, _ := prop.TLast("k")
+		if got := tree.TLastUnits(); float64(got) != wantLast {
+			t.Errorf("seed %d: t_last = %d ticks, tracker %v", seed, got, wantLast)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -51,7 +52,7 @@ func TestClientTruncatedResponseFrame(t *testing.T) {
 	})
 	peer := NewTCPPeerWith(7, addr, PeerOptions{Timeout: time.Second})
 	defer peer.Close()
-	_, err := peer.PullRumors()
+	_, _, err := peer.PullRumors()
 	if !errors.Is(err, ErrTruncatedFrame) {
 		t.Errorf("err = %v, want ErrTruncatedFrame", err)
 	}
@@ -71,7 +72,7 @@ func TestClientOversizeResponseFrame(t *testing.T) {
 	})
 	peer := NewTCPPeerWith(7, addr, PeerOptions{Timeout: time.Second})
 	defer peer.Close()
-	_, err := peer.PullRumors()
+	_, _, err := peer.PullRumors()
 	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("err = %v, want ErrFrameTooLarge", err)
 	}
@@ -124,7 +125,7 @@ func TestClientStalledPeerDeadline(t *testing.T) {
 	peer := NewTCPPeerWith(7, addr, PeerOptions{Timeout: 150 * time.Millisecond})
 	defer peer.Close()
 	start := time.Now()
-	_, err := peer.PullRumors()
+	_, _, err := peer.PullRumors()
 	if !errors.Is(err, os.ErrDeadlineExceeded) {
 		t.Errorf("err = %v, want deadline exceeded", err)
 	}
@@ -172,7 +173,7 @@ func TestServerSurvivesTruncatedAndOversizeFrames(t *testing.T) {
 	// The server still serves real traffic afterwards.
 	peer := NewTCPPeer(1, srv.Addr())
 	defer peer.Close()
-	if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1}}); err != nil {
+	if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1}}, trace.Hop{}); err != nil {
 		t.Fatalf("server wedged after fault injection: %v", err)
 	}
 }
@@ -194,7 +195,7 @@ func TestPoolRedialsAfterRemoteRestart(t *testing.T) {
 	stats := &WireStats{}
 	peer := NewTCPPeerWith(1, addr, PeerOptions{Timeout: time.Second, Stats: stats})
 	defer peer.Close()
-	if err := peer.Mail(store.Entry{Key: "a", Value: store.Value("1"), Stamp: timestamp.T{Time: 1}}); err != nil {
+	if err := peer.Mail(store.Entry{Key: "a", Value: store.Value("1"), Stamp: timestamp.T{Time: 1}}, trace.Hop{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -209,7 +210,7 @@ func TestPoolRedialsAfterRemoteRestart(t *testing.T) {
 	}
 	defer srv2.Close()
 
-	if err := peer.Mail(store.Entry{Key: "b", Value: store.Value("2"), Stamp: timestamp.T{Time: 2}}); err != nil {
+	if err := peer.Mail(store.Entry{Key: "b", Value: store.Value("2"), Stamp: timestamp.T{Time: 2}}, trace.Hop{}); err != nil {
 		t.Fatalf("mail through restarted remote: %v", err)
 	}
 	if snap := stats.Snapshot(); snap.Redials == 0 {
@@ -249,11 +250,11 @@ func TestPoolStressConcurrentExchanges(t *testing.T) {
 						Key:   fmt.Sprintf("g%d-%d", g, i),
 						Value: store.Value("v"),
 						Stamp: timestamp.T{Time: int64(g*1000 + i), Site: 1},
-					})
+					}, trace.Hop{})
 				case 1:
-					_, err = peer.PullRumors()
+					_, _, err = peer.PullRumors()
 				default:
-					_, err = peer.AntiEntropy(cfg, local)
+					_, err = peer.AntiEntropy(cfg, local, nil)
 				}
 				if err != nil {
 					errs <- err

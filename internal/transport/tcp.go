@@ -11,6 +11,7 @@ import (
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -70,6 +71,10 @@ type request struct {
 	// caller echoes back the Bound each response hands it.
 	Bound timestamp.T
 	Limit int
+	// Hops carries one provenance envelope per entry in Entries when the
+	// sender traces. nil — the common untraced case — is omitted from the
+	// gob frame entirely, so disabled tracing adds zero wire bytes.
+	Hops []trace.Hop
 }
 
 type response struct {
@@ -83,7 +88,9 @@ type response struct {
 	// than it remain.
 	Bound timestamp.T
 	More  bool
-	Err   string
+	// Hops mirrors request.Hops for the response's Entries.
+	Hops []trace.Hop
+	Err  string
 }
 
 // Server-side session limits: an idle session is reaped after
@@ -275,18 +282,19 @@ func clampPeelLimit(limit int) int {
 func (s *Server) dispatch(req request) response {
 	switch req.Kind {
 	case reqMail:
-		for _, e := range req.Entries {
-			s.node.HandleMail(e)
+		for i, e := range req.Entries {
+			s.node.HandleMail(e, hopAt(req.Hops, i))
 		}
 		return response{}
 	case reqPushRumors:
-		return response{Needed: s.node.HandleRumors(req.Entries)}
+		return response{Needed: s.node.HandleRumors(req.Entries, req.Hops)}
 	case reqPullRumors:
-		return response{Entries: s.node.HotEntries()}
+		entries, hops := s.node.HotEntriesTraced()
+		return response{Entries: entries, Hops: hops}
 	case reqSync:
 		st := s.node.Store()
-		for _, e := range req.Entries {
-			s.node.ApplyRepair(e)
+		for i, e := range req.Entries {
+			s.node.ApplyRepair(e, req.From, hopAt(req.Hops, i), trace.MechAntiEntropy)
 		}
 		now := maxInt64(st.Now(), req.Now)
 		var recent []store.Entry
@@ -296,19 +304,21 @@ func (s *Server) dispatch(req request) response {
 		sum := st.ChecksumLive(now, req.Tau1)
 		return response{
 			Entries:  recent,
+			Hops:     s.node.Tracer().Envelopes(recent),
 			Checksum: sum,
 			Now:      now,
 			InSync:   sum == req.Checksum,
 		}
 	case reqPeelBack:
 		st := s.node.Store()
-		for _, e := range req.Entries {
-			s.node.ApplyRepair(e)
+		for i, e := range req.Entries {
+			s.node.ApplyRepair(e, req.From, hopAt(req.Hops, i), trace.MechPeelBack)
 		}
 		now := maxInt64(st.Now(), req.Now)
 		batch, next, more := st.PeelBatch(req.Bound, clampPeelLimit(req.Limit), now, req.Tau1)
 		return response{
 			Entries:  batch,
+			Hops:     s.node.Tracer().Envelopes(batch),
 			Checksum: st.ChecksumLive(now, req.Tau1),
 			Now:      now,
 			Bound:    next,
@@ -316,12 +326,14 @@ func (s *Server) dispatch(req request) response {
 		}
 	case reqFullSync:
 		st := s.node.Store()
-		for _, e := range req.Entries {
-			s.node.ApplyRepair(e)
+		for i, e := range req.Entries {
+			s.node.ApplyRepair(e, req.From, hopAt(req.Hops, i), trace.MechAntiEntropy)
 		}
 		now := maxInt64(st.Now(), req.Now)
+		full := st.LiveSnapshot(now, req.Tau1)
 		return response{
-			Entries:  st.LiveSnapshot(now, req.Tau1),
+			Entries:  full,
+			Hops:     s.node.Tracer().Envelopes(full),
 			Checksum: st.ChecksumLive(now, req.Tau1),
 			Now:      now,
 			InSync:   true,
@@ -332,6 +344,15 @@ func (s *Server) dispatch(req request) response {
 	default:
 		return response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 	}
+}
+
+// hopAt returns hops[i], or the zero (no-envelope) Hop when the sender
+// shipped no envelopes or fewer than entries.
+func hopAt(hops []trace.Hop, i int) trace.Hop {
+	if i < len(hops) {
+		return hops[i]
+	}
+	return trace.Hop{}
 }
 
 func maxInt64(a, b int64) int64 {
@@ -438,15 +459,20 @@ func (p *TCPPeer) roundTrip(req request) (response, error) {
 	return resp, nil
 }
 
-// Mail implements node.Peer.
-func (p *TCPPeer) Mail(e store.Entry) error {
-	_, err := p.roundTrip(request{Kind: reqMail, Entries: []store.Entry{e}})
+// Mail implements node.Peer. The envelope slice is only allocated when the
+// sender actually traces, keeping untraced mail identical on the wire.
+func (p *TCPPeer) Mail(e store.Entry, hop trace.Hop) error {
+	req := request{Kind: reqMail, Entries: []store.Entry{e}}
+	if hop.Valid {
+		req.Hops = []trace.Hop{hop}
+	}
+	_, err := p.roundTrip(req)
 	return err
 }
 
 // PushRumors implements node.Peer.
-func (p *TCPPeer) PushRumors(entries []store.Entry) ([]bool, error) {
-	resp, err := p.roundTrip(request{Kind: reqPushRumors, Entries: entries})
+func (p *TCPPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, error) {
+	resp, err := p.roundTrip(request{Kind: reqPushRumors, Entries: entries, Hops: hops})
 	if err != nil {
 		return nil, err
 	}
@@ -454,12 +480,12 @@ func (p *TCPPeer) PushRumors(entries []store.Entry) ([]bool, error) {
 }
 
 // PullRumors implements node.Peer.
-func (p *TCPPeer) PullRumors() ([]store.Entry, error) {
+func (p *TCPPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
 	resp, err := p.roundTrip(request{Kind: reqPullRumors})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return resp.Entries, nil
+	return resp.Entries, resp.Hops, nil
 }
 
 // Checksum implements node.Peer.
@@ -478,7 +504,7 @@ func (p *TCPPeer) Checksum(tau1 int64) (uint64, error) {
 // and stopping as soon as they agree — O(δ) entries shipped for δ
 // differing keys. Only when MaxPeelRounds batches have not reconciled the
 // replicas does the conversation degrade to the full swap.
-func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.ExchangeStats, error) {
+func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer) (core.ExchangeStats, error) {
 	var st core.ExchangeStats
 	var bytesOut, bytesIn int64
 	rpc := func(req request) (response, error) {
@@ -507,6 +533,7 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 	resp, err := rpc(request{
 		Kind:     reqSync,
 		Entries:  recent,
+		Hops:     tr.Envelopes(recent),
 		Checksum: local.ChecksumLive(now, cfg.Tau1),
 		Now:      now,
 		Tau:      cfg.Tau,
@@ -516,7 +543,7 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 		return st, err
 	}
 	st.EntriesSent += len(recent)
-	applyReceived(local, resp.Entries, &st)
+	p.applyReceived(local, resp.Entries, resp.Hops, trace.MechAntiEntropy, &st)
 	now = maxInt64(now, resp.Now)
 	st.ChecksumsCompared++
 	if local.ChecksumLive(now, cfg.Tau1) == resp.Checksum {
@@ -540,6 +567,7 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 		resp, err := rpc(request{
 			Kind:    reqPeelBack,
 			Entries: mine,
+			Hops:    tr.Envelopes(mine),
 			Bound:   remoteBound,
 			Limit:   batch,
 			Now:     now,
@@ -549,7 +577,7 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 			return st, err
 		}
 		st.EntriesSent += len(mine)
-		applyReceived(local, resp.Entries, &st)
+		p.applyReceived(local, resp.Entries, resp.Hops, trace.MechPeelBack, &st)
 		remoteBound, remoteMore = resp.Bound, resp.More
 		now = maxInt64(now, resp.Now)
 		st.ChecksumsCompared++
@@ -570,20 +598,25 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store) (core.
 	// disagree — swap full live databases in one round trip.
 	st.FullCompare = true
 	full := local.LiveSnapshot(now, cfg.Tau1)
-	resp, err = rpc(request{Kind: reqFullSync, Entries: full, Now: now, Tau1: cfg.Tau1})
+	resp, err = rpc(request{
+		Kind: reqFullSync, Entries: full, Hops: tr.Envelopes(full),
+		Now: now, Tau1: cfg.Tau1,
+	})
 	if err != nil {
 		return st, err
 	}
 	st.EntriesSent += len(full)
-	applyReceived(local, resp.Entries, &st)
+	p.applyReceived(local, resp.Entries, resp.Hops, trace.MechAntiEntropy, &st)
 	finish()
 	return st, nil
 }
 
 // applyReceived merges entries the peer shipped into the local store,
-// attributing traffic and repairs to the exchange stats.
-func applyReceived(local *store.Store, entries []store.Entry, st *core.ExchangeStats) {
-	for _, e := range entries {
+// attributing traffic and repairs to the exchange stats. hops are the
+// peer's provenance envelopes (nil when it does not trace); each applied
+// entry becomes a Repair so the caller can stamp causal hop spans.
+func (p *TCPPeer) applyReceived(local *store.Store, entries []store.Entry, hops []trace.Hop, mech trace.Mechanism, st *core.ExchangeStats) {
+	for i, e := range entries {
 		st.EntriesReceived++
 		if local.Apply(e).Changed() {
 			st.EntriesApplied++
@@ -592,6 +625,15 @@ func applyReceived(local *store.Store, entries []store.Entry, st *core.ExchangeS
 				st.AppliedBySite = make(map[timestamp.SiteID][]string)
 			}
 			st.AppliedBySite[local.Site()] = append(st.AppliedBySite[local.Site()], e.Key)
+			senderHop := trace.HopUnknown
+			if h := hopAt(hops, i); h.Valid {
+				senderHop = h.Count
+			}
+			st.Repairs = append(st.Repairs, core.Repair{
+				Site: local.Site(), Parent: p.id,
+				Key: e.Key, Stamp: e.Stamp,
+				Mech: mech, SenderHop: senderHop,
+			})
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -53,7 +54,7 @@ func TestTCPPeerID(t *testing.T) {
 func TestTCPMail(t *testing.T) {
 	a, b := tcpPair(t)
 	e := a.Update("k", store.Value("v"))
-	if err := a.Peers()[0].Mail(e); err != nil {
+	if err := a.Peers()[0].Mail(e, trace.Hop{}); err != nil {
 		t.Fatal(err)
 	}
 	if v, ok := b.Lookup("k"); !ok || string(v) != "v" {
@@ -86,7 +87,7 @@ func TestTCPAntiEntropyInSync(t *testing.T) {
 	b.Store().Apply(e)
 	st, err := a.Peers()[0].AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40,
-	}, a.Store())
+	}, a.Store(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestTCPAntiEntropyPeelBackAvoidsFullSwap(t *testing.T) {
 	a.Store().Update("old", store.Value("x"))
 	st, err := a.Peers()[0].AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0,
-	}, a.Store())
+	}, a.Store(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTCPAntiEntropyFullSwapLastResort(t *testing.T) {
 	defer peer.Close()
 	st, err := peer.AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0, BatchSize: 4,
-	}, a.Store())
+	}, a.Store(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +154,13 @@ func TestTCPPeerUnreachable(t *testing.T) {
 	a, _ := tcpPair(t)
 	// Nothing listens here; a short timeout keeps the test fast.
 	dead := NewTCPPeerWith(3, "127.0.0.1:1", PeerOptions{Timeout: 200 * time.Millisecond})
-	if err := dead.Mail(store.Entry{Key: "k"}); err == nil {
+	if err := dead.Mail(store.Entry{Key: "k"}, trace.Hop{}); err == nil {
 		t.Error("mail to dead peer succeeded")
 	}
-	if _, err := dead.PullRumors(); err == nil {
+	if _, _, err := dead.PullRumors(); err == nil {
 		t.Error("pull from dead peer succeeded")
 	}
-	if _, err := dead.AntiEntropy(core.ResolveConfig{Mode: core.PushPull, Strategy: core.CompareRecent}, a.Store()); err == nil {
+	if _, err := dead.AntiEntropy(core.ResolveConfig{Mode: core.PushPull, Strategy: core.CompareRecent}, a.Store(), nil); err == nil {
 		t.Error("anti-entropy with dead peer succeeded")
 	}
 }
@@ -264,7 +265,7 @@ func TestTCPPeelBackShipsOrderDelta(t *testing.T) {
 	st, err := peer.AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent,
 		Tau: 10, Tau1: 1 << 40, BatchSize: 64,
-	}, local)
+	}, local, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestServerRejectsGarbageBytes(t *testing.T) {
 	_ = conn.Close()
 	// The server must survive; a real request still works.
 	peer := NewTCPPeer(1, srv.Addr())
-	if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1}}); err != nil {
+	if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1}}, trace.Hop{}); err != nil {
 		t.Fatalf("server wedged after garbage: %v", err)
 	}
 	if _, ok := n.Lookup("k"); !ok {
