@@ -1,11 +1,18 @@
 GO ?= go
 
 # BENCH_OUT numbers the machine-readable bench report; bump per PR.
-BENCH_OUT ?= BENCH_3.json
+# BENCH_2 is the wire-transport report: this PR re-records it with the
+# binary-codec and UDP-fast-path rows.
+BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?= docs/bench-seed.txt
 # STORE_BENCH pins the store microbenchmarks to a fixed iteration count
 # and a -cpu sweep so sharded-vs-mutex ratios are comparable across runs.
 STORE_BENCH = -run '^$$' -bench BenchmarkStore -benchtime=200000x -cpu 1,4,8 -benchmem ./internal/store
+# WIRE_BENCH / CODEC_BENCH pin the transport benchmarks to fixed iteration
+# counts so UDP-vs-TCP and binary-vs-gob ratios are stable run to run (the
+# 1x suite pass skips them — see bench).
+WIRE_BENCH = -run '^$$' -bench '^(BenchmarkExchange|BenchmarkRumorPush)' -benchtime=2000x -benchmem .
+CODEC_BENCH = -run '^$$' -bench Codec -benchtime=20000x -benchmem ./internal/transport
 
 .PHONY: all build test check race cover bench bench-store bench-transport experiments fuzz obs-smoke clean
 
@@ -45,8 +52,10 @@ cover:
 # B/op, allocs/op and the paper metrics per benchmark, with the
 # seed-state baseline numbers embedded for before/after comparison.
 bench:
-	$(GO) test -bench . -benchtime=1x -benchmem . | tee bench_output.txt
+	$(GO) test -bench . -skip 'BenchmarkExchange|BenchmarkRumorPush' -benchtime=1x -benchmem . | tee bench_output.txt
 	$(GO) test $(STORE_BENCH) | tee -a bench_output.txt
+	$(GO) test $(WIRE_BENCH) | tee -a bench_output.txt
+	$(GO) test $(CODEC_BENCH) | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < bench_output.txt
 
 # bench-store compares the sharded store against a single-mutex replica
@@ -56,10 +65,12 @@ bench-store:
 	$(GO) test $(STORE_BENCH)
 
 # bench-transport measures the wire protocol in isolation: pooled vs
-# dial-per-request exchanges and the O(δ) peel-back mismatch benchmark,
-# with allocation counts.
+# dial-per-request exchanges (binary and gob codecs), UDP-vs-TCP rumor
+# pushes, the O(δ) peel-back mismatch benchmark, and the raw codec
+# encode/round-trip microbenchmarks, with allocation counts.
 bench-transport:
-	$(GO) test -run '^$$' -bench Exchange -benchmem .
+	$(GO) test $(WIRE_BENCH)
+	$(GO) test $(CODEC_BENCH)
 
 # Regenerate every table and figure of the paper.
 experiments:
@@ -68,6 +79,7 @@ experiments:
 fuzz:
 	$(GO) test ./internal/store -fuzz FuzzApply -fuzztime 30s
 	$(GO) test ./internal/store -fuzz FuzzLoad -fuzztime 30s
+	$(GO) test ./internal/transport -fuzz FuzzDecodeFrame -fuzztime 30s
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -611,10 +611,59 @@ func BenchmarkExchangeDialPerRequest(b *testing.B) {
 	benchWireExchange(b, epidemic.TCPPeerOptions{PoolSize: -1})
 }
 
-// BenchmarkExchangePooled reuses one persistent framed session per request.
+// BenchmarkExchangePooled reuses one persistent framed session per request
+// with the default hand-rolled binary codec.
 func BenchmarkExchangePooled(b *testing.B) {
 	benchWireExchange(b, epidemic.TCPPeerOptions{})
 }
+
+// BenchmarkExchangePooledGob is the same pooled exchange negotiated down to
+// gob framing — the codec ablation isolating what the binary codec saves.
+func BenchmarkExchangePooledGob(b *testing.B) {
+	benchWireExchange(b, epidemic.TCPPeerOptions{Codec: "gob"})
+}
+
+// benchRumorPush measures one hot-rumor push round trip: a single entry and
+// its provenance hop to a peer that already knows it (the steady-state
+// "unnecessary contact" every rumor eventually dies on). The UDP and TCP
+// variants differ only in TCPPeerOptions.UDP, isolating the fast path.
+func benchRumorPush(b *testing.B, udp bool) {
+	src := epidemic.NewSimulatedClock(1 << 30)
+	remote, err := epidemic.NewNode(epidemic.NodeConfig{Site: 2, Clock: src.ClockAt(2)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := epidemic.ServeTCP(remote, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	peer := epidemic.NewTCPPeerWith(2, srv.Addr(), epidemic.TCPPeerOptions{UDP: udp})
+	defer peer.Close()
+	entries := []epidemic.Entry{{
+		Key: "rumor", Value: epidemic.Value("v"),
+		Stamp: epidemic.Timestamp{Time: 1 << 30, Site: 1, Seq: 1},
+	}}
+	// Warm-up delivers the entry and opens the path the loop reuses.
+	if _, err := peer.PushRumors(entries, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := peer.PushRumors(entries, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRumorPushUDP sends each push as one datagram with a correlated
+// response (the fast path).
+func BenchmarkRumorPushUDP(b *testing.B) { benchRumorPush(b, true) }
+
+// BenchmarkRumorPushTCP sends each push over the pooled framed session.
+func BenchmarkRumorPushTCP(b *testing.B) { benchRumorPush(b, false) }
 
 // BenchmarkExchangePeelBackMismatch is the O(δ) acceptance benchmark: a
 // 10 000-entry database with 10 fresh divergences per conversation must

@@ -12,7 +12,13 @@
 //	gossipctl -admin host:9001 [-since cursor] events [n]
 //
 // Line-protocol verbs talk to the daemon's -client port; metrics, health
-// and events fetch from its -admin HTTP endpoint. The trace verb accepts a
+// and events fetch from its -admin HTTP endpoint. The wire verb returns the
+// daemon's client-side wire snapshot as one JSON object: connection-pool
+// counters (dials, redials, reuses, open_conns), framed traffic totals,
+// per-codec session and message counts from the binary/gob negotiation
+// (sessions_binary, sessions_gob, msgs_binary, msgs_gob), and the UDP
+// rumor fast path's pushes/retries/fallbacks/oversize and byte counters
+// (udp_*). The trace verb accepts a
 // comma-separated -addr list: it federates every replica's hop spans for
 // the key (gossipd must run with -trace-ring), reconstructs the infection
 // tree, and prints it with the paper's convergence observables — t_last,

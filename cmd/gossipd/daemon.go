@@ -36,6 +36,14 @@ type daemonConfig struct {
 	poolSize        int
 	peelBatch       int
 	exchangeTimeout time.Duration
+	// codec selects the outbound wire codec ("binary", "gob" or "legacy")
+	// and caps what the gossip server negotiates ("binary" serves both;
+	// "gob" refuses binary — the rollout safety valve; "legacy" clients
+	// skip the hello for pre-negotiation servers).
+	codec string
+	// udp enables the single-datagram UDP fast path for rumor pushes
+	// (server side always binds it unless the codec cap forbids binary).
+	udp bool
 	// storeShards sets the replica store's lock-stripe count (0 = default).
 	storeShards int
 	// traceRing enables hop-provenance tracing when > 0: the node retains
@@ -54,7 +62,22 @@ func (cfg daemonConfig) peerOptions(wire *epidemic.WireStats) epidemic.TCPPeerOp
 		Timeout:  cfg.exchangeTimeout,
 		PoolSize: cfg.poolSize,
 		Stats:    wire,
+		Codec:    cfg.codec,
+		UDP:      cfg.udp,
 	}
+}
+
+// serverOptions derives the gossip server's codec ceiling and UDP policy
+// from the same flags: a daemon that speaks only gob outbound also refuses
+// to negotiate binary inbound, and -udp=false unbinds the fast-path socket.
+func (cfg daemonConfig) serverOptions() epidemic.TCPServerOptions {
+	codec := cfg.codec
+	if codec == "legacy" {
+		// "legacy" is a client-only mode (skip the hello); the server
+		// equivalent is a gob ceiling.
+		codec = "gob"
+	}
+	return epidemic.TCPServerOptions{Codec: codec, DisableUDP: !cfg.udp}
 }
 
 // daemon is one running replica: gossip server, client listener, node
@@ -154,7 +177,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 	n.SetPeers(peers)
 
-	srv, err := epidemic.ServeTCP(n, cfg.listen)
+	srv, err := epidemic.ServeTCPWith(n, cfg.listen, cfg.serverOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,15 @@
 //	WIRE                 -> <one-line JSON object> (connection-pool and wire-traffic stats)
 //	TRACE <key>          -> <one-line JSON object> (this replica's hop spans for key)
 //
+// Wire protocol: -codec picks the frame encoding (binary is the
+// hand-rolled zero-allocation codec; gob refuses binary inbound and
+// outbound, the rolling-upgrade safety valve; legacy additionally skips
+// the codec hello for pre-negotiation servers) and -udp toggles the
+// single-datagram fast path for rumor pushes, which falls back to pooled
+// TCP on loss or oversize batches. The WIRE client verb and the
+// epidemic_wire_* metrics expose per-codec session/message counts and the
+// UDP push/retry/fallback counters.
+//
 // Observability: -admin host:port serves /metrics (Prometheus text
 // format), /healthz (JSON), /events (recent node events as JSON,
 // ?since=<cursor> for incremental polls), /trace?key= (hop spans) and
@@ -77,6 +86,8 @@ func main() {
 	flag.IntVar(&cfg.poolSize, "pool-size", 2, "persistent gossip connections kept per peer (negative = dial per request)")
 	flag.IntVar(&cfg.peelBatch, "peel-batch", 0, "entries per peel-back batch during anti-entropy (0 = default)")
 	flag.DurationVar(&cfg.exchangeTimeout, "exchange-timeout", 10*time.Second, "per-request deadline on outbound gossip")
+	flag.StringVar(&cfg.codec, "codec", "binary", "wire codec: binary (negotiate, prefer binary), gob (refuse binary - rollout safety valve) or legacy (no hello, for pre-negotiation servers)")
+	flag.BoolVar(&cfg.udp, "udp", true, "UDP fast path for single-datagram rumor pushes (falls back to TCP)")
 	flag.IntVar(&cfg.storeShards, "store-shards", 0, "replica store lock stripes, rounded up to a power of two (0 = default)")
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "hop-provenance spans retained for TRACE and /trace (0 = tracing disabled)")
 	flag.IntVar(&cfg.mutexProfileFraction, "mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off)")

@@ -109,10 +109,12 @@ type (
 
 	// TCPServer exposes a node over TCP.
 	TCPServer = transport.Server
+	// TCPServerOptions tunes a TCPServer's codec ceiling and UDP fast path.
+	TCPServerOptions = transport.ServerOptions
 	// TCPPeer is a Peer over TCP.
 	TCPPeer = transport.TCPPeer
 	// TCPPeerOptions tunes a TCPPeer's connection pool, per-request
-	// deadline and peel-back budget.
+	// deadline, peel-back budget, wire codec, and UDP fast path.
 	TCPPeerOptions = transport.PeerOptions
 	// WireStats aggregates client-side pool and wire-traffic counters,
 	// typically shared by every TCPPeer a process dials.
@@ -199,6 +201,16 @@ const (
 	MetricWireExchanges          = obs.MetricWireExchanges
 	MetricWireEntriesPerExchange = obs.MetricWireEntriesPerExchange
 	MetricWireBytesPerExchange   = obs.MetricWireBytesPerExchange
+	MetricWireSessionsGob        = obs.MetricWireSessionsGob
+	MetricWireSessionsBinary     = obs.MetricWireSessionsBinary
+	MetricWireMsgsGob            = obs.MetricWireMsgsGob
+	MetricWireMsgsBinary         = obs.MetricWireMsgsBinary
+	MetricWireUDPPushes          = obs.MetricWireUDPPushes
+	MetricWireUDPRetries         = obs.MetricWireUDPRetries
+	MetricWireUDPFallbacks       = obs.MetricWireUDPFallbacks
+	MetricWireUDPOversize        = obs.MetricWireUDPOversize
+	MetricWireUDPBytesSent       = obs.MetricWireUDPBytesSent
+	MetricWireUDPBytesReceived   = obs.MetricWireUDPBytesReceived
 )
 
 // Exchange modes.
@@ -277,8 +289,15 @@ func NewLocalPeer(target *Node, seed int64) *LocalPeer { return node.NewLocalPee
 // NewCluster builds a fully connected in-memory cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return sim.NewCluster(cfg) }
 
-// ServeTCP exposes a node to remote peers on addr (":0" for ephemeral).
+// ServeTCP exposes a node to remote peers on addr (":0" for ephemeral),
+// serving every codec and the UDP rumor fast path.
 func ServeTCP(n *Node, addr string) (*TCPServer, error) { return transport.Serve(n, addr) }
+
+// ServeTCPWith exposes a node with an explicit codec ceiling and UDP
+// policy (the mixed-version rollout knobs).
+func ServeTCPWith(n *Node, addr string, opts TCPServerOptions) (*TCPServer, error) {
+	return transport.ServeWith(n, addr, opts)
+}
 
 // NewTCPPeer addresses a remote replica by site ID and "host:port" with
 // default pool and peel-back options.

@@ -545,6 +545,14 @@ func (n *Node) StepRumor() error {
 	mode := n.cfg.Rumor.Mode
 	if mode == core.Push || mode == core.PushPull {
 		hot, hops := n.HotEntriesTraced()
+		// Clamp the batch so a push stays small (and, over the TCP/UDP
+		// transport, datagram-sized); the rest stays hot for later rounds.
+		if mb := n.cfg.Rumor.MaxBatch; mb > 0 && len(hot) > mb {
+			hot = hot[:mb]
+			if len(hops) > mb {
+				hops = hops[:mb]
+			}
+		}
 		if len(hot) > 0 {
 			needed, err := peer.PushRumors(hot, hops)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
 )
@@ -125,6 +126,54 @@ func TestRumorDiesAfterKUnnecessary(t *testing.T) {
 		t.Fatal("rumor should be removed after k unnecessary shares")
 	}
 	_ = b
+}
+
+// batchPeer records the size of every rumor batch pushed at it.
+type batchPeer struct {
+	countingPeer
+	batches []int
+}
+
+func (p *batchPeer) PushRumors(entries []store.Entry, _ []trace.Hop) ([]bool, error) {
+	p.batches = append(p.batches, len(entries))
+	// Report every entry as needed so the sender keeps them hot.
+	needed := make([]bool, len(entries))
+	for i := range needed {
+		needed[i] = true
+	}
+	return needed, nil
+}
+
+func TestRumorMaxBatchClampsPushes(t *testing.T) {
+	n, err := New(Config{
+		Site:  1,
+		Rumor: core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.Push, MaxBatch: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &batchPeer{countingPeer: countingPeer{id: 2}}
+	n.SetPeers([]Peer{p})
+	for i := 0; i < 8; i++ {
+		n.Update(string(rune('a'+i)), store.Value("v"))
+	}
+	for i := 0; i < 3; i++ {
+		if err := n.StepRumor(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p.batches) != 3 {
+		t.Fatalf("batches = %v, want 3 pushes", p.batches)
+	}
+	for _, sz := range p.batches {
+		if sz != 3 {
+			t.Errorf("batch of %d entries, want MaxBatch=3 (all entries stay hot)", sz)
+		}
+	}
+	// Uncapped entries stay hot for later rounds.
+	if got := len(n.HotEntries()); got != 8 {
+		t.Errorf("hot entries = %d, want 8", got)
+	}
 }
 
 func TestStepRumorNoPeers(t *testing.T) {

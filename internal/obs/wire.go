@@ -16,6 +16,21 @@ const (
 	MetricWireExchanges          = "epidemic_wire_exchanges_total"
 	MetricWireEntriesPerExchange = "epidemic_wire_exchange_entries"
 	MetricWireBytesPerExchange   = "epidemic_wire_exchange_bytes"
+
+	// Codec negotiation outcomes: sessions and request round trips by the
+	// codec the handshake settled on.
+	MetricWireSessionsGob    = "epidemic_wire_sessions_gob_total"
+	MetricWireSessionsBinary = "epidemic_wire_sessions_binary_total"
+	MetricWireMsgsGob        = "epidemic_wire_msgs_gob_total"
+	MetricWireMsgsBinary     = "epidemic_wire_msgs_binary_total"
+
+	// UDP rumor fast path (transport/udp.go).
+	MetricWireUDPPushes        = "epidemic_wire_udp_pushes_total"
+	MetricWireUDPRetries       = "epidemic_wire_udp_retries_total"
+	MetricWireUDPFallbacks     = "epidemic_wire_udp_fallbacks_total"
+	MetricWireUDPOversize      = "epidemic_wire_udp_oversize_total"
+	MetricWireUDPBytesSent     = "epidemic_wire_udp_bytes_sent_total"
+	MetricWireUDPBytesReceived = "epidemic_wire_udp_bytes_received_total"
 )
 
 // Default histogram buckets for per-exchange entry counts and byte sizes:
@@ -49,6 +64,26 @@ func InstrumentWire(reg *Registry, ws *transport.WireStats) {
 		func(s transport.WireSnapshot) int64 { return s.BytesReceived })
 	counter(MetricWireExchanges, "Anti-entropy conversations completed over the wire.",
 		func(s transport.WireSnapshot) int64 { return s.Exchanges })
+	counter(MetricWireSessionsGob, "Client sessions the codec handshake settled on gob.",
+		func(s transport.WireSnapshot) int64 { return s.SessionsGob })
+	counter(MetricWireSessionsBinary, "Client sessions the codec handshake settled on the binary codec.",
+		func(s transport.WireSnapshot) int64 { return s.SessionsBinary })
+	counter(MetricWireMsgsGob, "Request round trips framed in gob.",
+		func(s transport.WireSnapshot) int64 { return s.MsgsGob })
+	counter(MetricWireMsgsBinary, "Request round trips framed in the binary codec.",
+		func(s transport.WireSnapshot) int64 { return s.MsgsBinary })
+	counter(MetricWireUDPPushes, "Rumor pushes completed over the UDP fast path.",
+		func(s transport.WireSnapshot) int64 { return s.UDPPushes })
+	counter(MetricWireUDPRetries, "UDP rumor datagrams resent after a response timeout.",
+		func(s transport.WireSnapshot) int64 { return s.UDPRetries })
+	counter(MetricWireUDPFallbacks, "Rumor pushes that fell back from UDP to pooled TCP.",
+		func(s transport.WireSnapshot) int64 { return s.UDPFallbacks })
+	counter(MetricWireUDPOversize, "Rumor pushes skipped from UDP as over the datagram budget.",
+		func(s transport.WireSnapshot) int64 { return s.UDPOversize })
+	counter(MetricWireUDPBytesSent, "UDP fast-path bytes sent, headers included.",
+		func(s transport.WireSnapshot) int64 { return s.UDPBytesSent })
+	counter(MetricWireUDPBytesReceived, "UDP fast-path bytes received, headers included.",
+		func(s transport.WireSnapshot) int64 { return s.UDPBytesReceived })
 	reg.GaugeFunc(MetricWireOpenConns, "Gossip client connections currently open.",
 		func() float64 { return float64(ws.Snapshot().OpenConns) })
 

@@ -69,9 +69,15 @@ func TestInstrumentWire(t *testing.T) {
 	remote.Store().Update("theirs", store.Value("w"))
 
 	peer := transport.NewTCPPeerWith(2, addr, transport.PeerOptions{
-		Timeout: 2 * time.Second, Stats: ws,
+		Timeout: 2 * time.Second, Stats: ws, UDP: true,
 	})
 	defer peer.Close()
+	// One small push rides the UDP fast path.
+	if _, err := peer.PushRumors([]store.Entry{
+		{Key: "rumor", Value: store.Value("r"), Stamp: timestamp.T{Time: 9, Site: 1, Seq: 9}},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
 	cfg := core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent,
 		Tau: 1 << 40, Tau1: 1 << 40,
@@ -93,6 +99,11 @@ func TestInstrumentWire(t *testing.T) {
 		MetricWireExchanges:                     2,
 		MetricWireEntriesPerExchange + "_count": 2,
 		MetricWireBytesPerExchange + "_count":   2,
+		MetricWireSessionsBinary:                1,
+		MetricWireMsgsBinary:                    1,
+		MetricWireUDPPushes:                     1,
+		MetricWireUDPBytesSent:                  1,
+		MetricWireUDPBytesReceived:              1,
 	} {
 		if got := scrape(t, reg, name); got < min {
 			t.Errorf("%s = %v, want >= %v", name, got, min)

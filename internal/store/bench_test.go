@@ -91,8 +91,8 @@ func (m *mutexStore) Now() int64 { return m.clock.Read() }
 
 const (
 	benchKeys    = 32768 // keyspace both reads and writes span
-	benchHotKeys = 64   // rewritten after aging: the fixed recent set for the pure recent-list benchmark
-	benchTau     = 32   // recency window in simulated time units
+	benchHotKeys = 64    // rewritten after aging: the fixed recent set for the pure recent-list benchmark
+	benchTau     = 32    // recency window in simulated time units
 )
 
 // benchVariants pairs each store construction with its subbenchmark name.

@@ -81,9 +81,9 @@ func (sh *shard) collectOlder(bound timestamp.T, limit int) (recs []Entry, total
 	return recs, total
 }
 
-// collectRecent returns this shard's entries with age strictly less than
-// tau at time now, newest first, cloned. Caller holds sh.mu.
-func (sh *shard) collectRecent(now, tau int64) []Entry {
+// recentCount returns how many of this shard's entries have age strictly
+// less than tau at time now. Caller holds sh.mu.
+func (sh *shard) recentCount(now, tau int64) int {
 	n := 0
 	for k := len(sh.index.keys) - 1; k >= 0; k-- {
 		if now-sh.index.keys[k].stamp.Time >= tau { // ages strictly less than tau qualify
@@ -91,6 +91,13 @@ func (sh *shard) collectRecent(now, tau int64) []Entry {
 		}
 		n++
 	}
+	return n
+}
+
+// collectRecent returns this shard's entries with age strictly less than
+// tau at time now, newest first, cloned. Caller holds sh.mu.
+func (sh *shard) collectRecent(now, tau int64) []Entry {
+	n := sh.recentCount(now, tau)
 	if n == 0 {
 		return nil
 	}

@@ -347,6 +347,18 @@ func (s *Store) DeathCertificates() []Entry {
 // of now, newest first — the paper's "recent update list" (§1.3). The
 // per-shard index suffixes are merged by timestamp.
 func (s *Store) RecentUpdates(now, tau int64) []Entry {
+	// Count first: the steady-state in-sync exchange has an empty window,
+	// and the per-shard scratch would be its only allocation.
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.recentCount(now, tau)
+		sh.mu.RUnlock()
+	}
+	if total == 0 {
+		return nil
+	}
 	per := make([][]Entry, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"epidemic/internal/obs/trace"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// benchResponse builds a representative anti-entropy reply: a peel batch of
+// entries entries with provenance hops and a needed bitmap, the shape the
+// codec encodes on every conversation of a diverged pair.
+func benchResponse(entries int) *response {
+	resp := &response{
+		Checksum: 0xfeedfacecafebeef,
+		Now:      1 << 40,
+		Bound:    timestamp.T{Time: 1<<40 - 512, Site: 3, Seq: 77},
+		Needed:   make([]bool, entries),
+	}
+	for i := 0; i < entries; i++ {
+		resp.Entries = append(resp.Entries, store.Entry{
+			Key:   fmt.Sprintf("user/profile/%04d", i),
+			Value: store.Value("MV:1.17#42 replicated-value-payload"),
+			Stamp: timestamp.T{Time: int64(1<<40 - i), Site: timestamp.SiteID(i%5 + 1), Seq: uint32(i)},
+		})
+		resp.Hops = append(resp.Hops, trace.Hop{
+			Parent: timestamp.SiteID(i%5 + 1), Count: int32(i % 7), Valid: true,
+		})
+		resp.Needed[i] = i%3 != 0
+	}
+	return resp
+}
+
+// BenchmarkCodecEncode measures one response encode: the binary codec
+// appending into a reused buffer vs a persistent gob encoder writing into a
+// reset buffer (type descriptors already shipped — the pooled-session
+// steady state for both).
+func BenchmarkCodecEncode(b *testing.B) {
+	resp := benchResponse(16)
+	b.Run("binary", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendResponse(buf[:0], resp)
+		}
+		b.ReportMetric(float64(len(buf)), "wire_bytes")
+	})
+	b.Run("gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(resp); err != nil { // ship type descriptors
+			b.Fatal(err)
+		}
+		first := buf.Len()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var n int
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := enc.Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		_ = first
+		b.ReportMetric(float64(n), "wire_bytes")
+	})
+}
+
+// BenchmarkCodecRoundTrip measures encode+decode of the same response: the
+// full serialization cost one framed message pays on the wire, with
+// persistent encoder/decoder state on both sides.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	resp := benchResponse(16)
+	b.Run("binary", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		var out response
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendResponse(buf[:0], resp)
+			if err := decodeResponse(buf, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		dec := gob.NewDecoder(&buf)
+		var out response
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(resp); err != nil {
+				b.Fatal(err)
+			}
+			out = response{}
+			if err := dec.Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

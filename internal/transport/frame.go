@@ -13,12 +13,22 @@ import (
 )
 
 // The wire protocol is a sequence of length-prefixed frames over one
-// long-lived TCP connection: a 4-byte big-endian payload length followed by
-// the payload, which is exactly one value from a persistent gob stream.
-// Because the encoder and decoder live as long as the connection, gob type
-// descriptors cross the wire once per session instead of once per request,
-// and the frame boundary lets either side bound a peer's allocation before
+// long-lived TCP connection: a 4-byte big-endian payload length followed
+// by the payload, which is one request or response in the session's
+// negotiated codec — the hand-rolled binary encoding of codec.go, or one
+// value from a persistent gob stream (the PR 3 format, kept for rollout).
+// The frame boundary lets either side bound a peer's allocation before
 // reading a byte of payload.
+//
+// Codec negotiation: a new client opens with a 4-byte hello — the magic
+// "EPG" followed by its preferred codec byte — and the server answers with
+// the single codec byte both sides will use (the lower of the client's
+// preference and the server's ceiling). A legacy client sends no hello;
+// since every legal frame header starts with a byte <= 0x04 (the length
+// cap is 64 MiB) and 'E' is 0x45, the server can peek the first bytes and
+// fall back to a plain gob session without consuming them. A client
+// configured for legacy mode skips the hello the same way, which keeps it
+// wire-compatible with pre-negotiation daemons.
 
 // maxWireBytes bounds a single frame; a misbehaving peer cannot make the
 // decoder allocate without bound.
@@ -28,17 +38,21 @@ const maxWireBytes = 64 << 20
 // length).
 const frameHeaderLen = 4
 
+// helloMagic opens the codec-negotiation hello. Its first byte must be
+// distinguishable from a legal frame header's first byte (<= 0x04).
+var helloMagic = [3]byte{'E', 'P', 'G'}
+
 // Typed wire errors. Callers can errors.Is against these to distinguish
 // protocol violations from ordinary network failures.
 var (
 	// ErrFrameTooLarge reports a frame whose declared payload exceeds the
 	// session's limit, in either direction.
 	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
-	// ErrTruncatedFrame reports a connection that died mid-frame: the
-	// header promised more payload bytes than arrived.
+	// ErrTruncatedFrame reports a frame that ended early: the header (or a
+	// length inside the payload) promised more bytes than arrived.
 	ErrTruncatedFrame = errors.New("transport: truncated frame")
-	// ErrFrameGarbage reports a frame whose payload was not fully consumed
-	// by its gob value — trailing bytes mean the streams have diverged.
+	// ErrFrameGarbage reports a frame whose payload was malformed or not
+	// fully consumed by its decoded value — the streams have diverged.
 	ErrFrameGarbage = errors.New("transport: trailing garbage in frame")
 )
 
@@ -78,19 +92,22 @@ func (f *frameBuffer) load(payload []byte) {
 
 func (f *frameBuffer) drained() bool { return f.pos >= len(f.buf) }
 
-// session is one framed gob stream over a TCP connection, used by both the
+// session is one framed stream over a TCP connection, used by both the
 // client pool and the server handler. Not safe for concurrent use: callers
 // hold a session exclusively for the duration of a request.
 type session struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	codec byte // codecGob or codecBinary, fixed after the handshake
 
+	// Gob machinery, built lazily so binary sessions never pay for it.
 	enc    *gob.Encoder
 	encBuf bytes.Buffer // staging area: one Encode call = one frame
+	dec    *gob.Decoder
+	decBuf frameBuffer
 
-	dec     *gob.Decoder
-	decBuf  frameBuffer
+	wbuf    []byte // binary encode scratch: [4-byte header | payload]
 	payload []byte // reusable frame payload backing array
 
 	header [frameHeaderLen]byte
@@ -99,21 +116,191 @@ type session struct {
 	bytesOut, bytesIn int64 // cumulative traffic on this session
 }
 
-// newSession wraps conn. limit <= 0 selects maxWireBytes.
-func newSession(conn net.Conn, limit int) *session {
+// newSession wraps conn with the given codec. limit <= 0 selects
+// maxWireBytes.
+func newSession(conn net.Conn, limit int, codec byte) *session {
 	if limit <= 0 {
 		limit = maxWireBytes
 	}
-	s := &session{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn), limit: limit}
-	s.enc = gob.NewEncoder(&s.encBuf)
-	s.dec = gob.NewDecoder(&s.decBuf)
-	return s
+	return &session{
+		conn:  conn,
+		br:    bufio.NewReader(conn),
+		bw:    bufio.NewWriter(conn),
+		codec: codec,
+		limit: limit,
+	}
+}
+
+// clientHandshake sends the codec hello and adopts the server's choice.
+// deadline bounds the whole exchange; zero leaves the connection unarmed.
+func (s *session) clientHandshake(prefer byte, deadline time.Time) error {
+	s.setDeadline(deadline)
+	defer s.setDeadline(time.Time{})
+	hello := [4]byte{helloMagic[0], helloMagic[1], helloMagic[2], prefer}
+	if _, err := s.bw.Write(hello[:]); err != nil {
+		return fmt.Errorf("transport: send codec hello: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: send codec hello: %w", err)
+	}
+	chosen, err := s.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("transport: read codec choice: %w", err)
+	}
+	if chosen != codecGob && chosen != codecBinary {
+		return fmt.Errorf("transport: server chose unknown codec %d: %w", chosen, ErrFrameGarbage)
+	}
+	s.codec = chosen
+	s.bytesOut += int64(len(hello))
+	s.bytesIn++
+	return nil
+}
+
+// serverHandshake inspects the first bytes of a fresh connection. A hello
+// negotiates a codec (at most maxCodec) and is answered; anything else is
+// left unconsumed and the session proceeds as legacy gob. The caller's
+// read deadline bounds the wait for the first bytes.
+func (s *session) serverHandshake(maxCodec byte) error {
+	head, err := s.br.Peek(len(helloMagic))
+	if err != nil {
+		return err // closed or died before a first request
+	}
+	if head[0] != helloMagic[0] || head[1] != helloMagic[1] || head[2] != helloMagic[2] {
+		s.codec = codecGob // legacy stream: bytes stay queued for readMsg
+		return nil
+	}
+	if _, err := s.br.Discard(len(helloMagic)); err != nil {
+		return err
+	}
+	prefer, err := s.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("transport: read codec hello: %w", ErrTruncatedFrame)
+	}
+	chosen := byte(codecGob)
+	if prefer >= codecBinary && maxCodec >= codecBinary {
+		chosen = codecBinary
+	}
+	if err := s.bw.WriteByte(chosen); err != nil {
+		return fmt.Errorf("transport: answer codec hello: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: answer codec hello: %w", err)
+	}
+	s.codec = chosen
+	s.bytesIn += int64(len(helloMagic)) + 1
+	s.bytesOut++
+	return nil
+}
+
+// writeRequest ships req as one frame in the session's codec.
+func (s *session) writeRequest(req *request) error {
+	if s.codec == codecBinary {
+		s.wbuf = appendRequest(s.binaryFrame(), req)
+		return s.flushBinaryFrame()
+	}
+	return s.writeMsg(req)
+}
+
+// writeResponse ships resp as one frame in the session's codec.
+func (s *session) writeResponse(resp *response) error {
+	if s.codec == codecBinary {
+		s.wbuf = appendResponse(s.binaryFrame(), resp)
+		return s.flushBinaryFrame()
+	}
+	return s.writeMsg(resp)
+}
+
+// readRequest reads one frame into req. Every field of req is overwritten.
+func (s *session) readRequest(req *request) error {
+	if s.codec == codecBinary {
+		payload, err := s.readFrame()
+		if err != nil {
+			return err
+		}
+		if err := decodeRequest(payload, req); err != nil {
+			return fmt.Errorf("transport: decode request: %w", err)
+		}
+		return nil
+	}
+	*req = request{}
+	return s.readMsg(req)
+}
+
+// readResponse reads one frame into resp. Every field of resp is
+// overwritten.
+func (s *session) readResponse(resp *response) error {
+	if s.codec == codecBinary {
+		payload, err := s.readFrame()
+		if err != nil {
+			return err
+		}
+		if err := decodeResponse(payload, resp); err != nil {
+			return fmt.Errorf("transport: decode response: %w", err)
+		}
+		return nil
+	}
+	*resp = response{}
+	return s.readMsg(resp)
+}
+
+// binaryFrame resets the encode scratch to an empty payload preceded by
+// header space.
+func (s *session) binaryFrame() []byte {
+	if cap(s.wbuf) < frameHeaderLen {
+		s.wbuf = make([]byte, frameHeaderLen, 512)
+	}
+	return s.wbuf[:frameHeaderLen]
+}
+
+// flushBinaryFrame stamps the header over s.wbuf and writes the frame in
+// one call.
+func (s *session) flushBinaryFrame() error {
+	payload := len(s.wbuf) - frameHeaderLen
+	if payload > s.limit {
+		return fmt.Errorf("transport: outgoing frame of %d bytes: %w", payload, ErrFrameTooLarge)
+	}
+	binary.BigEndian.PutUint32(s.wbuf[:frameHeaderLen], uint32(payload))
+	if _, err := s.bw.Write(s.wbuf); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush frame: %w", err)
+	}
+	s.bytesOut += int64(len(s.wbuf))
+	return nil
+}
+
+// readFrame reads one frame and returns its payload, valid until the next
+// readFrame on this session.
+func (s *session) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(s.br, s.header[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("transport: read frame header: %w", ErrTruncatedFrame)
+		}
+		return nil, err // clean EOF or network error
+	}
+	n := int(binary.BigEndian.Uint32(s.header[:]))
+	if n > s.limit {
+		return nil, fmt.Errorf("transport: incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	if cap(s.payload) < n {
+		s.payload = make([]byte, n)
+	}
+	payload := s.payload[:n]
+	if _, err := io.ReadFull(s.br, payload); err != nil {
+		return nil, fmt.Errorf("transport: read frame payload: %w", ErrTruncatedFrame)
+	}
+	s.bytesIn += int64(frameHeaderLen + n)
+	return payload, nil
 }
 
 // writeMsg encodes v on the persistent gob stream and ships it as one
 // frame. The encode buffer and bufio writer are reused across calls, so a
 // steady-state request allocates no frame machinery.
 func (s *session) writeMsg(v any) error {
+	if s.enc == nil {
+		s.enc = gob.NewEncoder(&s.encBuf)
+	}
 	s.encBuf.Reset()
 	if err := s.enc.Encode(v); err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
@@ -139,24 +326,13 @@ func (s *session) writeMsg(v any) error {
 // readMsg reads one frame and decodes it into v through the persistent gob
 // stream. The payload buffer is reused across calls.
 func (s *session) readMsg(v any) error {
-	if _, err := io.ReadFull(s.br, s.header[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return fmt.Errorf("transport: read frame header: %w", ErrTruncatedFrame)
-		}
-		return err // clean EOF or network error
+	payload, err := s.readFrame()
+	if err != nil {
+		return err
 	}
-	n := int(binary.BigEndian.Uint32(s.header[:]))
-	if n > s.limit {
-		return fmt.Errorf("transport: incoming frame of %d bytes: %w", n, ErrFrameTooLarge)
+	if s.dec == nil {
+		s.dec = gob.NewDecoder(&s.decBuf)
 	}
-	if cap(s.payload) < n {
-		s.payload = make([]byte, n)
-	}
-	payload := s.payload[:n]
-	if _, err := io.ReadFull(s.br, payload); err != nil {
-		return fmt.Errorf("transport: read frame payload: %w", ErrTruncatedFrame)
-	}
-	s.bytesIn += int64(frameHeaderLen + n)
 	s.decBuf.load(payload)
 	if err := s.dec.Decode(v); err != nil {
 		return fmt.Errorf("transport: decode: %w", err)

@@ -18,6 +18,15 @@ type WireStats struct {
 	bytesSent, bytesReceived atomic.Int64
 	exchanges                atomic.Int64
 
+	// Codec accounting: sessions by negotiated codec and request round
+	// trips by codec.
+	sessionsGob, sessionsBinary atomic.Int64
+	msgsGob, msgsBinary         atomic.Int64
+
+	// UDP fast-path accounting (see udp.go).
+	udpPushes, udpRetries, udpFallbacks, udpOversize atomic.Int64
+	udpBytesSent, udpBytesReceived                   atomic.Int64
+
 	// onExchange, when installed, receives one call per completed
 	// anti-entropy exchange with the entries and bytes moved per direction
 	// — the feed for entries-per-exchange and bytes-per-exchange
@@ -42,6 +51,22 @@ type WireSnapshot struct {
 	BytesReceived int64 `json:"bytes_received"`
 	// Exchanges counts completed anti-entropy conversations.
 	Exchanges int64 `json:"exchanges"`
+	// SessionsGob and SessionsBinary count client sessions by the codec the
+	// handshake settled on; MsgsGob and MsgsBinary count request round trips
+	// by the codec that framed them.
+	SessionsGob    int64 `json:"sessions_gob"`
+	SessionsBinary int64 `json:"sessions_binary"`
+	MsgsGob        int64 `json:"msgs_gob"`
+	MsgsBinary     int64 `json:"msgs_binary"`
+	// UDP fast-path counters: pushes completed over UDP, datagram retries,
+	// pushes that fell back to pooled TCP, pushes skipped as over the
+	// datagram budget, and raw datagram traffic.
+	UDPPushes        int64 `json:"udp_pushes"`
+	UDPRetries       int64 `json:"udp_retries"`
+	UDPFallbacks     int64 `json:"udp_fallbacks"`
+	UDPOversize      int64 `json:"udp_oversize"`
+	UDPBytesSent     int64 `json:"udp_bytes_sent"`
+	UDPBytesReceived int64 `json:"udp_bytes_received"`
 }
 
 // Snapshot returns a copy of the counters. A nil receiver yields zeros.
@@ -50,13 +75,23 @@ func (w *WireStats) Snapshot() WireSnapshot {
 		return WireSnapshot{}
 	}
 	return WireSnapshot{
-		Dials:         w.dials.Load(),
-		Redials:       w.redials.Load(),
-		Reuses:        w.reuses.Load(),
-		OpenConns:     w.open.Load(),
-		BytesSent:     w.bytesSent.Load(),
-		BytesReceived: w.bytesReceived.Load(),
-		Exchanges:     w.exchanges.Load(),
+		Dials:            w.dials.Load(),
+		Redials:          w.redials.Load(),
+		Reuses:           w.reuses.Load(),
+		OpenConns:        w.open.Load(),
+		BytesSent:        w.bytesSent.Load(),
+		BytesReceived:    w.bytesReceived.Load(),
+		Exchanges:        w.exchanges.Load(),
+		SessionsGob:      w.sessionsGob.Load(),
+		SessionsBinary:   w.sessionsBinary.Load(),
+		MsgsGob:          w.msgsGob.Load(),
+		MsgsBinary:       w.msgsBinary.Load(),
+		UDPPushes:        w.udpPushes.Load(),
+		UDPRetries:       w.udpRetries.Load(),
+		UDPFallbacks:     w.udpFallbacks.Load(),
+		UDPOversize:      w.udpOversize.Load(),
+		UDPBytesSent:     w.udpBytesSent.Load(),
+		UDPBytesReceived: w.udpBytesReceived.Load(),
 	}
 }
 
@@ -105,6 +140,64 @@ func (w *WireStats) noteTraffic(out, in int64) {
 	w.bytesReceived.Add(in)
 }
 
+func (w *WireStats) noteSession(codec byte) {
+	if w == nil {
+		return
+	}
+	if codec == codecBinary {
+		w.sessionsBinary.Add(1)
+	} else {
+		w.sessionsGob.Add(1)
+	}
+}
+
+func (w *WireStats) noteMsg(codec byte) {
+	if w == nil {
+		return
+	}
+	if codec == codecBinary {
+		w.msgsBinary.Add(1)
+	} else {
+		w.msgsGob.Add(1)
+	}
+}
+
+func (w *WireStats) noteUDPPush() {
+	if w != nil {
+		w.udpPushes.Add(1)
+	}
+}
+
+func (w *WireStats) noteUDPRetry() {
+	if w != nil {
+		w.udpRetries.Add(1)
+	}
+}
+
+func (w *WireStats) noteUDPFallback() {
+	if w != nil {
+		w.udpFallbacks.Add(1)
+	}
+}
+
+func (w *WireStats) noteUDPOversize() {
+	if w != nil {
+		w.udpOversize.Add(1)
+	}
+}
+
+func (w *WireStats) noteUDPTraffic(out, in int64) {
+	if w == nil {
+		return
+	}
+	if out > 0 {
+		w.udpBytesSent.Add(out)
+	}
+	if in > 0 {
+		w.udpBytesReceived.Add(in)
+	}
+}
+
 func (w *WireStats) noteExchange(entriesSent, entriesReceived int, bytesOut, bytesIn int64) {
 	if w == nil {
 		return
@@ -123,6 +216,8 @@ type pool struct {
 	addr    string
 	timeout time.Duration // dial timeout and per-request deadline
 	size    int           // max idle sessions retained (< 0: no reuse)
+	prefer  byte          // codec preference sent in the hello
+	legacy  bool          // skip the hello entirely (pre-negotiation wire)
 	stats   *WireStats
 
 	mu     sync.Mutex
@@ -130,8 +225,8 @@ type pool struct {
 	closed bool
 }
 
-func newPool(addr string, size int, timeout time.Duration, stats *WireStats) *pool {
-	return &pool{addr: addr, size: size, timeout: timeout, stats: stats}
+func newPool(addr string, size int, timeout time.Duration, prefer byte, legacy bool, stats *WireStats) *pool {
+	return &pool{addr: addr, size: size, timeout: timeout, prefer: prefer, legacy: legacy, stats: stats}
 }
 
 // get returns a session ready for one request. reused reports whether it
@@ -160,7 +255,15 @@ func (p *pool) dial(redial bool) (*session, bool, error) {
 		_ = tc.SetNoDelay(true)
 	}
 	p.stats.noteDial(redial)
-	return newSession(conn, maxWireBytes), false, nil
+	s := newSession(conn, maxWireBytes, codecGob)
+	if !p.legacy {
+		if err := s.clientHandshake(p.prefer, time.Now().Add(p.timeout)); err != nil {
+			p.discard(s)
+			return nil, false, err
+		}
+	}
+	p.stats.noteSession(s.codec)
+	return s, false, nil
 }
 
 // put returns a healthy session to the idle set, or closes it when the
@@ -232,18 +335,19 @@ func (p *pool) roundTrip(req *request, resp *response) (bytesOut, bytesIn int64,
 	return bytesOut, bytesIn, nil
 }
 
-// do performs one request/response on s under the pool's deadline.
+// do performs one request/response on s under the pool's deadline, framed
+// in the session's negotiated codec.
 func (p *pool) do(s *session, req *request, resp *response) (bytesOut, bytesIn int64, err error) {
 	if p.timeout > 0 {
 		s.setDeadline(time.Now().Add(p.timeout))
 	}
 	startOut, startIn := s.bytesOut, s.bytesIn
-	err = s.writeMsg(req)
+	err = s.writeRequest(req)
 	if err == nil {
-		*resp = response{}
-		err = s.readMsg(resp)
+		err = s.readResponse(resp)
 	}
 	bytesOut, bytesIn = s.bytesOut-startOut, s.bytesIn-startIn
 	p.stats.noteTraffic(bytesOut, bytesIn)
+	p.stats.noteMsg(s.codec)
 	return bytesOut, bytesIn, err
 }

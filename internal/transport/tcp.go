@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,14 +102,45 @@ const (
 	serverWriteTimeout = 30 * time.Second
 )
 
+// ServerOptions tunes a Server. The zero value serves every codec and
+// binds the UDP fast path.
+type ServerOptions struct {
+	// Codec caps the codec the handshake may settle on: "" or "binary"
+	// (serve both, prefer binary), or "gob" (never negotiate binary — the
+	// rollout safety valve). Legacy clients that send no hello always get a
+	// gob session regardless.
+	Codec string
+	// DisableUDP skips binding the UDP fast-path socket; rumor pushes from
+	// UDP-enabled peers then time out once and fall back to pooled TCP.
+	DisableUDP bool
+}
+
+// parseCodec maps a codec flag value to the wire byte. legacy reports the
+// client-only mode that skips the hello for pre-negotiation servers.
+func parseCodec(name string) (codec byte, legacy bool, err error) {
+	switch name {
+	case "", "binary":
+		return codecBinary, false, nil
+	case "gob":
+		return codecGob, false, nil
+	case "legacy":
+		return codecGob, true, nil
+	default:
+		return 0, false, fmt.Errorf("transport: unknown codec %q (want binary, gob, or legacy)", name)
+	}
+}
+
 // Server exposes a node.Node to remote TCPPeers over persistent framed
-// sessions.
+// sessions, plus a UDP socket on the same port for single-datagram rumor
+// pushes.
 type Server struct {
-	node *node.Node
-	ln   net.Listener
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	done bool
+	node     *node.Node
+	ln       net.Listener
+	udp      *net.UDPConn // nil when the fast path is disabled
+	maxCodec byte
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	done     bool
 
 	conns map[net.Conn]struct{}
 
@@ -117,18 +149,43 @@ type Server struct {
 }
 
 // Serve starts a server for n on addr ("host:port", ":0" for an ephemeral
-// port). It returns immediately; use Addr for the bound address and Close
-// to stop.
+// port) with default options. It returns immediately; use Addr for the
+// bound address and Close to stop.
 func Serve(n *node.Node, addr string) (*Server, error) {
+	return ServeWith(n, addr, ServerOptions{})
+}
+
+// ServeWith starts a server with explicit options.
+func ServeWith(n *node.Node, addr string, opts ServerOptions) (*Server, error) {
+	maxCodec, legacy, err := parseCodec(opts.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if legacy {
+		maxCodec = codecGob // "legacy" is a client mode; serve it as gob
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		node:  n,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		log:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		node:     n,
+		ln:       ln,
+		maxCodec: maxCodec,
+		conns:    make(map[net.Conn]struct{}),
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if !opts.DisableUDP {
+		// Same port as TCP so one advertised address serves both paths. A
+		// bind failure (port taken by another process's UDP socket) is not
+		// fatal: peers fall back to TCP.
+		if uaddr, err := net.ResolveUDPAddr("udp", ln.Addr().String()); err == nil {
+			if uc, err := net.ListenUDP("udp", uaddr); err == nil {
+				s.udp = uc
+				s.wg.Add(1)
+				go s.serveUDP(uc)
+			}
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -176,6 +233,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	if s.udp != nil {
+		_ = s.udp.Close()
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
@@ -230,17 +290,27 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle serves one persistent session: requests are read and answered on
-// the same framed gob streams until the client disconnects, the session
-// idles out, or the stream breaks.
+// handle serves one persistent session: the handshake fixes the codec,
+// then requests are read and answered on the same framed streams until the
+// client disconnects, the session idles out, or the stream breaks. One
+// request/response pair is kept alive across the loop so a steady-state
+// binary session serves without allocating.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	sess := newSession(conn, maxWireBytes)
+	sess := newSession(conn, maxWireBytes, codecGob)
+	_ = conn.SetReadDeadline(time.Now().Add(serverIdleTimeout))
+	if err := sess.serverHandshake(s.maxCodec); err != nil {
+		return
+	}
 	log, observe := s.instruments()
+	// slog's variadic attrs allocate even against a discard handler, so the
+	// per-request Debug line is gated on the handler level once per session.
+	debug := log.Enabled(context.Background(), slog.LevelDebug)
+	var req request
+	var resp response
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(serverIdleTimeout))
-		var req request
-		if err := sess.readMsg(&req); err != nil {
+		if err := sess.readRequest(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !s.closing() {
 				log.Warn("gossip session ended abnormally",
 					"remote", conn.RemoteAddr().String(), "err", err)
@@ -248,15 +318,17 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		start := time.Now()
-		resp := s.dispatch(req)
+		resp = s.dispatch(req)
 		d := time.Since(start)
 		if observe != nil {
 			observe(req.Kind.kindName(), d)
 		}
-		log.Debug("gossip request served", "kind", req.Kind.kindName(),
-			"from", int(req.From), "entries", len(req.Entries), "dur", d)
+		if debug {
+			log.Debug("gossip request served", "kind", req.Kind.kindName(),
+				"from", int(req.From), "entries", len(req.Entries), "dur", d)
+		}
 		_ = conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
-		if err := sess.writeMsg(&resp); err != nil {
+		if err := sess.writeResponse(&resp); err != nil {
 			log.Warn("gossip response write failed",
 				"remote", conn.RemoteAddr().String(), "err", err)
 			return
@@ -379,6 +451,24 @@ type PeerOptions struct {
 	// conversation before falling back to a full database swap (default
 	// 32).
 	MaxPeelRounds int
+	// Codec selects the wire codec the peer asks for in the connection
+	// handshake: "" or "binary" (the hand-rolled codec, with negotiation
+	// falling back to gob against an old server), "gob" (negotiate but
+	// stick to gob), or "legacy" (send no hello at all — wire-compatible
+	// with pre-negotiation daemons).
+	Codec string
+	// UDP enables the single-datagram fast path for rumor pushes (udp.go).
+	// Pushes that exceed the datagram budget, or that get no response
+	// within UDPTimeout after UDPRetries resends, fall back to pooled TCP.
+	UDP bool
+	// UDPTimeout bounds one datagram attempt (default 300ms).
+	UDPTimeout time.Duration
+	// UDPRetries is the number of resends after the first attempt before
+	// falling back (default 2).
+	UDPRetries int
+	// UDPBudget caps the datagram size for the fast path (default 1200
+	// bytes, a conservative single-MTU figure).
+	UDPBudget int
 	// Stats, when set, receives pool and wire-traffic accounting; share
 	// one WireStats across all peers of a process.
 	Stats *WireStats
@@ -401,17 +491,30 @@ func (o PeerOptions) withDefaults() PeerOptions {
 	if o.MaxPeelRounds <= 0 {
 		o.MaxPeelRounds = defaultMaxPeelRounds
 	}
+	if o.UDPTimeout <= 0 {
+		o.UDPTimeout = defaultUDPTimeout
+	}
+	if o.UDPRetries <= 0 {
+		o.UDPRetries = defaultUDPRetries
+	}
+	if o.UDPBudget <= 0 {
+		o.UDPBudget = defaultUDPBudget
+	}
 	return o
 }
 
-// TCPPeer is a node.Peer implemented over the pooled wire protocol above.
-// All methods are safe for concurrent use; concurrent requests each check
-// a session out of the pool (dialing extras as needed).
+// TCPPeer is a node.Peer implemented over the pooled wire protocol above,
+// with an optional UDP fast path for rumor pushes. All methods are safe
+// for concurrent use; concurrent requests each check a session out of the
+// pool (dialing extras as needed).
 type TCPPeer struct {
 	id   timestamp.SiteID
 	addr string
 	opts PeerOptions
 	pool *pool
+
+	udpOnce sync.Once
+	udp     *udpClient // nil until first fast-path push, or on dial failure
 }
 
 var _ node.Peer = (*TCPPeer)(nil)
@@ -426,11 +529,17 @@ func NewTCPPeer(id timestamp.SiteID, addr string) *TCPPeer {
 // NewTCPPeerWith addresses a remote replica with explicit options.
 func NewTCPPeerWith(id timestamp.SiteID, addr string, opts PeerOptions) *TCPPeer {
 	opts = opts.withDefaults()
+	prefer, legacy, err := parseCodec(opts.Codec)
+	if err != nil {
+		// An unknown codec name cannot surface from a constructor with this
+		// signature; fail toward the interoperable default.
+		prefer, legacy = codecBinary, false
+	}
 	return &TCPPeer{
 		id:   id,
 		addr: addr,
 		opts: opts,
-		pool: newPool(addr, opts.PoolSize, opts.Timeout, opts.Stats),
+		pool: newPool(addr, opts.PoolSize, opts.Timeout, prefer, legacy, opts.Stats),
 	}
 }
 
@@ -440,61 +549,130 @@ func (p *TCPPeer) ID() timestamp.SiteID { return p.id }
 // Addr returns the remote address.
 func (p *TCPPeer) Addr() string { return p.addr }
 
-// Close releases the peer's pooled connections. The peer remains usable;
-// subsequent requests dial fresh.
+// Close releases the peer's pooled connections and the fast-path socket.
+// The peer remains usable; subsequent requests dial fresh TCP sessions
+// (the UDP socket is not re-dialed).
 func (p *TCPPeer) Close() error {
 	p.pool.close()
+	p.udpOnce.Do(func() {}) // no fast path after Close
+	if p.udp != nil {
+		p.udp.close()
+	}
 	return nil
 }
 
-// roundTrip runs one request over the pool and surfaces remote errors.
-func (p *TCPPeer) roundTrip(req request) (response, error) {
-	var resp response
-	if _, _, err := p.pool.roundTrip(&req, &resp); err != nil {
-		return response{}, fmt.Errorf("transport: %s: %w", p.addr, err)
+// fastPath returns the peer's UDP client, dialing it on first use; nil
+// when the fast path is disabled or its socket cannot be set up.
+func (p *TCPPeer) fastPath() *udpClient {
+	if !p.opts.UDP {
+		return nil
 	}
-	if resp.Err != "" {
-		return response{}, errors.New("transport: remote error: " + resp.Err)
-	}
-	return resp, nil
+	p.udpOnce.Do(func() {
+		c, err := dialUDP(p.addr, p.opts.UDPBudget, p.opts.UDPTimeout, p.opts.UDPRetries, p.opts.Stats)
+		if err == nil {
+			p.udp = c
+		}
+	})
+	return p.udp
 }
 
-// Mail implements node.Peer. The envelope slice is only allocated when the
-// sender actually traces, keeping untraced mail identical on the wire.
-func (p *TCPPeer) Mail(e store.Entry, hop trace.Hop) error {
-	req := request{Kind: reqMail, Entries: []store.Entry{e}}
-	if hop.Valid {
-		req.Hops = []trace.Hop{hop}
-	}
-	_, err := p.roundTrip(req)
-	return err
+// wireCall bundles one request/response pair plus the scratch a single-
+// entry mail needs, pooled so steady-state calls allocate nothing.
+type wireCall struct {
+	req               request
+	resp              response
+	bytesOut, bytesIn int64
+	entryBuf          [1]store.Entry
+	hopBuf            [1]trace.Hop
 }
 
-// PushRumors implements node.Peer.
-func (p *TCPPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, error) {
-	resp, err := p.roundTrip(request{Kind: reqPushRumors, Entries: entries, Hops: hops})
+var wireCallPool = sync.Pool{New: func() any { return new(wireCall) }}
+
+func getWireCall() *wireCall { return wireCallPool.Get().(*wireCall) }
+
+// putWireCall clears the call before pooling it so no request payload (or
+// key/value memory) stays pinned. Response slices handed out to callers
+// are safe: every decode allocates fresh ones.
+func putWireCall(c *wireCall) {
+	c.req = request{}
+	c.resp = response{}
+	c.bytesOut, c.bytesIn = 0, 0
+	c.entryBuf[0] = store.Entry{}
+	c.hopBuf[0] = trace.Hop{}
+	wireCallPool.Put(c)
+}
+
+// call runs c's request over the pool, accumulating framed bytes moved and
+// surfacing remote errors.
+func (p *TCPPeer) call(c *wireCall) error {
+	o, i, err := p.pool.roundTrip(&c.req, &c.resp)
+	c.bytesOut += o
+	c.bytesIn += i
 	if err != nil {
+		return fmt.Errorf("transport: %s: %w", p.addr, err)
+	}
+	if c.resp.Err != "" {
+		return errors.New("transport: remote error: " + c.resp.Err)
+	}
+	return nil
+}
+
+// Mail implements node.Peer. The entry and its envelope ride the pooled
+// call's scratch arrays, so untraced mail allocates nothing client-side.
+func (p *TCPPeer) Mail(e store.Entry, hop trace.Hop) error {
+	c := getWireCall()
+	defer putWireCall(c)
+	c.entryBuf[0] = e
+	c.req = request{Kind: reqMail, Entries: c.entryBuf[:1]}
+	if hop.Valid {
+		c.hopBuf[0] = hop
+		c.req.Hops = c.hopBuf[:1]
+	}
+	return p.call(c)
+}
+
+// PushRumors implements node.Peer. Small pushes try the UDP fast path
+// first (when enabled), falling back to pooled TCP on oversize, loss, or
+// timeout.
+func (p *TCPPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, error) {
+	c := getWireCall()
+	defer putWireCall(c)
+	c.req = request{Kind: reqPushRumors, Entries: entries, Hops: hops}
+	if u := p.fastPath(); u != nil {
+		if u.roundTrip(&c.req, &c.resp) {
+			if c.resp.Err != "" {
+				return nil, errors.New("transport: remote error: " + c.resp.Err)
+			}
+			return c.resp.Needed, nil
+		}
+		p.opts.Stats.noteUDPFallback()
+	}
+	if err := p.call(c); err != nil {
 		return nil, err
 	}
-	return resp.Needed, nil
+	return c.resp.Needed, nil
 }
 
 // PullRumors implements node.Peer.
 func (p *TCPPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
-	resp, err := p.roundTrip(request{Kind: reqPullRumors})
-	if err != nil {
+	c := getWireCall()
+	defer putWireCall(c)
+	c.req = request{Kind: reqPullRumors}
+	if err := p.call(c); err != nil {
 		return nil, nil, err
 	}
-	return resp.Entries, resp.Hops, nil
+	return c.resp.Entries, c.resp.Hops, nil
 }
 
 // Checksum implements node.Peer.
 func (p *TCPPeer) Checksum(tau1 int64) (uint64, error) {
-	resp, err := p.roundTrip(request{Kind: reqChecksum, Tau1: tau1})
-	if err != nil {
+	c := getWireCall()
+	defer putWireCall(c)
+	c.req = request{Kind: reqChecksum, Tau1: tau1}
+	if err := p.call(c); err != nil {
 		return 0, err
 	}
-	return resp.Checksum, nil
+	return c.resp.Checksum, nil
 }
 
 // AntiEntropy implements node.Peer: the §1.3/§1.5 incremental exchange
@@ -506,48 +684,33 @@ func (p *TCPPeer) Checksum(tau1 int64) (uint64, error) {
 // replicas does the conversation degrade to the full swap.
 func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer) (core.ExchangeStats, error) {
 	var st core.ExchangeStats
-	var bytesOut, bytesIn int64
-	rpc := func(req request) (response, error) {
-		req.From = local.Site()
-		var resp response
-		o, i, err := p.pool.roundTrip(&req, &resp)
-		bytesOut += o
-		bytesIn += i
-		if err != nil {
-			return response{}, fmt.Errorf("transport: %s: %w", p.addr, err)
-		}
-		if resp.Err != "" {
-			return response{}, errors.New("transport: remote error: " + resp.Err)
-		}
-		return resp, nil
-	}
-	finish := func() {
-		p.opts.Stats.noteExchange(st.EntriesSent, st.EntriesReceived, bytesOut, bytesIn)
-	}
+	c := getWireCall()
+	defer putWireCall(c)
 
 	now := local.Now()
 	var recent []store.Entry
 	if cfg.Tau > 0 {
 		recent = local.RecentUpdates(now, cfg.Tau)
 	}
-	resp, err := rpc(request{
+	c.req = request{
 		Kind:     reqSync,
+		From:     local.Site(),
 		Entries:  recent,
 		Hops:     tr.Envelopes(recent),
 		Checksum: local.ChecksumLive(now, cfg.Tau1),
 		Now:      now,
 		Tau:      cfg.Tau,
 		Tau1:     cfg.Tau1,
-	})
-	if err != nil {
+	}
+	if err := p.call(c); err != nil {
 		return st, err
 	}
 	st.EntriesSent += len(recent)
-	p.applyReceived(local, resp.Entries, resp.Hops, trace.MechAntiEntropy, &st)
-	now = maxInt64(now, resp.Now)
+	p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechAntiEntropy, &st)
+	now = maxInt64(now, c.resp.Now)
 	st.ChecksumsCompared++
-	if local.ChecksumLive(now, cfg.Tau1) == resp.Checksum {
-		finish()
+	if local.ChecksumLive(now, cfg.Tau1) == c.resp.Checksum {
+		p.finishExchange(c, &st)
 		return st, nil
 	}
 
@@ -564,32 +727,33 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *tr
 		if localMore {
 			mine, localBound, localMore = local.PeelBatch(localBound, batch, now, cfg.Tau1)
 		}
-		resp, err := rpc(request{
+		c.req = request{
 			Kind:    reqPeelBack,
+			From:    local.Site(),
 			Entries: mine,
 			Hops:    tr.Envelopes(mine),
 			Bound:   remoteBound,
 			Limit:   batch,
 			Now:     now,
 			Tau1:    cfg.Tau1,
-		})
-		if err != nil {
+		}
+		if err := p.call(c); err != nil {
 			return st, err
 		}
 		st.EntriesSent += len(mine)
-		p.applyReceived(local, resp.Entries, resp.Hops, trace.MechPeelBack, &st)
-		remoteBound, remoteMore = resp.Bound, resp.More
-		now = maxInt64(now, resp.Now)
+		p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechPeelBack, &st)
+		remoteBound, remoteMore = c.resp.Bound, c.resp.More
+		now = maxInt64(now, c.resp.Now)
 		st.ChecksumsCompared++
-		if local.ChecksumLive(now, cfg.Tau1) == resp.Checksum {
-			finish()
+		if local.ChecksumLive(now, cfg.Tau1) == c.resp.Checksum {
+			p.finishExchange(c, &st)
 			return st, nil
 		}
 		if !localMore && !remoteMore {
 			// Both walks exhausted: every shippable entry crossed the
 			// wire; remaining differences are dormant certificates the
 			// protocol must not propagate (§2.2).
-			finish()
+			p.finishExchange(c, &st)
 			return st, nil
 		}
 	}
@@ -598,17 +762,23 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *tr
 	// disagree — swap full live databases in one round trip.
 	st.FullCompare = true
 	full := local.LiveSnapshot(now, cfg.Tau1)
-	resp, err = rpc(request{
-		Kind: reqFullSync, Entries: full, Hops: tr.Envelopes(full),
-		Now: now, Tau1: cfg.Tau1,
-	})
-	if err != nil {
+	c.req = request{
+		Kind: reqFullSync, From: local.Site(), Entries: full,
+		Hops: tr.Envelopes(full), Now: now, Tau1: cfg.Tau1,
+	}
+	if err := p.call(c); err != nil {
 		return st, err
 	}
 	st.EntriesSent += len(full)
-	p.applyReceived(local, resp.Entries, resp.Hops, trace.MechAntiEntropy, &st)
-	finish()
+	p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechAntiEntropy, &st)
+	p.finishExchange(c, &st)
 	return st, nil
+}
+
+// finishExchange attributes one completed anti-entropy conversation to the
+// peer's stats.
+func (p *TCPPeer) finishExchange(c *wireCall, st *core.ExchangeStats) {
+	p.opts.Stats.noteExchange(st.EntriesSent, st.EntriesReceived, c.bytesOut, c.bytesIn)
 }
 
 // applyReceived merges entries the peer shipped into the local store,

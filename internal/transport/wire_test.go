@@ -1,0 +1,294 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"epidemic/internal/core"
+	"epidemic/internal/node"
+	"epidemic/internal/obs/trace"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// wireNode builds a node with a clock suitable for wire tests.
+func wireNode(t *testing.T, site timestamp.SiteID, src *timestamp.Simulated) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{
+		Site:  site,
+		Clock: src.ClockAt(site),
+		Rumor: core.RumorConfig{K: 3, Counter: true, Feedback: true, Mode: core.PushPull},
+		Resolve: core.ResolveConfig{
+			Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40,
+		},
+		Seed: int64(site),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCodecNegotiationMatrix drives every client codec mode against every
+// server ceiling and checks which codec the handshake settles on.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		server, client string
+		wantBinary     bool
+	}{
+		{"binary", "binary", true},
+		{"binary", "gob", false},
+		{"binary", "legacy", false},
+		{"gob", "binary", false},
+		{"gob", "gob", false},
+		{"gob", "legacy", false},
+	} {
+		t.Run(tc.server+"/"+tc.client, func(t *testing.T) {
+			src := timestamp.NewSimulated(1 << 30)
+			n := wireNode(t, 1, src)
+			srv, err := ServeWith(n, "127.0.0.1:0", ServerOptions{Codec: tc.server})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			stats := &WireStats{}
+			peer := NewTCPPeerWith(1, srv.Addr(), PeerOptions{Codec: tc.client, Stats: stats})
+			defer peer.Close()
+			if err := peer.Mail(store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1, Site: 2}}, trace.Hop{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := n.Lookup("k"); !ok {
+				t.Fatal("mail not applied")
+			}
+			snap := stats.Snapshot()
+			if tc.wantBinary && (snap.SessionsBinary != 1 || snap.SessionsGob != 0 || snap.MsgsBinary == 0) {
+				t.Errorf("wanted a binary session, stats = %+v", snap)
+			}
+			if !tc.wantBinary && (snap.SessionsGob != 1 || snap.SessionsBinary != 0 || snap.MsgsGob == 0) {
+				t.Errorf("wanted a gob session, stats = %+v", snap)
+			}
+		})
+	}
+}
+
+// TestMixedCodecNodesConverge is the rollout acceptance property: a
+// binary-codec node and a gob-only node still converge through
+// anti-entropy, the handshake falling back cleanly in both directions.
+func TestMixedCodecNodesConverge(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	newNode := wireNode(t, 1, src) // speaks binary
+	oldNode := wireNode(t, 2, src) // capped at gob, like a pre-rollout daemon
+
+	newSrv, err := ServeWith(newNode, "127.0.0.1:0", ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newSrv.Close()
+	oldSrv, err := ServeWith(oldNode, "127.0.0.1:0", ServerOptions{Codec: "gob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldSrv.Close()
+
+	newStats, oldStats := &WireStats{}, &WireStats{}
+	// The new node prefers binary; against the old server it must settle on
+	// gob. The old node is configured legacy (no hello at all), which the
+	// new server must serve as plain gob.
+	newNode.SetPeers([]node.Peer{NewTCPPeerWith(2, oldSrv.Addr(), PeerOptions{Codec: "binary", Stats: newStats})})
+	oldNode.SetPeers([]node.Peer{NewTCPPeerWith(1, newSrv.Addr(), PeerOptions{Codec: "legacy", Stats: oldStats})})
+
+	newNode.Update("from-new", store.Value("1"))
+	oldNode.Update("from-old", store.Value("2"))
+	for round := 0; round < 20; round++ {
+		if err := newNode.StepAntiEntropy(); err != nil {
+			t.Fatal(err)
+		}
+		if err := oldNode.StepAntiEntropy(); err != nil {
+			t.Fatal(err)
+		}
+		if store.ContentEqual(newNode.Store(), oldNode.Store()) {
+			break
+		}
+	}
+	if !store.ContentEqual(newNode.Store(), oldNode.Store()) {
+		t.Fatal("mixed-codec nodes never converged")
+	}
+	if snap := newStats.Snapshot(); snap.SessionsBinary != 0 || snap.SessionsGob == 0 {
+		t.Errorf("new->old sessions should have negotiated down to gob: %+v", snap)
+	}
+	if snap := oldStats.Snapshot(); snap.SessionsBinary != 0 || snap.SessionsGob == 0 {
+		t.Errorf("legacy->new sessions should be gob: %+v", snap)
+	}
+}
+
+// TestUDPRumorPushServed sends a small rumor push through the UDP fast
+// path against a real server and checks both delivery and the feedback
+// bits.
+func TestUDPRumorPushServed(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	n := wireNode(t, 2, src)
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stats := &WireStats{}
+	peer := NewTCPPeerWith(2, srv.Addr(), PeerOptions{UDP: true, Stats: stats})
+	defer peer.Close()
+
+	e := store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1, Site: 1, Seq: 1}}
+	needed, err := peer.PushRumors([]store.Entry{e}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(needed) != 1 || !needed[0] {
+		t.Errorf("first push needed = %v, want [true]", needed)
+	}
+	if v, ok := n.Lookup("k"); !ok || string(v) != "v" {
+		t.Fatalf("rumor not applied: %q %v", v, ok)
+	}
+	// A second push of the same entry is redundant: feedback must say so.
+	needed, err = peer.PushRumors([]store.Entry{e}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(needed) != 1 || needed[0] {
+		t.Errorf("redundant push needed = %v, want [false]", needed)
+	}
+	snap := stats.Snapshot()
+	if snap.UDPPushes != 2 || snap.UDPFallbacks != 0 {
+		t.Errorf("pushes should have used the fast path: %+v", snap)
+	}
+	if snap.UDPBytesSent == 0 || snap.UDPBytesReceived == 0 {
+		t.Errorf("datagram traffic not accounted: %+v", snap)
+	}
+}
+
+// TestUDPOversizePushFallsBack pushes a payload over the datagram budget:
+// it must go TCP without ever touching the socket.
+func TestUDPOversizePushFallsBack(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	n := wireNode(t, 2, src)
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stats := &WireStats{}
+	peer := NewTCPPeerWith(2, srv.Addr(), PeerOptions{UDP: true, Stats: stats})
+	defer peer.Close()
+
+	big := store.Entry{Key: "big", Value: store.Value(make([]byte, 4096)), Stamp: timestamp.T{Time: 1, Site: 1}}
+	if _, err := peer.PushRumors([]store.Entry{big}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Lookup("big"); !ok {
+		t.Fatal("oversize rumor not applied")
+	}
+	snap := stats.Snapshot()
+	if snap.UDPPushes != 0 || snap.UDPOversize != 1 || snap.UDPFallbacks != 1 {
+		t.Errorf("oversize push accounting: %+v", snap)
+	}
+	if snap.UDPBytesSent != 0 {
+		t.Errorf("oversize push should never hit the socket: %+v", snap)
+	}
+}
+
+// TestUDPRejectsNonPushKinds checks the server answers disallowed kinds
+// with an error instead of serving a multi-round protocol over datagrams.
+func TestUDPRejectsNonPushKinds(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	n := wireNode(t, 2, src)
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := dialUDP(srv.Addr(), defaultUDPBudget, time.Second, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	req := request{Kind: reqFullSync}
+	var resp response
+	if !c.roundTrip(&req, &resp) {
+		t.Fatal("no response to disallowed kind")
+	}
+	if resp.Err == "" {
+		t.Error("server served full-sync over UDP")
+	}
+}
+
+// TestServeUDPDisabled checks DisableUDP leaves no datagram listener and
+// pushes still arrive over TCP.
+func TestServeUDPDisabled(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	n := wireNode(t, 2, src)
+	srv, err := ServeWith(n, "127.0.0.1:0", ServerOptions{DisableUDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.udp != nil {
+		t.Fatal("DisableUDP still bound a UDP socket")
+	}
+
+	stats := &WireStats{}
+	peer := NewTCPPeerWith(2, srv.Addr(), PeerOptions{
+		UDP: true, UDPTimeout: 50 * time.Millisecond, UDPRetries: 1, Stats: stats,
+	})
+	defer peer.Close()
+	e := store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1, Site: 1}}
+	if _, err := peer.PushRumors([]store.Entry{e}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Lookup("k"); !ok {
+		t.Fatal("push did not fall back to TCP")
+	}
+	if snap := stats.Snapshot(); snap.UDPPushes != 0 || snap.UDPFallbacks != 1 {
+		t.Errorf("fallback accounting: %+v", snap)
+	}
+}
+
+// TestUDPServerSurvivesGarbageDatagrams sprays noise at the fast-path
+// socket; the server must keep serving real pushes.
+func TestUDPServerSurvivesGarbageDatagrams(t *testing.T) {
+	src := timestamp.NewSimulated(1 << 30)
+	n := wireNode(t, 2, src)
+	srv, err := Serve(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	noisy, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{
+		{},
+		{'E', 'U'},
+		{'E', 'U', udpVersion, udpTypeRequest}, // header only, no body
+		[]byte("complete nonsense of a datagram"),
+		append([]byte{'E', 'U', udpVersion, udpTypeRequest, 0, 0, 0, 0, 0, 0, 0, 1}, 0xff, 0xff, 0xff),
+	} {
+		if _, err := noisy.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = noisy.Close()
+
+	peer := NewTCPPeerWith(2, srv.Addr(), PeerOptions{UDP: true})
+	defer peer.Close()
+	e := store.Entry{Key: "k", Value: store.Value("v"), Stamp: timestamp.T{Time: 1, Site: 1}}
+	if _, err := peer.PushRumors([]store.Entry{e}, nil); err != nil {
+		t.Fatalf("push after garbage: %v", err)
+	}
+	if _, ok := n.Lookup("k"); !ok {
+		t.Fatal("rumor not applied after garbage datagrams")
+	}
+}
