@@ -5,6 +5,9 @@ GO ?= go
 # binary-codec and UDP-fast-path rows.
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?= docs/bench-seed.txt
+# SCRATCH collects transient command output (bench logs, smoke logs);
+# the whole directory is gitignored and removed by clean.
+SCRATCH ?= .scratch
 # STORE_BENCH pins the store microbenchmarks to a fixed iteration count
 # and a -cpu sweep so sharded-vs-mutex ratios are comparable across runs.
 STORE_BENCH = -run '^$$' -bench BenchmarkStore -benchtime=200000x -cpu 1,4,8 -benchmem ./internal/store
@@ -14,7 +17,7 @@ STORE_BENCH = -run '^$$' -bench BenchmarkStore -benchtime=200000x -cpu 1,4,8 -be
 WIRE_BENCH = -run '^$$' -bench '^(BenchmarkExchange|BenchmarkRumorPush)' -benchtime=2000x -benchmem .
 CODEC_BENCH = -run '^$$' -bench Codec -benchtime=20000x -benchmem ./internal/transport
 
-.PHONY: all build test check race cover bench bench-store bench-transport experiments fuzz obs-smoke clean
+.PHONY: all build test check race cover bench bench-store bench-transport experiments fuzz obs-smoke cluster-smoke clean
 
 all: build test check
 
@@ -28,18 +31,28 @@ test:
 # check is the pre-merge gate: static analysis, a fast race pass over the
 # sharded store (the most concurrency-sensitive package), the race
 # detector over the whole module (daemons included), and the
-# observability smoke test.
+# observability and cluster-observatory smoke tests.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/store/...
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
+	$(MAKE) cluster-smoke
 
 # obs-smoke boots a 3-daemon gossipd cluster on ephemeral ports, scrapes
 # every replica's /metrics and /healthz, and fails on malformed Prometheus
 # exposition or missing metric families.
 obs-smoke:
 	$(GO) test -race -run TestObsSmoke -count=1 ./cmd/gossipd
+
+# cluster-smoke boots a 3-daemon cluster with gossip-borne health digests,
+# waits for every replica's /cluster view to cover all three sites, kills
+# one daemon, and fails unless the survivors mark it stale and degrade
+# /healthz. The verbose log lands in $(SCRATCH) for CI artifact upload.
+cluster-smoke:
+	@mkdir -p $(SCRATCH)
+	$(GO) test -race -v -run TestClusterSmoke -count=1 ./cmd/gossipd > $(SCRATCH)/cluster-smoke.log 2>&1; \
+		status=$$?; cat $(SCRATCH)/cluster-smoke.log; exit $$status
 
 race:
 	$(GO) test -race ./...
@@ -52,11 +65,12 @@ cover:
 # B/op, allocs/op and the paper metrics per benchmark, with the
 # seed-state baseline numbers embedded for before/after comparison.
 bench:
-	$(GO) test -bench . -skip 'BenchmarkExchange|BenchmarkRumorPush' -benchtime=1x -benchmem . | tee bench_output.txt
-	$(GO) test $(STORE_BENCH) | tee -a bench_output.txt
-	$(GO) test $(WIRE_BENCH) | tee -a bench_output.txt
-	$(GO) test $(CODEC_BENCH) | tee -a bench_output.txt
-	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < bench_output.txt
+	@mkdir -p $(SCRATCH)
+	$(GO) test -bench . -skip 'BenchmarkExchange|BenchmarkRumorPush' -benchtime=1x -benchmem . | tee $(SCRATCH)/bench_output.txt
+	$(GO) test $(STORE_BENCH) | tee -a $(SCRATCH)/bench_output.txt
+	$(GO) test $(WIRE_BENCH) | tee -a $(SCRATCH)/bench_output.txt
+	$(GO) test $(CODEC_BENCH) | tee -a $(SCRATCH)/bench_output.txt
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < $(SCRATCH)/bench_output.txt
 
 # bench-store compares the sharded store against a single-mutex replica
 # of the seed design on mixed Get/Update/Checksum/RecentUpdates
@@ -83,4 +97,4 @@ fuzz:
 
 clean:
 	rm -f test_output.txt bench_output.txt
-	rm -rf internal/store/testdata/fuzz
+	rm -rf $(SCRATCH) internal/store/testdata/fuzz

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"epidemic"
+)
+
+// fetchStatus grabs and decodes one /cluster reply from the admin
+// endpoint. Any single replica answers for the whole cluster: the digests
+// behind the reply arrived by gossip.
+func fetchStatus(opts options) (epidemic.ClusterStatusReply, error) {
+	var st epidemic.ClusterStatusReply
+	body, err := fetchAdmin(opts.admin, "/cluster", opts.timeout)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		return st, fmt.Errorf("bad /cluster reply: %w", err)
+	}
+	return st, nil
+}
+
+// runStatus renders one /cluster fetch as the status table.
+func runStatus(opts options) (string, error) {
+	st, err := fetchStatus(opts)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	renderStatus(&sb, st)
+	return strings.TrimRight(sb.String(), "\n"), nil
+}
+
+// runWatch redraws the status table every -interval until the fetch fails
+// or the process is interrupted. iterations bounds the number of frames
+// when > 0 (tests); <= 0 runs forever.
+func runWatch(opts options, out io.Writer, iterations int) error {
+	interval := opts.interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		st, err := fetchStatus(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, "\033[H\033[2J") // cursor home + clear screen
+		renderStatus(out, st)
+	}
+	return nil
+}
+
+// renderStatus formats one replica's cluster view: a header, one table
+// row per site, and any active convergence stalls below.
+func renderStatus(w io.Writer, st epidemic.ClusterStatusReply) {
+	fmt.Fprintf(w, "cluster status from site %d: %s (%d sites)\n",
+		st.Site, st.Status, len(st.Sites))
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "SITE\tSTATUS\tAGE\tUPTIME\tKEYS\tCKSUM\tHOT\tAE-P50\tAE-P99\tLAST-AE")
+	for _, s := range st.Sites {
+		status := "ok"
+		if s.Stale {
+			status = "stale"
+		}
+		lastAE := "never"
+		if s.LastAE > 0 {
+			lastAE = fmtSeconds(float64(st.Now-s.LastAE)*1e-9) + " ago"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%s\t%d\t%s\t%s\t%s\n",
+			s.Site, status,
+			fmtSeconds(s.AgeSeconds), fmtSeconds(s.UptimeSeconds),
+			s.StoreKeys, fmt.Sprintf("%016x", s.Checksum)[:8], s.HotRumors,
+			fmtQuantile(s.AntiEntropy, s.AntiEntropy.P50),
+			fmtQuantile(s.AntiEntropy, s.AntiEntropy.P99),
+			lastAE)
+	}
+	tw.Flush()
+	for _, stall := range st.Stalls {
+		site := fmt.Sprintf("site %d", stall.Site)
+		if stall.Site == epidemic.StallClusterWide {
+			site = "cluster"
+		}
+		fmt.Fprintf(w, "stall: %s %s — %s (%.1fs)\n",
+			site, stall.Reason, stall.Detail, stall.AgeSeconds)
+	}
+}
+
+// fmtSeconds renders an age or uptime: sub-two-minute values in seconds,
+// longer ones as rounded durations ("3m20s", "2h0m0s").
+func fmtSeconds(sec float64) string {
+	if sec < 0 {
+		sec = 0
+	}
+	if sec < 120 {
+		return fmt.Sprintf("%.1fs", sec)
+	}
+	return time.Duration(sec * float64(time.Second)).Round(time.Second).String()
+}
+
+// fmtQuantile renders one latency quantile, "-" when the summary is empty.
+func fmtQuantile(sm epidemic.ClusterLatencySummary, sec float64) string {
+	if sm.Count == 0 {
+		return "-"
+	}
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2fs", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	}
+}

@@ -8,11 +8,19 @@
 //	gossipctl -addr host:8001 del <key>
 //	gossipctl -addr host:8001 keys | members | stats | statsjson | wire | hot | snapshot
 //	gossipctl -addr host1:8001,host2:8001,host3:8001 [-o tree|json|dot] trace <key>
-//	gossipctl -admin host:9001 metrics | health
+//	gossipctl -admin host:9001 metrics | health | status
+//	gossipctl -admin host:9001 [-interval 2s] watch
 //	gossipctl -admin host:9001 [-since cursor] events [n]
 //
-// Line-protocol verbs talk to the daemon's -client port; metrics, health
-// and events fetch from its -admin HTTP endpoint. The wire verb returns the
+// Line-protocol verbs talk to the daemon's -client port; metrics, health,
+// status, watch and events fetch from its -admin HTTP endpoint. The
+// status verb renders any one replica's gossip-borne view of the whole
+// cluster (/cluster) as a table — per-site digest age, uptime, store
+// size, checksum, hot-rumor count, anti-entropy latency quantiles and
+// last-anti-entropy time — followed by the convergence stalls that
+// replica detects (stale sites, stuck residue, persistent checksum
+// disagreement). watch redraws the same table every -interval until
+// interrupted. The wire verb returns the
 // daemon's client-side wire snapshot as one JSON object: connection-pool
 // counters (dials, redials, reuses, open_conns), framed traffic totals,
 // per-codec session and message counts from the binary/gob negotiation
@@ -58,6 +66,8 @@ type options struct {
 	// since, when >= 0, is the events cursor to resume from (the "next"
 	// field of a previous events reply).
 	since int64
+	// interval is the watch verb's refresh period.
+	interval time.Duration
 }
 
 func main() {
@@ -67,8 +77,18 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 5*time.Second, "request timeout")
 	flag.StringVar(&opts.output, "o", "tree", "trace output format: tree, json or dot")
 	flag.Int64Var(&opts.since, "since", -1, "events cursor to resume from (-1 = everything retained)")
+	flag.DurationVar(&opts.interval, "interval", 2*time.Second, "watch refresh period")
 	flag.Parse()
-	out, err := run(opts, flag.Args())
+	args := flag.Args()
+	if len(args) == 1 && strings.ToLower(args[0]) == "watch" {
+		// watch owns the terminal until interrupted; it never returns output.
+		if err := runWatch(opts, os.Stdout, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "gossipctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	out, err := run(opts, args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gossipctl:", err)
 		os.Exit(1)
@@ -78,10 +98,21 @@ func main() {
 
 func run(opts options, args []string) (string, error) {
 	if len(args) == 0 {
-		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|trace|metrics|health|events> [args...]")
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|trace|metrics|health|events|status|watch> [args...]")
 	}
-	if strings.ToLower(args[0]) == "trace" {
+	switch strings.ToLower(args[0]) {
+	case "trace":
 		return runTrace(opts, args[1:])
+	case "status":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: status")
+		}
+		return runStatus(opts)
+	case "watch":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: watch")
+		}
+		return "", runWatch(opts, os.Stdout, 0)
 	}
 	if path, err, ok := buildAdminPath(args); ok {
 		if err != nil {

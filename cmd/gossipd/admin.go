@@ -11,19 +11,24 @@ import (
 	"epidemic"
 )
 
-// healthReply is the /healthz response body.
+// healthReply is the /healthz response body. Status degrades from "ok"
+// when the cluster stall detector flags a convergence problem; Stalls
+// then lists the reasons.
 type healthReply struct {
-	Status        string  `json:"status"`
-	Site          int     `json:"site"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Members       int     `json:"members"`
-	Peers         int     `json:"peers"`
-	HotRumors     int     `json:"hot_rumors"`
-	StoreKeys     int     `json:"store_keys"`
+	Status        string                  `json:"status"`
+	Site          int                     `json:"site"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Members       int                     `json:"members"`
+	Peers         int                     `json:"peers"`
+	HotRumors     int                     `json:"hot_rumors"`
+	StoreKeys     int                     `json:"store_keys"`
+	Stalls        []epidemic.ClusterStall `json:"stalls,omitempty"`
 }
 
 // startAdmin serves the observability endpoints on addr: /metrics
-// (Prometheus text format), /healthz (JSON liveness + topology summary),
+// (Prometheus text format), /healthz (JSON liveness + topology summary,
+// "degraded" with reasons when the stall detector fires), /cluster (this
+// replica's whole-cluster digest view; 503 unless -cluster-digests),
 // /events (recent node events, newest last, ?n= to limit, ?since= for
 // incremental polls), /trace (this replica's hop spans, ?key= to filter;
 // 503 unless -trace-ring is set), and the standard /debug/pprof/*
@@ -41,8 +46,7 @@ func (d *daemon) startAdmin(addr string) error {
 	mux.Handle("/events", d.ring.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		n := d.node
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(healthReply{
+		reply := healthReply{
 			Status:        "ok",
 			Site:          int(n.Site()),
 			UptimeSeconds: time.Since(started).Seconds(),
@@ -50,7 +54,22 @@ func (d *daemon) startAdmin(addr string) error {
 			Peers:         len(n.Peers()),
 			HotRumors:     len(n.HotEntries()),
 			StoreKeys:     len(n.Store().Keys()),
-		})
+		}
+		if st := d.status.Load(); st != nil && len(st.Stalls) > 0 {
+			reply.Status = "degraded"
+			reply.Stalls = st.Stalls
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reply)
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		st := d.status.Load()
+		if st == nil {
+			http.Error(w, "cluster digests disabled (-cluster-digests)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		tr := d.node.Tracer()

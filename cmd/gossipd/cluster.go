@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"epidemic"
+)
+
+// digestSettings resolves the cluster-observatory flags into concrete
+// windows. Stamp units are wall-clock nanoseconds on daemons.
+type digestSettings struct {
+	every, ttl, staleAfter time.Duration
+}
+
+func (cfg daemonConfig) digestSettings() digestSettings {
+	s := digestSettings{every: cfg.digestEvery, ttl: cfg.digestTTL, staleAfter: cfg.staleAfter}
+	if s.every <= 0 {
+		s.every = time.Second
+	}
+	if s.ttl <= 0 {
+		s.ttl = 10 * time.Minute
+	}
+	if s.staleAfter <= 0 {
+		// The detector's default: a digest should have crossed the cluster
+		// within a few anti-entropy periods (push-pull spreads it in
+		// O(log n) conversations), so 3 missed periods means trouble.
+		s.staleAfter = 3 * cfg.aePer
+	}
+	return s
+}
+
+// digestCollector owns the daemon's periodic health-digest refresh: it
+// snapshots this replica into the digest directory, prunes departed sites,
+// runs the stall detector, and publishes the /cluster status.
+type digestCollector struct {
+	d      *daemon
+	s      digestSettings
+	det    *epidemic.ClusterStallDetector
+	active map[string]bool // stall keys currently firing, for edge-triggered events
+}
+
+func newDigestCollector(d *daemon, s digestSettings) *digestCollector {
+	return &digestCollector{
+		d: d,
+		s: s,
+		det: epidemic.NewClusterStallDetector(epidemic.ClusterStallConfig{
+			StaleAfter:     s.staleAfter.Nanoseconds(),
+			ResidueWindow:  (2 * s.staleAfter).Nanoseconds(),
+			ChecksumWindow: s.staleAfter.Nanoseconds(),
+			SecondsPerUnit: 1e-9,
+		}),
+		active: make(map[string]bool),
+	}
+}
+
+// loop drives collect on the digest cadence until the daemon closes.
+func (c *digestCollector) loop() {
+	defer close(c.d.digestsDone)
+	ticker := time.NewTicker(c.s.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.collect()
+		case <-c.d.stopDigests:
+			return
+		}
+	}
+}
+
+// collect runs one observation tick.
+func (c *digestCollector) collect() {
+	d := c.d
+	now := time.Now().UnixNano()
+	d.digests.SetSelf(d.selfDigest(now, c.s.staleAfter.Nanoseconds()))
+	d.digests.Prune(now, c.s.ttl.Nanoseconds())
+	view := d.digests.Snapshot()
+	stalls := c.det.Check(now, view)
+	status := epidemic.BuildClusterStatus(d.node.Site(), now, view, stalls,
+		c.s.staleAfter.Nanoseconds(), 1e-9)
+	d.status.Store(&status)
+
+	stale := 0
+	for _, st := range status.Sites {
+		if st.Stale {
+			stale++
+		}
+	}
+	d.reg.Gauge(epidemic.MetricClusterSites,
+		"Sites in this replica's cluster digest view.").Set(float64(len(view)))
+	d.reg.Gauge(epidemic.MetricClusterStaleSites,
+		"Digest-view sites past the staleness window.").Set(float64(stale))
+
+	// Stalls are level conditions; count and announce only the rising edge
+	// so a stall that persists for minutes is one event, not thousands.
+	seen := make(map[string]bool, len(stalls))
+	for _, st := range stalls {
+		k := fmt.Sprintf("%d/%s", st.Site, st.Reason)
+		seen[k] = true
+		if c.active[k] {
+			continue
+		}
+		c.active[k] = true
+		d.reg.Counter(epidemic.MetricClusterStalls,
+			"Convergence stalls detected, by reason.",
+			epidemic.MetricLabel{Name: "reason", Value: st.Reason}).Inc()
+		d.ring.Append(epidemic.EventRecord{
+			Site:      int32(d.node.Site()),
+			Kind:      "cluster-stall",
+			Peer:      st.Site,
+			Key:       st.Reason,
+			Keys:      []string{st.Detail},
+			UnixNanos: now,
+		})
+	}
+	for k := range c.active {
+		if !seen[k] {
+			delete(c.active, k)
+		}
+	}
+}
+
+// selfDigest snapshots this replica's health at time now (unix nanos).
+// staleAfter bounds which remote digests count as fresh for the residue
+// proxy below.
+func (d *daemon) selfDigest(now, staleAfter int64) epidemic.ClusterDigest {
+	n := d.node
+	st := n.Stats()
+	w := d.wire.Snapshot()
+	members := len(epidemic.Members(n.Store()))
+	dg := epidemic.ClusterDigest{
+		Stamp:          now,
+		StartedAt:      d.started.UnixNano(),
+		StoreKeys:      int64(len(n.Store().Keys())),
+		Checksum:       n.Store().Checksum(),
+		HotRumors:      int64(len(n.HotEntries())),
+		Peers:          int64(len(n.Peers())),
+		Members:        int64(members),
+		AERuns:         int64(st.AntiEntropyRuns),
+		RumorRuns:      int64(st.RumorRuns),
+		WireMsgsBinary: w.MsgsBinary,
+		WireMsgsGob:    w.MsgsGob,
+		UDPPushes:      w.UDPPushes,
+		UDPFallbacks:   w.UDPFallbacks,
+		LastAE:         d.lastAE.Load(),
+		AntiEntropy:    summarize(d.aeSeconds),
+		Rumor:          summarize(d.rumorSeconds),
+	}
+	if d.prop != nil {
+		// t_last over the tracked updates: the largest origination-to-
+		// local-apply delay seen, i.e. how long updates take to reach this
+		// replica — the one propagation observable a lone node can measure.
+		var worst float64
+		for _, k := range d.prop.Keys() {
+			if tl, ok := d.prop.TLast(k); ok && tl > worst {
+				worst = tl
+			}
+		}
+		dg.TLastSeconds = worst
+	}
+	// A lone replica cannot count infections at other sites, so its
+	// residue is the gossip-observable proxy: the fraction of fresh remote
+	// digests whose database checksum disagrees with this replica's. A
+	// converged cluster reports 0 everywhere; an update in flight raises
+	// it until the other sites apply it and their refreshed digests gossip
+	// back, so "nonzero and not decaying" still means a stalled epidemic.
+	var remote, differ int
+	for _, rd := range d.digests.Snapshot() {
+		if rd.Site == int32(n.Site()) || now-rd.Stamp > staleAfter {
+			continue
+		}
+		remote++
+		if rd.Checksum != dg.Checksum {
+			differ++
+		}
+	}
+	if remote > 0 {
+		dg.Residue = float64(differ) / float64(remote)
+	}
+	return dg
+}
+
+// summarize compresses an exchange-latency histogram into the digest's
+// quantile pair. An empty histogram yields the zero summary (never NaN).
+func summarize(h *epidemic.Histogram) epidemic.ClusterLatencySummary {
+	if h == nil {
+		return epidemic.ClusterLatencySummary{}
+	}
+	c := h.Count()
+	if c == 0 {
+		return epidemic.ClusterLatencySummary{}
+	}
+	return epidemic.ClusterLatencySummary{Count: c, P50: h.Quantile(0.5), P99: h.Quantile(0.99)}
+}

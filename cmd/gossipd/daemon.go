@@ -8,6 +8,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"epidemic"
@@ -53,17 +55,26 @@ type daemonConfig struct {
 	// /debug/pprof/{mutex,block} can show lock contention (0 = disabled).
 	mutexProfileFraction int
 	blockProfileRate     int
+	// clusterDigests enables the cluster observatory: health digests that
+	// piggyback on gossip exchanges, the /cluster admin route, and the
+	// convergence stall detector behind /healthz degradation.
+	clusterDigests bool
+	// digestEvery is the self-digest refresh period; digestTTL drops remote
+	// digests unrefreshed for that long; staleAfter marks a site stale
+	// (0 = 3 x the anti-entropy period).
+	digestEvery, digestTTL, staleAfter time.Duration
 }
 
 // peerOptions derives the outbound wire options every peer of this daemon
 // shares, feeding one process-wide WireStats.
-func (cfg daemonConfig) peerOptions(wire *epidemic.WireStats) epidemic.TCPPeerOptions {
+func (cfg daemonConfig) peerOptions(wire *epidemic.WireStats, digests *epidemic.ClusterDirectory) epidemic.TCPPeerOptions {
 	return epidemic.TCPPeerOptions{
 		Timeout:  cfg.exchangeTimeout,
 		PoolSize: cfg.poolSize,
 		Stats:    wire,
 		Codec:    cfg.codec,
 		UDP:      cfg.udp,
+		Digests:  digests,
 	}
 }
 
@@ -95,6 +106,20 @@ type daemon struct {
 	peerOpts epidemic.TCPPeerOptions
 	adminLn  net.Listener
 	adminSrv *http.Server
+
+	// Cluster observatory state. digests is nil when -cluster-digests is
+	// off; status holds the latest /cluster reply (nil until the first
+	// collect, or forever when the observatory is off).
+	started      time.Time
+	digests      *epidemic.ClusterDirectory
+	prop         *epidemic.PropagationTracker
+	aeSeconds    *epidemic.Histogram
+	rumorSeconds *epidemic.Histogram
+	lastAE       atomic.Int64
+	status       atomic.Pointer[epidemic.ClusterStatusReply]
+	stopDigests  chan struct{}
+	digestsDone  chan struct{}
+	closeOnce    sync.Once
 }
 
 // buildLogger maps the -log-level/-log-format flags onto a slog.Logger
@@ -141,6 +166,10 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	if cfg.blockProfileRate > 0 {
 		runtime.SetBlockProfileRate(cfg.blockProfileRate)
 	}
+	var digests *epidemic.ClusterDirectory
+	if cfg.clusterDigests {
+		digests = epidemic.NewClusterDirectory(epidemic.SiteID(cfg.site), 0)
+	}
 	n, err := epidemic.NewNode(epidemic.NodeConfig{
 		Site:   epidemic.SiteID(cfg.site),
 		Logger: logger,
@@ -164,13 +193,14 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		SnapshotEvery:      time.Minute,
 		StoreShards:        cfg.storeShards,
 		TraceRing:          cfg.traceRing,
+		Digests:            digests,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	wire := &epidemic.WireStats{}
-	peerOpts := cfg.peerOptions(wire)
+	peerOpts := cfg.peerOptions(wire, digests)
 	peers, err := parsePeers(cfg.peerSpec, peerOpts)
 	if err != nil {
 		return nil, err
@@ -202,15 +232,19 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	}
 
 	d := &daemon{
-		node:     n,
-		srv:      srv,
-		clientLn: cln,
-		stopSync: make(chan struct{}),
-		syncDone: make(chan struct{}),
-		reg:      epidemic.NewMetricsRegistry(),
-		ring:     epidemic.NewEventRing(0),
-		wire:     wire,
-		peerOpts: peerOpts,
+		node:        n,
+		srv:         srv,
+		clientLn:    cln,
+		stopSync:    make(chan struct{}),
+		syncDone:    make(chan struct{}),
+		reg:         epidemic.NewMetricsRegistry(),
+		ring:        epidemic.NewEventRing(0),
+		wire:        wire,
+		peerOpts:    peerOpts,
+		started:     time.Now(),
+		digests:     digests,
+		stopDigests: make(chan struct{}),
+		digestsDone: make(chan struct{}),
 	}
 	d.instrument(logger)
 	if cfg.admin != "" {
@@ -219,6 +253,15 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 			_ = cln.Close()
 			return nil, err
 		}
+	}
+	if digests != nil {
+		// First collect runs synchronously so /cluster answers from the
+		// moment the daemon is up; the loop takes over from there.
+		col := newDigestCollector(d, cfg.digestSettings())
+		col.collect()
+		go col.loop()
+	} else {
+		close(d.digestsDone)
 	}
 	go d.syncLoop(cfg.aePer)
 	go serveClients(cln, n, wire)
@@ -230,11 +273,36 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 // the event ring. Stamp units are wall-clock nanoseconds, so propagation
 // delays scale by 1e-9.
 func (d *daemon) instrument(logger *slog.Logger) {
-	d.node.SetOnEvent(epidemic.InstrumentNode(d.reg, d.node, epidemic.ObserveOptions{
+	if d.digests != nil {
+		// The propagation tracker feeds the digest's residue/t_last fields;
+		// it takes over the propagation-histogram observations from the
+		// bridge (same histogram, deduplicated per site).
+		d.prop = epidemic.NewPropagationTracker(1e-9, d.reg.Histogram(
+			epidemic.MetricUpdatePropagation,
+			"Delay from an update's origination to its application at a replica, in seconds.",
+			nil))
+	}
+	observe := epidemic.InstrumentNode(d.reg, d.node, epidemic.ObserveOptions{
 		Ring:           d.ring,
+		Propagation:    d.prop,
 		SecondsPerUnit: 1e-9,
 		WallTime:       true,
-	}))
+	})
+	d.node.SetOnEvent(func(e epidemic.NodeEvent) {
+		if e.Kind == epidemic.NodeEventAntiEntropy {
+			d.lastAE.Store(time.Now().UnixNano())
+		}
+		observe(e)
+	})
+	// Handles on the per-mechanism exchange-latency histograms the bridge
+	// just registered, for the digest's quantile summaries (registration is
+	// idempotent, so these fetch the same instances).
+	d.aeSeconds = d.reg.Histogram(epidemic.MetricExchangeSeconds,
+		"Initiator-side duration of one exchange, in seconds, by mechanism.",
+		nil, epidemic.MetricLabel{Name: "mechanism", Value: "anti-entropy"})
+	d.rumorSeconds = d.reg.Histogram(epidemic.MetricExchangeSeconds,
+		"Initiator-side duration of one exchange, in seconds, by mechanism.",
+		nil, epidemic.MetricLabel{Name: "mechanism", Value: "rumor"})
 	if logger != nil {
 		d.srv.SetLogger(logger.With("site", int(d.node.Site()), "component", "transport"))
 	}
@@ -280,14 +348,21 @@ func (d *daemon) AdminAddr() string {
 	return d.adminLn.Addr().String()
 }
 
-// Close stops everything, in reverse start order.
+// Close stops everything, in reverse start order. Safe to call more than
+// once (tests kill a daemon mid-run and still defer the cleanup).
 func (d *daemon) Close() {
-	close(d.stopSync)
-	<-d.syncDone
-	if d.adminSrv != nil {
-		_ = d.adminSrv.Close()
-	}
-	d.node.Stop()
-	_ = d.clientLn.Close()
-	_ = d.srv.Close()
+	d.closeOnce.Do(func() {
+		close(d.stopSync)
+		<-d.syncDone
+		if d.digests != nil {
+			close(d.stopDigests)
+		}
+		<-d.digestsDone
+		if d.adminSrv != nil {
+			_ = d.adminSrv.Close()
+		}
+		d.node.Stop()
+		_ = d.clientLn.Close()
+		_ = d.srv.Close()
+	})
 }

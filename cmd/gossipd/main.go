@@ -37,10 +37,23 @@
 // UDP push/retry/fallback counters.
 //
 // Observability: -admin host:port serves /metrics (Prometheus text
-// format), /healthz (JSON), /events (recent node events as JSON,
-// ?since=<cursor> for incremental polls), /trace?key= (hop spans) and
-// /debug/pprof/* on a separate HTTP listener; -log-level and -log-format
-// control structured logging to stderr. -trace-ring N enables update
+// format), /healthz (JSON), /cluster (this replica's gossip-borne view of
+// every site's health digest, plus convergence stalls), /events (recent
+// node events as JSON, ?since=<cursor> for incremental polls),
+// /trace?key= (hop spans) and /debug/pprof/* on a separate HTTP listener;
+// -log-level and -log-format control structured logging to stderr.
+//
+// Cluster observatory: with -cluster-digests (default on) every replica
+// refreshes a compact health digest each -digest-every and the digests
+// ride ordinary anti-entropy and rumor exchanges as a v3 binary-codec
+// envelope — no extra connections, zero bytes when disabled. Any single
+// daemon can then serve the whole cluster's status on /cluster (gossipctl
+// status / watch render it). A stall detector flags sites whose digests
+// go stale (-stale-after, default 3x the anti-entropy period), residue
+// that stops decaying, and persistent checksum disagreement; stalls
+// degrade /healthz, append cluster-stall events, and feed the
+// epidemic_cluster_* metrics. -digest-ttl bounds how long a departed
+// site's digest lingers. -trace-ring N enables update
 // tracing: every applied update records a hop span (sender, mechanism,
 // causal hop count) into a ring of N spans, federated across replicas by
 // gossipctl trace into an infection tree. -mutex-profile-fraction and
@@ -92,6 +105,10 @@ func main() {
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "hop-provenance spans retained for TRACE and /trace (0 = tracing disabled)")
 	flag.IntVar(&cfg.mutexProfileFraction, "mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off)")
 	flag.IntVar(&cfg.blockProfileRate, "block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns for /debug/pprof/block (0 = off)")
+	flag.BoolVar(&cfg.clusterDigests, "cluster-digests", true, "spread health digests on gossip exchanges and serve the /cluster view")
+	flag.DurationVar(&cfg.digestEvery, "digest-every", time.Second, "health-digest refresh period")
+	flag.DurationVar(&cfg.digestTTL, "digest-ttl", 10*time.Minute, "drop a remote site's digest after this long without a refresh")
+	flag.DurationVar(&cfg.staleAfter, "stale-after", 0, "mark a site stale when its digest is older than this (0 = 3x -anti-entropy-every)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {

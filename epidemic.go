@@ -33,6 +33,7 @@ import (
 	"epidemic/internal/core"
 	"epidemic/internal/node"
 	"epidemic/internal/obs"
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/sim"
 	"epidemic/internal/spatial"
@@ -163,6 +164,29 @@ type (
 	// TraceSummary packages a traced update's convergence observables
 	// (t_last, t_avg, residue, hop histogram, mechanism counts).
 	TraceSummary = trace.Summary
+
+	// ClusterDigest is one replica's compact health snapshot, spread
+	// epidemically by piggybacking on gossip exchanges.
+	ClusterDigest = cluster.Digest
+	// ClusterDirectory holds one replica's view of every site's digest
+	// (newest-stamp-wins merge). A nil *ClusterDirectory is valid and
+	// disables the observatory. Set it as NodeConfig.Digests and
+	// TCPPeerOptions.Digests.
+	ClusterDirectory = cluster.Directory
+	// ClusterLatencySummary is a digest's per-mechanism exchange-latency
+	// quantile pair.
+	ClusterLatencySummary = cluster.LatencySummary
+	// ClusterStall is one convergence problem the stall detector flagged.
+	ClusterStall = cluster.Stall
+	// ClusterStallConfig tunes the stall detector's windows.
+	ClusterStallConfig = cluster.StallConfig
+	// ClusterStallDetector turns a digest view into convergence stalls.
+	ClusterStallDetector = cluster.StallDetector
+	// ClusterSiteStatus is one digest decorated with reader-side staleness.
+	ClusterSiteStatus = cluster.SiteStatus
+	// ClusterStatusReply is the /cluster response body: one replica's view
+	// of the whole cluster plus the stalls it detects.
+	ClusterStatusReply = cluster.StatusReply
 )
 
 // Metric names registered by InstrumentNode (and, for the transport pair,
@@ -187,7 +211,44 @@ const (
 	MetricStoreShards         = obs.MetricStoreShards
 	MetricTransportRequests   = obs.MetricTransportRequests
 	MetricTransportSeconds    = obs.MetricTransportSeconds
+	MetricExchangeSeconds     = obs.MetricExchangeSeconds
+	MetricClusterSites        = obs.MetricClusterSites
+	MetricClusterStaleSites   = obs.MetricClusterStaleSites
+	MetricClusterStalls       = obs.MetricClusterStalls
 )
+
+// Stall reasons reported by the ClusterStallDetector, and the pseudo-site
+// marking a cluster-wide stall.
+const (
+	StallStaleDigest      = cluster.ReasonStaleDigest
+	StallResidueStuck     = cluster.ReasonResidueStuck
+	StallChecksumMismatch = cluster.ReasonChecksumMismatch
+	StallClusterWide      = cluster.ClusterWide
+)
+
+// DefaultDigestShareLimit caps the digests piggybacked per exchange when
+// NewClusterDirectory is given a limit <= 0.
+const DefaultDigestShareLimit = cluster.DefaultShareLimit
+
+// NewClusterDirectory builds a digest directory for one replica. Wire it
+// into NodeConfig.Digests (server side) and TCPPeerOptions.Digests
+// (client side) and digests ride every gossip exchange for free.
+func NewClusterDirectory(self SiteID, shareLimit int) *ClusterDirectory {
+	return cluster.NewDirectory(int32(self), shareLimit)
+}
+
+// NewClusterStallDetector builds a convergence stall detector; feed it the
+// same directory's Snapshot on a fixed cadence.
+func NewClusterStallDetector(cfg ClusterStallConfig) *ClusterStallDetector {
+	return cluster.NewStallDetector(cfg)
+}
+
+// BuildClusterStatus assembles the /cluster response shape from a digest
+// view at time now (stamp units); staleAfter is the staleness window in
+// stamp units and secondsPerUnit the stamp-to-seconds scale (0 = 1e-9).
+func BuildClusterStatus(self SiteID, now int64, digests []ClusterDigest, stalls []ClusterStall, staleAfter int64, secondsPerUnit float64) ClusterStatusReply {
+	return cluster.BuildStatus(int32(self), now, digests, stalls, staleAfter, secondsPerUnit)
+}
 
 // Metric names registered by InstrumentWire for the client-side wire
 // protocol (connection pool and per-exchange traffic).
@@ -233,6 +294,18 @@ const (
 	RedistributeNone  = core.RedistributeNone
 	RedistributeMail  = core.RedistributeMail
 	RedistributeRumor = core.RedistributeRumor
+)
+
+// Node event kinds (NodeEvent.Kind), for observers chained around
+// InstrumentNode's callback.
+const (
+	NodeEventAntiEntropy  = node.EventAntiEntropy
+	NodeEventRumor        = node.EventRumor
+	NodeEventRedistribute = node.EventRedistribute
+	NodeEventGC           = node.EventGC
+	NodeEventMailFailed   = node.EventMailFailed
+	NodeEventUpdate       = node.EventUpdate
+	NodeEventApply        = node.EventApply
 )
 
 // Spatial distribution families (§3).

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"time"
+
 	"epidemic/internal/core"
 	"epidemic/internal/timestamp"
 )
@@ -64,6 +66,10 @@ type Event struct {
 	Count int
 	Key   string
 	Stamp timestamp.T
+	// Duration is the wall-clock time the exchange took; set on
+	// anti-entropy and rumor events, zero elsewhere. It feeds the
+	// per-mechanism exchange-latency histograms in the cluster digest.
+	Duration time.Duration
 }
 
 // emit delivers an event to the configured observer. It must be called

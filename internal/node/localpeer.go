@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -16,6 +17,11 @@ import (
 // overflow, §1.2) and partitions (a down peer refuses conversations).
 type LocalPeer struct {
 	target *Node
+
+	// owner is the calling node's digest directory; when set, anti-entropy
+	// and rumor-pull conversations exchange cluster digests with the
+	// target, mirroring the TCP transport's piggyback. Nil disables.
+	owner *cluster.Directory
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -28,6 +34,25 @@ var _ Peer = (*LocalPeer)(nil)
 // NewLocalPeer wraps target. seed feeds the loss-injection RNG.
 func NewLocalPeer(target *Node, seed int64) *LocalPeer {
 	return &LocalPeer{target: target, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDigestDirectory installs the calling node's digest directory so
+// conversations through this peer carry cluster digests both ways (the
+// in-process analogue of the wire piggyback). Nil disables. Set before
+// use; not safe to swap while conversations run.
+func (p *LocalPeer) SetDigestDirectory(owner *cluster.Directory) {
+	p.owner = owner
+}
+
+// exchangeDigests pushes the owner's digest view to the target and pulls
+// the target's back — the bidirectional piggyback every conversation gets.
+// All operations are nil-safe no-ops when either side has no directory.
+func (p *LocalPeer) exchangeDigests() {
+	if p.owner == nil {
+		return
+	}
+	p.target.Digests().Merge(p.owner.Share())
+	p.owner.Merge(p.target.Digests().Share())
 }
 
 // SetMailLoss sets the probability that a mailed update is silently
@@ -77,6 +102,7 @@ func (p *LocalPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *
 		}
 	}
 	p.target.noteRepaired(st.Repairs)
+	p.exchangeDigests()
 	return st, nil
 }
 
@@ -94,6 +120,7 @@ func (p *LocalPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
 		return nil, nil, ErrPeerDown
 	}
 	entries, hops := p.target.HotEntriesTraced()
+	p.exchangeDigests()
 	return entries, hops, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"epidemic/internal/core"
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -93,6 +94,11 @@ type Config struct {
 	// carry provenance envelopes. Zero (the default) disables tracing
 	// entirely — no spans, no envelopes, no allocations.
 	TraceRing int
+	// Digests, when non-nil, is this node's cluster digest directory: the
+	// transport piggybacks its Share() on anti-entropy and rumor-pull
+	// exchanges and merges what peers send back. Nil (the default)
+	// disables the cluster observatory — no directory, no wire bytes.
+	Digests *cluster.Directory
 	// Seed seeds this node's private RNG; 0 derives one from the site ID.
 	Seed int64
 	// OnEvent, when set, receives lifecycle events (exchanges, rumor
@@ -252,6 +258,11 @@ func (n *Node) Store() *store.Store { return n.store }
 // Tracer returns this node's span tracer, or nil when tracing is
 // disabled (Config.TraceRing <= 0). The nil tracer is safe to use.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// Digests returns this node's cluster digest directory, or nil when the
+// observatory is disabled (Config.Digests unset). The nil directory is
+// safe to use — every method no-ops.
+func (n *Node) Digests() *cluster.Directory { return n.cfg.Digests }
 
 // SetPeers replaces the peer set with uniform selection probability. The
 // slice is copied.
@@ -541,6 +552,7 @@ func (n *Node) StepRumor() error {
 	n.mu.Lock()
 	n.stats.RumorRuns++
 	n.mu.Unlock()
+	began := time.Now()
 
 	mode := n.cfg.Rumor.Mode
 	if mode == core.Push || mode == core.PushPull {
@@ -578,7 +590,7 @@ func (n *Node) StepRumor() error {
 		n.stats.EntriesReceived += len(entries)
 		n.mu.Unlock()
 	}
-	n.emit(Event{Kind: EventRumor, Peer: peer.ID()})
+	n.emit(Event{Kind: EventRumor, Peer: peer.ID(), Duration: time.Since(began)})
 	n.log.Debug("rumor round finished", "peer", int(peer.ID()))
 	return nil
 }
@@ -592,10 +604,12 @@ func (n *Node) StepAntiEntropy() error {
 	}
 	n.rounds.Add(1)
 	before := n.store.Checksum()
+	began := time.Now()
 	st, err := peer.AntiEntropy(n.cfg.Resolve, n.store, n.tracer)
 	if err != nil {
 		return fmt.Errorf("anti-entropy with %d: %w", peer.ID(), err)
 	}
+	elapsed := time.Since(began)
 	n.mu.Lock()
 	n.stats.AntiEntropyRuns++
 	n.stats.EntriesSent += st.EntriesSent
@@ -615,7 +629,7 @@ func (n *Node) StepAntiEntropy() error {
 		n.tracer.RecordApply(r.Key, r.Stamp, r.Parent, hop, r.Mech, n.store.Now(), round)
 		n.emit(Event{Kind: EventApply, Key: r.Key, Stamp: r.Stamp, Peer: peer.ID()})
 	}
-	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st})
+	n.emit(Event{Kind: EventAntiEntropy, Peer: peer.ID(), Stats: st, Duration: elapsed})
 	n.log.Debug("anti-entropy finished", "peer", int(peer.ID()),
 		"sent", st.EntriesSent, "received", st.EntriesReceived,
 		"applied", st.EntriesApplied, "full_compare", st.FullCompare)

@@ -34,6 +34,16 @@ const (
 	// pull-rumors, sync, full-sync, checksum).
 	MetricTransportRequests = "epidemic_transport_requests_total"
 	MetricTransportSeconds  = "epidemic_transport_request_seconds"
+
+	// MetricExchangeSeconds is the initiator-side exchange latency
+	// histogram, labelled mechanism="anti-entropy"|"rumor" — the source of
+	// the cluster digest's p50/p99 columns.
+	MetricExchangeSeconds = "epidemic_exchange_seconds"
+
+	// Cluster-observatory names, fed by the daemon's digest collector.
+	MetricClusterSites      = "epidemic_cluster_sites"
+	MetricClusterStaleSites = "epidemic_cluster_stale_sites"
+	MetricClusterStalls     = "epidemic_cluster_stalls_total"
 )
 
 // ObserveOptions configures InstrumentNode.
@@ -124,12 +134,29 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 			func() float64 { return float64(tracked.Tracked()) })
 	}
 
+	// Exchange latency by mechanism, shared across sites like the
+	// propagation histogram (one latency distribution per registry).
+	aeSeconds := reg.Histogram(MetricExchangeSeconds,
+		"Initiator-side duration of one exchange, in seconds, by mechanism.",
+		opts.Buckets, Label{"mechanism", "anti-entropy"})
+	rumorSeconds := reg.Histogram(MetricExchangeSeconds,
+		"Initiator-side duration of one exchange, in seconds, by mechanism.",
+		opts.Buckets, Label{"mechanism", "rumor"})
+
 	site := int32(n.Site())
 	prop := opts.Propagation
 	ring := opts.Ring
 	wall := opts.WallTime
 	return func(e node.Event) {
 		switch e.Kind {
+		case node.EventAntiEntropy:
+			if e.Duration > 0 {
+				aeSeconds.Observe(e.Duration.Seconds())
+			}
+		case node.EventRumor:
+			if e.Duration > 0 {
+				rumorSeconds.Observe(e.Duration.Seconds())
+			}
 		case node.EventUpdate:
 			if prop != nil {
 				prop.Originated(e.Key, site, e.Stamp.Time)

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDirectoryNilSafe(t *testing.T) {
+	var d *Directory
+	d.SetSelf(Digest{StoreKeys: 1})
+	if got := d.Merge([]Digest{{Site: 2, Stamp: 5}}); got != 0 {
+		t.Errorf("nil Merge = %d", got)
+	}
+	if d.Share() != nil {
+		t.Error("nil Share returned digests")
+	}
+	if d.Snapshot() != nil {
+		t.Error("nil Snapshot returned digests")
+	}
+	if d.Len() != 0 || d.Prune(100, 1) != 0 || d.Self() != 0 {
+		t.Error("nil directory not inert")
+	}
+	if _, ok := d.Get(1); ok {
+		t.Error("nil Get found a digest")
+	}
+}
+
+func TestDirectoryMergeNewestWins(t *testing.T) {
+	d := NewDirectory(1, 0)
+	d.SetSelf(Digest{Stamp: 100, StoreKeys: 7})
+
+	if got := d.Merge([]Digest{{Site: 2, Stamp: 50}, {Site: 3, Stamp: 60}}); got != 2 {
+		t.Fatalf("initial merge changed %d, want 2", got)
+	}
+	// Older stamp for site 2 must lose; newer must win.
+	if got := d.Merge([]Digest{{Site: 2, Stamp: 40, StoreKeys: 1}}); got != 0 {
+		t.Errorf("stale digest merged (%d)", got)
+	}
+	if got := d.Merge([]Digest{{Site: 2, Stamp: 55, StoreKeys: 9}}); got != 1 {
+		t.Errorf("newer digest rejected (%d)", got)
+	}
+	dg, ok := d.Get(2)
+	if !ok || dg.Stamp != 55 || dg.StoreKeys != 9 {
+		t.Errorf("site 2 digest = %+v", dg)
+	}
+	// The node is authoritative for its own digest: a bounced copy with a
+	// newer stamp must not overwrite it.
+	if got := d.Merge([]Digest{{Site: 1, Stamp: 999, StoreKeys: 0}}); got != 0 {
+		t.Errorf("self digest overwritten via merge (%d)", got)
+	}
+	if dg, _ := d.Get(1); dg.Stamp != 100 || dg.StoreKeys != 7 {
+		t.Errorf("self digest = %+v", dg)
+	}
+}
+
+func TestDirectoryShareSelfFirstAndCapped(t *testing.T) {
+	d := NewDirectory(1, 3)
+	if d.Share() != nil {
+		t.Fatal("empty directory shared digests")
+	}
+	d.SetSelf(Digest{Stamp: 10})
+	d.Merge([]Digest{
+		{Site: 2, Stamp: 100},
+		{Site: 3, Stamp: 300},
+		{Site: 4, Stamp: 200},
+		{Site: 5, Stamp: 50},
+	})
+	share := d.Share()
+	if len(share) != 3 {
+		t.Fatalf("share len = %d, want cap 3", len(share))
+	}
+	if share[0].Site != 1 {
+		t.Errorf("share[0].Site = %d, want self first", share[0].Site)
+	}
+	// Remaining slots go to the freshest others: sites 3 (300) and 4 (200).
+	if share[1].Site != 3 || share[2].Site != 4 {
+		t.Errorf("share order = %d,%d, want 3,4", share[1].Site, share[2].Site)
+	}
+}
+
+func TestDirectorySnapshotSortedAndPrune(t *testing.T) {
+	d := NewDirectory(2, 0)
+	d.SetSelf(Digest{Stamp: 1000})
+	d.Merge([]Digest{{Site: 5, Stamp: 900}, {Site: 1, Stamp: 100}})
+
+	snap := d.Snapshot()
+	if len(snap) != 3 || snap[0].Site != 1 || snap[1].Site != 2 || snap[2].Site != 5 {
+		t.Fatalf("snapshot order = %+v", snap)
+	}
+	// TTL aging drops site 1 (age 900 > 500) but never self (age 0) nor
+	// the still-fresh site 5.
+	if dropped := d.Prune(1000, 500); dropped != 1 {
+		t.Fatalf("pruned %d, want 1", dropped)
+	}
+	if _, ok := d.Get(1); ok {
+		t.Error("stale digest survived prune")
+	}
+	if _, ok := d.Get(2); !ok {
+		t.Error("self digest pruned")
+	}
+	if d.Len() != 2 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestDirectoryConcurrent(t *testing.T) {
+	d := NewDirectory(1, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.SetSelf(Digest{Stamp: int64(i)})
+				d.Merge([]Digest{{Site: int32(2 + g), Stamp: int64(i)}})
+				d.Share()
+				d.Snapshot()
+				d.Prune(int64(i), 50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() < 1 {
+		t.Error("directory lost its own digest")
+	}
+}
+
+func TestStallDetectorStaleDigest(t *testing.T) {
+	sd := NewStallDetector(StallConfig{StaleAfter: 100, SecondsPerUnit: 1})
+	digests := []Digest{
+		{Site: 1, Stamp: 1000},
+		{Site: 2, Stamp: 850}, // age 150 > 100
+	}
+	stalls := sd.Check(1000, digests)
+	if len(stalls) != 1 || stalls[0].Site != 2 || stalls[0].Reason != ReasonStaleDigest {
+		t.Fatalf("stalls = %+v", stalls)
+	}
+	if stalls[0].AgeSeconds != 150 {
+		t.Errorf("age = %v", stalls[0].AgeSeconds)
+	}
+	// Refreshing the digest clears the stall.
+	digests[1].Stamp = 990
+	if stalls := sd.Check(1000, digests); len(stalls) != 0 {
+		t.Errorf("refreshed digest still stalled: %+v", stalls)
+	}
+}
+
+func TestStallDetectorResidueStuck(t *testing.T) {
+	sd := NewStallDetector(StallConfig{ResidueWindow: 50, SecondsPerUnit: 1})
+	at := func(now int64, residue float64) []Stall {
+		return sd.Check(now, []Digest{{Site: 1, Stamp: now, Residue: residue}})
+	}
+	if got := at(0, 0.5); len(got) != 0 {
+		t.Fatalf("first observation stalled: %+v", got)
+	}
+	if got := at(40, 0.5); len(got) != 0 {
+		t.Fatalf("inside window stalled: %+v", got)
+	}
+	got := at(60, 0.5) // unchanged for 60 > 50
+	if len(got) != 1 || got[0].Reason != ReasonResidueStuck || got[0].Site != 1 {
+		t.Fatalf("stuck residue not flagged: %+v", got)
+	}
+	// A decaying residue resets the window; zero residue never stalls.
+	if got := at(70, 0.4); len(got) != 0 {
+		t.Errorf("decaying residue flagged: %+v", got)
+	}
+	if got := at(200, 0); len(got) != 0 {
+		t.Errorf("zero residue flagged: %+v", got)
+	}
+	if got := at(400, 0); len(got) != 0 {
+		t.Errorf("zero residue flagged after window: %+v", got)
+	}
+}
+
+func TestStallDetectorChecksumMismatch(t *testing.T) {
+	sd := NewStallDetector(StallConfig{ChecksumWindow: 100, SecondsPerUnit: 1})
+	view := func(now int64, sums ...uint64) []Digest {
+		out := make([]Digest, len(sums))
+		for i, s := range sums {
+			out[i] = Digest{Site: int32(i + 1), Stamp: now, Checksum: s}
+		}
+		return out
+	}
+	if got := sd.Check(0, view(0, 7, 8)); len(got) != 0 {
+		t.Fatalf("fresh mismatch flagged immediately: %+v", got)
+	}
+	got := sd.Check(150, view(150, 7, 8))
+	if len(got) != 1 || got[0].Reason != ReasonChecksumMismatch || got[0].Site != ClusterWide {
+		t.Fatalf("persistent mismatch not flagged: %+v", got)
+	}
+	// Agreement resets; a fresh disagreement starts a new window.
+	if got := sd.Check(200, view(200, 9, 9)); len(got) != 0 {
+		t.Errorf("agreement flagged: %+v", got)
+	}
+	if got := sd.Check(250, view(250, 9, 10)); len(got) != 0 {
+		t.Errorf("new mismatch flagged without persistence: %+v", got)
+	}
+}
+
+func TestStallDetectorStaleExcludedFromChecksum(t *testing.T) {
+	// A stale digest's checksum must not count as a mismatch: the site is
+	// already flagged stale, and its frozen checksum says nothing about
+	// the live cluster.
+	sd := NewStallDetector(StallConfig{StaleAfter: 100, ChecksumWindow: 10, SecondsPerUnit: 1})
+	digests := []Digest{
+		{Site: 1, Stamp: 1000, Checksum: 7},
+		{Site: 2, Stamp: 995, Checksum: 7},
+		{Site: 3, Stamp: 100, Checksum: 999}, // stale
+	}
+	sd.Check(1000, digests)
+	stalls := sd.Check(1050, []Digest{
+		{Site: 1, Stamp: 1050, Checksum: 7},
+		{Site: 2, Stamp: 1045, Checksum: 7},
+		{Site: 3, Stamp: 100, Checksum: 999},
+	})
+	for _, s := range stalls {
+		if s.Reason == ReasonChecksumMismatch {
+			t.Fatalf("stale site's checksum drove a mismatch stall: %+v", stalls)
+		}
+	}
+}
+
+func TestBuildStatus(t *testing.T) {
+	digests := []Digest{
+		{Site: 1, Stamp: 1000, StartedAt: 0},
+		{Site: 2, Stamp: 400, StartedAt: 100},
+	}
+	stalls := []Stall{{Site: 2, Reason: ReasonStaleDigest}}
+	reply := BuildStatus(1, 1000, digests, stalls, 500, 1)
+	if reply.Status != "degraded" || reply.Site != 1 || len(reply.Sites) != 2 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if reply.Sites[0].Stale || reply.Sites[0].AgeSeconds != 0 {
+		t.Errorf("site 1 status = %+v", reply.Sites[0])
+	}
+	if !reply.Sites[1].Stale || reply.Sites[1].AgeSeconds != 600 || reply.Sites[1].UptimeSeconds != 300 {
+		t.Errorf("site 2 status = %+v", reply.Sites[1])
+	}
+	// The reply must round-trip as JSON (no NaN leaks).
+	b, err := json.Marshal(reply)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"degraded"`) {
+		t.Errorf("json = %s", b)
+	}
+	healthy := BuildStatus(1, 1000, digests[:1], nil, 500, 1)
+	if healthy.Status != "ok" || len(healthy.Stalls) != 0 {
+		t.Errorf("healthy reply = %+v", healthy)
+	}
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stall reasons reported by the detector.
+const (
+	// ReasonStaleDigest : a site's digest has not refreshed within the
+	// staleness window — the node is down, partitioned, or its exchanges
+	// have stopped carrying digests.
+	ReasonStaleDigest = "stale-digest"
+	// ReasonResidueStuck : a site reports nonzero propagation residue that
+	// has stopped decaying — some update is no longer making progress
+	// toward full infection (the dying feeble epidemic of §1.4).
+	ReasonResidueStuck = "residue-stuck"
+	// ReasonChecksumMismatch : fresh digests disagree on the live database
+	// checksum for longer than anti-entropy should need to reconcile them
+	// — a convergence storm rather than normal in-flight propagation.
+	ReasonChecksumMismatch = "checksum-mismatch"
+)
+
+// ClusterWide marks a Stall that concerns the whole cluster rather than
+// one site.
+const ClusterWide int32 = -1
+
+// Stall is one convergence problem the detector flagged.
+type Stall struct {
+	// Site is the site concerned, or ClusterWide (-1).
+	Site int32 `json:"site"`
+	// Reason is one of the Reason* constants.
+	Reason string `json:"reason"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail"`
+	// AgeSeconds is how long the condition has persisted.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// StallConfig tunes the detector. All windows are in stamp units.
+type StallConfig struct {
+	// StaleAfter flags a digest older than this (typically k times the
+	// anti-entropy interval, k around 3). <= 0 disables staleness checks.
+	StaleAfter int64
+	// ResidueWindow flags a site whose nonzero residue has not decreased
+	// for this long. <= 0 disables the check.
+	ResidueWindow int64
+	// ChecksumWindow flags checksum disagreement among fresh digests
+	// persisting beyond this. <= 0 disables the check.
+	ChecksumWindow int64
+	// SecondsPerUnit converts stamp units to seconds for Stall.AgeSeconds
+	// (0 means 1e-9, wall-clock nanoseconds).
+	SecondsPerUnit float64
+}
+
+// residueState tracks one site's last observed residue for the
+// stopped-decaying check.
+type residueState struct {
+	value float64
+	since int64
+}
+
+// StallDetector turns a digest view into a list of convergence stalls.
+// Check keeps internal history (per-site residue trajectories, the start
+// of a checksum disagreement), so one detector instance should observe
+// one directory over time. Not safe for concurrent use; callers serialize
+// Check (the daemon's collector loop already does).
+type StallDetector struct {
+	cfg           StallConfig
+	residue       map[int32]residueState
+	mismatch      bool  // checksums currently disagree
+	mismatchSince int64 // when the disagreement started (valid when mismatch)
+}
+
+// NewStallDetector builds a detector.
+func NewStallDetector(cfg StallConfig) *StallDetector {
+	if cfg.SecondsPerUnit <= 0 {
+		cfg.SecondsPerUnit = 1e-9
+	}
+	return &StallDetector{cfg: cfg, residue: make(map[int32]residueState)}
+}
+
+func (sd *StallDetector) seconds(units int64) float64 {
+	if units < 0 {
+		units = 0
+	}
+	return float64(units) * sd.cfg.SecondsPerUnit
+}
+
+// Check evaluates the digest view at time now (stamp units) and returns
+// the active stalls, sorted by site then reason. An empty result means
+// the cluster looks healthy from this replica's viewpoint.
+func (sd *StallDetector) Check(now int64, digests []Digest) []Stall {
+	var stalls []Stall
+
+	// Stale digests: the site stopped refreshing.
+	fresh := digests[:0:0]
+	for _, dg := range digests {
+		age := now - dg.Stamp
+		if sd.cfg.StaleAfter > 0 && age > sd.cfg.StaleAfter {
+			stalls = append(stalls, Stall{
+				Site:       dg.Site,
+				Reason:     ReasonStaleDigest,
+				Detail:     fmt.Sprintf("digest last refreshed %.1fs ago", sd.seconds(age)),
+				AgeSeconds: sd.seconds(age),
+			})
+			continue
+		}
+		fresh = append(fresh, dg)
+	}
+
+	// Residue stuck: nonzero residue that has not decreased since the
+	// window opened. A decrease (or reaching zero) resets the clock.
+	if sd.cfg.ResidueWindow > 0 {
+		const eps = 1e-9
+		seen := make(map[int32]bool, len(fresh))
+		for _, dg := range fresh {
+			seen[dg.Site] = true
+			st, ok := sd.residue[dg.Site]
+			if !ok || dg.Residue < st.value-eps || dg.Residue <= eps {
+				sd.residue[dg.Site] = residueState{value: dg.Residue, since: now}
+				continue
+			}
+			if age := now - st.since; age > sd.cfg.ResidueWindow {
+				stalls = append(stalls, Stall{
+					Site:       dg.Site,
+					Reason:     ReasonResidueStuck,
+					Detail:     fmt.Sprintf("residue %.2f not decaying", dg.Residue),
+					AgeSeconds: sd.seconds(age),
+				})
+			}
+		}
+		for site := range sd.residue {
+			if !seen[site] {
+				delete(sd.residue, site) // departed or gone stale
+			}
+		}
+	}
+
+	// Checksum mismatch storm: fresh digests disagreeing for longer than
+	// anti-entropy needs. Brief disagreement is normal (an update in
+	// flight); persistence is the signal.
+	if sd.cfg.ChecksumWindow > 0 && len(fresh) >= 2 {
+		sums := make(map[uint64]bool, len(fresh))
+		for _, dg := range fresh {
+			sums[dg.Checksum] = true
+		}
+		if len(sums) > 1 {
+			if !sd.mismatch {
+				sd.mismatch = true
+				sd.mismatchSince = now
+			}
+			if age := now - sd.mismatchSince; age > sd.cfg.ChecksumWindow {
+				stalls = append(stalls, Stall{
+					Site:       ClusterWide,
+					Reason:     ReasonChecksumMismatch,
+					Detail:     fmt.Sprintf("%d distinct checksums across %d fresh digests", len(sums), len(fresh)),
+					AgeSeconds: sd.seconds(age),
+				})
+			}
+		} else {
+			sd.mismatch = false
+		}
+	}
+
+	sort.Slice(stalls, func(i, j int) bool {
+		if stalls[i].Site != stalls[j].Site {
+			return stalls[i].Site < stalls[j].Site
+		}
+		return stalls[i].Reason < stalls[j].Reason
+	})
+	return stalls
+}
+
+// SiteStatus decorates one digest with reader-side staleness for the
+// /cluster admin route and gossipctl status.
+type SiteStatus struct {
+	Digest
+	// AgeSeconds is how old the digest is at the reporting replica; Stale
+	// whether that exceeds the configured staleness window.
+	AgeSeconds    float64 `json:"age_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Stale         bool    `json:"stale"`
+}
+
+// StatusReply is the /cluster response body: one replica's current view
+// of the whole cluster, plus the convergence stalls it detects. The same
+// shape feeds gossipctl status and watch.
+type StatusReply struct {
+	// Site is the replica answering; Now its current time in stamp units.
+	Site int32 `json:"site"`
+	Now  int64 `json:"now"`
+	// Status is "ok" or "degraded" (mirrors /healthz).
+	Status string       `json:"status"`
+	Sites  []SiteStatus `json:"sites"`
+	Stalls []Stall      `json:"stalls,omitempty"`
+}
+
+// BuildStatus assembles the status reply for a digest view at time now.
+// staleAfter is the staleness window in stamp units; secondsPerUnit
+// converts stamp units to seconds (0 means 1e-9).
+func BuildStatus(self int32, now int64, digests []Digest, stalls []Stall, staleAfter int64, secondsPerUnit float64) StatusReply {
+	if secondsPerUnit <= 0 {
+		secondsPerUnit = 1e-9
+	}
+	toSec := func(units int64) float64 {
+		if units < 0 {
+			units = 0
+		}
+		return float64(units) * secondsPerUnit
+	}
+	reply := StatusReply{Site: self, Now: now, Status: "ok"}
+	if len(stalls) > 0 {
+		reply.Status = "degraded"
+		reply.Stalls = stalls
+	}
+	for _, dg := range digests {
+		age := now - dg.Stamp
+		st := SiteStatus{
+			Digest:        dg,
+			AgeSeconds:    toSec(age),
+			UptimeSeconds: toSec(dg.Stamp - dg.StartedAt),
+			Stale:         staleAfter > 0 && age > staleAfter,
+		}
+		// Digests travel as JSON too: scrub any NaN that could sneak in
+		// from a quantile over an empty histogram.
+		if math.IsNaN(st.Residue) {
+			st.Residue = 0
+		}
+		reply.Sites = append(reply.Sites, st)
+	}
+	return reply
+}

@@ -70,3 +70,52 @@ func (h *Histogram) Count() uint64 {
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
+// using linear interpolation within the target bucket — the same estimator
+// Prometheus's histogram_quantile applies server-side, done here so a
+// process can summarize its own latency histograms (the cluster digest's
+// p50/p99 columns). It returns NaN when q is out of range or the histogram
+// is empty. Samples landing in the +Inf overflow bucket are clamped to the
+// last finite upper bound: the estimate saturates rather than inventing an
+// unbounded value.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	// Snapshot the counts once; Observe may race, and a torn-but-monotone
+	// view only shifts the estimate by the in-flight samples.
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total) // fractional target rank in [0, total]
+	var cum uint64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(counts)-1 {
+			// +Inf bucket: clamp to the largest finite bound.
+			return h.upper[len(h.upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		hi := h.upper[i]
+		if c == 0 {
+			return hi
+		}
+		// Interpolate the rank's position within [lo, hi].
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.upper[len(h.upper)-1]
+}

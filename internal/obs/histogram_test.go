@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndInvalid(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram quantile = %v, want NaN", v)
+	}
+	h.Observe(1.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 100 samples uniformly in the (1,2] bucket: the estimator assumes a
+	// uniform spread, so the q-quantile lands at 1 + q within the bucket.
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1.0},
+		{0.25, 1.25},
+		{0.5, 1.5},
+		{0.99, 1.99},
+		{1, 2.0},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 samples in (0,1], 30 in (1,2], 20 in (2,4].
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(3)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.5}, // rank 25 of 50 in [0,1] -> 0.5
+		{0.5, 1.0},  // rank 50 = exactly the first bucket boundary
+		{0.65, 1.5}, // rank 65: 15 of 30 into [1,2] -> 1.5
+		{0.9, 3.0},  // rank 90: 10 of 20 into [2,4] -> 3.0
+		{1.0, 4.0},  // top of the last occupied bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileOverflowClamps(t *testing.T) {
+	// Samples beyond the last finite bound saturate the estimate at that
+	// bound instead of reporting +Inf.
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("overflow Quantile(0.5) = %v, want clamp to 4", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("overflow Quantile(0.99) = %v, want clamp to 4", got)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	h.Observe(0.007) // lands in (0.005, 0.01]
+	for _, q := range []float64{0.5, 0.99} {
+		got := h.Quantile(q)
+		if got <= 0.005 || got > 0.01 {
+			t.Errorf("Quantile(%v) = %v, want within (0.005, 0.01]", q, got)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"epidemic/internal/core"
 	"epidemic/internal/node"
 	"epidemic/internal/obs"
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/spatial"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -48,6 +49,12 @@ type ClusterConfig struct {
 	// retaining that many spans, so infection trees can be assembled from
 	// the same run the Propagation tracker observes.
 	TraceRing int
+	// ClusterDigests, when true, gives every node a cluster digest
+	// directory and wires the in-process peers to exchange digests on
+	// anti-entropy and rumor-pull conversations — the observatory's
+	// epidemic channel, testable against ground truth (every node IS the
+	// cluster here). Digest stamps are simulated ticks.
+	ClusterDigests bool
 	// Seed makes runs reproducible.
 	Seed int64
 	// TickPerCycle advances the simulated clock this much each cycle
@@ -64,13 +71,14 @@ type ClusterConfig struct {
 // Cluster is a set of in-memory replicas plus the simulated clock they
 // share.
 type Cluster struct {
-	cfg   ClusterConfig
-	clock *timestamp.Simulated
-	nodes []*node.Node
-	peers [][]*node.LocalPeer // peers[i] = peer objects owned by node i
-	rng   *rand.Rand
-	cycle int
-	prop  *obs.Propagation // non-nil when cfg.Registry is set
+	cfg     ClusterConfig
+	clock   *timestamp.Simulated
+	nodes   []*node.Node
+	peers   [][]*node.LocalPeer // peers[i] = peer objects owned by node i
+	rng     *rand.Rand
+	cycle   int
+	prop    *obs.Propagation     // non-nil when cfg.Registry is set
+	digests []*cluster.Directory // non-nil when cfg.ClusterDigests
 }
 
 // NewCluster builds a fully connected cluster of n nodes.
@@ -89,8 +97,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		peers: make([][]*node.LocalPeer, cfg.N),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.ClusterDigests {
+		c.digests = make([]*cluster.Directory, cfg.N)
+		for i := range c.digests {
+			c.digests[i] = cluster.NewDirectory(int32(i), 0)
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		site := timestamp.SiteID(i)
+		var dir *cluster.Directory
+		if c.digests != nil {
+			dir = c.digests[i]
+		}
 		n, err := node.New(node.Config{
 			Site:               site,
 			Clock:              clock.ClockAt(site),
@@ -103,6 +121,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DirectMailOnUpdate: cfg.DirectMailOnUpdate,
 			StoreShards:        cfg.StoreShards,
 			TraceRing:          cfg.TraceRing,
+			Digests:            dir,
 			Seed:               cfg.Seed + int64(i) + 1,
 		})
 		if err != nil {
@@ -149,6 +168,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			lp := node.NewLocalPeer(target, cfg.Seed+int64(i*cfg.N+j))
 			lp.SetMailLoss(cfg.MailLoss)
+			if c.digests != nil {
+				lp.SetDigestDirectory(c.digests[i])
+			}
 			peerObjs = append(peerObjs, lp)
 			peerIfc = append(peerIfc, lp)
 			if probs != nil {
@@ -182,6 +204,39 @@ func (c *Cluster) Clock() *timestamp.Simulated { return c.clock }
 // Propagation returns the cluster-wide update-propagation tracker, or nil
 // when the cluster was built without a Registry.
 func (c *Cluster) Propagation() *obs.Propagation { return c.prop }
+
+// DigestDirectory returns site i's digest directory (nil when the cluster
+// was built without ClusterDigests).
+func (c *Cluster) DigestDirectory(i int) *cluster.Directory {
+	if c.digests == nil {
+		return nil
+	}
+	return c.digests[i]
+}
+
+// RefreshDigests makes every node snapshot a fresh self digest at the
+// current simulated time — the sim analogue of the daemon's periodic
+// collector tick. Call between step cycles; the digests then spread on the
+// next conversations.
+func (c *Cluster) RefreshDigests() {
+	if c.digests == nil {
+		return
+	}
+	now := c.clock.Read()
+	for i, n := range c.nodes {
+		st := n.Store()
+		s := n.Stats()
+		c.digests[i].SetSelf(cluster.Digest{
+			Stamp:     now,
+			StoreKeys: int64(len(st.Keys())),
+			Checksum:  st.Checksum(),
+			HotRumors: int64(len(n.HotEntries())),
+			Peers:     int64(len(n.Peers())),
+			AERuns:    int64(s.AntiEntropyRuns),
+			RumorRuns: int64(s.RumorRuns),
+		})
+	}
+}
 
 // SetPartition isolates site from the rest of the cluster (or heals the
 // partition): nobody can converse with it and it can converse with nobody.

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"epidemic/internal/core"
+)
+
+func digestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		N:     n,
+		Rumor: core.RumorConfig{K: 4, Counter: true, Feedback: true, Mode: core.PushPull},
+		Resolve: core.ResolveConfig{
+			Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1 << 40,
+		},
+		ClusterDigests: true,
+		Seed:           99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// digestViewComplete reports whether every directory holds a digest for
+// every site with the expected stamp.
+func digestViewComplete(c *Cluster, wantStamp int64) bool {
+	for i := 0; i < c.N(); i++ {
+		dir := c.DigestDirectory(i)
+		if dir.Len() != c.N() {
+			return false
+		}
+		for site := 0; site < c.N(); site++ {
+			dg, ok := dir.Get(int32(site))
+			if !ok || dg.Stamp != wantStamp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDigestViewConvergesLogN is the acceptance property: after one
+// refresh, anti-entropy push-pull disseminates the full digest set to
+// every replica within O(log n) cycles — the same bound the data itself
+// enjoys (each conversation swaps views both ways, so informed pairs
+// double per cycle until the connection graph saturates).
+func TestDigestViewConvergesLogN(t *testing.T) {
+	const n = 32
+	c := digestCluster(t, n)
+
+	c.RefreshDigests()
+	stamp := c.Clock().Read()
+
+	// Generous constant over ceil(log2 n): push-pull needs ~log2 n + O(1)
+	// expected cycles; 4x absorbs random partner collisions at this size.
+	budget := 4 * int(math.Ceil(math.Log2(n)))
+	cycles := 0
+	for ; cycles < budget && !digestViewComplete(c, stamp); cycles++ {
+		c.StepAntiEntropy()
+	}
+	if !digestViewComplete(c, stamp) {
+		t.Fatalf("digest view incomplete after %d cycles (budget %d, n=%d)", cycles, budget, n)
+	}
+	t.Logf("digest view converged in %d cycles (budget %d, n=%d)", cycles, budget, n)
+}
+
+// TestDigestViewMatchesGroundTruth: the converged digests report the real
+// per-node state — store sizes, checksums, protocol counters — not copies
+// of someone else's.
+func TestDigestViewMatchesGroundTruth(t *testing.T) {
+	const n = 8
+	c := digestCluster(t, n)
+
+	// Give the sites distinguishable stores: site i originates i+1 keys,
+	// spread to full consistency first so StoreKeys agree everywhere.
+	for i := 0; i < n; i++ {
+		for k := 0; k <= i; k++ {
+			c.Node(i).Update(string(rune('a'+i))+string(rune('0'+k)), []byte{byte(i)})
+		}
+	}
+	if _, ok := c.RunAntiEntropyToConsistency(200); !ok {
+		t.Fatal("cluster did not converge")
+	}
+
+	c.RefreshDigests()
+	stamp := c.Clock().Read()
+	for i := 0; i < 40 && !digestViewComplete(c, stamp); i++ {
+		c.StepAntiEntropy()
+	}
+	if !digestViewComplete(c, stamp) {
+		t.Fatal("digest view incomplete")
+	}
+
+	// Every observer's digest for every site must equal that site's own
+	// self-digest (ground truth at refresh time).
+	for observer := 0; observer < n; observer++ {
+		dir := c.DigestDirectory(observer)
+		for site := 0; site < n; site++ {
+			got, _ := dir.Get(int32(site))
+			truth, _ := c.DigestDirectory(site).Get(int32(site))
+			if got != truth {
+				t.Errorf("observer %d's digest of site %d = %+v, truth %+v",
+					observer, site, got, truth)
+			}
+			want := c.Node(site).Store()
+			if got.StoreKeys != int64(len(want.Keys())) || got.Checksum != want.Checksum() {
+				t.Errorf("site %d digest disagrees with its store: %+v", site, got)
+			}
+		}
+	}
+}
+
+// TestDigestStalenessAfterPartition: a partitioned site's digest stops
+// refreshing in the survivors' views — the staleness signal the daemon's
+// stall detector consumes.
+func TestDigestStalenessAfterPartition(t *testing.T) {
+	const n = 8
+	c := digestCluster(t, n)
+
+	c.RefreshDigests()
+	firstStamp := c.Clock().Read()
+	for i := 0; i < 40 && !digestViewComplete(c, firstStamp); i++ {
+		c.StepAntiEntropy()
+	}
+	if !digestViewComplete(c, firstStamp) {
+		t.Fatal("initial digest view incomplete")
+	}
+
+	c.SetPartition(0, true)
+	// Several refresh+spread rounds with site 0 cut off.
+	var lastStamp int64
+	for round := 0; round < 3; round++ {
+		c.RefreshDigests()
+		lastStamp = c.Clock().Read()
+		for i := 0; i < 10; i++ {
+			c.StepAntiEntropy()
+		}
+	}
+
+	for observer := 1; observer < n; observer++ {
+		dir := c.DigestDirectory(observer)
+		dg, ok := dir.Get(0)
+		if !ok {
+			t.Fatalf("observer %d lost site 0's digest entirely", observer)
+		}
+		if dg.Stamp != firstStamp {
+			t.Errorf("observer %d has site 0 at stamp %d, want frozen at %d",
+				observer, dg.Stamp, firstStamp)
+		}
+		if fresh, _ := dir.Get(1); observer != 1 && fresh.Stamp != lastStamp {
+			t.Errorf("observer %d has live site 1 at stamp %d, want %d",
+				observer, fresh.Stamp, lastStamp)
+		}
+	}
+}

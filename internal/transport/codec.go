@@ -2,8 +2,10 @@ package transport
 
 import (
 	"encoding/binary"
+	"math"
 	"math/bits"
 
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -23,16 +25,19 @@ import (
 // Codec version bytes carried in the connection handshake. Higher is
 // preferred; negotiation picks min(client preference, server ceiling).
 const (
-	codecGob    = 1 // encoding/gob payloads (the PR 3 wire format)
-	codecBinary = 2 // this file's hand-rolled payloads
+	codecGob          = 1 // encoding/gob payloads (the PR 3 wire format)
+	codecBinary       = 2 // this file's hand-rolled payloads
+	codecBinaryDigest = 3 // binary payloads + trailing cluster-digest section
 )
 
 // codecName names a negotiated codec for logs, flags, and metric labels.
+// Both binary versions report "binary": v3 is the same framing plus the
+// digest envelope, and the metrics only distinguish gob from binary.
 func codecName(c byte) string {
 	switch c {
 	case codecGob:
 		return "gob"
-	case codecBinary:
+	case codecBinary, codecBinaryDigest:
 		return "binary"
 	default:
 		return "unknown"
@@ -111,8 +116,55 @@ func boolByte(v bool) byte {
 	return 0
 }
 
+// appendFloat64 writes the IEEE-754 bits big-endian.
+func appendFloat64(b []byte, v float64) []byte {
+	return appendUint64(b, math.Float64bits(v))
+}
+
+// appendSummary writes one LatencySummary: count, then the two quantiles
+// as fixed-width float bits.
+func appendSummary(b []byte, s *cluster.LatencySummary) []byte {
+	b = appendUvarint(b, s.Count)
+	b = appendFloat64(b, s.P50)
+	return appendFloat64(b, s.P99)
+}
+
+// appendDigests writes the optional trailing cluster-digest section of a
+// codecBinaryDigest frame: a count then each digest field by field. A nil
+// or empty slice costs one zero byte — disabled digests are (nearly) free.
+// Field order matches (*wireReader).digests; fields are only appended,
+// never reordered, so the section stays decodable across versions.
+func appendDigests(b []byte, digests []cluster.Digest) []byte {
+	b = appendUvarint(b, uint64(len(digests)))
+	for i := range digests {
+		d := &digests[i]
+		b = appendUint32(b, uint32(d.Site))
+		b = appendVarint(b, d.Stamp)
+		b = appendVarint(b, d.StartedAt)
+		b = appendVarint(b, d.StoreKeys)
+		b = appendUint64(b, d.Checksum)
+		b = appendVarint(b, d.HotRumors)
+		b = appendVarint(b, d.Peers)
+		b = appendVarint(b, d.Members)
+		b = appendVarint(b, d.AERuns)
+		b = appendVarint(b, d.RumorRuns)
+		b = appendVarint(b, d.WireMsgsBinary)
+		b = appendVarint(b, d.WireMsgsGob)
+		b = appendVarint(b, d.UDPPushes)
+		b = appendVarint(b, d.UDPFallbacks)
+		b = appendFloat64(b, d.Residue)
+		b = appendFloat64(b, d.TLastSeconds)
+		b = appendVarint(b, d.LastAE)
+		b = appendSummary(b, &d.AntiEntropy)
+		b = appendSummary(b, &d.Rumor)
+	}
+	return b
+}
+
 // appendRequest encodes req after b. Field order matches decodeRequest.
-func appendRequest(b []byte, req *request) []byte {
+// withDigests appends the cluster-digest section (codecBinaryDigest
+// sessions only — a v2 peer would read it as trailing garbage).
+func appendRequest(b []byte, req *request, withDigests bool) []byte {
 	b = append(b, byte(req.Kind))
 	b = appendUint32(b, uint32(req.From))
 	b = appendUint64(b, req.Checksum)
@@ -122,7 +174,11 @@ func appendRequest(b []byte, req *request) []byte {
 	b = appendStamp(b, req.Bound)
 	b = appendVarint(b, int64(req.Limit))
 	b = appendEntries(b, req.Entries)
-	return appendHops(b, req.Hops)
+	b = appendHops(b, req.Hops)
+	if withDigests {
+		b = appendDigests(b, req.Digests)
+	}
+	return b
 }
 
 // Response flag bits.
@@ -132,7 +188,8 @@ const (
 )
 
 // appendResponse encodes resp after b. Field order matches decodeResponse.
-func appendResponse(b []byte, resp *response) []byte {
+// withDigests appends the cluster-digest section as in appendRequest.
+func appendResponse(b []byte, resp *response, withDigests bool) []byte {
 	var flags byte
 	if resp.InSync {
 		flags |= respInSync
@@ -162,7 +219,11 @@ func appendResponse(b []byte, resp *response) []byte {
 	b = appendEntries(b, resp.Entries)
 	b = appendHops(b, resp.Hops)
 	b = appendUvarint(b, uint64(len(resp.Err)))
-	return append(b, resp.Err...)
+	b = append(b, resp.Err...)
+	if withDigests {
+		b = appendDigests(b, resp.Digests)
+	}
+	return b
 }
 
 // --- cursor-style decoder ---
@@ -290,6 +351,9 @@ func (r *wireReader) count(minBytes int) int {
 const (
 	entryMinWire = 2*stampWireLen + 3 // key len + value len + stamps + retention len
 	hopWireLen   = 9
+	// digestMinWire: 4-byte site + 8-byte checksum + two 8-byte floats +
+	// 13 varints of at least one byte + two 17-byte summaries.
+	digestMinWire = 4 + 8 + 16 + 13 + 2*17
 )
 
 func (r *wireReader) entries() []store.Entry {
@@ -343,6 +407,52 @@ func (r *wireReader) hops() []trace.Hop {
 	return out
 }
 
+func (r *wireReader) float64() float64 {
+	return math.Float64frombits(r.uint64())
+}
+
+func (r *wireReader) summary() cluster.LatencySummary {
+	return cluster.LatencySummary{
+		Count: r.uvarint(),
+		P50:   r.float64(),
+		P99:   r.float64(),
+	}
+}
+
+func (r *wireReader) digests() []cluster.Digest {
+	n := r.count(digestMinWire)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]cluster.Digest, n)
+	for i := range out {
+		d := &out[i]
+		d.Site = int32(r.uint32())
+		d.Stamp = r.varint()
+		d.StartedAt = r.varint()
+		d.StoreKeys = r.varint()
+		d.Checksum = r.uint64()
+		d.HotRumors = r.varint()
+		d.Peers = r.varint()
+		d.Members = r.varint()
+		d.AERuns = r.varint()
+		d.RumorRuns = r.varint()
+		d.WireMsgsBinary = r.varint()
+		d.WireMsgsGob = r.varint()
+		d.UDPPushes = r.varint()
+		d.UDPFallbacks = r.varint()
+		d.Residue = r.float64()
+		d.TLastSeconds = r.float64()
+		d.LastAE = r.varint()
+		d.AntiEntropy = r.summary()
+		d.Rumor = r.summary()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
 // finish reports the terminal decode state: a latched error, trailing
 // garbage, or success.
 func (r *wireReader) finish() error {
@@ -357,7 +467,9 @@ func (r *wireReader) finish() error {
 
 // decodeRequest decodes one binary frame payload into req, overwriting
 // every field (so a reused struct never leaks state between messages).
-func decodeRequest(payload []byte, req *request) error {
+// withDigests must match the encoder's flag — it is a session-level
+// property fixed by the handshake, never guessed from the payload.
+func decodeRequest(payload []byte, req *request, withDigests bool) error {
 	r := wireReader{buf: payload}
 	req.Kind = reqKind(r.byte())
 	req.From = timestamp.SiteID(r.uint32())
@@ -369,12 +481,16 @@ func decodeRequest(payload []byte, req *request) error {
 	req.Limit = int(r.varint())
 	req.Entries = r.entries()
 	req.Hops = r.hops()
+	req.Digests = nil
+	if withDigests {
+		req.Digests = r.digests()
+	}
 	return r.finish()
 }
 
 // decodeResponse decodes one binary frame payload into resp, overwriting
 // every field.
-func decodeResponse(payload []byte, resp *response) error {
+func decodeResponse(payload []byte, resp *response, withDigests bool) error {
 	r := wireReader{buf: payload}
 	flags := r.byte()
 	resp.InSync = flags&respInSync != 0
@@ -401,6 +517,10 @@ func decodeResponse(payload []byte, resp *response) error {
 	resp.Hops = r.hops()
 	errLen := r.uvarint()
 	resp.Err = string(r.take(int(errLen)))
+	resp.Digests = nil
+	if withDigests {
+		resp.Digests = r.digests()
+	}
 	return r.finish()
 }
 

@@ -105,12 +105,12 @@ func normalizeResp(r *response) {
 
 func TestCodecRequestRoundTrip(t *testing.T) {
 	for i, req := range codecRequests() {
-		payload := appendRequest(nil, &req)
+		payload := appendRequest(nil, &req, false)
 		// Decode into a dirty struct: every field must be overwritten.
 		got := request{Kind: 99, From: 99, Checksum: 99, Now: 99, Tau: 99,
 			Tau1: 99, Bound: timestamp.T{Time: 99}, Limit: 99,
 			Entries: []store.Entry{{Key: "stale"}}, Hops: []trace.Hop{{Count: 9}}}
-		if err := decodeRequest(payload, &got); err != nil {
+		if err := decodeRequest(payload, &got, false); err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
 		want := req
@@ -124,11 +124,11 @@ func TestCodecRequestRoundTrip(t *testing.T) {
 
 func TestCodecResponseRoundTrip(t *testing.T) {
 	for i, resp := range codecResponses() {
-		payload := appendResponse(nil, &resp)
+		payload := appendResponse(nil, &resp, false)
 		got := response{Needed: []bool{true}, Entries: []store.Entry{{Key: "stale"}},
 			InSync: true, Checksum: 99, Now: 99, Bound: timestamp.T{Time: 99},
 			More: true, Hops: []trace.Hop{{Count: 9}}, Err: "stale"}
-		if err := decodeResponse(payload, &got); err != nil {
+		if err := decodeResponse(payload, &got, false); err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
 		want := resp
@@ -149,7 +149,7 @@ func TestCodecValueNilVsEmpty(t *testing.T) {
 		{Key: "empty", Value: store.Value{}, Stamp: timestamp.T{Time: 2, Site: 1}},
 	}}
 	var got request
-	if err := decodeRequest(appendRequest(nil, &req), &got); err != nil {
+	if err := decodeRequest(appendRequest(nil, &req, false), &got, false); err != nil {
 		t.Fatal(err)
 	}
 	if got.Entries[0].Value != nil {
@@ -165,10 +165,10 @@ func TestCodecValueNilVsEmpty(t *testing.T) {
 // at full length).
 func TestCodecTruncationEveryPrefix(t *testing.T) {
 	for i, req := range codecRequests() {
-		payload := appendRequest(nil, &req)
+		payload := appendRequest(nil, &req, false)
 		for n := 0; n < len(payload); n++ {
 			var got request
-			err := decodeRequest(payload[:n], &got)
+			err := decodeRequest(payload[:n], &got, false)
 			if err == nil {
 				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(payload))
 			}
@@ -178,10 +178,10 @@ func TestCodecTruncationEveryPrefix(t *testing.T) {
 		}
 	}
 	for i, resp := range codecResponses() {
-		payload := appendResponse(nil, &resp)
+		payload := appendResponse(nil, &resp, false)
 		for n := 0; n < len(payload); n++ {
 			var got response
-			err := decodeResponse(payload[:n], &got)
+			err := decodeResponse(payload[:n], &got, false)
 			if err == nil {
 				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(payload))
 			}
@@ -196,15 +196,15 @@ func TestCodecTruncationEveryPrefix(t *testing.T) {
 // must notice the frame was not fully consumed.
 func TestCodecTrailingGarbage(t *testing.T) {
 	req := codecRequests()[2]
-	payload := append(appendRequest(nil, &req), 0xde, 0xad)
+	payload := append(appendRequest(nil, &req, false), 0xde, 0xad)
 	var got request
-	if err := decodeRequest(payload, &got); !errors.Is(err, ErrFrameGarbage) {
+	if err := decodeRequest(payload, &got, false); !errors.Is(err, ErrFrameGarbage) {
 		t.Errorf("decodeRequest err = %v, want ErrFrameGarbage", err)
 	}
 	resp := codecResponses()[2]
-	rp := append(appendResponse(nil, &resp), 0xbe)
+	rp := append(appendResponse(nil, &resp, false), 0xbe)
 	var gotR response
-	if err := decodeResponse(rp, &gotR); !errors.Is(err, ErrFrameGarbage) {
+	if err := decodeResponse(rp, &gotR, false); !errors.Is(err, ErrFrameGarbage) {
 		t.Errorf("decodeResponse err = %v, want ErrFrameGarbage", err)
 	}
 }
@@ -225,7 +225,7 @@ func TestCodecForgedCountsRejected(t *testing.T) {
 	b = appendVarint(b, 0)      // Limit
 	b = appendUvarint(b, 1<<40) // forged entry count
 	var got request
-	if err := decodeRequest(b, &got); !errors.Is(err, ErrTruncatedFrame) {
+	if err := decodeRequest(b, &got, false); !errors.Is(err, ErrTruncatedFrame) {
 		t.Errorf("forged entry count: err = %v, want ErrTruncatedFrame", err)
 	}
 
@@ -237,14 +237,14 @@ func TestCodecForgedCountsRejected(t *testing.T) {
 	rb = appendStamp(rb, timestamp.T{})
 	rb = appendUvarint(rb, 1<<40) // forged Needed count
 	var gotR response
-	if err := decodeResponse(rb, &gotR); !errors.Is(err, ErrTruncatedFrame) {
+	if err := decodeResponse(rb, &gotR, false); !errors.Is(err, ErrTruncatedFrame) {
 		t.Errorf("forged needed count: err = %v, want ErrTruncatedFrame", err)
 	}
 }
 
 func TestRequestWireSizeIsUpperBound(t *testing.T) {
 	for i, req := range codecRequests() {
-		actual := len(appendRequest(nil, &req))
+		actual := len(appendRequest(nil, &req, false))
 		bound := requestWireSize(&req)
 		if actual > bound {
 			t.Errorf("case %d: encoded %d bytes > claimed bound %d", i, actual, bound)
@@ -260,19 +260,19 @@ func TestRequestWireSizeIsUpperBound(t *testing.T) {
 // the same value (the codec is its own inverse on its image).
 func FuzzDecodeFrame(f *testing.F) {
 	for _, req := range codecRequests() {
-		f.Add(appendRequest(nil, &req))
+		f.Add(appendRequest(nil, &req, false))
 	}
 	for _, resp := range codecResponses() {
-		f.Add(appendResponse(nil, &resp))
+		f.Add(appendResponse(nil, &resp, false))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var req request
-		if err := decodeRequest(payload, &req); err == nil {
-			re := appendRequest(nil, &req)
+		if err := decodeRequest(payload, &req, false); err == nil {
+			re := appendRequest(nil, &req, false)
 			var again request
-			if err := decodeRequest(re, &again); err != nil {
+			if err := decodeRequest(re, &again, false); err != nil {
 				t.Fatalf("re-decode of re-encoded request failed: %v", err)
 			}
 			normalizeReq(&req)
@@ -284,10 +284,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("decodeRequest returned untyped error %v", err)
 		}
 		var resp response
-		if err := decodeResponse(payload, &resp); err == nil {
-			re := appendResponse(nil, &resp)
+		if err := decodeResponse(payload, &resp, false); err == nil {
+			re := appendResponse(nil, &resp, false)
 			var again response
-			if err := decodeResponse(re, &again); err != nil {
+			if err := decodeResponse(re, &again, false); err != nil {
 				t.Fatalf("re-decode of re-encoded response failed: %v", err)
 			}
 			normalizeResp(&resp)
@@ -303,7 +303,8 @@ func FuzzDecodeFrame(f *testing.F) {
 
 // TestCodecNames pins the codec and flag vocabulary.
 func TestCodecNames(t *testing.T) {
-	if codecName(codecGob) != "gob" || codecName(codecBinary) != "binary" || codecName(0) != "unknown" {
+	if codecName(codecGob) != "gob" || codecName(codecBinary) != "binary" ||
+		codecName(codecBinaryDigest) != "binary" || codecName(0) != "unknown" {
 		t.Error("codecName vocabulary changed")
 	}
 	for _, tc := range []struct {
@@ -312,8 +313,8 @@ func TestCodecNames(t *testing.T) {
 		legacy bool
 		ok     bool
 	}{
-		{"", codecBinary, false, true},
-		{"binary", codecBinary, false, true},
+		{"", codecBinaryDigest, false, true},
+		{"binary", codecBinaryDigest, false, true},
 		{"gob", codecGob, false, true},
 		{"legacy", codecGob, true, true},
 		{"protobuf", 0, false, false},

@@ -99,7 +99,7 @@ type session struct {
 	conn  net.Conn
 	br    *bufio.Reader
 	bw    *bufio.Writer
-	codec byte // codecGob or codecBinary, fixed after the handshake
+	codec byte // codecGob, codecBinary, or codecBinaryDigest; fixed after the handshake
 
 	// Gob machinery, built lazily so binary sessions never pay for it.
 	enc    *gob.Encoder
@@ -147,8 +147,8 @@ func (s *session) clientHandshake(prefer byte, deadline time.Time) error {
 	if err != nil {
 		return fmt.Errorf("transport: read codec choice: %w", err)
 	}
-	if chosen != codecGob && chosen != codecBinary {
-		return fmt.Errorf("transport: server chose unknown codec %d: %w", chosen, ErrFrameGarbage)
+	if chosen < codecGob || chosen > codecBinaryDigest || chosen > prefer {
+		return fmt.Errorf("transport: server chose unexpected codec %d: %w", chosen, ErrFrameGarbage)
 	}
 	s.codec = chosen
 	s.bytesOut += int64(len(hello))
@@ -176,9 +176,15 @@ func (s *session) serverHandshake(maxCodec byte) error {
 	if err != nil {
 		return fmt.Errorf("transport: read codec hello: %w", ErrTruncatedFrame)
 	}
-	chosen := byte(codecGob)
-	if prefer >= codecBinary && maxCodec >= codecBinary {
-		chosen = codecBinary
+	// min(client preference, server ceiling), clamped to the known range —
+	// a v2 client asking for 2 gets 2 from a v3 server, and a future v9
+	// client gets the highest version this server speaks.
+	chosen := min(prefer, maxCodec)
+	if chosen < codecGob {
+		chosen = codecGob
+	}
+	if chosen > codecBinaryDigest {
+		chosen = codecBinaryDigest
 	}
 	if err := s.bw.WriteByte(chosen); err != nil {
 		return fmt.Errorf("transport: answer codec hello: %w", err)
@@ -192,10 +198,15 @@ func (s *session) serverHandshake(maxCodec byte) error {
 	return nil
 }
 
+// withDigests reports whether this session's frames carry the trailing
+// cluster-digest section (codecBinaryDigest only; gob carries digests as
+// an ordinary struct field that old receivers simply ignore).
+func (s *session) withDigests() bool { return s.codec >= codecBinaryDigest }
+
 // writeRequest ships req as one frame in the session's codec.
 func (s *session) writeRequest(req *request) error {
-	if s.codec == codecBinary {
-		s.wbuf = appendRequest(s.binaryFrame(), req)
+	if s.codec >= codecBinary {
+		s.wbuf = appendRequest(s.binaryFrame(), req, s.withDigests())
 		return s.flushBinaryFrame()
 	}
 	return s.writeMsg(req)
@@ -203,8 +214,8 @@ func (s *session) writeRequest(req *request) error {
 
 // writeResponse ships resp as one frame in the session's codec.
 func (s *session) writeResponse(resp *response) error {
-	if s.codec == codecBinary {
-		s.wbuf = appendResponse(s.binaryFrame(), resp)
+	if s.codec >= codecBinary {
+		s.wbuf = appendResponse(s.binaryFrame(), resp, s.withDigests())
 		return s.flushBinaryFrame()
 	}
 	return s.writeMsg(resp)
@@ -212,12 +223,12 @@ func (s *session) writeResponse(resp *response) error {
 
 // readRequest reads one frame into req. Every field of req is overwritten.
 func (s *session) readRequest(req *request) error {
-	if s.codec == codecBinary {
+	if s.codec >= codecBinary {
 		payload, err := s.readFrame()
 		if err != nil {
 			return err
 		}
-		if err := decodeRequest(payload, req); err != nil {
+		if err := decodeRequest(payload, req, s.withDigests()); err != nil {
 			return fmt.Errorf("transport: decode request: %w", err)
 		}
 		return nil
@@ -229,12 +240,12 @@ func (s *session) readRequest(req *request) error {
 // readResponse reads one frame into resp. Every field of resp is
 // overwritten.
 func (s *session) readResponse(resp *response) error {
-	if s.codec == codecBinary {
+	if s.codec >= codecBinary {
 		payload, err := s.readFrame()
 		if err != nil {
 			return err
 		}
-		if err := decodeResponse(payload, resp); err != nil {
+		if err := decodeResponse(payload, resp, s.withDigests()); err != nil {
 			return fmt.Errorf("transport: decode response: %w", err)
 		}
 		return nil

@@ -144,7 +144,7 @@ func (w *WireStats) noteSession(codec byte) {
 	if w == nil {
 		return
 	}
-	if codec == codecBinary {
+	if codec >= codecBinary {
 		w.sessionsBinary.Add(1)
 	} else {
 		w.sessionsGob.Add(1)
@@ -155,7 +155,7 @@ func (w *WireStats) noteMsg(codec byte) {
 	if w == nil {
 		return
 	}
-	if codec == codecBinary {
+	if codec >= codecBinary {
 		w.msgsBinary.Add(1)
 	} else {
 		w.msgsGob.Add(1)

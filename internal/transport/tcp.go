@@ -12,6 +12,7 @@ import (
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
+	"epidemic/internal/obs/cluster"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -76,6 +77,11 @@ type request struct {
 	// sender traces. nil — the common untraced case — is omitted from the
 	// gob frame entirely, so disabled tracing adds zero wire bytes.
 	Hops []trace.Hop
+	// Digests piggybacks the sender's cluster-digest view on reqSync and
+	// reqPullRumors conversations (the observatory's epidemic channel).
+	// nil when the observatory is off: omitted from gob frames, one zero
+	// byte on codecBinaryDigest sessions, absent entirely on v2 binary.
+	Digests []cluster.Digest
 }
 
 type response struct {
@@ -92,6 +98,9 @@ type response struct {
 	// Hops mirrors request.Hops for the response's Entries.
 	Hops []trace.Hop
 	Err  string
+	// Digests mirrors request.Digests: the responder's view, piggybacked
+	// back so digest exchange is bidirectional like the data exchange.
+	Digests []cluster.Digest
 }
 
 // Server-side session limits: an idle session is reaped after
@@ -120,7 +129,7 @@ type ServerOptions struct {
 func parseCodec(name string) (codec byte, legacy bool, err error) {
 	switch name {
 	case "", "binary":
-		return codecBinary, false, nil
+		return codecBinaryDigest, false, nil
 	case "gob":
 		return codecGob, false, nil
 	case "legacy":
@@ -362,7 +371,7 @@ func (s *Server) dispatch(req request) response {
 		return response{Needed: s.node.HandleRumors(req.Entries, req.Hops)}
 	case reqPullRumors:
 		entries, hops := s.node.HotEntriesTraced()
-		return response{Entries: entries, Hops: hops}
+		return response{Entries: entries, Hops: hops, Digests: s.swapDigests(req.Digests)}
 	case reqSync:
 		st := s.node.Store()
 		for i, e := range req.Entries {
@@ -380,6 +389,7 @@ func (s *Server) dispatch(req request) response {
 			Checksum: sum,
 			Now:      now,
 			InSync:   sum == req.Checksum,
+			Digests:  s.swapDigests(req.Digests),
 		}
 	case reqPeelBack:
 		st := s.node.Store()
@@ -416,6 +426,18 @@ func (s *Server) dispatch(req request) response {
 	default:
 		return response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 	}
+}
+
+// swapDigests merges digests a caller piggybacked into this node's
+// directory and returns the local view to piggyback back. All nil-safe:
+// with the observatory off both directions are nil and cost nothing.
+func (s *Server) swapDigests(in []cluster.Digest) []cluster.Digest {
+	dir := s.node.Digests()
+	if dir == nil && in == nil {
+		return nil
+	}
+	dir.Merge(in)
+	return dir.Share()
 }
 
 // hopAt returns hops[i], or the zero (no-envelope) Hop when the sender
@@ -472,6 +494,10 @@ type PeerOptions struct {
 	// Stats, when set, receives pool and wire-traffic accounting; share
 	// one WireStats across all peers of a process.
 	Stats *WireStats
+	// Digests, when set, is the calling node's cluster-digest directory:
+	// anti-entropy and rumor-pull conversations piggyback its Share() and
+	// merge what the peer sends back. Nil disables the piggyback.
+	Digests *cluster.Directory
 }
 
 // Defaults for PeerOptions zero values.
@@ -653,14 +679,16 @@ func (p *TCPPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, e
 	return c.resp.Needed, nil
 }
 
-// PullRumors implements node.Peer.
+// PullRumors implements node.Peer. When the cluster observatory is on,
+// the pull carries the local digest view out and merges the peer's back.
 func (p *TCPPeer) PullRumors() ([]store.Entry, []trace.Hop, error) {
 	c := getWireCall()
 	defer putWireCall(c)
-	c.req = request{Kind: reqPullRumors}
+	c.req = request{Kind: reqPullRumors, Digests: p.opts.Digests.Share()}
 	if err := p.call(c); err != nil {
 		return nil, nil, err
 	}
+	p.opts.Digests.Merge(c.resp.Digests)
 	return c.resp.Entries, c.resp.Hops, nil
 }
 
@@ -701,10 +729,12 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *tr
 		Now:      now,
 		Tau:      cfg.Tau,
 		Tau1:     cfg.Tau1,
+		Digests:  p.opts.Digests.Share(),
 	}
 	if err := p.call(c); err != nil {
 		return st, err
 	}
+	p.opts.Digests.Merge(c.resp.Digests)
 	st.EntriesSent += len(recent)
 	p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechAntiEntropy, &st)
 	now = maxInt64(now, c.resp.Now)
