@@ -16,8 +16,12 @@ STORE_BENCH = -run '^$$' -bench BenchmarkStore -benchtime=200000x -cpu 1,4,8 -be
 # 1x suite pass skips them — see bench).
 WIRE_BENCH = -run '^$$' -bench '^(BenchmarkExchange|BenchmarkRumorPush)' -benchtime=2000x -benchmem .
 CODEC_BENCH = -run '^$$' -bench Codec -benchtime=20000x -benchmem ./internal/transport
+# DEEP_BENCH is the deep-divergence family: delta old entries buried under
+# {10k,100k} newer ones, shard-vector vs global peel-back. Few iterations —
+# the global baseline walks the whole index per op by design.
+DEEP_BENCH = -run '^$$' -bench BenchmarkDeepDivergence -benchtime=3x -benchmem .
 
-.PHONY: all build test check race cover bench bench-store bench-transport experiments fuzz obs-smoke cluster-smoke clean
+.PHONY: all build test check race cover bench bench-store bench-transport bench-smoke experiments fuzz obs-smoke cluster-smoke clean
 
 all: build test check
 
@@ -38,6 +42,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) bench-smoke
 
 # obs-smoke boots a 3-daemon gossipd cluster on ephemeral ports, scrapes
 # every replica's /metrics and /healthz, and fails on malformed Prometheus
@@ -66,10 +71,11 @@ cover:
 # seed-state baseline numbers embedded for before/after comparison.
 bench:
 	@mkdir -p $(SCRATCH)
-	$(GO) test -bench . -skip 'BenchmarkExchange|BenchmarkRumorPush' -benchtime=1x -benchmem . | tee $(SCRATCH)/bench_output.txt
+	$(GO) test -bench . -skip 'BenchmarkExchange|BenchmarkRumorPush|BenchmarkDeepDivergence' -benchtime=1x -benchmem . | tee $(SCRATCH)/bench_output.txt
 	$(GO) test $(STORE_BENCH) | tee -a $(SCRATCH)/bench_output.txt
 	$(GO) test $(WIRE_BENCH) | tee -a $(SCRATCH)/bench_output.txt
 	$(GO) test $(CODEC_BENCH) | tee -a $(SCRATCH)/bench_output.txt
+	$(GO) test $(DEEP_BENCH) | tee -a $(SCRATCH)/bench_output.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < $(SCRATCH)/bench_output.txt
 
 # bench-store compares the sharded store against a single-mutex replica
@@ -85,6 +91,14 @@ bench-store:
 bench-transport:
 	$(GO) test $(WIRE_BENCH)
 	$(GO) test $(CODEC_BENCH)
+	$(GO) test $(DEEP_BENCH)
+
+# bench-smoke is the compile-and-run gate inside check: the deep-divergence
+# family at one iteration on the 10k store, so bench code can't rot between
+# BENCH_2.json refreshes. The 100k rows are left to bench/bench-transport —
+# the global baseline there walks 100k records per op by design.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDeepDivergence[^/]*/n10000_' -benchtime=1x -benchmem .
 
 # Regenerate every table and figure of the paper.
 experiments:

@@ -717,3 +717,99 @@ func BenchmarkExchangePeelBackMismatch(b *testing.B) {
 	b.ReportMetric(float64(moved)/float64(b.N), "entries_moved/op")
 	b.ReportMetric(shared, "store_entries")
 }
+
+// --- deep-divergence benchmarks: shard-vector vs global peel-back ---
+
+// benchDeepDivergence reconciles delta old-stamped entries buried under n
+// newer shared entries. The global peel-back walk must re-examine all n
+// newer records newest-first before it reaches the divergence; the
+// shard-vector path localizes the mismatch to the handful of diverged
+// lock stripes and walks only those, examining O(delta + n/shards)
+// records per conversation.
+func benchDeepDivergence(b *testing.B, n, delta int, shardVec bool) {
+	const shards = 256
+	src := epidemic.NewSimulatedClock(1 << 30)
+	remote, err := epidemic.NewNode(epidemic.NodeConfig{
+		Site: 2, Clock: src.ClockAt(2), StoreShards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := epidemic.ServeTCP(remote, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	local := epidemic.NewShardedStore(1, src.ClockAt(1), shards)
+	for i := 0; i < n; i++ {
+		e := local.Update(fmt.Sprintf("k%07d", i), epidemic.Value("v"))
+		remote.Store().Apply(e)
+		src.Advance(1)
+	}
+	src.Advance(100) // the shared history ages out of the recent window
+
+	cfg := epidemic.ResolveConfig{
+		Mode: epidemic.PushPull, Strategy: epidemic.CompareRecent,
+		Tau: 10, Tau1: 1 << 40, BatchSize: 64,
+	}
+	opts := epidemic.TCPPeerOptions{}
+	if !shardVec {
+		// The global walk has to peel all the way down to the divergence
+		// without tripping the capped full-swap last resort.
+		opts.DisableShardVector = true
+		opts.MaxPeelRounds = 1 << 20
+	}
+	peer := epidemic.NewTCPPeerWith(2, srv.Addr(), opts)
+	defer peer.Close()
+	if _, err := peer.AntiEntropy(cfg, local, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	moved, seq := 0, 0
+	for i := 0; i < b.N; i++ {
+		// Divergence stamped far older than the shared history, so it sits
+		// at the bottom of the newest-first timestamp index. Earlier
+		// iterations' entries carry still-older stamps and stay below it.
+		for j := 0; j < delta; j++ {
+			seq++
+			local.Apply(epidemic.Entry{
+				Key:   fmt.Sprintf("old%09d", seq),
+				Value: epidemic.Value("deep"),
+				Stamp: epidemic.Timestamp{Time: 100 + int64(seq), Site: 3, Seq: uint32(seq)},
+			})
+		}
+		st, err := peer.AntiEntropy(cfg, local, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.FullCompare {
+			b.Fatal("deep divergence degraded to a full database swap")
+		}
+		if shardVec && st.ShardsRepaired == 0 {
+			b.Fatal("shard-vector path not taken")
+		}
+		moved += st.Transferred()
+	}
+	b.ReportMetric(float64(moved)/float64(b.N), "entries_moved/op")
+	b.ReportMetric(float64(n), "store_entries")
+}
+
+func benchDeepDivergenceGrid(b *testing.B, shardVec bool) {
+	for _, n := range []int{10_000, 100_000} {
+		for _, delta := range []int{1, 10, 100} {
+			b.Run(fmt.Sprintf("n%d_d%d", n, delta), func(b *testing.B) {
+				benchDeepDivergence(b, n, delta, shardVec)
+			})
+		}
+	}
+}
+
+// BenchmarkDeepDivergenceShardVec repairs through the codec-v4 shard
+// vector: one S x 8-byte vector round trip, then only diverged shards.
+func BenchmarkDeepDivergenceShardVec(b *testing.B) { benchDeepDivergenceGrid(b, true) }
+
+// BenchmarkDeepDivergenceGlobal is the pre-v4 baseline: the global merged
+// peel-back walk over the whole timestamp index.
+func BenchmarkDeepDivergenceGlobal(b *testing.B) { benchDeepDivergenceGrid(b, false) }

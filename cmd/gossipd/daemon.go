@@ -48,6 +48,11 @@ type daemonConfig struct {
 	udp bool
 	// storeShards sets the replica store's lock-stripe count (0 = default).
 	storeShards int
+	// shardVector enables the narrow shard-vector anti-entropy path on
+	// outbound exchanges; shardRepairWorkers bounds how many diverged
+	// shards one exchange repairs concurrently (0 = default).
+	shardVector        bool
+	shardRepairWorkers int
 	// traceRing enables hop-provenance tracing when > 0: the node retains
 	// that many spans for the TRACE verb and /trace admin route.
 	traceRing int
@@ -69,12 +74,14 @@ type daemonConfig struct {
 // shares, feeding one process-wide WireStats.
 func (cfg daemonConfig) peerOptions(wire *epidemic.WireStats, digests *epidemic.ClusterDirectory) epidemic.TCPPeerOptions {
 	return epidemic.TCPPeerOptions{
-		Timeout:  cfg.exchangeTimeout,
-		PoolSize: cfg.poolSize,
-		Stats:    wire,
-		Codec:    cfg.codec,
-		UDP:      cfg.udp,
-		Digests:  digests,
+		Timeout:            cfg.exchangeTimeout,
+		PoolSize:           cfg.poolSize,
+		Stats:              wire,
+		Codec:              cfg.codec,
+		UDP:                cfg.udp,
+		Digests:            digests,
+		DisableShardVector: !cfg.shardVector,
+		ShardRepairWorkers: cfg.shardRepairWorkers,
 	}
 }
 

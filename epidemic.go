@@ -266,6 +266,9 @@ const (
 	MetricWireSessionsBinary     = obs.MetricWireSessionsBinary
 	MetricWireMsgsGob            = obs.MetricWireMsgsGob
 	MetricWireMsgsBinary         = obs.MetricWireMsgsBinary
+	MetricWireShardVecExchanges  = obs.MetricWireShardVecExchanges
+	MetricWireShardVecShards     = obs.MetricWireShardVecShards
+	MetricWireShardVecDowngrades = obs.MetricWireShardVecDowngrades
 	MetricWireUDPPushes          = obs.MetricWireUDPPushes
 	MetricWireUDPRetries         = obs.MetricWireUDPRetries
 	MetricWireUDPFallbacks       = obs.MetricWireUDPFallbacks
@@ -283,10 +286,11 @@ const (
 
 // Comparison strategies (§1.3).
 const (
-	CompareFull     = core.CompareFull
-	CompareChecksum = core.CompareChecksum
-	CompareRecent   = core.CompareRecent
-	ComparePeelBack = core.ComparePeelBack
+	CompareFull        = core.CompareFull
+	CompareChecksum    = core.CompareChecksum
+	CompareRecent      = core.CompareRecent
+	ComparePeelBack    = core.ComparePeelBack
+	CompareShardVector = core.CompareShardVector
 )
 
 // Redistribution policies (§1.5).

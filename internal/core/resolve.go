@@ -25,6 +25,13 @@ const (
 	// ComparePeelBack exchanges updates in reverse timestamp order,
 	// batch by batch, until the checksums agree (§1.3's "peel back").
 	ComparePeelBack
+	// CompareShardVector exchanges the per-shard checksum vectors after a
+	// global-checksum mismatch and peels back only the diverged shards'
+	// timestamp indexes, keeping examined work proportional to the
+	// divergence rather than the database. Stores with differing shard
+	// counts (whose key→shard maps are incomparable) fall back to the
+	// global peel-back walk.
+	CompareShardVector
 )
 
 // String names the strategy.
@@ -38,6 +45,8 @@ func (s CompareStrategy) String() string {
 		return "recent-update-list"
 	case ComparePeelBack:
 		return "peel-back"
+	case CompareShardVector:
+		return "shard-vector"
 	default:
 		return fmt.Sprintf("CompareStrategy(%d)", int(s))
 	}
@@ -77,7 +86,7 @@ func (c ResolveConfig) Validate() error {
 	}
 	switch c.Strategy {
 	case CompareFull:
-	case CompareChecksum, CompareRecent, ComparePeelBack:
+	case CompareChecksum, CompareRecent, ComparePeelBack, CompareShardVector:
 		if c.Mode != PushPull {
 			return fmt.Errorf("core: %v comparison requires PushPull mode", c.Strategy)
 		}
@@ -107,6 +116,10 @@ type ExchangeStats struct {
 	// FullCompare reports whether the conversation fell back to shipping
 	// complete databases.
 	FullCompare bool
+	// ShardsRepaired counts the diverged shards the shard-vector strategy
+	// localized and peeled individually (zero for other strategies or when
+	// the vector compare downgraded to a global walk).
+	ShardsRepaired int
 	// AppliedKeys lists the keys whose entries changed either replica —
 	// the updates anti-entropy "repaired", which §1.5's redistribution
 	// policies act on.
@@ -180,6 +193,8 @@ func ResolveDifference(cfg ResolveConfig, s, p *store.Store) (ExchangeStats, err
 		}
 	case ComparePeelBack:
 		resolvePeelBack(cfg, s, p, &st)
+	case CompareShardVector:
+		resolveShardVector(cfg, s, p, &st)
 	}
 	return st, nil
 }
@@ -279,6 +294,70 @@ func resolvePeelBack(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
 		}
 		if len(pNext) > 0 {
 			pNext = p.OlderThan(pNext[len(pNext)-1].Stamp, batch)
+		}
+	}
+}
+
+// resolveShardVector compares the per-shard live-checksum vectors after a
+// global mismatch and peels back only the diverged shards, each walked to
+// per-shard checksum agreement or exhaustion. A final global recompare
+// (which also catches dormancy skew between the two vector reads) falls
+// back to the global peel-back walk, so convergence is never weaker than
+// ComparePeelBack. In-process both stores are walked directly; the wire
+// transport runs the same shape with the diverged shards repaired
+// concurrently.
+func resolveShardVector(cfg ResolveConfig, s, p *store.Store, st *ExchangeStats) {
+	st.ChecksumsCompared++
+	if liveChecksumEqual(cfg, s, p) {
+		return
+	}
+	if s.ShardCount() != p.ShardCount() {
+		// Incomparable key→shard maps: the vectors cannot localize
+		// anything. Global peel-back handles it.
+		resolvePeelBack(cfg, s, p, st)
+		return
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = DefaultPeelBatch
+	}
+	now := maxNow(s, p)
+	sv := s.ChecksumVector(now, cfg.Tau1)
+	pv := p.ChecksumVector(now, cfg.Tau1)
+	st.ChecksumsCompared++ // the vector swap is one compare round trip
+	for i := range sv {
+		if sv[i] == pv[i] {
+			continue
+		}
+		st.ShardsRepaired++
+		repairShardInProcess(cfg, s, p, i, now, batch, st)
+	}
+	// Terminal global recompare; residual mismatch (e.g. a dormancy
+	// transition racing the vector reads) downgrades to the global walk.
+	resolvePeelBack(cfg, s, p, st)
+}
+
+// repairShardInProcess peels shard i of both stores newest-first until
+// their per-shard live checksums agree or both walks are exhausted.
+func repairShardInProcess(cfg ResolveConfig, s, p *store.Store, i int, now int64, batch int, st *ExchangeStats) {
+	sBound, pBound := store.PeelStart, store.PeelStart
+	sMore, pMore := true, true
+	for {
+		var sb, pb []store.Entry
+		if sMore {
+			sb, sBound, sMore = s.PeelBatchShard(i, sBound, batch, now, cfg.Tau1)
+		}
+		if pMore {
+			pb, pBound, pMore = p.PeelBatchShard(i, pBound, batch, now, cfg.Tau1)
+		}
+		sendEntries(cfg, sb, s, p, s, trace.MechPeelBack, st)
+		sendEntries(cfg, pb, p, s, s, trace.MechPeelBack, st)
+		st.ChecksumsCompared++
+		if s.ChecksumShard(i, now, cfg.Tau1) == p.ChecksumShard(i, now, cfg.Tau1) {
+			return
+		}
+		if !sMore && !pMore {
+			return
 		}
 	}
 }

@@ -52,7 +52,10 @@ func (n *Node) StepActivityExchange(batchSize int) (int, error) {
 
 	sent := 0
 	// Checksum probe before doing any work: usually the databases agree
-	// and the exchange costs one probe.
+	// and the exchange costs one probe. localRaw remembers the content
+	// checksum at probe time so later batches can tell whether a re-probe
+	// could possibly change the verdict.
+	localRaw := n.store.Checksum()
 	remote, err := peer.Checksum(tau1)
 	if err != nil {
 		return 0, fmt.Errorf("checksum probe of %d: %w", peer.ID(), err)
@@ -84,6 +87,7 @@ func (n *Node) StepActivityExchange(batchSize int) (int, error) {
 				batch = append(batch, e)
 			}
 		}
+		pushedUseful := false
 		if len(batch) > 0 {
 			needed, err := peer.PushRumors(batch, n.tracer.Envelopes(batch))
 			if err != nil {
@@ -94,6 +98,7 @@ func (n *Node) StepActivityExchange(batchSize int) (int, error) {
 			for i, e := range batch {
 				if i < len(needed) && needed[i] {
 					act.Touch(e.Key)
+					pushedUseful = true
 				} else {
 					act.Demote(e.Key)
 				}
@@ -101,6 +106,19 @@ func (n *Node) StepActivityExchange(batchSize int) (int, error) {
 			n.stats.EntriesSent += len(batch)
 			n.mu.Unlock()
 		}
+
+		// A batch the peer needed nothing from, on a store that saw no
+		// writes since the last probe, cannot have moved either checksum:
+		// the standing mismatch verdict holds, so skip both the remote
+		// probe and the local recompute and offer the next batch. (A
+		// dormancy transition could flip the live checksum without a
+		// write; the list-exhaustion return above still terminates, at
+		// worst a few batches late.)
+		raw := n.store.Checksum()
+		if !pushedUseful && raw == localRaw {
+			continue
+		}
+		localRaw = raw
 
 		remote, err = peer.Checksum(tau1)
 		if err != nil {

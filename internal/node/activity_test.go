@@ -95,6 +95,63 @@ func TestActivityOrderUsefulMovesToFront(t *testing.T) {
 	}
 }
 
+// probeCountPeer wraps a peer and counts its checksum probes.
+type probeCountPeer struct {
+	Peer
+	probes int
+}
+
+func (c *probeCountPeer) Checksum(tau1 int64) (uint64, error) {
+	c.probes++
+	return c.Peer.Checksum(tau1)
+}
+
+// TestActivityExchangeSkipsUselessProbes pins the probe economy: batches
+// the peer needed nothing from, with no local writes in between, must not
+// re-fetch the peer's checksum — the standing mismatch verdict holds.
+func TestActivityExchangeSkipsUselessProbes(t *testing.T) {
+	a, b, src := twoNodes(t, nil)
+	// Deep divergence that is all useless to push: b has strictly more
+	// than a, so every batch a offers is already known at b.
+	for i := 0; i < 24; i++ {
+		e := a.Update(key4(i), store.Value("v"))
+		b.Store().Apply(e)
+		src.Advance(1)
+	}
+	b.Update("bonly", store.Value("x"))
+
+	cp := &probeCountPeer{Peer: a.Peers()[0]}
+	a.SetPeers([]Peer{cp})
+	if _, err := a.StepActivityExchange(4); err != nil {
+		t.Fatal(err)
+	}
+	// One opening probe; the 6 all-useless batches must add none.
+	if cp.probes != 1 {
+		t.Errorf("exchange made %d checksum probes, want 1", cp.probes)
+	}
+}
+
+// TestActivityExchangeReprobesAfterUsefulBatch is the counterweight: when a
+// batch does repair the peer, the exchange must re-probe and stop early.
+func TestActivityExchangeReprobesAfterUsefulBatch(t *testing.T) {
+	a, b, _ := twoNodes(t, nil)
+	a.Update("x", store.Value("1"))
+	a.Update("y", store.Value("2"))
+
+	cp := &probeCountPeer{Peer: a.Peers()[0]}
+	a.SetPeers([]Peer{cp})
+	if _, err := a.StepActivityExchange(8); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ContentEqual(a.Store(), b.Store()) {
+		t.Fatal("one-way divergence not repaired")
+	}
+	// Opening probe + the post-batch probe that detected agreement.
+	if cp.probes != 2 {
+		t.Errorf("exchange made %d checksum probes, want 2", cp.probes)
+	}
+}
+
 func TestActivityExchangeNoPeers(t *testing.T) {
 	n, err := New(Config{Site: 1})
 	if err != nil {

@@ -24,6 +24,12 @@ const (
 	MetricWireMsgsGob        = "epidemic_wire_msgs_gob_total"
 	MetricWireMsgsBinary     = "epidemic_wire_msgs_binary_total"
 
+	// Shard-vector anti-entropy: narrow repairs completed, shards walked,
+	// and sessions that fell back to the global peel-back path.
+	MetricWireShardVecExchanges  = "epidemic_wire_shardvec_exchanges_total"
+	MetricWireShardVecShards     = "epidemic_wire_shardvec_shards_total"
+	MetricWireShardVecDowngrades = "epidemic_wire_shardvec_downgrades_total"
+
 	// UDP rumor fast path (transport/udp.go).
 	MetricWireUDPPushes        = "epidemic_wire_udp_pushes_total"
 	MetricWireUDPRetries       = "epidemic_wire_udp_retries_total"
@@ -72,6 +78,12 @@ func InstrumentWire(reg *Registry, ws *transport.WireStats) {
 		func(s transport.WireSnapshot) int64 { return s.MsgsGob })
 	counter(MetricWireMsgsBinary, "Request round trips framed in the binary codec.",
 		func(s transport.WireSnapshot) int64 { return s.MsgsBinary })
+	counter(MetricWireShardVecExchanges, "Anti-entropy conversations resolved on the narrow shard-vector path.",
+		func(s transport.WireSnapshot) int64 { return s.ShardVecExchanges })
+	counter(MetricWireShardVecShards, "Diverged shards repaired by shard-vector exchanges.",
+		func(s transport.WireSnapshot) int64 { return s.ShardVecShards })
+	counter(MetricWireShardVecDowngrades, "Shard-vector attempts that fell back to the global peel-back walk.",
+		func(s transport.WireSnapshot) int64 { return s.ShardVecDowngrades })
 	counter(MetricWireUDPPushes, "Rumor pushes completed over the UDP fast path.",
 		func(s transport.WireSnapshot) int64 { return s.UDPPushes })
 	counter(MetricWireUDPRetries, "UDP rumor datagrams resent after a response timeout.",

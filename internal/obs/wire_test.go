@@ -129,4 +129,26 @@ func TestInstrumentWire(t *testing.T) {
 	if got := scrape(t, reg, MetricWireRedials); got < 1 {
 		t.Errorf("%s = %v after restart, want >= 1", MetricWireRedials, got)
 	}
+
+	// Age a fresh divergence past the recent window so the next exchange
+	// has to localize it: that is the shard-vector narrow path, and its
+	// counters must move.
+	local.Update("aged", store.Value("old"))
+	src.Advance(1 << 20)
+	aged := core.ResolveConfig{
+		Mode: core.PushPull, Strategy: core.CompareRecent,
+		Tau: 1, Tau1: 1 << 40,
+	}
+	if _, err := peer.AntiEntropy(aged, local, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := scrape(t, reg, MetricWireShardVecExchanges); got < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricWireShardVecExchanges, got)
+	}
+	if got := scrape(t, reg, MetricWireShardVecShards); got < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricWireShardVecShards, got)
+	}
+	if got := scrape(t, reg, MetricWireShardVecDowngrades); got != 0 {
+		t.Errorf("%s = %v, want 0", MetricWireShardVecDowngrades, got)
+	}
 }

@@ -32,25 +32,33 @@ func TestMixedCodecTCPClusterConverges(t *testing.T) {
 	// Server codec ceilings and client preferences per site. Site 1 is a
 	// "new" build (binary everywhere + UDP pushes), site 2 an "old" build
 	// (gob ceiling, gob client), site 3 an ancient client that predates
-	// negotiation (legacy: raw frames, no hello).
+	// negotiation (legacy: raw frames, no hello), sites 4 and 5 pinned
+	// pre-shard-vector binary builds (v3 and v2), and site 6 a new build
+	// whose store runs more shards than everyone else's — its vectors are
+	// incomparable with site 1's, forcing the shard-count downgrade.
 	plans := []struct {
 		serverCodec string
 		clientCodec string
 		udp         bool
+		shards      int
 	}{
 		{serverCodec: "", clientCodec: "binary", udp: true},
 		{serverCodec: "gob", clientCodec: "gob", udp: false},
 		{serverCodec: "", clientCodec: "legacy", udp: false},
+		{serverCodec: "binary-v3", clientCodec: "binary-v3", udp: false},
+		{serverCodec: "", clientCodec: "binary-v2", udp: false},
+		{serverCodec: "", clientCodec: "binary", udp: false, shards: 64},
 	}
 
 	sites := make([]*site, len(plans))
 	for i, plan := range plans {
 		id := timestamp.SiteID(i + 1)
 		n, err := node.New(node.Config{
-			Site:  id,
-			Clock: src.ClockAt(id),
-			Rumor: core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.Push},
-			Seed:  int64(i) + 7,
+			Site:        id,
+			Clock:       src.ClockAt(id),
+			Rumor:       core.RumorConfig{K: 2, Counter: true, Feedback: true, Mode: core.Push},
+			StoreShards: plan.shards,
+			Seed:        int64(i) + 7,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -132,5 +140,35 @@ func TestMixedCodecTCPClusterConverges(t *testing.T) {
 	if snap.MsgsBinary == 0 || snap.MsgsGob == 0 {
 		t.Errorf("both codecs should carry traffic: binary=%d gob=%d",
 			snap.MsgsBinary, snap.MsgsGob)
+	}
+
+	// Deterministic shard-vector exercise on top of the converged cluster:
+	// a v4<->v4 conversation with equal shard counts must complete on the
+	// narrow path; one against the 64-shard site must record a downgrade —
+	// and both must converge.
+	exercise := func(target *site) {
+		t.Helper()
+		sites[0].n.Update(fmt.Sprintf("late-%s", target.codec), store.Value("zz"))
+		src.Advance(500)
+		p := transport.NewTCPPeerWith(target.n.Site(), target.srv.Addr(),
+			transport.PeerOptions{Timeout: 2 * time.Second, Stats: stats})
+		defer p.Close()
+		if _, err := p.AntiEntropy(core.ResolveConfig{
+			Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 1,
+		}, sites[0].n.Store(), nil); err != nil {
+			t.Fatalf("anti-entropy to site %d: %v", target.n.Site(), err)
+		}
+		if !store.ContentEqual(sites[0].n.Store(), target.n.Store()) {
+			t.Fatalf("site %d differs after shard-vector exercise", target.n.Site())
+		}
+	}
+	exercise(sites[2]) // legacy client, but its server negotiates v4
+	exercise(sites[5]) // v4 with 64 shards: incomparable vectors
+	snap = stats.Snapshot()
+	if snap.ShardVecExchanges == 0 {
+		t.Error("no shard-vector exchange completed between equal-shard v4 peers")
+	}
+	if snap.ShardVecDowngrades == 0 {
+		t.Error("mismatched shard counts never recorded a downgrade")
 	}
 }

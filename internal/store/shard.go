@@ -1,6 +1,7 @@
 package store
 
 import (
+	"slices"
 	"sync"
 
 	"epidemic/internal/timestamp"
@@ -66,19 +67,26 @@ func (sh *shard) drop(key string) {
 // total number of such records (which may exceed len of the returned
 // slice). Caller holds sh.mu (read suffices).
 func (sh *shard) collectOlder(bound timestamp.T, limit int) (recs []Entry, total int) {
-	total = sh.index.searchBefore(bound)
+	return sh.appendOlder(nil, bound, limit)
+}
+
+// appendOlder is collectOlder appending into dst (reusing its backing
+// array), for callers that pool their per-shard scratch. Caller holds
+// sh.mu (read suffices).
+func (sh *shard) appendOlder(dst []Entry, bound timestamp.T, limit int) ([]Entry, int) {
+	total := sh.index.searchBefore(bound)
 	n := total
 	if limit > 0 && limit < n {
 		n = limit
 	}
 	if n == 0 {
-		return nil, total
+		return dst, total
 	}
-	recs = make([]Entry, 0, n)
+	dst = slices.Grow(dst, n)
 	for k := total - 1; k >= total-n; k-- {
-		recs = append(recs, sh.entries[sh.index.keys[k].key].clone())
+		dst = append(dst, sh.entries[sh.index.keys[k].key].clone())
 	}
-	return recs, total
+	return dst, total
 }
 
 // recentCount returns how many of this shard's entries have age strictly
@@ -108,11 +116,45 @@ func (sh *shard) collectRecent(now, tau int64) []Entry {
 	return recs
 }
 
+// mergeScratch is the reusable workspace for collectMerged: the per-shard
+// record slices plus the merge cursors. Pooled (mirroring transport's
+// wireCall pool) because every peel round of every concurrent exchange
+// would otherwise allocate a fresh heap of slices.
+type mergeScratch struct {
+	per    [][]Entry
+	cursor []int
+}
+
+var mergeScratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+func getMergeScratch(n int) *mergeScratch {
+	sc := mergeScratchPool.Get().(*mergeScratch)
+	if cap(sc.per) < n {
+		sc.per = make([][]Entry, n)
+		sc.cursor = make([]int, n)
+	}
+	sc.per = sc.per[:n]
+	sc.cursor = sc.cursor[:n]
+	return sc
+}
+
+// putMergeScratch zeroes the Entry values before pooling — they hold
+// caller data (keys, values, retention slices) that the pool must not pin
+// — but keeps the backing arrays for reuse.
+func putMergeScratch(sc *mergeScratch) {
+	for i := range sc.per {
+		clear(sc.per[i])
+		sc.per[i] = sc.per[i][:0]
+	}
+	mergeScratchPool.Put(sc)
+}
+
 // mergeDesc k-way merges per-shard entry slices (each already newest
 // first) into one newest-first slice, stopping after limit records
 // (limit <= 0 means all). Timestamps are globally unique, so the merged
 // order is total and identical to the seed's single global index walk.
-func mergeDesc(per [][]Entry, limit int) []Entry {
+// cursor is optional scratch of len(per) (nil allocates).
+func mergeDesc(per [][]Entry, cursor []int, limit int) []Entry {
 	total := 0
 	for _, p := range per {
 		total += len(p)
@@ -121,7 +163,11 @@ func mergeDesc(per [][]Entry, limit int) []Entry {
 		limit = total
 	}
 	out := make([]Entry, 0, limit)
-	cursor := make([]int, len(per))
+	if cursor == nil {
+		cursor = make([]int, len(per))
+	} else {
+		clear(cursor)
+	}
 	for len(out) < limit {
 		best := -1
 		for i, p := range per {

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"epidemic/internal/timestamp"
+)
+
+// liveSum returns this shard's checksum excluding dormant death
+// certificates (activation older than tau1 at time now). Caller holds
+// sh.mu (read suffices).
+func (sh *shard) liveSum(now, tau1 int64) uint64 {
+	sum := sh.sum
+	for key := range sh.deaths {
+		e := sh.entries[key]
+		if now-e.Activation.Time > tau1 {
+			sum ^= e.hash()
+		}
+	}
+	return sum
+}
+
+// ChecksumVector returns the per-shard live checksums (dormant death
+// certificates excluded, exactly as ChecksumLive) as one slice indexed by
+// shard. Each shard is read under its own lock with no merge, so the
+// vector costs O(S + deaths) regardless of database size, and XOR-folding
+// it reproduces ChecksumLive. Two stores with the same shard count place
+// every key in the same stripe (FNV-1a masked to the power-of-two count),
+// which is what lets anti-entropy compare vectors across replicas and
+// localize divergence to stripes.
+func (s *Store) ChecksumVector(now, tau1 int64) []uint64 {
+	return s.AppendChecksumVector(nil, now, tau1)
+}
+
+// AppendChecksumVector appends the per-shard live checksums to dst and
+// returns the extended slice, so wire-path callers can reuse a pooled
+// backing array instead of allocating a fresh vector per exchange.
+func (s *Store) AppendChecksumVector(dst []uint64, now, tau1 int64) []uint64 {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		dst = append(dst, sh.liveSum(now, tau1))
+		sh.mu.RUnlock()
+	}
+	return dst
+}
+
+// ChecksumShard returns the live checksum of shard i alone. Like slice
+// indexing, i must be in [0, ShardCount()).
+func (s *Store) ChecksumShard(i int, now, tau1 int64) uint64 {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.liveSum(now, tau1)
+}
+
+// PeelBatchShard is PeelBatch restricted to shard i: up to limit of that
+// shard's index records strictly older than bound are examined newest
+// first and the non-dormant ones returned, with the same
+// examined-versus-returned resume semantics (next is the oldest record
+// examined, more reports whether older records remain). Shard-vector
+// anti-entropy walks only the diverged stripes this way, so a δ-entry
+// divergence under a deep database examines O(δ + N/S) records per
+// diverged stripe instead of O(N) for the whole store.
+func (s *Store) PeelBatchShard(i int, bound timestamp.T, limit int, now, tau1 int64) (batch []Entry, next timestamp.T, more bool) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	recs, total := sh.collectOlder(bound, limit)
+	sh.mu.RUnlock()
+	if len(recs) == 0 {
+		return nil, bound, false
+	}
+	batch = make([]Entry, 0, len(recs))
+	for _, e := range recs {
+		if !IsDormant(e, now, tau1) {
+			batch = append(batch, e)
+		}
+		next = e.Stamp
+	}
+	return batch, next, total > len(recs)
+}
+
+// RecentUpdatesShard returns shard i's entries with ordinary-timestamp age
+// strictly less than tau at time now, newest first — the per-stripe slice
+// of the paper's recent update list (§1.3), for callers that keep
+// per-shard sync state (partial replication hangs per-replica-set windows
+// on this).
+func (s *Store) RecentUpdatesShard(i int, now, tau int64) []Entry {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.collectRecent(now, tau)
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"epidemic/internal/timestamp"
+)
+
+// buildShardVecStore writes n entries plus some deletions so the vector
+// tests see live entries, fresh death certificates, and dormant ones.
+func buildShardVecStore(t *testing.T, shards, n int) (*Store, *timestamp.Simulated) {
+	t.Helper()
+	src := timestamp.NewSimulated(1)
+	st := NewSharded(1, src.ClockAt(1), shards)
+	for i := 0; i < n; i++ {
+		st.Update(fmt.Sprintf("sv%04d", i), Value("v"))
+		src.Advance(1)
+	}
+	// Every 7th key becomes a death certificate; the early ones will be
+	// dormant by the time the tests read "now".
+	for i := 0; i < n; i += 7 {
+		st.Delete(fmt.Sprintf("sv%04d", i), nil)
+		src.Advance(1)
+	}
+	src.Advance(50)
+	return st, src
+}
+
+func TestChecksumVectorFoldsToLive(t *testing.T) {
+	st, _ := buildShardVecStore(t, 8, 200)
+	now := st.Now()
+	for _, tau1 := range []int64{0, 40, 1 << 40} {
+		vec := st.ChecksumVector(now, tau1)
+		if len(vec) != st.ShardCount() {
+			t.Fatalf("vector len = %d, want %d", len(vec), st.ShardCount())
+		}
+		var fold uint64
+		for i, v := range vec {
+			fold ^= v
+			if got := st.ChecksumShard(i, now, tau1); got != v {
+				t.Errorf("tau1=%d shard %d: ChecksumShard = %#x, vector = %#x", tau1, i, got, v)
+			}
+		}
+		if live := st.ChecksumLive(now, tau1); fold != live {
+			t.Errorf("tau1=%d: vector fold = %#x, ChecksumLive = %#x", tau1, fold, live)
+		}
+	}
+}
+
+func TestAppendChecksumVectorReusesBacking(t *testing.T) {
+	st, _ := buildShardVecStore(t, 4, 40)
+	now := st.Now()
+	buf := make([]uint64, 0, st.ShardCount())
+	got := st.AppendChecksumVector(buf, now, 1<<40)
+	if &got[0] != &buf[:1][0] {
+		t.Error("AppendChecksumVector reallocated despite sufficient capacity")
+	}
+	want := st.ChecksumVector(now, 1<<40)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: append = %#x, fresh = %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPeelBatchShardMatchesGlobalWalk checks that walking every shard to
+// exhaustion visits exactly the entries a global peel walk visits, with
+// per-shard newest-first order and no duplicates.
+func TestPeelBatchShardMatchesGlobalWalk(t *testing.T) {
+	st, _ := buildShardVecStore(t, 8, 300)
+	now := st.Now()
+	const tau1 = 40 // early deletions are dormant, late ones live
+
+	want := map[string]Entry{}
+	bound, more := PeelStart, true
+	for more {
+		var batch []Entry
+		batch, bound, more = st.PeelBatch(bound, 16, now, tau1)
+		for _, e := range batch {
+			want[e.Key] = e
+		}
+	}
+
+	got := map[string]Entry{}
+	for i := 0; i < st.ShardCount(); i++ {
+		bound, more := PeelStart, true
+		var prev timestamp.T
+		first := true
+		for more {
+			var batch []Entry
+			batch, bound, more = st.PeelBatchShard(i, bound, 16, now, tau1)
+			for _, e := range batch {
+				if sh := st.shardFor(e.Key); sh != &st.shards[i] {
+					t.Fatalf("shard %d returned foreign key %q", i, e.Key)
+				}
+				if !first && prev.Less(e.Stamp) {
+					t.Fatalf("shard %d walk not newest-first: %v then %v", i, prev, e.Stamp)
+				}
+				prev, first = e.Stamp, false
+				if _, dup := got[e.Key]; dup {
+					t.Fatalf("key %q returned twice", e.Key)
+				}
+				got[e.Key] = e
+			}
+		}
+		// An exhausted shard walk stays exhausted.
+		if batch, _, more := st.PeelBatchShard(i, bound, 16, now, tau1); len(batch) != 0 || more {
+			t.Fatalf("shard %d walk past the end returned %d entries, more=%v", i, len(batch), more)
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("shard walks visited %d entries, global walk %d", len(got), len(want))
+	}
+	for k, e := range want {
+		if g, ok := got[k]; !ok || !g.Equal(e) {
+			t.Errorf("key %q differs between shard and global walks", k)
+		}
+	}
+}
+
+func TestRecentUpdatesShardUnionMatchesGlobal(t *testing.T) {
+	st, _ := buildShardVecStore(t, 8, 120)
+	now := st.Now()
+	const tau = 100
+
+	want := map[string]bool{}
+	for _, e := range st.RecentUpdates(now, tau) {
+		want[e.Key] = true
+	}
+	got := map[string]bool{}
+	for i := 0; i < st.ShardCount(); i++ {
+		var prev timestamp.T
+		for j, e := range st.RecentUpdatesShard(i, now, tau) {
+			if j > 0 && prev.Less(e.Stamp) {
+				t.Fatalf("shard %d recents not newest-first", i)
+			}
+			prev = e.Stamp
+			if got[e.Key] {
+				t.Fatalf("key %q in two shard windows", e.Key)
+			}
+			got[e.Key] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shard windows union = %d keys, global window = %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("key %q missing from shard windows", k)
+		}
+	}
+}
+
+// TestCollectMergedScratchPooled pins the satellite win: a peel round's
+// scratch (per-shard slice heap + merge cursors) comes from the pool. The
+// returned entries are clones that must escape, so the pooling is
+// observable on an empty walk — before pooling it cost the [][]Entry heap
+// plus the cursor slice; now it is allocation-free.
+func TestCollectMergedScratchPooled(t *testing.T) {
+	st, _ := buildShardVecStore(t, 16, 400)
+	exhausted := timestamp.T{} // nothing is older than the zero stamp
+	// Warm the pool.
+	for i := 0; i < 4; i++ {
+		st.OlderThan(exhausted, 64)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		st.OlderThan(exhausted, 64)
+	})
+	if avg > 0 {
+		t.Errorf("empty OlderThan allocates %.1f/op with pooled scratch, want 0", avg)
+	}
+}

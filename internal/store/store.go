@@ -257,13 +257,7 @@ func (s *Store) ChecksumLive(now, tau1 int64) uint64 {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		sum ^= sh.sum
-		for key := range sh.deaths {
-			e := sh.entries[key]
-			if now-e.Activation.Time > tau1 {
-				sum ^= e.hash()
-			}
-		}
+		sum ^= sh.liveSum(now, tau1)
 		sh.mu.RUnlock()
 	}
 	return sum
@@ -366,7 +360,7 @@ func (s *Store) RecentUpdates(now, tau int64) []Entry {
 		per[i] = sh.collectRecent(now, tau)
 		sh.mu.RUnlock()
 	}
-	merged := mergeDesc(per, 0)
+	merged := mergeDesc(per, nil, 0)
 	if len(merged) == 0 {
 		return nil
 	}
@@ -394,17 +388,22 @@ func (s *Store) OlderThan(bound timestamp.T, limit int) []Entry {
 // len(merged). Each shard contributes at most limit records — a superset of
 // any global top-limit — so the merge result equals the seed's walk of one
 // global index.
+//
+// The per-shard slices and merge cursors come from a sync.Pool: peel-back
+// runs this once per wire round, and the scratch heap was the dominant
+// per-round allocation. Only the returned merged slice escapes.
 func (s *Store) collectMerged(bound timestamp.T, limit int) (merged []Entry, total int) {
-	per := make([][]Entry, len(s.shards))
+	sc := getMergeScratch(len(s.shards))
+	defer putMergeScratch(sc)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		recs, n := sh.collectOlder(bound, limit)
+		var n int
+		sc.per[i], n = sh.appendOlder(sc.per[i], bound, limit)
 		sh.mu.RUnlock()
-		per[i] = recs
 		total += n
 	}
-	return mergeDesc(per, limit), total
+	return mergeDesc(sc.per, sc.cursor, limit), total
 }
 
 // Snapshot returns a copy of all entries, sorted by key.

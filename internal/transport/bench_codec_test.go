@@ -45,7 +45,7 @@ func BenchmarkCodecEncode(b *testing.B) {
 		buf := make([]byte, 0, 4096)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			buf = appendResponse(buf[:0], resp, false)
+			buf = appendResponse(buf[:0], resp, codecBinary)
 		}
 		b.ReportMetric(float64(len(buf)), "wire_bytes")
 	})
@@ -81,8 +81,8 @@ func BenchmarkCodecRoundTrip(b *testing.B) {
 		var out response
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			buf = appendResponse(buf[:0], resp, false)
-			if err := decodeResponse(buf, &out, false); err != nil {
+			buf = appendResponse(buf[:0], resp, codecBinary)
+			if err := decodeResponse(buf, &out, codecBinary); err != nil {
 				b.Fatal(err)
 			}
 		}

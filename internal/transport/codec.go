@@ -28,21 +28,29 @@ const (
 	codecGob          = 1 // encoding/gob payloads (the PR 3 wire format)
 	codecBinary       = 2 // this file's hand-rolled payloads
 	codecBinaryDigest = 3 // binary payloads + trailing cluster-digest section
+	codecBinaryShard  = 4 // v3 + trailing shard-vector section and shard-scoped peel requests
 )
 
 // codecName names a negotiated codec for logs, flags, and metric labels.
-// Both binary versions report "binary": v3 is the same framing plus the
-// digest envelope, and the metrics only distinguish gob from binary.
+// All binary versions report "binary": v3/v4 are the same framing plus
+// trailing sections, and the metrics only distinguish gob from binary.
 func codecName(c byte) string {
 	switch c {
 	case codecGob:
 		return "gob"
-	case codecBinary, codecBinaryDigest:
+	case codecBinary, codecBinaryDigest, codecBinaryShard:
 		return "binary"
 	default:
 		return "unknown"
 	}
 }
+
+// codecHasDigests reports whether frames of codec c carry the trailing
+// cluster-digest section; codecHasShards whether they additionally carry
+// the shard-vector section. Session-level properties fixed by the
+// handshake, never guessed from a payload.
+func codecHasDigests(c byte) bool { return c >= codecBinaryDigest }
+func codecHasShards(c byte) bool  { return c >= codecBinaryShard }
 
 // stampWireLen is the fixed wire size of one timestamp.T: 8-byte Time,
 // 4-byte Site, 4-byte Seq, all big-endian.
@@ -161,10 +169,23 @@ func appendDigests(b []byte, digests []cluster.Digest) []byte {
 	return b
 }
 
-// appendRequest encodes req after b. Field order matches decodeRequest.
-// withDigests appends the cluster-digest section (codecBinaryDigest
-// sessions only — a v2 peer would read it as trailing garbage).
-func appendRequest(b []byte, req *request, withDigests bool) []byte {
+// appendVector writes a shard-vector section payload: a count then each
+// per-shard checksum as fixed 8 bytes. A nil or empty vector costs one
+// zero byte, so non-shard-vector requests on a v4 session stay cheap.
+func appendVector(b []byte, vec []uint64) []byte {
+	b = appendUvarint(b, uint64(len(vec)))
+	for _, v := range vec {
+		b = appendUint64(b, v)
+	}
+	return b
+}
+
+// appendRequest encodes req after b for the given session codec. Field
+// order matches decodeRequest. codecBinaryDigest sessions append the
+// cluster-digest section, codecBinaryShard additionally the shard section
+// (an older peer would read either as trailing garbage, hence the
+// handshake gate).
+func appendRequest(b []byte, req *request, codec byte) []byte {
 	b = append(b, byte(req.Kind))
 	b = appendUint32(b, uint32(req.From))
 	b = appendUint64(b, req.Checksum)
@@ -175,8 +196,13 @@ func appendRequest(b []byte, req *request, withDigests bool) []byte {
 	b = appendVarint(b, int64(req.Limit))
 	b = appendEntries(b, req.Entries)
 	b = appendHops(b, req.Hops)
-	if withDigests {
+	if codecHasDigests(codec) {
 		b = appendDigests(b, req.Digests)
+	}
+	if codecHasShards(codec) {
+		b = appendVarint(b, int64(req.Shard))
+		b = appendVarint(b, int64(req.ShardCount))
+		b = appendVector(b, req.Vector)
 	}
 	return b
 }
@@ -187,9 +213,10 @@ const (
 	respMore   = 1 << 1
 )
 
-// appendResponse encodes resp after b. Field order matches decodeResponse.
-// withDigests appends the cluster-digest section as in appendRequest.
-func appendResponse(b []byte, resp *response, withDigests bool) []byte {
+// appendResponse encodes resp after b for the given session codec. Field
+// order matches decodeResponse; optional trailing sections as in
+// appendRequest.
+func appendResponse(b []byte, resp *response, codec byte) []byte {
 	var flags byte
 	if resp.InSync {
 		flags |= respInSync
@@ -220,8 +247,12 @@ func appendResponse(b []byte, resp *response, withDigests bool) []byte {
 	b = appendHops(b, resp.Hops)
 	b = appendUvarint(b, uint64(len(resp.Err)))
 	b = append(b, resp.Err...)
-	if withDigests {
+	if codecHasDigests(codec) {
 		b = appendDigests(b, resp.Digests)
+	}
+	if codecHasShards(codec) {
+		b = appendVarint(b, int64(resp.ShardCount))
+		b = appendVector(b, resp.Vector)
 	}
 	return b
 }
@@ -407,6 +438,21 @@ func (r *wireReader) hops() []trace.Hop {
 	return out
 }
 
+// vector reads a shard-vector section: a count (sanity-checked against
+// the remaining bytes at 8 bytes per element, so a forged length never
+// drives a large allocation) then that many fixed-width checksums.
+func (r *wireReader) vector() []uint64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.uint64()
+	}
+	return out
+}
+
 func (r *wireReader) float64() float64 {
 	return math.Float64frombits(r.uint64())
 }
@@ -467,9 +513,9 @@ func (r *wireReader) finish() error {
 
 // decodeRequest decodes one binary frame payload into req, overwriting
 // every field (so a reused struct never leaks state between messages).
-// withDigests must match the encoder's flag — it is a session-level
-// property fixed by the handshake, never guessed from the payload.
-func decodeRequest(payload []byte, req *request, withDigests bool) error {
+// codec must match the encoder's — it is a session-level property fixed by
+// the handshake, never guessed from the payload.
+func decodeRequest(payload []byte, req *request, codec byte) error {
 	r := wireReader{buf: payload}
 	req.Kind = reqKind(r.byte())
 	req.From = timestamp.SiteID(r.uint32())
@@ -482,15 +528,21 @@ func decodeRequest(payload []byte, req *request, withDigests bool) error {
 	req.Entries = r.entries()
 	req.Hops = r.hops()
 	req.Digests = nil
-	if withDigests {
+	if codecHasDigests(codec) {
 		req.Digests = r.digests()
+	}
+	req.Shard, req.ShardCount, req.Vector = 0, 0, nil
+	if codecHasShards(codec) {
+		req.Shard = int(r.varint())
+		req.ShardCount = int(r.varint())
+		req.Vector = r.vector()
 	}
 	return r.finish()
 }
 
 // decodeResponse decodes one binary frame payload into resp, overwriting
 // every field.
-func decodeResponse(payload []byte, resp *response, withDigests bool) error {
+func decodeResponse(payload []byte, resp *response, codec byte) error {
 	r := wireReader{buf: payload}
 	flags := r.byte()
 	resp.InSync = flags&respInSync != 0
@@ -518,8 +570,13 @@ func decodeResponse(payload []byte, resp *response, withDigests bool) error {
 	errLen := r.uvarint()
 	resp.Err = string(r.take(int(errLen)))
 	resp.Digests = nil
-	if withDigests {
+	if codecHasDigests(codec) {
 		resp.Digests = r.digests()
+	}
+	resp.ShardCount, resp.Vector = 0, nil
+	if codecHasShards(codec) {
+		resp.ShardCount = int(r.varint())
+		resp.Vector = r.vector()
 	}
 	return r.finish()
 }

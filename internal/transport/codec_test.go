@@ -105,12 +105,12 @@ func normalizeResp(r *response) {
 
 func TestCodecRequestRoundTrip(t *testing.T) {
 	for i, req := range codecRequests() {
-		payload := appendRequest(nil, &req, false)
+		payload := appendRequest(nil, &req, codecBinary)
 		// Decode into a dirty struct: every field must be overwritten.
 		got := request{Kind: 99, From: 99, Checksum: 99, Now: 99, Tau: 99,
 			Tau1: 99, Bound: timestamp.T{Time: 99}, Limit: 99,
 			Entries: []store.Entry{{Key: "stale"}}, Hops: []trace.Hop{{Count: 9}}}
-		if err := decodeRequest(payload, &got, false); err != nil {
+		if err := decodeRequest(payload, &got, codecBinary); err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
 		want := req
@@ -124,11 +124,11 @@ func TestCodecRequestRoundTrip(t *testing.T) {
 
 func TestCodecResponseRoundTrip(t *testing.T) {
 	for i, resp := range codecResponses() {
-		payload := appendResponse(nil, &resp, false)
+		payload := appendResponse(nil, &resp, codecBinary)
 		got := response{Needed: []bool{true}, Entries: []store.Entry{{Key: "stale"}},
 			InSync: true, Checksum: 99, Now: 99, Bound: timestamp.T{Time: 99},
 			More: true, Hops: []trace.Hop{{Count: 9}}, Err: "stale"}
-		if err := decodeResponse(payload, &got, false); err != nil {
+		if err := decodeResponse(payload, &got, codecBinary); err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
 		want := resp
@@ -149,7 +149,7 @@ func TestCodecValueNilVsEmpty(t *testing.T) {
 		{Key: "empty", Value: store.Value{}, Stamp: timestamp.T{Time: 2, Site: 1}},
 	}}
 	var got request
-	if err := decodeRequest(appendRequest(nil, &req, false), &got, false); err != nil {
+	if err := decodeRequest(appendRequest(nil, &req, codecBinary), &got, codecBinary); err != nil {
 		t.Fatal(err)
 	}
 	if got.Entries[0].Value != nil {
@@ -165,10 +165,10 @@ func TestCodecValueNilVsEmpty(t *testing.T) {
 // at full length).
 func TestCodecTruncationEveryPrefix(t *testing.T) {
 	for i, req := range codecRequests() {
-		payload := appendRequest(nil, &req, false)
+		payload := appendRequest(nil, &req, codecBinary)
 		for n := 0; n < len(payload); n++ {
 			var got request
-			err := decodeRequest(payload[:n], &got, false)
+			err := decodeRequest(payload[:n], &got, codecBinary)
 			if err == nil {
 				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(payload))
 			}
@@ -178,10 +178,10 @@ func TestCodecTruncationEveryPrefix(t *testing.T) {
 		}
 	}
 	for i, resp := range codecResponses() {
-		payload := appendResponse(nil, &resp, false)
+		payload := appendResponse(nil, &resp, codecBinary)
 		for n := 0; n < len(payload); n++ {
 			var got response
-			err := decodeResponse(payload[:n], &got, false)
+			err := decodeResponse(payload[:n], &got, codecBinary)
 			if err == nil {
 				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(payload))
 			}
@@ -196,15 +196,15 @@ func TestCodecTruncationEveryPrefix(t *testing.T) {
 // must notice the frame was not fully consumed.
 func TestCodecTrailingGarbage(t *testing.T) {
 	req := codecRequests()[2]
-	payload := append(appendRequest(nil, &req, false), 0xde, 0xad)
+	payload := append(appendRequest(nil, &req, codecBinary), 0xde, 0xad)
 	var got request
-	if err := decodeRequest(payload, &got, false); !errors.Is(err, ErrFrameGarbage) {
+	if err := decodeRequest(payload, &got, codecBinary); !errors.Is(err, ErrFrameGarbage) {
 		t.Errorf("decodeRequest err = %v, want ErrFrameGarbage", err)
 	}
 	resp := codecResponses()[2]
-	rp := append(appendResponse(nil, &resp, false), 0xbe)
+	rp := append(appendResponse(nil, &resp, codecBinary), 0xbe)
 	var gotR response
-	if err := decodeResponse(rp, &gotR, false); !errors.Is(err, ErrFrameGarbage) {
+	if err := decodeResponse(rp, &gotR, codecBinary); !errors.Is(err, ErrFrameGarbage) {
 		t.Errorf("decodeResponse err = %v, want ErrFrameGarbage", err)
 	}
 }
@@ -225,7 +225,7 @@ func TestCodecForgedCountsRejected(t *testing.T) {
 	b = appendVarint(b, 0)      // Limit
 	b = appendUvarint(b, 1<<40) // forged entry count
 	var got request
-	if err := decodeRequest(b, &got, false); !errors.Is(err, ErrTruncatedFrame) {
+	if err := decodeRequest(b, &got, codecBinary); !errors.Is(err, ErrTruncatedFrame) {
 		t.Errorf("forged entry count: err = %v, want ErrTruncatedFrame", err)
 	}
 
@@ -237,14 +237,14 @@ func TestCodecForgedCountsRejected(t *testing.T) {
 	rb = appendStamp(rb, timestamp.T{})
 	rb = appendUvarint(rb, 1<<40) // forged Needed count
 	var gotR response
-	if err := decodeResponse(rb, &gotR, false); !errors.Is(err, ErrTruncatedFrame) {
+	if err := decodeResponse(rb, &gotR, codecBinary); !errors.Is(err, ErrTruncatedFrame) {
 		t.Errorf("forged needed count: err = %v, want ErrTruncatedFrame", err)
 	}
 }
 
 func TestRequestWireSizeIsUpperBound(t *testing.T) {
 	for i, req := range codecRequests() {
-		actual := len(appendRequest(nil, &req, false))
+		actual := len(appendRequest(nil, &req, codecBinary))
 		bound := requestWireSize(&req)
 		if actual > bound {
 			t.Errorf("case %d: encoded %d bytes > claimed bound %d", i, actual, bound)
@@ -260,43 +260,56 @@ func TestRequestWireSizeIsUpperBound(t *testing.T) {
 // the same value (the codec is its own inverse on its image).
 func FuzzDecodeFrame(f *testing.F) {
 	for _, req := range codecRequests() {
-		f.Add(appendRequest(nil, &req, false))
+		f.Add(appendRequest(nil, &req, codecBinary))
 	}
 	for _, resp := range codecResponses() {
-		f.Add(appendResponse(nil, &resp, false))
+		f.Add(appendResponse(nil, &resp, codecBinary))
+	}
+	// Seed valid v4 frames so the fuzzer starts with shard-vector and
+	// shard-peel sections to mutate.
+	for _, req := range shardRequests() {
+		f.Add(appendRequest(nil, &req, codecBinaryShard))
+	}
+	for _, resp := range shardResponses() {
+		f.Add(appendResponse(nil, &resp, codecBinaryShard))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		var req request
-		if err := decodeRequest(payload, &req, false); err == nil {
-			re := appendRequest(nil, &req, false)
-			var again request
-			if err := decodeRequest(re, &again, false); err != nil {
-				t.Fatalf("re-decode of re-encoded request failed: %v", err)
+		// Every payload is tried under both the v2 and v4 framings: the same
+		// bytes mean different things per negotiated codec, and both decoders
+		// must stay panic-free, typed on error, and self-inverse on success.
+		for _, codec := range []byte{codecBinary, codecBinaryShard} {
+			var req request
+			if err := decodeRequest(payload, &req, codec); err == nil {
+				re := appendRequest(nil, &req, codec)
+				var again request
+				if err := decodeRequest(re, &again, codec); err != nil {
+					t.Fatalf("codec %d: re-decode of re-encoded request failed: %v", codec, err)
+				}
+				normalizeShardReq(&req)
+				normalizeShardReq(&again)
+				if !reflect.DeepEqual(req, again) {
+					t.Fatalf("codec %d: request not stable under re-encode:\n1st %+v\n2nd %+v", codec, req, again)
+				}
+			} else if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameGarbage) {
+				t.Fatalf("codec %d: decodeRequest returned untyped error %v", codec, err)
 			}
-			normalizeReq(&req)
-			normalizeReq(&again)
-			if !reflect.DeepEqual(req, again) {
-				t.Fatalf("request not stable under re-encode:\n1st %+v\n2nd %+v", req, again)
+			var resp response
+			if err := decodeResponse(payload, &resp, codec); err == nil {
+				re := appendResponse(nil, &resp, codec)
+				var again response
+				if err := decodeResponse(re, &again, codec); err != nil {
+					t.Fatalf("codec %d: re-decode of re-encoded response failed: %v", codec, err)
+				}
+				normalizeShardResp(&resp)
+				normalizeShardResp(&again)
+				if !reflect.DeepEqual(resp, again) {
+					t.Fatalf("codec %d: response not stable under re-encode:\n1st %+v\n2nd %+v", codec, resp, again)
+				}
+			} else if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameGarbage) {
+				t.Fatalf("codec %d: decodeResponse returned untyped error %v", codec, err)
 			}
-		} else if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameGarbage) {
-			t.Fatalf("decodeRequest returned untyped error %v", err)
-		}
-		var resp response
-		if err := decodeResponse(payload, &resp, false); err == nil {
-			re := appendResponse(nil, &resp, false)
-			var again response
-			if err := decodeResponse(re, &again, false); err != nil {
-				t.Fatalf("re-decode of re-encoded response failed: %v", err)
-			}
-			normalizeResp(&resp)
-			normalizeResp(&again)
-			if !reflect.DeepEqual(resp, again) {
-				t.Fatalf("response not stable under re-encode:\n1st %+v\n2nd %+v", resp, again)
-			}
-		} else if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameGarbage) {
-			t.Fatalf("decodeResponse returned untyped error %v", err)
 		}
 	})
 }
@@ -304,7 +317,8 @@ func FuzzDecodeFrame(f *testing.F) {
 // TestCodecNames pins the codec and flag vocabulary.
 func TestCodecNames(t *testing.T) {
 	if codecName(codecGob) != "gob" || codecName(codecBinary) != "binary" ||
-		codecName(codecBinaryDigest) != "binary" || codecName(0) != "unknown" {
+		codecName(codecBinaryDigest) != "binary" || codecName(codecBinaryShard) != "binary" ||
+		codecName(0) != "unknown" {
 		t.Error("codecName vocabulary changed")
 	}
 	for _, tc := range []struct {
@@ -313,8 +327,10 @@ func TestCodecNames(t *testing.T) {
 		legacy bool
 		ok     bool
 	}{
-		{"", codecBinaryDigest, false, true},
-		{"binary", codecBinaryDigest, false, true},
+		{"", codecBinaryShard, false, true},
+		{"binary", codecBinaryShard, false, true},
+		{"binary-v2", codecBinary, false, true},
+		{"binary-v3", codecBinaryDigest, false, true},
 		{"gob", codecGob, false, true},
 		{"legacy", codecGob, true, true},
 		{"protobuf", 0, false, false},

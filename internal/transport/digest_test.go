@@ -34,7 +34,7 @@ func TestDigestCodecRoundTrip(t *testing.T) {
 	digests := sampleDigests()
 	req := request{Kind: reqSync, From: 1, Checksum: 7, Digests: digests}
 	var gotReq request
-	if err := decodeRequest(appendRequest(nil, &req, true), &gotReq, true); err != nil {
+	if err := decodeRequest(appendRequest(nil, &req, codecBinaryDigest), &gotReq, codecBinaryDigest); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotReq.Digests, digests) {
@@ -43,7 +43,7 @@ func TestDigestCodecRoundTrip(t *testing.T) {
 
 	resp := response{Checksum: 9, Digests: digests}
 	var gotResp response
-	if err := decodeResponse(appendResponse(nil, &resp, true), &gotResp, true); err != nil {
+	if err := decodeResponse(appendResponse(nil, &resp, codecBinaryDigest), &gotResp, codecBinaryDigest); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotResp.Digests, digests) {
@@ -53,16 +53,16 @@ func TestDigestCodecRoundTrip(t *testing.T) {
 	// A v2 frame never carries the section: encoding with withDigests=false
 	// must byte-match a digest-free request.
 	bare := request{Kind: reqSync, From: 1, Checksum: 7}
-	withField := appendRequest(nil, &req, false)
-	without := appendRequest(nil, &bare, false)
+	withField := appendRequest(nil, &req, codecBinary)
+	without := appendRequest(nil, &bare, codecBinary)
 	if string(withField) != string(without) {
 		t.Error("withDigests=false leaked digest bytes onto the frame")
 	}
 
 	// An empty section costs exactly one byte.
 	empty := request{Kind: reqSync, From: 1, Checksum: 7}
-	v2 := appendRequest(nil, &empty, false)
-	v3 := appendRequest(nil, &empty, true)
+	v2 := appendRequest(nil, &empty, codecBinary)
+	v3 := appendRequest(nil, &empty, codecBinaryDigest)
 	if len(v3) != len(v2)+1 {
 		t.Errorf("empty digest section = %d bytes, want 1", len(v3)-len(v2))
 	}
@@ -72,10 +72,10 @@ func TestDigestCodecRoundTrip(t *testing.T) {
 // every truncation point of the digest section.
 func TestDigestSectionTruncation(t *testing.T) {
 	req := request{Kind: reqSync, Digests: sampleDigests()}
-	payload := appendRequest(nil, &req, true)
+	payload := appendRequest(nil, &req, codecBinaryDigest)
 	var got request
 	for n := len(payload) - 1; n >= 0; n-- {
-		if err := decodeRequest(payload[:n], &got, true); err == nil {
+		if err := decodeRequest(payload[:n], &got, codecBinaryDigest); err == nil {
 			t.Fatalf("truncated payload at %d bytes decoded cleanly", n)
 		}
 	}

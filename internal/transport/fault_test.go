@@ -368,12 +368,12 @@ func TestUDPLossyPathRecovers(t *testing.T) {
 			}
 			drop = true
 			var req request
-			if nb < udpHeaderLen || decodeRequest(buf[udpHeaderLen:nb], &req, false) != nil {
+			if nb < udpHeaderLen || decodeRequest(buf[udpHeaderLen:nb], &req, codecBinary) != nil {
 				continue
 			}
 			resp := srv.dispatch(req)
 			out := append([]byte{'E', 'U', udpVersion, udpTypeResponse}, buf[4:udpHeaderLen]...)
-			out = appendResponse(out, &resp, false)
+			out = appendResponse(out, &resp, codecBinary)
 			_, _ = uc.WriteToUDP(out, raddr)
 		}
 	}()

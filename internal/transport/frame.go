@@ -99,7 +99,7 @@ type session struct {
 	conn  net.Conn
 	br    *bufio.Reader
 	bw    *bufio.Writer
-	codec byte // codecGob, codecBinary, or codecBinaryDigest; fixed after the handshake
+	codec byte // codecGob .. codecBinaryShard; fixed after the handshake
 
 	// Gob machinery, built lazily so binary sessions never pay for it.
 	enc    *gob.Encoder
@@ -147,7 +147,7 @@ func (s *session) clientHandshake(prefer byte, deadline time.Time) error {
 	if err != nil {
 		return fmt.Errorf("transport: read codec choice: %w", err)
 	}
-	if chosen < codecGob || chosen > codecBinaryDigest || chosen > prefer {
+	if chosen < codecGob || chosen > codecBinaryShard || chosen > prefer {
 		return fmt.Errorf("transport: server chose unexpected codec %d: %w", chosen, ErrFrameGarbage)
 	}
 	s.codec = chosen
@@ -177,14 +177,14 @@ func (s *session) serverHandshake(maxCodec byte) error {
 		return fmt.Errorf("transport: read codec hello: %w", ErrTruncatedFrame)
 	}
 	// min(client preference, server ceiling), clamped to the known range —
-	// a v2 client asking for 2 gets 2 from a v3 server, and a future v9
+	// a v2 client asking for 2 gets 2 from a v4 server, and a future v9
 	// client gets the highest version this server speaks.
 	chosen := min(prefer, maxCodec)
 	if chosen < codecGob {
 		chosen = codecGob
 	}
-	if chosen > codecBinaryDigest {
-		chosen = codecBinaryDigest
+	if chosen > codecBinaryShard {
+		chosen = codecBinaryShard
 	}
 	if err := s.bw.WriteByte(chosen); err != nil {
 		return fmt.Errorf("transport: answer codec hello: %w", err)
@@ -199,14 +199,19 @@ func (s *session) serverHandshake(maxCodec byte) error {
 }
 
 // withDigests reports whether this session's frames carry the trailing
-// cluster-digest section (codecBinaryDigest only; gob carries digests as
+// cluster-digest section (codecBinaryDigest and up; gob carries digests as
 // an ordinary struct field that old receivers simply ignore).
-func (s *session) withDigests() bool { return s.codec >= codecBinaryDigest }
+func (s *session) withDigests() bool { return codecHasDigests(s.codec) }
+
+// withShards reports whether this session's frames carry the trailing
+// shard-vector section and the peer understands the shard-scoped request
+// kinds (codecBinaryShard and up).
+func (s *session) withShards() bool { return codecHasShards(s.codec) }
 
 // writeRequest ships req as one frame in the session's codec.
 func (s *session) writeRequest(req *request) error {
 	if s.codec >= codecBinary {
-		s.wbuf = appendRequest(s.binaryFrame(), req, s.withDigests())
+		s.wbuf = appendRequest(s.binaryFrame(), req, s.codec)
 		return s.flushBinaryFrame()
 	}
 	return s.writeMsg(req)
@@ -215,7 +220,7 @@ func (s *session) writeRequest(req *request) error {
 // writeResponse ships resp as one frame in the session's codec.
 func (s *session) writeResponse(resp *response) error {
 	if s.codec >= codecBinary {
-		s.wbuf = appendResponse(s.binaryFrame(), resp, s.withDigests())
+		s.wbuf = appendResponse(s.binaryFrame(), resp, s.codec)
 		return s.flushBinaryFrame()
 	}
 	return s.writeMsg(resp)
@@ -228,7 +233,7 @@ func (s *session) readRequest(req *request) error {
 		if err != nil {
 			return err
 		}
-		if err := decodeRequest(payload, req, s.withDigests()); err != nil {
+		if err := decodeRequest(payload, req, s.codec); err != nil {
 			return fmt.Errorf("transport: decode request: %w", err)
 		}
 		return nil
@@ -245,7 +250,7 @@ func (s *session) readResponse(resp *response) error {
 		if err != nil {
 			return err
 		}
-		if err := decodeResponse(payload, resp, s.withDigests()); err != nil {
+		if err := decodeResponse(payload, resp, s.codec); err != nil {
 			return fmt.Errorf("transport: decode response: %w", err)
 		}
 		return nil

@@ -23,6 +23,11 @@ type WireStats struct {
 	sessionsGob, sessionsBinary atomic.Int64
 	msgsGob, msgsBinary         atomic.Int64
 
+	// Shard-vector anti-entropy accounting (codec v4): exchanges that
+	// converged via the narrow path, diverged shards they repaired, and
+	// attempts that fell back to the global peel walk.
+	shardVecExchanges, shardVecShards, shardVecDowngrades atomic.Int64
+
 	// UDP fast-path accounting (see udp.go).
 	udpPushes, udpRetries, udpFallbacks, udpOversize atomic.Int64
 	udpBytesSent, udpBytesReceived                   atomic.Int64
@@ -58,6 +63,12 @@ type WireSnapshot struct {
 	SessionsBinary int64 `json:"sessions_binary"`
 	MsgsGob        int64 `json:"msgs_gob"`
 	MsgsBinary     int64 `json:"msgs_binary"`
+	// Shard-vector counters: anti-entropy exchanges that converged via the
+	// per-shard narrow path, the diverged shards those exchanges repaired,
+	// and attempts that downgraded to the global peel walk.
+	ShardVecExchanges  int64 `json:"shardvec_exchanges"`
+	ShardVecShards     int64 `json:"shardvec_shards"`
+	ShardVecDowngrades int64 `json:"shardvec_downgrades"`
 	// UDP fast-path counters: pushes completed over UDP, datagram retries,
 	// pushes that fell back to pooled TCP, pushes skipped as over the
 	// datagram budget, and raw datagram traffic.
@@ -75,23 +86,26 @@ func (w *WireStats) Snapshot() WireSnapshot {
 		return WireSnapshot{}
 	}
 	return WireSnapshot{
-		Dials:            w.dials.Load(),
-		Redials:          w.redials.Load(),
-		Reuses:           w.reuses.Load(),
-		OpenConns:        w.open.Load(),
-		BytesSent:        w.bytesSent.Load(),
-		BytesReceived:    w.bytesReceived.Load(),
-		Exchanges:        w.exchanges.Load(),
-		SessionsGob:      w.sessionsGob.Load(),
-		SessionsBinary:   w.sessionsBinary.Load(),
-		MsgsGob:          w.msgsGob.Load(),
-		MsgsBinary:       w.msgsBinary.Load(),
-		UDPPushes:        w.udpPushes.Load(),
-		UDPRetries:       w.udpRetries.Load(),
-		UDPFallbacks:     w.udpFallbacks.Load(),
-		UDPOversize:      w.udpOversize.Load(),
-		UDPBytesSent:     w.udpBytesSent.Load(),
-		UDPBytesReceived: w.udpBytesReceived.Load(),
+		Dials:              w.dials.Load(),
+		Redials:            w.redials.Load(),
+		Reuses:             w.reuses.Load(),
+		OpenConns:          w.open.Load(),
+		BytesSent:          w.bytesSent.Load(),
+		BytesReceived:      w.bytesReceived.Load(),
+		Exchanges:          w.exchanges.Load(),
+		SessionsGob:        w.sessionsGob.Load(),
+		SessionsBinary:     w.sessionsBinary.Load(),
+		MsgsGob:            w.msgsGob.Load(),
+		MsgsBinary:         w.msgsBinary.Load(),
+		ShardVecExchanges:  w.shardVecExchanges.Load(),
+		ShardVecShards:     w.shardVecShards.Load(),
+		ShardVecDowngrades: w.shardVecDowngrades.Load(),
+		UDPPushes:          w.udpPushes.Load(),
+		UDPRetries:         w.udpRetries.Load(),
+		UDPFallbacks:       w.udpFallbacks.Load(),
+		UDPOversize:        w.udpOversize.Load(),
+		UDPBytesSent:       w.udpBytesSent.Load(),
+		UDPBytesReceived:   w.udpBytesReceived.Load(),
 	}
 }
 
@@ -162,6 +176,20 @@ func (w *WireStats) noteMsg(codec byte) {
 	}
 }
 
+func (w *WireStats) noteShardVec(shards int) {
+	if w == nil {
+		return
+	}
+	w.shardVecExchanges.Add(1)
+	w.shardVecShards.Add(int64(shards))
+}
+
+func (w *WireStats) noteShardVecDowngrade() {
+	if w != nil {
+		w.shardVecDowngrades.Add(1)
+	}
+}
+
 func (w *WireStats) noteUDPPush() {
 	if w != nil {
 		w.udpPushes.Add(1)
@@ -220,9 +248,22 @@ type pool struct {
 	legacy  bool          // skip the hello entirely (pre-negotiation wire)
 	stats   *WireStats
 
+	// codec records the codec the most recent handshake settled on (zero
+	// until the first dial). The shard-vector path consults it to skip v4
+	// request kinds against peers that cannot negotiate them.
+	codec atomic.Uint32
+
 	mu     sync.Mutex
 	idle   []*session
 	closed bool
+}
+
+// shardCapable reports whether the last negotiated session codec supports
+// the shard-vector request kinds. False before the first dial: the caller's
+// round-0 sync request always precedes a shard-vector attempt, so by the
+// time it matters a handshake has happened.
+func (p *pool) shardCapable() bool {
+	return codecHasShards(byte(p.codec.Load()))
 }
 
 func newPool(addr string, size int, timeout time.Duration, prefer byte, legacy bool, stats *WireStats) *pool {
@@ -262,6 +303,7 @@ func (p *pool) dial(redial bool) (*session, bool, error) {
 			return nil, false, err
 		}
 	}
+	p.codec.Store(uint32(s.codec))
 	p.stats.noteSession(s.codec)
 	return s, false, nil
 }

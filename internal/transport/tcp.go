@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"epidemic/internal/core"
@@ -31,10 +32,12 @@ const (
 	reqMail reqKind = iota + 1
 	reqPushRumors
 	reqPullRumors
-	reqSync     // recent updates + checksum (round 0)
-	reqFullSync // full live-database swap (capped last resort)
-	reqChecksum // live checksum probe (§1.5 combined scheme)
-	reqPeelBack // one reverse-timestamp batch + checksum re-check (§1.3)
+	reqSync          // recent updates + checksum (round 0)
+	reqFullSync      // full live-database swap (capped last resort)
+	reqChecksum      // live checksum probe (§1.5 combined scheme)
+	reqPeelBack      // one reverse-timestamp batch + checksum re-check (§1.3)
+	reqShardVector   // per-shard live-checksum vector swap (codec v4)
+	reqPeelBackShard // one shard-scoped peel batch + that shard's checksum (codec v4)
 )
 
 // kindName names a request kind for logs and metric labels.
@@ -54,6 +57,10 @@ func (k reqKind) kindName() string {
 		return "checksum"
 	case reqPeelBack:
 		return "peel-back"
+	case reqShardVector:
+		return "shard-vector"
+	case reqPeelBackShard:
+		return "peel-back-shard"
 	default:
 		return "unknown"
 	}
@@ -82,6 +89,16 @@ type request struct {
 	// nil when the observatory is off: omitted from gob frames, one zero
 	// byte on codecBinaryDigest sessions, absent entirely on v2 binary.
 	Digests []cluster.Digest
+	// Shard addresses one lock stripe for reqPeelBackShard; ShardCount is
+	// the sender's store shard count (vector compares and shard walks are
+	// only meaningful between stores with identical key→shard maps).
+	// Vector carries the sender's per-shard live checksums on
+	// reqShardVector. All three ride the codec-v4 trailing section (three
+	// near-zero bytes when unused) or plain gob fields old receivers
+	// ignore.
+	Shard      int
+	ShardCount int
+	Vector     []uint64
 }
 
 type response struct {
@@ -101,6 +118,12 @@ type response struct {
 	// Digests mirrors request.Digests: the responder's view, piggybacked
 	// back so digest exchange is bidirectional like the data exchange.
 	Digests []cluster.Digest
+	// ShardCount and Vector answer reqShardVector with the responder's
+	// shard count and per-shard live checksums. For reqPeelBackShard the
+	// existing Checksum field carries the requested shard's live checksum
+	// instead of the global one.
+	ShardCount int
+	Vector     []uint64
 }
 
 // Server-side session limits: an idle session is reaped after
@@ -125,17 +148,24 @@ type ServerOptions struct {
 }
 
 // parseCodec maps a codec flag value to the wire byte. legacy reports the
-// client-only mode that skips the hello for pre-negotiation servers.
+// client-only mode that skips the hello for pre-negotiation servers. The
+// pinned "binary-v2"/"binary-v3" names cap negotiation at an older binary
+// version — rollout valves (and mixed-version test handles) for clusters
+// still carrying pre-digest or pre-shard-vector builds.
 func parseCodec(name string) (codec byte, legacy bool, err error) {
 	switch name {
 	case "", "binary":
+		return codecBinaryShard, false, nil
+	case "binary-v2":
+		return codecBinary, false, nil
+	case "binary-v3":
 		return codecBinaryDigest, false, nil
 	case "gob":
 		return codecGob, false, nil
 	case "legacy":
 		return codecGob, true, nil
 	default:
-		return 0, false, fmt.Errorf("transport: unknown codec %q (want binary, gob, or legacy)", name)
+		return 0, false, fmt.Errorf("transport: unknown codec %q (want binary, binary-v2, binary-v3, gob, or legacy)", name)
 	}
 }
 
@@ -423,6 +453,34 @@ func (s *Server) dispatch(req request) response {
 	case reqChecksum:
 		st := s.node.Store()
 		return response{Checksum: st.ChecksumLive(st.Now(), req.Tau1)}
+	case reqShardVector:
+		st := s.node.Store()
+		now := maxInt64(st.Now(), req.Now)
+		return response{
+			Checksum:   st.ChecksumLive(now, req.Tau1),
+			Now:        now,
+			ShardCount: st.ShardCount(),
+			Vector:     st.ChecksumVector(now, req.Tau1),
+		}
+	case reqPeelBackShard:
+		st := s.node.Store()
+		if req.ShardCount != st.ShardCount() || req.Shard < 0 || req.Shard >= st.ShardCount() {
+			return response{Err: fmt.Sprintf("shard %d/%d incomparable with local %d shards",
+				req.Shard, req.ShardCount, st.ShardCount())}
+		}
+		for i, e := range req.Entries {
+			s.node.ApplyRepair(e, req.From, hopAt(req.Hops, i), trace.MechPeelBack)
+		}
+		now := maxInt64(st.Now(), req.Now)
+		batch, next, more := st.PeelBatchShard(req.Shard, req.Bound, clampPeelLimit(req.Limit), now, req.Tau1)
+		return response{
+			Entries:  batch,
+			Hops:     s.node.Tracer().Envelopes(batch),
+			Checksum: st.ChecksumShard(req.Shard, now, req.Tau1),
+			Now:      now,
+			Bound:    next,
+			More:     more,
+		}
 	default:
 		return response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
 	}
@@ -475,9 +533,10 @@ type PeerOptions struct {
 	MaxPeelRounds int
 	// Codec selects the wire codec the peer asks for in the connection
 	// handshake: "" or "binary" (the hand-rolled codec, with negotiation
-	// falling back to gob against an old server), "gob" (negotiate but
-	// stick to gob), or "legacy" (send no hello at all — wire-compatible
-	// with pre-negotiation daemons).
+	// falling back to gob against an old server), "binary-v2"/"binary-v3"
+	// (pin an older binary version), "gob" (negotiate but stick to gob),
+	// or "legacy" (send no hello at all — wire-compatible with
+	// pre-negotiation daemons).
 	Codec string
 	// UDP enables the single-datagram fast path for rumor pushes (udp.go).
 	// Pushes that exceed the datagram budget, or that get no response
@@ -491,6 +550,16 @@ type PeerOptions struct {
 	// UDPBudget caps the datagram size for the fast path (default 1200
 	// bytes, a conservative single-MTU figure).
 	UDPBudget int
+	// DisableShardVector turns off the codec-v4 shard-vector anti-entropy
+	// path: conversations then always use the global peel-back walk, as
+	// pre-v4 peers do. The zero value enables it (it self-disables against
+	// peers that cannot negotiate v4 or whose shard count differs).
+	DisableShardVector bool
+	// ShardRepairWorkers bounds the diverged shards repaired concurrently
+	// during one shard-vector exchange (default 4). Each worker runs its
+	// own pooled session, so the effective parallelism is also bounded by
+	// PoolSize plus overflow dials.
+	ShardRepairWorkers int
 	// Stats, when set, receives pool and wire-traffic accounting; share
 	// one WireStats across all peers of a process.
 	Stats *WireStats
@@ -502,9 +571,10 @@ type PeerOptions struct {
 
 // Defaults for PeerOptions zero values.
 const (
-	defaultPeerTimeout   = 10 * time.Second
-	defaultPoolSize      = 2
-	defaultMaxPeelRounds = 32
+	defaultPeerTimeout        = 10 * time.Second
+	defaultPoolSize           = 2
+	defaultMaxPeelRounds      = 32
+	defaultShardRepairWorkers = 4
 )
 
 func (o PeerOptions) withDefaults() PeerOptions {
@@ -516,6 +586,9 @@ func (o PeerOptions) withDefaults() PeerOptions {
 	}
 	if o.MaxPeelRounds <= 0 {
 		o.MaxPeelRounds = defaultMaxPeelRounds
+	}
+	if o.ShardRepairWorkers <= 0 {
+		o.ShardRepairWorkers = defaultShardRepairWorkers
 	}
 	if o.UDPTimeout <= 0 {
 		o.UDPTimeout = defaultUDPTimeout
@@ -610,6 +683,7 @@ type wireCall struct {
 	bytesOut, bytesIn int64
 	entryBuf          [1]store.Entry
 	hopBuf            [1]trace.Hop
+	vecBuf            []uint64 // shard-vector scratch (reqShardVector)
 }
 
 var wireCallPool = sync.Pool{New: func() any { return new(wireCall) }}
@@ -625,8 +699,15 @@ func putWireCall(c *wireCall) {
 	c.bytesOut, c.bytesIn = 0, 0
 	c.entryBuf[0] = store.Entry{}
 	c.hopBuf[0] = trace.Hop{}
+	c.vecBuf = c.vecBuf[:0]
 	wireCallPool.Put(c)
 }
+
+// errRemote marks an error the peer's dispatcher reported (as opposed to a
+// transport failure); shard-vector conversations downgrade on it instead of
+// failing the whole exchange, since it usually means the server's shard
+// topology changed mid-conversation.
+var errRemote = errors.New("transport: remote error")
 
 // call runs c's request over the pool, accumulating framed bytes moved and
 // surfacing remote errors.
@@ -638,7 +719,7 @@ func (p *TCPPeer) call(c *wireCall) error {
 		return fmt.Errorf("transport: %s: %w", p.addr, err)
 	}
 	if c.resp.Err != "" {
-		return errors.New("transport: remote error: " + c.resp.Err)
+		return fmt.Errorf("%w: %s", errRemote, c.resp.Err)
 	}
 	return nil
 }
@@ -667,7 +748,7 @@ func (p *TCPPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, e
 	if u := p.fastPath(); u != nil {
 		if u.roundTrip(&c.req, &c.resp) {
 			if c.resp.Err != "" {
-				return nil, errors.New("transport: remote error: " + c.resp.Err)
+				return nil, fmt.Errorf("%w: %s", errRemote, c.resp.Err)
 			}
 			return c.resp.Needed, nil
 		}
@@ -744,8 +825,30 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *tr
 		return st, nil
 	}
 
-	// Checksums disagree: peel back in reverse-timestamp batches until
-	// they do, both sides walking their own index (§1.3).
+	// Checksums disagree. On a v4 session, first narrow the divergence to
+	// individual shards with one vector round trip and repair only those,
+	// in parallel; any wrinkle (old peer, mismatched shard counts,
+	// mid-conversation topology change) downgrades to the global walk.
+	if !p.opts.DisableShardVector && p.pool.shardCapable() {
+		// The repair workers capture the stats pointer, which would force
+		// st itself onto the heap for every conversation — including the
+		// allocation-free in-sync fast path above. Hand them a copy that
+		// only escapes on this (already allocating) mismatch path.
+		sv := st
+		done, err := p.shardRepair(cfg, local, tr, now, c, &sv)
+		if err != nil {
+			return sv, err
+		}
+		if done {
+			p.finishExchange(c, &sv)
+			return sv, nil
+		}
+		st = sv // keep whatever the abandoned narrow attempt repaired
+		p.opts.Stats.noteShardVecDowngrade()
+	}
+
+	// Peel back in reverse-timestamp batches until the checksums agree,
+	// both sides walking their own index (§1.3).
 	batch := cfg.BatchSize
 	if batch <= 0 {
 		batch = core.DefaultPeelBatch
@@ -803,6 +906,192 @@ func (p *TCPPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *tr
 	p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechAntiEntropy, &st)
 	p.finishExchange(c, &st)
 	return st, nil
+}
+
+// shardRepair is the codec-v4 narrow path of an anti-entropy conversation:
+// one round trip swaps per-shard live-checksum vectors, then only the
+// diverged shards are peeled — each confined to one lock stripe on both
+// sides — by a bounded pool of workers over concurrent pooled sessions. It
+// reports done=true when the exchange converged (or provably cannot make
+// further live progress); done=false with a nil error means the caller
+// should fall back to the global peel walk. agg accumulates the byte
+// counters of every session the repair used.
+func (p *TCPPeer) shardRepair(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer, now int64, agg *wireCall, st *core.ExchangeStats) (bool, error) {
+	v := getWireCall()
+	defer func() {
+		agg.bytesOut += v.bytesOut
+		agg.bytesIn += v.bytesIn
+		putWireCall(v)
+	}()
+
+	v.req = request{
+		Kind: reqShardVector,
+		From: local.Site(),
+		Now:  now,
+		Tau1: cfg.Tau1,
+	}
+	v.req.Vector = local.AppendChecksumVector(v.vecBuf[:0], now, cfg.Tau1)
+	v.vecBuf = v.req.Vector[:0]
+	if err := p.call(v); err != nil {
+		if errors.Is(err, errRemote) {
+			return false, nil // old dispatcher mid-upgrade: downgrade
+		}
+		return false, err
+	}
+	st.ChecksumsCompared++
+	now = maxInt64(now, v.resp.Now)
+	if v.resp.ShardCount != local.ShardCount() || len(v.resp.Vector) != len(v.req.Vector) {
+		return false, nil // incomparable key→shard maps
+	}
+	var diverged []int
+	for i, sum := range v.req.Vector {
+		if sum != v.resp.Vector[i] {
+			diverged = append(diverged, i)
+		}
+	}
+
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = core.DefaultPeelBatch
+	}
+	if len(diverged) > 0 {
+		workers := p.opts.ShardRepairWorkers
+		if workers > len(diverged) {
+			workers = len(diverged)
+		}
+		var (
+			next     atomic.Int64
+			degraded atomic.Bool
+			mu       sync.Mutex // guards st, agg, and the trace.Tracer handoff
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(diverged) || degraded.Load() || func() bool { mu.Lock(); defer mu.Unlock(); return firstErr != nil }() {
+						return
+					}
+					err := p.repairShard(cfg, local, tr, diverged[i], now, batch, &mu, agg, st)
+					switch {
+					case err == nil:
+					case errors.Is(err, errRemote) || errors.Is(err, errShardDowngrade):
+						degraded.Store(true)
+					default:
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return false, firstErr
+		}
+		if degraded.Load() {
+			return false, nil
+		}
+		st.ShardsRepaired += len(diverged)
+	}
+
+	// Terminal recompare: the global live checksums must now agree.
+	// Anything still skewed (a dormancy transition raced the repair, a
+	// concurrent writer) is the global walk's problem.
+	v.req = request{Kind: reqChecksum, Tau1: cfg.Tau1}
+	if err := p.call(v); err != nil {
+		if errors.Is(err, errRemote) {
+			return false, nil
+		}
+		return false, err
+	}
+	st.ChecksumsCompared++
+	if local.ChecksumLive(maxInt64(now, local.Now()), cfg.Tau1) != v.resp.Checksum {
+		return false, nil
+	}
+	p.opts.Stats.noteShardVec(len(diverged))
+	return true, nil
+}
+
+// errShardDowngrade signals that one shard's repair could not finish within
+// the peel budget; the conversation falls back to the global walk.
+var errShardDowngrade = errors.New("transport: shard-vector downgrade")
+
+// shardProbeBatch is the opening batch size of a shard repair (it ramps ×4
+// per round up to the configured BatchSize).
+const shardProbeBatch = 8
+
+// repairShard reconciles one diverged shard: both sides peel that shard's
+// slice of the timestamp index in reverse order, re-comparing the shard
+// checksum after every batch. Runs on a worker goroutine; all shared state
+// (stats, byte aggregation, tracer envelopes) is touched under mu.
+func (p *TCPPeer) repairShard(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer, shard int, now int64, batch int, mu *sync.Mutex, agg *wireCall, st *core.ExchangeStats) error {
+	c := getWireCall()
+	defer func() {
+		mu.Lock()
+		agg.bytesOut += c.bytesOut
+		agg.bytesIn += c.bytesIn
+		mu.Unlock()
+		putWireCall(c)
+	}()
+
+	// The expected divergence inside one shard is δ/S — usually a couple
+	// of entries, usually recent. Start with a small probe batch and ramp
+	// toward the configured size, so shallow per-shard divergence costs
+	// O(δ) on the wire instead of a full batch each way.
+	b := batch
+	if b > shardProbeBatch {
+		b = shardProbeBatch
+	}
+	localBound, remoteBound := store.PeelStart, store.PeelStart
+	localMore, remoteMore := true, true
+	for round := 0; round < p.opts.MaxPeelRounds; round++ {
+		var mine []store.Entry
+		if localMore {
+			mine, localBound, localMore = local.PeelBatchShard(shard, localBound, b, now, cfg.Tau1)
+		}
+		mu.Lock()
+		hops := tr.Envelopes(mine)
+		mu.Unlock()
+		c.req = request{
+			Kind:       reqPeelBackShard,
+			From:       local.Site(),
+			Entries:    mine,
+			Hops:       hops,
+			Bound:      remoteBound,
+			Limit:      b,
+			Now:        now,
+			Tau1:       cfg.Tau1,
+			Shard:      shard,
+			ShardCount: local.ShardCount(),
+		}
+		if b *= 4; b > batch {
+			b = batch
+		}
+		if err := p.call(c); err != nil {
+			return err
+		}
+		remoteBound, remoteMore = c.resp.Bound, c.resp.More
+		mu.Lock()
+		st.EntriesSent += len(mine)
+		p.applyReceived(local, c.resp.Entries, c.resp.Hops, trace.MechPeelBack, st)
+		st.ChecksumsCompared++
+		mu.Unlock()
+		if local.ChecksumShard(shard, now, cfg.Tau1) == c.resp.Checksum {
+			return nil
+		}
+		if !localMore && !remoteMore {
+			// Shard walks exhausted; residual skew is dormant-certificate
+			// divergence the terminal recompare will adjudicate.
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: shard %d budget exhausted", errShardDowngrade, shard)
 }
 
 // finishExchange attributes one completed anti-entropy conversation to the

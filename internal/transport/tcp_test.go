@@ -134,7 +134,10 @@ func TestTCPAntiEntropyFullSwapLastResort(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		a.Store().Update(fmt.Sprintf("only-a-%02d", i), store.Value("x"))
 	}
-	peer := NewTCPPeerWith(2, a.Peers()[0].(*TCPPeer).Addr(), PeerOptions{MaxPeelRounds: 1})
+	// DisableShardVector pins the conversation to the global walk: this
+	// test is about the global path's capped last resort.
+	peer := NewTCPPeerWith(2, a.Peers()[0].(*TCPPeer).Addr(),
+		PeerOptions{MaxPeelRounds: 1, DisableShardVector: true})
 	defer peer.Close()
 	st, err := peer.AntiEntropy(core.ResolveConfig{
 		Mode: core.PushPull, Strategy: core.CompareRecent, Tau: 0, BatchSize: 4,

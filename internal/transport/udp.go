@@ -143,7 +143,7 @@ func (c *udpClient) roundTrip(req *request, resp *response) (ok bool) {
 	}
 	dgram := append(c.dgram[:0], 'E', 'U', udpVersion, udpTypeRequest,
 		0, 0, 0, 0, 0, 0, 0, 0) // MsgID placeholder
-	dgram = appendRequest(dgram, req, false)
+	dgram = appendRequest(dgram, req, codecBinary)
 	c.dgram = dgram
 	if len(dgram) > c.budget {
 		c.stats.noteUDPOversize()
@@ -187,7 +187,7 @@ func (c *udpClient) roundTrip(req *request, resp *response) (ok bool) {
 				continue // stale response from an earlier attempt
 			}
 			c.stats.noteUDPTraffic(0, int64(n))
-			if err := decodeResponse(b[udpHeaderLen:n], resp, false); err != nil {
+			if err := decodeResponse(b[udpHeaderLen:n], resp, codecBinary); err != nil {
 				break reading // corrupt response: treat as loss, retry
 			}
 			c.down.Store(0)
@@ -220,7 +220,7 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 			buf[2] != udpVersion || buf[3] != udpTypeRequest {
 			continue
 		}
-		if err := decodeRequest(buf[udpHeaderLen:n], &req, false); err != nil {
+		if err := decodeRequest(buf[udpHeaderLen:n], &req, codecBinary); err != nil {
 			continue // garbage body: silent drop, the client will retry
 		}
 		var resp response
@@ -236,7 +236,7 @@ func (s *Server) serveUDP(conn *net.UDPConn) {
 		}
 		wbuf = append(wbuf[:0], 'E', 'U', udpVersion, udpTypeResponse)
 		wbuf = append(wbuf, buf[4:udpHeaderLen]...) // echo MsgID
-		wbuf = appendResponse(wbuf, &resp, false)
+		wbuf = appendResponse(wbuf, &resp, codecBinary)
 		if len(wbuf) <= udpReadBuf {
 			_, _ = conn.WriteToUDP(wbuf, raddr)
 		}
