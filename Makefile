@@ -1,9 +1,9 @@
 GO ?= go
 
 # BENCH_OUT numbers the machine-readable bench report; bump per PR.
-# BENCH_2 is the wire-transport report: this PR re-records it with the
-# binary-codec and UDP-fast-path rows.
-BENCH_OUT ?= BENCH_2.json
+# BENCH_4 is the outbound-engine report: direct-mail fan-out serial vs
+# outbox, the rumor-apply lock ablation, and a re-run of the wire rows.
+BENCH_OUT ?= BENCH_4.json
 BENCH_BASELINE ?= docs/bench-seed.txt
 # SCRATCH collects transient command output (bench logs, smoke logs);
 # the whole directory is gitignored and removed by clean.
@@ -20,8 +20,15 @@ CODEC_BENCH = -run '^$$' -bench Codec -benchtime=20000x -benchmem ./internal/tra
 # {10k,100k} newer ones, shard-vector vs global peel-back. Few iterations —
 # the global baseline walks the whole index per op by design.
 DEEP_BENCH = -run '^$$' -bench BenchmarkDeepDivergence -benchtime=3x -benchmem .
+# FANOUT_BENCH / APPLY_BENCH pin the outbound-engine benchmarks: direct
+# mail to 1ms-latency peers, serial vs worker-pool outbox, and the
+# rumor-apply batched-vs-per-entry lock ablation. Iterations are fixed so
+# the serial/outbox ratio is stable run to run (the 1x suite pass covers
+# fan-out; the apply ablation lives in ./internal/node).
+FANOUT_BENCH = -run '^$$' -bench BenchmarkDirectMailFanout -benchtime=5x -benchmem .
+APPLY_BENCH = -run '^$$' -bench BenchmarkApplyRumors -benchtime=5000x -benchmem ./internal/node
 
-.PHONY: all build test check race cover bench bench-store bench-transport bench-smoke experiments fuzz obs-smoke cluster-smoke clean
+.PHONY: all build test check race cover bench bench-store bench-transport bench-node bench-smoke experiments fuzz obs-smoke cluster-smoke clean
 
 all: build test check
 
@@ -39,6 +46,7 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -count=1 ./internal/store/...
+	$(GO) test -race -count=1 -run 'Outbox|MailBatch|SlowPeer|RedistributeMail' ./internal/node ./internal/transport
 	$(GO) test -race ./...
 	$(MAKE) obs-smoke
 	$(MAKE) cluster-smoke
@@ -92,6 +100,16 @@ bench-transport:
 	$(GO) test $(WIRE_BENCH)
 	$(GO) test $(CODEC_BENCH)
 	$(GO) test $(DEEP_BENCH)
+
+# bench-node is this PR's report: the direct-mail fan-out comparison, the
+# rumor-apply lock ablation, and a re-run of the wire exchange/rumor rows
+# so $(BENCH_OUT) carries fresh transport numbers from the same machine.
+bench-node:
+	@mkdir -p $(SCRATCH)
+	$(GO) test $(FANOUT_BENCH) | tee $(SCRATCH)/bench_node.txt
+	$(GO) test $(APPLY_BENCH) | tee -a $(SCRATCH)/bench_node.txt
+	$(GO) test $(WIRE_BENCH) | tee -a $(SCRATCH)/bench_node.txt
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o $(BENCH_OUT) < $(SCRATCH)/bench_node.txt
 
 # bench-smoke is the compile-and-run gate inside check: the deep-divergence
 # family at one iteration on the 10k store, so bench code can't rot between

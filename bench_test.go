@@ -12,12 +12,16 @@ package epidemic_test
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"epidemic"
 	"epidemic/internal/core"
 	"epidemic/internal/experiments"
+	"epidemic/internal/obs/trace"
 	"epidemic/internal/spatial"
+	"epidemic/internal/store"
 	"epidemic/internal/topology"
 )
 
@@ -813,3 +817,107 @@ func BenchmarkDeepDivergenceShardVec(b *testing.B) { benchDeepDivergenceGrid(b, 
 // BenchmarkDeepDivergenceGlobal is the pre-v4 baseline: the global merged
 // peel-back walk over the whole timestamp index.
 func BenchmarkDeepDivergenceGlobal(b *testing.B) { benchDeepDivergenceGrid(b, false) }
+
+// latencyPeer models a remote mailbox reached over a link with fixed
+// request latency: every Mail and every MailBatch costs one round trip.
+// Only the mail surface matters to the fan-out bench; the gossip methods
+// are inert.
+type latencyPeer struct {
+	id    epidemic.SiteID
+	delay time.Duration
+	mails atomic.Int64
+}
+
+func (p *latencyPeer) ID() epidemic.SiteID { return p.id }
+
+func (p *latencyPeer) AntiEntropy(cfg core.ResolveConfig, local *store.Store, tr *trace.Tracer) (core.ExchangeStats, error) {
+	return core.ExchangeStats{}, nil
+}
+
+func (p *latencyPeer) PushRumors(entries []store.Entry, hops []trace.Hop) ([]bool, error) {
+	return make([]bool, len(entries)), nil
+}
+
+func (p *latencyPeer) PullRumors() ([]store.Entry, []trace.Hop, error) { return nil, nil, nil }
+
+func (p *latencyPeer) Checksum(tau1 int64) (uint64, error) { return 0, nil }
+
+func (p *latencyPeer) Mail(e store.Entry, hop trace.Hop) error {
+	time.Sleep(p.delay)
+	p.mails.Add(1)
+	return nil
+}
+
+func (p *latencyPeer) MailBatch(mb epidemic.MailBatch) error {
+	time.Sleep(p.delay)
+	p.mails.Add(int64(len(mb.Entries)))
+	return nil
+}
+
+// benchDirectMailFanout times one direct-mailed Update reaching `peers`
+// mailboxes a fixed 1ms link apart. workers < 0 is the pre-engine serial
+// path (Update itself walks every peer); workers > 0 is the async outbox,
+// where the timed region covers the enqueue plus a flush so the engine
+// gets no credit for work it merely deferred. slow makes one peer a 50ms
+// straggler.
+func benchDirectMailFanout(b *testing.B, peers, workers int, slow bool) {
+	n, err := epidemic.NewNode(epidemic.NodeConfig{
+		Site:               1,
+		DirectMailOnUpdate: true,
+		Outbox: epidemic.OutboxConfig{
+			Workers:      workers,
+			QueuePerPeer: 1 << 20, // never drop: the bench measures fan-out, not shedding
+			FlushTimeout: time.Minute,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Stop()
+	ps := make([]epidemic.Peer, peers)
+	for i := range ps {
+		d := time.Millisecond
+		if slow && i == 0 {
+			d = 50 * time.Millisecond
+		}
+		ps[i] = &latencyPeer{id: epidemic.SiteID(i + 2), delay: d}
+	}
+	n.SetPeers(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Update(fmt.Sprintf("fanout-%d", i), epidemic.Value("v"))
+		if workers > 0 {
+			if !n.FlushMail(time.Minute) {
+				b.Fatal("flush timed out")
+			}
+		}
+	}
+	b.StopTimer()
+	var mails int64
+	for _, p := range ps {
+		mails += p.(*latencyPeer).mails.Load()
+	}
+	b.ReportMetric(float64(mails)/float64(b.N), "mails/op")
+}
+
+// BenchmarkDirectMailFanout compares serial direct mail against the async
+// outbox engine across fan-out widths, plus a one-straggler variant. The
+// serial path pays links sequentially (peers x 1ms per op); the outbox
+// drains queues from a worker pool, so the same op costs roughly
+// peers/workers link delays.
+func BenchmarkDirectMailFanout(b *testing.B) {
+	for _, peers := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("serial_p%d", peers), func(b *testing.B) {
+			benchDirectMailFanout(b, peers, -1, false)
+		})
+		b.Run(fmt.Sprintf("outbox_p%d", peers), func(b *testing.B) {
+			benchDirectMailFanout(b, peers, 8, false)
+		})
+	}
+	b.Run("serial_p32_slowpeer", func(b *testing.B) {
+		benchDirectMailFanout(b, 32, -1, true)
+	})
+	b.Run("outbox_p32_slowpeer", func(b *testing.B) {
+		benchDirectMailFanout(b, 32, 8, true)
+	})
+}

@@ -53,6 +53,12 @@ type daemonConfig struct {
 	// shards one exchange repairs concurrently (0 = default).
 	shardVector        bool
 	shardRepairWorkers int
+	// outboxWorkers sizes the asynchronous outbound mail engine's worker
+	// pool (0 = default, negative = serial direct mail); outboxQueue
+	// bounds each per-peer send queue before drop-oldest kicks in
+	// (0 = default).
+	outboxWorkers int
+	outboxQueue   int
 	// traceRing enables hop-provenance tracing when > 0: the node retains
 	// that many spans for the TRACE verb and /trace admin route.
 	traceRing int
@@ -190,6 +196,7 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 			ReactivateDormant: true,
 		},
 		DirectMailOnUpdate: cfg.mail,
+		Outbox:             epidemic.OutboxConfig{Workers: cfg.outboxWorkers, QueuePerPeer: cfg.outboxQueue},
 		Redistribution:     epidemic.RedistributeRumor,
 		Tau1:               cfg.tau1.Nanoseconds(),
 		Tau2:               cfg.tau2.Nanoseconds(),

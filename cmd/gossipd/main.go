@@ -36,6 +36,17 @@
 // epidemic_wire_* metrics expose per-codec session/message counts and the
 // UDP push/retry/fallback counters.
 //
+// Outbound mail: direct-mailed updates ride an asynchronous per-peer
+// send-queue engine — SET/DEL return after an enqueue, workers fan out to
+// all peers in parallel, and back-to-back writes to one key coalesce to
+// the newest stamp. -outbox-workers sizes the pool (negative restores
+// serial mail), -outbox-queue bounds each peer's queue (overflow drops
+// the oldest entry, the paper's lossy-mail queue in §1.2). Peers on codec
+// v5 receive a whole drain as one batched frame; older peers get
+// per-entry mail transparently. The epidemic_outbox_* metrics and the
+// STATSJSON outbox_* fields expose enqueues, coalesced supersessions,
+// drops, batches, and current depth.
+//
 // Observability: -admin host:port serves /metrics (Prometheus text
 // format), /healthz (JSON), /cluster (this replica's gossip-borne view of
 // every site's health digest, plus convergence stalls), /events (recent
@@ -104,6 +115,8 @@ func main() {
 	flag.IntVar(&cfg.storeShards, "store-shards", 0, "replica store lock stripes, rounded up to a power of two (0 = default)")
 	flag.BoolVar(&cfg.shardVector, "shard-vector", true, "narrow anti-entropy to diverged store shards when the peer's codec and shard count allow it")
 	flag.IntVar(&cfg.shardRepairWorkers, "shard-repair-workers", 0, "diverged shards repaired concurrently per exchange (0 = default)")
+	flag.IntVar(&cfg.outboxWorkers, "outbox-workers", 0, "async outbound-mail worker pool size (0 = default, negative = serial direct mail)")
+	flag.IntVar(&cfg.outboxQueue, "outbox-queue", 0, "outbound-mail entries queued per peer before drop-oldest (0 = default)")
 	flag.IntVar(&cfg.traceRing, "trace-ring", 0, "hop-provenance spans retained for TRACE and /trace (0 = tracing disabled)")
 	flag.IntVar(&cfg.mutexProfileFraction, "mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off)")
 	flag.IntVar(&cfg.blockProfileRate, "block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns for /debug/pprof/block (0 = off)")

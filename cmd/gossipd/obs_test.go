@@ -98,6 +98,12 @@ func TestObsSmoke(t *testing.T) {
 		epidemic.MetricMailFailures,
 		epidemic.MetricUpdatePropagation,
 		epidemic.MetricEntriesReceived,
+		epidemic.MetricOutboxEnqueued,
+		epidemic.MetricOutboxCoalesced,
+		epidemic.MetricOutboxDropped,
+		epidemic.MetricOutboxBatches,
+		epidemic.MetricOutboxQueueDepth,
+		epidemic.MetricMailBatchesReceived,
 		epidemic.MetricWireDials,
 		epidemic.MetricWireReuses,
 		epidemic.MetricWireOpenConns,
@@ -105,6 +111,9 @@ func TestObsSmoke(t *testing.T) {
 		epidemic.MetricWireBytesReceived,
 		epidemic.MetricWireEntriesPerExchange,
 		epidemic.MetricWireBytesPerExchange,
+		epidemic.MetricWireMailBatches,
+		epidemic.MetricWireMailBatchEntries,
+		epidemic.MetricWireMailFallbackEntries,
 	}
 	for i, d := range daemons {
 		metrics := fetchAdmin(t, d.AdminAddr(), "/metrics")
@@ -148,6 +157,14 @@ func TestObsSmoke(t *testing.T) {
 		}
 		if i == 2 && stats.UpdatesAccepted < 1 {
 			t.Errorf("daemon %d: STATSJSON updates_accepted = %d", i, stats.UpdatesAccepted)
+		}
+		// The SET rode the async outbound engine: the originating daemon
+		// must show the enqueues and drained batches behind its mail.
+		if i == 2 && stats.OutboxEnqueued < 1 {
+			t.Errorf("daemon %d: STATSJSON outbox_enqueued = %d", i, stats.OutboxEnqueued)
+		}
+		if i == 2 && stats.OutboxBatches < 1 {
+			t.Errorf("daemon %d: STATSJSON outbox_batches = %d", i, stats.OutboxBatches)
 		}
 	}
 

@@ -92,6 +92,17 @@ type (
 	Peer = node.Peer
 	// LocalPeer is an in-process Peer with failure injection.
 	LocalPeer = node.LocalPeer
+	// OutboxConfig tunes the asynchronous outbound mail engine
+	// (NodeConfig.Outbox): worker count, per-peer queue bound, retry
+	// backoff, and the shutdown flush timeout. Workers < 0 restores
+	// serial direct mail.
+	OutboxConfig = node.OutboxConfig
+	// MailBatch is one outbound-queue drain: coalesced entries for a
+	// single peer, shipped in one frame when the peer supports it.
+	MailBatch = node.MailBatch
+	// BatchMailer is the optional Peer extension for delivering a whole
+	// MailBatch in one call (TCPPeer implements it on codec v5 sessions).
+	BatchMailer = node.BatchMailer
 
 	// Cluster is an in-memory cluster on a simulated clock.
 	Cluster = sim.Cluster
@@ -209,6 +220,12 @@ const (
 	MetricPeers               = obs.MetricPeers
 	MetricStoreKeys           = obs.MetricStoreKeys
 	MetricStoreShards         = obs.MetricStoreShards
+	MetricOutboxEnqueued      = obs.MetricOutboxEnqueued
+	MetricOutboxCoalesced     = obs.MetricOutboxCoalesced
+	MetricOutboxDropped       = obs.MetricOutboxDropped
+	MetricOutboxBatches       = obs.MetricOutboxBatches
+	MetricOutboxQueueDepth    = obs.MetricOutboxQueueDepth
+	MetricMailBatchesReceived = obs.MetricMailBatchesReceived
 	MetricTransportRequests   = obs.MetricTransportRequests
 	MetricTransportSeconds    = obs.MetricTransportSeconds
 	MetricExchangeSeconds     = obs.MetricExchangeSeconds
@@ -253,28 +270,31 @@ func BuildClusterStatus(self SiteID, now int64, digests []ClusterDigest, stalls 
 // Metric names registered by InstrumentWire for the client-side wire
 // protocol (connection pool and per-exchange traffic).
 const (
-	MetricWireDials              = obs.MetricWireDials
-	MetricWireRedials            = obs.MetricWireRedials
-	MetricWireReuses             = obs.MetricWireReuses
-	MetricWireOpenConns          = obs.MetricWireOpenConns
-	MetricWireBytesSent          = obs.MetricWireBytesSent
-	MetricWireBytesReceived      = obs.MetricWireBytesReceived
-	MetricWireExchanges          = obs.MetricWireExchanges
-	MetricWireEntriesPerExchange = obs.MetricWireEntriesPerExchange
-	MetricWireBytesPerExchange   = obs.MetricWireBytesPerExchange
-	MetricWireSessionsGob        = obs.MetricWireSessionsGob
-	MetricWireSessionsBinary     = obs.MetricWireSessionsBinary
-	MetricWireMsgsGob            = obs.MetricWireMsgsGob
-	MetricWireMsgsBinary         = obs.MetricWireMsgsBinary
-	MetricWireShardVecExchanges  = obs.MetricWireShardVecExchanges
-	MetricWireShardVecShards     = obs.MetricWireShardVecShards
-	MetricWireShardVecDowngrades = obs.MetricWireShardVecDowngrades
-	MetricWireUDPPushes          = obs.MetricWireUDPPushes
-	MetricWireUDPRetries         = obs.MetricWireUDPRetries
-	MetricWireUDPFallbacks       = obs.MetricWireUDPFallbacks
-	MetricWireUDPOversize        = obs.MetricWireUDPOversize
-	MetricWireUDPBytesSent       = obs.MetricWireUDPBytesSent
-	MetricWireUDPBytesReceived   = obs.MetricWireUDPBytesReceived
+	MetricWireDials               = obs.MetricWireDials
+	MetricWireRedials             = obs.MetricWireRedials
+	MetricWireReuses              = obs.MetricWireReuses
+	MetricWireOpenConns           = obs.MetricWireOpenConns
+	MetricWireBytesSent           = obs.MetricWireBytesSent
+	MetricWireBytesReceived       = obs.MetricWireBytesReceived
+	MetricWireExchanges           = obs.MetricWireExchanges
+	MetricWireEntriesPerExchange  = obs.MetricWireEntriesPerExchange
+	MetricWireBytesPerExchange    = obs.MetricWireBytesPerExchange
+	MetricWireSessionsGob         = obs.MetricWireSessionsGob
+	MetricWireSessionsBinary      = obs.MetricWireSessionsBinary
+	MetricWireMsgsGob             = obs.MetricWireMsgsGob
+	MetricWireMsgsBinary          = obs.MetricWireMsgsBinary
+	MetricWireShardVecExchanges   = obs.MetricWireShardVecExchanges
+	MetricWireShardVecShards      = obs.MetricWireShardVecShards
+	MetricWireShardVecDowngrades  = obs.MetricWireShardVecDowngrades
+	MetricWireMailBatches         = obs.MetricWireMailBatches
+	MetricWireMailBatchEntries    = obs.MetricWireMailBatchEntries
+	MetricWireMailFallbackEntries = obs.MetricWireMailFallbackEntries
+	MetricWireUDPPushes           = obs.MetricWireUDPPushes
+	MetricWireUDPRetries          = obs.MetricWireUDPRetries
+	MetricWireUDPFallbacks        = obs.MetricWireUDPFallbacks
+	MetricWireUDPOversize         = obs.MetricWireUDPOversize
+	MetricWireUDPBytesSent        = obs.MetricWireUDPBytesSent
+	MetricWireUDPBytesReceived    = obs.MetricWireUDPBytesReceived
 )
 
 // Exchange modes.

@@ -138,6 +138,27 @@ type ExchangeStats struct {
 	Reactivated []string
 }
 
+// RepairedKeys returns the deduplicated union of AppliedKeys and
+// Reactivated, preserving first-seen order — the key set §1.5's
+// redistribution policies act on after a conversation.
+func (st ExchangeStats) RepairedKeys() []string {
+	if len(st.AppliedKeys)+len(st.Reactivated) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(st.AppliedKeys)+len(st.Reactivated))
+	keys := make([]string, 0, len(st.AppliedKeys)+len(st.Reactivated))
+	for _, group := range [][]string{st.AppliedKeys, st.Reactivated} {
+		for _, k := range group {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 // Repair is one applied entry's provenance within an anti-entropy
 // conversation: the version Stamp landed on Site, shipped by Parent via
 // Mech. SenderHop is the hop count the version had at the sender

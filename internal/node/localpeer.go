@@ -146,6 +146,18 @@ func (p *LocalPeer) Mail(e store.Entry, hop trace.Hop) error {
 	return nil
 }
 
+// MailBatch implements BatchMailer. Each entry is delivered or lost
+// independently through the per-entry path, so loss injection keeps the
+// same semantics whether the sender batches or not.
+func (p *LocalPeer) MailBatch(b MailBatch) error {
+	for i, e := range b.Entries {
+		_ = p.Mail(e, hopAt(b.Hops, i)) // lost mail is a silent nil
+	}
+	return nil
+}
+
+var _ BatchMailer = (*LocalPeer)(nil)
+
 func (p *LocalPeer) isDown() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -69,6 +69,12 @@ type Config struct {
 	// DirectMailOnUpdate mails each locally accepted update to all peers
 	// immediately (§1.2). Rumor mongering makes this optional.
 	DirectMailOnUpdate bool
+	// Outbox tunes the asynchronous outbound mail engine that direct mail
+	// and RedistributeMail ride: Update/Delete enqueue in O(1) and a
+	// worker pool fans out in parallel. The zero value enables it with
+	// defaults; Workers < 0 disables it (serial blocking mail on the
+	// caller's goroutine, the deterministic mode the simulator uses).
+	Outbox OutboxConfig
 	// Redistribution is the action taken when anti-entropy repairs a
 	// missing update at either party (§1.5).
 	Redistribution core.Redistribution
@@ -118,6 +124,7 @@ type Node struct {
 	store  *store.Store
 	log    *slog.Logger
 	tracer *trace.Tracer // nil when tracing is disabled
+	outbox *outbox       // nil when Config.Outbox.Workers < 0 (serial mail)
 
 	// rounds counts protocol rounds (rumor + anti-entropy) for span
 	// stamping; atomic because daemons and handlers read it concurrently.
@@ -166,6 +173,21 @@ type Stats struct {
 	Redistributed int `json:"redistributed"`
 	// CertificatesExpired counts death certificates dropped by GC.
 	CertificatesExpired int `json:"certificates_expired"`
+	// Outbox engine counters (all zero when the engine is disabled):
+	// entries enqueued to peer send queues, enqueues absorbed by
+	// newest-stamp-wins coalescing, entries dropped (queue overflow,
+	// departed peers, shutdown), batches drained onto the wire, and the
+	// current queue depth across all peers.
+	OutboxEnqueued  int `json:"outbox_enqueued"`
+	OutboxCoalesced int `json:"outbox_coalesced"`
+	OutboxDropped   int `json:"outbox_dropped"`
+	OutboxBatches   int `json:"outbox_batches"`
+	OutboxDepth     int `json:"outbox_depth"`
+	// MailBatchesReceived counts batched mail frames applied by this
+	// replica; MailMaxQueuedNanos is the largest sender-side queueing
+	// delay reported by any of them (codec v5 telemetry).
+	MailBatchesReceived int   `json:"mail_batches_received"`
+	MailMaxQueuedNanos  int64 `json:"mail_max_queued_nanos"`
 }
 
 // New builds a stopped node; call Start to launch its daemons, or drive it
@@ -209,6 +231,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.TraceRing > 0 {
 		n.tracer = trace.NewTracer(cfg.Site, cfg.TraceRing)
+	}
+	if ocfg := cfg.Outbox.withDefaults(); ocfg.Workers > 0 {
+		n.outbox = newOutbox(ocfg, n)
 	}
 	if cfg.OnEvent != nil {
 		n.onEvent.Store(&cfg.OnEvent)
@@ -268,10 +293,13 @@ func (n *Node) Digests() *cluster.Directory { return n.cfg.Digests }
 // slice is copied.
 func (n *Node) SetPeers(peers []Peer) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.peers = make([]Peer, len(peers))
 	copy(n.peers, peers)
 	n.peerCum = nil
+	n.mu.Unlock()
+	if n.outbox != nil {
+		n.outbox.setPeers(peers)
+	}
 }
 
 // SetPeersWeighted replaces the peer set with the given relative selection
@@ -293,10 +321,13 @@ func (n *Node) SetPeersWeighted(peers []Peer, weights []float64) error {
 		cum[i] = run
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.peers = make([]Peer, len(peers))
 	copy(n.peers, peers)
 	n.peerCum = cum
+	n.mu.Unlock()
+	if n.outbox != nil {
+		n.outbox.setPeers(peers)
+	}
 	return nil
 }
 
@@ -312,8 +343,16 @@ func (n *Node) Peers() []Peer {
 // Stats returns a copy of the activity counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	s := n.stats
+	n.mu.Unlock()
+	if ox := n.outbox; ox != nil {
+		s.OutboxEnqueued = int(ox.enqueued.Load())
+		s.OutboxCoalesced = int(ox.coalesced.Load())
+		s.OutboxDropped = int(ox.dropped.Load())
+		s.OutboxBatches = int(ox.batches.Load())
+		s.OutboxDepth = ox.depth()
+	}
+	return s
 }
 
 // Update accepts a client write at this site and starts distributing it.
@@ -345,6 +384,8 @@ func (n *Node) Delete(key string) store.Entry {
 func (n *Node) Lookup(key string) (store.Value, bool) { return n.store.Lookup(key) }
 
 // distribute makes a fresh local entry hot and optionally direct-mails it.
+// With the outbox engine on, the mail cost is an O(1) enqueue per peer —
+// the caller never waits on the network (§1.2's queued mail).
 func (n *Node) distribute(e store.Entry) {
 	n.mu.Lock()
 	n.stats.UpdatesAccepted++
@@ -352,7 +393,10 @@ func (n *Node) distribute(e store.Entry) {
 	if n.activity != nil {
 		n.activity.Touch(e.Key)
 	}
-	peers := append([]Peer(nil), n.peers...)
+	var peers []Peer
+	if n.outbox == nil && n.cfg.DirectMailOnUpdate {
+		peers = append([]Peer(nil), n.peers...)
+	}
 	n.mu.Unlock()
 	n.tracer.RecordLocal(e.Key, e.Stamp, n.rounds.Load())
 	n.emit(Event{Kind: EventUpdate, Key: e.Key, Stamp: e.Stamp})
@@ -361,12 +405,22 @@ func (n *Node) distribute(e store.Entry) {
 		return
 	}
 	env := n.tracer.Envelope(e.Key, e.Stamp)
+	if n.outbox != nil {
+		n.outbox.enqueue(e, env)
+		return
+	}
+	n.mailSerial(peers, e, env)
+}
+
+// mailSerial is the engine-disabled mail path: post to every peer on the
+// caller's goroutine. Must be called without n.mu held.
+func (n *Node) mailSerial(peers []Peer, e store.Entry, env trace.Hop) {
 	sent, failed := 0, 0
 	for _, p := range peers {
 		if err := p.Mail(e, env); err != nil {
 			failed++
 			n.log.Warn("direct mail failed", "peer", int(p.ID()), "key", e.Key, "err", err)
-			n.emit(Event{Kind: EventMailFailed, Peer: p.ID()})
+			n.emit(Event{Kind: EventMailFailed, Peer: p.ID(), Count: 1})
 			continue
 		}
 		sent++
@@ -375,6 +429,33 @@ func (n *Node) distribute(e store.Entry) {
 	n.stats.MailSent += sent
 	n.stats.MailFailed += failed
 	n.mu.Unlock()
+}
+
+// noteMailResult records the outcome of one outbox drain: sent/failed
+// counters plus one EventMailFailed per failed peer batch (Count carries
+// the entries lost with it). Called from outbox workers without any locks
+// held.
+func (n *Node) noteMailResult(peer timestamp.SiteID, sent, failed int, err error) {
+	n.mu.Lock()
+	n.stats.MailSent += sent
+	n.stats.MailFailed += failed
+	n.mu.Unlock()
+	if failed > 0 {
+		n.log.Warn("direct mail batch failed", "peer", int(peer), "entries", failed, "err", err)
+		n.emit(Event{Kind: EventMailFailed, Peer: peer, Count: failed})
+	}
+}
+
+// FlushMail blocks until the outbound mail engine has drained every queue
+// and finished every in-flight send, or timeout elapses (<= 0 selects the
+// configured FlushTimeout). It reports whether the drain completed. With
+// the engine disabled (serial mail) there is nothing to wait for and it
+// returns true immediately.
+func (n *Node) FlushMail(timeout time.Duration) bool {
+	if n.outbox == nil {
+		return true
+	}
+	return n.outbox.flush(timeout)
 }
 
 // HandleMail is the receive side of PostMail: apply the update; a fresh
@@ -395,6 +476,22 @@ func (n *Node) HandleMail(e store.Entry, hop trace.Hop) {
 	}
 }
 
+// HandleMailBatch is the receive side of a batched mail frame: every entry
+// is applied exactly like HandleMail (fresh updates become hot rumors),
+// with the whole batch sharing one lock acquisition for the hot-list and
+// activity bookkeeping. needed[i] reports whether entry i changed this
+// replica. The batch's sender-side telemetry feeds the mail stats.
+func (n *Node) HandleMailBatch(b MailBatch) []bool {
+	needed := n.applyRumors(b.Entries, b.Hops, trace.MechDirectMail)
+	n.mu.Lock()
+	n.stats.MailBatchesReceived++
+	if b.QueuedNanos > n.stats.MailMaxQueuedNanos {
+		n.stats.MailMaxQueuedNanos = b.QueuedNanos
+	}
+	n.mu.Unlock()
+	return needed
+}
+
 // HandleRumors is the receive side of PushRumors: apply each entry, report
 // which were needed, and treat fresh ones as hot rumors here too ("the
 // recipient ... adds all new updates to its infective list", §1.4). hops
@@ -403,34 +500,51 @@ func (n *Node) HandleRumors(entries []store.Entry, hops []trace.Hop) []bool {
 	return n.applyRumors(entries, hops, trace.MechRumorPush)
 }
 
-// appliedRumor defers span and event emission until n.mu is released.
+// appliedRumor defers span and event emission until n.mu is released. It
+// carries only what those emissions need — copying whole entries (values,
+// retention lists) into the deferral list showed up as the dominant cost
+// of a 64-entry batch in profiles.
 type appliedRumor struct {
-	entry store.Entry
+	key   string
+	stamp timestamp.T
 	hop   trace.Hop
 	at    int64
 }
 
 func (n *Node) applyRumors(entries []store.Entry, hops []trace.Hop, mech trace.Mechanism) []bool {
 	needed := make([]bool, len(entries))
-	var applied []appliedRumor
+	// Typical batches fit the stack buffer; only oversized pushes pay a
+	// heap allocation for the deferral list.
+	var buf [64]appliedRumor
+	applied := buf[:0]
+	if len(entries) > len(buf) {
+		applied = make([]appliedRumor, 0, len(entries))
+	}
 	for i, e := range entries {
 		res := n.store.Apply(e)
 		needed[i] = res.Changed()
 		if res.Changed() {
-			n.mu.Lock()
-			n.hot.Add(e.Key, e.Stamp)
-			if n.activity != nil {
-				n.activity.Touch(e.Key)
-			}
-			n.mu.Unlock()
-			applied = append(applied, appliedRumor{entry: e, hop: hopAt(hops, i), at: n.store.Now()})
+			applied = append(applied, appliedRumor{key: e.Key, stamp: e.Stamp, hop: hopAt(hops, i), at: n.store.Now()})
 		}
 	}
+	if len(applied) > 0 {
+		// One lock acquisition for the whole batch: a 64-entry push used to
+		// take and release n.mu 64 times here, serializing against every
+		// concurrent Update and Stats call.
+		n.mu.Lock()
+		for i := range applied {
+			n.hot.Add(applied[i].key, applied[i].stamp)
+			if n.activity != nil {
+				n.activity.Touch(applied[i].key)
+			}
+		}
+		n.mu.Unlock()
+	}
 	round := n.rounds.Load()
-	for _, a := range applied {
-		e := a.entry
-		n.tracer.RecordApply(e.Key, e.Stamp, a.hop.Sender(), a.hop, mech, a.at, round)
-		n.emit(Event{Kind: EventApply, Key: e.Key, Stamp: e.Stamp})
+	for i := range applied {
+		a := &applied[i]
+		n.tracer.RecordApply(a.key, a.stamp, a.hop.Sender(), a.hop, mech, a.at, round)
+		n.emit(Event{Kind: EventApply, Key: a.key, Stamp: a.stamp})
 	}
 	return needed
 }
@@ -645,24 +759,27 @@ func (n *Node) StepAntiEntropy() error {
 }
 
 // redistributeRepaired applies §1.5's redistribution policy: an update the
-// exchange moved becomes a hot rumor again (or is re-mailed).
+// exchange moved becomes a hot rumor again (or is re-mailed). Bookkeeping
+// happens under n.mu but network sends never do: RedistributeMail entries
+// are collected under the lock and posted after it is released (through
+// the outbox when the engine is on), so a slow peer cannot wedge every
+// Stats/Update/pickPeer caller behind a redistribution in progress.
 func (n *Node) redistributeRepaired(st core.ExchangeStats) {
-	keys := make([]string, 0, len(st.AppliedKeys)+len(st.Reactivated))
-	keys = append(keys, st.AppliedKeys...)
-	keys = append(keys, st.Reactivated...)
+	keys := st.RepairedKeys()
 	if len(keys) == 0 {
 		return
 	}
+	type mailing struct {
+		entry store.Entry
+		env   trace.Hop
+	}
+	var outgoing []mailing
+	var peers []Peer
 	// After the exchange both replicas hold every repaired entry, so this
 	// node can redistribute all of them regardless of direction.
 	n.mu.Lock()
-	seen := make(map[string]bool, len(keys))
 	var done []string
 	for _, key := range keys {
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
 		e, ok := n.store.Get(key)
 		if !ok {
 			continue
@@ -671,19 +788,22 @@ func (n *Node) redistributeRepaired(st core.ExchangeStats) {
 		case core.RedistributeRumor:
 			n.hot.Add(key, e.Stamp)
 		case core.RedistributeMail:
-			env := n.tracer.Envelope(key, e.Stamp)
-			for _, p := range n.peers {
-				if err := p.Mail(e, env); err != nil {
-					n.stats.MailFailed++
-				} else {
-					n.stats.MailSent++
-				}
-			}
+			outgoing = append(outgoing, mailing{entry: e, env: n.tracer.Envelope(key, e.Stamp)})
 		}
 		n.stats.Redistributed++
 		done = append(done, key)
 	}
+	if len(outgoing) > 0 && n.outbox == nil {
+		peers = append([]Peer(nil), n.peers...)
+	}
 	n.mu.Unlock()
+	for _, m := range outgoing {
+		if n.outbox != nil {
+			n.outbox.enqueue(m.entry, m.env)
+			continue
+		}
+		n.mailSerial(peers, m.entry, m.env)
+	}
 	if len(done) > 0 {
 		n.emit(Event{Kind: EventRedistribute, Keys: done, Count: len(done)})
 	}
@@ -758,6 +878,11 @@ func (n *Node) Stop() {
 	if n.cfg.AntiEntropyEvery > 0 || n.cfg.RumorEvery > 0 ||
 		(n.cfg.SnapshotPath != "" && n.cfg.SnapshotEvery > 0) {
 		<-n.done
+	}
+	if n.outbox != nil {
+		// Graceful flush: drain queued mail within the configured budget,
+		// then drop what a backed-off peer still holds and stop the workers.
+		n.outbox.stop()
 	}
 	if n.cfg.SnapshotPath != "" {
 		_ = n.SaveSnapshot("") // best-effort final snapshot

@@ -73,6 +73,9 @@ func TestUpdateLookupLocal(t *testing.T) {
 func TestDirectMailDelivers(t *testing.T) {
 	a, b, _ := twoNodes(t, func(c *Config) { c.DirectMailOnUpdate = true })
 	a.Update("k", store.Value("v"))
+	if !a.FlushMail(0) { // Update only enqueues; wait for the outbox drain
+		t.Fatal("outbox flush timed out")
+	}
 	if v, ok := b.Lookup("k"); !ok || string(v) != "v" {
 		t.Fatalf("mail did not deliver: %q %v", v, ok)
 	}
@@ -228,6 +231,9 @@ func TestAntiEntropyRedistributesByMail(t *testing.T) {
 	if err := a.StepAntiEntropy(); err != nil {
 		t.Fatal(err)
 	}
+	if !a.FlushMail(0) { // redistribution mails through the outbox
+		t.Fatal("outbox flush timed out")
+	}
 	if a.Stats().MailSent == 0 {
 		t.Error("expected remailing")
 	}
@@ -334,6 +340,9 @@ func TestMailLoss(t *testing.T) {
 	lp.SetMailLoss(1) // drop everything
 	a.SetPeers([]Peer{lp})
 	a.Update("k", store.Value("v"))
+	if !a.FlushMail(0) { // make sure the drop happened, not just a queue
+		t.Fatal("outbox flush timed out")
+	}
 	if _, ok := b.Lookup("k"); ok {
 		t.Fatal("lossy mail delivered anyway")
 	}

@@ -29,6 +29,16 @@ const (
 	MetricStoreKeys           = "epidemic_store_keys"
 	MetricStoreShards         = "epidemic_store_shards"
 
+	// Outbound-engine names: the per-peer send-queue machinery direct mail
+	// rides (enqueues, coalesced supersessions, overflow/shutdown drops,
+	// drained batches, current depth) plus the receive-side batch counter.
+	MetricOutboxEnqueued      = "epidemic_outbox_enqueued_total"
+	MetricOutboxCoalesced     = "epidemic_outbox_coalesced_total"
+	MetricOutboxDropped       = "epidemic_outbox_dropped_total"
+	MetricOutboxBatches       = "epidemic_outbox_batches_total"
+	MetricOutboxQueueDepth    = "epidemic_outbox_queue_depth"
+	MetricMailBatchesReceived = "epidemic_mail_batches_received_total"
+
 	// Transport-side names, fed from transport.Server.SetObserver by the
 	// daemon (the kind label carries the request kind: mail, push-rumors,
 	// pull-rumors, sync, full-sync, checksum).
@@ -110,6 +120,18 @@ func InstrumentNode(reg *Registry, n *node.Node, opts ObserveOptions) func(node.
 		func(s node.Stats) int { return s.Redistributed })
 	counter(MetricCertificatesExpired, "Death certificates dropped by GC (§2.1).",
 		func(s node.Stats) int { return s.CertificatesExpired })
+	counter(MetricOutboxEnqueued, "Entries enqueued to per-peer outbound mail queues.",
+		func(s node.Stats) int { return s.OutboxEnqueued })
+	counter(MetricOutboxCoalesced, "Outbox enqueues absorbed by newest-stamp-wins coalescing.",
+		func(s node.Stats) int { return s.OutboxCoalesced })
+	counter(MetricOutboxDropped, "Outbox entries dropped (queue overflow, departed peers, shutdown).",
+		func(s node.Stats) int { return s.OutboxDropped })
+	counter(MetricOutboxBatches, "Outbox drains posted to peers (batched or per-entry).",
+		func(s node.Stats) int { return s.OutboxBatches })
+	counter(MetricMailBatchesReceived, "Batched mail frames applied by this replica.",
+		func(s node.Stats) int { return s.MailBatchesReceived })
+	reg.GaugeFunc(MetricOutboxQueueDepth, "Entries currently queued in the outbound mail engine across all peers.",
+		func() float64 { return float64(n.Stats().OutboxDepth) }, labels...)
 
 	reg.GaugeFunc(MetricHotRumors, "Updates currently on the hot-rumor (infective) list.",
 		func() float64 { return float64(len(n.HotEntries())) }, labels...)

@@ -30,6 +30,12 @@ const (
 	MetricWireShardVecShards     = "epidemic_wire_shardvec_shards_total"
 	MetricWireShardVecDowngrades = "epidemic_wire_shardvec_downgrades_total"
 
+	// Batched mail (codec v5): outbox drains shipped as one frame, entries
+	// they carried, entries degraded to per-entry mail on pre-v5 peers.
+	MetricWireMailBatches         = "epidemic_wire_mail_batches_total"
+	MetricWireMailBatchEntries    = "epidemic_wire_mail_batch_entries_total"
+	MetricWireMailFallbackEntries = "epidemic_wire_mail_fallback_entries_total"
+
 	// UDP rumor fast path (transport/udp.go).
 	MetricWireUDPPushes        = "epidemic_wire_udp_pushes_total"
 	MetricWireUDPRetries       = "epidemic_wire_udp_retries_total"
@@ -84,6 +90,12 @@ func InstrumentWire(reg *Registry, ws *transport.WireStats) {
 		func(s transport.WireSnapshot) int64 { return s.ShardVecShards })
 	counter(MetricWireShardVecDowngrades, "Shard-vector attempts that fell back to the global peel-back walk.",
 		func(s transport.WireSnapshot) int64 { return s.ShardVecDowngrades })
+	counter(MetricWireMailBatches, "Outbox drains shipped as single batched mail frames.",
+		func(s transport.WireSnapshot) int64 { return s.MailBatches })
+	counter(MetricWireMailBatchEntries, "Mail entries carried by batched mail frames.",
+		func(s transport.WireSnapshot) int64 { return s.MailBatchEntries })
+	counter(MetricWireMailFallbackEntries, "Mail entries degraded to per-entry round trips on pre-v5 peers.",
+		func(s transport.WireSnapshot) int64 { return s.MailFallbackEntries })
 	counter(MetricWireUDPPushes, "Rumor pushes completed over the UDP fast path.",
 		func(s transport.WireSnapshot) int64 { return s.UDPPushes })
 	counter(MetricWireUDPRetries, "UDP rumor datagrams resent after a response timeout.",

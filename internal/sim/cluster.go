@@ -35,6 +35,11 @@ type ClusterConfig struct {
 	DirectMailOnUpdate bool
 	// MailLoss is the probability that any direct-mailed update is lost.
 	MailLoss float64
+	// OutboxWorkers, when > 0, runs every node's asynchronous outbound
+	// mail engine with that many workers; tests must then FlushMail
+	// before asserting on delivery. 0 (the default) keeps mail serial so
+	// cycles stay deterministic under the simulated clock.
+	OutboxWorkers int
 	// Network, when set, places the replicas on a topology (it must have
 	// exactly N sites) and weights every node's peer selection by the
 	// spatial distribution SpatialForm with exponent SpatialA (§3) —
@@ -103,6 +108,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			c.digests[i] = cluster.NewDirectory(int32(i), 0)
 		}
 	}
+	outboxWorkers := cfg.OutboxWorkers
+	if outboxWorkers <= 0 {
+		outboxWorkers = -1 // serial mail: deterministic simulated cycles
+	}
 	for i := 0; i < cfg.N; i++ {
 		site := timestamp.SiteID(i)
 		var dir *cluster.Directory
@@ -119,6 +128,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Tau2:               cfg.Tau2,
 			RetentionCount:     cfg.RetentionCount,
 			DirectMailOnUpdate: cfg.DirectMailOnUpdate,
+			Outbox:             node.OutboxConfig{Workers: outboxWorkers},
 			StoreShards:        cfg.StoreShards,
 			TraceRing:          cfg.TraceRing,
 			Digests:            dir,
@@ -248,6 +258,19 @@ func (c *Cluster) SetPartition(site int, down bool) {
 			}
 		}
 	}
+}
+
+// FlushMail drains every node's outbound mail engine, reporting whether
+// all drains completed. A no-op (true) for the default serial
+// configuration (OutboxWorkers == 0).
+func (c *Cluster) FlushMail() bool {
+	ok := true
+	for _, n := range c.nodes {
+		if !n.FlushMail(0) {
+			ok = false
+		}
+	}
+	return ok
 }
 
 // StepRumor runs one rumor-mongering cycle: every node executes StepRumor
@@ -386,6 +409,12 @@ func (c *Cluster) TotalStats() node.Stats {
 		total.FullCompares += s.FullCompares
 		total.Redistributed += s.Redistributed
 		total.CertificatesExpired += s.CertificatesExpired
+		total.OutboxEnqueued += s.OutboxEnqueued
+		total.OutboxCoalesced += s.OutboxCoalesced
+		total.OutboxDropped += s.OutboxDropped
+		total.OutboxBatches += s.OutboxBatches
+		total.OutboxDepth += s.OutboxDepth
+		total.MailBatchesReceived += s.MailBatchesReceived
 	}
 	return total
 }

@@ -147,6 +147,39 @@ func TestDirectMailWithLossThenRepair(t *testing.T) {
 	}
 }
 
+func TestAsyncOutboxDirectMailConverges(t *testing.T) {
+	// With OutboxWorkers > 0 every node mails through the async engine:
+	// Update returns after an enqueue, so the test must FlushMail before
+	// counting deliveries. LocalPeer batches deliver per-entry, so loss
+	// and trace semantics are unchanged.
+	c := newTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.DirectMailOnUpdate = true
+		cfg.OutboxWorkers = 4
+	})
+	for i := 0; i < 4; i++ {
+		c.Node(i).Update(fmt.Sprintf("k%d", i), store.Value("v"))
+	}
+	if !c.FlushMail() {
+		t.Fatal("outbox flush timed out")
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got := c.CountWithValue(key, "v"); got != c.N() {
+			t.Errorf("%s: %d/%d nodes after flush", key, got, c.N())
+		}
+	}
+	stats := c.TotalStats()
+	if stats.OutboxEnqueued == 0 {
+		t.Error("no outbox enqueues recorded")
+	}
+	if stats.OutboxBatches == 0 {
+		t.Error("no outbox batches recorded")
+	}
+	if stats.OutboxDepth != 0 {
+		t.Errorf("outbox depth %d after flush", stats.OutboxDepth)
+	}
+}
+
 func TestStepGCDropsCertificates(t *testing.T) {
 	c := newTestCluster(t, func(cfg *ClusterConfig) {
 		cfg.Tau1 = 5

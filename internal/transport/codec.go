@@ -29,16 +29,17 @@ const (
 	codecBinary       = 2 // this file's hand-rolled payloads
 	codecBinaryDigest = 3 // binary payloads + trailing cluster-digest section
 	codecBinaryShard  = 4 // v3 + trailing shard-vector section and shard-scoped peel requests
+	codecBinaryMail   = 5 // v4 + batched mail requests and their trailing telemetry section
 )
 
 // codecName names a negotiated codec for logs, flags, and metric labels.
-// All binary versions report "binary": v3/v4 are the same framing plus
+// All binary versions report "binary": v3/v4/v5 are the same framing plus
 // trailing sections, and the metrics only distinguish gob from binary.
 func codecName(c byte) string {
 	switch c {
 	case codecGob:
 		return "gob"
-	case codecBinary, codecBinaryDigest, codecBinaryShard:
+	case codecBinary, codecBinaryDigest, codecBinaryShard, codecBinaryMail:
 		return "binary"
 	default:
 		return "unknown"
@@ -47,10 +48,13 @@ func codecName(c byte) string {
 
 // codecHasDigests reports whether frames of codec c carry the trailing
 // cluster-digest section; codecHasShards whether they additionally carry
-// the shard-vector section. Session-level properties fixed by the
-// handshake, never guessed from a payload.
+// the shard-vector section; codecHasMail whether requests additionally
+// carry the mail-batch telemetry section (and the session may ship
+// reqMailBatch frames). Session-level properties fixed by the handshake,
+// never guessed from a payload.
 func codecHasDigests(c byte) bool { return c >= codecBinaryDigest }
 func codecHasShards(c byte) bool  { return c >= codecBinaryShard }
+func codecHasMail(c byte) bool    { return c >= codecBinaryMail }
 
 // stampWireLen is the fixed wire size of one timestamp.T: 8-byte Time,
 // 4-byte Site, 4-byte Seq, all big-endian.
@@ -203,6 +207,13 @@ func appendRequest(b []byte, req *request, codec byte) []byte {
 		b = appendVarint(b, int64(req.Shard))
 		b = appendVarint(b, int64(req.ShardCount))
 		b = appendVector(b, req.Vector)
+	}
+	if codecHasMail(codec) {
+		// Mail-batch telemetry: two varints on every request (zero outside
+		// reqMailBatch, so non-mail traffic pays two bytes). Responses gain
+		// no v5 section.
+		b = appendVarint(b, req.MailQueuedNanos)
+		b = appendVarint(b, req.MailCoalesced)
 	}
 	return b
 }
@@ -536,6 +547,11 @@ func decodeRequest(payload []byte, req *request, codec byte) error {
 		req.Shard = int(r.varint())
 		req.ShardCount = int(r.varint())
 		req.Vector = r.vector()
+	}
+	req.MailQueuedNanos, req.MailCoalesced = 0, 0
+	if codecHasMail(codec) {
+		req.MailQueuedNanos = r.varint()
+		req.MailCoalesced = r.varint()
 	}
 	return r.finish()
 }

@@ -273,13 +273,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	for _, resp := range shardResponses() {
 		f.Add(appendResponse(nil, &resp, codecBinaryShard))
 	}
+	// And valid v5 frames: mail batches with their telemetry section.
+	for _, req := range mailRequests() {
+		f.Add(appendRequest(nil, &req, codecBinaryMail))
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		// Every payload is tried under both the v2 and v4 framings: the same
-		// bytes mean different things per negotiated codec, and both decoders
+		// Every payload is tried under the v2, v4 and v5 framings: the same
+		// bytes mean different things per negotiated codec, and every decoder
 		// must stay panic-free, typed on error, and self-inverse on success.
-		for _, codec := range []byte{codecBinary, codecBinaryShard} {
+		for _, codec := range []byte{codecBinary, codecBinaryShard, codecBinaryMail} {
 			var req request
 			if err := decodeRequest(payload, &req, codec); err == nil {
 				re := appendRequest(nil, &req, codec)
@@ -318,7 +322,7 @@ func FuzzDecodeFrame(f *testing.F) {
 func TestCodecNames(t *testing.T) {
 	if codecName(codecGob) != "gob" || codecName(codecBinary) != "binary" ||
 		codecName(codecBinaryDigest) != "binary" || codecName(codecBinaryShard) != "binary" ||
-		codecName(0) != "unknown" {
+		codecName(codecBinaryMail) != "binary" || codecName(0) != "unknown" {
 		t.Error("codecName vocabulary changed")
 	}
 	for _, tc := range []struct {
@@ -327,10 +331,11 @@ func TestCodecNames(t *testing.T) {
 		legacy bool
 		ok     bool
 	}{
-		{"", codecBinaryShard, false, true},
-		{"binary", codecBinaryShard, false, true},
+		{"", codecBinaryMail, false, true},
+		{"binary", codecBinaryMail, false, true},
 		{"binary-v2", codecBinary, false, true},
 		{"binary-v3", codecBinaryDigest, false, true},
+		{"binary-v4", codecBinaryShard, false, true},
 		{"gob", codecGob, false, true},
 		{"legacy", codecGob, true, true},
 		{"protobuf", 0, false, false},

@@ -99,7 +99,7 @@ type session struct {
 	conn  net.Conn
 	br    *bufio.Reader
 	bw    *bufio.Writer
-	codec byte // codecGob .. codecBinaryShard; fixed after the handshake
+	codec byte // codecGob .. codecBinaryMail; fixed after the handshake
 
 	// Gob machinery, built lazily so binary sessions never pay for it.
 	enc    *gob.Encoder
@@ -147,7 +147,7 @@ func (s *session) clientHandshake(prefer byte, deadline time.Time) error {
 	if err != nil {
 		return fmt.Errorf("transport: read codec choice: %w", err)
 	}
-	if chosen < codecGob || chosen > codecBinaryShard || chosen > prefer {
+	if chosen < codecGob || chosen > codecBinaryMail || chosen > prefer {
 		return fmt.Errorf("transport: server chose unexpected codec %d: %w", chosen, ErrFrameGarbage)
 	}
 	s.codec = chosen
@@ -183,8 +183,8 @@ func (s *session) serverHandshake(maxCodec byte) error {
 	if chosen < codecGob {
 		chosen = codecGob
 	}
-	if chosen > codecBinaryShard {
-		chosen = codecBinaryShard
+	if chosen > codecBinaryMail {
+		chosen = codecBinaryMail
 	}
 	if err := s.bw.WriteByte(chosen); err != nil {
 		return fmt.Errorf("transport: answer codec hello: %w", err)
@@ -207,6 +207,10 @@ func (s *session) withDigests() bool { return codecHasDigests(s.codec) }
 // shard-vector section and the peer understands the shard-scoped request
 // kinds (codecBinaryShard and up).
 func (s *session) withShards() bool { return codecHasShards(s.codec) }
+
+// withMail reports whether this session may carry batched mail requests
+// and their trailing telemetry section (codecBinaryMail and up).
+func (s *session) withMail() bool { return codecHasMail(s.codec) }
 
 // writeRequest ships req as one frame in the session's codec.
 func (s *session) writeRequest(req *request) error {

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"epidemic/internal/obs/trace"
+	"epidemic/internal/store"
+	"epidemic/internal/timestamp"
+)
+
+// mailRequests are field shapes specific to the codec-v5 mail section:
+// batched mail with engine telemetry, and the zero section every other
+// kind carries on a v5 session.
+func mailRequests() []request {
+	return []request{
+		{
+			Kind: reqMailBatch,
+			Entries: []store.Entry{
+				{Key: "a", Value: store.Value("1"), Stamp: timestamp.T{Time: 1, Site: 1}},
+				{Key: "b", Value: nil, Stamp: timestamp.T{Time: 2, Site: 1, Seq: 3}},
+			},
+			Hops:            []trace.Hop{{Parent: 1, Count: 2, Valid: true}, {}},
+			MailQueuedNanos: 1 << 40,
+			MailCoalesced:   7,
+		},
+		{Kind: reqMailBatch, MailQueuedNanos: -1, MailCoalesced: 0},
+		{Kind: reqChecksum, Tau1: 42}, // empty mail section on v5
+	}
+}
+
+// TestCodecMailRoundTrip runs the mail shapes plus the whole pre-v5 table
+// through a codecBinaryMail session encode/decode.
+func TestCodecMailRoundTrip(t *testing.T) {
+	all := append(mailRequests(), append(shardRequests(), codecRequests()...)...)
+	for i, req := range all {
+		payload := appendRequest(nil, &req, codecBinaryMail)
+		got := request{MailQueuedNanos: 99, MailCoalesced: 99}
+		if err := decodeRequest(payload, &got, codecBinaryMail); err != nil {
+			t.Fatalf("request case %d: decode: %v", i, err)
+		}
+		want := req
+		normalizeShardReq(&want)
+		normalizeShardReq(&got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("request case %d: round trip\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	// Responses gain no v5 section; the whole table must still round-trip
+	// on a v5 session.
+	for i, resp := range append(shardResponses(), codecResponses()...) {
+		payload := appendResponse(nil, &resp, codecBinaryMail)
+		var got response
+		if err := decodeResponse(payload, &got, codecBinaryMail); err != nil {
+			t.Fatalf("response case %d: decode: %v", i, err)
+		}
+		want := resp
+		normalizeShardResp(&want)
+		normalizeShardResp(&got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("response case %d: round trip\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestCodecMailSectionGatedByVersion pins the downgrade semantics: a pre-v5
+// encode drops the telemetry fields (they never reach an old peer), and a
+// pre-v5 frame decoded as such leaves them zero even in a dirty target.
+func TestCodecMailSectionGatedByVersion(t *testing.T) {
+	req := mailRequests()[0]
+	for _, codec := range []byte{codecBinary, codecBinaryDigest, codecBinaryShard} {
+		payload := appendRequest(nil, &req, codec)
+		got := request{MailQueuedNanos: 99, MailCoalesced: 99}
+		if err := decodeRequest(payload, &got, codec); err != nil {
+			t.Fatalf("codec %d: decode: %v", codec, err)
+		}
+		if got.MailQueuedNanos != 0 || got.MailCoalesced != 0 {
+			t.Errorf("codec %d: mail section leaked through: %+v", codec, got)
+		}
+	}
+}
+
+// TestCodecMailTruncationEveryPrefix chops v5 payloads at every length:
+// typed errors only, never a panic or a false success.
+func TestCodecMailTruncationEveryPrefix(t *testing.T) {
+	for i, req := range mailRequests() {
+		payload := appendRequest(nil, &req, codecBinaryMail)
+		for n := 0; n < len(payload); n++ {
+			var got request
+			err := decodeRequest(payload[:n], &got, codecBinaryMail)
+			if err == nil {
+				t.Fatalf("case %d: decode of %d/%d-byte prefix succeeded", i, n, len(payload))
+			}
+			if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrFrameGarbage) {
+				t.Fatalf("case %d: prefix %d: untyped error %v", i, n, err)
+			}
+		}
+	}
+}
+
+// TestCodecMailBatchForgedEntryCount hand-builds a v5 mail-batch frame
+// whose entry count promises far more entries than the frame holds; the
+// count-vs-remaining check must refuse it before allocating.
+func TestCodecMailBatchForgedEntryCount(t *testing.T) {
+	var b []byte
+	b = append(b, byte(reqMailBatch))
+	b = appendUint32(b, 1)
+	b = appendUint64(b, 0)
+	b = appendVarint(b, 0) // Now
+	b = appendVarint(b, 0) // Tau
+	b = appendVarint(b, 0) // Tau1
+	b = appendStamp(b, timestamp.T{})
+	b = appendVarint(b, 0)      // Limit
+	b = appendUvarint(b, 1<<40) // forged entry count
+	var got request
+	if err := decodeRequest(b, &got, codecBinaryMail); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("forged mail-batch entry count: err = %v, want ErrTruncatedFrame", err)
+	}
+}

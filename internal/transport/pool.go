@@ -28,6 +28,11 @@ type WireStats struct {
 	// attempts that fell back to the global peel walk.
 	shardVecExchanges, shardVecShards, shardVecDowngrades atomic.Int64
 
+	// Batched-mail accounting (codec v5): outbox drains shipped as one
+	// reqMailBatch frame, the entries they carried, and entries that fell
+	// back to per-entry round trips against pre-v5 peers.
+	mailBatches, mailBatchEntries, mailFallbackEntries atomic.Int64
+
 	// UDP fast-path accounting (see udp.go).
 	udpPushes, udpRetries, udpFallbacks, udpOversize atomic.Int64
 	udpBytesSent, udpBytesReceived                   atomic.Int64
@@ -69,6 +74,12 @@ type WireSnapshot struct {
 	ShardVecExchanges  int64 `json:"shardvec_exchanges"`
 	ShardVecShards     int64 `json:"shardvec_shards"`
 	ShardVecDowngrades int64 `json:"shardvec_downgrades"`
+	// Batched-mail counters: outbox drains shipped as single mail-batch
+	// frames, the entries those frames carried, and entries that degraded
+	// to per-entry round trips against pre-v5 peers.
+	MailBatches         int64 `json:"mail_batches"`
+	MailBatchEntries    int64 `json:"mail_batch_entries"`
+	MailFallbackEntries int64 `json:"mail_fallback_entries"`
 	// UDP fast-path counters: pushes completed over UDP, datagram retries,
 	// pushes that fell back to pooled TCP, pushes skipped as over the
 	// datagram budget, and raw datagram traffic.
@@ -86,26 +97,29 @@ func (w *WireStats) Snapshot() WireSnapshot {
 		return WireSnapshot{}
 	}
 	return WireSnapshot{
-		Dials:              w.dials.Load(),
-		Redials:            w.redials.Load(),
-		Reuses:             w.reuses.Load(),
-		OpenConns:          w.open.Load(),
-		BytesSent:          w.bytesSent.Load(),
-		BytesReceived:      w.bytesReceived.Load(),
-		Exchanges:          w.exchanges.Load(),
-		SessionsGob:        w.sessionsGob.Load(),
-		SessionsBinary:     w.sessionsBinary.Load(),
-		MsgsGob:            w.msgsGob.Load(),
-		MsgsBinary:         w.msgsBinary.Load(),
-		ShardVecExchanges:  w.shardVecExchanges.Load(),
-		ShardVecShards:     w.shardVecShards.Load(),
-		ShardVecDowngrades: w.shardVecDowngrades.Load(),
-		UDPPushes:          w.udpPushes.Load(),
-		UDPRetries:         w.udpRetries.Load(),
-		UDPFallbacks:       w.udpFallbacks.Load(),
-		UDPOversize:        w.udpOversize.Load(),
-		UDPBytesSent:       w.udpBytesSent.Load(),
-		UDPBytesReceived:   w.udpBytesReceived.Load(),
+		Dials:               w.dials.Load(),
+		Redials:             w.redials.Load(),
+		Reuses:              w.reuses.Load(),
+		OpenConns:           w.open.Load(),
+		BytesSent:           w.bytesSent.Load(),
+		BytesReceived:       w.bytesReceived.Load(),
+		Exchanges:           w.exchanges.Load(),
+		SessionsGob:         w.sessionsGob.Load(),
+		SessionsBinary:      w.sessionsBinary.Load(),
+		MsgsGob:             w.msgsGob.Load(),
+		MsgsBinary:          w.msgsBinary.Load(),
+		ShardVecExchanges:   w.shardVecExchanges.Load(),
+		ShardVecShards:      w.shardVecShards.Load(),
+		ShardVecDowngrades:  w.shardVecDowngrades.Load(),
+		MailBatches:         w.mailBatches.Load(),
+		MailBatchEntries:    w.mailBatchEntries.Load(),
+		MailFallbackEntries: w.mailFallbackEntries.Load(),
+		UDPPushes:           w.udpPushes.Load(),
+		UDPRetries:          w.udpRetries.Load(),
+		UDPFallbacks:        w.udpFallbacks.Load(),
+		UDPOversize:         w.udpOversize.Load(),
+		UDPBytesSent:        w.udpBytesSent.Load(),
+		UDPBytesReceived:    w.udpBytesReceived.Load(),
 	}
 }
 
@@ -190,6 +204,20 @@ func (w *WireStats) noteShardVecDowngrade() {
 	}
 }
 
+func (w *WireStats) noteMailBatch(entries int) {
+	if w == nil {
+		return
+	}
+	w.mailBatches.Add(1)
+	w.mailBatchEntries.Add(int64(entries))
+}
+
+func (w *WireStats) noteMailFallback(entries int) {
+	if w != nil {
+		w.mailFallbackEntries.Add(int64(entries))
+	}
+}
+
 func (w *WireStats) noteUDPPush() {
 	if w != nil {
 		w.udpPushes.Add(1)
@@ -264,6 +292,13 @@ type pool struct {
 // time it matters a handshake has happened.
 func (p *pool) shardCapable() bool {
 	return codecHasShards(byte(p.codec.Load()))
+}
+
+// mailCapable reports whether the last negotiated session codec supports
+// batched mail requests. False before the first dial; MailBatch primes the
+// pool with one per-entry round trip before trusting the answer.
+func (p *pool) mailCapable() bool {
+	return codecHasMail(byte(p.codec.Load()))
 }
 
 func newPool(addr string, size int, timeout time.Duration, prefer byte, legacy bool, stats *WireStats) *pool {

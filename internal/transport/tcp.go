@@ -38,6 +38,7 @@ const (
 	reqPeelBack      // one reverse-timestamp batch + checksum re-check (§1.3)
 	reqShardVector   // per-shard live-checksum vector swap (codec v4)
 	reqPeelBackShard // one shard-scoped peel batch + that shard's checksum (codec v4)
+	reqMailBatch     // one outbox drain: many mail entries in one frame (codec v5)
 )
 
 // kindName names a request kind for logs and metric labels.
@@ -61,6 +62,8 @@ func (k reqKind) kindName() string {
 		return "shard-vector"
 	case reqPeelBackShard:
 		return "peel-back-shard"
+	case reqMailBatch:
+		return "mail-batch"
 	default:
 		return "unknown"
 	}
@@ -99,6 +102,14 @@ type request struct {
 	Shard      int
 	ShardCount int
 	Vector     []uint64
+	// MailQueuedNanos and MailCoalesced are a reqMailBatch's sender-side
+	// outbox telemetry: the queueing age of the batch's oldest entry and
+	// the supersessions coalesced away while it queued. They ride the
+	// codec-v5 trailing section (two bytes on non-mail requests); pre-v5
+	// peers never receive reqMailBatch at all — the client falls back to
+	// per-entry reqMail.
+	MailQueuedNanos int64
+	MailCoalesced   int64
 }
 
 type response struct {
@@ -149,23 +160,26 @@ type ServerOptions struct {
 
 // parseCodec maps a codec flag value to the wire byte. legacy reports the
 // client-only mode that skips the hello for pre-negotiation servers. The
-// pinned "binary-v2"/"binary-v3" names cap negotiation at an older binary
-// version — rollout valves (and mixed-version test handles) for clusters
-// still carrying pre-digest or pre-shard-vector builds.
+// pinned "binary-v2"/"binary-v3"/"binary-v4" names cap negotiation at an
+// older binary version — rollout valves (and mixed-version test handles)
+// for clusters still carrying pre-digest, pre-shard-vector, or
+// pre-batched-mail builds.
 func parseCodec(name string) (codec byte, legacy bool, err error) {
 	switch name {
 	case "", "binary":
-		return codecBinaryShard, false, nil
+		return codecBinaryMail, false, nil
 	case "binary-v2":
 		return codecBinary, false, nil
 	case "binary-v3":
 		return codecBinaryDigest, false, nil
+	case "binary-v4":
+		return codecBinaryShard, false, nil
 	case "gob":
 		return codecGob, false, nil
 	case "legacy":
 		return codecGob, true, nil
 	default:
-		return 0, false, fmt.Errorf("transport: unknown codec %q (want binary, binary-v2, binary-v3, gob, or legacy)", name)
+		return 0, false, fmt.Errorf("transport: unknown codec %q (want binary, binary-v2, binary-v3, binary-v4, gob, or legacy)", name)
 	}
 }
 
@@ -397,6 +411,13 @@ func (s *Server) dispatch(req request) response {
 			s.node.HandleMail(e, hopAt(req.Hops, i))
 		}
 		return response{}
+	case reqMailBatch:
+		return response{Needed: s.node.HandleMailBatch(node.MailBatch{
+			Entries:     req.Entries,
+			Hops:        req.Hops,
+			QueuedNanos: req.MailQueuedNanos,
+			Coalesced:   int(req.MailCoalesced),
+		})}
 	case reqPushRumors:
 		return response{Needed: s.node.HandleRumors(req.Entries, req.Hops)}
 	case reqPullRumors:
@@ -533,10 +554,10 @@ type PeerOptions struct {
 	MaxPeelRounds int
 	// Codec selects the wire codec the peer asks for in the connection
 	// handshake: "" or "binary" (the hand-rolled codec, with negotiation
-	// falling back to gob against an old server), "binary-v2"/"binary-v3"
-	// (pin an older binary version), "gob" (negotiate but stick to gob),
-	// or "legacy" (send no hello at all — wire-compatible with
-	// pre-negotiation daemons).
+	// falling back to gob against an old server),
+	// "binary-v2"/"binary-v3"/"binary-v4" (pin an older binary version),
+	// "gob" (negotiate but stick to gob), or "legacy" (send no hello at
+	// all — wire-compatible with pre-negotiation daemons).
 	Codec string
 	// UDP enables the single-datagram fast path for rumor pushes (udp.go).
 	// Pushes that exceed the datagram budget, or that get no response
@@ -736,6 +757,57 @@ func (p *TCPPeer) Mail(e store.Entry, hop trace.Hop) error {
 		c.req.Hops = c.hopBuf[:1]
 	}
 	return p.call(c)
+}
+
+// MailBatch implements node.BatchMailer: one outbox drain rides one
+// reqMailBatch frame on a codec-v5 session. Against older peers the batch
+// transparently degrades to per-entry Mail round trips — negotiation
+// guarantees a pre-v5 server never sees the new request kind.
+func (p *TCPPeer) MailBatch(b node.MailBatch) error {
+	entries, hops := b.Entries, b.Hops
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) == 1 {
+		return p.Mail(entries[0], hopAt(hops, 0))
+	}
+	if !p.pool.mailCapable() {
+		// Before the first handshake the session codec is unknown (a fresh
+		// pool reports gob). One per-entry round trip both delivers the
+		// head and settles the codec; re-check before shipping the rest.
+		if err := p.Mail(entries[0], hopAt(hops, 0)); err != nil {
+			return err
+		}
+		entries = entries[1:]
+		if len(hops) > 0 {
+			hops = hops[1:]
+		}
+		if !p.pool.mailCapable() {
+			// Genuinely pre-v5 peer: per-entry fallback for the remainder.
+			p.opts.Stats.noteMailFallback(len(entries))
+			var first error
+			for i := range entries {
+				if err := p.Mail(entries[i], hopAt(hops, i)); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+	}
+	c := getWireCall()
+	defer putWireCall(c)
+	c.req = request{
+		Kind:            reqMailBatch,
+		Entries:         entries,
+		Hops:            hops,
+		MailQueuedNanos: b.QueuedNanos,
+		MailCoalesced:   int64(b.Coalesced),
+	}
+	if err := p.call(c); err != nil {
+		return err
+	}
+	p.opts.Stats.noteMailBatch(len(entries))
+	return nil
 }
 
 // PushRumors implements node.Peer. Small pushes try the UDP fast path
