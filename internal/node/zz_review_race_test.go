@@ -1,0 +1,31 @@
+package node
+
+import (
+	"testing"
+	"time"
+)
+
+// Review repro: setPeers mutates q.peer under ox.mu while a worker reads
+// q.peer after releasing ox.mu (sendBatch call).
+func TestReviewOutboxSetPeersRace(t *testing.T) {
+	n, err := New(Config{Site: 1, DirectMailOnUpdate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(Config{Site: 2, Outbox: OutboxConfig{Workers: -1}})
+	p := NewLocalPeer(b, 1)
+	n.SetPeers([]Peer{p})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			n.SetPeers([]Peer{NewLocalPeer(b, 1)})
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		n.Update("k", []byte("v"))
+	}
+	<-done
+	n.FlushMail(time.Second)
+	n.Stop()
+}
