@@ -53,10 +53,16 @@ check:
 	$(MAKE) bench-smoke
 
 # obs-smoke boots a 3-daemon gossipd cluster on ephemeral ports, scrapes
-# every replica's /metrics and /healthz, and fails on malformed Prometheus
-# exposition or missing metric families.
+# every replica's /metrics, /healthz, /events, /metrics/history and
+# /flight, then re-boots the cluster, kills one daemon, and fails unless
+# each survivor records exactly one stale-digest flight dump with
+# non-empty correlated sections. The verbose log and the flight dumps
+# land in $(SCRATCH) for CI artifact upload on failure.
 obs-smoke:
-	$(GO) test -race -run TestObsSmoke -count=1 ./cmd/gossipd
+	@mkdir -p $(SCRATCH)
+	FLIGHT_SMOKE_DIR=$(abspath $(SCRATCH))/flight-smoke \
+		$(GO) test -race -v -run 'TestObsSmoke|TestFlightDumpOnDaemonKill' -count=1 ./cmd/gossipd > $(SCRATCH)/obs-smoke.log 2>&1; \
+		status=$$?; cat $(SCRATCH)/obs-smoke.log; exit $$status
 
 # cluster-smoke boots a 3-daemon cluster with gossip-borne health digests,
 # waits for every replica's /cluster view to cover all three sites, kills

@@ -569,13 +569,34 @@ func BenchmarkMailLinkTraffic(b *testing.B) {
 // real TCP socket: a checksum-agreeing round trip, the steady state of a
 // healthy cluster. The pooled and dial-per-request variants differ only in
 // TCPPeerOptions, isolating the cost of connection setup and per-dial gob
-// type descriptors.
+// type descriptors. The serving node is instrumented and a history
+// sampler ticks over its registry for the whole measured loop, so
+// allocs/op also proves the telemetry pipeline (counters, histograms,
+// time-series capture) stays off the exchange path's allocation budget.
 func benchWireExchange(b *testing.B, opts epidemic.TCPPeerOptions) {
 	src := epidemic.NewSimulatedClock(1 << 30)
 	remote, err := epidemic.NewNode(epidemic.NodeConfig{Site: 2, Clock: src.ClockAt(2)})
 	if err != nil {
 		b.Fatal(err)
 	}
+	reg := epidemic.NewMetricsRegistry()
+	remote.SetOnEvent(epidemic.InstrumentNode(reg, remote, epidemic.ObserveOptions{
+		SecondsPerUnit: 1e-9,
+		WallTime:       true,
+	}))
+	sampler := epidemic.NewHistorySampler(reg, epidemic.HistoryConfig{
+		Step: time.Millisecond, Retention: time.Minute,
+	})
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		sampler.Run(stopSampler)
+	}()
+	defer func() {
+		close(stopSampler)
+		<-samplerDone
+	}()
 	srv, err := epidemic.ServeTCP(remote, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -10,17 +10,30 @@
 //	gossipctl -addr host1:8001,host2:8001,host3:8001 [-o tree|json|dot] trace <key>
 //	gossipctl -admin host:9001 metrics | health | status
 //	gossipctl -admin host:9001 [-interval 2s] watch
-//	gossipctl -admin host:9001 [-since cursor] events [n]
+//	gossipctl -admin host1:9001,host2:9001 [-interval 2s] top
+//	gossipctl -admin host:9001 [-since cursor] [-key k] events [n]
+//	gossipctl -admin host:9001 history [metric]
+//	gossipctl -admin host:9001 flight [name]
 //
 // Line-protocol verbs talk to the daemon's -client port; metrics, health,
-// status, watch and events fetch from its -admin HTTP endpoint. The
+// status, watch, top, events, history and flight fetch from its -admin
+// HTTP endpoint. The
 // status verb renders any one replica's gossip-borne view of the whole
 // cluster (/cluster) as a table — per-site digest age, uptime, store
 // size, checksum, hot-rumor count, anti-entropy latency quantiles and
 // last-anti-entropy time — followed by the convergence stalls that
 // replica detects (stale sites, stuck residue, persistent checksum
 // disagreement). watch redraws the same table every -interval until
-// interrupted. The wire verb returns the
+// interrupted. top federates /cluster from a comma-separated -admin list
+// into a live per-node dashboard: windowed rumor and exchange rates,
+// outbox depth and slope, anti-entropy latency quantiles, and sparkline
+// trends of residue and outbox depth from each node's retained telemetry
+// history (gossipd -history-step), redrawn every -interval. history
+// lists the retained metric time series, or one series' windowed points
+// with a metric name (/metrics/history). flight lists the daemon's
+// anomaly flight dumps (gossipd -flight-dir), or prints one raw dump by
+// name. events takes -key to filter records server-side to one key.
+// The wire verb returns the
 // daemon's client-side wire snapshot as one JSON object: connection-pool
 // counters (dials, redials, reuses, open_conns), framed traffic totals,
 // per-codec session and message counts from the binary/gob negotiation
@@ -66,7 +79,10 @@ type options struct {
 	// since, when >= 0, is the events cursor to resume from (the "next"
 	// field of a previous events reply).
 	since int64
-	// interval is the watch verb's refresh period.
+	// key, when non-empty, filters the events verb server-side to records
+	// touching that key.
+	key string
+	// interval is the watch and top verbs' refresh period.
 	interval time.Duration
 }
 
@@ -77,16 +93,27 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 5*time.Second, "request timeout")
 	flag.StringVar(&opts.output, "o", "tree", "trace output format: tree, json or dot")
 	flag.Int64Var(&opts.since, "since", -1, "events cursor to resume from (-1 = everything retained)")
-	flag.DurationVar(&opts.interval, "interval", 2*time.Second, "watch refresh period")
+	flag.StringVar(&opts.key, "key", "", "filter events to records touching this key")
+	flag.DurationVar(&opts.interval, "interval", 2*time.Second, "watch/top refresh period")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 1 && strings.ToLower(args[0]) == "watch" {
-		// watch owns the terminal until interrupted; it never returns output.
-		if err := runWatch(opts, os.Stdout, 0); err != nil {
-			fmt.Fprintln(os.Stderr, "gossipctl:", err)
-			os.Exit(1)
+	if len(args) == 1 {
+		// watch and top own the terminal until interrupted; they never
+		// return output.
+		switch strings.ToLower(args[0]) {
+		case "watch":
+			if err := runWatch(opts, os.Stdout, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipctl:", err)
+				os.Exit(1)
+			}
+			return
+		case "top":
+			if err := runTop(opts, os.Stdout, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipctl:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	out, err := run(opts, args)
 	if err != nil {
@@ -98,7 +125,7 @@ func main() {
 
 func run(opts options, args []string) (string, error) {
 	if len(args) == 0 {
-		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|trace|metrics|health|events|status|watch> [args...]")
+		return "", fmt.Errorf("usage: gossipctl [-addr host:port] [-admin host:port] <get|set|del|keys|members|stats|statsjson|wire|hot|snapshot|trace|metrics|health|events|history|status|watch|top|flight> [args...]")
 	}
 	switch strings.ToLower(args[0]) {
 	case "trace":
@@ -113,17 +140,32 @@ func run(opts options, args []string) (string, error) {
 			return "", fmt.Errorf("usage: watch")
 		}
 		return "", runWatch(opts, os.Stdout, 0)
+	case "top":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: top")
+		}
+		return "", runTop(opts, os.Stdout, 0)
+	case "flight":
+		return runFlight(opts, args[1:])
 	}
 	if path, err, ok := buildAdminPath(args); ok {
 		if err != nil {
 			return "", err
 		}
-		if opts.since >= 0 && strings.HasPrefix(path, "/events") {
-			sep := "?"
-			if strings.Contains(path, "?") {
-				sep = "&"
+		if strings.HasPrefix(path, "/events") {
+			appendParam := func(param string) {
+				sep := "?"
+				if strings.Contains(path, "?") {
+					sep = "&"
+				}
+				path += sep + param
 			}
-			path += sep + "since=" + strconv.FormatInt(opts.since, 10)
+			if opts.since >= 0 {
+				appendParam("since=" + strconv.FormatInt(opts.since, 10))
+			}
+			if opts.key != "" {
+				appendParam("key=" + url.QueryEscape(opts.key))
+			}
 		}
 		return fetchAdmin(opts.admin, path, opts.timeout)
 	}
@@ -264,6 +306,15 @@ func buildAdminPath(args []string) (path string, err error, ok bool) {
 			return "/events?n=" + url.QueryEscape(rest[0]), nil, true
 		default:
 			return "", fmt.Errorf("usage: events [n]"), true
+		}
+	case "history":
+		switch len(rest) {
+		case 0:
+			return "/metrics/history", nil, true
+		case 1:
+			return "/metrics/history?metric=" + url.QueryEscape(rest[0]), nil, true
+		default:
+			return "", fmt.Errorf("usage: history [metric]"), true
 		}
 	default:
 		return "", nil, false

@@ -57,6 +57,9 @@ func TestBuildAdminPath(t *testing.T) {
 		{args: []string{"health"}, want: "/healthz", wantOK: true},
 		{args: []string{"events"}, want: "/events", wantOK: true},
 		{args: []string{"events", "10"}, want: "/events?n=10", wantOK: true},
+		{args: []string{"history"}, want: "/metrics/history", wantOK: true},
+		{args: []string{"history", "epidemic_peers"}, want: "/metrics/history?metric=epidemic_peers", wantOK: true},
+		{args: []string{"history", "a", "b"}, wantOK: true, wantErr: true},
 		{args: []string{"metrics", "extra"}, wantOK: true, wantErr: true},
 		{args: []string{"events", "x"}, wantOK: true, wantErr: true},
 		{args: []string{"events", "1", "2"}, wantOK: true, wantErr: true},

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"epidemic"
+)
+
+// topRow is one node's slice of the dashboard: the /cluster reply fetched
+// from its admin endpoint, or the error that fetch produced.
+type topRow struct {
+	addr   string
+	status epidemic.ClusterStatusReply
+	err    error
+}
+
+// runTop drives the live dashboard: it federates /cluster from every
+// comma-separated -admin address (each reply carries the answering node's
+// own history-derived trends), renders one row per node, and redraws
+// every -interval. iterations bounds the frame count when > 0 (tests);
+// <= 0 runs until a fetch of every node fails or the process is
+// interrupted.
+func runTop(opts options, out io.Writer, iterations int) error {
+	addrs := splitList(opts.admin)
+	if len(addrs) == 0 {
+		return fmt.Errorf("top reads admin endpoints; set -admin host:port[,host:port...] (gossipd -admin)")
+	}
+	interval := opts.interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		rows := make([]topRow, 0, len(addrs))
+		alive := 0
+		for _, a := range addrs {
+			o := opts
+			o.admin = a
+			row := topRow{addr: a}
+			row.status, row.err = fetchStatus(o)
+			if row.err == nil {
+				alive++
+			}
+			rows = append(rows, row)
+		}
+		if alive == 0 {
+			return fmt.Errorf("every node failed; first error: %v", rows[0].err)
+		}
+		fmt.Fprint(out, "\033[H\033[2J") // cursor home + clear screen
+		renderTop(out, rows)
+	}
+	return nil
+}
+
+// renderTop formats one dashboard frame: a header and one row per node
+// with its windowed rates, queue depth and slope, exchange latency
+// quantiles, and sparkline trends from the node's retained time series.
+func renderTop(w io.Writer, rows []topRow) {
+	fmt.Fprintf(w, "gossip top — %d node(s)\n", len(rows))
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSITE\tSTATUS\tRUMOR/S\tAE/S\tOUTBOX\tSLOPE/S\tAE-P50\tAE-P99\tRESIDUE\tOUTBOX-TREND")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\t-\t-\n", r.addr)
+			continue
+		}
+		st := r.status
+		// The answering node's own exchange-latency summary rides its site
+		// row in the digest view.
+		var ae epidemic.ClusterLatencySummary
+		for _, s := range st.Sites {
+			if s.Site == st.Site {
+				ae = s.AntiEntropy
+			}
+		}
+		rumor, exch, depth, slope := "-", "-", "-", "-"
+		residueSpark, outboxSpark := "-", "-"
+		if t := st.Trends; t != nil {
+			rumor = fmt.Sprintf("%.1f", t.RumorRatePerSec)
+			exch = fmt.Sprintf("%.1f", t.ExchangeRatePerSec)
+			depth = fmt.Sprintf("%.0f", t.OutboxDepth)
+			slope = fmt.Sprintf("%+.1f", t.OutboxSlopePerSec)
+			residueSpark = sparkline(t.ResidueTrajectory)
+			outboxSpark = sparkline(t.OutboxTrajectory)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.addr, st.Site, st.Status, rumor, exch, depth, slope,
+			fmtQuantile(ae, ae.P50), fmtQuantile(ae, ae.P99),
+			residueSpark, outboxSpark)
+	}
+	tw.Flush()
+	for _, r := range rows {
+		if r.err != nil {
+			continue
+		}
+		for _, stall := range r.status.Stalls {
+			site := fmt.Sprintf("site %d", stall.Site)
+			if stall.Site == epidemic.StallClusterWide {
+				site = "cluster"
+			}
+			fmt.Fprintf(w, "stall @%s: %s %s — %s (%.1fs)\n",
+				r.addr, site, stall.Reason, stall.Detail, stall.AgeSeconds)
+		}
+	}
+}
+
+// sparkLevels are the eight block glyphs a trajectory maps onto.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a trajectory as block glyphs normalized to its own
+// min..max (a flat series renders at the lowest level).
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}
+
+// runFlight lists a daemon's flight dumps, or fetches one raw dump when a
+// name is given.
+func runFlight(opts options, rest []string) (string, error) {
+	switch len(rest) {
+	case 0:
+		body, err := fetchAdmin(opts.admin, "/flight", opts.timeout)
+		if err != nil {
+			return "", err
+		}
+		var list struct {
+			Dir   string                    `json:"dir"`
+			Dumps []epidemic.FlightDumpMeta `json:"dumps"`
+		}
+		if err := json.Unmarshal([]byte(body), &list); err != nil {
+			return "", fmt.Errorf("bad /flight reply: %w", err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "flight dir %s — %d dump(s)\n", list.Dir, len(list.Dumps))
+		tw := tabwriter.NewWriter(&sb, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "NAME\tREASON\tAT\tSIZE")
+		for _, m := range list.Dumps {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\n",
+				m.Name, m.Reason, time.Unix(0, m.At).UTC().Format(time.RFC3339), m.Size)
+		}
+		tw.Flush()
+		return strings.TrimRight(sb.String(), "\n"), nil
+	case 1:
+		return fetchAdmin(opts.admin, "/flight?name="+url.QueryEscape(rest[0]), opts.timeout)
+	default:
+		return "", fmt.Errorf("usage: flight [name]")
+	}
+}
+
+// splitList splits a comma-separated address list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

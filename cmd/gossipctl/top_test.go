@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"epidemic"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "-" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	got := sparkline([]float64{0, 1})
+	if got != "▁█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// Monotone input maps to non-decreasing glyph levels.
+	got = sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(got)
+	if len(runes) != 8 {
+		t.Fatalf("len = %d", len(runes))
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("levels decreased at %d: %q", i, got)
+		}
+	}
+}
+
+// clusterServer serves a canned /cluster reply for one fake node.
+func clusterServer(t *testing.T, st epidemic.ClusterStatusReply) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(st)
+	}))
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestRunTop federates two fake nodes — one with trends, one without and
+// one unreachable — and checks the dashboard rows.
+func TestRunTop(t *testing.T) {
+	withTrends := epidemic.ClusterStatusReply{
+		Site: 1, Status: "ok",
+		Sites: []epidemic.ClusterSiteStatus{{
+			Digest: epidemic.ClusterDigest{
+				Site:        1,
+				AntiEntropy: epidemic.ClusterLatencySummary{Count: 10, P50: 0.002, P99: 0.010},
+			},
+		}},
+		Trends: &epidemic.ClusterTrends{
+			WindowSeconds:      60,
+			RumorRatePerSec:    42.5,
+			ExchangeRatePerSec: 3.25,
+			OutboxDepth:        7,
+			OutboxSlopePerSec:  -0.5,
+			ResidueTrajectory:  []float64{1, 0.5, 0},
+			OutboxTrajectory:   []float64{0, 7},
+		},
+	}
+	bare := epidemic.ClusterStatusReply{Site: 2, Status: "degraded",
+		Stalls: []epidemic.ClusterStall{{Site: 3, Reason: "stale-digest", Detail: "no refresh", AgeSeconds: 9}}}
+
+	opts := testOpts("127.0.0.1:1",
+		clusterServer(t, withTrends)+","+clusterServer(t, bare)+",127.0.0.1:1")
+	var sb strings.Builder
+	if err := runTop(opts, &sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"3 node(s)",
+		"RUMOR/S", "OUTBOX-TREND",
+		"42.5", "3.2", "-0.5", "2.0ms", "10.0ms",
+		sparkline([]float64{1, 0.5, 0}),
+		"degraded",
+		"unreachable",
+		"stall", "stale-digest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every node down is an error, not an empty dashboard.
+	dead := testOpts("127.0.0.1:1", "127.0.0.1:1")
+	if err := runTop(dead, &sb, 1); err == nil {
+		t.Error("all-dead fleet accepted")
+	}
+	none := testOpts("127.0.0.1:1", "")
+	if err := runTop(none, &sb, 1); err == nil || !strings.Contains(err.Error(), "-admin") {
+		t.Errorf("missing -admin: %v", err)
+	}
+}
+
+// TestRunFlight covers the list table and the raw-dump fetch.
+func TestRunFlight(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/flight" {
+			http.NotFound(w, r)
+			return
+		}
+		if name := r.URL.Query().Get("name"); name != "" {
+			if name != "flight-1-0001-stale-digest.json" {
+				http.Error(w, "unknown dump", http.StatusNotFound)
+				return
+			}
+			fmt.Fprint(w, `{"reason":"stale-digest","sections":{}}`)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Dir   string                    `json:"dir"`
+			Dumps []epidemic.FlightDumpMeta `json:"dumps"`
+		}{"/tmp/flight", []epidemic.FlightDumpMeta{
+			{Name: "flight-1-0001-stale-digest.json", Reason: "stale-digest", At: 1700000000000000000, Size: 321},
+		}})
+	}))
+	defer srv.Close()
+	opts := testOpts("127.0.0.1:1", strings.TrimPrefix(srv.URL, "http://"))
+
+	out, err := run(opts, []string{"flight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/tmp/flight", "1 dump(s)", "NAME", "flight-1-0001-stale-digest.json", "stale-digest", "321"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight list missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = run(opts, []string{"flight", "flight-1-0001-stale-digest.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"reason":"stale-digest"`) {
+		t.Errorf("raw dump = %q", out)
+	}
+
+	if _, err := run(opts, []string{"flight", "a", "b"}); err == nil {
+		t.Error("flight with two args accepted")
+	}
+	if _, err := run(opts, []string{"flight", "nope.json"}); err == nil {
+		t.Error("unknown dump accepted")
+	}
+}
+
+// TestRunEventsKey checks -key splices the filter onto /events and
+// composes with -since and [n].
+func TestRunEventsKey(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/events" || r.URL.Query().Get("key") != "greeting" {
+			http.Error(w, "missing key filter", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, `{"events":[],"next":1}`)
+	}))
+	defer srv.Close()
+	opts := testOpts("127.0.0.1:1", strings.TrimPrefix(srv.URL, "http://"))
+	opts.key = "greeting"
+
+	if _, err := run(opts, []string{"events"}); err != nil {
+		t.Errorf("events -key: %v", err)
+	}
+	opts.since = 0
+	if _, err := run(opts, []string{"events", "5"}); err != nil {
+		t.Errorf("events -key -since n: %v", err)
+	}
+}

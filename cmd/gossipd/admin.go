@@ -26,12 +26,15 @@ type healthReply struct {
 }
 
 // startAdmin serves the observability endpoints on addr: /metrics
-// (Prometheus text format), /healthz (JSON liveness + topology summary,
-// "degraded" with reasons when the stall detector fires), /cluster (this
-// replica's whole-cluster digest view; 503 unless -cluster-digests),
-// /events (recent node events, newest last, ?n= to limit, ?since= for
-// incremental polls), /trace (this replica's hop spans, ?key= to filter;
-// 503 unless -trace-ring is set), and the standard /debug/pprof/*
+// (Prometheus text format), /metrics/history (retained metric time
+// series, ?metric=&window=&step=; 503 unless -history-step), /healthz
+// (JSON liveness + topology summary, "degraded" with reasons when the
+// stall detector fires), /cluster (this replica's whole-cluster digest
+// view; 503 unless -cluster-digests), /events (recent node events, newest
+// last, ?n= to limit, ?since= for incremental polls, ?key= to filter),
+// /trace (this replica's hop spans, ?key= to filter; 503 unless
+// -trace-ring is set), /flight (anomaly flight dumps, ?name= for one raw
+// dump; 503 unless -flight-dir), and the standard /debug/pprof/*
 // profiles. Handlers are mounted on a private mux, not
 // http.DefaultServeMux, so nothing else in the process leaks in.
 func (d *daemon) startAdmin(addr string) error {
@@ -44,6 +47,20 @@ func (d *daemon) startAdmin(addr string) error {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", d.reg.Handler())
 	mux.Handle("/events", d.ring.Handler())
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, req *http.Request) {
+		if d.history == nil {
+			http.Error(w, "history disabled (-history-step)", http.StatusServiceUnavailable)
+			return
+		}
+		d.history.Handler().ServeHTTP(w, req)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, req *http.Request) {
+		if d.flight == nil {
+			http.Error(w, "flight recorder disabled (-flight-dir)", http.StatusServiceUnavailable)
+			return
+		}
+		d.flight.Handler().ServeHTTP(w, req)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		n := d.node
 		reply := healthReply{

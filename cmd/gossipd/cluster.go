@@ -32,12 +32,18 @@ func (cfg daemonConfig) digestSettings() digestSettings {
 
 // digestCollector owns the daemon's periodic health-digest refresh: it
 // snapshots this replica into the digest directory, prunes departed sites,
-// runs the stall detector, and publishes the /cluster status.
+// runs the stall detector, and publishes the /cluster status. Stall
+// rising edges (via the edge tracker) increment the stall counter, append
+// a cluster-stall event, and trigger one flight dump per incident.
 type digestCollector struct {
-	d      *daemon
-	s      digestSettings
-	det    *epidemic.ClusterStallDetector
-	active map[string]bool // stall keys currently firing, for edge-triggered events
+	d     *daemon
+	s     digestSettings
+	det   *epidemic.ClusterStallDetector
+	edges *epidemic.ClusterEdgeTracker
+	// overflow is the outbox-overflow burst edge: true while drops are
+	// accumulating inside the look-back window, so a sustained burst
+	// triggers one dump, not one per collect tick.
+	overflow bool
 }
 
 func newDigestCollector(d *daemon, s digestSettings) *digestCollector {
@@ -50,7 +56,7 @@ func newDigestCollector(d *daemon, s digestSettings) *digestCollector {
 			ChecksumWindow: s.staleAfter.Nanoseconds(),
 			SecondsPerUnit: 1e-9,
 		}),
-		active: make(map[string]bool),
+		edges: epidemic.NewClusterEdgeTracker(),
 	}
 }
 
@@ -73,12 +79,14 @@ func (c *digestCollector) loop() {
 func (c *digestCollector) collect() {
 	d := c.d
 	now := time.Now().UnixNano()
-	d.digests.SetSelf(d.selfDigest(now, c.s.staleAfter.Nanoseconds()))
+	self := d.selfDigest(now, c.s.staleAfter.Nanoseconds())
+	d.digests.SetSelf(self)
 	d.digests.Prune(now, c.s.ttl.Nanoseconds())
 	view := d.digests.Snapshot()
 	stalls := c.det.Check(now, view)
 	status := epidemic.BuildClusterStatus(d.node.Site(), now, view, stalls,
 		c.s.staleAfter.Nanoseconds(), 1e-9)
+	status.Trends = c.buildTrends()
 	d.status.Store(&status)
 
 	stale := 0
@@ -91,17 +99,14 @@ func (c *digestCollector) collect() {
 		"Sites in this replica's cluster digest view.").Set(float64(len(view)))
 	d.reg.Gauge(epidemic.MetricClusterStaleSites,
 		"Digest-view sites past the staleness window.").Set(float64(stale))
+	d.reg.Gauge(epidemic.MetricClusterResidue,
+		"Checksum-disagreement residue proxy: fraction of fresh remote digests whose checksum differs.").
+		Set(self.Residue)
 
-	// Stalls are level conditions; count and announce only the rising edge
-	// so a stall that persists for minutes is one event, not thousands.
-	seen := make(map[string]bool, len(stalls))
-	for _, st := range stalls {
-		k := fmt.Sprintf("%d/%s", st.Site, st.Reason)
-		seen[k] = true
-		if c.active[k] {
-			continue
-		}
-		c.active[k] = true
+	// Stalls are level conditions; count, announce, and flight-dump only
+	// the rising edge so a stall that persists for minutes is one
+	// incident, not thousands.
+	for _, st := range c.edges.Update(stalls) {
 		d.reg.Counter(epidemic.MetricClusterStalls,
 			"Convergence stalls detected, by reason.",
 			epidemic.MetricLabel{Name: "reason", Value: st.Reason}).Inc()
@@ -113,12 +118,76 @@ func (c *digestCollector) collect() {
 			Keys:      []string{st.Detail},
 			UnixNanos: now,
 		})
+		// Trigger is nil-safe (no-op without -flight-dir); a dump failure
+		// must not take the collector down, so the error is dropped.
+		_, _ = d.flight.Trigger(st.Reason, fmt.Sprintf("site %d: %s", st.Site, st.Detail), now)
 	}
-	for k := range c.active {
-		if !seen[k] {
-			delete(c.active, k)
-		}
+	c.checkOverflowBurst(now)
+}
+
+// checkOverflowBurst flight-dumps when the outbound mail engine starts
+// shedding entries: a positive drop delta across the staleness window is
+// the burst condition, edge-tracked so one sustained burst is one dump.
+func (c *digestCollector) checkOverflowBurst(now int64) {
+	d := c.d
+	if d.history == nil || d.flight == nil {
+		c.overflow = false
+		return
 	}
+	delta, ok := d.history.Delta(epidemic.MetricOutboxDropped, c.s.staleAfter)
+	bursting := ok && delta > 0
+	if bursting && !c.overflow {
+		detail := fmt.Sprintf("%.0f outbox entries dropped in %s", delta, c.s.staleAfter)
+		_, _ = d.flight.Trigger("outbox-overflow", detail, now)
+	}
+	c.overflow = bursting
+}
+
+// trendWindow is the look-back the /cluster and STATSJSON trend fields
+// cover; trendPoints bounds each trajectory for sparkline rendering.
+const (
+	trendWindow = time.Minute
+	trendPoints = 24
+)
+
+// buildTrends derives the rates-and-trajectories block from the telemetry
+// sampler; nil when history is disabled or has fewer than two samples.
+func (c *digestCollector) buildTrends() *epidemic.ClusterTrends {
+	h := c.d.history
+	if h == nil || h.Samples() < 2 {
+		return nil
+	}
+	t := &epidemic.ClusterTrends{WindowSeconds: trendWindow.Seconds()}
+	if r, ok := h.Rate(epidemic.MetricRumorRounds, trendWindow); ok {
+		t.RumorRatePerSec = r
+	}
+	if r, ok := h.Rate(epidemic.MetricAntiEntropyRuns, trendWindow); ok {
+		t.ExchangeRatePerSec = r
+	}
+	if p, ok := h.Last(epidemic.MetricOutboxQueueDepth); ok {
+		t.OutboxDepth = p.V
+	}
+	if r, ok := h.Rate(epidemic.MetricOutboxQueueDepth, trendWindow); ok {
+		t.OutboxSlopePerSec = r
+	}
+	t.ResidueTrajectory = trajectory(h, epidemic.MetricClusterResidue)
+	t.ExchangeTrajectory = trajectory(h, epidemic.MetricAntiEntropyRuns)
+	t.OutboxTrajectory = trajectory(h, epidemic.MetricOutboxQueueDepth)
+	return t
+}
+
+// trajectory downsamples one series to at most trendPoints values across
+// the trend window, oldest first.
+func trajectory(h *epidemic.HistorySampler, metric string) []float64 {
+	pts := h.Points(metric, trendWindow, trendWindow/trendPoints)
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
 }
 
 // selfDigest snapshots this replica's health at time now (unix nanos).

@@ -74,6 +74,17 @@ type daemonConfig struct {
 	// digests unrefreshed for that long; staleAfter marks a site stale
 	// (0 = 3 x the anti-entropy period).
 	digestEvery, digestTTL, staleAfter time.Duration
+	// historyStep enables the telemetry time machine when > 0: a sampler
+	// goroutine records every registered metric into bounded ring-buffer
+	// time series at this cadence, retained for historyRetention, behind
+	// /metrics/history and the /cluster + STATSJSON trend fields.
+	historyStep, historyRetention time.Duration
+	// flightDir enables the anomaly flight recorder when non-empty: stall
+	// edges and outbox overflow bursts dump a correlated snapshot (events,
+	// spans, time series, digests, wire stats) there, at most flightMax
+	// dumps with oldest-first eviction, served on /flight.
+	flightDir string
+	flightMax int
 }
 
 // peerOptions derives the outbound wire options every peer of this daemon
@@ -133,6 +144,13 @@ type daemon struct {
 	stopDigests  chan struct{}
 	digestsDone  chan struct{}
 	closeOnce    sync.Once
+
+	// Telemetry time machine: history is nil when -history-step is 0,
+	// flight nil when -flight-dir is empty.
+	history     *epidemic.HistorySampler
+	flight      *epidemic.FlightRecorder
+	stopHistory chan struct{}
+	historyDone chan struct{}
 }
 
 // buildLogger maps the -log-level/-log-format flags onto a slog.Logger
@@ -261,6 +279,24 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 		digestsDone: make(chan struct{}),
 	}
 	d.instrument(logger)
+	if cfg.historyStep > 0 {
+		d.history = epidemic.NewHistorySampler(d.reg, epidemic.HistoryConfig{
+			Step:      cfg.historyStep,
+			Retention: cfg.historyRetention,
+		})
+		d.stopHistory = make(chan struct{})
+		d.historyDone = make(chan struct{})
+	}
+	if cfg.flightDir != "" {
+		flight, err := epidemic.NewFlightRecorder(cfg.flightDir, cfg.flightMax)
+		if err != nil {
+			_ = srv.Close()
+			_ = cln.Close()
+			return nil, err
+		}
+		d.flight = flight
+		d.addFlightSections()
+	}
 	if cfg.admin != "" {
 		if err := d.startAdmin(cfg.admin); err != nil {
 			_ = srv.Close()
@@ -277,10 +313,67 @@ func startDaemon(cfg daemonConfig) (*daemon, error) {
 	} else {
 		close(d.digestsDone)
 	}
+	if d.history != nil {
+		go func() {
+			defer close(d.historyDone)
+			d.history.Run(d.stopHistory)
+		}()
+	}
 	go d.syncLoop(cfg.aePer)
-	go serveClients(cln, n, wire)
+	go serveClients(cln, n, d.clientEnv())
 	n.Start()
 	return d, nil
+}
+
+// clientEnv bundles what the line-protocol handler needs beyond the node:
+// the wire stats for the WIRE verb and the trend provider for STATSJSON.
+func (d *daemon) clientEnv() clientEnv {
+	return clientEnv{
+		wire:   d.wire,
+		trends: func() *epidemic.ClusterTrends { return d.loadTrends() },
+	}
+}
+
+// loadTrends returns the latest published trends block, or nil before the
+// first digest collect (or when the observatory/history are off).
+func (d *daemon) loadTrends() *epidemic.ClusterTrends {
+	st := d.status.Load()
+	if st == nil {
+		return nil
+	}
+	return st.Trends
+}
+
+// addFlightSections registers the correlated snapshot every flight dump
+// carries: the recent event window, hop-trace spans, the full retained
+// time-series window, the digest directory, wire stats, node stats, and
+// the latest /cluster status. Every callback tolerates the corresponding
+// subsystem being disabled (nil-safe snapshots).
+func (d *daemon) addFlightSections() {
+	d.flight.AddSection("events", func() any {
+		return d.ring.Snapshot()
+	})
+	d.flight.AddSection("spans", func() any {
+		return d.node.Tracer().DumpFor("")
+	})
+	d.flight.AddSection("series", func() any {
+		return d.history.SnapshotWindow(0)
+	})
+	d.flight.AddSection("digests", func() any {
+		if d.digests == nil {
+			return nil
+		}
+		return d.digests.Snapshot()
+	})
+	d.flight.AddSection("wire", func() any {
+		return d.wire.Snapshot()
+	})
+	d.flight.AddSection("stats", func() any {
+		return d.node.Stats()
+	})
+	d.flight.AddSection("status", func() any {
+		return d.status.Load()
+	})
 }
 
 // instrument bridges the node and the gossip server into the registry and
@@ -368,6 +461,10 @@ func (d *daemon) Close() {
 	d.closeOnce.Do(func() {
 		close(d.stopSync)
 		<-d.syncDone
+		if d.history != nil {
+			close(d.stopHistory)
+			<-d.historyDone
+		}
 		if d.digests != nil {
 			close(d.stopDigests)
 		}

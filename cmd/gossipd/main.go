@@ -49,10 +49,26 @@
 //
 // Observability: -admin host:port serves /metrics (Prometheus text
 // format), /healthz (JSON), /cluster (this replica's gossip-borne view of
-// every site's health digest, plus convergence stalls), /events (recent
-// node events as JSON, ?since=<cursor> for incremental polls),
-// /trace?key= (hop spans) and /debug/pprof/* on a separate HTTP listener;
-// -log-level and -log-format control structured logging to stderr.
+// every site's health digest, plus convergence stalls and
+// history-derived trends), /events (recent node events as JSON,
+// ?since=<cursor> for incremental polls, ?key= to filter),
+// /metrics/history (retained metric time series, ?metric=&window=&step=),
+// /flight (flight-recorder dumps), /trace?key= (hop spans) and
+// /debug/pprof/* on a separate HTTP listener; -log-level and -log-format
+// control structured logging to stderr.
+//
+// Telemetry history: a fixed-cadence sampler walks the metrics registry
+// every -history-step (default 1s) and retains -history-retention
+// (default 15m) of every counter, gauge, and histogram quantile summary
+// in bounded rings — the source for /metrics/history, the trends block
+// on /cluster and STATSJSON, and gossipctl top. -history-step 0 disables
+// it. On a stall edge (stale digest, stuck residue, persistent checksum
+// mismatch) or an outbox-overflow burst, the flight recorder captures
+// the correlated event window, trace spans, time-series window, digest
+// directory, and wire/node stats into one JSON dump under -flight-dir
+// (default .scratch/flight/), keeping the newest -flight-max dumps;
+// /flight and gossipctl flight retrieve them. -flight-dir "" disables
+// the recorder.
 //
 // Cluster observatory: with -cluster-digests (default on) every replica
 // refreshes a compact health digest each -digest-every and the digests
@@ -124,6 +140,10 @@ func main() {
 	flag.DurationVar(&cfg.digestEvery, "digest-every", time.Second, "health-digest refresh period")
 	flag.DurationVar(&cfg.digestTTL, "digest-ttl", 10*time.Minute, "drop a remote site's digest after this long without a refresh")
 	flag.DurationVar(&cfg.staleAfter, "stale-after", 0, "mark a site stale when its digest is older than this (0 = 3x -anti-entropy-every)")
+	flag.DurationVar(&cfg.historyStep, "history-step", time.Second, "metric time-series sampling cadence for /metrics/history (0 = history disabled)")
+	flag.DurationVar(&cfg.historyRetention, "history-retention", 15*time.Minute, "how much metric trajectory to retain per series")
+	flag.StringVar(&cfg.flightDir, "flight-dir", ".scratch/flight", "directory for anomaly flight dumps (empty = flight recorder disabled)")
+	flag.IntVar(&cfg.flightMax, "flight-max", 8, "flight dumps retained before oldest-first eviction")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -169,17 +189,25 @@ func parsePeers(spec string, opts epidemic.TCPPeerOptions) ([]epidemic.Peer, err
 	return peers, nil
 }
 
-func serveClients(ln net.Listener, n *epidemic.Node, wire *epidemic.WireStats) {
+// clientEnv bundles the per-daemon dependencies of the line protocol
+// beyond the node itself: wire stats for the WIRE verb and the trend
+// provider (nil-safe) that STATSJSON folds into its reply.
+type clientEnv struct {
+	wire   *epidemic.WireStats
+	trends func() *epidemic.ClusterTrends
+}
+
+func serveClients(ln net.Listener, n *epidemic.Node, env clientEnv) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, n, wire)
+		go handleClient(conn, n, env)
 	}
 }
 
-func handleClient(conn net.Conn, n *epidemic.Node, wire *epidemic.WireStats) {
+func handleClient(conn net.Conn, n *epidemic.Node, env clientEnv) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -245,14 +273,21 @@ func handleClient(conn net.Conn, n *epidemic.Node, wire *epidemic.WireStats) {
 				st.RumorRuns, st.EntriesSent, st.EntriesReceived, st.EntriesApplied,
 				st.Redistributed, st.CertificatesExpired)
 		case "STATSJSON":
-			b, err := json.Marshal(n.Stats())
+			reply := struct {
+				epidemic.NodeStats
+				Trends *epidemic.ClusterTrends `json:"trends,omitempty"`
+			}{NodeStats: n.Stats()}
+			if env.trends != nil {
+				reply.Trends = env.trends()
+			}
+			b, err := json.Marshal(reply)
 			if err != nil {
 				fmt.Fprintf(conn, "ERR %v\n", err)
 				continue
 			}
 			fmt.Fprintf(conn, "%s\n", b)
 		case "WIRE":
-			b, err := json.Marshal(wire.Snapshot())
+			b, err := json.Marshal(env.wire.Snapshot())
 			if err != nil {
 				fmt.Fprintf(conn, "ERR %v\n", err)
 				continue

@@ -37,7 +37,7 @@ func TestParsePeers(t *testing.T) {
 func clientSession(t *testing.T, n *epidemic.Node, cmds []string) []string {
 	t.Helper()
 	server, client := net.Pipe()
-	go handleClient(server, n, nil)
+	go handleClient(server, n, clientEnv{})
 	defer client.Close()
 
 	var out []string

@@ -35,18 +35,23 @@ func fetchAdmin(t *testing.T, addr, path string) []byte {
 // three-daemon cluster on ephemeral ports, one update gossiped through,
 // then every daemon's admin endpoint is scraped and checked — /metrics
 // must be well-formed Prometheus exposition carrying the acceptance metric
-// families, /healthz well-formed JSON, /events a JSON log of real node
-// activity.
+// families, /metrics/history retained trajectories, /healthz well-formed
+// JSON, /events a JSON log of real node activity (?key= filtering it
+// server-side), /flight the (healthy, empty) dump listing, and STATSJSON
+// the history-derived trends block.
 func TestObsSmoke(t *testing.T) {
 	base := daemonConfig{
 		listen: "127.0.0.1:0", client: "127.0.0.1:0", admin: "127.0.0.1:0",
 		aePer: 20 * time.Millisecond, rumPer: 10 * time.Millisecond,
 		mail: true, k: 3, tau1: time.Hour, tau2: time.Hour, retain: 1, shardVector: true,
+		clusterDigests: true, digestEvery: 20 * time.Millisecond, staleAfter: time.Second,
+		historyStep: 20 * time.Millisecond, historyRetention: time.Minute,
 	}
 	var daemons []*daemon
 	for site := 1; site <= 3; site++ {
 		cfg := base
 		cfg.site = site
+		cfg.flightDir = t.TempDir()
 		if len(daemons) > 0 {
 			cfg.peerSpec = "1=" + daemons[0].GossipAddr()
 		}
@@ -189,6 +194,93 @@ func TestObsSmoke(t *testing.T) {
 	if len(limited.Events) != 1 {
 		t.Errorf("/events?n=1 returned %d events", len(limited.Events))
 	}
+
+	// /events?key= filters server-side: only records touching the SET key
+	// come back, and at least one must (the update was applied everywhere).
+	var keyed struct {
+		Events []epidemic.EventRecord `json:"events"`
+	}
+	if err := json.Unmarshal(fetchAdmin(t, daemons[0].AdminAddr(), "/events?key=greeting"), &keyed); err != nil {
+		t.Fatal(err)
+	}
+	if len(keyed.Events) == 0 {
+		t.Error("/events?key=greeting returned nothing after the SET")
+	}
+	for _, e := range keyed.Events {
+		if !e.Matches("greeting") {
+			t.Errorf("/events?key=greeting leaked %+v", e)
+		}
+	}
+
+	// Telemetry history: every daemon's sampler serves an index and
+	// windowed points for the acceptance metrics, and /flight answers with
+	// the healthy cluster's (empty) dump listing.
+	for i, d := range daemons {
+		var index struct {
+			Samples uint64   `json:"samples"`
+			Series  []string `json:"series"`
+		}
+		histDeadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := json.Unmarshal(fetchAdmin(t, d.AdminAddr(), "/metrics/history"), &index); err != nil {
+				t.Fatalf("daemon %d: bad /metrics/history JSON: %v", i, err)
+			}
+			if index.Samples >= 2 {
+				break
+			}
+			if time.Now().After(histDeadline) {
+				t.Fatalf("daemon %d: sampler never took two samples", i)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if len(index.Series) == 0 {
+			t.Errorf("daemon %d: /metrics/history lists no series", i)
+		}
+		var hist struct {
+			Metric string                  `json:"metric"`
+			Points []epidemic.HistoryPoint `json:"points"`
+		}
+		path := "/metrics/history?metric=" + epidemic.MetricRumorRounds + "&window=1m"
+		if err := json.Unmarshal(fetchAdmin(t, d.AdminAddr(), path), &hist); err != nil {
+			t.Fatalf("daemon %d: bad history points JSON: %v", i, err)
+		}
+		if len(hist.Points) == 0 {
+			t.Errorf("daemon %d: no retained points for %s", i, epidemic.MetricRumorRounds)
+		}
+
+		var flight struct {
+			Dir   string                    `json:"dir"`
+			Dumps []epidemic.FlightDumpMeta `json:"dumps"`
+		}
+		if err := json.Unmarshal(fetchAdmin(t, d.AdminAddr(), "/flight"), &flight); err != nil {
+			t.Fatalf("daemon %d: bad /flight JSON: %v", i, err)
+		}
+		if flight.Dir == "" {
+			t.Errorf("daemon %d: /flight reports no dump dir", i)
+		}
+	}
+
+	// STATSJSON grows the history-derived trends block once the digest
+	// collector has two samples to rate over.
+	var withTrends struct {
+		Trends *epidemic.ClusterTrends `json:"trends"`
+	}
+	trendDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := json.Unmarshal([]byte(send(daemons[0].ClientAddr(), "STATSJSON")), &withTrends); err != nil {
+			t.Fatal(err)
+		}
+		if withTrends.Trends != nil {
+			break
+		}
+		if time.Now().After(trendDeadline) {
+			t.Fatal("STATSJSON never grew a trends block")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if withTrends.Trends.WindowSeconds <= 0 {
+		t.Errorf("trends window_seconds = %v", withTrends.Trends.WindowSeconds)
+	}
 }
 
 // TestBuildLogger covers the flag-to-logger mapping, including rejection
@@ -245,7 +337,7 @@ func TestClientWire(t *testing.T) {
 	}
 	wire := &epidemic.WireStats{}
 	server, client := net.Pipe()
-	go handleClient(server, n, wire)
+	go handleClient(server, n, clientEnv{wire: wire})
 	defer client.Close()
 	if _, err := client.Write([]byte("WIRE\n")); err != nil {
 		t.Fatal(err)

@@ -34,6 +34,7 @@ import (
 	"epidemic/internal/node"
 	"epidemic/internal/obs"
 	"epidemic/internal/obs/cluster"
+	"epidemic/internal/obs/history"
 	"epidemic/internal/obs/trace"
 	"epidemic/internal/sim"
 	"epidemic/internal/spatial"
@@ -198,6 +199,30 @@ type (
 	// ClusterStatusReply is the /cluster response body: one replica's view
 	// of the whole cluster plus the stalls it detects.
 	ClusterStatusReply = cluster.StatusReply
+	// ClusterTrends is the history-derived rates-and-trajectories block a
+	// /cluster reply (and STATSJSON) carries when the telemetry sampler is
+	// running.
+	ClusterTrends = cluster.Trends
+	// ClusterEdgeTracker reduces level-triggered stall lists to rising
+	// edges — exactly one trigger per distinct (site, reason) incident.
+	ClusterEdgeTracker = cluster.EdgeTracker
+
+	// MetricSeriesView is one registered series as seen by
+	// MetricsRegistry.VisitSeries.
+	MetricSeriesView = obs.SeriesView
+	// HistorySampler records every registered metric into bounded on-node
+	// ring-buffer time series with windowed Rate/Delta/MinMax queries.
+	HistorySampler = history.Sampler
+	// HistoryConfig shapes a HistorySampler (step, retention, stamp scale,
+	// histogram quantiles).
+	HistoryConfig = history.Config
+	// HistoryPoint is one retained sample: stamp plus value.
+	HistoryPoint = history.Point
+	// FlightRecorder captures correlated anomaly snapshots (events, spans,
+	// time series, digests, wire stats) into a bounded on-disk dump dir.
+	FlightRecorder = history.Recorder
+	// FlightDumpMeta describes one flight dump on disk.
+	FlightDumpMeta = history.DumpMeta
 )
 
 // Metric names registered by InstrumentNode (and, for the transport pair,
@@ -232,6 +257,7 @@ const (
 	MetricClusterSites        = obs.MetricClusterSites
 	MetricClusterStaleSites   = obs.MetricClusterStaleSites
 	MetricClusterStalls       = obs.MetricClusterStalls
+	MetricClusterResidue      = obs.MetricClusterResidue
 )
 
 // Stall reasons reported by the ClusterStallDetector, and the pseudo-site
@@ -265,6 +291,22 @@ func NewClusterStallDetector(cfg ClusterStallConfig) *ClusterStallDetector {
 // stamp units and secondsPerUnit the stamp-to-seconds scale (0 = 1e-9).
 func BuildClusterStatus(self SiteID, now int64, digests []ClusterDigest, stalls []ClusterStall, staleAfter int64, secondsPerUnit float64) ClusterStatusReply {
 	return cluster.BuildStatus(int32(self), now, digests, stalls, staleAfter, secondsPerUnit)
+}
+
+// NewClusterEdgeTracker builds an edge tracker; feed it every stall
+// detector pass and act only on the rising edges it returns.
+func NewClusterEdgeTracker() *ClusterEdgeTracker { return cluster.NewEdgeTracker() }
+
+// NewHistorySampler builds a metric time-series sampler over a registry.
+// Drive it with Sample (deterministic stamps) or Run (wall clock).
+func NewHistorySampler(reg *MetricsRegistry, cfg HistoryConfig) *HistorySampler {
+	return history.New(reg, cfg)
+}
+
+// NewFlightRecorder builds an anomaly flight recorder dumping into dir,
+// keeping at most max dumps (<= 0 selects the default bound).
+func NewFlightRecorder(dir string, max int) (*FlightRecorder, error) {
+	return history.NewRecorder(dir, max)
 }
 
 // Metric names registered by InstrumentWire for the client-side wire

@@ -54,6 +54,7 @@ const (
 	MetricClusterSites      = "epidemic_cluster_sites"
 	MetricClusterStaleSites = "epidemic_cluster_stale_sites"
 	MetricClusterStalls     = "epidemic_cluster_stalls_total"
+	MetricClusterResidue    = "epidemic_cluster_residue"
 )
 
 // ObserveOptions configures InstrumentNode.

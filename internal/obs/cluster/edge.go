@@ -1,0 +1,65 @@
+package cluster
+
+// EdgeTracker reduces the StallDetector's level-triggered output to
+// rising edges: a stall that persists across many Check calls reports
+// once, and only a genuine clear-then-reappear produces a second edge.
+// It is what guarantees "exactly one flight-recorder dump (and one event,
+// one counter increment) per distinct incident" — the daemon's digest
+// collector and the simulator both feed it every detector pass.
+//
+// Incidents are keyed (site, reason); Detail and age may evolve while an
+// incident stays active without retriggering. Not safe for concurrent
+// use; callers serialize Update the same way they serialize Check.
+type EdgeTracker struct {
+	active map[[2]int64]bool
+}
+
+// NewEdgeTracker builds an empty tracker.
+func NewEdgeTracker() *EdgeTracker {
+	return &EdgeTracker{active: make(map[[2]int64]bool)}
+}
+
+func edgeKey(s Stall) [2]int64 {
+	var reason int64
+	switch s.Reason {
+	case ReasonStaleDigest:
+		reason = 1
+	case ReasonResidueStuck:
+		reason = 2
+	case ReasonChecksumMismatch:
+		reason = 3
+	default:
+		for _, c := range s.Reason {
+			reason = reason*31 + int64(c)
+		}
+	}
+	return [2]int64{int64(s.Site), reason}
+}
+
+// Update observes one detector pass and returns the stalls that are newly
+// active — present now, absent on the previous call. Stalls missing from
+// this pass are cleared, so their next appearance is a fresh edge.
+func (e *EdgeTracker) Update(stalls []Stall) []Stall {
+	if e.active == nil {
+		e.active = make(map[[2]int64]bool)
+	}
+	seen := make(map[[2]int64]bool, len(stalls))
+	var rising []Stall
+	for _, s := range stalls {
+		k := edgeKey(s)
+		seen[k] = true
+		if !e.active[k] {
+			e.active[k] = true
+			rising = append(rising, s)
+		}
+	}
+	for k := range e.active {
+		if !seen[k] {
+			delete(e.active, k)
+		}
+	}
+	return rising
+}
+
+// ActiveCount returns how many incidents are currently active.
+func (e *EdgeTracker) ActiveCount() int { return len(e.active) }

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// edgeConfig is a detector config in small integer stamp units (think
+// seconds): digests stale after 10, residue window 20, checksum window 15.
+func edgeConfig() StallConfig {
+	return StallConfig{StaleAfter: 10, ResidueWindow: 20, ChecksumWindow: 15, SecondsPerUnit: 1}
+}
+
+func digestAt(site int32, stamp int64) Digest {
+	return Digest{Site: site, Stamp: stamp, Checksum: 42}
+}
+
+// TestEdgeTrackerOncePerIncident: a stall persisting across many detector
+// passes produces exactly one rising edge — the flight-recorder
+// per-incident guarantee.
+func TestEdgeTrackerOncePerIncident(t *testing.T) {
+	sd := NewStallDetector(edgeConfig())
+	et := NewEdgeTracker()
+
+	triggers := 0
+	// Site 2 goes silent at stamp 0; site 1 keeps refreshing. Sweep the
+	// clock across five checks — the stale stall persists in each.
+	for now := int64(15); now <= 55; now += 10 {
+		stalls := sd.Check(now, []Digest{digestAt(1, now), digestAt(2, 0)})
+		if len(stalls) != 1 || stalls[0].Reason != ReasonStaleDigest || stalls[0].Site != 2 {
+			t.Fatalf("now=%d: stalls = %+v", now, stalls)
+		}
+		triggers += len(et.Update(stalls))
+	}
+	if triggers != 1 {
+		t.Fatalf("persistent stall produced %d rising edges, want 1", triggers)
+	}
+	if et.ActiveCount() != 1 {
+		t.Fatalf("active incidents = %d, want 1", et.ActiveCount())
+	}
+}
+
+// TestEdgeTrackerFlapping: stale -> fresh -> stale inside one staleness
+// window is two distinct incidents and must produce two edges, with the
+// intermediate healthy pass clearing the first.
+func TestEdgeTrackerFlapping(t *testing.T) {
+	sd := NewStallDetector(edgeConfig())
+	et := NewEdgeTracker()
+
+	// Stale: site 2's digest is 15 units old at now=15.
+	stalls := sd.Check(15, []Digest{digestAt(1, 15), digestAt(2, 0)})
+	if n := len(et.Update(stalls)); n != 1 {
+		t.Fatalf("first stale pass: %d edges, want 1", n)
+	}
+	// Fresh again: site 2 recovered (rebooted, repartition healed).
+	stalls = sd.Check(18, []Digest{digestAt(1, 18), digestAt(2, 18)})
+	if len(stalls) != 0 {
+		t.Fatalf("recovered pass: stalls = %+v", stalls)
+	}
+	if n := len(et.Update(stalls)); n != 0 {
+		t.Fatalf("recovered pass: %d edges, want 0", n)
+	}
+	if et.ActiveCount() != 0 {
+		t.Fatal("incident not cleared on recovery")
+	}
+	// Stale again within the same wall window: a new incident, new edge.
+	stalls = sd.Check(30, []Digest{digestAt(1, 30), digestAt(2, 18)})
+	if len(stalls) != 1 || stalls[0].Reason != ReasonStaleDigest {
+		t.Fatalf("re-stale pass: stalls = %+v", stalls)
+	}
+	if n := len(et.Update(stalls)); n != 1 {
+		t.Fatalf("re-stale pass: %d edges, want 1", n)
+	}
+}
+
+// TestEdgeTrackerDistinguishesReasonsAndSites: simultaneous stalls on
+// different (site, reason) pairs are separate incidents.
+func TestEdgeTrackerDistinguishesReasonsAndSites(t *testing.T) {
+	et := NewEdgeTracker()
+	stalls := []Stall{
+		{Site: 2, Reason: ReasonStaleDigest},
+		{Site: 3, Reason: ReasonStaleDigest},
+		{Site: ClusterWide, Reason: ReasonChecksumMismatch},
+	}
+	if n := len(et.Update(stalls)); n != 3 {
+		t.Fatalf("three distinct incidents: %d edges", n)
+	}
+	// Same set again: no new edges.
+	if n := len(et.Update(stalls)); n != 0 {
+		t.Fatalf("repeat pass: %d edges, want 0", n)
+	}
+	// One clears, two persist, a new reason appears on site 2.
+	next := []Stall{
+		{Site: 2, Reason: ReasonStaleDigest},
+		{Site: 2, Reason: ReasonResidueStuck},
+		{Site: ClusterWide, Reason: ReasonChecksumMismatch},
+	}
+	rising := et.Update(next)
+	if len(rising) != 1 || rising[0].Reason != ReasonResidueStuck {
+		t.Fatalf("rising = %+v, want just the new residue incident", rising)
+	}
+}
+
+// TestStallDetectorClockStep: a forward clock step makes every digest
+// look ancient for one pass; once refreshed digests arrive the stall
+// clears, and the edge tracker charges exactly one incident per site for
+// the step.
+func TestStallDetectorClockStep(t *testing.T) {
+	sd := NewStallDetector(edgeConfig())
+	et := NewEdgeTracker()
+
+	// Healthy steady state.
+	stalls := sd.Check(5, []Digest{digestAt(1, 5), digestAt(2, 5)})
+	if len(stalls) != 0 {
+		t.Fatalf("steady state: %+v", stalls)
+	}
+	et.Update(stalls)
+
+	// The reader's clock jumps forward by 1000 units (NTP step, VM
+	// resume). Both digests now look stale.
+	stalls = sd.Check(1010, []Digest{digestAt(1, 5), digestAt(2, 5)})
+	if len(stalls) != 2 {
+		t.Fatalf("post-step: %d stalls, want 2", len(stalls))
+	}
+	edges := et.Update(stalls)
+	if len(edges) != 2 {
+		t.Fatalf("post-step edges = %d, want 2", len(edges))
+	}
+
+	// Fresh digests arrive at the stepped clock; both incidents clear and
+	// do NOT re-trigger on subsequent passes.
+	for now := int64(1012); now <= 1020; now += 4 {
+		stalls = sd.Check(now, []Digest{digestAt(1, now), digestAt(2, now)})
+		if len(stalls) != 0 {
+			t.Fatalf("now=%d: %+v", now, stalls)
+		}
+		if n := len(et.Update(stalls)); n != 0 {
+			t.Fatalf("now=%d: %d spurious edges", now, n)
+		}
+	}
+	if et.ActiveCount() != 0 {
+		t.Fatal("incidents left active after recovery")
+	}
+
+	// Residue state survives the step: a backward-compatible site whose
+	// residue is stuck still dates the incident from when the stuck value
+	// was first seen, so the step alone cannot fire residue-stuck.
+	sd2 := NewStallDetector(edgeConfig())
+	d := digestAt(1, 100)
+	d.Residue = 0.5
+	if stalls := sd2.Check(100, []Digest{d}); len(stalls) != 0 {
+		t.Fatalf("first residue sight: %+v", stalls)
+	}
+	// Clock steps forward beyond the residue window, but the digest is
+	// stale now — the stale filter wins and residue state is dropped, not
+	// double-reported.
+	d.Stamp = 100
+	stalls = sd2.Check(1100, []Digest{d})
+	if len(stalls) != 1 || stalls[0].Reason != ReasonStaleDigest {
+		t.Fatalf("stepped residue pass: %+v", stalls)
+	}
+}
+
+// TestEdgeTrackerFlappingInsideOneWindow drives the full
+// detector+tracker pipeline through a flap faster than the residue
+// window, checking the intermediate recovery resets the incident clock.
+func TestEdgeTrackerFlappingInsideOneWindow(t *testing.T) {
+	sd := NewStallDetector(edgeConfig())
+	et := NewEdgeTracker()
+	total := 0
+
+	residueDigest := func(stamp int64, residue float64) Digest {
+		d := digestAt(1, stamp)
+		d.Residue = residue
+		return d
+	}
+
+	// Residue 0.4 appears at t=0 and sits stuck past the window (20).
+	for now := int64(0); now <= 25; now += 5 {
+		stalls := sd.Check(now, []Digest{residueDigest(now, 0.4)})
+		total += len(et.Update(stalls))
+	}
+	if total != 1 {
+		t.Fatalf("stuck residue: %d edges, want 1", total)
+	}
+	// Residue decays — recovery clears the incident.
+	stalls := sd.Check(30, []Digest{residueDigest(30, 0.1)})
+	if len(stalls) != 0 {
+		t.Fatalf("decaying pass: %+v", stalls)
+	}
+	et.Update(stalls)
+	// It re-sticks at the lower value; the window must restart from the
+	// re-stick, not the original incident.
+	stalls = sd.Check(45, []Digest{residueDigest(45, 0.1)})
+	if len(stalls) != 0 {
+		t.Fatalf("within new window: %+v", stalls)
+	}
+	et.Update(stalls)
+	stalls = sd.Check(55, []Digest{residueDigest(55, 0.1)})
+	if len(stalls) != 1 || stalls[0].Reason != ReasonResidueStuck {
+		t.Fatalf("re-stuck pass: %+v", stalls)
+	}
+	if n := len(et.Update(stalls)); n != 1 {
+		t.Fatalf("re-stuck edges = %d, want 1", n)
+	}
+}

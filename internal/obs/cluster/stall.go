@@ -184,9 +184,32 @@ type SiteStatus struct {
 	Stale         bool    `json:"stale"`
 }
 
+// Trends summarizes the answering replica's recent telemetry history —
+// windowed rates and short trajectories derived from the on-node time
+// series (internal/obs/history), so one /cluster fetch carries both the
+// instantaneous view and how the node got there. Trajectory slices are
+// oldest-first, downsampled, and bounded; NaN-free by construction.
+type Trends struct {
+	// WindowSeconds is the look-back the rates and trajectories cover.
+	WindowSeconds float64 `json:"window_seconds"`
+	// RumorRatePerSec / ExchangeRatePerSec are windowed per-second rates
+	// of rumor rounds and anti-entropy exchanges.
+	RumorRatePerSec    float64 `json:"rumor_rate_per_sec"`
+	ExchangeRatePerSec float64 `json:"exchange_rate_per_sec"`
+	// OutboxDepth is the newest sampled queue depth; OutboxSlopePerSec its
+	// change per second across the window (positive = backing up).
+	OutboxDepth       float64 `json:"outbox_depth"`
+	OutboxSlopePerSec float64 `json:"outbox_slope_per_sec"`
+	// Trajectories for sparkline rendering: residue, cumulative
+	// anti-entropy exchanges, and outbox depth.
+	ResidueTrajectory  []float64 `json:"residue_trajectory,omitempty"`
+	ExchangeTrajectory []float64 `json:"exchange_trajectory,omitempty"`
+	OutboxTrajectory   []float64 `json:"outbox_trajectory,omitempty"`
+}
+
 // StatusReply is the /cluster response body: one replica's current view
 // of the whole cluster, plus the convergence stalls it detects. The same
-// shape feeds gossipctl status and watch.
+// shape feeds gossipctl status, watch, and top.
 type StatusReply struct {
 	// Site is the replica answering; Now its current time in stamp units.
 	Site int32 `json:"site"`
@@ -195,6 +218,9 @@ type StatusReply struct {
 	Status string       `json:"status"`
 	Sites  []SiteStatus `json:"sites"`
 	Stalls []Stall      `json:"stalls,omitempty"`
+	// Trends carries the answering replica's history-derived rates and
+	// trajectories; nil when the telemetry sampler is disabled.
+	Trends *Trends `json:"trends,omitempty"`
 }
 
 // BuildStatus assembles the status reply for a digest view at time now.

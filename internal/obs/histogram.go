@@ -71,27 +71,49 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// NumBuckets returns the number of count slots, including the implicit
+// +Inf overflow bucket — the length callers must size CountsInto scratch
+// buffers to.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// CountsInto snapshots the per-bucket counts into dst (which must have
+// length NumBuckets) and returns the total observation count. It performs
+// no allocation, so fixed-cadence samplers can reuse one scratch buffer
+// per histogram. Observe may race; a torn-but-monotone view only shifts
+// downstream estimates by the in-flight samples.
+func (h *Histogram) CountsInto(dst []uint64) uint64 {
+	var total uint64
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+		total += dst[i]
+	}
+	return total
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
 // using linear interpolation within the target bucket — the same estimator
 // Prometheus's histogram_quantile applies server-side, done here so a
 // process can summarize its own latency histograms (the cluster digest's
-// p50/p99 columns). It returns NaN when q is out of range or the histogram
-// is empty. Samples landing in the +Inf overflow bucket are clamped to the
-// last finite upper bound: the estimate saturates rather than inventing an
-// unbounded value.
+// p50/p99 columns).
+//
+// Boundary behavior, pinned by tests: NaN when q is out of range or the
+// histogram is empty; q=0 returns the lower edge of the first nonempty
+// bucket (0 for the first finite bucket); a single sample interpolates
+// within its bucket, so q=1 on one sample returns that bucket's upper
+// bound; samples landing in the +Inf overflow bucket are clamped to the
+// last finite upper bound — the estimate saturates rather than inventing
+// an unbounded value.
 func (h *Histogram) Quantile(q float64) float64 {
-	if math.IsNaN(q) || q < 0 || q > 1 {
-		return math.NaN()
-	}
-	// Snapshot the counts once; Observe may race, and a torn-but-monotone
-	// view only shifts the estimate by the in-flight samples.
 	counts := make([]uint64, len(h.counts))
-	var total uint64
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
+	total := h.CountsInto(counts)
+	return h.QuantileFromCounts(counts, total, q)
+}
+
+// QuantileFromCounts is Quantile over an externally held snapshot taken
+// with CountsInto — the allocation-free form used on sampler hot paths,
+// where one CountsInto snapshot feeds several quantiles.
+func (h *Histogram) QuantileFromCounts(counts []uint64, total uint64, q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 || total == 0 {
 		return math.NaN()
 	}
 	rank := q * float64(total) // fractional target rank in [0, total]
@@ -99,7 +121,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range counts {
 		prev := cum
 		cum += c
-		if float64(cum) < rank {
+		// Skip empty buckets and buckets wholly below the rank; without the
+		// c == 0 guard, q=0 would satisfy cum >= rank at the first (possibly
+		// empty) bucket and report its bound instead of where data lives.
+		if c == 0 || float64(cum) < rank {
 			continue
 		}
 		if i == len(counts)-1 {
@@ -111,9 +136,6 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo = h.upper[i-1]
 		}
 		hi := h.upper[i]
-		if c == 0 {
-			return hi
-		}
 		// Interpolate the rank's position within [lo, hi].
 		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
 	}

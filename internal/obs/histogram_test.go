@@ -90,3 +90,71 @@ func TestQuantileSingleSample(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileSingleSampleBoundaries pins the exact single-sample edge
+// behavior the dashboards render: q=0 is the lower edge of the sample's
+// bucket, q=1 its upper edge — the estimate never leaves the one bucket
+// holding data.
+func TestQuantileSingleSampleBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(3) // the only sample, in (2,4]
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("single-sample Quantile(0) = %v, want lower edge 2", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("single-sample Quantile(1) = %v, want upper edge 4", got)
+	}
+}
+
+// TestQuantileZeroSkipsEmptyBuckets is the edge-case fix: with leading
+// empty buckets, q=0 must report the lower edge of the first bucket that
+// actually holds samples, not the first bucket's bound.
+func TestQuantileZeroSkipsEmptyBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 5; i++ {
+		h.Observe(3) // (2,4]: buckets (0,1] and (1,2] stay empty
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want 2 (lower edge of first nonempty bucket)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+// TestQuantileFromCounts checks the allocation-free snapshot form agrees
+// with Quantile and that the CountsInto+QuantileFromCounts path performs
+// zero allocations — the contract the history sampler's hot path relies
+// on.
+func TestQuantileFromCounts(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	scratch := make([]uint64, h.NumBuckets())
+	total := h.CountsInto(scratch)
+	if total != 80 {
+		t.Fatalf("CountsInto total = %d, want 80", total)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		want := h.Quantile(q)
+		got := h.QuantileFromCounts(scratch, total, q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("QuantileFromCounts(%v) = %v, Quantile = %v", q, got, want)
+		}
+	}
+	if got := h.QuantileFromCounts(scratch, 0, 0.5); !math.IsNaN(got) {
+		t.Errorf("zero-total QuantileFromCounts = %v, want NaN", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		total := h.CountsInto(scratch)
+		h.QuantileFromCounts(scratch, total, 0.5)
+		h.QuantileFromCounts(scratch, total, 0.99)
+	})
+	if allocs != 0 {
+		t.Errorf("CountsInto+QuantileFromCounts allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,252 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultFlightMax bounds the on-disk dump directory when no limit is
+// given: the oldest dump is evicted once more than this many exist.
+const DefaultFlightMax = 8
+
+// DumpMeta describes one flight dump on disk.
+type DumpMeta struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+	At     int64  `json:"at"`
+	Size   int64  `json:"size"`
+}
+
+// section is one named capture callback contributing to every dump.
+type section struct {
+	name    string
+	capture func() any
+}
+
+// Recorder is the anomaly flight recorder: when a trigger fires (a stall
+// edge, an outbox overflow burst, persistent checksum divergence), it
+// atomically captures every registered section — event-ring window, trace
+// spans, the full time-series window, digest directory, wire stats — into
+// one JSON dump in a bounded on-disk directory, oldest dump evicted.
+//
+// Section callbacks run outside the recorder lock and must be safe to
+// call at any time. A nil Recorder is inert: AddSection and Trigger are
+// no-ops, List returns nothing.
+type Recorder struct {
+	dir string
+	max int
+
+	mu       sync.Mutex
+	sections []section
+	seq      uint64 // tie-breaker for dumps triggered at the same stamp
+}
+
+// NewRecorder builds a recorder writing dumps into dir (created if
+// missing), keeping at most max dumps (DefaultFlightMax when max <= 0).
+func NewRecorder(dir string, max int) (*Recorder, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("flight: empty dump directory")
+	}
+	if max <= 0 {
+		max = DefaultFlightMax
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	return &Recorder{dir: dir, max: max}, nil
+}
+
+// Dir returns the dump directory.
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.dir
+}
+
+// AddSection registers a named capture callback included in every
+// subsequent dump. Sections are serialized in registration order.
+func (r *Recorder) AddSection(name string, capture func() any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sections = append(r.sections, section{name, capture})
+}
+
+// Trigger captures a dump for the given incident: every section callback
+// runs, the result is written atomically (temp file + rename) as
+// flight-<at>-<seq>-<reason>.json, and dumps beyond the retention bound
+// are evicted oldest-first.
+func (r *Recorder) Trigger(reason, detail string, at int64) (DumpMeta, error) {
+	if r == nil {
+		return DumpMeta{}, nil
+	}
+	r.mu.Lock()
+	sections := append([]section(nil), r.sections...)
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+
+	body := struct {
+		Reason   string         `json:"reason"`
+		Detail   string         `json:"detail,omitempty"`
+		At       int64          `json:"at"`
+		Sections map[string]any `json:"sections"`
+	}{Reason: reason, Detail: detail, At: at, Sections: make(map[string]any, len(sections))}
+	for _, s := range sections {
+		body.Sections[s.name] = s.capture()
+	}
+	data, err := json.MarshalIndent(body, "", " ")
+	if err != nil {
+		return DumpMeta{}, fmt.Errorf("flight: encode dump: %w", err)
+	}
+
+	name := fmt.Sprintf("flight-%020d-%04d-%s.json", at, seq, sanitizeReason(reason))
+	tmp, err := os.CreateTemp(r.dir, ".flight-*")
+	if err != nil {
+		return DumpMeta{}, fmt.Errorf("flight: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return DumpMeta{}, fmt.Errorf("flight: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return DumpMeta{}, fmt.Errorf("flight: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(r.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return DumpMeta{}, fmt.Errorf("flight: %w", err)
+	}
+	r.evict()
+	return DumpMeta{Name: name, Reason: reason, Detail: detail, At: at, Size: int64(len(data))}, nil
+}
+
+// evict removes the oldest dumps until at most max remain. Dump names
+// embed a zero-padded stamp and sequence, so lexicographic order is
+// chronological.
+func (r *Recorder) evict() {
+	names := r.dumpNames()
+	for len(names) > r.max {
+		os.Remove(filepath.Join(r.dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// dumpNames lists dump filenames in chronological (lexicographic) order.
+func (r *Recorder) dumpNames() []string {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && validDumpName(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the retained dumps, oldest first.
+func (r *Recorder) List() []DumpMeta {
+	if r == nil {
+		return nil
+	}
+	var out []DumpMeta
+	for _, name := range r.dumpNames() {
+		meta := DumpMeta{Name: name}
+		if info, err := os.Stat(filepath.Join(r.dir, name)); err == nil {
+			meta.Size = info.Size()
+		}
+		trimmed := strings.TrimSuffix(strings.TrimPrefix(name, "flight-"), ".json")
+		if parts := strings.SplitN(trimmed, "-", 3); len(parts) == 3 {
+			fmt.Sscanf(parts[0], "%d", &meta.At)
+			meta.Reason = parts[2]
+		}
+		out = append(out, meta)
+	}
+	return out
+}
+
+// Read returns the raw JSON of one dump by name. Names are validated
+// against the dump filename shape, so path traversal via the admin route
+// is impossible.
+func (r *Recorder) Read(name string) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("flight: recorder disabled")
+	}
+	if !validDumpName(name) {
+		return nil, fmt.Errorf("flight: invalid dump name %q", name)
+	}
+	return os.ReadFile(filepath.Join(r.dir, name))
+}
+
+// validDumpName accepts exactly the names Trigger generates.
+func validDumpName(name string) bool {
+	if filepath.Base(name) != name || !strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".json") {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeReason maps a trigger reason onto the filename-safe alphabet.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, c := range strings.ToLower(reason) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "trigger"
+	}
+	return b.String()
+}
+
+// Handler serves the recorder as the /flight admin route: no query lists
+// the dumps as JSON; ?name= streams one raw dump.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if name := req.URL.Query().Get("name"); name != "" {
+			data, err := r.Read(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			return
+		}
+		dumps := r.List()
+		if dumps == nil {
+			dumps = []DumpMeta{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Dir   string     `json:"dir"`
+			Dumps []DumpMeta `json:"dumps"`
+		}{r.Dir(), dumps})
+	})
+}

@@ -1,0 +1,164 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderDump(t *testing.T) {
+	rec, err := NewRecorder(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.AddSection("events", func() any { return []string{"a", "b"} })
+	rec.AddSection("stats", func() any { return map[string]int{"depth": 3} })
+
+	meta, err := rec.Trigger("stale-digest", "site 2 silent", 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Reason != "stale-digest" || meta.At != 1234 || meta.Size == 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if !strings.HasPrefix(meta.Name, "flight-") || !strings.HasSuffix(meta.Name, "-stale-digest.json") {
+		t.Fatalf("dump name = %q", meta.Name)
+	}
+
+	data, err := rec.Read(meta.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Reason   string         `json:"reason"`
+		Detail   string         `json:"detail"`
+		At       int64          `json:"at"`
+		Sections map[string]any `json:"sections"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "stale-digest" || body.Detail != "site 2 silent" || body.At != 1234 {
+		t.Fatalf("dump body = %+v", body)
+	}
+	if len(body.Sections) != 2 {
+		t.Fatalf("sections = %v", body.Sections)
+	}
+	if _, ok := body.Sections["events"]; !ok {
+		t.Fatal("events section missing")
+	}
+
+	list := rec.List()
+	if len(list) != 1 || list[0].Name != meta.Name || list[0].Reason != "stale-digest" || list[0].At != 1234 {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestFlightRecorderEviction(t *testing.T) {
+	rec, err := NewRecorder(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if _, err := rec.Trigger("residue-stuck", "", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := rec.List()
+	if len(list) != 3 {
+		t.Fatalf("retained %d dumps, want 3", len(list))
+	}
+	// Oldest-first: stamps 3, 4, 5 survive.
+	for i, want := range []int64{3, 4, 5} {
+		if list[i].At != want {
+			t.Errorf("list[%d].At = %d, want %d", i, list[i].At, want)
+		}
+	}
+}
+
+func TestFlightRecorderReadGuards(t *testing.T) {
+	rec, err := NewRecorder(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"../etc/passwd",
+		"/etc/passwd",
+		"flight-..-x.json",
+		"notflight-1.json",
+		"flight-1.txt",
+		"flight-1-UPPER.json",
+	} {
+		if _, err := rec.Read(name); err == nil {
+			t.Errorf("Read(%q) succeeded", name)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var rec *Recorder
+	rec.AddSection("x", func() any { return 1 })
+	if meta, err := rec.Trigger("r", "", 0); err != nil || meta.Name != "" {
+		t.Fatalf("nil Trigger = %+v, %v", meta, err)
+	}
+	if list := rec.List(); list != nil {
+		t.Fatalf("nil List = %+v", list)
+	}
+	if rec.Dir() != "" {
+		t.Fatal("nil Dir nonempty")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	rec, err := NewRecorder(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.AddSection("note", func() any { return "hello" })
+	meta, err := rec.Trigger("checksum-mismatch", "", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index struct {
+		Dumps []DumpMeta `json:"dumps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(index.Dumps) != 1 || index.Dumps[0].Name != meta.Name {
+		t.Fatalf("index = %+v", index)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?name=" + meta.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Sections map[string]any `json:"sections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dump.Sections["note"] != "hello" {
+		t.Fatalf("dump = %+v", dump)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?name=../escape.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("traversal status = %d, want 404", resp.StatusCode)
+	}
+}

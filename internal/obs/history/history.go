@@ -1,0 +1,555 @@
+// Package history retains on-node metric time series: a fixed-cadence
+// sampler walks an obs.Registry and records every counter and gauge (and
+// derived histogram quantile summaries) into bounded per-series ring
+// buffers, with windowed query helpers — Rate, Delta, MinMax, and
+// downsampled point extraction.
+//
+// The paper's observables (§1.4 residue, traffic, t_avg/t_last) are
+// trajectories, not points; this package is what lets a daemon answer
+// "how did I get here" without an external Prometheus. The steady-state
+// sample path is allocation-free: the sampler caches a reader plan keyed
+// on the registry's generation counter and rebuilds it only when a new
+// series is registered, and every histogram reader reuses a preallocated
+// bucket-count scratch buffer.
+//
+// Timestamps are abstract int64 stamps in the same spirit as the cluster
+// digest directory: wall-clock nanoseconds on daemons, ticks under the
+// simulator's deterministic clock. Config.SecondsPerUnit converts stamp
+// deltas to seconds for rate math.
+package history
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"epidemic/internal/obs"
+)
+
+// Defaults for the sampling cadence and retention window: one sample per
+// second for fifteen minutes, i.e. 900 points per series.
+const (
+	DefaultStep      = time.Second
+	DefaultRetention = 15 * time.Minute
+)
+
+// DefaultQuantiles are the histogram summary quantiles recorded as
+// derived series (p50 and p99, the columns `gossipctl top` renders).
+var DefaultQuantiles = []float64{0.5, 0.99}
+
+// Config shapes a Sampler. Zero values select the defaults above;
+// SecondsPerUnit defaults to 1e-9 (stamps are wall-clock nanoseconds).
+type Config struct {
+	Step           time.Duration // sampling cadence the caller will drive
+	Retention      time.Duration // how much trajectory to retain
+	SecondsPerUnit float64       // seconds per stamp unit (1e-9 for ns, 1 for sim ticks)
+	Quantiles      []float64     // histogram quantiles recorded as derived series
+}
+
+// Point is one retained sample: the stamp it was taken at and the value.
+type Point struct {
+	At int64   `json:"at"`
+	V  float64 `json:"v"`
+}
+
+// Series is one retained time series. Scalar registry series keep their
+// registry ID (name plus canonical label rendering); histograms appear as
+// derived series with ":count" and ":p<q>" suffixes.
+type Series struct {
+	id   string
+	name string
+	kind string    // "counter" or "gauge"
+	vals []float64 // ring indexed by absolute sample count % capacity
+	born uint64    // absolute sample index at which this series appeared
+}
+
+// ID returns the series' unique identifier.
+func (se *Series) ID() string { return se.id }
+
+// Kind returns "counter" or "gauge" (derived quantile series are gauges,
+// derived count series counters).
+func (se *Series) Kind() string { return se.kind }
+
+// Sampler records registry samples into bounded rings. All methods are
+// safe for concurrent use; a nil Sampler is inert (Sample is a no-op and
+// queries report no data).
+type Sampler struct {
+	reg       *obs.Registry
+	step      time.Duration
+	retention time.Duration
+	perUnit   float64
+	quantiles []float64
+	capacity  int
+
+	mu     sync.Mutex
+	gen    uint64
+	built  bool
+	plan   []func(slot int)
+	series map[string]*Series
+	byName map[string][]*Series
+	ids    []string // sorted series IDs, rebuilt with the plan
+	times  []int64  // ring of sample stamps
+	count  uint64   // absolute samples taken
+}
+
+// New builds a sampler over reg. The caller drives the cadence by calling
+// Sample (or Run); cfg.Step only sizes the rings: capacity =
+// Retention/Step samples.
+func New(reg *obs.Registry, cfg Config) *Sampler {
+	if cfg.Step <= 0 {
+		cfg.Step = DefaultStep
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.SecondsPerUnit <= 0 {
+		cfg.SecondsPerUnit = 1e-9
+	}
+	if cfg.Quantiles == nil {
+		cfg.Quantiles = DefaultQuantiles
+	}
+	capacity := int(cfg.Retention / cfg.Step)
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Sampler{
+		reg:       reg,
+		step:      cfg.Step,
+		retention: cfg.Retention,
+		perUnit:   cfg.SecondsPerUnit,
+		quantiles: append([]float64(nil), cfg.Quantiles...),
+		capacity:  capacity,
+		series:    make(map[string]*Series),
+		byName:    make(map[string][]*Series),
+		times:     make([]int64, capacity),
+	}
+}
+
+// Step returns the configured sampling cadence.
+func (s *Sampler) Step() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.step
+}
+
+// SecondsPerUnit returns the stamp-to-seconds conversion factor.
+func (s *Sampler) SecondsPerUnit() float64 {
+	if s == nil {
+		return 1e-9
+	}
+	return s.perUnit
+}
+
+// Capacity returns how many samples each series retains.
+func (s *Sampler) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Samples returns how many samples have been taken so far (unbounded;
+// only the last Capacity are retained).
+func (s *Sampler) Samples() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Sample takes one sample of every registered series at stamp now. The
+// steady-state path — no new series since the last call — performs no
+// allocations: it walks the cached plan and writes one float per series
+// into preallocated rings.
+func (s *Sampler) Sample(now int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g := s.reg.Generation(); !s.built || g != s.gen {
+		s.rebuildLocked()
+		s.gen = g
+		s.built = true
+	}
+	slot := int(s.count % uint64(s.capacity))
+	s.times[slot] = now
+	for _, fn := range s.plan {
+		fn(slot)
+	}
+	s.count++
+}
+
+// Run samples every Step until stop is closed, stamping samples with
+// time.Now().UnixNano(). The first sample is taken immediately so query
+// routes have data as soon as the daemon is up.
+func (s *Sampler) Run(stop <-chan struct{}) {
+	if s == nil {
+		return
+	}
+	s.Sample(time.Now().UnixNano())
+	t := time.NewTicker(s.step)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			s.Sample(now.UnixNano())
+		}
+	}
+}
+
+// rebuildLocked regenerates the reader plan from the registry. Called
+// with s.mu held, only when the registry generation moved.
+func (s *Sampler) rebuildLocked() {
+	s.plan = s.plan[:0]
+	s.reg.VisitSeries(func(v obs.SeriesView) {
+		switch {
+		case v.Counter != nil:
+			se := s.ensureLocked(v.ID, v.Name, "counter")
+			c := v.Counter
+			s.plan = append(s.plan, func(slot int) { se.vals[slot] = float64(c.Value()) })
+		case v.Gauge != nil:
+			se := s.ensureLocked(v.ID, v.Name, "gauge")
+			g := v.Gauge
+			s.plan = append(s.plan, func(slot int) { se.vals[slot] = g.Value() })
+		case v.Value != nil:
+			se := s.ensureLocked(v.ID, v.Name, v.Type)
+			fn := v.Value
+			s.plan = append(s.plan, func(slot int) { se.vals[slot] = fn() })
+		case v.Histogram != nil:
+			h := v.Histogram
+			scratch := make([]uint64, h.NumBuckets())
+			countSe := s.ensureLocked(v.ID+":count", v.Name, "counter")
+			qSeries := make([]*Series, len(s.quantiles))
+			for i, q := range s.quantiles {
+				qSeries[i] = s.ensureLocked(v.ID+":p"+quantileSuffix(q), v.Name, "gauge")
+			}
+			quantiles := s.quantiles
+			s.plan = append(s.plan, func(slot int) {
+				total := h.CountsInto(scratch)
+				countSe.vals[slot] = float64(total)
+				for i, q := range quantiles {
+					qSeries[i].vals[slot] = h.QuantileFromCounts(scratch, total, q)
+				}
+			})
+		}
+	})
+	s.ids = s.ids[:0]
+	for id := range s.series {
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+}
+
+// quantileSuffix renders 0.5 -> "50", 0.99 -> "99", 0.999 -> "99.9".
+func quantileSuffix(q float64) string {
+	return strconv.FormatFloat(q*100, 'g', -1, 64)
+}
+
+// ensureLocked fetches or creates a series ring. New rings are NaN-filled
+// so windows reaching back before the series existed read as gaps, not
+// zeros.
+func (s *Sampler) ensureLocked(id, name, kind string) *Series {
+	if se, ok := s.series[id]; ok {
+		return se
+	}
+	se := &Series{id: id, name: name, kind: kind, vals: make([]float64, s.capacity), born: s.count}
+	for i := range se.vals {
+		se.vals[i] = math.NaN()
+	}
+	s.series[id] = se
+	s.byName[name] = append(s.byName[name], se)
+	return se
+}
+
+// resolveLocked maps a query string to a series: an exact ID match wins;
+// otherwise a bare metric name resolves iff exactly one series carries it.
+func (s *Sampler) resolveLocked(metric string) *Series {
+	if se, ok := s.series[metric]; ok {
+		return se
+	}
+	if list := s.byName[metric]; len(list) == 1 {
+		return list[0]
+	}
+	return nil
+}
+
+// boundsLocked returns the absolute index range [lo, hi] of retained
+// samples valid for se (hi inclusive), or ok=false when none exist.
+func (s *Sampler) boundsLocked(se *Series) (lo, hi uint64, ok bool) {
+	if s.count == 0 {
+		return 0, 0, false
+	}
+	hi = s.count - 1
+	lo = 0
+	if s.count > uint64(s.capacity) {
+		lo = s.count - uint64(s.capacity)
+	}
+	if se.born > lo {
+		lo = se.born
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// windowLocked narrows [lo, hi] to samples with stamps inside the window
+// ending at the newest sample, then trims NaN gaps at both ends. ok is
+// false when no finite samples remain.
+func (s *Sampler) windowLocked(se *Series, window time.Duration) (lo, hi uint64, ok bool) {
+	lo, hi, ok = s.boundsLocked(se)
+	if !ok {
+		return 0, 0, false
+	}
+	if window > 0 {
+		cutoff := float64(s.times[hi%uint64(s.capacity)]) - window.Seconds()/s.perUnit
+		for lo < hi && float64(s.times[lo%uint64(s.capacity)]) < cutoff {
+			lo++
+		}
+	}
+	cap64 := uint64(s.capacity)
+	for lo <= hi && math.IsNaN(se.vals[lo%cap64]) {
+		lo++
+	}
+	for hi > lo && math.IsNaN(se.vals[hi%cap64]) {
+		hi--
+	}
+	if lo > hi || math.IsNaN(se.vals[hi%cap64]) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Last returns the newest retained sample of metric.
+func (s *Sampler) Last(metric string) (Point, bool) {
+	if s == nil {
+		return Point{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.resolveLocked(metric)
+	if se == nil {
+		return Point{}, false
+	}
+	_, hi, ok := s.windowLocked(se, 0)
+	if !ok {
+		return Point{}, false
+	}
+	cap64 := uint64(s.capacity)
+	return Point{At: s.times[hi%cap64], V: se.vals[hi%cap64]}, true
+}
+
+// Delta returns newest minus oldest value of metric across the window
+// ending at the newest sample. For counters this is the increase over the
+// window. At least two finite samples are required.
+func (s *Sampler) Delta(metric string, window time.Duration) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaLocked(metric, window)
+}
+
+func (s *Sampler) deltaLocked(metric string, window time.Duration) (float64, bool) {
+	se := s.resolveLocked(metric)
+	if se == nil {
+		return 0, false
+	}
+	lo, hi, ok := s.windowLocked(se, window)
+	if !ok || lo == hi {
+		return 0, false
+	}
+	cap64 := uint64(s.capacity)
+	return se.vals[hi%cap64] - se.vals[lo%cap64], true
+}
+
+// Rate returns Delta divided by the elapsed seconds between the oldest
+// and newest samples actually used — per-second rate over the window.
+func (s *Sampler) Rate(metric string, window time.Duration) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.resolveLocked(metric)
+	if se == nil {
+		return 0, false
+	}
+	lo, hi, ok := s.windowLocked(se, window)
+	if !ok || lo == hi {
+		return 0, false
+	}
+	cap64 := uint64(s.capacity)
+	elapsed := float64(s.times[hi%cap64]-s.times[lo%cap64]) * s.perUnit
+	if elapsed <= 0 {
+		return 0, false
+	}
+	return (se.vals[hi%cap64] - se.vals[lo%cap64]) / elapsed, true
+}
+
+// MinMax returns the smallest and largest finite values of metric inside
+// the window.
+func (s *Sampler) MinMax(metric string, window time.Duration) (min, max float64, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.resolveLocked(metric)
+	if se == nil {
+		return 0, 0, false
+	}
+	lo, hi, found := s.windowLocked(se, window)
+	if !found {
+		return 0, 0, false
+	}
+	cap64 := uint64(s.capacity)
+	min, max = math.Inf(1), math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		v := se.vals[i%cap64]
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// Points extracts the retained samples of metric inside the window,
+// oldest first, downsampled so consecutive points are at least step
+// apart (step <= 0 returns every sample). NaN gaps are skipped.
+func (s *Sampler) Points(metric string, window, step time.Duration) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se := s.resolveLocked(metric)
+	if se == nil {
+		return nil
+	}
+	lo, hi, ok := s.windowLocked(se, window)
+	if !ok {
+		return nil
+	}
+	cap64 := uint64(s.capacity)
+	stride := 0.0
+	if step > 0 {
+		stride = step.Seconds() / s.perUnit
+	}
+	out := make([]Point, 0, hi-lo+1)
+	next := math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		at, v := s.times[i%cap64], se.vals[i%cap64]
+		if math.IsNaN(v) || float64(at) < next {
+			continue
+		}
+		out = append(out, Point{At: at, V: v})
+		next = float64(at) + stride
+	}
+	return out
+}
+
+// Names returns the sorted IDs of every retained series.
+func (s *Sampler) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.ids...)
+}
+
+// Handler serves the sampler as the /metrics/history admin route. With no
+// ?metric= it lists series IDs; with one it returns the windowed,
+// optionally downsampled points:
+//
+//	/metrics/history?metric=epidemic_rumor_rounds_total&window=5m&step=10s
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		q := req.URL.Query()
+		metric := q.Get("metric")
+		if metric == "" {
+			_ = json.NewEncoder(w).Encode(struct {
+				Step           string   `json:"step"`
+				SecondsPerUnit float64  `json:"seconds_per_unit"`
+				Samples        uint64   `json:"samples"`
+				Series         []string `json:"series"`
+			}{s.Step().String(), s.SecondsPerUnit(), s.Samples(), s.Names()})
+			return
+		}
+		var window, step time.Duration
+		if v := q.Get("window"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad window", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		if v := q.Get("step"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad step", http.StatusBadRequest)
+				return
+			}
+			step = d
+		}
+		points := s.Points(metric, window, step)
+		if points == nil {
+			s.mu.Lock()
+			_, known := s.series[metric]
+			if !known {
+				known = len(s.byName[metric]) > 0
+			}
+			s.mu.Unlock()
+			if !known {
+				http.Error(w, "unknown metric", http.StatusNotFound)
+				return
+			}
+			points = []Point{}
+		}
+		rate, _ := s.Rate(metric, window)
+		delta, _ := s.Delta(metric, window)
+		_ = json.NewEncoder(w).Encode(struct {
+			Metric         string  `json:"metric"`
+			SecondsPerUnit float64 `json:"seconds_per_unit"`
+			RatePerSec     float64 `json:"rate_per_sec"`
+			Delta          float64 `json:"delta"`
+			Points         []Point `json:"points"`
+		}{metric, s.SecondsPerUnit(), rate, delta, points})
+	})
+}
+
+// SnapshotWindow bundles every series' windowed points — the flight
+// recorder's time-series section, so a dump carries the full trajectory
+// covering the incident.
+func (s *Sampler) SnapshotWindow(window time.Duration) map[string][]Point {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string][]Point)
+	for _, id := range s.Names() {
+		if pts := s.Points(id, window, 0); len(pts) > 0 {
+			out[id] = pts
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"epidemic/internal/obs"
+)
+
+// tickSampler builds a sampler over a fresh registry with 1-second ticks
+// as the stamp unit, the configuration the simulator uses.
+func tickSampler(capSamples int) (*obs.Registry, *Sampler) {
+	reg := obs.NewRegistry()
+	s := New(reg, Config{
+		Step:           time.Second,
+		Retention:      time.Duration(capSamples) * time.Second,
+		SecondsPerUnit: 1,
+	})
+	return reg, s
+}
+
+func TestSamplerRecordsAndQueries(t *testing.T) {
+	reg, s := tickSampler(64)
+	c := reg.Counter("epidemic_rounds_total", "help")
+	g := reg.Gauge("epidemic_depth", "help")
+
+	for tick := int64(0); tick < 10; tick++ {
+		c.Add(3) // 3 rounds per second
+		g.Set(float64(10 - tick))
+		s.Sample(tick)
+	}
+
+	if got, ok := s.Last("epidemic_rounds_total"); !ok || got.V != 30 || got.At != 9 {
+		t.Fatalf("Last = %+v ok=%v", got, ok)
+	}
+	// Delta over the whole window: first sample saw 3, last 30.
+	if d, ok := s.Delta("epidemic_rounds_total", 0); !ok || d != 27 {
+		t.Fatalf("Delta = %v ok=%v", d, ok)
+	}
+	// Rate: 27 rounds over 9 seconds.
+	if r, ok := s.Rate("epidemic_rounds_total", 0); !ok || math.Abs(r-3) > 1e-12 {
+		t.Fatalf("Rate = %v ok=%v", r, ok)
+	}
+	// Windowed rate over the last 4 seconds: stamps 5..9, 12 rounds / 4s.
+	if r, ok := s.Rate("epidemic_rounds_total", 4*time.Second); !ok || math.Abs(r-3) > 1e-12 {
+		t.Fatalf("windowed Rate = %v ok=%v", r, ok)
+	}
+	if min, max, ok := s.MinMax("epidemic_depth", 0); !ok || min != 1 || max != 10 {
+		t.Fatalf("MinMax = %v %v ok=%v", min, max, ok)
+	}
+	pts := s.Points("epidemic_depth", 0, 0)
+	if len(pts) != 10 || pts[0].At != 0 || pts[0].V != 10 || pts[9].V != 1 {
+		t.Fatalf("Points = %+v", pts)
+	}
+	// Downsampled to every 3 ticks: stamps 0, 3, 6, 9.
+	ds := s.Points("epidemic_depth", 0, 3*time.Second)
+	if len(ds) != 4 || ds[1].At != 3 || ds[3].At != 9 {
+		t.Fatalf("downsampled Points = %+v", ds)
+	}
+	if names := s.Names(); len(names) != 2 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSamplerRingWrap(t *testing.T) {
+	reg, s := tickSampler(8)
+	c := reg.Counter("epidemic_rounds_total", "help")
+	for tick := int64(0); tick < 20; tick++ {
+		c.Inc()
+		s.Sample(tick)
+	}
+	pts := s.Points("epidemic_rounds_total", 0, 0)
+	if len(pts) != 8 {
+		t.Fatalf("retained %d points, want 8", len(pts))
+	}
+	if pts[0].At != 12 || pts[7].At != 19 {
+		t.Fatalf("window = [%d, %d], want [12, 19]", pts[0].At, pts[7].At)
+	}
+	if d, ok := s.Delta("epidemic_rounds_total", 0); !ok || d != 7 {
+		t.Fatalf("Delta after wrap = %v ok=%v", d, ok)
+	}
+}
+
+// TestSamplerLateSeries checks NaN backfill: a series registered mid-run
+// must not fabricate values for samples predating it.
+func TestSamplerLateSeries(t *testing.T) {
+	reg, s := tickSampler(32)
+	reg.Counter("epidemic_first_total", "help")
+	for tick := int64(0); tick < 5; tick++ {
+		s.Sample(tick)
+	}
+	late := reg.Gauge("epidemic_late", "help")
+	late.Set(7)
+	for tick := int64(5); tick < 10; tick++ {
+		s.Sample(tick)
+	}
+	pts := s.Points("epidemic_late", 0, 0)
+	if len(pts) != 5 || pts[0].At != 5 {
+		t.Fatalf("late series points = %+v, want stamps 5..9 only", pts)
+	}
+	for _, p := range pts {
+		if p.V != 7 {
+			t.Fatalf("late series value = %v", p.V)
+		}
+	}
+}
+
+func TestSamplerHistogramSeries(t *testing.T) {
+	reg, s := tickSampler(16)
+	h := reg.Histogram("epidemic_latency_seconds", "help", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	s.Sample(0)
+	if got, ok := s.Last("epidemic_latency_seconds:count"); !ok || got.V != 100 {
+		t.Fatalf("histogram count series = %+v ok=%v", got, ok)
+	}
+	p50, ok := s.Last("epidemic_latency_seconds:p50")
+	if !ok || math.Abs(p50.V-1.5) > 1e-9 {
+		t.Fatalf("p50 series = %+v ok=%v", p50, ok)
+	}
+	if _, ok := s.Last("epidemic_latency_seconds:p99"); !ok {
+		t.Fatal("p99 series missing")
+	}
+	// The bare histogram name is ambiguous (count + quantiles share it).
+	if _, ok := s.Last("epidemic_latency_seconds"); ok {
+		t.Fatal("bare histogram name resolved despite ambiguity")
+	}
+}
+
+// TestSamplerResolvesLabelledSingleton: a bare name resolves iff exactly
+// one series carries it.
+func TestSamplerResolvesLabelledSingleton(t *testing.T) {
+	reg, s := tickSampler(16)
+	c := reg.Counter("epidemic_rounds_total", "help", obs.Label{Name: "site", Value: "1"})
+	c.Add(5)
+	s.Sample(0)
+	if got, ok := s.Last("epidemic_rounds_total"); !ok || got.V != 5 {
+		t.Fatalf("bare-name singleton = %+v ok=%v", got, ok)
+	}
+	if got, ok := s.Last(`epidemic_rounds_total{site="1"}`); !ok || got.V != 5 {
+		t.Fatalf("exact ID = %+v ok=%v", got, ok)
+	}
+	reg.Counter("epidemic_rounds_total", "help", obs.Label{Name: "site", Value: "2"})
+	s.Sample(1)
+	if _, ok := s.Last("epidemic_rounds_total"); ok {
+		t.Fatal("ambiguous bare name resolved")
+	}
+}
+
+func TestSamplerNilAndEmpty(t *testing.T) {
+	var nilS *Sampler
+	nilS.Sample(0)
+	if _, ok := nilS.Last("x"); ok {
+		t.Fatal("nil sampler resolved a metric")
+	}
+	if pts := nilS.Points("x", 0, 0); pts != nil {
+		t.Fatal("nil sampler returned points")
+	}
+	if _, ok := nilS.Rate("x", 0); ok {
+		t.Fatal("nil sampler returned a rate")
+	}
+
+	_, s := tickSampler(8)
+	if _, ok := s.Last("missing"); ok {
+		t.Fatal("empty sampler resolved a metric")
+	}
+	s.Sample(0)
+	if _, ok := s.Rate("missing", 0); ok {
+		t.Fatal("unknown metric returned a rate")
+	}
+}
+
+// TestSampleZeroAlloc is the tentpole's steady-state contract: once the
+// plan is built, Sample performs zero allocations even with histograms in
+// the registry.
+func TestSampleZeroAlloc(t *testing.T) {
+	reg, s := tickSampler(128)
+	daemonSizedRegistry(reg)
+	s.Sample(0) // build the plan
+	tick := int64(1)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Sample(tick)
+		tick++
+	})
+	if allocs != 0 {
+		t.Errorf("Sample allocates %v per tick, want 0", allocs)
+	}
+}
+
+func TestSamplerHandler(t *testing.T) {
+	reg, s := tickSampler(32)
+	c := reg.Counter("epidemic_rounds_total", "help")
+	for tick := int64(0); tick < 5; tick++ {
+		c.Add(2)
+		s.Sample(tick)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index struct {
+		Series  []string `json:"series"`
+		Samples uint64   `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(index.Series) != 1 || index.Samples != 5 {
+		t.Fatalf("index = %+v", index)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?metric=epidemic_rounds_total&window=10s&step=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Metric     string  `json:"metric"`
+		RatePerSec float64 `json:"rate_per_sec"`
+		Points     []Point `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Metric != "epidemic_rounds_total" || len(body.Points) != 3 {
+		t.Fatalf("history reply = %+v", body)
+	}
+	if math.Abs(body.RatePerSec-2) > 1e-12 {
+		t.Fatalf("rate = %v, want 2", body.RatePerSec)
+	}
+
+	for _, q := range []string{"?metric=missing", "?metric=epidemic_rounds_total&window=bogus", "?metric=epidemic_rounds_total&step=bogus"} {
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			t.Errorf("%s: status %d, want error", q, resp.StatusCode)
+		}
+	}
+}
+
+// daemonSizedRegistry populates reg with the same shape of series a real
+// gossipd registers: ~30 counter/gauge funcs plus latency histograms.
+// The funcs read plain variables, so benchmark results isolate the
+// sampler's own cost.
+func daemonSizedRegistry(reg *obs.Registry) {
+	var v float64
+	for i := 0; i < 24; i++ {
+		reg.CounterFunc(fmt.Sprintf("epidemic_bench_counter_%d_total", i), "help", func() float64 { v++; return v })
+	}
+	for i := 0; i < 8; i++ {
+		reg.GaugeFunc(fmt.Sprintf("epidemic_bench_gauge_%d", i), "help", func() float64 { return 42 })
+	}
+	for i := 0; i < 3; i++ {
+		h := reg.Histogram(fmt.Sprintf("epidemic_bench_hist_%d_seconds", i), "help", nil)
+		for j := 0; j < 1000; j++ {
+			h.Observe(float64(j) / 100)
+		}
+	}
+}
+
+// BenchmarkHistorySample measures one sampler tick over a daemon-sized
+// registry; the acceptance criterion is 0 allocs/op.
+func BenchmarkHistorySample(b *testing.B) {
+	reg := obs.NewRegistry()
+	daemonSizedRegistry(reg)
+	s := New(reg, Config{Step: time.Second, Retention: 15 * time.Minute})
+	s.Sample(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(int64(i))
+	}
+}

@@ -41,6 +41,7 @@ var (
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	gen      atomic.Uint64 // bumped whenever a new family or series appears
 }
 
 // family is one metric name: help text, type, and its labelled series.
@@ -93,7 +94,70 @@ func (r *Registry) register(name, help, typ string, labels []Label, create func(
 	}
 	m := create()
 	f.series[key] = &seriesEntry{labels: sortedLabels(labels), metric: m}
+	r.gen.Add(1)
 	return m
+}
+
+// Generation returns a counter that increases whenever a new series is
+// registered. Samplers cache a walk of the registry and rebuild it only
+// when the generation moves, keeping the steady-state read path
+// allocation-free.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
+
+// SeriesView is one registered series as seen by VisitSeries. Exactly one
+// of Counter, Gauge, Value, or Histogram is set, matching Type
+// ("counter", "gauge", or "histogram" — func-backed series report the
+// type they were registered under with Value set).
+type SeriesView struct {
+	ID     string // name + canonical label rendering, unique per registry
+	Name   string
+	Type   string
+	Labels []Label
+	Counter   *Counter
+	Gauge     *Gauge
+	Value     func() float64
+	Histogram *Histogram
+}
+
+// VisitSeries calls visit once per registered series, in name-then-label
+// order. The registry lock is NOT held during callbacks, so visit may
+// register further metrics; series added mid-walk are picked up on the
+// next call.
+func (r *Registry) VisitSeries(visit func(SeriesView)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	views := make([]SeriesView, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := f.series[k]
+			v := SeriesView{ID: f.name + k, Name: f.name, Type: f.typ, Labels: e.labels}
+			switch m := e.metric.(type) {
+			case *Counter:
+				v.Counter = m
+			case *Gauge:
+				v.Gauge = m
+			case funcMetric:
+				v.Value = m.fn
+			case *Histogram:
+				v.Histogram = m
+			}
+			views = append(views, v)
+		}
+	}
+	r.mu.Unlock()
+	for _, v := range views {
+		visit(v)
+	}
 }
 
 // Counter registers (or fetches) a monotonically increasing counter.

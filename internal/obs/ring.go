@@ -106,10 +106,38 @@ func (r *EventRing) SnapshotSince(cursor uint64) ([]EventRecord, uint64) {
 	return out, r.next
 }
 
+// Matches reports whether the record concerns the given key — either as
+// its primary Key or within the Keys batch list.
+func (rec *EventRecord) Matches(key string) bool {
+	if rec.Key == key {
+		return true
+	}
+	for _, k := range rec.Keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterByKey returns the records matching key, preserving order. Used by
+// the /events?key= route so flight-recorder follow-ups can scope the log
+// to one update's lifecycle server-side.
+func FilterByKey(events []EventRecord, key string) []EventRecord {
+	out := events[:0:0]
+	for _, rec := range events {
+		if rec.Matches(key) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
 // Handler serves the ring as JSON: {"events": [...], "next": cursor},
 // newest last. The optional ?since= query parameter (a cursor from a
 // previous reply's "next") restricts the reply to records not yet seen;
-// ?n= limits it to the most recent n.
+// ?key= keeps only records touching that key (primary or batch);
+// ?n= limits the result to the most recent n.
 func (r *EventRing) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		var cursor uint64
@@ -122,6 +150,9 @@ func (r *EventRing) Handler() http.Handler {
 			cursor = c
 		}
 		events, next := r.SnapshotSince(cursor)
+		if key := req.URL.Query().Get("key"); key != "" {
+			events = FilterByKey(events, key)
+		}
 		if s := req.URL.Query().Get("n"); s != "" {
 			n, err := strconv.Atoi(s)
 			if err != nil || n < 0 {

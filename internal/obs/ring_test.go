@@ -114,6 +114,57 @@ func TestEventRingHandlerSince(t *testing.T) {
 	}
 }
 
+// TestEventRingKeyFilter covers the server-side ?key= filter: primary-key
+// matches, batch Keys matches, composition with ?n=, and the FilterByKey
+// helper directly.
+func TestEventRingKeyFilter(t *testing.T) {
+	r := NewEventRing(16)
+	r.Append(EventRecord{Kind: "update", Key: "alpha"})
+	r.Append(EventRecord{Kind: "update", Key: "beta"})
+	r.Append(EventRecord{Kind: "rumor", Keys: []string{"alpha", "gamma"}})
+	r.Append(EventRecord{Kind: "gc"})
+	r.Append(EventRecord{Kind: "update", Key: "alpha"})
+
+	if got := FilterByKey(r.Snapshot(), "alpha"); len(got) != 3 {
+		t.Fatalf("FilterByKey(alpha) = %d records, want 3", len(got))
+	}
+	if got := FilterByKey(r.Snapshot(), "gamma"); len(got) != 1 || got[0].Kind != "rumor" {
+		t.Fatalf("FilterByKey(gamma) = %+v", got)
+	}
+	if got := FilterByKey(r.Snapshot(), "nope"); len(got) != 0 {
+		t.Fatalf("FilterByKey(nope) = %d records, want 0", len(got))
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	get := func(query string) []EventRecord {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Events []EventRecord `json:"events"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Events
+	}
+	if events := get("?key=alpha"); len(events) != 3 {
+		t.Errorf("?key=alpha returned %d events, want 3", len(events))
+	}
+	// ?n applies after the key filter: the most recent alpha event.
+	events := get("?key=alpha&n=1")
+	if len(events) != 1 || events[0].Seq != 4 {
+		t.Errorf("?key=alpha&n=1 = %+v", events)
+	}
+	if events := get("?key=missing"); len(events) != 0 {
+		t.Errorf("?key=missing returned %d events", len(events))
+	}
+}
+
 func TestEventRingHandler(t *testing.T) {
 	r := NewEventRing(4)
 	for i := 0; i < 6; i++ {

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestRegistryGeneration checks the generation counter moves exactly when
+// a new series appears — the contract the history sampler's cached plan
+// rebuild relies on.
+func TestRegistryGeneration(t *testing.T) {
+	r := NewRegistry()
+	if g := r.Generation(); g != 0 {
+		t.Fatalf("fresh registry generation = %d", g)
+	}
+	c := r.Counter("epidemic_test_total", "help")
+	g1 := r.Generation()
+	if g1 == 0 {
+		t.Fatal("generation did not move on first registration")
+	}
+	// Idempotent re-registration must not move the generation.
+	if again := r.Counter("epidemic_test_total", "help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if g := r.Generation(); g != g1 {
+		t.Fatalf("generation moved on re-registration: %d -> %d", g1, g)
+	}
+	// A new label set on the same family is a new series.
+	r.Counter("epidemic_test_total", "help", Label{"site", "2"})
+	if g := r.Generation(); g <= g1 {
+		t.Fatalf("generation did not move on new series: %d", g)
+	}
+	g2 := r.Generation()
+	r.Gauge("epidemic_test_gauge", "help")
+	if g := r.Generation(); g <= g2 {
+		t.Fatalf("generation did not move on new family: %d", g)
+	}
+}
+
+// TestVisitSeries checks the walk covers every metric shape with stable
+// ordering and usable accessors.
+func TestVisitSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b_total", "help")
+	c.Add(7)
+	g := r.Gauge("a_gauge", "help")
+	g.Set(2.5)
+	r.GaugeFunc("c_func", "help", func() float64 { return 42 })
+	h := r.Histogram("d_hist", "help", []float64{1, 2})
+	h.Observe(1.5)
+
+	var got []SeriesView
+	r.VisitSeries(func(v SeriesView) { got = append(got, v) })
+	if len(got) != 4 {
+		t.Fatalf("visited %d series, want 4", len(got))
+	}
+	// Name-sorted: a_gauge, b_total, c_func, d_hist.
+	wantOrder := []string{"a_gauge", "b_total", "c_func", "d_hist"}
+	for i, name := range wantOrder {
+		if got[i].Name != name || got[i].ID != name {
+			t.Errorf("visit[%d] = %q (id %q), want %q", i, got[i].Name, got[i].ID, name)
+		}
+	}
+	if got[0].Gauge == nil || got[0].Gauge.Value() != 2.5 {
+		t.Errorf("gauge view = %+v", got[0])
+	}
+	if got[1].Counter == nil || got[1].Counter.Value() != 7 {
+		t.Errorf("counter view = %+v", got[1])
+	}
+	if got[2].Value == nil || got[2].Value() != 42 || got[2].Type != "gauge" {
+		t.Errorf("func view = %+v", got[2])
+	}
+	if got[3].Histogram == nil || got[3].Histogram.Count() != 1 {
+		t.Errorf("histogram view = %+v", got[3])
+	}
+
+	// Labelled series get the canonical label rendering in their ID.
+	r.Counter("b_total", "help", Label{"site", "1"})
+	var ids []string
+	r.VisitSeries(func(v SeriesView) {
+		if v.Name == "b_total" {
+			ids = append(ids, v.ID)
+		}
+	})
+	if len(ids) != 2 || ids[0] != "b_total" || ids[1] != `b_total{site="1"}` {
+		t.Errorf("b_total ids = %v", ids)
+	}
+
+	// The callback may register metrics without deadlocking.
+	r.VisitSeries(func(v SeriesView) {
+		r.Counter("e_reentrant_total", "help")
+	})
+}

@@ -10,11 +10,13 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"epidemic/internal/core"
 	"epidemic/internal/node"
 	"epidemic/internal/obs"
 	"epidemic/internal/obs/cluster"
+	"epidemic/internal/obs/history"
 	"epidemic/internal/spatial"
 	"epidemic/internal/store"
 	"epidemic/internal/timestamp"
@@ -71,6 +73,15 @@ type ClusterConfig struct {
 	// exposed through Propagation. Soak tests assert on these metrics
 	// against cluster ground truth.
 	Registry *obs.Registry
+	// HistoryEvery, when > 0 (and Registry is set), samples every
+	// registered metric into an on-node history.Sampler once per that many
+	// cycles, stamped with the simulated clock — the deterministic twin of
+	// the daemon's fixed-cadence sampler goroutine, so history-derived
+	// trajectories can be checked against tracker ground truth exactly.
+	HistoryEvery int
+	// HistoryRetention bounds the history to that many samples per series
+	// (default 1024).
+	HistoryRetention int
 }
 
 // Cluster is a set of in-memory replicas plus the simulated clock they
@@ -84,6 +95,7 @@ type Cluster struct {
 	cycle   int
 	prop    *obs.Propagation     // non-nil when cfg.Registry is set
 	digests []*cluster.Directory // non-nil when cfg.ClusterDigests
+	history *history.Sampler     // non-nil when cfg.HistoryEvery > 0
 }
 
 // NewCluster builds a fully connected cluster of n nodes.
@@ -153,6 +165,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}))
 		}
 	}
+	if cfg.Registry != nil && cfg.HistoryEvery > 0 {
+		retain := cfg.HistoryRetention
+		if retain <= 0 {
+			retain = 1024
+		}
+		// One simulated tick = one second, matching the propagation
+		// tracker's SecondsPerUnit above; the Step only sizes the rings —
+		// stepAllIndexed drives the cadence deterministically.
+		step := time.Duration(cfg.TickPerCycle*int64(cfg.HistoryEvery)) * time.Second
+		c.history = history.New(cfg.Registry, history.Config{
+			Step:           step,
+			Retention:      step * time.Duration(retain),
+			SecondsPerUnit: 1,
+		})
+	}
 	var sel spatial.Selector
 	if cfg.Network != nil && cfg.SpatialForm != 0 && cfg.SpatialForm != spatial.FormUniform {
 		if cfg.Network.NumSites() != cfg.N {
@@ -214,6 +241,10 @@ func (c *Cluster) Clock() *timestamp.Simulated { return c.clock }
 // Propagation returns the cluster-wide update-propagation tracker, or nil
 // when the cluster was built without a Registry.
 func (c *Cluster) Propagation() *obs.Propagation { return c.prop }
+
+// History returns the deterministic-clock metric sampler, or nil when the
+// cluster was built without HistoryEvery.
+func (c *Cluster) History() *history.Sampler { return c.history }
 
 // DigestDirectory returns site i's digest directory (nil when the cluster
 // was built without ClusterDigests).
@@ -322,6 +353,9 @@ func (c *Cluster) stepAllIndexed(step func(int, *node.Node)) {
 	}
 	c.clock.Advance(c.cfg.TickPerCycle)
 	c.cycle++
+	if c.history != nil && c.cycle%c.cfg.HistoryEvery == 0 {
+		c.history.Sample(c.clock.Read())
+	}
 }
 
 // RunRumorToQuiescence steps rumor cycles until no node holds hot rumors

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"epidemic/internal/obs"
+	"epidemic/internal/store"
+)
+
+// TestHistoryMatchesPropagationGroundTruth is the sim ground-truth
+// acceptance test: under the deterministic clock, the history-derived
+// residue trajectory and rumor-round rate must match the Propagation
+// tracker's values exactly — same floats, same stamps — at every sampled
+// step. The cluster samples once per cycle (HistoryEvery=1) right after
+// the clock advances, so recording the tracker's view after each StepRumor
+// reconstructs precisely what the sampler saw.
+func TestHistoryMatchesPropagationGroundTruth(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.Registry = reg
+		cfg.HistoryEvery = 1
+		cfg.HistoryRetention = 256
+	})
+	h := c.History()
+	if h == nil {
+		t.Fatal("History() is nil although HistoryEvery was configured")
+	}
+	prop := c.Propagation()
+	// Expose the tracker's residue for "k" as a gauge; the sampler picks
+	// the new series up on its next plan rebuild, exactly as the daemon's
+	// cluster gauges are picked up.
+	reg.GaugeFunc("epidemic_sim_residue", "Tracker residue for key k.",
+		func() float64 { return prop.Residue("k", c.N()) })
+
+	c.Node(0).Update("k", store.Value("v"))
+
+	type sample struct {
+		at      int64
+		residue float64
+		rounds  float64
+	}
+	var want []sample
+	for cycle := 0; cycle < 40; cycle++ {
+		c.StepRumor()
+		// The sampler ran inside StepRumor, after the clock advanced; this
+		// is the state it recorded.
+		want = append(want, sample{
+			at:      c.Clock().Read(),
+			residue: prop.Residue("k", c.N()),
+			rounds:  float64(c.Node(0).Stats().RumorRuns),
+		})
+	}
+
+	residuePts := h.Points("epidemic_sim_residue", 0, 0)
+	if len(residuePts) != len(want) {
+		t.Fatalf("residue trajectory has %d points, want %d", len(residuePts), len(want))
+	}
+	roundsPts := h.Points(`epidemic_rumor_rounds_total{site="0"}`, 0, 0)
+	if len(roundsPts) != len(want) {
+		t.Fatalf("rumor-round trajectory has %d points, want %d", len(roundsPts), len(want))
+	}
+	for i, w := range want {
+		if residuePts[i].At != w.at || residuePts[i].V != w.residue {
+			t.Errorf("residue[%d] = (%d, %v), ground truth (%d, %v)",
+				i, residuePts[i].At, residuePts[i].V, w.at, w.residue)
+		}
+		if roundsPts[i].At != w.at || roundsPts[i].V != w.rounds {
+			t.Errorf("rounds[%d] = (%d, %v), ground truth (%d, %v)",
+				i, roundsPts[i].At, roundsPts[i].V, w.at, w.rounds)
+		}
+	}
+
+	// The residue trajectory must end at the tracker's final value and be
+	// monotonically non-increasing (infection never un-happens).
+	final := want[len(want)-1].residue
+	if got, ok := h.Last("epidemic_sim_residue"); !ok || got.V != final {
+		t.Errorf("Last residue = %+v ok=%v, want %v", got, ok, final)
+	}
+	for i := 1; i < len(residuePts); i++ {
+		if residuePts[i].V > residuePts[i-1].V {
+			t.Errorf("residue increased at step %d: %v -> %v", i, residuePts[i-1].V, residuePts[i].V)
+		}
+	}
+
+	// Windowed rate agrees with the trajectory endpoints: one tick = one
+	// second, so the expected rate is the exact same float expression the
+	// sampler computes.
+	first, last := want[0], want[len(want)-1]
+	wantRate := (last.rounds - first.rounds) / float64(last.at-first.at)
+	if got, ok := h.Rate(`epidemic_rumor_rounds_total{site="0"}`, 0); !ok || got != wantRate {
+		t.Errorf("Rate = %v ok=%v, ground truth %v", got, ok, wantRate)
+	}
+	// Delta over the full window is the cycle count the node ran.
+	if got, ok := h.Delta(`epidemic_rumor_rounds_total{site="0"}`, 0); !ok || got != last.rounds-first.rounds {
+		t.Errorf("Delta = %v ok=%v, ground truth %v", got, ok, last.rounds-first.rounds)
+	}
+}
+
+// TestHistorySamplingCadence checks HistoryEvery > 1 samples on exactly
+// the configured cycle boundaries with simulated stamps.
+func TestHistorySamplingCadence(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.Registry = reg
+		cfg.HistoryEvery = 3
+		cfg.TickPerCycle = 2
+	})
+	c.Node(0).Update("k", store.Value("v"))
+	start := c.Clock().Read()
+	for i := 0; i < 12; i++ {
+		c.StepAntiEntropy()
+	}
+	h := c.History()
+	if got, want := h.Samples(), uint64(4); got != want {
+		t.Fatalf("samples = %d, want %d (12 cycles / every 3)", got, want)
+	}
+	pts := h.Points(`epidemic_anti_entropy_runs_total{site="0"}`, 0, 0)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	// Samples land after cycles 3, 6, 9, 12: stamps start+6, +12, +18, +24.
+	for i, p := range pts {
+		if want := start + int64((i+1)*6); p.At != want {
+			t.Errorf("pts[%d].At = %d, want %d", i, p.At, want)
+		}
+	}
+	// The history window is sized Step*Retention with Step =
+	// TickPerCycle*HistoryEvery seconds.
+	if got, want := h.Step(), 6*time.Second; got != want {
+		t.Errorf("Step = %v, want %v", got, want)
+	}
+}
